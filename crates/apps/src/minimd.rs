@@ -1,0 +1,565 @@
+//! Lennard-Jones molecular dynamics (paper §4.4).
+//!
+//! The paper's LAMMPS benchmark: an FCC crystal under a Lennard-Jones
+//! potential, 3-D spatial decomposition, point-to-point neighbor exchange
+//! every femtosecond-scale timestep. At the strong-scaling limit each
+//! rank's box holds few atoms, messages shrink, and MPI latency dominates
+//! — the regime Fig 8 probes.
+//!
+//! This mini-app implements the same skeleton: FCC lattice initialization,
+//! per-rank sub-boxes on a periodic Cartesian rank grid, per-step ghost
+//! (halo) exchange of boundary atoms, cell-list force evaluation with a
+//! cutoff + shifted potential, velocity-Verlet integration, and atom
+//! migration when atoms cross sub-box boundaries. Exchange and migration
+//! run dimension-by-dimension (x, then y, then z), the standard trick that
+//! lets 6 face messages cover edge/corner neighbors transitively.
+
+use crate::trace::IterTrace;
+use litempi_core::{CartComm, MpiResult, Op, Process};
+
+/// Simulation configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MdConfig {
+    /// FCC unit cells along each axis (4 atoms per cell).
+    pub cells: [usize; 3],
+    /// Rank grid (product must equal communicator size).
+    pub rank_grid: [usize; 3],
+    /// Timesteps to run.
+    pub steps: usize,
+    /// Timestep in LJ reduced units (LAMMPS default: 0.005).
+    pub dt: f64,
+    /// Interaction cutoff in σ (standard: 2.5).
+    pub cutoff: f64,
+    /// Reduced density ρ* (standard melt: 0.8442).
+    pub density: f64,
+}
+
+impl MdConfig {
+    /// A small, fast configuration for tests and examples.
+    pub fn small(rank_grid: [usize; 3]) -> MdConfig {
+        MdConfig {
+            cells: [4, 4, 4],
+            rank_grid,
+            steps: 10,
+            dt: 0.005,
+            cutoff: 2.5,
+            density: 0.8442,
+        }
+    }
+}
+
+/// Result of an MD run on one rank.
+#[derive(Debug, Clone)]
+pub struct MdReport {
+    /// Atoms owned by this rank at the end.
+    pub atoms_owned: usize,
+    /// Global atom count (must be conserved).
+    pub atoms_global: usize,
+    /// Total energy per atom at step 0.
+    pub energy_initial: f64,
+    /// Total energy per atom at the end.
+    pub energy_final: f64,
+    /// Timesteps per second (wall clock).
+    pub steps_per_sec: f64,
+    /// Communication per timestep.
+    pub trace: IterTrace,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Atom {
+    /// Position (absolute, within the global periodic box).
+    x: [f64; 3],
+    /// Velocity.
+    v: [f64; 3],
+    /// Accumulated force.
+    f: [f64; 3],
+}
+
+struct Domain {
+    cart: CartComm,
+    /// Global box lengths.
+    box_len: [f64; 3],
+    /// My sub-box bounds [lo, hi) per axis.
+    lo: [f64; 3],
+    hi: [f64; 3],
+    cutoff: f64,
+}
+
+impl Domain {
+    /// Minimum-image displacement component.
+    #[inline]
+    fn min_image(&self, mut d: f64, axis: usize) -> f64 {
+        let l = self.box_len[axis];
+        if d > 0.5 * l {
+            d -= l;
+        } else if d < -0.5 * l {
+            d += l;
+        }
+        d
+    }
+
+    /// Wrap a coordinate into the global box.
+    #[inline]
+    fn wrap(&self, x: f64, axis: usize) -> f64 {
+        let l = self.box_len[axis];
+        let mut x = x % l;
+        if x < 0.0 {
+            x += l;
+        }
+        x
+    }
+
+    /// Serialize atoms (position + velocity) for the wire.
+    fn pack(atoms: &[Atom]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(atoms.len() * 6);
+        for a in atoms {
+            out.extend_from_slice(&a.x);
+            out.extend_from_slice(&a.v);
+        }
+        out
+    }
+
+    fn unpack(wire: &[f64]) -> Vec<Atom> {
+        wire.chunks_exact(6)
+            .map(|c| Atom {
+                x: [c[0], c[1], c[2]],
+                v: [c[3], c[4], c[5]],
+                f: [0.0; 3],
+            })
+            .collect()
+    }
+
+    /// Exchange ghost atoms: positions of atoms within `cutoff` of each
+    /// face travel to the face neighbor. Dimension-by-dimension with
+    /// accumulation (received ghosts can re-travel on later axes),
+    /// covering edge/corner neighbors. On axes where the rank grid is one
+    /// wide the "neighbor" is this rank itself: periodic *images* of the
+    /// local boundary atoms are created instead (shifted by ±L so they
+    /// bin into the ghost shell), exactly as MD codes communicate with
+    /// themselves across a periodic boundary. Returns the ghost list.
+    fn ghost_exchange(&self, owned: &[Atom]) -> MpiResult<Vec<Atom>> {
+        let comm = self.cart.comm();
+        let mut ghosts: Vec<Atom> = Vec::new();
+        for axis in 0..3 {
+            // Candidates: owned atoms + ghosts received on earlier axes.
+            let mut lo_out: Vec<Atom> = Vec::new();
+            let mut hi_out: Vec<Atom> = Vec::new();
+            for a in owned.iter().chain(ghosts.iter()) {
+                // Distance to my faces, periodic-aware: an atom near the
+                // low face is needed by the -axis neighbor.
+                let d_lo = self.min_image(a.x[axis] - self.lo[axis], axis);
+                let d_hi = self.min_image(self.hi[axis] - a.x[axis], axis);
+                if (0.0..self.cutoff).contains(&d_lo) {
+                    lo_out.push(*a);
+                }
+                if (0.0..self.cutoff).contains(&d_hi) {
+                    hi_out.push(*a);
+                }
+            }
+            let (src, dst) = self.cart.shift(axis, 1); // src = -axis, dst = +axis
+            if src == comm.rank() as i32 && dst == comm.rank() as i32 {
+                // Self-exchange: periodic images across the global box.
+                let l = self.box_len[axis];
+                for mut a in lo_out {
+                    a.x[axis] += l;
+                    ghosts.push(a);
+                }
+                for mut a in hi_out {
+                    a.x[axis] -= l;
+                    ghosts.push(a);
+                }
+            } else {
+                let recv =
+                    exchange_atoms(comm, &hi_out, dst, &lo_out, src, 30 + axis as i32)?;
+                for mut a in recv {
+                    self.normalize_ghost(&mut a);
+                    ghosts.push(a);
+                }
+            }
+        }
+        Ok(ghosts)
+    }
+
+    /// Shift a received ghost by ±L per axis until it lies in the
+    /// cutoff-extended local box, so that *raw* (image-free) distances are
+    /// correct against local atoms. Ghosts crossing the global periodic
+    /// boundary arrive with far-side coordinates and need exactly one
+    /// shift; in-bulk ghosts need none.
+    fn normalize_ghost(&self, a: &mut Atom) {
+        for d in 0..3 {
+            let l = self.box_len[d];
+            while a.x[d] >= self.hi[d] + self.cutoff {
+                a.x[d] -= l;
+            }
+            while a.x[d] < self.lo[d] - self.cutoff {
+                a.x[d] += l;
+            }
+        }
+    }
+
+    /// Migrate atoms that left my sub-box to the owning neighbor,
+    /// dimension-by-dimension.
+    fn migrate(&self, owned: &mut Vec<Atom>) -> MpiResult<()> {
+        let comm = self.cart.comm();
+        for axis in 0..3 {
+            let mut stay: Vec<Atom> = Vec::with_capacity(owned.len());
+            let mut to_lo: Vec<Atom> = Vec::new();
+            let mut to_hi: Vec<Atom> = Vec::new();
+            for a in owned.drain(..) {
+                if a.x[axis] < self.lo[axis] || a.x[axis] >= self.hi[axis] {
+                    // Which direction is shorter (periodic)?
+                    let d = self.min_image(
+                        a.x[axis] - 0.5 * (self.lo[axis] + self.hi[axis]),
+                        axis,
+                    );
+                    if d < 0.0 {
+                        to_lo.push(a);
+                    } else {
+                        to_hi.push(a);
+                    }
+                } else {
+                    stay.push(a);
+                }
+            }
+            let (src, dst) = self.cart.shift(axis, 1);
+            // Send to +axis, receive from -axis (and vice versa). After a
+            // single step atoms move far less than a sub-box, so one hop
+            // per axis suffices (asserted by the caller's conservation
+            // check).
+            let from_both =
+                exchange_atoms(comm, &to_hi, dst, &to_lo, src, 40 + axis as i32)?;
+            stay.extend(from_both);
+            *owned = stay;
+        }
+        Ok(())
+    }
+}
+
+/// Pairwise neighbor exchange used by both ghost and migration phases:
+/// sends `hi_out` to `dst` and `lo_out` to `src`, returns everything
+/// received. With a periodic grid both partners always exist.
+fn exchange_atoms(
+    comm: &litempi_core::Communicator,
+    hi_out: &[Atom],
+    dst: i32,
+    lo_out: &[Atom],
+    src: i32,
+    tag: i32,
+) -> MpiResult<Vec<Atom>> {
+    // Self-exchange (1-wide grids): periodic images of my own atoms are
+    // handled by the minimum-image convention, not ghosts.
+    if dst == comm.rank() as i32 && src == comm.rank() as i32 {
+        return Ok(Vec::new());
+    }
+    let hi_wire = Domain::pack(hi_out);
+    let lo_wire = Domain::pack(lo_out);
+    // Counts first (lengths vary per step), then payloads.
+    let mut n_from_lo = [0u64; 1];
+    let mut n_from_hi = [0u64; 1];
+    comm.sendrecv(&[hi_out.len() as u64], dst, tag, &mut n_from_lo, src, tag)?;
+    comm.sendrecv(&[lo_out.len() as u64], src, tag + 100, &mut n_from_hi, dst, tag + 100)?;
+    let mut from_lo = vec![0.0f64; n_from_lo[0] as usize * 6];
+    let mut from_hi = vec![0.0f64; n_from_hi[0] as usize * 6];
+    comm.sendrecv(&hi_wire, dst, tag + 200, &mut from_lo, src, tag + 200)?;
+    comm.sendrecv(&lo_wire, src, tag + 300, &mut from_hi, dst, tag + 300)?;
+    let mut out = Domain::unpack(&from_lo);
+    out.extend(Domain::unpack(&from_hi));
+    Ok(out)
+}
+
+/// Cell-list force evaluation: bin owned+ghost atoms into cells of side
+/// ≥ cutoff and evaluate LJ forces on owned atoms from the 27 neighboring
+/// bins. Returns the potential energy attributed to owned atoms
+/// (half-counted per pair).
+fn compute_forces(domain: &Domain, owned: &mut [Atom], ghosts: &[Atom]) -> f64 {
+    let rc2 = domain.cutoff * domain.cutoff;
+    // Shifted LJ so the potential is continuous at the cutoff.
+    let shift = {
+        let inv_rc6 = 1.0 / (rc2 * rc2 * rc2);
+        4.0 * (inv_rc6 * inv_rc6 - inv_rc6)
+    };
+
+    // Build the cell grid over the ghost-extended bounding box.
+    let ext_lo: Vec<f64> = (0..3).map(|d| domain.lo[d] - domain.cutoff).collect();
+    let ext_hi: Vec<f64> = (0..3).map(|d| domain.hi[d] + domain.cutoff).collect();
+    let n_cells: Vec<usize> = (0..3)
+        .map(|d| (((ext_hi[d] - ext_lo[d]) / domain.cutoff).floor() as usize).max(1))
+        .collect();
+    let cell_len: Vec<f64> = (0..3).map(|d| (ext_hi[d] - ext_lo[d]) / n_cells[d] as f64).collect();
+    let cell_of = |x: &[f64; 3]| -> Option<usize> {
+        let mut idx = [0usize; 3];
+        for d in 0..3 {
+            // Ghosts arrive pre-normalized into the extended box; anything
+            // outside is beyond the interaction shell and is skipped.
+            let xd = x[d];
+            if xd < ext_lo[d] || xd >= ext_hi[d] {
+                return None;
+            }
+            idx[d] = (((xd - ext_lo[d]) / cell_len[d]) as usize).min(n_cells[d] - 1);
+        }
+        Some((idx[2] * n_cells[1] + idx[1]) * n_cells[0] + idx[0])
+    };
+
+    // all[i]: owned first, then ghosts. bins: cell → atom indices.
+    // Positions are snapshotted so force accumulation can borrow `owned`
+    // mutably below.
+    let n_owned = owned.len();
+    let positions: Vec<[f64; 3]> =
+        owned.iter().map(|a| a.x).chain(ghosts.iter().map(|a| a.x)).collect();
+    let mut bins: Vec<Vec<usize>> = vec![Vec::new(); n_cells[0] * n_cells[1] * n_cells[2]];
+    for (i, x) in positions.iter().enumerate() {
+        if let Some(c) = cell_of(x) {
+            bins[c].push(i);
+        }
+    }
+
+    let mut pot = 0.0;
+    for atom in owned.iter_mut() {
+        atom.f = [0.0; 3];
+    }
+    for i in 0..n_owned {
+        let xi = positions[i];
+        // Locate my cell and sweep the 27 neighbors.
+        let Some(ci) = cell_of(&xi) else { continue };
+        let cz = ci / (n_cells[0] * n_cells[1]);
+        let cy = (ci / n_cells[0]) % n_cells[1];
+        let cx = ci % n_cells[0];
+        for dz in -1i64..=1 {
+            for dy in -1i64..=1 {
+                for dx in -1i64..=1 {
+                    let nx = cx as i64 + dx;
+                    let ny = cy as i64 + dy;
+                    let nz = cz as i64 + dz;
+                    if nx < 0
+                        || ny < 0
+                        || nz < 0
+                        || nx >= n_cells[0] as i64
+                        || ny >= n_cells[1] as i64
+                        || nz >= n_cells[2] as i64
+                    {
+                        continue;
+                    }
+                    let cell = (nz as usize * n_cells[1] + ny as usize) * n_cells[0] + nx as usize;
+                    for &j in &bins[cell] {
+                        if j == i {
+                            continue;
+                        }
+                        let xj = positions[j];
+                        let mut r2 = 0.0;
+                        let mut dr = [0.0; 3];
+                        for d in 0..3 {
+                            // Raw distance: ghosts are pre-normalized to
+                            // the extended local frame, so applying the
+                            // minimum image here would alias a ghost with
+                            // its in-box original and double-count pairs.
+                            dr[d] = xi[d] - xj[d];
+                            r2 += dr[d] * dr[d];
+                        }
+                        if r2 >= rc2 || r2 < 1e-12 {
+                            continue;
+                        }
+                        let inv_r2 = 1.0 / r2;
+                        let inv_r6 = inv_r2 * inv_r2 * inv_r2;
+                        // F = 24ε(2(σ/r)^12 − (σ/r)^6)/r²·dr
+                        let fmag = 24.0 * inv_r2 * inv_r6 * (2.0 * inv_r6 - 1.0);
+                        for (fd, drd) in owned[i].f.iter_mut().zip(&dr) {
+                            *fd += fmag * drd;
+                        }
+                        // Half the pair energy to each partner.
+                        pot += 0.5 * (4.0 * (inv_r6 * inv_r6 - inv_r6) - shift);
+                    }
+                }
+            }
+        }
+    }
+    pot
+}
+
+/// Run the MD benchmark.
+pub fn run(proc: &Process, cfg: &MdConfig) -> MpiResult<MdReport> {
+    let world = proc.world();
+    let cart = CartComm::create(&world, &cfg.rank_grid, &[true, true, true])?
+        .expect("all ranks in grid");
+
+    // FCC lattice constant from the reduced density: 4 atoms per a³.
+    let a = (4.0 / cfg.density).cbrt();
+    let box_len = [
+        cfg.cells[0] as f64 * a,
+        cfg.cells[1] as f64 * a,
+        cfg.cells[2] as f64 * a,
+    ];
+    let coords = cart.coords_of(cart.rank());
+    let mut lo = [0.0; 3];
+    let mut hi = [0.0; 3];
+    for d in 0..3 {
+        lo[d] = box_len[d] * coords[d] as f64 / cfg.rank_grid[d] as f64;
+        hi[d] = box_len[d] * (coords[d] + 1) as f64 / cfg.rank_grid[d] as f64;
+        let width = hi[d] - lo[d];
+        assert!(
+            width >= cfg.cutoff,
+            "sub-box ({width:.3}) narrower than cutoff on axis {d}; use fewer ranks"
+        );
+    }
+    let domain = Domain { cart, box_len, lo, hi, cutoff: cfg.cutoff };
+
+    // FCC basis within each unit cell.
+    const BASIS: [[f64; 3]; 4] =
+        [[0.0, 0.0, 0.0], [0.5, 0.5, 0.0], [0.5, 0.0, 0.5], [0.0, 0.5, 0.5]];
+    let mut owned: Vec<Atom> = Vec::new();
+    let mut atom_id: u64 = 0;
+    for cz in 0..cfg.cells[2] {
+        for cy in 0..cfg.cells[1] {
+            for cx in 0..cfg.cells[0] {
+                for b in BASIS {
+                    let x = [
+                        (cx as f64 + b[0]) * a,
+                        (cy as f64 + b[1]) * a,
+                        (cz as f64 + b[2]) * a,
+                    ];
+                    atom_id += 1;
+                    let inside =
+                        (0..3).all(|d| x[d] >= domain.lo[d] && x[d] < domain.hi[d]);
+                    if inside {
+                        // Deterministic per-atom velocity from a hash of
+                        // the id (reproducible across decompositions).
+                        let mut h = atom_id.wrapping_mul(0x9E3779B97F4A7C15);
+                        let mut rand = || {
+                            h ^= h << 13;
+                            h ^= h >> 7;
+                            h ^= h << 17;
+                            (h >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+                        };
+                        owned.push(Atom {
+                            x,
+                            v: [rand() * 0.5, rand() * 0.5, rand() * 0.5],
+                            f: [0.0; 3],
+                        });
+                    }
+                }
+            }
+        }
+    }
+    let atoms_global_expected = 4 * cfg.cells.iter().product::<usize>();
+
+    let comm = domain.cart.comm();
+    let energy_per_atom = |owned: &mut Vec<Atom>, domain: &Domain| -> MpiResult<f64> {
+        let ghosts = domain.ghost_exchange(owned)?;
+        let pot = compute_forces(domain, owned, &ghosts);
+        let kin: f64 =
+            owned.iter().map(|a| 0.5 * (a.v[0].powi(2) + a.v[1].powi(2) + a.v[2].powi(2))).sum();
+        let totals = comm.allreduce(&[pot + kin, owned.len() as f64], &Op::Sum)?;
+        Ok(totals[0] / totals[1])
+    };
+
+    let energy_initial = energy_per_atom(&mut owned, &domain)?;
+
+    let stats_before = proc.comm_stats();
+    let t0 = std::time::Instant::now();
+    for _ in 0..cfg.steps {
+        // Velocity Verlet: half kick, drift, force, half kick.
+        for atom in owned.iter_mut() {
+            for d in 0..3 {
+                atom.v[d] += 0.5 * cfg.dt * atom.f[d];
+                atom.x[d] = domain.wrap(atom.x[d] + cfg.dt * atom.v[d], d);
+            }
+        }
+        domain.migrate(&mut owned)?;
+        let ghosts = domain.ghost_exchange(&owned)?;
+        compute_forces(&domain, &mut owned, &ghosts);
+        for atom in owned.iter_mut() {
+            for d in 0..3 {
+                atom.v[d] += 0.5 * cfg.dt * atom.f[d];
+            }
+        }
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let stats_after = proc.comm_stats();
+
+    let energy_final = energy_per_atom(&mut owned, &domain)?;
+    let counts = comm.allreduce(&[owned.len() as u64], &Op::Sum)?;
+    Ok(MdReport {
+        atoms_owned: owned.len(),
+        atoms_global: counts[0] as usize,
+        energy_initial,
+        energy_final,
+        steps_per_sec: cfg.steps as f64 / elapsed.max(1e-9),
+        trace: IterTrace::from_snapshots(stats_before, stats_after, cfg.steps.max(1)),
+    })
+    .inspect(|r| {
+        debug_assert_eq!(r.atoms_global, atoms_global_expected, "atoms lost or duplicated")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use litempi_core::Universe;
+
+    #[test]
+    fn single_rank_conserves_energy_and_atoms() {
+        let out = Universe::run_default(1, |proc| {
+            run(&proc, &MdConfig::small([1, 1, 1])).unwrap()
+        });
+        let r = &out[0];
+        assert_eq!(r.atoms_global, 256);
+        assert_eq!(r.atoms_owned, 256);
+        let drift = (r.energy_final - r.energy_initial).abs()
+            / r.energy_initial.abs().max(1e-9);
+        assert!(drift < 0.02, "energy drift {drift}");
+    }
+
+    #[test]
+    fn two_rank_decomposition_conserves() {
+        let out = Universe::run_default(2, |proc| {
+            run(&proc, &MdConfig::small([2, 1, 1])).unwrap()
+        });
+        for r in &out {
+            assert_eq!(r.atoms_global, 256, "atom count conserved");
+            let drift = (r.energy_final - r.energy_initial).abs()
+                / r.energy_initial.abs().max(1e-9);
+            assert!(drift < 0.02, "energy drift {drift}");
+            assert!(r.trace.msgs_per_iter > 0.0, "halo exchange must communicate");
+        }
+    }
+
+    #[test]
+    fn parallel_energy_matches_serial() {
+        let serial = Universe::run_default(1, |proc| {
+            run(&proc, &MdConfig::small([1, 1, 1])).unwrap()
+        });
+        let par = Universe::run_default(4, |proc| {
+            run(&proc, &MdConfig::small([2, 2, 1])).unwrap()
+        });
+        // Initial energies must agree to near machine precision (identical
+        // lattice + velocities, order-independent to first order).
+        let e_serial = serial[0].energy_initial;
+        let e_par = par[0].energy_initial;
+        assert!(
+            (e_serial - e_par).abs() / e_serial.abs() < 1e-9,
+            "initial energy: serial {e_serial} vs parallel {e_par}"
+        );
+    }
+
+    #[test]
+    fn eight_rank_3d_grid() {
+        let out = Universe::run_default(8, |proc| {
+            let cfg = MdConfig { cells: [6, 6, 6], steps: 4, ..MdConfig::small([2, 2, 2]) };
+            run(&proc, &cfg).unwrap()
+        });
+        for r in &out {
+            assert_eq!(r.atoms_global, 4 * 6 * 6 * 6);
+        }
+        let total_owned: usize = out.iter().map(|r| r.atoms_owned).sum();
+        assert_eq!(total_owned, 4 * 6 * 6 * 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "narrower than cutoff")]
+    fn overdecomposition_is_rejected() {
+        Universe::run_default(4, |proc| {
+            // 2 cells over 4 ranks on x → sub-box < cutoff.
+            let cfg = MdConfig { cells: [2, 4, 4], ..MdConfig::small([4, 1, 1]) };
+            run(&proc, &cfg).unwrap()
+        });
+    }
+}

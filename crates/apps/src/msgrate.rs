@@ -1,0 +1,155 @@
+//! The paper's §4.2 microbenchmark: single-core message-issue rate.
+//!
+//! "The benchmark is designed to demonstrate the maximum rate at which a
+//! single core can inject data into the network. All performance numbers
+//! are shown for a single byte of data transfer." Rank 0 issues a batch of
+//! 1-byte operations as fast as it can; this module reports both the
+//! wall-clock rate (host-machine relative numbers) and the *instructions
+//! per operation* (the paper's platform-independent quantity, which the
+//! rate figures derive from).
+
+use litempi_core::{waitall, Communicator, MpiResult, Process, Window};
+use litempi_instr::counter;
+use std::time::Instant;
+
+/// Result of one message-rate measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateReport {
+    /// Operations issued.
+    pub ops: usize,
+    /// Wall-clock operations per second on the host machine.
+    pub wall_rate: f64,
+    /// Measured injection-path instructions per operation.
+    pub instr_per_op: f64,
+}
+
+/// `MPI_ISEND` issue rate: rank 0 fires `ops` one-byte sends at rank 1 in
+/// windows of `window`, waiting per window; rank 1 sinks them. Returns a
+/// report on rank 0, `None` elsewhere.
+pub fn isend_rate(
+    _proc: &Process,
+    comm: &Communicator,
+    ops: usize,
+    window: usize,
+) -> MpiResult<Option<RateReport>> {
+    assert!(comm.size() >= 2, "need a sink rank");
+    let me = comm.rank();
+    comm.barrier()?;
+    let out = if me == 0 {
+        let data = [1u8];
+        counter::reset();
+        let probe = counter::probe();
+        let t0 = Instant::now();
+        let mut issued = 0;
+        while issued < ops {
+            let batch = window.min(ops - issued);
+            let reqs: Vec<_> =
+                (0..batch).map(|_| comm.isend(&data, 1, 0)).collect::<MpiResult<_>>()?;
+            waitall(reqs)?;
+            issued += batch;
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        let report = probe.finish();
+        Some(RateReport {
+            ops,
+            wall_rate: ops as f64 / dt.max(1e-12),
+            instr_per_op: report.injection_total() as f64 / ops as f64,
+        })
+    } else if me == 1 {
+        let mut buf = [0u8; 1];
+        for _ in 0..ops {
+            comm.recv_into(&mut buf, 0, 0)?;
+        }
+        None
+    } else {
+        None
+    };
+    comm.barrier()?;
+    Ok(out)
+}
+
+/// `MPI_PUT` issue rate under one fence epoch pair.
+pub fn put_rate(
+    proc: &Process,
+    comm: &Communicator,
+    ops: usize,
+) -> MpiResult<Option<RateReport>> {
+    assert!(comm.size() >= 2, "need a target rank");
+    let win = Window::create(comm, 8, 1)?;
+    win.fence()?;
+    let out = if comm.rank() == 0 {
+        let data = [1u8];
+        counter::reset();
+        let probe = counter::probe();
+        let t0 = Instant::now();
+        for _ in 0..ops {
+            win.put(&data, 1, 0)?;
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        let report = probe.finish();
+        Some(RateReport {
+            ops,
+            wall_rate: ops as f64 / dt.max(1e-12),
+            instr_per_op: report.injection_total() as f64 / ops as f64,
+        })
+    } else {
+        None
+    };
+    win.fence()?;
+    let _ = proc;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use litempi_core::{BuildConfig, Universe};
+    use litempi_fabric::{ProviderProfile, Topology};
+
+    #[test]
+    fn isend_rate_reports_paper_instruction_count() {
+        let out = Universe::run_default(2, |proc| {
+            let world = proc.world();
+            isend_rate(&proc, &world, 100, 16).unwrap()
+        });
+        let r = out[0].unwrap();
+        assert_eq!(r.ops, 100);
+        assert!(r.wall_rate > 0.0);
+        // Default ch4 build: 221 instructions per isend, exactly.
+        assert!((r.instr_per_op - 221.0).abs() < 1e-9, "{}", r.instr_per_op);
+        assert!(out[1].is_none());
+    }
+
+    #[test]
+    fn put_rate_reports_paper_instruction_count() {
+        let out = Universe::run_default(2, |proc| {
+            let world = proc.world();
+            put_rate(&proc, &world, 50).unwrap()
+        });
+        let r = out[0].unwrap();
+        assert!((r.instr_per_op - 215.0).abs() < 1e-9, "{}", r.instr_per_op);
+    }
+
+    #[test]
+    fn optimized_build_is_cheaper_per_op() {
+        let per_op = |config: BuildConfig| {
+            let out = Universe::run(
+                2,
+                config,
+                ProviderProfile::infinite(),
+                Topology::single_node(2),
+                |proc| {
+                    let world = proc.world();
+                    isend_rate(&proc, &world, 64, 8).unwrap()
+                },
+            );
+            out[0].unwrap().instr_per_op
+        };
+        let default = per_op(BuildConfig::ch4_default());
+        let ipo = per_op(BuildConfig::ch4_no_err_single_ipo());
+        let original = per_op(BuildConfig::original());
+        assert_eq!(default, 221.0);
+        assert_eq!(ipo, 59.0);
+        assert_eq!(original, 253.0);
+    }
+}

@@ -1,0 +1,54 @@
+//! Per-iteration communication traces.
+//!
+//! The performance models in `litempi-model` need to know how much
+//! communication one application iteration performs per rank. Rather than
+//! hand-count, the apps diff the fabric's hardware-style traffic counters
+//! around a measured phase.
+
+use litempi_fabric::stats::StatsSnapshot;
+
+/// Communication performed per iteration by one rank.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct IterTrace {
+    /// Two-sided messages injected per iteration.
+    pub msgs_per_iter: f64,
+    /// Payload bytes injected per iteration.
+    pub bytes_per_iter: f64,
+    /// One-sided operations per iteration.
+    pub rdma_per_iter: f64,
+}
+
+impl IterTrace {
+    /// Build a trace from two counter snapshots spanning `iters` iterations.
+    pub fn from_snapshots(before: StatsSnapshot, after: StatsSnapshot, iters: usize) -> IterTrace {
+        assert!(iters > 0, "trace needs at least one iteration");
+        let d = after.diff(&before);
+        IterTrace {
+            msgs_per_iter: (d.msgs_sent + d.am_sent) as f64 / iters as f64,
+            bytes_per_iter: d.bytes_sent as f64 / iters as f64,
+            rdma_per_iter: (d.rdma_puts + d.rdma_gets + d.rdma_atomics) as f64 / iters as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diff_and_divide() {
+        let before = StatsSnapshot { msgs_sent: 10, bytes_sent: 1000, ..Default::default() };
+        let after = StatsSnapshot { msgs_sent: 34, bytes_sent: 4000, ..Default::default() };
+        let t = IterTrace::from_snapshots(before, after, 8);
+        assert_eq!(t.msgs_per_iter, 3.0);
+        assert_eq!(t.bytes_per_iter, 375.0);
+        assert_eq!(t.rdma_per_iter, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one iteration")]
+    fn zero_iters_panics() {
+        let s = StatsSnapshot::default();
+        let _ = IterTrace::from_snapshots(s, s, 0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! rank-map representations (direct table vs compressed stride — the
+//! Guo-et-al. trade the paper's §3.1 cites), request allocation strategy
+//! (per-op heap box, as in CH3, vs inline state, as in CH4), and group
+//! compression detection cost.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use litempi_core::Group;
+use std::time::Duration;
+
+fn bench_rankmap_translation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rankmap_translate");
+    g.sample_size(20).measurement_time(Duration::from_secs(1));
+    let n = 4096usize;
+    let identity = Group::world(n);
+    let strided = Group::from_world_ranks(
+        &(0..n as u32 / 2).map(|r| r * 2).collect::<Vec<_>>(),
+    );
+    let irregular = {
+        // A pseudo-random permutation subset: defeats compression.
+        let mut ranks: Vec<u32> = (0..n as u32 / 2).map(|r| (r * 2654435761) % n as u32).collect();
+        ranks.sort_unstable();
+        ranks.dedup();
+        Group::from_world_ranks(&ranks)
+    };
+    for (label, group) in
+        [("identity", &identity), ("strided", &strided), ("irregular", &irregular)]
+    {
+        let size = group.size();
+        g.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for r in 0..size {
+                    acc = acc.wrapping_add(group.world_rank(black_box(r)));
+                }
+                black_box(acc)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_rankmap_inverse(c: &mut Criterion) {
+    // The inverse lookup (world → local), used on the receive side:
+    // O(1) for compressed maps, O(P) scan for the direct table — the
+    // memory/instruction trade from the paper's §3.1 discussion.
+    let mut g = c.benchmark_group("rankmap_inverse");
+    g.sample_size(20).measurement_time(Duration::from_secs(1));
+    let n = 4096usize;
+    let strided =
+        Group::from_world_ranks(&(0..n as u32 / 2).map(|r| r * 2).collect::<Vec<_>>());
+    let irregular = {
+        let mut ranks: Vec<u32> =
+            (0..n as u32 / 2).map(|r| (r * 2654435761) % n as u32).collect();
+        ranks.sort_unstable();
+        ranks.dedup();
+        Group::from_world_ranks(&ranks)
+    };
+    for (label, group) in [("strided", &strided), ("irregular", &irregular)] {
+        g.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for w in (0..n).step_by(64) {
+                    if group.local_rank(black_box(w)).is_some() {
+                        hits += 1;
+                    }
+                }
+                black_box(hits)
+            });
+        });
+    }
+    g.finish();
+}
+
+/// CH3 allocates a request object per operation; CH4 completes eager
+/// sends with inline state. This ablation isolates that allocation.
+fn bench_request_allocation(c: &mut Criterion) {
+    struct SendDesc {
+        _bits: u64,
+        _dst: usize,
+        _len: usize,
+    }
+    let mut g = c.benchmark_group("request_allocation");
+    g.sample_size(20).measurement_time(Duration::from_secs(1));
+    g.bench_function("boxed_per_op (ch3-style)", |b| {
+        b.iter(|| {
+            let d = Box::new(SendDesc { _bits: black_box(1), _dst: 2, _len: 3 });
+            black_box(d)
+        });
+    });
+    g.bench_function("inline (ch4-style)", |b| {
+        b.iter(|| {
+            let d = SendDesc { _bits: black_box(1), _dst: 2, _len: 3 };
+            black_box(d)
+        });
+    });
+    g.finish();
+}
+
+fn bench_group_compression(c: &mut Criterion) {
+    let mut g = c.benchmark_group("group_compression_detect");
+    g.sample_size(20).measurement_time(Duration::from_secs(1));
+    let n = 8192u32;
+    let strided: Vec<u32> = (0..n / 2).map(|r| r * 2).collect();
+    let irregular: Vec<u32> = {
+        let mut v: Vec<u32> = (0..n / 2).map(|r| (r * 2654435761) % n).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    g.bench_function("strided_detected", |b| {
+        b.iter(|| black_box(Group::from_world_ranks(black_box(&strided))));
+    });
+    g.bench_function("irregular_table", |b| {
+        b.iter(|| black_box(Group::from_world_ranks(black_box(&irregular))));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_rankmap_translation,
+    bench_rankmap_inverse,
+    bench_request_allocation,
+    bench_group_compression
+);
+criterion_main!(benches);

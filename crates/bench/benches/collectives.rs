@@ -1,0 +1,65 @@
+//! Collective-algorithm benchmarks at small rank counts (the machine-
+//! independent layer of Fig 1): barrier, bcast, allreduce, allgather,
+//! alltoall.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use litempi_core::{BuildConfig, Op, Universe};
+use litempi_fabric::{ProviderProfile, Topology};
+use std::time::{Duration, Instant};
+
+fn coll_batch(n: usize, iters: u64, op: &'static str) -> Duration {
+    let out = Universe::run(
+        n,
+        BuildConfig::ch4_default(),
+        ProviderProfile::infinite(),
+        Topology::single_node(n),
+        move |proc| {
+            let world = proc.world();
+            let mine = [proc.rank() as u64, 1, 2, 3];
+            let t0 = Instant::now();
+            for _ in 0..iters.max(1) {
+                match op {
+                    "barrier" => world.barrier().unwrap(),
+                    "bcast" => {
+                        let mut buf = mine;
+                        world.bcast(&mut buf, 0).unwrap();
+                    }
+                    "allreduce" => {
+                        world.allreduce(&mine, &Op::Sum).unwrap();
+                    }
+                    "allgather" => {
+                        world.allgather(&mine).unwrap();
+                    }
+                    "alltoall" => {
+                        let send = vec![proc.rank() as u64; n];
+                        world.alltoall(&send, 1).unwrap();
+                    }
+                    other => panic!("unknown op {other}"),
+                }
+            }
+            let dt = t0.elapsed();
+            if proc.rank() == 0 {
+                Some(dt)
+            } else {
+                None
+            }
+        },
+    );
+    out.into_iter().flatten().next().unwrap()
+}
+
+fn bench_collectives(c: &mut Criterion) {
+    for op in ["barrier", "bcast", "allreduce", "allgather", "alltoall"] {
+        let mut g = c.benchmark_group(format!("coll_{op}"));
+        g.sample_size(10).measurement_time(Duration::from_secs(2));
+        for n in [2usize, 4, 8] {
+            g.bench_function(BenchmarkId::from_parameter(n), |b| {
+                b.iter_custom(|iters| coll_batch(n, iters, op));
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_collectives);
+criterion_main!(benches);

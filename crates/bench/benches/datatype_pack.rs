@@ -1,0 +1,84 @@
+//! Datatype-engine benchmarks: pack/unpack throughput for the layout
+//! families, and the cost of the runtime datatype-size lookup the paper's
+//! "redundant runtime checks" row pays (Class 2 vs Class 3 usage, §2.2).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use litempi_datatype::{pack, ArrayOrder, Datatype};
+use std::time::Duration;
+
+fn bench_pack_layouts(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pack_4kib_data");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+
+    // 4 KiB of payload through different layout shapes.
+    let contig = Datatype::contiguous(512, &Datatype::DOUBLE).unwrap().commit();
+    let vector = Datatype::vector(256, 2, 4, &Datatype::DOUBLE).unwrap().commit();
+    let indexed = {
+        let blocklens: Vec<usize> = (0..128).map(|_| 4).collect();
+        let displs: Vec<isize> = (0..128).map(|i| i * 8).collect();
+        Datatype::indexed(&blocklens, &displs, &Datatype::DOUBLE).unwrap().commit()
+    };
+    let subarray =
+        Datatype::subarray(&[64, 64], &[32, 16], &[8, 8], ArrayOrder::C, &Datatype::DOUBLE)
+            .unwrap()
+            .commit();
+
+    for (label, ty) in [
+        ("contiguous", &contig),
+        ("vector", &vector),
+        ("indexed", &indexed),
+        ("subarray", &subarray),
+    ] {
+        let src = vec![0xA5u8; pack::span(ty, 1).max(64 * 64 * 8)];
+        g.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| black_box(pack::pack(ty, 1, black_box(&src))));
+        });
+    }
+    g.finish();
+}
+
+fn bench_unpack(c: &mut Criterion) {
+    let mut g = c.benchmark_group("unpack_4kib_data");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+    let vector = Datatype::vector(256, 2, 4, &Datatype::DOUBLE).unwrap().commit();
+    let src = vec![0xA5u8; pack::span(&vector, 1)];
+    let wire = pack::pack(&vector, 1, &src);
+    g.bench_function("vector", |b| {
+        let mut dst = vec![0u8; src.len()];
+        b.iter(|| {
+            pack::unpack(&vector, 1, black_box(&wire), black_box(&mut dst));
+        });
+    });
+    g.finish();
+}
+
+fn bench_size_lookup(c: &mut Criterion) {
+    // The "redundant runtime check": computing count*size through a
+    // runtime handle vs a compile-time-known type (what IPO removes).
+    let mut g = c.benchmark_group("datatype_size_lookup");
+    g.sample_size(20).measurement_time(Duration::from_secs(1));
+    let runtime_handle = Datatype::DOUBLE; // paper's Class-3: opaque at call site
+    g.bench_function("runtime_handle", |b| {
+        b.iter(|| black_box(black_box(&runtime_handle).size() * black_box(1000)));
+    });
+    g.bench_function("compile_time_constant", |b| {
+        b.iter(|| black_box(8usize * black_box(1000)));
+    });
+    g.finish();
+}
+
+fn bench_commit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("type_commit");
+    g.sample_size(20).measurement_time(Duration::from_secs(1));
+    g.bench_function("vector_1k_blocks", |b| {
+        b.iter(|| {
+            black_box(
+                Datatype::vector(1024, 2, 4, &Datatype::DOUBLE).unwrap().commit(),
+            )
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pack_layouts, bench_unpack, bench_size_lookup, bench_commit);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Wall-clock comparison of classic vs §3 extension send paths on the
+//! fully optimized build — the real-time companion to Fig 6's modeled
+//! ladder.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use litempi_core::{BuildConfig, Universe};
+use litempi_fabric::{ProviderProfile, Topology};
+use std::time::{Duration, Instant};
+
+#[derive(Clone, Copy)]
+enum Variant {
+    Classic,
+    Global,
+    NoMatch,
+    NoReq,
+    AllOpts,
+}
+
+fn ext_batch(variant: Variant, iters: u64) -> Duration {
+    let out = Universe::run(
+        2,
+        BuildConfig::ch4_no_err_single_ipo(),
+        ProviderProfile::infinite(),
+        Topology::single_node(2),
+        move |proc| {
+            let world = proc.world();
+            let data = [1u8];
+            if proc.rank() == 0 {
+                let t0 = Instant::now();
+                for _ in 0..iters.max(1) {
+                    match variant {
+                        Variant::Classic => {
+                            world.isend(&data, 1, 0).unwrap().wait().unwrap();
+                        }
+                        Variant::Global => {
+                            world.isend_global(&data, 1, 0).unwrap().wait().unwrap();
+                        }
+                        Variant::NoMatch => {
+                            world.isend_nomatch(&data, 1).unwrap().wait().unwrap();
+                        }
+                        Variant::NoReq => {
+                            world.isend_noreq(&data, 1, 0).unwrap();
+                        }
+                        Variant::AllOpts => {
+                            world.isend_all_opts(&data, 1).unwrap();
+                        }
+                    }
+                }
+                if matches!(variant, Variant::NoReq | Variant::AllOpts) {
+                    world.comm_waitall().unwrap();
+                }
+                let dt = t0.elapsed();
+                world.barrier().unwrap();
+                Some(dt)
+            } else {
+                let mut buf = [0u8; 1];
+                for _ in 0..iters.max(1) {
+                    match variant {
+                        Variant::Classic | Variant::Global | Variant::NoReq => {
+                            world.recv_into(&mut buf, 0, 0).unwrap();
+                        }
+                        Variant::NoMatch | Variant::AllOpts => {
+                            world.recv_nomatch(&mut buf).unwrap();
+                        }
+                    }
+                }
+                world.barrier().unwrap();
+                None
+            }
+        },
+    );
+    out.into_iter().flatten().next().unwrap()
+}
+
+fn bench_extensions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ext_send_paths");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    for (label, v) in [
+        ("classic_isend", Variant::Classic),
+        ("isend_global", Variant::Global),
+        ("isend_nomatch", Variant::NoMatch),
+        ("isend_noreq", Variant::NoReq),
+        ("isend_all_opts", Variant::AllOpts),
+    ] {
+        g.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter_custom(|iters| ext_batch(v, iters));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_extensions);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Wall-clock microbenchmarks of the real `MPI_ISEND` critical path —
+//! the uncalibrated complement to the modeled instruction counts: if the
+//! CH4 path were not actually leaner, these numbers would say so.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use litempi_core::{BuildConfig, Universe};
+use litempi_fabric::{ProviderProfile, Topology};
+use std::time::{Duration, Instant};
+
+/// Time `iters` eager sends (plus matching receives on the peer).
+fn send_batch(config: BuildConfig, iters: u64, payload: usize) -> Duration {
+    let out = Universe::run(
+        2,
+        config,
+        ProviderProfile::infinite(),
+        Topology::single_node(2),
+        move |proc| {
+            let world = proc.world();
+            let data = vec![7u8; payload];
+            if proc.rank() == 0 {
+                let t0 = Instant::now();
+                for _ in 0..iters {
+                    world.isend(&data, 1, 0).unwrap().wait().unwrap();
+                }
+                let dt = t0.elapsed();
+                world.barrier().unwrap();
+                Some(dt)
+            } else {
+                let mut buf = vec![0u8; payload];
+                for _ in 0..iters {
+                    world.recv_into(&mut buf, 0, 0).unwrap();
+                }
+                world.barrier().unwrap();
+                None
+            }
+        },
+    );
+    out.into_iter().flatten().next().unwrap()
+}
+
+fn bench_builds(c: &mut Criterion) {
+    let mut g = c.benchmark_group("isend_1byte");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    for (label, cfg) in [
+        ("original", BuildConfig::original()),
+        ("ch4_default", BuildConfig::ch4_default()),
+        ("ch4_ipo", BuildConfig::ch4_no_err_single_ipo()),
+    ] {
+        g.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter_custom(|iters| send_batch(cfg, iters.max(1), 1));
+        });
+    }
+    g.finish();
+}
+
+fn bench_payload_sweep(c: &mut Criterion) {
+    // Crossing the eager threshold (16 KiB on the OFI profile) flips the
+    // protocol to rendezvous; the sweep shows the per-byte vs per-message
+    // regimes.
+    let mut g = c.benchmark_group("isend_payload_sweep");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    for payload in [1usize, 256, 4096, 65536] {
+        g.bench_function(BenchmarkId::from_parameter(payload), |b| {
+            b.iter_custom(|iters| {
+                let out = Universe::run(
+                    2,
+                    BuildConfig::ch4_default(),
+                    ProviderProfile::ofi(),
+                    Topology::one_per_node(2),
+                    move |proc| {
+                        let world = proc.world();
+                        let data = vec![7u8; payload];
+                        if proc.rank() == 0 {
+                            let t0 = Instant::now();
+                            for _ in 0..iters.max(1) {
+                                world.isend(&data, 1, 0).unwrap().wait().unwrap();
+                            }
+                            Some(t0.elapsed())
+                        } else {
+                            let mut buf = vec![0u8; payload];
+                            for _ in 0..iters.max(1) {
+                                world.recv_into(&mut buf, 0, 0).unwrap();
+                            }
+                            None
+                        }
+                    },
+                );
+                out.into_iter().flatten().next().unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_builds, bench_payload_sweep);
+criterion_main!(benches);

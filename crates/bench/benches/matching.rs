@@ -1,0 +1,110 @@
+//! Matching-engine microbenchmarks: posted-queue and unexpected-queue
+//! search costs as queue depth grows — the mechanism behind the
+//! `q·P` matching term in the Fig 8 model (CH3-era single-queue matching
+//! degrades at scale; cf. the "matching misery" literature the paper
+//! cites).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use litempi_core::{BuildConfig, Universe};
+use litempi_fabric::{ProviderProfile, Topology};
+use std::time::{Duration, Instant};
+
+/// Depth-`depth` unexpected queue: rank 0 sends `depth` non-matching
+/// messages, then the timed message; rank 1's receive must scan past the
+/// queue to find it.
+fn unexpected_depth(depth: usize, iters: u64) -> Duration {
+    let out = Universe::run(
+        2,
+        BuildConfig::ch4_default(),
+        ProviderProfile::infinite(),
+        Topology::single_node(2),
+        move |proc| {
+            let world = proc.world();
+            if proc.rank() == 0 {
+                for round in 0..iters.max(1) {
+                    let _ = round;
+                    for t in 0..depth as i32 {
+                        world.isend(&[0u8], 1, 1000 + t).unwrap().wait().unwrap();
+                    }
+                    world.isend(&[1u8], 1, 7).unwrap().wait().unwrap();
+                    world.barrier().unwrap();
+                }
+                None
+            } else {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters.max(1) {
+                    // Let the queue build up.
+                    while world.iprobe(0, 7).unwrap().is_none() {
+                        std::thread::yield_now();
+                    }
+                    let mut buf = [0u8; 1];
+                    let t0 = Instant::now();
+                    world.recv_into(&mut buf, 0, 7).unwrap();
+                    total += t0.elapsed();
+                    // Drain the decoys.
+                    for t in 0..depth as i32 {
+                        world.recv_into(&mut buf, 0, 1000 + t).unwrap();
+                    }
+                    world.barrier().unwrap();
+                }
+                Some(total)
+            }
+        },
+    );
+    out.into_iter().flatten().next().unwrap()
+}
+
+fn bench_unexpected_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("recv_vs_unexpected_depth");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    for depth in [0usize, 16, 128, 512] {
+        g.bench_function(BenchmarkId::from_parameter(depth), |b| {
+            b.iter_custom(|iters| unexpected_depth(depth, iters));
+        });
+    }
+    g.finish();
+}
+
+/// Wildcard receives are the worst case for match-bit filtering.
+fn bench_wildcard_vs_exact(c: &mut Criterion) {
+    let mut g = c.benchmark_group("match_wildcard_vs_exact");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    for (label, any) in [("exact", false), ("wildcard", true)] {
+        g.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter_custom(|iters| {
+                let out = Universe::run(
+                    2,
+                    BuildConfig::ch4_default(),
+                    ProviderProfile::infinite(),
+                    Topology::single_node(2),
+                    move |proc| {
+                        let world = proc.world();
+                        if proc.rank() == 0 {
+                            for _ in 0..iters.max(1) {
+                                world.isend(&[1u8], 1, 3).unwrap().wait().unwrap();
+                            }
+                            None
+                        } else {
+                            let (src, tag) = if any {
+                                (litempi_core::ANY_SOURCE, litempi_core::ANY_TAG)
+                            } else {
+                                (0, 3)
+                            };
+                            let mut buf = [0u8; 1];
+                            let t0 = Instant::now();
+                            for _ in 0..iters.max(1) {
+                                world.recv_into(&mut buf, src, tag).unwrap();
+                            }
+                            Some(t0.elapsed())
+                        }
+                    },
+                );
+                out.into_iter().flatten().next().unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_unexpected_queue, bench_wildcard_vs_exact);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Reproduce **Figure 2**: MPI instruction counts across the five builds
+//! (MPICH/Original → CH4 default → no-err → no-thread-check → IPO).
+
+use litempi_bench::figs;
+
+fn main() {
+    let series = figs::fig2();
+    println!("Figure 2: MPI instruction counts");
+    println!("================================");
+    let max = series.iter().map(|(_, _, p)| *p).max().unwrap() as f64;
+    println!("{:<32} {:>9} {:>9}", "build", "MPI_Isend", "MPI_Put");
+    for (label, isend, put) in &series {
+        println!("{label:<32} {isend:>9} {put:>9}");
+        println!("  isend |{}", figs::bar(*isend as f64, max, 56));
+        println!("  put   |{}", figs::bar(*put as f64, max, 56));
+    }
+    println!();
+    println!("Paper reference bars: 253/1342, 221/215, 147/143, 141/129, 59/44.");
+}

@@ -1,0 +1,55 @@
+//! OSU-style microbenchmarks (latency / bandwidth) across devices —
+//! wall-clock numbers from the real code paths, complementing the modeled
+//! message-rate figures.
+
+use litempi_apps::pingpong;
+use litempi_core::{BuildConfig, Universe};
+use litempi_fabric::{ProviderProfile, Topology};
+
+fn main() {
+    let sizes = [1usize, 64, 1024, 16 * 1024, 256 * 1024];
+    println!("osu_latency-style half-round-trip (us), 2 ranks, in-process fabric");
+    println!("{:>10} {:>14} {:>14}", "bytes", "original", "ch4");
+    let lat = |config: BuildConfig| {
+        Universe::run(
+            2,
+            config,
+            ProviderProfile::ofi(),
+            Topology::one_per_node(2),
+            move |proc| {
+                let world = proc.world();
+                pingpong::latency(&proc, &world, &sizes, 200).unwrap()
+            },
+        )
+        .remove(0)
+    };
+    let orig = lat(BuildConfig::original());
+    let ch4 = lat(BuildConfig::ch4_default());
+    for (o, c) in orig.iter().zip(&ch4) {
+        println!("{:>10} {:>14.2} {:>14.2}", o.bytes, o.value, c.value);
+    }
+
+    println!();
+    println!("osu_bw-style windowed bandwidth (MiB/s), window 32");
+    println!("{:>10} {:>14}", "bytes", "ch4");
+    let bw = Universe::run(
+        2,
+        BuildConfig::ch4_default(),
+        ProviderProfile::ofi(),
+        Topology::one_per_node(2),
+        move |proc| {
+            let world = proc.world();
+            pingpong::bandwidth(&proc, &world, &sizes, 32, 20).unwrap()
+        },
+    )
+    .remove(0);
+    for p in &bw {
+        println!("{:>10} {:>14.1}", p.bytes, p.value);
+    }
+    println!();
+    println!(
+        "Note: these are wall-clock numbers of the simulation running on the \
+         host CPU — useful for relative comparisons (device vs device, size \
+         scaling), not as absolute fabric performance."
+    );
+}

@@ -1,0 +1,29 @@
+//! Run every table/figure reproduction in sequence (the artifact's
+//! one-shot evaluation driver). Output is the concatenation of the
+//! individual binaries' reports.
+
+fn main() {
+    let bins = [
+        "table1",
+        "fig2_instr_counts",
+        "fig3_ofi_rates",
+        "fig4_ucx_rates",
+        "fig5_infinite_rates",
+        "fig6_extensions",
+        "fig7_nek",
+        "fig7_smallscale",
+        "fig8_lammps",
+        "osu_micro",
+    ];
+    let me = std::env::current_exe().expect("own path");
+    let dir = me.parent().expect("bin dir");
+    for bin in bins {
+        println!();
+        println!("######## {bin} ########");
+        let status = std::process::Command::new(dir.join(bin))
+            .arg("--savings")
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} failed");
+    }
+}

@@ -1,0 +1,244 @@
+//! Figure-series builders: one function per table/figure of the paper.
+//!
+//! Each builder measures the live implementation (via [`crate::measure`])
+//! and, where the paper's axis is a rate or an application metric, folds
+//! in the fabric cost model or the BG/Q application models. Binaries under
+//! `src/bin/` print these series as aligned text tables.
+
+use crate::measure;
+use litempi_core::ext::SendOptions;
+use litempi_core::BuildConfig;
+use litempi_fabric::{NetCost, ProviderProfile};
+use litempi_instr::{CostModel, Report};
+use litempi_model::rate::{rate_series, RatePoint};
+use litempi_model::{LammpsModel, LammpsPoint, NekModel, NekPoint};
+
+/// Table 1: per-category breakdown for `MPI_ISEND` and `MPI_PUT` on the
+/// default CH4 build.
+pub fn table1() -> (Report, Report) {
+    let isend = measure::measure_send(BuildConfig::ch4_default(), |w| {
+        w.isend(&[1u8], 1, 0).unwrap().wait().unwrap();
+    });
+    let put = measure::measure_put(BuildConfig::ch4_default(), |win| {
+        win.put(&[1u8], 1, 0).unwrap()
+    });
+    (isend, put)
+}
+
+/// Fig 2: measured instruction counts for the five builds:
+/// `(label, isend_instructions, put_instructions)`.
+pub fn fig2() -> Vec<(String, u64, u64)> {
+    BuildConfig::FIG2_LADDER
+        .iter()
+        .map(|(label, cfg)| {
+            (label.to_string(), measure::isend_instr(*cfg), measure::put_instr(*cfg))
+        })
+        .collect()
+}
+
+/// Figs 3–5: message-rate bars for a given core clock + network cost.
+pub fn rate_figure(core: &CostModel, net: &NetCost) -> Vec<RatePoint> {
+    rate_series(&fig2(), core, net)
+}
+
+/// Fig 3: OFI/PSM2 on the 2.2 GHz IT cluster.
+pub fn fig3() -> Vec<RatePoint> {
+    rate_figure(&CostModel::IT_CLUSTER, &ProviderProfile::ofi().cost)
+}
+
+/// Fig 4: UCX/EDR on the 2.5 GHz Gomez cluster.
+pub fn fig4() -> Vec<RatePoint> {
+    rate_figure(&CostModel::GOMEZ_CLUSTER, &ProviderProfile::ucx().cost)
+}
+
+/// Fig 5: infinitely fast network.
+pub fn fig5() -> Vec<RatePoint> {
+    rate_figure(&CostModel::IT_CLUSTER, &NetCost::ZERO)
+}
+
+/// One rung of Fig 6: label, measured instructions, message rate on the
+/// infinitely fast network.
+#[derive(Debug, Clone)]
+pub struct Fig6Rung {
+    /// Bar label (paper's legend).
+    pub label: &'static str,
+    /// Measured injection-path instructions.
+    pub instructions: u64,
+    /// Messages per second at 2.2 GHz with zero network cost.
+    pub rate: f64,
+}
+
+/// Fig 6: the cumulative §3 extension ladder on the IPO build, infinitely
+/// fast network. Each rung enables one more proposal; the final bar is the
+/// fused `MPI_ISEND_ALL_OPTS` (which also shrinks the netmod residue —
+/// §3.7's 16-instruction, 132.8 M msg/s headline).
+pub fn fig6() -> Vec<Fig6Rung> {
+    let rate = |instr: u64| CostModel::IT_CLUSTER.msg_rate(instr, 0.0);
+    let rungs: Vec<(&'static str, u64)> = vec![
+        ("minimal_pt2pt", measure::isend_opts_instr(SendOptions::default(), false)),
+        (
+            "no_req",
+            measure::isend_opts_instr(
+                SendOptions { no_request: true, ..Default::default() },
+                false,
+            ),
+        ),
+        (
+            "no_match",
+            measure::isend_opts_instr(
+                SendOptions { no_request: true, no_match: true, ..Default::default() },
+                false,
+            ),
+        ),
+        (
+            "glob_rank",
+            measure::isend_opts_instr(
+                SendOptions {
+                    no_request: true,
+                    no_match: true,
+                    global_rank: true,
+                    ..Default::default()
+                },
+                true,
+            ),
+        ),
+        (
+            "no_proc_null",
+            measure::isend_opts_instr(
+                SendOptions {
+                    no_request: true,
+                    no_match: true,
+                    global_rank: true,
+                    no_proc_null: true,
+                },
+                true,
+            ),
+        ),
+        ("all_opts (fused)", measure::isend_all_opts_instr()),
+    ];
+    rungs
+        .into_iter()
+        .map(|(label, instructions)| Fig6Rung {
+            label,
+            instructions,
+            rate: rate(instructions),
+        })
+        .collect()
+}
+
+/// Fig 7 series for one polynomial order.
+pub fn fig7(order: usize) -> Vec<NekPoint> {
+    NekModel::bgq_paper().sweep(order)
+}
+
+/// Fig 8 series.
+pub fn fig8() -> Vec<LammpsPoint> {
+    LammpsModel::bgq_paper().sweep()
+}
+
+/// Convenience: a bar rendered as `#` characters scaled to `max`.
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    let n = ((value / max) * width as f64).round() as usize;
+    "#".repeat(n.min(width))
+}
+
+/// §3 savings summary: (proposal, instructions saved on the IPO build).
+pub fn savings_table() -> Vec<(&'static str, u64)> {
+    let base = measure::isend_opts_instr(SendOptions::default(), false);
+    let one = |o: SendOptions, predef: bool| base - measure::isend_opts_instr(o, predef);
+    let put_base = measure::put_instr(BuildConfig::ch4_no_err_single_ipo());
+    let put_vaddr = measure::measure_put(BuildConfig::ch4_no_err_single_ipo(), |win| {
+        let addr = win.base_addr(1);
+        win.put_virtual_addr(&[1u8], 1, addr).unwrap();
+    })
+    .injection_total();
+    vec![
+        (
+            "3.1 global rank (MPI_ISEND_GLOBAL)",
+            one(SendOptions { global_rank: true, ..Default::default() }, false),
+        ),
+        ("3.2 virtual address (MPI_PUT_VIRTUAL_ADDR)", put_base - put_vaddr),
+        ("3.3 predefined comm handle", one(SendOptions::default(), true)),
+        (
+            "3.4 no PROC_NULL (MPI_ISEND_NPN)",
+            one(SendOptions { no_proc_null: true, ..Default::default() }, false),
+        ),
+        (
+            "3.5 no request (MPI_ISEND_NOREQ)",
+            one(SendOptions { no_request: true, ..Default::default() }, false),
+        ),
+        (
+            "3.6 no match bits (MPI_ISEND_NOMATCH)",
+            one(SendOptions { no_match: true, ..Default::default() }, false),
+        ),
+        ("3.7 all fused (MPI_ISEND_ALL_OPTS)", base - measure::isend_all_opts_instr()),
+    ]
+}
+
+/// A per-rate-point rendering helper shared by the rate binaries.
+pub fn print_rate_figure(title: &str, series: &[RatePoint]) {
+    println!("{title}");
+    println!("{}", "=".repeat(title.len()));
+    let max = series
+        .iter()
+        .flat_map(|p| [p.isend_rate, p.put_rate])
+        .fold(0.0f64, f64::max);
+    println!("{:<32} {:>14} {:>14}", "build", "MPI_Isend", "MPI_Put");
+    for p in series {
+        println!(
+            "{:<32} {:>11.2} M/s {:>11.2} M/s",
+            p.label,
+            p.isend_rate / 1e6,
+            p.put_rate / 1e6
+        );
+        println!("  isend |{}", bar(p.isend_rate, max, 48));
+        println!("  put   |{}", bar(p.put_rate, max, 48));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_matches_paper_bars() {
+        let f = fig2();
+        let isend: Vec<u64> = f.iter().map(|(_, i, _)| *i).collect();
+        let put: Vec<u64> = f.iter().map(|(_, _, p)| *p).collect();
+        assert_eq!(isend, vec![253, 221, 147, 141, 59]);
+        assert_eq!(put, vec![1342, 215, 143, 129, 44]);
+    }
+
+    #[test]
+    fn fig6_ladder_descends_to_16() {
+        let rungs = fig6();
+        let counts: Vec<u64> = rungs.iter().map(|r| r.instructions).collect();
+        assert_eq!(counts, vec![59, 49, 44, 26, 23, 16]);
+        // Strictly improving rates, peaking at ~132.8 M msg/s.
+        for w in rungs.windows(2) {
+            assert!(w[1].rate > w[0].rate);
+        }
+        let peak = rungs.last().unwrap().rate;
+        assert!((peak - 132.8e6).abs() / 132.8e6 < 0.01, "{peak}");
+    }
+
+    #[test]
+    fn savings_match_section_3() {
+        let s = savings_table();
+        let by_name: std::collections::HashMap<_, _> = s.into_iter().collect();
+        assert_eq!(by_name["3.1 global rank (MPI_ISEND_GLOBAL)"], 10);
+        assert_eq!(by_name["3.2 virtual address (MPI_PUT_VIRTUAL_ADDR)"], 4);
+        assert_eq!(by_name["3.3 predefined comm handle"], 8);
+        assert_eq!(by_name["3.4 no PROC_NULL (MPI_ISEND_NPN)"], 3);
+        assert_eq!(by_name["3.5 no request (MPI_ISEND_NOREQ)"], 10);
+        assert_eq!(by_name["3.6 no match bits (MPI_ISEND_NOMATCH)"], 5);
+        assert_eq!(by_name["3.7 all fused (MPI_ISEND_ALL_OPTS)"], 43);
+    }
+
+    #[test]
+    fn bar_scaling() {
+        assert_eq!(bar(50.0, 100.0, 10), "#####");
+        assert_eq!(bar(200.0, 100.0, 10), "##########");
+        assert_eq!(bar(0.0, 100.0, 10), "");
+    }
+}

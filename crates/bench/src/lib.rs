@@ -1,0 +1,12 @@
+//! # litempi-bench — the paper's evaluation harness
+//!
+//! One binary per table/figure of the SC17 paper (see `src/bin/`), plus
+//! Criterion microbenchmarks of the real Rust code paths (see `benches/`).
+//! This library holds the shared machinery: instruction-count measurement
+//! of live code paths ([`measure`]) and figure-series builders ([`figs`])
+//! that combine those measurements with the fabric cost model.
+
+#![warn(missing_docs)]
+
+pub mod figs;
+pub mod measure;

@@ -1,0 +1,239 @@
+//! Cartesian process topologies (`MPI_CART_*`).
+//!
+//! The paper's §3.1 motivates `MPI_ISEND_GLOBAL` with exactly this use
+//! case: "a five-point stencil computation on a Cartesian grid where the
+//! application could simply store the MPI_COMM_WORLD ranks of its north,
+//! south, east, and west neighbors". [`CartComm::neighbor_world_ranks`]
+//! implements that pattern — translate once, reuse forever.
+
+use crate::comm::Communicator;
+use crate::error::{MpiError, MpiResult};
+use crate::match_bits::PROC_NULL;
+
+/// A communicator with an attached Cartesian topology.
+pub struct CartComm {
+    comm: Communicator,
+    dims: Vec<usize>,
+    periodic: Vec<bool>,
+}
+
+impl CartComm {
+    /// `MPI_CART_CREATE` (collective): impose a `dims` grid on the first
+    /// `prod(dims)` ranks of `comm`. Ranks beyond the grid get `None`.
+    pub fn create(comm: &Communicator, dims: &[usize], periodic: &[bool]) -> MpiResult<Option<CartComm>> {
+        if dims.is_empty() || dims.len() != periodic.len() {
+            return Err(MpiError::InvalidComm("dims/periods mismatch"));
+        }
+        let cells: usize = dims.iter().product();
+        if cells == 0 || cells > comm.size() {
+            return Err(MpiError::InvalidComm("grid larger than communicator"));
+        }
+        let color = if comm.rank() < cells { 0 } else { crate::comm::UNDEFINED };
+        let sub = comm.split(color, comm.rank() as i32);
+        Ok(sub.map(|comm| CartComm {
+            comm,
+            dims: dims.to_vec(),
+            periodic: periodic.to_vec(),
+        }))
+    }
+
+    /// `MPI_DIMS_CREATE`: factor `n` ranks into `ndims` balanced dimensions.
+    pub fn dims_create(n: usize, ndims: usize) -> Vec<usize> {
+        assert!(ndims > 0);
+        let mut dims = vec![1usize; ndims];
+        let mut remaining = n;
+        // Greedy: repeatedly give the smallest dimension the largest
+        // remaining prime factor.
+        let mut factors = Vec::new();
+        let mut m = remaining;
+        let mut p = 2;
+        while p * p <= m {
+            while m.is_multiple_of(p) {
+                factors.push(p);
+                m /= p;
+            }
+            p += 1;
+        }
+        if m > 1 {
+            factors.push(m);
+        }
+        factors.sort_unstable_by(|a, b| b.cmp(a));
+        for f in factors {
+            let i = (0..ndims).min_by_key(|&i| dims[i]).expect("ndims > 0");
+            dims[i] *= f;
+            remaining /= f;
+        }
+        debug_assert_eq!(remaining, 1);
+        dims.sort_unstable_by(|a, b| b.cmp(a));
+        dims
+    }
+
+    /// The underlying communicator.
+    pub fn comm(&self) -> &Communicator {
+        &self.comm
+    }
+
+    /// Grid dimensions.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// My rank in the Cartesian communicator.
+    pub fn rank(&self) -> usize {
+        self.comm.rank()
+    }
+
+    /// `MPI_CART_COORDS`: rank → coordinates (row-major).
+    pub fn coords_of(&self, rank: usize) -> Vec<usize> {
+        let mut out = vec![0; self.dims.len()];
+        let mut r = rank;
+        for d in (0..self.dims.len()).rev() {
+            out[d] = r % self.dims[d];
+            r /= self.dims[d];
+        }
+        out
+    }
+
+    /// `MPI_CART_RANK`: coordinates → rank (periodic wrap where allowed).
+    pub fn rank_of(&self, coords: &[isize]) -> Option<usize> {
+        let mut rank = 0usize;
+        for (d, &dim_len) in self.dims.iter().enumerate() {
+            let dim = dim_len as isize;
+            let mut c = coords[d];
+            if c < 0 || c >= dim {
+                if self.periodic[d] {
+                    c = c.rem_euclid(dim);
+                } else {
+                    return None;
+                }
+            }
+            rank = rank * dim_len + c as usize;
+        }
+        Some(rank)
+    }
+
+    /// `MPI_CART_SHIFT`: (source, dest) ranks for a displacement along
+    /// `dim`; `MPI_PROC_NULL` at non-periodic boundaries.
+    pub fn shift(&self, dim: usize, disp: isize) -> (i32, i32) {
+        let me = self.coords_of(self.comm.rank());
+        let mut up = me.iter().map(|&c| c as isize).collect::<Vec<_>>();
+        let mut down = up.clone();
+        up[dim] += disp;
+        down[dim] -= disp;
+        let dest = self.rank_of(&up).map(|r| r as i32).unwrap_or(PROC_NULL);
+        let source = self.rank_of(&down).map(|r| r as i32).unwrap_or(PROC_NULL);
+        (source, dest)
+    }
+
+    /// The §3.1 pattern: world ranks of the ± neighbors along every
+    /// dimension, translated once (for use with `isend_global` /
+    /// `isend_all_opts`). `PROC_NULL` stays `PROC_NULL`.
+    pub fn neighbor_world_ranks(&self) -> Vec<(i32, i32)> {
+        (0..self.dims.len())
+            .map(|d| {
+                let (src, dst) = self.shift(d, 1);
+                let tr = |r: i32| {
+                    if r == PROC_NULL {
+                        PROC_NULL
+                    } else {
+                        self.comm.world_rank_of(r as usize) as i32
+                    }
+                };
+                (tr(src), tr(dst))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::Universe;
+
+    #[test]
+    fn dims_create_balances() {
+        assert_eq!(CartComm::dims_create(12, 2), vec![4, 3]);
+        assert_eq!(CartComm::dims_create(8, 3), vec![2, 2, 2]);
+        assert_eq!(CartComm::dims_create(7, 2), vec![7, 1]);
+        assert_eq!(CartComm::dims_create(16, 2), vec![4, 4]);
+        assert_eq!(CartComm::dims_create(1, 1), vec![1]);
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        Universe::run_default(6, |proc| {
+            let world = proc.world();
+            let cart = CartComm::create(&world, &[2, 3], &[false, false]).unwrap().unwrap();
+            let me = cart.coords_of(cart.rank());
+            let back = cart
+                .rank_of(&me.iter().map(|&c| c as isize).collect::<Vec<_>>())
+                .unwrap();
+            assert_eq!(back, cart.rank());
+        });
+    }
+
+    #[test]
+    fn shift_nonperiodic_boundary_is_proc_null() {
+        Universe::run_default(4, |proc| {
+            let world = proc.world();
+            let cart = CartComm::create(&world, &[4], &[false]).unwrap().unwrap();
+            let (src, dst) = cart.shift(0, 1);
+            match cart.rank() {
+                0 => {
+                    assert_eq!(src, PROC_NULL);
+                    assert_eq!(dst, 1);
+                }
+                3 => {
+                    assert_eq!(src, 2);
+                    assert_eq!(dst, PROC_NULL);
+                }
+                r => {
+                    assert_eq!(src, r as i32 - 1);
+                    assert_eq!(dst, r as i32 + 1);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn shift_periodic_wraps() {
+        Universe::run_default(4, |proc| {
+            let world = proc.world();
+            let cart = CartComm::create(&world, &[4], &[true]).unwrap().unwrap();
+            let (src, dst) = cart.shift(0, 1);
+            let r = cart.rank() as i32;
+            assert_eq!(dst, (r + 1) % 4);
+            assert_eq!(src, (r + 3) % 4);
+        });
+    }
+
+    #[test]
+    fn excess_ranks_get_none() {
+        let out = Universe::run_default(5, |proc| {
+            let world = proc.world();
+            CartComm::create(&world, &[2, 2], &[false, false]).unwrap().is_some()
+        });
+        assert_eq!(out, vec![true, true, true, true, false]);
+    }
+
+    #[test]
+    fn neighbor_world_ranks_translate_once() {
+        Universe::run_default(4, |proc| {
+            let world = proc.world();
+            let cart = CartComm::create(&world, &[2, 2], &[false, false]).unwrap().unwrap();
+            let n = cart.neighbor_world_ranks();
+            assert_eq!(n.len(), 2);
+            // Identity placement: cart rank == world rank here.
+            let (src, dst) = cart.shift(0, 1);
+            assert_eq!(n[0], (src, dst));
+        });
+    }
+
+    #[test]
+    fn grid_larger_than_comm_is_error() {
+        Universe::run_default(2, |proc| {
+            let world = proc.world();
+            assert!(CartComm::create(&world, &[2, 2], &[false, false]).is_err());
+        });
+    }
+}

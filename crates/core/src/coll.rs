@@ -1,0 +1,898 @@
+//! Machine-independent collectives (the MPI-layer algorithms of Fig 1).
+//!
+//! Like MPICH's collectives, these are built on the device's injection
+//! path, not on the public `MPI_Isend` (so they pay device costs but not
+//! repeated MPI-layer validation), and they run on the communicator's
+//! *collective context* — a twin context id that isolates internal traffic
+//! from user point-to-point traffic on the same communicator.
+//!
+//! Algorithms: dissemination barrier, binomial-tree bcast/reduce/gather,
+//! recursive-doubling allreduce (power-of-two) with reduce+bcast fallback,
+//! ring allgather, pairwise-exchange alltoall, linear scan/exscan.
+
+use crate::comm::Communicator;
+use crate::error::MpiResult;
+use crate::match_bits;
+use crate::op::Op;
+use crate::process::ProcInner;
+use crate::proto::{self, DecodedPayload};
+use crate::pt2pt::{inject, SendOpts};
+use crate::request::wait_loop;
+use litempi_datatype::MpiPrimitive;
+
+/// Internal collective-channel send: fire-and-forget, eager or rendezvous.
+pub(crate) fn csend(comm: &Communicator, dest: usize, tag: i32, data: &[u8]) {
+    let proc = &comm.proc;
+    let bits = match_bits::encode(comm.context_id().collective(), comm.rank, tag);
+    let dest_world = comm.world_rank_of(dest);
+    let max_eager = proc.endpoint.fabric().profile().caps.max_eager;
+    let payload = if data.len() <= max_eager {
+        proto::eager(data)
+    } else {
+        let (rndv_id, _done) = proc.univ.alloc_rndv(data.to_vec());
+        proto::rts(rndv_id, data.len())
+    };
+    inject(proc, dest_world, bits, payload, &SendOpts::default());
+}
+
+/// Internal collective-channel receive from a specific peer.
+pub(crate) fn crecv(comm: &Communicator, src: usize, tag: i32) -> Vec<u8> {
+    let proc = &comm.proc;
+    let bits = match_bits::encode(comm.context_id().collective(), src, tag);
+    let payload = recv_raw(proc, bits);
+    match proto::decode(&payload).1 {
+        DecodedPayload::Eager(d) => d.to_vec(),
+        DecodedPayload::Rts { rndv_id, .. } => proc.univ.pull_rndv(rndv_id).to_vec(),
+    }
+}
+
+fn recv_raw(proc: &ProcInner, bits: u64) -> bytes::Bytes {
+    if proc.endpoint.fabric().profile().caps.native_tagged {
+        let handle = proc.endpoint.trecv_post(bits, 0);
+        wait_loop(proc, || handle.poll()).data
+    } else {
+        let slot = proc.core_match.post(bits, 0);
+        wait_loop(proc, || slot.filled.lock().take()).payload
+    }
+}
+
+/// `MPI_BARRIER`: dissemination algorithm — ⌈log₂ P⌉ rounds, each rank
+/// sending to `rank + 2^k` and receiving from `rank - 2^k`.
+pub fn barrier(comm: &Communicator) -> MpiResult<()> {
+    let size = comm.size();
+    if size == 1 {
+        return Ok(());
+    }
+    let rank = comm.rank();
+    let tag = comm.next_coll_tag();
+    let mut k = 1usize;
+    while k < size {
+        let to = (rank + k) % size;
+        let from = (rank + size - k) % size;
+        csend(comm, to, tag, &[]);
+        let _ = crecv(comm, from, tag);
+        k <<= 1;
+    }
+    Ok(())
+}
+
+/// Message-size threshold (bytes) above which `bcast` switches from the
+/// binomial tree (latency-optimal, but sends the full payload log P
+/// times) to scatter+allgather (bandwidth-optimal, van de Geijn). MPICH
+/// uses the same structure with a similar crossover.
+pub const BCAST_LONG_MSG_BYTES: usize = 32 * 1024;
+
+/// `MPI_BCAST`: algorithm selected by payload size — binomial tree for
+/// short messages, scatter + ring allgather for long ones.
+pub fn bcast<T: MpiPrimitive>(comm: &Communicator, buf: &mut [T], root: usize) -> MpiResult<()> {
+    let bytes = std::mem::size_of_val(buf);
+    if bytes > BCAST_LONG_MSG_BYTES && comm.size() > 2 && buf.len().is_multiple_of(comm.size()) {
+        bcast_scatter_allgather(comm, buf, root)
+    } else {
+        bcast_binomial(comm, buf, root)
+    }
+}
+
+/// Binomial-tree broadcast (the short-message algorithm).
+pub fn bcast_binomial<T: MpiPrimitive>(
+    comm: &Communicator,
+    buf: &mut [T],
+    root: usize,
+) -> MpiResult<()> {
+    let size = comm.size();
+    if size == 1 {
+        return Ok(());
+    }
+    let rank = comm.rank();
+    let tag = comm.next_coll_tag();
+    let vrank = (rank + size - root) % size;
+    // Receive from the binomial-tree parent.
+    if vrank != 0 {
+        let parent = parent_of(vrank);
+        let src = (parent + root) % size;
+        let data = crecv(comm, src, tag);
+        T::as_bytes_mut(buf).copy_from_slice(&data);
+    }
+    // Send to children.
+    let mut k = next_pow2_at_least(vrank + 1);
+    while vrank + k < size {
+        let child = (vrank + k + root) % size;
+        csend(comm, child, tag, T::as_bytes(buf));
+        k <<= 1;
+    }
+    Ok(())
+}
+
+/// Binomial-tree parent of a (nonzero) virtual rank:
+/// `parent(v) = v - 2^⌊log₂ v⌋` (clear the highest set bit). Children of
+/// `v` are `v + 2^k` for every `2^k` at least the next power of two
+/// above `v` — together these tile 0..P into a binomial tree.
+fn parent_of(vrank: usize) -> usize {
+    debug_assert!(vrank > 0);
+    let high = usize::BITS - 1 - vrank.leading_zeros();
+    vrank - (1 << high)
+}
+
+fn next_pow2_at_least(n: usize) -> usize {
+    n.next_power_of_two()
+}
+
+/// Long-message broadcast (van de Geijn): scatter the payload's blocks
+/// down a binomial tree's natural block ownership, then ring-allgather the
+/// blocks. Moves ~2x the data of one tree *level* instead of log P copies
+/// of the whole payload. Requires `buf.len() % size == 0` (the selector
+/// guarantees it).
+pub fn bcast_scatter_allgather<T: MpiPrimitive>(
+    comm: &Communicator,
+    buf: &mut [T],
+    root: usize,
+) -> MpiResult<()> {
+    let size = comm.size();
+    if size == 1 {
+        return Ok(());
+    }
+    let block = buf.len() / size;
+    debug_assert!(block * size == buf.len());
+    // Phase 1: scatter blocks from root (linear scatter of the payload's
+    // `size` blocks; block i is destined to rank i).
+    let my_block = {
+        let send = if comm.rank() == root { Some(&buf[..]) } else { None };
+        scatter(comm, send, block, root)?
+    };
+    // Phase 2: ring allgather of the blocks back into everyone's buffer.
+    let gathered = allgather_ring(comm, &my_block)?;
+    buf.copy_from_slice(&gathered);
+    Ok(())
+}
+
+/// `MPI_REDUCE` (binomial tree): returns `Some(result)` at `root`, `None`
+/// elsewhere.
+pub fn reduce<T: MpiPrimitive>(
+    comm: &Communicator,
+    sendbuf: &[T],
+    op: &Op,
+    root: usize,
+) -> MpiResult<Option<Vec<T>>> {
+    let size = comm.size();
+    let rank = comm.rank();
+    let tag = comm.next_coll_tag();
+    let mut acc: Vec<u8> = T::as_bytes(sendbuf).to_vec();
+    let vrank = (rank + size - root) % size;
+    // Gather up the binomial tree: at step k, vranks with bit k set send
+    // their partial to vrank - 2^k and drop out.
+    let mut k = 1usize;
+    while k < size {
+        if vrank & k != 0 {
+            let dst = ((vrank - k) + root) % size;
+            csend(comm, dst, tag, &acc);
+            break;
+        } else if vrank + k < size {
+            let src = ((vrank + k) + root) % size;
+            let data = crecv(comm, src, tag);
+            // Reduction order: accumulate the child's contribution.
+            op.apply(&T::DATATYPE, &mut acc, &data)?;
+        }
+        k <<= 1;
+    }
+    if rank == root {
+        let mut out = vec![sendbuf[0]; sendbuf.len()];
+        T::as_bytes_mut(&mut out).copy_from_slice(&acc);
+        Ok(Some(out))
+    } else {
+        Ok(None)
+    }
+}
+
+/// `MPI_ALLREDUCE`: recursive doubling for power-of-two sizes, otherwise
+/// reduce-to-zero + broadcast.
+pub fn allreduce<T: MpiPrimitive>(
+    comm: &Communicator,
+    sendbuf: &[T],
+    op: &Op,
+) -> MpiResult<Vec<T>> {
+    let size = comm.size();
+    let rank = comm.rank();
+    if size.is_power_of_two() && size > 1 {
+        let tag = comm.next_coll_tag();
+        let mut acc: Vec<u8> = T::as_bytes(sendbuf).to_vec();
+        let mut k = 1usize;
+        while k < size {
+            let partner = rank ^ k;
+            csend(comm, partner, tag, &acc);
+            let data = crecv(comm, partner, tag);
+            op.apply(&T::DATATYPE, &mut acc, &data)?;
+            k <<= 1;
+        }
+        let mut out = vec![sendbuf[0]; sendbuf.len()];
+        T::as_bytes_mut(&mut out).copy_from_slice(&acc);
+        Ok(out)
+    } else {
+        let reduced = reduce(comm, sendbuf, op, 0)?;
+        let mut out = match reduced {
+            Some(v) => v,
+            None => vec![sendbuf[0]; sendbuf.len()],
+        };
+        bcast(comm, &mut out, 0)?;
+        Ok(out)
+    }
+}
+
+/// `MPI_GATHER` (linear): root receives `sendbuf` from every rank,
+/// concatenated in rank order. Returns `Some` at root.
+pub fn gather<T: MpiPrimitive>(
+    comm: &Communicator,
+    sendbuf: &[T],
+    root: usize,
+) -> MpiResult<Option<Vec<T>>> {
+    let size = comm.size();
+    let rank = comm.rank();
+    let tag = comm.next_coll_tag();
+    if rank == root {
+        let mut out = vec![sendbuf[0]; sendbuf.len() * size];
+        let block = sendbuf.len();
+        out[root * block..(root + 1) * block].copy_from_slice(sendbuf);
+        for src in (0..size).filter(|&r| r != root) {
+            let data = crecv(comm, src, tag);
+            let dst = &mut out[src * block..(src + 1) * block];
+            T::as_bytes_mut(dst).copy_from_slice(&data);
+        }
+        Ok(Some(out))
+    } else {
+        csend(comm, root, tag, T::as_bytes(sendbuf));
+        Ok(None)
+    }
+}
+
+/// `MPI_GATHERV` (linear, variable block sizes). Root receives each rank's
+/// slice; returns `Some((data, counts))` at root with per-rank element
+/// counts.
+pub fn gatherv<T: MpiPrimitive>(
+    comm: &Communicator,
+    sendbuf: &[T],
+    root: usize,
+) -> MpiResult<Option<(Vec<T>, Vec<usize>)>> {
+    let size = comm.size();
+    let rank = comm.rank();
+    let tag = comm.next_coll_tag();
+    if rank == root {
+        let mut blocks: Vec<Vec<u8>> = vec![Vec::new(); size];
+        blocks[root] = T::as_bytes(sendbuf).to_vec();
+        for src in (0..size).filter(|&r| r != root) {
+            blocks[src] = crecv(comm, src, tag);
+        }
+        let counts: Vec<usize> =
+            blocks.iter().map(|b| b.len() / T::PREDEFINED.size()).collect();
+        let total: usize = counts.iter().sum();
+        let mut out: Vec<T> = vec![T::from_wire(&vec![0u8; T::PREDEFINED.size()]); total];
+        let bytes = T::as_bytes_mut(&mut out);
+        let mut cursor = 0;
+        for b in &blocks {
+            bytes[cursor..cursor + b.len()].copy_from_slice(b);
+            cursor += b.len();
+        }
+        Ok(Some((out, counts)))
+    } else {
+        csend(comm, root, tag, T::as_bytes(sendbuf));
+        Ok(None)
+    }
+}
+
+/// `MPI_SCATTER` (linear): root distributes consecutive blocks of
+/// `sendbuf`; every rank returns its block. `sendbuf` is read at root only.
+pub fn scatter<T: MpiPrimitive>(
+    comm: &Communicator,
+    sendbuf: Option<&[T]>,
+    block: usize,
+    root: usize,
+) -> MpiResult<Vec<T>> {
+    let size = comm.size();
+    let rank = comm.rank();
+    let tag = comm.next_coll_tag();
+    if rank == root {
+        let send = sendbuf.expect("root must provide a send buffer");
+        assert_eq!(send.len(), block * size, "scatter buffer must be block*size elements");
+        for dst in (0..size).filter(|&r| r != root) {
+            csend(comm, dst, tag, T::as_bytes(&send[dst * block..(dst + 1) * block]));
+        }
+        Ok(send[root * block..(root + 1) * block].to_vec())
+    } else {
+        let data = crecv(comm, root, tag);
+        let mut out = vec![T::from_wire(&vec![0u8; T::PREDEFINED.size()]); block];
+        T::as_bytes_mut(&mut out).copy_from_slice(&data);
+        Ok(out)
+    }
+}
+
+/// `MPI_ALLGATHER`: recursive doubling for power-of-two communicator
+/// sizes (log P steps), ring otherwise (P-1 steps, bandwidth-friendly).
+pub fn allgather<T: MpiPrimitive>(comm: &Communicator, sendbuf: &[T]) -> MpiResult<Vec<T>> {
+    if comm.size().is_power_of_two() && comm.size() > 1 {
+        allgather_recursive_doubling(comm, sendbuf)
+    } else {
+        allgather_ring(comm, sendbuf)
+    }
+}
+
+/// Recursive-doubling allgather: at step k, partners `rank ^ 2^k` swap
+/// their accumulated 2^k-block runs.
+pub fn allgather_recursive_doubling<T: MpiPrimitive>(
+    comm: &Communicator,
+    sendbuf: &[T],
+) -> MpiResult<Vec<T>> {
+    let size = comm.size();
+    debug_assert!(size.is_power_of_two());
+    let rank = comm.rank();
+    let tag = comm.next_coll_tag();
+    let block = sendbuf.len();
+    let mut out = vec![sendbuf[0]; block * size];
+    out[rank * block..(rank + 1) * block].copy_from_slice(sendbuf);
+    let mut k = 1usize;
+    while k < size {
+        let partner = rank ^ k;
+        // I own the run of k blocks starting at my k-aligned base.
+        let my_base = (rank / k) * k;
+        let partner_base = (partner / k) * k;
+        let send_range = my_base * block..(my_base + k) * block;
+        csend(comm, partner, tag, T::as_bytes(&out[send_range]));
+        let data = crecv(comm, partner, tag);
+        let dst = &mut out[partner_base * block..(partner_base + k) * block];
+        T::as_bytes_mut(dst).copy_from_slice(&data);
+        k <<= 1;
+    }
+    Ok(out)
+}
+
+/// Ring allgather: every rank ends with all blocks in rank order.
+pub fn allgather_ring<T: MpiPrimitive>(comm: &Communicator, sendbuf: &[T]) -> MpiResult<Vec<T>> {
+    let size = comm.size();
+    let rank = comm.rank();
+    let tag = comm.next_coll_tag();
+    let block = sendbuf.len();
+    let mut out = vec![sendbuf[0]; block * size];
+    out[rank * block..(rank + 1) * block].copy_from_slice(sendbuf);
+    if size == 1 {
+        return Ok(out);
+    }
+    let right = (rank + 1) % size;
+    let left = (rank + size - 1) % size;
+    // Ring: in step s we forward the block that originated at
+    // (rank - s + size) % size.
+    for s in 0..size - 1 {
+        let send_origin = (rank + size - s) % size;
+        let recv_origin = (rank + size - s - 1) % size;
+        csend(
+            comm,
+            right,
+            tag,
+            T::as_bytes(&out[send_origin * block..(send_origin + 1) * block]),
+        );
+        let data = crecv(comm, left, tag);
+        let dst = &mut out[recv_origin * block..(recv_origin + 1) * block];
+        T::as_bytes_mut(dst).copy_from_slice(&data);
+    }
+    Ok(out)
+}
+
+/// `MPI_ALLTOALL` (pairwise exchange): `sendbuf` holds `size` blocks of
+/// `block` elements; block `i` goes to rank `i`.
+pub fn alltoall<T: MpiPrimitive>(
+    comm: &Communicator,
+    sendbuf: &[T],
+    block: usize,
+) -> MpiResult<Vec<T>> {
+    let size = comm.size();
+    let rank = comm.rank();
+    assert_eq!(sendbuf.len(), block * size, "alltoall buffer must be block*size elements");
+    let tag = comm.next_coll_tag();
+    let mut out = vec![sendbuf[0]; block * size];
+    out[rank * block..(rank + 1) * block]
+        .copy_from_slice(&sendbuf[rank * block..(rank + 1) * block]);
+    for phase in 1..size {
+        let send_to = (rank + phase) % size;
+        let recv_from = (rank + size - phase) % size;
+        csend(comm, send_to, tag, T::as_bytes(&sendbuf[send_to * block..(send_to + 1) * block]));
+        let data = crecv(comm, recv_from, tag);
+        let dst = &mut out[recv_from * block..(recv_from + 1) * block];
+        T::as_bytes_mut(dst).copy_from_slice(&data);
+    }
+    Ok(out)
+}
+
+/// `MPI_SCAN` (inclusive prefix reduction, linear chain).
+pub fn scan<T: MpiPrimitive>(comm: &Communicator, sendbuf: &[T], op: &Op) -> MpiResult<Vec<T>> {
+    let size = comm.size();
+    let rank = comm.rank();
+    let tag = comm.next_coll_tag();
+    let mut acc: Vec<u8> = T::as_bytes(sendbuf).to_vec();
+    if rank > 0 {
+        let prev = crecv(comm, rank - 1, tag);
+        // acc = prefix(0..rank-1) OP mine — order matters for
+        // non-commutative user ops: previous prefix first.
+        let mut prefix = prev;
+        op.apply(&T::DATATYPE, &mut prefix, &acc)?;
+        acc = prefix;
+    }
+    if rank + 1 < size {
+        csend(comm, rank + 1, tag, &acc);
+    }
+    let mut out = vec![sendbuf[0]; sendbuf.len()];
+    T::as_bytes_mut(&mut out).copy_from_slice(&acc);
+    Ok(out)
+}
+
+/// `MPI_EXSCAN` (exclusive prefix): rank 0 gets `None`.
+pub fn exscan<T: MpiPrimitive>(
+    comm: &Communicator,
+    sendbuf: &[T],
+    op: &Op,
+) -> MpiResult<Option<Vec<T>>> {
+    let size = comm.size();
+    let rank = comm.rank();
+    let tag = comm.next_coll_tag();
+    // Receive the exclusive prefix, then forward prefix OP mine.
+    let prefix = if rank > 0 { Some(crecv(comm, rank - 1, tag)) } else { None };
+    if rank + 1 < size {
+        let mut fwd = match &prefix {
+            Some(p) => {
+                let mut f = p.clone();
+                op.apply(&T::DATATYPE, &mut f, T::as_bytes(sendbuf))?;
+                f
+            }
+            None => T::as_bytes(sendbuf).to_vec(),
+        };
+        csend(comm, rank + 1, tag, &fwd);
+        fwd.clear();
+    }
+    Ok(prefix.map(|p| {
+        let mut out = vec![sendbuf[0]; sendbuf.len()];
+        T::as_bytes_mut(&mut out).copy_from_slice(&p);
+        out
+    }))
+}
+
+/// `MPI_REDUCE_SCATTER_BLOCK` (pairwise exchange): in step d each rank
+/// sends its contribution to block `(rank+d) % P` and folds in the
+/// contribution it receives for its own block — P−1 small messages, no
+/// root bottleneck. Requires a commutative op (all predefined ops are).
+pub fn reduce_scatter_block<T: MpiPrimitive>(
+    comm: &Communicator,
+    sendbuf: &[T],
+    op: &Op,
+) -> MpiResult<Vec<T>> {
+    let size = comm.size();
+    assert_eq!(sendbuf.len() % size, 0, "buffer must divide into size blocks");
+    let block = sendbuf.len() / size;
+    let rank = comm.rank();
+    let tag = comm.next_coll_tag();
+    let mut acc: Vec<u8> =
+        T::as_bytes(&sendbuf[rank * block..(rank + 1) * block]).to_vec();
+    for d in 1..size {
+        let to = (rank + d) % size;
+        let from = (rank + size - d) % size;
+        csend(comm, to, tag, T::as_bytes(&sendbuf[to * block..(to + 1) * block]));
+        let data = crecv(comm, from, tag);
+        op.apply(&T::DATATYPE, &mut acc, &data)?;
+    }
+    let mut out = vec![sendbuf[0]; block];
+    T::as_bytes_mut(&mut out).copy_from_slice(&acc);
+    Ok(out)
+}
+
+/// Reference reduce-then-scatter implementation (kept for the algorithm-
+/// equivalence tests and as the non-commutative-op fallback).
+pub fn reduce_scatter_block_naive<T: MpiPrimitive>(
+    comm: &Communicator,
+    sendbuf: &[T],
+    op: &Op,
+) -> MpiResult<Vec<T>> {
+    let size = comm.size();
+    assert_eq!(sendbuf.len() % size, 0, "buffer must divide into size blocks");
+    let block = sendbuf.len() / size;
+    let reduced = reduce(comm, sendbuf, op, 0)?;
+    scatter(comm, reduced.as_deref(), block, 0)
+}
+
+/// Fixed-size `i32` allgather used internally by `comm_split`.
+pub(crate) fn allgather_plain(comm: &Communicator, mine: &[i32]) -> Vec<i32> {
+    allgather(comm, mine).expect("internal allgather cannot fail")
+}
+
+// --------------------------------------------------- Communicator methods
+
+impl Communicator {
+    /// `MPI_BARRIER`.
+    pub fn barrier(&self) -> MpiResult<()> {
+        barrier(self)
+    }
+
+    /// `MPI_BCAST`.
+    pub fn bcast<T: MpiPrimitive>(&self, buf: &mut [T], root: usize) -> MpiResult<()> {
+        bcast(self, buf, root)
+    }
+
+    /// `MPI_REDUCE`.
+    pub fn reduce<T: MpiPrimitive>(
+        &self,
+        sendbuf: &[T],
+        op: &Op,
+        root: usize,
+    ) -> MpiResult<Option<Vec<T>>> {
+        reduce(self, sendbuf, op, root)
+    }
+
+    /// `MPI_ALLREDUCE`.
+    pub fn allreduce<T: MpiPrimitive>(&self, sendbuf: &[T], op: &Op) -> MpiResult<Vec<T>> {
+        allreduce(self, sendbuf, op)
+    }
+
+    /// `MPI_GATHER`.
+    pub fn gather<T: MpiPrimitive>(
+        &self,
+        sendbuf: &[T],
+        root: usize,
+    ) -> MpiResult<Option<Vec<T>>> {
+        gather(self, sendbuf, root)
+    }
+
+    /// `MPI_GATHERV`.
+    pub fn gatherv<T: MpiPrimitive>(
+        &self,
+        sendbuf: &[T],
+        root: usize,
+    ) -> MpiResult<Option<(Vec<T>, Vec<usize>)>> {
+        gatherv(self, sendbuf, root)
+    }
+
+    /// `MPI_SCATTER`.
+    pub fn scatter<T: MpiPrimitive>(
+        &self,
+        sendbuf: Option<&[T]>,
+        block: usize,
+        root: usize,
+    ) -> MpiResult<Vec<T>> {
+        scatter(self, sendbuf, block, root)
+    }
+
+    /// `MPI_ALLGATHER`.
+    pub fn allgather<T: MpiPrimitive>(&self, sendbuf: &[T]) -> MpiResult<Vec<T>> {
+        allgather(self, sendbuf)
+    }
+
+    /// `MPI_ALLTOALL`.
+    pub fn alltoall<T: MpiPrimitive>(&self, sendbuf: &[T], block: usize) -> MpiResult<Vec<T>> {
+        alltoall(self, sendbuf, block)
+    }
+
+    /// `MPI_SCAN`.
+    pub fn scan<T: MpiPrimitive>(&self, sendbuf: &[T], op: &Op) -> MpiResult<Vec<T>> {
+        scan(self, sendbuf, op)
+    }
+
+    /// `MPI_EXSCAN`.
+    pub fn exscan<T: MpiPrimitive>(
+        &self,
+        sendbuf: &[T],
+        op: &Op,
+    ) -> MpiResult<Option<Vec<T>>> {
+        exscan(self, sendbuf, op)
+    }
+
+    /// `MPI_REDUCE_SCATTER_BLOCK`.
+    pub fn reduce_scatter_block<T: MpiPrimitive>(
+        &self,
+        sendbuf: &[T],
+        op: &Op,
+    ) -> MpiResult<Vec<T>> {
+        reduce_scatter_block(self, sendbuf, op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::Universe;
+
+    #[test]
+    fn barrier_completes_at_various_sizes() {
+        for n in [1, 2, 3, 4, 5, 8] {
+            Universe::run_default(n, |proc| {
+                let world = proc.world();
+                for _ in 0..3 {
+                    world.barrier().unwrap();
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn bcast_from_each_root() {
+        for n in [2, 3, 4, 7] {
+            for root in 0..n {
+                let out = Universe::run_default(n, move |proc| {
+                    let world = proc.world();
+                    let mut buf = if proc.rank() == root { [42u64, 7] } else { [0, 0] };
+                    world.bcast(&mut buf, root).unwrap();
+                    buf
+                });
+                assert!(out.iter().all(|b| *b == [42, 7]), "n={n} root={root}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_sum_to_each_root() {
+        for n in [2, 4, 5] {
+            for root in 0..n {
+                let out = Universe::run_default(n, move |proc| {
+                    let world = proc.world();
+                    let mine = [proc.rank() as i64, 1];
+                    world.reduce(&mine, &Op::Sum, root).unwrap()
+                });
+                let expect: i64 = (0..n as i64).sum();
+                for (r, o) in out.iter().enumerate() {
+                    if r == root {
+                        assert_eq!(o.as_ref().unwrap(), &vec![expect, n as i64]);
+                    } else {
+                        assert!(o.is_none());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_matches_sequential_reference() {
+        for n in [2, 3, 4, 8] {
+            let out = Universe::run_default(n, |proc| {
+                let world = proc.world();
+                let mine = [proc.rank() as f64 + 1.0, (proc.rank() as f64) * 0.5];
+                world.allreduce(&mine, &Op::Sum).unwrap()
+            });
+            let e0: f64 = (0..n).map(|r| r as f64 + 1.0).sum();
+            let e1: f64 = (0..n).map(|r| r as f64 * 0.5).sum();
+            for o in out {
+                assert!((o[0] - e0).abs() < 1e-12 && (o[1] - e1).abs() < 1e-12, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_min_max() {
+        let out = Universe::run_default(4, |proc| {
+            let world = proc.world();
+            let mine = [proc.rank() as i32];
+            let mn = world.allreduce(&mine, &Op::Min).unwrap();
+            let mx = world.allreduce(&mine, &Op::Max).unwrap();
+            (mn[0], mx[0])
+        });
+        assert!(out.iter().all(|&(a, b)| a == 0 && b == 3));
+    }
+
+    #[test]
+    fn gather_concatenates_in_rank_order() {
+        let out = Universe::run_default(4, |proc| {
+            let world = proc.world();
+            let mine = [proc.rank() as u32, proc.rank() as u32 * 10];
+            world.gather(&mine, 2).unwrap()
+        });
+        assert_eq!(out[2].as_ref().unwrap(), &vec![0, 0, 1, 10, 2, 20, 3, 30]);
+        assert!(out[0].is_none());
+    }
+
+    #[test]
+    fn gatherv_variable_sizes() {
+        let out = Universe::run_default(3, |proc| {
+            let world = proc.world();
+            let mine: Vec<u16> = (0..=proc.rank() as u16).collect();
+            world.gatherv(&mine, 0).unwrap()
+        });
+        let (data, counts) = out[0].as_ref().unwrap();
+        assert_eq!(counts, &vec![1, 2, 3]);
+        assert_eq!(data, &vec![0u16, 0, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn scatter_distributes_blocks() {
+        let out = Universe::run_default(3, |proc| {
+            let world = proc.world();
+            let send: Option<Vec<i32>> =
+                (proc.rank() == 1).then(|| (0..6).collect());
+            world.scatter(send.as_deref(), 2, 1).unwrap()
+        });
+        assert_eq!(out, vec![vec![0, 1], vec![2, 3], vec![4, 5]]);
+    }
+
+    #[test]
+    fn allgather_all_ranks_see_all_blocks() {
+        for n in [2, 3, 5] {
+            let out = Universe::run_default(n, |proc| {
+                let world = proc.world();
+                let mine = [proc.rank() as u64 * 100];
+                world.allgather(&mine).unwrap()
+            });
+            let expect: Vec<u64> = (0..n as u64).map(|r| r * 100).collect();
+            assert!(out.iter().all(|o| *o == expect), "n={n}");
+        }
+    }
+
+    #[test]
+    fn alltoall_transposes() {
+        let n = 4;
+        let out = Universe::run_default(n, |proc| {
+            let world = proc.world();
+            // Block j of rank i carries i*10 + j.
+            let send: Vec<i32> = (0..n as i32).map(|j| proc.rank() as i32 * 10 + j).collect();
+            world.alltoall(&send, 1).unwrap()
+        });
+        for (i, o) in out.iter().enumerate() {
+            let expect: Vec<i32> = (0..n as i32).map(|j| j * 10 + i as i32).collect();
+            assert_eq!(o, &expect, "rank {i}");
+        }
+    }
+
+    #[test]
+    fn scan_inclusive_prefix() {
+        let out = Universe::run_default(4, |proc| {
+            let world = proc.world();
+            world.scan(&[proc.rank() as i64 + 1], &Op::Sum).unwrap()
+        });
+        assert_eq!(out, vec![vec![1], vec![3], vec![6], vec![10]]);
+    }
+
+    #[test]
+    fn exscan_exclusive_prefix() {
+        let out = Universe::run_default(4, |proc| {
+            let world = proc.world();
+            world.exscan(&[proc.rank() as i64 + 1], &Op::Sum).unwrap()
+        });
+        assert_eq!(out[0], None);
+        assert_eq!(out[1].as_ref().unwrap(), &vec![1]);
+        assert_eq!(out[3].as_ref().unwrap(), &vec![6]);
+    }
+
+    #[test]
+    fn reduce_scatter_block_splits_reduction() {
+        let n = 4;
+        let out = Universe::run_default(n, |proc| {
+            let world = proc.world();
+            // Everyone contributes [r, r, r, r] → sum = [6, 6, 6, 6];
+            // rank i gets element i.
+            let send = vec![proc.rank() as i32; n];
+            world.reduce_scatter_block(&send, &Op::Sum).unwrap()
+        });
+        assert_eq!(out, vec![vec![6]; 4]);
+    }
+
+    #[test]
+    fn concurrent_collectives_on_dup_are_isolated() {
+        // Two communicators with the same membership run collectives whose
+        // internal traffic must not cross-match.
+        let out = Universe::run_default(4, |proc| {
+            let world = proc.world();
+            let dup = world.dup();
+            let a = world.allreduce(&[1i64], &Op::Sum).unwrap();
+            let b = dup.allreduce(&[10i64], &Op::Sum).unwrap();
+            (a[0], b[0])
+        });
+        assert!(out.iter().all(|&(a, b)| a == 4 && b == 40));
+    }
+
+    #[test]
+    fn bcast_algorithms_agree() {
+        for n in [3, 4, 5, 8] {
+            for root in [0, n - 1] {
+                let out = Universe::run_default(n, move |proc| {
+                    let world = proc.world();
+                    let make = |seed: u64| -> Vec<u64> {
+                        (0..n as u64 * 4).map(|i| seed * 1000 + i).collect()
+                    };
+                    let mut a = if proc.rank() == root { make(7) } else { vec![0; n * 4] };
+                    super::bcast_binomial(&world, &mut a, root).unwrap();
+                    let mut b = if proc.rank() == root { make(7) } else { vec![0; n * 4] };
+                    super::bcast_scatter_allgather(&world, &mut b, root).unwrap();
+                    (a, b)
+                });
+                for (a, b) in out {
+                    assert_eq!(a, b, "n={n} root={root}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bcast_selects_long_algorithm_for_big_payloads() {
+        // > 32 KiB and divisible by size → van de Geijn path; result must
+        // still be correct.
+        let n = 4;
+        let out = Universe::run_default(n, |proc| {
+            let world = proc.world();
+            let len = 16 * 1024; // u64s → 128 KiB
+            let mut buf = if proc.rank() == 2 {
+                (0..len as u64).collect::<Vec<u64>>()
+            } else {
+                vec![0; len]
+            };
+            world.bcast(&mut buf, 2).unwrap();
+            buf[len - 1]
+        });
+        assert!(out.iter().all(|&v| v == 16 * 1024 - 1));
+    }
+
+    #[test]
+    fn allgather_algorithms_agree() {
+        for n in [2, 4, 8] {
+            let out = Universe::run_default(n, |proc| {
+                let world = proc.world();
+                let mine = [proc.rank() as u64 * 3 + 1, proc.rank() as u64];
+                let rd = super::allgather_recursive_doubling(&world, &mine).unwrap();
+                let ring = super::allgather_ring(&world, &mine).unwrap();
+                (rd, ring)
+            });
+            for (rd, ring) in out {
+                assert_eq!(rd, ring, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_pairwise_matches_naive() {
+        for n in [2, 3, 4, 5] {
+            let out = Universe::run_default(n, |proc| {
+                let world = proc.world();
+                let send: Vec<i64> =
+                    (0..n as i64 * 2).map(|j| proc.rank() as i64 * 10 + j).collect();
+                let pairwise = world.reduce_scatter_block(&send, &Op::Sum).unwrap();
+                let naive =
+                    super::reduce_scatter_block_naive(&world, &send, &Op::Sum).unwrap();
+                (pairwise, naive)
+            });
+            for (p, q) in out {
+                assert_eq!(p, q, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn large_payload_collectives_use_rendezvous() {
+        // Bigger than the shm eager limit would be; on the infinite
+        // provider max_eager is huge, so force smaller via OFI profile.
+        use litempi_fabric::{ProviderProfile, Topology};
+        let out = Universe::run(
+            2,
+            crate::config::BuildConfig::ch4_default(),
+            ProviderProfile::ofi(),
+            Topology::one_per_node(2),
+            |proc| {
+                let world = proc.world();
+                let mut buf = if proc.rank() == 0 {
+                    vec![7u8; 100_000]
+                } else {
+                    vec![0u8; 100_000]
+                };
+                world.bcast(&mut buf, 0).unwrap();
+                buf.iter().all(|&b| b == 7)
+            },
+        );
+        assert!(out.iter().all(|&ok| ok));
+    }
+}

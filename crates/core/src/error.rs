@@ -1,0 +1,111 @@
+//! MPI error classes.
+//!
+//! Only the classes our subset can actually raise are represented. When the
+//! library is built without error checking (the paper's "no-err" builds),
+//! most of these are never constructed — invalid arguments then fail later
+//! and less gracefully, exactly as with a real no-error-checking MPI build.
+
+use litempi_datatype::TypeError;
+
+/// MPI error classes (subset of the standard's `MPI_ERR_*`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MpiError {
+    /// `MPI_ERR_RANK`: rank out of range for the communicator/group.
+    InvalidRank {
+        /// The offending rank argument.
+        rank: i32,
+        /// The communicator/group size it was checked against.
+        size: usize,
+    },
+    /// `MPI_ERR_TAG`: tag negative or above the supported maximum.
+    InvalidTag(i32),
+    /// `MPI_ERR_COUNT`: negative or nonsensical count.
+    InvalidCount(i64),
+    /// `MPI_ERR_TYPE`: invalid or uncommitted datatype.
+    InvalidDatatype(TypeError),
+    /// `MPI_ERR_TRUNCATE`: message longer than the posted receive buffer.
+    Truncate {
+        /// Incoming message size in bytes.
+        message: usize,
+        /// Posted receive capacity in bytes.
+        buffer: usize,
+    },
+    /// `MPI_ERR_BUFFER`: user buffer too small for count × datatype.
+    BufferTooSmall {
+        /// Bytes required by count × datatype.
+        needed: usize,
+        /// Bytes actually provided.
+        provided: usize,
+    },
+    /// `MPI_ERR_WIN`: RMA access outside the exposed window, bad
+    /// displacement unit, or window misuse.
+    InvalidWin(&'static str),
+    /// `MPI_ERR_RMA_SYNC`: operation outside an access epoch, or invalid
+    /// epoch transition.
+    RmaSync(&'static str),
+    /// `MPI_ERR_OP`: reduction op not applicable to the datatype.
+    InvalidOp(&'static str),
+    /// `MPI_ERR_COMM`: invalid communicator usage (e.g. a `_GLOBAL`
+    /// extension call with a rank outside `MPI_COMM_WORLD`).
+    InvalidComm(&'static str),
+    /// `MPI_ERR_REQUEST`: request misuse (completed twice, etc.).
+    InvalidRequest(&'static str),
+    /// `MPI_ERR_PENDING`-style: a requestless-send counter underflow or
+    /// other extension-API misuse.
+    ExtensionMisuse(&'static str),
+}
+
+impl std::fmt::Display for MpiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MpiError::InvalidRank { rank, size } => {
+                write!(f, "MPI_ERR_RANK: rank {rank} not in [0, {size})")
+            }
+            MpiError::InvalidTag(tag) => write!(f, "MPI_ERR_TAG: {tag}"),
+            MpiError::InvalidCount(c) => write!(f, "MPI_ERR_COUNT: {c}"),
+            MpiError::InvalidDatatype(e) => write!(f, "MPI_ERR_TYPE: {e}"),
+            MpiError::Truncate { message, buffer } => {
+                write!(f, "MPI_ERR_TRUNCATE: {message}-byte message into {buffer}-byte buffer")
+            }
+            MpiError::BufferTooSmall { needed, provided } => {
+                write!(f, "MPI_ERR_BUFFER: need {needed} bytes, got {provided}")
+            }
+            MpiError::InvalidWin(s) => write!(f, "MPI_ERR_WIN: {s}"),
+            MpiError::RmaSync(s) => write!(f, "MPI_ERR_RMA_SYNC: {s}"),
+            MpiError::InvalidOp(s) => write!(f, "MPI_ERR_OP: {s}"),
+            MpiError::InvalidComm(s) => write!(f, "MPI_ERR_COMM: {s}"),
+            MpiError::InvalidRequest(s) => write!(f, "MPI_ERR_REQUEST: {s}"),
+            MpiError::ExtensionMisuse(s) => write!(f, "extension misuse: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for MpiError {}
+
+impl From<TypeError> for MpiError {
+    fn from(e: TypeError) -> Self {
+        MpiError::InvalidDatatype(e)
+    }
+}
+
+/// Result alias used across the crate.
+pub type MpiResult<T> = Result<T, MpiError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_identify_class() {
+        let e = MpiError::InvalidRank { rank: 9, size: 4 };
+        assert!(e.to_string().contains("MPI_ERR_RANK"));
+        let e = MpiError::Truncate { message: 100, buffer: 10 };
+        assert!(e.to_string().contains("TRUNCATE"));
+    }
+
+    #[test]
+    fn type_error_converts() {
+        let e: MpiError = TypeError::NotCommitted.into();
+        assert!(matches!(e, MpiError::InvalidDatatype(_)));
+    }
+}

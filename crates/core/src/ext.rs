@@ -1,0 +1,320 @@
+//! Proposed MPI-standard extensions (paper §3).
+//!
+//! Each routine here implements one of the paper's proposals and skips
+//! exactly the mandatory overhead that proposal eliminates (see the
+//! instruction-savings quotes in `litempi_instr::cost`):
+//!
+//! | Routine                         | Proposal | Skips                         |
+//! |---------------------------------|----------|-------------------------------|
+//! | [`Communicator::isend_global`]  | §3.1     | communicator-rank translation |
+//! | [`Window::put_virtual_addr`]    | §3.2     | offset → address translation  |
+//! | [`Communicator::dup_predefined`]| §3.3     | dynamic-object dereference    |
+//! | [`Communicator::isend_npn`]     | §3.4     | `MPI_PROC_NULL` branch        |
+//! | [`Communicator::isend_noreq`]   | §3.5     | request allocation            |
+//! | [`Communicator::isend_nomatch`] | §3.6     | source/tag match bits         |
+//! | [`Communicator::isend_all_opts`]| §3.7     | all of the above, fused       |
+
+use crate::comm::Communicator;
+use crate::error::{MpiError, MpiResult};
+use crate::pt2pt::{isend_impl, irecv_impl, RecvOpts, SendMode, SendOpts};
+use crate::request::{wait_loop, Request};
+use crate::rma::{VirtAddr, Window};
+use crate::status::Status;
+use litempi_datatype::MpiPrimitive;
+use std::sync::atomic::Ordering;
+
+/// A public, composable selection of the §3 proposals for one send —
+/// the building block of Fig 6's cumulative ladder (each bar enables one
+/// more proposal). The fully fused §3.7 path is separate
+/// ([`Communicator::isend_all_opts`]) because fusing changes the netmod
+/// residue itself.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SendOptions {
+    /// §3.4: caller promises the destination is not `MPI_PROC_NULL`.
+    pub no_proc_null: bool,
+    /// §3.1: destination is a world rank.
+    pub global_rank: bool,
+    /// §3.6: arrival-order matching (receive with `irecv_nomatch`).
+    pub no_match: bool,
+    /// §3.5: no request object (complete via `comm_waitall`).
+    pub no_request: bool,
+}
+
+impl From<SendOptions> for SendOpts {
+    fn from(o: SendOptions) -> SendOpts {
+        SendOpts {
+            no_proc_null: o.no_proc_null,
+            global_rank: o.global_rank,
+            no_match: o.no_match,
+            no_request: o.no_request,
+            all_opts: false,
+            static_type: true,
+        }
+    }
+}
+
+impl Communicator {
+    /// §3.1 `MPI_ISEND_GLOBAL`: `dest` is a rank in `MPI_COMM_WORLD`
+    /// (obtained once via `Group::translate_ranks`); the communicator still
+    /// provides context isolation, but the per-send rank translation is
+    /// gone. Not intercommunicator-safe, exactly as the paper notes.
+    pub fn isend_global<T: MpiPrimitive>(
+        &self,
+        data: &[T],
+        dest_world: i32,
+        tag: i32,
+    ) -> MpiResult<Request<'static>> {
+        isend_impl(
+            self,
+            T::as_bytes(data),
+            &T::DATATYPE,
+            data.len(),
+            dest_world,
+            tag,
+            SendMode::Standard,
+            SendOpts { global_rank: true, static_type: true, ..SendOpts::default() },
+        )
+    }
+
+    /// §3.1 receive-side companion: `source` is a world rank.
+    ///
+    /// Matching note: classic sends encode the sender's *communicator* rank
+    /// in the match bits, so a `_GLOBAL` receive must name a sender whose
+    /// communicator rank equals its world rank translation; we translate
+    /// once here (the receive-side analogue of the paper's "translate once,
+    /// store four neighbor ranks" pattern).
+    pub fn irecv_global<'buf, T: MpiPrimitive>(
+        &self,
+        buf: &'buf mut [T],
+        source_world: i32,
+        tag: i32,
+    ) -> MpiResult<Request<'buf>> {
+        let source = if source_world >= 0 {
+            self.group()
+                .local_rank(source_world as usize)
+                .ok_or(MpiError::InvalidComm("source world rank not in communicator"))?
+                as i32
+        } else {
+            source_world
+        };
+        let count = buf.len();
+        irecv_impl(
+            self,
+            T::as_bytes_mut(buf),
+            &T::DATATYPE,
+            count,
+            source,
+            tag,
+            RecvOpts { global_rank: false, no_match: false, static_type: true },
+        )
+    }
+
+    /// §3.4 `MPI_ISEND_NPN`: the caller guarantees `dest != MPI_PROC_NULL`,
+    /// removing the comparison+branch from the critical path. Passing
+    /// `MPI_PROC_NULL` is erroneous (caught only by error-checking builds).
+    pub fn isend_npn<T: MpiPrimitive>(
+        &self,
+        data: &[T],
+        dest: i32,
+        tag: i32,
+    ) -> MpiResult<Request<'static>> {
+        isend_impl(
+            self,
+            T::as_bytes(data),
+            &T::DATATYPE,
+            data.len(),
+            dest,
+            tag,
+            SendMode::Standard,
+            SendOpts { no_proc_null: true, static_type: true, ..SendOpts::default() },
+        )
+    }
+
+    /// §3.5 `MPI_ISEND_NOREQ`: no request object is returned; the
+    /// implementation keeps (at most) a counter and completion flags.
+    /// Complete with [`Communicator::comm_waitall`].
+    pub fn isend_noreq<T: MpiPrimitive>(&self, data: &[T], dest: i32, tag: i32) -> MpiResult<()> {
+        isend_impl(
+            self,
+            T::as_bytes(data),
+            &T::DATATYPE,
+            data.len(),
+            dest,
+            tag,
+            SendMode::Standard,
+            SendOpts { no_request: true, static_type: true, ..SendOpts::default() },
+        )
+        .map(|_| ())
+    }
+
+    /// §3.5 `MPI_COMM_WAITALL`: complete every requestless operation issued
+    /// on this communicator.
+    pub fn comm_waitall(&self) -> MpiResult<()> {
+        let pending: Vec<_> = std::mem::take(&mut self.noreq.borrow_mut().pending);
+        let proc = self.proc.clone();
+        for flag in pending {
+            wait_loop(&proc, || flag.load(Ordering::Acquire).then_some(()));
+        }
+        Ok(())
+    }
+
+    /// §3.6 `MPI_ISEND_NOMATCH`: no source/tag match bits; messages are
+    /// matched to `irecv_nomatch` buffers in arrival order. Communicator
+    /// isolation is retained (the paper keeps the communicator bits).
+    pub fn isend_nomatch<T: MpiPrimitive>(
+        &self,
+        data: &[T],
+        dest: i32,
+    ) -> MpiResult<Request<'static>> {
+        isend_impl(
+            self,
+            T::as_bytes(data),
+            &T::DATATYPE,
+            data.len(),
+            dest,
+            0,
+            SendMode::Standard,
+            SendOpts { no_match: true, static_type: true, ..SendOpts::default() },
+        )
+    }
+
+    /// §3.6 receive side: next nomatch message on this communicator, in
+    /// arrival order. The status source is the sender's world rank.
+    pub fn irecv_nomatch<'buf, T: MpiPrimitive>(
+        &self,
+        buf: &'buf mut [T],
+    ) -> MpiResult<Request<'buf>> {
+        let count = buf.len();
+        irecv_impl(
+            self,
+            T::as_bytes_mut(buf),
+            &T::DATATYPE,
+            count,
+            crate::match_bits::ANY_SOURCE,
+            crate::match_bits::ANY_TAG,
+            RecvOpts { no_match: true, global_rank: false, static_type: true },
+        )
+    }
+
+    /// §3.7 `MPI_ISEND_ALL_OPTS`: every proposal fused — world-rank
+    /// addressing, no `PROC_NULL` check, no match bits (arrival-order
+    /// matching), no request object (complete via
+    /// [`Communicator::comm_waitall`]), and the leaner fused netmod path
+    /// (16 instructions end to end on an IPO build).
+    pub fn isend_all_opts<T: MpiPrimitive>(&self, data: &[T], dest_world: i32) -> MpiResult<()> {
+        isend_impl(
+            self,
+            T::as_bytes(data),
+            &T::DATATYPE,
+            data.len(),
+            dest_world,
+            0,
+            SendMode::Standard,
+            SendOpts {
+                all_opts: true,
+                no_proc_null: true,
+                global_rank: true,
+                no_match: true,
+                no_request: true,
+                static_type: true,
+            },
+        )
+        .map(|_| ())
+    }
+
+    /// Blocking convenience over [`Communicator::irecv_nomatch`].
+    pub fn recv_nomatch<T: MpiPrimitive>(&self, buf: &mut [T]) -> MpiResult<Status> {
+        self.irecv_nomatch(buf)?.wait()
+    }
+
+    /// Composable extension send: enable any subset of the §3 proposals
+    /// (see [`SendOptions`]). With `no_request` the returned request is
+    /// already complete and completion happens via
+    /// [`Communicator::comm_waitall`]; with `no_match` the tag is forced
+    /// to the nomatch channel. `dest` is a world rank iff `global_rank`.
+    pub fn isend_with_options<T: MpiPrimitive>(
+        &self,
+        data: &[T],
+        dest: i32,
+        tag: i32,
+        options: SendOptions,
+    ) -> MpiResult<Request<'static>> {
+        isend_impl(
+            self,
+            T::as_bytes(data),
+            &T::DATATYPE,
+            data.len(),
+            dest,
+            if options.no_match { 0 } else { tag },
+            SendMode::Standard,
+            options.into(),
+        )
+    }
+}
+
+impl Window {
+    /// §3.2 `MPI_PUT_VIRTUAL_ADDR`: the application supplies the remote
+    /// virtual address directly (from [`Window::base_addr`] or
+    /// [`Window::attach`]), eliminating the offset→address translation and
+    /// the window-kind check. Usable on *all* window kinds — the proposal's
+    /// fix for the dynamic-window drawbacks.
+    pub fn put_virtual_addr<T: MpiPrimitive>(
+        &self,
+        data: &[T],
+        target: i32,
+        addr: VirtAddr,
+    ) -> MpiResult<()> {
+        self.put_inner(T::as_bytes(data), &T::DATATYPE, data.len(), target, 0, Some(addr), false, true)
+    }
+
+    /// §3.2 `MPI_GET_VIRTUAL_ADDR`.
+    pub fn get_virtual_addr<T: MpiPrimitive>(
+        &self,
+        buf: &mut [T],
+        target: i32,
+        addr: VirtAddr,
+    ) -> MpiResult<()> {
+        let count = buf.len();
+        self.get_inner(T::as_bytes_mut(buf), &T::DATATYPE, count, target, 0, Some(addr), false, true)
+    }
+
+    /// `MPI_RPUT` (request-based RMA): like put, returning a request whose
+    /// completion means the *local* buffer is reusable. In this
+    /// implementation puts capture the buffer at issue, so the request is
+    /// born complete — remote completion still requires the epoch's
+    /// synchronization call, per the standard.
+    pub fn rput<T: MpiPrimitive>(
+        &self,
+        data: &[T],
+        target: i32,
+        disp: usize,
+    ) -> MpiResult<Request<'static>> {
+        self.put(data, target, disp)?;
+        Ok(Request::done(Status::send()))
+    }
+
+    /// `MPI_RGET`: request-based get. Our get paths deliver synchronously
+    /// (native RDMA read, or an awaited AM reply), so the returned request
+    /// is complete and the buffer is already filled.
+    pub fn rget<T: MpiPrimitive>(
+        &self,
+        buf: &mut [T],
+        target: i32,
+        disp: usize,
+    ) -> MpiResult<Request<'static>> {
+        self.get(buf, target, disp)?;
+        Ok(Request::done(Status::send()))
+    }
+
+    /// §3.7 put with every applicable proposal fused: pre-translated
+    /// address, no `PROC_NULL` check, no per-op validation — only the RDMA
+    /// descriptor marshalling remains (19 instructions).
+    pub fn put_all_opts<T: MpiPrimitive>(
+        &self,
+        data: &[T],
+        target: i32,
+        addr: VirtAddr,
+    ) -> MpiResult<()> {
+        self.put_inner(T::as_bytes(data), &T::DATATYPE, data.len(), target, 0, Some(addr), true, true)
+    }
+}

@@ -1,0 +1,98 @@
+//! `MPI_Info` objects — string key/value hints.
+//!
+//! §3.6's alternative proposal ("an MPI info hint on the communicator that
+//! would guarantee that the application would always use MPI_ANY_SOURCE
+//! and MPI_ANY_TAG") motivates keeping a real info-object substrate even
+//! in a performance-focused subset: hints are set at object-creation time,
+//! off the critical path.
+
+use std::collections::BTreeMap;
+
+/// An info object: ordered string key/value pairs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Info {
+    kv: BTreeMap<String, String>,
+}
+
+impl Info {
+    /// `MPI_INFO_CREATE`.
+    pub fn new() -> Info {
+        Info::default()
+    }
+
+    /// `MPI_INFO_SET` (last writer wins).
+    pub fn set(&mut self, key: &str, value: &str) {
+        self.kv.insert(key.to_owned(), value.to_owned());
+    }
+
+    /// `MPI_INFO_GET`.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.kv.get(key).map(|s| s.as_str())
+    }
+
+    /// `MPI_INFO_DELETE`; returns whether the key existed.
+    pub fn delete(&mut self, key: &str) -> bool {
+        self.kv.remove(key).is_some()
+    }
+
+    /// `MPI_INFO_GET_NKEYS`.
+    pub fn nkeys(&self) -> usize {
+        self.kv.len()
+    }
+
+    /// `MPI_INFO_GET_NTHKEY` (keys are kept in sorted order).
+    pub fn nth_key(&self, n: usize) -> Option<&str> {
+        self.kv.keys().nth(n).map(|s| s.as_str())
+    }
+
+    /// Boolean-hint helper: "true"/"false" per the MPI convention.
+    pub fn get_bool(&self, key: &str) -> Option<bool> {
+        match self.get(key)? {
+            "true" => Some(true),
+            "false" => Some(false),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_delete() {
+        let mut info = Info::new();
+        assert_eq!(info.get("no_locks"), None);
+        info.set("no_locks", "true");
+        assert_eq!(info.get("no_locks"), Some("true"));
+        assert_eq!(info.get_bool("no_locks"), Some(true));
+        assert!(info.delete("no_locks"));
+        assert!(!info.delete("no_locks"));
+    }
+
+    #[test]
+    fn last_writer_wins() {
+        let mut info = Info::new();
+        info.set("k", "1");
+        info.set("k", "2");
+        assert_eq!(info.get("k"), Some("2"));
+        assert_eq!(info.nkeys(), 1);
+    }
+
+    #[test]
+    fn nth_key_sorted() {
+        let mut info = Info::new();
+        info.set("b", "2");
+        info.set("a", "1");
+        assert_eq!(info.nth_key(0), Some("a"));
+        assert_eq!(info.nth_key(1), Some("b"));
+        assert_eq!(info.nth_key(2), None);
+    }
+
+    #[test]
+    fn malformed_bool_is_none() {
+        let mut info = Info::new();
+        info.set("x", "yes");
+        assert_eq!(info.get_bool("x"), None);
+    }
+}

@@ -1,0 +1,176 @@
+//! Neighborhood collectives on Cartesian topologies
+//! (`MPI_NEIGHBOR_ALLGATHER` / `MPI_NEIGHBOR_ALLTOALL`).
+//!
+//! MPI-3's neighborhood collectives express exactly the halo pattern the
+//! paper's stencil example uses, letting the implementation pre-plan the
+//! neighbor exchange. Our implementation translates the Cartesian
+//! neighbor ranks **once per call batch** and reuses them — the same
+//! hoisting the paper's §3.1 recommends applications do by hand.
+
+use crate::cart::CartComm;
+use crate::error::MpiResult;
+use crate::match_bits::PROC_NULL;
+use crate::status::Status;
+use litempi_datatype::MpiPrimitive;
+
+impl CartComm {
+    /// Neighbor order per the MPI standard: for each dimension, the
+    /// negative-direction neighbor then the positive-direction neighbor.
+    /// `PROC_NULL` entries appear at non-periodic boundaries (their block
+    /// in the result buffers is left untouched, per the standard).
+    pub fn neighbors(&self) -> Vec<(i32, i32)> {
+        (0..self.dims().len()).map(|d| self.shift(d, 1)).collect()
+    }
+
+    /// `MPI_NEIGHBOR_ALLGATHER`: send `sendbuf` to every neighbor; receive
+    /// one block per neighbor, in standard neighbor order. Returns
+    /// `(data, present)` where `present[i]` is false for `PROC_NULL`
+    /// neighbors (whose block is zero-filled).
+    pub fn neighbor_allgather<T: MpiPrimitive>(
+        &self,
+        sendbuf: &[T],
+    ) -> MpiResult<(Vec<T>, Vec<bool>)> {
+        let neighbors = self.neighbors();
+        let block = sendbuf.len();
+        let n = neighbors.len() * 2;
+        let mut out = vec![T::from_wire(&vec![0u8; T::PREDEFINED.size()]); block * n];
+        let mut present = vec![false; n];
+        let comm = self.comm();
+        // Per dimension: exchange with (negative, positive) neighbors.
+        for (d, &(src, dst)) in neighbors.iter().enumerate() {
+            let tag = 400 + d as i32;
+            // To the positive neighbor, from the negative neighbor...
+            let mut from_neg = vec![sendbuf[0]; block];
+            let mut from_pos = vec![sendbuf[0]; block];
+            let s1: Option<Status> = if dst != PROC_NULL || src != PROC_NULL {
+                // sendrecv handles PROC_NULL endpoints internally.
+                Some(comm.sendrecv(sendbuf, dst, tag, &mut from_neg, src, tag)?)
+            } else {
+                None
+            };
+            let _ = s1;
+            comm.sendrecv(sendbuf, src, tag + 100, &mut from_pos, dst, tag + 100)?;
+            if src != PROC_NULL {
+                out[(2 * d) * block..(2 * d + 1) * block].copy_from_slice(&from_neg);
+                present[2 * d] = true;
+            }
+            if dst != PROC_NULL {
+                out[(2 * d + 1) * block..(2 * d + 2) * block].copy_from_slice(&from_pos);
+                present[2 * d + 1] = true;
+            }
+        }
+        Ok((out, present))
+    }
+
+    /// `MPI_NEIGHBOR_ALLTOALL`: block `i` of `sendbuf` goes to neighbor
+    /// `i` (standard neighbor order); the result's block `i` comes from
+    /// neighbor `i`.
+    pub fn neighbor_alltoall<T: MpiPrimitive>(
+        &self,
+        sendbuf: &[T],
+        block: usize,
+    ) -> MpiResult<(Vec<T>, Vec<bool>)> {
+        let neighbors = self.neighbors();
+        let n = neighbors.len() * 2;
+        assert_eq!(sendbuf.len(), block * n, "need one block per neighbor");
+        let mut out = vec![T::from_wire(&vec![0u8; T::PREDEFINED.size()]); block * n];
+        let mut present = vec![false; n];
+        let comm = self.comm();
+        for (d, &(src, dst)) in neighbors.iter().enumerate() {
+            let tag = 600 + d as i32;
+            let to_neg = &sendbuf[(2 * d) * block..(2 * d + 1) * block];
+            let to_pos = &sendbuf[(2 * d + 1) * block..(2 * d + 2) * block];
+            let mut from_neg = vec![sendbuf[0]; block];
+            let mut from_pos = vec![sendbuf[0]; block];
+            // Send the positive-bound block to dst while receiving the
+            // negative neighbor's positive-bound block, and vice versa.
+            comm.sendrecv(to_pos, dst, tag, &mut from_neg, src, tag)?;
+            comm.sendrecv(to_neg, src, tag + 100, &mut from_pos, dst, tag + 100)?;
+            if src != PROC_NULL {
+                out[(2 * d) * block..(2 * d + 1) * block].copy_from_slice(&from_neg);
+                present[2 * d] = true;
+            }
+            if dst != PROC_NULL {
+                out[(2 * d + 1) * block..(2 * d + 2) * block].copy_from_slice(&from_pos);
+                present[2 * d + 1] = true;
+            }
+        }
+        Ok((out, present))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::Universe;
+
+    #[test]
+    fn neighbor_allgather_periodic_ring() {
+        let n = 4;
+        let out = Universe::run_default(n, |proc| {
+            let world = proc.world();
+            let cart = CartComm::create(&world, &[n], &[true]).unwrap().unwrap();
+            let (data, present) = cart.neighbor_allgather(&[cart.rank() as u64]).unwrap();
+            assert_eq!(present, vec![true, true]);
+            data
+        });
+        for (r, d) in out.iter().enumerate() {
+            let left = (r + n - 1) % n;
+            let right = (r + 1) % n;
+            assert_eq!(d, &vec![left as u64, right as u64], "rank {r}");
+        }
+    }
+
+    #[test]
+    fn neighbor_allgather_nonperiodic_boundary() {
+        let out = Universe::run_default(3, |proc| {
+            let world = proc.world();
+            let cart = CartComm::create(&world, &[3], &[false]).unwrap().unwrap();
+            cart.neighbor_allgather(&[cart.rank() as u64 + 10]).unwrap()
+        });
+        // Rank 0 has no negative neighbor; rank 2 no positive one.
+        assert_eq!(out[0].1, vec![false, true]);
+        assert_eq!(out[0].0[1], 11);
+        assert_eq!(out[2].1, vec![true, false]);
+        assert_eq!(out[2].0[0], 11);
+        assert_eq!(out[1].1, vec![true, true]);
+        assert_eq!(out[1].0, vec![10, 12]);
+    }
+
+    #[test]
+    fn neighbor_allgather_2d() {
+        Universe::run_default(4, |proc| {
+            let world = proc.world();
+            let cart = CartComm::create(&world, &[2, 2], &[true, true]).unwrap().unwrap();
+            let (data, present) = cart.neighbor_allgather(&[cart.rank() as u32]).unwrap();
+            assert_eq!(present, vec![true; 4]);
+            let me = cart.coords_of(cart.rank());
+            let expect = |dx: isize, dy: isize| {
+                cart.rank_of(&[me[0] as isize + dx, me[1] as isize + dy]).unwrap() as u32
+            };
+            assert_eq!(data, vec![expect(-1, 0), expect(1, 0), expect(0, -1), expect(0, 1)]);
+        });
+    }
+
+    #[test]
+    fn neighbor_alltoall_directional_blocks() {
+        let n = 4;
+        let out = Universe::run_default(n, |proc| {
+            let world = proc.world();
+            let cart = CartComm::create(&world, &[n], &[true]).unwrap().unwrap();
+            // Block 0 (to the left neighbor) = rank*10; block 1 (right) =
+            // rank*10+1.
+            let send = [cart.rank() as u64 * 10, cart.rank() as u64 * 10 + 1];
+            let (data, present) = cart.neighbor_alltoall(&send, 1).unwrap();
+            assert_eq!(present, vec![true, true]);
+            data
+        });
+        for (r, d) in out.iter().enumerate() {
+            let left = (r + n - 1) % n;
+            let right = (r + 1) % n;
+            // From my left neighbor I get its right-bound block (x*10+1);
+            // from my right neighbor its left-bound block (x*10).
+            assert_eq!(d, &vec![left as u64 * 10 + 1, right as u64 * 10], "rank {r}");
+        }
+    }
+}

@@ -1,0 +1,353 @@
+//! Reduction operations (`MPI_Op`).
+//!
+//! Predefined operations work element-wise on the wire representation of a
+//! predefined datatype; user operations get the raw byte slices. `MINLOC`/
+//! `MAXLOC` operate on the pair types, per the standard.
+
+use crate::error::{MpiError, MpiResult};
+use litempi_datatype::{Datatype, Predefined, TypeClass};
+use std::sync::Arc;
+
+/// Signature of a user-defined reduction: `accumulate(inout, input)` where
+/// both slices hold `count` packed elements.
+pub type UserOpFn = dyn Fn(&mut [u8], &[u8]) + Send + Sync;
+
+/// A reduction operation.
+#[derive(Clone)]
+pub enum Op {
+    /// `MPI_SUM`.
+    Sum,
+    /// `MPI_PROD`.
+    Prod,
+    /// `MPI_MIN`.
+    Min,
+    /// `MPI_MAX`.
+    Max,
+    /// `MPI_LAND` (logical and; integers, nonzero = true).
+    Land,
+    /// `MPI_LOR`.
+    Lor,
+    /// `MPI_BAND` (bitwise and; integers/bytes).
+    Band,
+    /// `MPI_BOR`.
+    Bor,
+    /// `MPI_BXOR`.
+    Bxor,
+    /// `MPI_MINLOC` on pair types.
+    MinLoc,
+    /// `MPI_MAXLOC` on pair types.
+    MaxLoc,
+    /// `MPI_REPLACE` (RMA accumulate only): new value wins.
+    Replace,
+    /// `MPI_NO_OP` (RMA get_accumulate): leave target untouched.
+    NoOp,
+    /// User-defined operation (`MPI_OP_CREATE`); assumed commutative.
+    User(Arc<UserOpFn>),
+}
+
+impl std::fmt::Debug for Op {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Op::Sum => "MPI_SUM",
+            Op::Prod => "MPI_PROD",
+            Op::Min => "MPI_MIN",
+            Op::Max => "MPI_MAX",
+            Op::Land => "MPI_LAND",
+            Op::Lor => "MPI_LOR",
+            Op::Band => "MPI_BAND",
+            Op::Bor => "MPI_BOR",
+            Op::Bxor => "MPI_BXOR",
+            Op::MinLoc => "MPI_MINLOC",
+            Op::MaxLoc => "MPI_MAXLOC",
+            Op::Replace => "MPI_REPLACE",
+            Op::NoOp => "MPI_NO_OP",
+            Op::User(_) => "user-op",
+        };
+        f.write_str(name)
+    }
+}
+
+macro_rules! fold_numeric {
+    ($ty:ty, $inout:expr, $input:expr, $f:expr) => {{
+        let w = std::mem::size_of::<$ty>();
+        for (io, inp) in $inout.chunks_exact_mut(w).zip($input.chunks_exact(w)) {
+            let a = <$ty>::from_le_bytes(io.try_into().unwrap());
+            let b = <$ty>::from_le_bytes(inp.try_into().unwrap());
+            let f: fn($ty, $ty) -> $ty = $f;
+            io.copy_from_slice(&f(a, b).to_le_bytes());
+        }
+    }};
+}
+
+macro_rules! arith_dispatch {
+    ($pre:expr, $inout:expr, $input:expr, $f_int:expr, $f_uint:expr, $f_float:expr) => {
+        match $pre {
+            Predefined::Int8 => fold_numeric!(i8, $inout, $input, $f_int),
+            Predefined::Int16 => fold_numeric!(i16, $inout, $input, $f_int),
+            Predefined::Int32 => fold_numeric!(i32, $inout, $input, $f_int),
+            Predefined::Int64 => fold_numeric!(i64, $inout, $input, $f_int),
+            Predefined::UInt8 | Predefined::Byte | Predefined::Char => {
+                fold_numeric!(u8, $inout, $input, $f_uint)
+            }
+            Predefined::UInt16 => fold_numeric!(u16, $inout, $input, $f_uint),
+            Predefined::UInt32 => fold_numeric!(u32, $inout, $input, $f_uint),
+            Predefined::UInt64 => fold_numeric!(u64, $inout, $input, $f_uint),
+            Predefined::Float32 => fold_numeric!(f32, $inout, $input, $f_float),
+            Predefined::Float64 => fold_numeric!(f64, $inout, $input, $f_float),
+            Predefined::DoubleInt | Predefined::TwoInt => unreachable!("pair handled earlier"),
+        }
+    };
+}
+
+macro_rules! bitwise_dispatch {
+    ($pre:expr, $inout:expr, $input:expr, $f:expr) => {
+        match $pre {
+            Predefined::Int8 | Predefined::UInt8 | Predefined::Byte | Predefined::Char => {
+                fold_numeric!(u8, $inout, $input, $f)
+            }
+            Predefined::Int16 | Predefined::UInt16 => fold_numeric!(u16, $inout, $input, $f),
+            Predefined::Int32 | Predefined::UInt32 => fold_numeric!(u32, $inout, $input, $f),
+            Predefined::Int64 | Predefined::UInt64 => fold_numeric!(u64, $inout, $input, $f),
+            _ => unreachable!("legality checked earlier"),
+        }
+    };
+}
+
+impl Op {
+    /// Is the op legal on `pre` per the standard's op/type matrix?
+    pub fn legal_on(&self, pre: Predefined) -> bool {
+        match self {
+            Op::Sum | Op::Prod => matches!(pre.class(), TypeClass::Integer | TypeClass::Float),
+            Op::Min | Op::Max => matches!(pre.class(), TypeClass::Integer | TypeClass::Float),
+            Op::Land | Op::Lor => pre.class() == TypeClass::Integer,
+            Op::Band | Op::Bor | Op::Bxor => {
+                matches!(pre.class(), TypeClass::Integer | TypeClass::Bytes)
+            }
+            Op::MinLoc | Op::MaxLoc => pre.class() == TypeClass::Pair,
+            Op::Replace | Op::NoOp | Op::User(_) => true,
+        }
+    }
+
+    /// Apply `inout = inout OP input` element-wise. Both buffers hold
+    /// packed elements of `ty` (which must be predefined for predefined
+    /// ops, per the standard).
+    pub fn apply(&self, ty: &Datatype, inout: &mut [u8], input: &[u8]) -> MpiResult<()> {
+        assert_eq!(inout.len(), input.len(), "reduction buffer length mismatch");
+        if let Op::User(f) = self {
+            f(inout, input);
+            return Ok(());
+        }
+        if matches!(self, Op::NoOp) {
+            return Ok(());
+        }
+        if matches!(self, Op::Replace) {
+            inout.copy_from_slice(input);
+            return Ok(());
+        }
+        let pre = ty
+            .as_predefined()
+            .ok_or(MpiError::InvalidOp("predefined op requires predefined datatype"))?;
+        if !self.legal_on(pre) {
+            return Err(MpiError::InvalidOp("op not defined for this datatype"));
+        }
+        match self {
+            Op::MinLoc | Op::MaxLoc => self.apply_pair(pre, inout, input),
+            Op::Sum => arith_dispatch!(pre, inout, input, |a, b| a.wrapping_add(b), |a, b| a
+                .wrapping_add(b), |a, b| a + b),
+            Op::Prod => arith_dispatch!(pre, inout, input, |a, b| a.wrapping_mul(b), |a, b| a
+                .wrapping_mul(b), |a, b| a * b),
+            Op::Min => {
+                arith_dispatch!(pre, inout, input, |a, b| a.min(b), |a, b| a.min(b), |a, b| a
+                    .min(b))
+            }
+            Op::Max => {
+                arith_dispatch!(pre, inout, input, |a, b| a.max(b), |a, b| a.max(b), |a, b| a
+                    .max(b))
+            }
+            Op::Land => bitwise_dispatch!(pre, inout, input, |a, b| ((a != 0) && (b != 0)) as _),
+            Op::Lor => bitwise_dispatch!(pre, inout, input, |a, b| ((a != 0) || (b != 0)) as _),
+            Op::Band => bitwise_dispatch!(pre, inout, input, |a, b| a & b),
+            Op::Bor => bitwise_dispatch!(pre, inout, input, |a, b| a | b),
+            Op::Bxor => bitwise_dispatch!(pre, inout, input, |a, b| a ^ b),
+            Op::Replace | Op::NoOp | Op::User(_) => unreachable!("handled above"),
+        }
+        Ok(())
+    }
+
+    fn apply_pair(&self, pre: Predefined, inout: &mut [u8], input: &[u8]) {
+        let take_input = |a_val: f64, b_val: f64, a_idx: i32, b_idx: i32| -> bool {
+            let better = match self {
+                Op::MinLoc => b_val < a_val,
+                Op::MaxLoc => b_val > a_val,
+                _ => unreachable!(),
+            };
+            // Ties broken by lower index, per the standard.
+            better || (b_val == a_val && b_idx < a_idx)
+        };
+        let w = pre.size();
+        for (io, inp) in inout.chunks_exact_mut(w).zip(input.chunks_exact(w)) {
+            let (a_val, a_idx, b_val, b_idx) = match pre {
+                Predefined::DoubleInt => (
+                    f64::from_le_bytes(io[0..8].try_into().unwrap()),
+                    i32::from_le_bytes(io[8..12].try_into().unwrap()),
+                    f64::from_le_bytes(inp[0..8].try_into().unwrap()),
+                    i32::from_le_bytes(inp[8..12].try_into().unwrap()),
+                ),
+                Predefined::TwoInt => (
+                    i32::from_le_bytes(io[0..4].try_into().unwrap()) as f64,
+                    i32::from_le_bytes(io[4..8].try_into().unwrap()),
+                    i32::from_le_bytes(inp[0..4].try_into().unwrap()) as f64,
+                    i32::from_le_bytes(inp[4..8].try_into().unwrap()),
+                ),
+                _ => unreachable!(),
+            };
+            if take_input(a_val, b_val, a_idx, b_idx) {
+                io.copy_from_slice(inp);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doubles(xs: &[f64]) -> Vec<u8> {
+        xs.iter().flat_map(|x| x.to_le_bytes()).collect()
+    }
+
+    fn ints(xs: &[i32]) -> Vec<u8> {
+        xs.iter().flat_map(|x| x.to_le_bytes()).collect()
+    }
+
+    #[test]
+    fn sum_doubles() {
+        let mut a = doubles(&[1.0, 2.0, 3.0]);
+        let b = doubles(&[0.5, 0.25, -3.0]);
+        Op::Sum.apply(&Datatype::DOUBLE, &mut a, &b).unwrap();
+        assert_eq!(a, doubles(&[1.5, 2.25, 0.0]));
+    }
+
+    #[test]
+    fn max_ints() {
+        let mut a = ints(&[1, -5, 7]);
+        let b = ints(&[2, -9, 3]);
+        Op::Max.apply(&Datatype::INT32, &mut a, &b).unwrap();
+        assert_eq!(a, ints(&[2, -5, 7]));
+    }
+
+    #[test]
+    fn min_negative_ints() {
+        let mut a = ints(&[1, -5]);
+        let b = ints(&[-2, -3]);
+        Op::Min.apply(&Datatype::INT32, &mut a, &b).unwrap();
+        assert_eq!(a, ints(&[-2, -5]));
+    }
+
+    #[test]
+    fn prod_wraps_integers() {
+        let mut a = ints(&[i32::MAX]);
+        let b = ints(&[2]);
+        Op::Prod.apply(&Datatype::INT32, &mut a, &b).unwrap();
+        assert_eq!(a, ints(&[i32::MAX.wrapping_mul(2)]));
+    }
+
+    #[test]
+    fn logical_ops() {
+        let mut a = ints(&[0, 3, 0]);
+        let b = ints(&[5, 0, 0]);
+        Op::Lor.apply(&Datatype::INT32, &mut a, &b).unwrap();
+        assert_eq!(a, ints(&[1, 1, 0]));
+        let mut a = ints(&[1, 2, 0]);
+        let b = ints(&[1, 0, 0]);
+        Op::Land.apply(&Datatype::INT32, &mut a, &b).unwrap();
+        assert_eq!(a, ints(&[1, 0, 0]));
+    }
+
+    #[test]
+    fn bitwise_ops() {
+        let mut a = vec![0b1100u8];
+        Op::Band.apply(&Datatype::BYTE, &mut a, &[0b1010]).unwrap();
+        assert_eq!(a, vec![0b1000]);
+        Op::Bor.apply(&Datatype::BYTE, &mut a, &[0b0001]).unwrap();
+        assert_eq!(a, vec![0b1001]);
+        Op::Bxor.apply(&Datatype::BYTE, &mut a, &[0b1111]).unwrap();
+        assert_eq!(a, vec![0b0110]);
+    }
+
+    #[test]
+    fn sum_on_bytes_is_illegal() {
+        let mut a = vec![1u8];
+        let e = Op::Sum.apply(&Datatype::BYTE, &mut a, &[2]).unwrap_err();
+        assert!(matches!(e, MpiError::InvalidOp(_)));
+    }
+
+    #[test]
+    fn land_on_double_is_illegal() {
+        let mut a = doubles(&[1.0]);
+        let b = doubles(&[1.0]);
+        assert!(Op::Land.apply(&Datatype::DOUBLE, &mut a, &b).is_err());
+    }
+
+    #[test]
+    fn minloc_picks_value_and_index() {
+        let pair = |v: f64, i: i32| {
+            let mut out = v.to_le_bytes().to_vec();
+            out.extend_from_slice(&i.to_le_bytes());
+            out
+        };
+        let dt = Datatype::basic(Predefined::DoubleInt);
+        let mut a = pair(3.0, 0);
+        Op::MinLoc.apply(&dt, &mut a, &pair(1.0, 1)).unwrap();
+        assert_eq!(a, pair(1.0, 1));
+        // Tie: lower index wins.
+        Op::MinLoc.apply(&dt, &mut a, &pair(1.0, 0)).unwrap();
+        assert_eq!(a, pair(1.0, 0));
+        Op::MinLoc.apply(&dt, &mut a, &pair(1.0, 5)).unwrap();
+        assert_eq!(a, pair(1.0, 0));
+    }
+
+    #[test]
+    fn maxloc_on_two_int() {
+        let pair = |v: i32, i: i32| {
+            let mut out = v.to_le_bytes().to_vec();
+            out.extend_from_slice(&i.to_le_bytes());
+            out
+        };
+        let dt = Datatype::basic(Predefined::TwoInt);
+        let mut a = pair(3, 2);
+        Op::MaxLoc.apply(&dt, &mut a, &pair(7, 4)).unwrap();
+        assert_eq!(a, pair(7, 4));
+        Op::MaxLoc.apply(&dt, &mut a, &pair(5, 0)).unwrap();
+        assert_eq!(a, pair(7, 4));
+    }
+
+    #[test]
+    fn replace_and_noop() {
+        let mut a = ints(&[1, 2]);
+        Op::Replace.apply(&Datatype::INT32, &mut a, &ints(&[9, 8])).unwrap();
+        assert_eq!(a, ints(&[9, 8]));
+        Op::NoOp.apply(&Datatype::INT32, &mut a, &ints(&[0, 0])).unwrap();
+        assert_eq!(a, ints(&[9, 8]));
+    }
+
+    #[test]
+    fn user_op_receives_raw_bytes() {
+        let op = Op::User(Arc::new(|inout: &mut [u8], input: &[u8]| {
+            for (a, b) in inout.iter_mut().zip(input) {
+                *a = a.wrapping_add(*b);
+            }
+        }));
+        let mut a = vec![250u8, 1];
+        op.apply(&Datatype::BYTE, &mut a, &[10, 1]).unwrap();
+        assert_eq!(a, vec![4, 2]);
+    }
+
+    #[test]
+    fn predefined_op_on_derived_type_is_error() {
+        let v = Datatype::contiguous(2, &Datatype::INT32).unwrap().commit();
+        let mut a = vec![0u8; 8];
+        let b = vec![0u8; 8];
+        assert!(Op::Sum.apply(&v, &mut a, &b).is_err());
+    }
+}

@@ -1,0 +1,482 @@
+//! Per-rank process state and the progress engine.
+//!
+//! A [`Process`] is what the application closure receives from
+//! [`Universe::run`](crate::universe::Universe::run): the rank's identity,
+//! its fabric endpoint, the build configuration, and the progress engine
+//! that services active messages (the CH4 core's fallback machinery and
+//! the CH3-like baseline's RMA emulation both ride on it).
+
+use crate::comm::Communicator;
+use crate::config::BuildConfig;
+use crate::op::Op;
+use crate::proto;
+use crate::universe::UnivShared;
+use bytes::Bytes;
+use litempi_datatype::{Datatype, Predefined};
+use litempi_fabric::{AmMessage, Endpoint, NetAddr};
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+/// Number of precreated communicator handles (`MPI_COMM_1`..`MPI_COMM_8`)
+/// provided by the §3.3 extension.
+pub const NUM_PREDEF_COMMS: usize = 8;
+
+/// Slot an AM get/get_accumulate reply lands in (filled by progress).
+pub(crate) type ReplySlot = Arc<Mutex<Option<Vec<u8>>>>;
+
+// --------------------------------------------------------- core matching
+
+/// A pt2pt message delivered over the AM fallback, awaiting core matching.
+#[derive(Debug, Clone)]
+pub(crate) struct CoreMsg {
+    pub bits: u64,
+    pub src_world: usize,
+    pub payload: Bytes,
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct CoreSlot {
+    pub filled: Mutex<Option<CoreMsg>>,
+}
+
+pub(crate) struct CorePosted {
+    pub bits: u64,
+    pub ignore: u64,
+    pub slot: Arc<CoreSlot>,
+}
+
+impl CorePosted {
+    fn matches(&self, incoming: u64) -> bool {
+        (incoming | self.ignore) == (self.bits | self.ignore)
+    }
+}
+
+/// The CH4 core's own matching engine, used when the provider lacks native
+/// tagged matching (paper §2: "it simply falls back to the active-message-
+/// based implementation provided by the ch4 core").
+#[derive(Default)]
+pub(crate) struct CoreMatcher {
+    pub unexpected: Mutex<VecDeque<CoreMsg>>,
+    pub posted: Mutex<Vec<CorePosted>>,
+}
+
+impl CoreMatcher {
+    /// Deliver an incoming AM pt2pt message: match or queue.
+    fn deliver(&self, msg: CoreMsg) {
+        let mut posted = self.posted.lock();
+        if let Some(pos) = posted.iter().position(|p| p.matches(msg.bits)) {
+            let p = posted.remove(pos);
+            *p.slot.filled.lock() = Some(msg);
+        } else {
+            self.unexpected.lock().push_back(msg);
+        }
+    }
+
+    /// Post a receive: satisfy from the unexpected queue or enqueue.
+    pub(crate) fn post(&self, bits: u64, ignore: u64) -> Arc<CoreSlot> {
+        let slot = Arc::new(CoreSlot::default());
+        let probe = CorePosted { bits, ignore, slot: slot.clone() };
+        // Hold the posted lock across the unexpected scan so a concurrent
+        // deliver cannot slip a matching message into `unexpected` after we
+        // scanned it but before we post.
+        let mut posted = self.posted.lock();
+        let mut unexpected = self.unexpected.lock();
+        if let Some(pos) = unexpected.iter().position(|m| probe.matches(m.bits)) {
+            let msg = unexpected.remove(pos).expect("position valid");
+            *slot.filled.lock() = Some(msg);
+        } else {
+            posted.push(probe);
+        }
+        slot
+    }
+
+    /// Remove and return the first matching unexpected message (the AM-
+    /// path substrate for `MPI_MPROBE`).
+    pub(crate) fn dequeue(&self, bits: u64, ignore: u64) -> Option<CoreMsg> {
+        let probe = CorePosted { bits, ignore, slot: Arc::new(CoreSlot::default()) };
+        let mut unexpected = self.unexpected.lock();
+        let pos = unexpected.iter().position(|m| probe.matches(m.bits))?;
+        unexpected.remove(pos)
+    }
+
+    /// Peek without consuming (IPROBE over the AM path).
+    pub(crate) fn peek(&self, bits: u64, ignore: u64) -> Option<CoreMsg> {
+        let probe = CorePosted { bits, ignore, slot: Arc::new(CoreSlot::default()) };
+        self.unexpected.lock().iter().find(|m| probe.matches(m.bits)).cloned()
+    }
+
+    /// Cancel a posted receive (true if it had not yet matched).
+    pub(crate) fn cancel(&self, slot: &Arc<CoreSlot>) -> bool {
+        let mut posted = self.posted.lock();
+        if let Some(pos) = posted.iter().position(|p| Arc::ptr_eq(&p.slot, slot)) {
+            posted.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+// ------------------------------------------------------------- RMA state
+
+/// PSCW notification counters for one window.
+#[derive(Debug, Default)]
+pub(crate) struct PscwCounters {
+    /// Ranks whose "post" we have received (we are an origin in `start`).
+    pub posts: Vec<usize>,
+    /// Number of "complete" notifications received (we are a target in
+    /// `wait`).
+    pub completes: usize,
+}
+
+// ------------------------------------------------------------- ProcInner
+
+/// All per-rank state. `Communicator`, `Window`, and `Request` hold an
+/// `Arc<ProcInner>`.
+pub struct ProcInner {
+    pub(crate) rank: usize,
+    pub(crate) size: usize,
+    pub(crate) endpoint: Endpoint,
+    pub(crate) config: BuildConfig,
+    pub(crate) univ: Arc<UnivShared>,
+    /// The global critical section taken by `MPI_THREAD_MULTIPLE` builds.
+    pub(crate) crit: Mutex<()>,
+    /// CH4-core matching queues (AM-only providers).
+    pub(crate) core_match: CoreMatcher,
+    /// Windows this rank participates in, by window id (progress needs
+    /// them to apply incoming one-sided AMs).
+    pub(crate) my_windows: Mutex<HashMap<u64, Arc<crate::rma::WinShared>>>,
+    /// AM RMA ops applied locally, per window (fence completion counting).
+    pub(crate) win_applied: Mutex<HashMap<u64, u64>>,
+    /// PSCW notification counters per window.
+    pub(crate) pscw: Mutex<HashMap<u64, PscwCounters>>,
+    /// Outstanding get/get_accumulate replies, by op id.
+    pub(crate) pending_replies: Mutex<HashMap<u64, ReplySlot>>,
+    /// Op-id allocator for AM request/reply correlation.
+    pub(crate) next_op_id: AtomicU64,
+    /// Precreated communicator slots (§3.3 extension).
+    pub(crate) predef_comms: [Mutex<Option<Arc<crate::comm::CommShared>>>; NUM_PREDEF_COMMS],
+    /// Attached buffered-send buffer: `Some(capacity_bytes)` when attached
+    /// (`MPI_BUFFER_ATTACH`). Our eager transport copies at injection, so
+    /// the buffer never holds live data — only the capacity check is
+    /// semantically observable, exactly as with a fast eager path in C.
+    pub(crate) bsend_buffer: Mutex<Option<usize>>,
+}
+
+impl ProcInner {
+    pub(crate) fn new(
+        rank: usize,
+        size: usize,
+        endpoint: Endpoint,
+        config: BuildConfig,
+        univ: Arc<UnivShared>,
+    ) -> ProcInner {
+        ProcInner {
+            rank,
+            size,
+            endpoint,
+            config,
+            univ,
+            crit: Mutex::new(()),
+            core_match: CoreMatcher::default(),
+            my_windows: Mutex::new(HashMap::new()),
+            win_applied: Mutex::new(HashMap::new()),
+            pscw: Mutex::new(HashMap::new()),
+            pending_replies: Mutex::new(HashMap::new()),
+            next_op_id: AtomicU64::new(1),
+            predef_comms: Default::default(),
+            bsend_buffer: Mutex::new(None),
+        }
+    }
+
+    /// Drain and handle all pending active messages. Returns how many were
+    /// processed. Called from every blocking loop in the library.
+    pub(crate) fn progress(&self) -> usize {
+        // Release any jitter-deferred tagged traffic first (no-op outside
+        // the jitter stress mode).
+        self.endpoint.pump();
+        let mut n = 0;
+        while let Some(am) = self.endpoint.am_poll() {
+            self.handle_am(am);
+            n += 1;
+        }
+        n
+    }
+
+    fn handle_am(&self, am: AmMessage) {
+        use litempi_instr::{charge, cost, Category};
+        charge(Category::Progress, cost::progress::AM_HANDLER);
+        let (h0, h1, h2, h3) = proto::parse_header(&am.header);
+        match am.handler {
+            proto::AM_PT2PT => {
+                self.core_match
+                    .deliver(CoreMsg { bits: h0, src_world: h3 as usize, payload: am.data });
+            }
+            proto::AM_RMA_PUT => {
+                // h0=win, h1=offset, h2=len, h3=unused.
+                let win = self.window(h0);
+                self.endpoint.fabric().region(win.local_key(self.rank)).write(h1 as usize, &am.data);
+                debug_assert_eq!(h2 as usize, am.data.len());
+                self.note_applied(h0);
+            }
+            proto::AM_RMA_ACC => {
+                // h0=win, h1=offset, h2=len, h3=op+type.
+                let win = self.window(h0);
+                let (op_code, type_idx) = proto::decode_acc(h3);
+                let (op, ty) = decode_acc_op(op_code, type_idx);
+                self.endpoint.fabric().region(win.local_key(self.rank)).update(h1 as usize, h2 as usize, |dst| {
+                    op.apply(&ty, dst, &am.data).expect("acc op legality checked at origin");
+                });
+                self.note_applied(h0);
+            }
+            proto::AM_RMA_GET_REQ => {
+                // h0=win, h1=offset, h2=len, h3=op id.
+                let win = self.window(h0);
+                let data = self.endpoint.fabric().region(win.local_key(self.rank)).read(h1 as usize, h2 as usize);
+                self.endpoint.am_send(
+                    am.src,
+                    proto::AM_RMA_GET_REPLY,
+                    proto::header(h3, 0, 0, 0),
+                    Bytes::from(data),
+                );
+                self.note_applied(h0);
+            }
+            proto::AM_RMA_GETACC_REQ => {
+                // h0=win, h1=offset, h2=len, h3 low=op id; operand type and
+                // op code ride in the first 16 payload bytes.
+                let win = self.window(h0);
+                let acc = u64::from_le_bytes(am.data[0..8].try_into().unwrap());
+                let (op_code, type_idx) = proto::decode_acc(acc);
+                let (op, ty) = decode_acc_op(op_code, type_idx);
+                let operand = &am.data[8..];
+                let mut old = Vec::new();
+                self.endpoint.fabric().region(win.local_key(self.rank)).update(h1 as usize, h2 as usize, |dst| {
+                    old = dst.to_vec();
+                    op.apply(&ty, dst, operand).expect("acc op legality checked at origin");
+                });
+                self.endpoint.am_send(
+                    am.src,
+                    proto::AM_RMA_GET_REPLY,
+                    proto::header(h3, 0, 0, 0),
+                    Bytes::from(old),
+                );
+                self.note_applied(h0);
+            }
+            proto::AM_RMA_GET_REPLY => {
+                let slot = self
+                    .pending_replies
+                    .lock()
+                    .remove(&h0)
+                    .expect("reply for unknown op id");
+                *slot.lock() = Some(am.data.to_vec());
+            }
+            proto::AM_PSCW_POST => {
+                self.pscw.lock().entry(h0).or_default().posts.push(h3 as usize);
+            }
+            proto::AM_PSCW_COMPLETE => {
+                self.pscw.lock().entry(h0).or_default().completes += 1;
+            }
+            other => panic!("unknown AM handler id {other}"),
+        }
+    }
+
+    fn window(&self, id: u64) -> Arc<crate::rma::WinShared> {
+        self.my_windows.lock().get(&id).expect("AM for unknown window").clone()
+    }
+
+    fn note_applied(&self, win_id: u64) {
+        *self.win_applied.lock().entry(win_id).or_insert(0) += 1;
+    }
+
+    /// Run `f` inside the global critical section if this build grants
+    /// `MPI_THREAD_MULTIPLE`; charge the runtime thread-safety check if the
+    /// build carries one. `cost` is the per-op check cost (isend vs put).
+    #[inline]
+    pub(crate) fn with_cs<T>(&self, check_cost: u64, f: impl FnOnce() -> T) -> T {
+        use crate::config::ThreadLevel;
+        use litempi_instr::{charge, Category};
+        if self.config.thread_check {
+            charge(Category::ThreadCheck, check_cost);
+            if self.config.thread_level == ThreadLevel::Multiple {
+                let _guard = self.crit.lock();
+                return f();
+            }
+        }
+        f()
+    }
+
+    /// World rank → physical address (identity in our fabric).
+    #[inline]
+    pub(crate) fn addr_of_world(&self, world: usize) -> NetAddr {
+        NetAddr(world as u32)
+    }
+}
+
+/// Reconstruct (op, datatype) from an accumulate AM header.
+fn decode_acc_op(op_code: u64, type_idx: usize) -> (Op, Datatype) {
+    let pre: Predefined = Predefined::ALL[type_idx];
+    let op = match op_code {
+        proto::acc_op::REPLACE => Op::Replace,
+        proto::acc_op::SUM => Op::Sum,
+        proto::acc_op::MIN => Op::Min,
+        proto::acc_op::MAX => Op::Max,
+        proto::acc_op::PROD => Op::Prod,
+        proto::acc_op::BOR => Op::Bor,
+        proto::acc_op::NO_OP => Op::NoOp,
+        other => panic!("unknown accumulate op code {other}"),
+    };
+    (op, Datatype::basic(pre))
+}
+
+/// Map an [`Op`] to its AM op code (origin side). `None` for ops that
+/// cannot travel over the AM accumulate path (user ops).
+pub(crate) fn acc_code_of(op: &Op) -> Option<u64> {
+    Some(match op {
+        Op::Replace => proto::acc_op::REPLACE,
+        Op::Sum => proto::acc_op::SUM,
+        Op::Min => proto::acc_op::MIN,
+        Op::Max => proto::acc_op::MAX,
+        Op::Prod => proto::acc_op::PROD,
+        Op::Bor => proto::acc_op::BOR,
+        Op::NoOp => proto::acc_op::NO_OP,
+        _ => return None,
+    })
+}
+
+// --------------------------------------------------------------- Process
+
+/// A rank's handle on the job — the owner of `MPI_COMM_WORLD`.
+#[derive(Clone)]
+pub struct Process {
+    pub(crate) inner: Arc<ProcInner>,
+}
+
+impl Process {
+    pub(crate) fn new(inner: Arc<ProcInner>) -> Process {
+        Process { inner }
+    }
+
+    /// This process's rank in `MPI_COMM_WORLD`.
+    pub fn rank(&self) -> usize {
+        self.inner.rank
+    }
+
+    /// World size.
+    pub fn size(&self) -> usize {
+        self.inner.size
+    }
+
+    /// The build configuration this job runs under.
+    pub fn config(&self) -> BuildConfig {
+        self.inner.config
+    }
+
+    /// `MPI_COMM_WORLD`.
+    pub fn world(&self) -> Communicator {
+        Communicator::world(self.inner.clone())
+    }
+
+    /// Drive the progress engine once (mostly useful in tests; the library
+    /// calls it from every blocking loop).
+    pub fn poke_progress(&self) -> usize {
+        self.inner.progress()
+    }
+
+    /// `MPI_BUFFER_ATTACH`: provide `size` bytes for buffered sends.
+    /// Errors if a buffer is already attached.
+    pub fn buffer_attach(&self, size: usize) -> crate::error::MpiResult<()> {
+        let mut buf = self.inner.bsend_buffer.lock();
+        if buf.is_some() {
+            return Err(crate::error::MpiError::ExtensionMisuse(
+                "a bsend buffer is already attached",
+            ));
+        }
+        *buf = Some(size);
+        Ok(())
+    }
+
+    /// `MPI_BUFFER_DETACH`: release the buffered-send buffer, returning
+    /// its size. Errors if none is attached.
+    pub fn buffer_detach(&self) -> crate::error::MpiResult<usize> {
+        self.inner
+            .bsend_buffer
+            .lock()
+            .take()
+            .ok_or(crate::error::MpiError::ExtensionMisuse("no bsend buffer attached"))
+    }
+
+    /// Fabric traffic counters for this rank (messages/bytes sent and
+    /// received, RDMA ops, unexpected-queue hits). Applications diff two
+    /// snapshots to produce the per-iteration communication traces the
+    /// performance models consume.
+    pub fn comm_stats(&self) -> litempi_fabric::stats::StatsSnapshot {
+        self.inner.endpoint.stats()
+    }
+
+    #[cfg(test)]
+    pub(crate) fn univ(&self) -> Arc<UnivShared> {
+        self.inner.univ.clone()
+    }
+}
+
+impl std::fmt::Debug for Process {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Process")
+            .field("rank", &self.inner.rank)
+            .field("size", &self.inner.size)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_matcher_matches_in_post_order() {
+        let m = CoreMatcher::default();
+        let s1 = m.post(5, 0);
+        let s2 = m.post(5, 0);
+        m.deliver(CoreMsg { bits: 5, src_world: 0, payload: Bytes::from_static(b"a") });
+        m.deliver(CoreMsg { bits: 5, src_world: 0, payload: Bytes::from_static(b"b") });
+        assert_eq!(&s1.filled.lock().as_ref().unwrap().payload[..], b"a");
+        assert_eq!(&s2.filled.lock().as_ref().unwrap().payload[..], b"b");
+    }
+
+    #[test]
+    fn core_matcher_unexpected_then_post() {
+        let m = CoreMatcher::default();
+        m.deliver(CoreMsg { bits: 9, src_world: 0, payload: Bytes::from_static(b"early") });
+        let s = m.post(9, 0);
+        assert_eq!(&s.filled.lock().as_ref().unwrap().payload[..], b"early");
+    }
+
+    #[test]
+    fn core_matcher_wildcard_ignore() {
+        let m = CoreMatcher::default();
+        m.deliver(CoreMsg { bits: 0xAB, src_world: 0, payload: Bytes::new() });
+        let s = m.post(0x00, 0xFF);
+        assert!(s.filled.lock().is_some());
+    }
+
+    #[test]
+    fn core_matcher_cancel() {
+        let m = CoreMatcher::default();
+        let s = m.post(1, 0);
+        assert!(m.cancel(&s));
+        m.deliver(CoreMsg { bits: 1, src_world: 0, payload: Bytes::new() });
+        // Cancelled receive must not consume the message.
+        assert!(s.filled.lock().is_none());
+        assert!(m.peek(1, 0).is_some());
+    }
+
+    #[test]
+    fn core_matcher_peek_does_not_consume() {
+        let m = CoreMatcher::default();
+        m.deliver(CoreMsg { bits: 2, src_world: 0, payload: Bytes::new() });
+        assert!(m.peek(2, 0).is_some());
+        assert!(m.peek(2, 0).is_some());
+    }
+}

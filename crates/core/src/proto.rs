@@ -1,0 +1,198 @@
+//! Wire protocol: payload envelopes, active-message handler ids, and
+//! header encodings shared by the devices.
+//!
+//! Two-sided payloads start with a one-byte kind: eager data travels
+//! inline; large or synchronous-mode sends travel as an RTS (ready-to-send)
+//! descriptor whose data the receiver *pulls* from the rendezvous table —
+//! the RDMA-read rendezvous protocol used by modern MPI stacks.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// Payload kind for tagged messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PayloadKind {
+    /// Inline eager data.
+    Eager,
+    /// Rendezvous RTS: payload is `[rndv_id: u64][len: u64]`.
+    Rts,
+}
+
+/// Encode an eager payload.
+pub fn eager(data: &[u8]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(1 + data.len());
+    buf.put_u8(0);
+    buf.put_slice(data);
+    buf.freeze()
+}
+
+/// Encode an RTS payload.
+pub fn rts(rndv_id: u64, len: usize) -> Bytes {
+    let mut buf = BytesMut::with_capacity(17);
+    buf.put_u8(1);
+    buf.put_u64_le(rndv_id);
+    buf.put_u64_le(len as u64);
+    buf.freeze()
+}
+
+/// Decode a tagged payload.
+pub fn decode(payload: &Bytes) -> (PayloadKind, DecodedPayload<'_>) {
+    match payload.first() {
+        Some(0) => (PayloadKind::Eager, DecodedPayload::Eager(&payload[1..])),
+        Some(1) => {
+            let rndv_id = u64::from_le_bytes(payload[1..9].try_into().expect("rts header"));
+            let len = u64::from_le_bytes(payload[9..17].try_into().expect("rts header")) as usize;
+            (PayloadKind::Rts, DecodedPayload::Rts { rndv_id, len })
+        }
+        other => panic!("corrupt payload envelope: kind {other:?}"),
+    }
+}
+
+/// Decoded view of a tagged payload.
+#[derive(Debug)]
+pub enum DecodedPayload<'a> {
+    /// Eager data slice.
+    Eager(&'a [u8]),
+    /// Rendezvous descriptor.
+    Rts {
+        /// Rendezvous-table key.
+        rndv_id: u64,
+        /// Full message length.
+        len: usize,
+    },
+}
+
+// ------------------------------------------------------------------ AM ids
+
+/// Pt2pt message carried over active messages (AM-only provider: the CH4
+/// core runs its own matching).
+pub const AM_PT2PT: u16 = 1;
+/// One-sided put applied by the target's progress engine.
+pub const AM_RMA_PUT: u16 = 2;
+/// One-sided get request (reply expected).
+pub const AM_RMA_GET_REQ: u16 = 3;
+/// Reply to a get/get_accumulate request.
+pub const AM_RMA_GET_REPLY: u16 = 4;
+/// One-sided accumulate.
+pub const AM_RMA_ACC: u16 = 5;
+/// Get-accumulate (fetch then op; reply expected).
+pub const AM_RMA_GETACC_REQ: u16 = 6;
+/// PSCW: exposure-epoch "post" notification.
+pub const AM_PSCW_POST: u16 = 7;
+/// PSCW: access-epoch "complete" notification.
+pub const AM_PSCW_COMPLETE: u16 = 8;
+
+/// Fixed-size AM header layout helpers. The 32-byte header carries four
+/// u64 fields; their meaning depends on the handler id:
+///
+/// | handler            | h0          | h1      | h2    | h3         |
+/// |--------------------|-------------|---------|-------|------------|
+/// | `AM_PT2PT`         | match_bits  | —       | —     | src world  |
+/// | `AM_RMA_PUT`/`ACC` | win id      | offset  | len   | op code    |
+/// | `AM_RMA_GET_REQ`   | win id      | offset  | len   | op id      |
+/// | `AM_RMA_GETACC_REQ`| win id      | offset  | len   | op id      |
+/// | `AM_RMA_GET_REPLY` | op id       | —       | —     | —          |
+/// | `AM_PSCW_*`        | win id      | —       | —     | src rank   |
+pub fn header(h0: u64, h1: u64, h2: u64, h3: u64) -> [u8; 32] {
+    let mut out = [0u8; 32];
+    out[0..8].copy_from_slice(&h0.to_le_bytes());
+    out[8..16].copy_from_slice(&h1.to_le_bytes());
+    out[16..24].copy_from_slice(&h2.to_le_bytes());
+    out[24..32].copy_from_slice(&h3.to_le_bytes());
+    out
+}
+
+/// Decode the four u64 header fields.
+pub fn parse_header(h: &[u8; 32]) -> (u64, u64, u64, u64) {
+    (
+        u64::from_le_bytes(h[0..8].try_into().unwrap()),
+        u64::from_le_bytes(h[8..16].try_into().unwrap()),
+        u64::from_le_bytes(h[16..24].try_into().unwrap()),
+        u64::from_le_bytes(h[24..32].try_into().unwrap()),
+    )
+}
+
+/// Op codes for accumulate-family AM headers (h3 of `AM_RMA_ACC`).
+pub mod acc_op {
+    /// `MPI_REPLACE` (plain put semantics under accumulate atomicity).
+    pub const REPLACE: u64 = 0;
+    /// `MPI_SUM`.
+    pub const SUM: u64 = 1;
+    /// `MPI_MIN`.
+    pub const MIN: u64 = 2;
+    /// `MPI_MAX`.
+    pub const MAX: u64 = 3;
+    /// `MPI_PROD`.
+    pub const PROD: u64 = 4;
+    /// `MPI_BOR`.
+    pub const BOR: u64 = 5;
+    /// `MPI_NO_OP` (get_accumulate fetch-only).
+    pub const NO_OP: u64 = 6;
+}
+
+/// Encode an accumulate op + operand type into the h3 header field:
+/// low 32 bits = op code, high 32 bits = index into
+/// `litempi_datatype::Predefined::ALL` (the operand's predefined type).
+pub fn encode_acc(op: u64, type_idx: usize) -> u64 {
+    op | ((type_idx as u64) << 32)
+}
+
+/// Decode an accumulate h3 field into (op code, predefined type index).
+pub fn decode_acc(h3: u64) -> (u64, usize) {
+    (h3 & 0xFFFF_FFFF, (h3 >> 32) as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eager_roundtrip() {
+        let p = eager(b"payload");
+        match decode(&p) {
+            (PayloadKind::Eager, DecodedPayload::Eager(d)) => assert_eq!(d, b"payload"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_eager() {
+        let p = eager(b"");
+        match decode(&p) {
+            (PayloadKind::Eager, DecodedPayload::Eager(d)) => assert!(d.is_empty()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rts_roundtrip() {
+        let p = rts(0xDEAD_BEEF, 1 << 20);
+        match decode(&p) {
+            (PayloadKind::Rts, DecodedPayload::Rts { rndv_id, len }) => {
+                assert_eq!(rndv_id, 0xDEAD_BEEF);
+                assert_eq!(len, 1 << 20);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "corrupt payload")]
+    fn bad_kind_panics() {
+        let p = Bytes::from_static(&[9, 9, 9]);
+        let _ = decode(&p);
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let h = header(1, u64::MAX, 42, 7);
+        assert_eq!(parse_header(&h), (1, u64::MAX, 42, 7));
+    }
+
+    #[test]
+    fn acc_encoding_roundtrip() {
+        let h3 = encode_acc(acc_op::SUM, 8);
+        assert_eq!(decode_acc(h3), (acc_op::SUM, 8));
+        let h3 = encode_acc(acc_op::REPLACE, 12);
+        assert_eq!(decode_acc(h3), (acc_op::REPLACE, 12));
+    }
+}

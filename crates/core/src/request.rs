@@ -1,0 +1,372 @@
+//! Requests — MPI's per-operation completion objects (paper §3.5).
+//!
+//! A [`Request`] borrows the receive buffer it will fill, so Rust's borrow
+//! checker statically enforces the MPI rule that a buffer handed to
+//! `MPI_IRECV` must not be touched until the request completes. Send
+//! requests own no buffer (the data was captured at injection).
+//!
+//! Blocking completion runs a progress loop: poll the completion source,
+//! drive the process's active-message progress engine, yield. Every
+//! blocking call in the library funnels through [`wait_loop`] so that
+//! AM-fallback traffic (and the CH3-like baseline's RMA emulation) always
+//! makes progress no matter where a rank blocks.
+
+use crate::error::{MpiError, MpiResult};
+use crate::match_bits;
+use crate::process::{CoreSlot, ProcInner};
+use crate::proto::{self, DecodedPayload};
+use crate::status::Status;
+use bytes::Bytes;
+use litempi_datatype::{pack, Datatype};
+use litempi_fabric::endpoint::RecvHandle;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Spin a completion poll, interleaving progress. The yield keeps the
+/// single-CPU simulation live; on a real machine this is the MPICH
+/// progress-wait loop.
+pub(crate) fn wait_loop<T>(proc: &ProcInner, mut poll: impl FnMut() -> Option<T>) -> T {
+    let mut spins = 0u32;
+    loop {
+        if let Some(v) = poll() {
+            return v;
+        }
+        proc.progress();
+        spins = spins.wrapping_add(1);
+        if spins & 0x3 == 0 {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Where a receive lands: the user buffer and how to interpret it.
+pub(crate) struct RecvDest<'buf> {
+    pub buf: &'buf mut [u8],
+    pub ty: Datatype,
+    pub count: usize,
+}
+
+impl RecvDest<'_> {
+    /// Deliver wire bytes into the user buffer, honoring the datatype
+    /// layout. Returns the delivered byte count.
+    fn deliver(&mut self, wire: &[u8]) -> MpiResult<usize> {
+        let capacity = pack::packed_size(&self.ty, self.count);
+        if wire.len() > capacity {
+            return Err(MpiError::Truncate { message: wire.len(), buffer: capacity });
+        }
+        if self.ty.is_contiguous() {
+            self.buf[..wire.len()].copy_from_slice(wire);
+        } else {
+            let elem = self.ty.size();
+            if elem == 0 || !wire.len().is_multiple_of(elem) {
+                return Err(MpiError::InvalidCount(wire.len() as i64));
+            }
+            pack::unpack(&self.ty, wire.len() / elem, wire, self.buf);
+        }
+        Ok(wire.len())
+    }
+}
+
+/// Resolve a matched message (eager or rendezvous) into the destination
+/// buffer, producing the receive status.
+pub(crate) fn complete_recv(
+    proc: &ProcInner,
+    bits: u64,
+    fabric_src_world: usize,
+    payload: &Bytes,
+    dest: &mut RecvDest<'_>,
+) -> MpiResult<Status> {
+    let (_, decoded) = proto::decode(payload);
+    let bytes = match decoded {
+        DecodedPayload::Eager(data) => dest.deliver(data)?,
+        DecodedPayload::Rts { rndv_id, .. } => {
+            let data = proc.univ.pull_rndv(rndv_id);
+            dest.deliver(&data)?
+        }
+    };
+    let source = if match_bits::is_nomatch(bits) {
+        // No source bits on the nomatch channel; report the physical
+        // sender's world rank (documented extension semantics).
+        fabric_src_world as i32
+    } else {
+        match_bits::decode_src(bits) as i32
+    };
+    let tag = if match_bits::is_nomatch(bits) { 0 } else { match_bits::decode_tag(bits) };
+    Ok(Status { source, tag, bytes })
+}
+
+enum ReqInner<'buf> {
+    /// Completed at creation (eager send, PROC_NULL, immediate match).
+    Done(Status),
+    /// Rendezvous send waiting for the receiver's pull.
+    SendRndv { proc: Arc<ProcInner>, done: Arc<AtomicBool> },
+    /// Receive posted to the fabric's native matching.
+    RecvFabric { proc: Arc<ProcInner>, handle: RecvHandle, dest: RecvDest<'buf> },
+    /// Receive posted to the CH4 core matcher (AM-only provider).
+    RecvCore { proc: Arc<ProcInner>, slot: Arc<CoreSlot>, dest: RecvDest<'buf> },
+    /// Consumed (waited or cancelled); kept so `test` can be called on a
+    /// completed request without double-delivery.
+    Consumed,
+}
+
+/// A nonblocking-operation handle.
+pub struct Request<'buf> {
+    inner: ReqInner<'buf>,
+}
+
+impl<'buf> Request<'buf> {
+    pub(crate) fn done(status: Status) -> Request<'static> {
+        Request { inner: ReqInner::Done(status) }
+    }
+
+    pub(crate) fn send_rndv(proc: Arc<ProcInner>, done: Arc<AtomicBool>) -> Request<'static> {
+        Request { inner: ReqInner::SendRndv { proc, done } }
+    }
+
+    pub(crate) fn recv_fabric(
+        proc: Arc<ProcInner>,
+        handle: RecvHandle,
+        dest: RecvDest<'buf>,
+    ) -> Request<'buf> {
+        Request { inner: ReqInner::RecvFabric { proc, handle, dest } }
+    }
+
+    pub(crate) fn recv_core(
+        proc: Arc<ProcInner>,
+        slot: Arc<CoreSlot>,
+        dest: RecvDest<'buf>,
+    ) -> Request<'buf> {
+        Request { inner: ReqInner::RecvCore { proc, slot, dest } }
+    }
+
+    /// `MPI_WAIT`: block until the operation completes.
+    pub fn wait(mut self) -> MpiResult<Status> {
+        match self.test()? {
+            Some(status) => Ok(status),
+            None => {
+                // Re-enter the blocking path on the remaining variants.
+                match std::mem::replace(&mut self.inner, ReqInner::Consumed) {
+                    ReqInner::SendRndv { proc, done } => {
+                        wait_loop(&proc, || done.load(Ordering::Acquire).then_some(()));
+                        Ok(Status::send())
+                    }
+                    ReqInner::RecvFabric { proc, handle, mut dest } => {
+                        let msg = wait_loop(&proc, || handle.poll());
+                        complete_recv(
+                            &proc,
+                            msg.match_bits,
+                            msg.src.index(),
+                            &msg.data,
+                            &mut dest,
+                        )
+                    }
+                    ReqInner::RecvCore { proc, slot, mut dest } => {
+                        let msg = wait_loop(&proc, || slot.filled.lock().take());
+                        complete_recv(&proc, msg.bits, msg.src_world, &msg.payload, &mut dest)
+                    }
+                    ReqInner::Done(s) => Ok(s),
+                    ReqInner::Consumed => {
+                        Err(MpiError::InvalidRequest("request already consumed"))
+                    }
+                }
+            }
+        }
+    }
+
+    /// `MPI_TEST`: nonblocking completion check. On completion the request
+    /// transitions to `Done` and subsequent `wait`/`test` return the same
+    /// status.
+    pub fn test(&mut self) -> MpiResult<Option<Status>> {
+        let inner = std::mem::replace(&mut self.inner, ReqInner::Consumed);
+        match inner {
+            ReqInner::Done(s) => {
+                self.inner = ReqInner::Done(s);
+                Ok(Some(s))
+            }
+            ReqInner::SendRndv { proc, done } => {
+                proc.progress();
+                if done.load(Ordering::Acquire) {
+                    let s = Status::send();
+                    self.inner = ReqInner::Done(s);
+                    Ok(Some(s))
+                } else {
+                    self.inner = ReqInner::SendRndv { proc, done };
+                    Ok(None)
+                }
+            }
+            ReqInner::RecvFabric { proc, handle, mut dest } => {
+                proc.progress();
+                if let Some(msg) = handle.poll() {
+                    let s = complete_recv(
+                        &proc,
+                        msg.match_bits,
+                        msg.src.index(),
+                        &msg.data,
+                        &mut dest,
+                    )?;
+                    self.inner = ReqInner::Done(s);
+                    Ok(Some(s))
+                } else {
+                    self.inner = ReqInner::RecvFabric { proc, handle, dest };
+                    Ok(None)
+                }
+            }
+            ReqInner::RecvCore { proc, slot, mut dest } => {
+                proc.progress();
+                let taken = slot.filled.lock().take();
+                if let Some(msg) = taken {
+                    let s = complete_recv(&proc, msg.bits, msg.src_world, &msg.payload, &mut dest)?;
+                    self.inner = ReqInner::Done(s);
+                    Ok(Some(s))
+                } else {
+                    self.inner = ReqInner::RecvCore { proc, slot, dest };
+                    Ok(None)
+                }
+            }
+            ReqInner::Consumed => Err(MpiError::InvalidRequest("request already consumed")),
+        }
+    }
+
+    /// `MPI_CANCEL` (receives only): `true` if cancelled before matching.
+    pub fn cancel(self) -> bool {
+        match self.inner {
+            ReqInner::RecvFabric { handle, .. } => handle.cancel(),
+            ReqInner::RecvCore { proc, slot, .. } => proc.core_match.cancel(&slot),
+            _ => false,
+        }
+    }
+
+    /// Has the request already completed (without driving progress)?
+    pub fn is_done(&self) -> bool {
+        matches!(self.inner, ReqInner::Done(_))
+    }
+}
+
+impl std::fmt::Debug for Request<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = match &self.inner {
+            ReqInner::Done(_) => "done",
+            ReqInner::SendRndv { .. } => "send-rndv",
+            ReqInner::RecvFabric { .. } => "recv-fabric",
+            ReqInner::RecvCore { .. } => "recv-core",
+            ReqInner::Consumed => "consumed",
+        };
+        write!(f, "Request({state})")
+    }
+}
+
+/// `MPI_WAITALL`: complete every request, in order, collecting statuses.
+pub fn waitall(reqs: Vec<Request<'_>>) -> MpiResult<Vec<Status>> {
+    reqs.into_iter().map(|r| r.wait()).collect()
+}
+
+/// `MPI_WAITANY`: complete one request; returns (index, status, rest).
+/// The remaining requests are returned so callers can keep waiting.
+pub fn waitany<'b>(mut reqs: Vec<Request<'b>>) -> MpiResult<(usize, Status, Vec<Request<'b>>)> {
+    assert!(!reqs.is_empty(), "waitany on empty request list");
+    loop {
+        for (i, r) in reqs.iter_mut().enumerate() {
+            if let Some(s) = r.test()? {
+                let _done = reqs.remove(i);
+                return Ok((i, s, reqs));
+            }
+        }
+        std::thread::yield_now();
+    }
+}
+
+/// `MPI_TESTALL`: `Some(statuses)` iff *every* request is complete;
+/// otherwise `None` with all requests untouched (partially completed ones
+/// cache their status internally, per MPI semantics).
+pub fn testall(reqs: &mut [Request<'_>]) -> MpiResult<Option<Vec<Status>>> {
+    let mut statuses = Vec::with_capacity(reqs.len());
+    let mut all = true;
+    for r in reqs.iter_mut() {
+        match r.test()? {
+            Some(s) => statuses.push(s),
+            None => {
+                all = false;
+                break;
+            }
+        }
+    }
+    Ok(all.then_some(statuses))
+}
+
+/// `MPI_TESTANY`: `Some((index, status))` for the first complete request
+/// found, removing it from the vector; `None` if none are ready.
+pub fn testany(reqs: &mut Vec<Request<'_>>) -> MpiResult<Option<(usize, Status)>> {
+    for i in 0..reqs.len() {
+        if let Some(s) = reqs[i].test()? {
+            reqs.remove(i);
+            return Ok(Some((i, s)));
+        }
+    }
+    Ok(None)
+}
+
+/// `MPI_WAITSOME`: block until at least one request completes, then return
+/// every currently-complete request's (original index, status). The
+/// incomplete remainder stays in `reqs` (with positions shifted, as with
+/// `MPI_WAITSOME`'s deflation in C).
+pub fn waitsome(reqs: &mut Vec<Request<'_>>) -> MpiResult<Vec<(usize, Status)>> {
+    assert!(!reqs.is_empty(), "waitsome on empty request list");
+    loop {
+        let mut done = Vec::new();
+        let mut i = 0;
+        let mut original = 0;
+        while i < reqs.len() {
+            if let Some(s) = reqs[i].test()? {
+                reqs.remove(i);
+                done.push((original, s));
+            } else {
+                i += 1;
+            }
+            original += 1;
+        }
+        if !done.is_empty() {
+            return Ok(done);
+        }
+        std::thread::yield_now();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn done_request_wait_and_test() {
+        let s = Status { source: 1, tag: 2, bytes: 3 };
+        let mut r = Request::done(s);
+        assert!(r.is_done());
+        assert_eq!(r.test().unwrap(), Some(s));
+        assert_eq!(r.wait().unwrap(), s);
+    }
+
+    #[test]
+    fn recv_dest_contiguous_delivery() {
+        let mut buf = [0u8; 8];
+        let mut dest = RecvDest { buf: &mut buf, ty: Datatype::BYTE, count: 8 };
+        let n = dest.deliver(&[1, 2, 3]).unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(&buf[..3], &[1, 2, 3]);
+    }
+
+    #[test]
+    fn recv_dest_truncation_detected() {
+        let mut buf = [0u8; 2];
+        let mut dest = RecvDest { buf: &mut buf, ty: Datatype::BYTE, count: 2 };
+        let e = dest.deliver(&[1, 2, 3]).unwrap_err();
+        assert!(matches!(e, MpiError::Truncate { message: 3, buffer: 2 }));
+    }
+
+    #[test]
+    fn recv_dest_noncontiguous_unpack() {
+        let ty = Datatype::vector(2, 1, 2, &Datatype::BYTE).unwrap().commit();
+        let mut buf = [0xFFu8; 4];
+        let mut dest = RecvDest { buf: &mut buf, ty, count: 1 };
+        dest.deliver(&[7, 9]).unwrap();
+        assert_eq!(buf, [7, 0xFF, 9, 0xFF]);
+    }
+}

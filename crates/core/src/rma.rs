@@ -1,0 +1,973 @@
+//! One-sided communication (RMA) — the paper's `MPI_PUT` critical path.
+//!
+//! The fast path mirrors CH4: when the provider has native RDMA and the
+//! origin layout is contiguous, a put is a single descriptor handed to the
+//! fabric — the 44-instruction path of Table 1. Non-contiguous layouts and
+//! RDMA-less providers take the CH4 core's active-message fallback; the
+//! `original` device *always* emulates RMA over active messages, which is
+//! precisely why the paper measures 1342 instructions for CH3's `MPI_PUT`.
+//!
+//! §3.2's proposal is implemented as the `*_virtual_addr` operations on
+//! [`VirtAddr`] handles (usable on *all* window kinds, removing the dynamic
+//! -window disadvantage the paper describes); §3.3's precreated-handle idea
+//! appears as the `all_opts` put variant in `ext.rs`.
+
+use crate::coll;
+use crate::comm::Communicator;
+use crate::error::{MpiError, MpiResult};
+use crate::group::Group;
+use crate::match_bits::PROC_NULL;
+use crate::op::Op;
+use crate::process::{acc_code_of, ProcInner};
+use crate::proto;
+use crate::request::wait_loop;
+use bytes::Bytes;
+use litempi_datatype::{pack, Datatype, MpiPrimitive};
+use litempi_fabric::{MemoryRegion, RegionKey};
+use litempi_instr::{charge, cost, Category};
+use parking_lot::{Condvar, Mutex};
+use std::cell::{Cell, RefCell};
+use std::sync::Arc;
+
+/// A remotely accessible virtual address (§3.2): names a registered region
+/// and a byte offset within it. Obtained from [`Window::base_addr`] or
+/// [`Window::attach`], then offset with [`VirtAddr::byte_offset`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VirtAddr {
+    pub(crate) key: RegionKey,
+    pub(crate) byte: usize,
+}
+
+impl VirtAddr {
+    /// Displace the address by `delta` bytes.
+    pub fn byte_offset(self, delta: usize) -> VirtAddr {
+        VirtAddr { key: self.key, byte: self.byte + delta }
+    }
+
+    /// Serialize for the wire (applications exchange window addresses with
+    /// peers, e.g. after `MPI_WIN_ATTACH` on a dynamic window — the MPI
+    /// analogue is sending an `MPI_Aint`).
+    pub fn to_raw(self) -> (u64, u64) {
+        (self.key.0, self.byte as u64)
+    }
+
+    /// Reconstruct an address received from a peer.
+    pub fn from_raw(key: u64, byte: u64) -> VirtAddr {
+        VirtAddr { key: RegionKey(key), byte: byte as usize }
+    }
+}
+
+/// `MPI_LOCK_SHARED` / `MPI_LOCK_EXCLUSIVE`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockType {
+    /// Multiple concurrent origins allowed.
+    Shared,
+    /// Single origin.
+    Exclusive,
+}
+
+/// Passive-target lock state for one target rank.
+#[derive(Debug, Default)]
+pub(crate) struct TargetLock {
+    state: Mutex<LockSt>,
+    cv: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct LockSt {
+    exclusive: bool,
+    shared: usize,
+}
+
+impl TargetLock {
+    fn acquire(&self, kind: LockType) {
+        let mut st = self.state.lock();
+        match kind {
+            LockType::Exclusive => {
+                while st.exclusive || st.shared > 0 {
+                    self.cv.wait(&mut st);
+                }
+                st.exclusive = true;
+            }
+            LockType::Shared => {
+                while st.exclusive {
+                    self.cv.wait(&mut st);
+                }
+                st.shared += 1;
+            }
+        }
+    }
+
+    fn release(&self, kind: LockType) {
+        let mut st = self.state.lock();
+        match kind {
+            LockType::Exclusive => {
+                debug_assert!(st.exclusive);
+                st.exclusive = false;
+            }
+            LockType::Shared => {
+                debug_assert!(st.shared > 0);
+                st.shared -= 1;
+            }
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+}
+
+/// Window kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WinKind {
+    /// `MPI_WIN_CREATE` / `MPI_WIN_ALLOCATE`: offset-addressed.
+    Static,
+    /// `MPI_WIN_CREATE_DYNAMIC`: address-based only (§3.2 discussion).
+    Dynamic,
+}
+
+/// State shared by all ranks of a window.
+pub(crate) struct WinShared {
+    pub id: u64,
+    pub keys: Vec<RegionKey>,
+    pub lens: Vec<usize>,
+    pub disp_units: Vec<usize>,
+    pub group: Group,
+    pub locks: Vec<TargetLock>,
+}
+
+impl WinShared {
+    /// The region key exposed by the process with the given *world* rank
+    /// (used by the AM progress engine, which only knows world identities).
+    pub fn local_key(&self, world: usize) -> RegionKey {
+        let local = self.group.local_rank(world).expect("AM target not in window group");
+        self.keys[local]
+    }
+}
+
+/// Which access epoch an operation is issued under (used to route the AM
+/// fallback: exposure-driven epochs deliver true AMs; passive epochs apply
+/// at the origin, modeling a device-offloaded handler).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EpochKind {
+    Fence,
+    Start,
+    Passive,
+}
+
+/// An RMA window.
+pub struct Window {
+    shared: Arc<WinShared>,
+    comm: Communicator,
+    kind: WinKind,
+    fence_active: Cell<bool>,
+    start_group: RefCell<Option<Vec<usize>>>,
+    post_group: RefCell<Option<Vec<usize>>>,
+    locks_held: RefCell<Vec<(usize, LockType)>>,
+    lock_all: Cell<bool>,
+    /// AM ops sent per target since the last fence (fence completion).
+    sent_am: RefCell<Vec<u64>>,
+    /// Applied-op baseline at the last fence.
+    applied_seen: Cell<u64>,
+    /// My own attached regions (dynamic windows).
+    attached: RefCell<Vec<MemoryRegion>>,
+}
+
+impl Window {
+    fn proc(&self) -> &Arc<ProcInner> {
+        &self.comm.proc
+    }
+
+    /// `MPI_WIN_CREATE`/`MPI_WIN_ALLOCATE` (collective): expose `len` bytes
+    /// with the given displacement unit. (Both MPI functions map here: the
+    /// window memory lives in the fabric's registered-region store, which
+    /// is what `MPI_WIN_ALLOCATE` does on RDMA networks.)
+    pub fn create(comm: &Communicator, len: usize, disp_unit: usize) -> MpiResult<Window> {
+        if disp_unit == 0 {
+            return Err(MpiError::InvalidWin("displacement unit must be positive"));
+        }
+        Window::build(comm, len, disp_unit, WinKind::Static)
+    }
+
+    /// `MPI_WIN_CREATE_DYNAMIC` (collective): no initial memory; use
+    /// [`Window::attach`] and address-based operations.
+    pub fn create_dynamic(comm: &Communicator) -> MpiResult<Window> {
+        Window::build(comm, 0, 1, WinKind::Dynamic)
+    }
+
+    fn build(comm: &Communicator, len: usize, disp_unit: usize, kind: WinKind) -> MpiResult<Window> {
+        let wcomm = comm.dup();
+        let proc = wcomm.proc.clone();
+        let region = proc.endpoint.register(len);
+        let mine = [region.key().0, len as u64, disp_unit as u64];
+        let all = coll::allgather(&wcomm, &mine)?;
+        let size = wcomm.size();
+        let keys: Vec<RegionKey> = (0..size).map(|r| RegionKey(all[3 * r])).collect();
+        let lens: Vec<usize> = (0..size).map(|r| all[3 * r + 1] as usize).collect();
+        let disp_units: Vec<usize> = (0..size).map(|r| all[3 * r + 2] as usize).collect();
+        let group = wcomm.group().clone();
+        let univ = &proc.univ;
+        let ctx = wcomm.context_id().0;
+        let shared = univ.meet.meet((ctx, u64::MAX, 0), size, || WinShared {
+            id: univ.next_win.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            keys,
+            lens,
+            disp_units,
+            group,
+            locks: (0..size).map(|_| TargetLock::default()).collect(),
+        });
+        proc.my_windows.lock().insert(shared.id, shared.clone());
+        let win = Window {
+            shared,
+            kind,
+            fence_active: Cell::new(false),
+            start_group: RefCell::new(None),
+            post_group: RefCell::new(None),
+            locks_held: RefCell::new(Vec::new()),
+            lock_all: Cell::new(false),
+            sent_am: RefCell::new(vec![0; size]),
+            applied_seen: Cell::new(0),
+            attached: RefCell::new(vec![region]),
+            comm: wcomm,
+        };
+        // Ensure every rank has registered the window with its progress
+        // engine before anyone issues one-sided traffic at it.
+        coll::barrier(&win.comm)?;
+        Ok(win)
+    }
+
+    /// `MPI_WIN_FREE` (collective).
+    pub fn free(self) -> MpiResult<()> {
+        coll::barrier(&self.comm)?;
+        let proc = self.proc().clone();
+        proc.my_windows.lock().remove(&self.shared.id);
+        let my = self.comm.rank();
+        proc.endpoint.deregister(self.shared.keys[my]);
+        Ok(())
+    }
+
+    /// Number of ranks in the window.
+    pub fn size(&self) -> usize {
+        self.comm.size()
+    }
+
+    /// My rank in the window's communicator.
+    pub fn rank(&self) -> usize {
+        self.comm.rank()
+    }
+
+    /// Exposed length (bytes) at `rank`.
+    pub fn len_at(&self, rank: usize) -> usize {
+        self.shared.lens[rank]
+    }
+
+    /// Displacement unit at `rank`.
+    pub fn disp_unit_at(&self, rank: usize) -> usize {
+        self.shared.disp_units[rank]
+    }
+
+    /// The base virtual address of `rank`'s exposed memory (§3.2: the
+    /// application can store these and use address-based operations).
+    pub fn base_addr(&self, rank: usize) -> VirtAddr {
+        VirtAddr { key: self.shared.keys[rank], byte: 0 }
+    }
+
+    /// `MPI_WIN_ATTACH` (dynamic windows): expose `len` more bytes; returns
+    /// their base address, valid on any rank.
+    pub fn attach(&self, len: usize) -> MpiResult<VirtAddr> {
+        if self.kind != WinKind::Dynamic {
+            return Err(MpiError::InvalidWin("attach on a static window"));
+        }
+        let region = self.proc().endpoint.register(len);
+        let addr = VirtAddr { key: region.key(), byte: 0 };
+        self.attached.borrow_mut().push(region);
+        Ok(addr)
+    }
+
+    /// Read my own exposed memory (the target side of a test).
+    pub fn read_local(&self, offset: usize, len: usize) -> Vec<u8> {
+        let key = self.shared.keys[self.comm.rank()];
+        self.proc().endpoint.fabric().region(key).read(offset, len)
+    }
+
+    /// Write my own exposed memory directly (initialization).
+    pub fn write_local(&self, offset: usize, data: &[u8]) {
+        let key = self.shared.keys[self.comm.rank()];
+        self.proc().endpoint.fabric().region(key).write(offset, data);
+    }
+
+    // ------------------------------------------------------------- epochs
+
+    fn epoch_for(&self, target: usize) -> Option<EpochKind> {
+        if self.lock_all.get() || self.locks_held.borrow().iter().any(|&(t, _)| t == target) {
+            Some(EpochKind::Passive)
+        } else if self
+            .start_group
+            .borrow()
+            .as_ref()
+            .is_some_and(|g| g.contains(&target))
+        {
+            Some(EpochKind::Start)
+        } else if self.fence_active.get() {
+            Some(EpochKind::Fence)
+        } else {
+            None
+        }
+    }
+
+    /// `MPI_WIN_FENCE`: close the previous fence epoch (waiting for every
+    /// AM-fallback op targeting this rank to be applied) and open the next.
+    pub fn fence(&self) -> MpiResult<()> {
+        // Exchange per-target AM-op counts; then wait until the expected
+        // number of incoming ops has been applied locally.
+        let counts: Vec<u64> = std::mem::replace(
+            &mut *self.sent_am.borrow_mut(),
+            vec![0; self.comm.size()],
+        );
+        let incoming = coll::alltoall(&self.comm, &counts, 1)?;
+        let expected: u64 = incoming.iter().sum();
+        let target_total = self.applied_seen.get() + expected;
+        let proc = self.proc().clone();
+        let id = self.shared.id;
+        wait_loop(&proc, || {
+            let applied = proc.win_applied.lock().get(&id).copied().unwrap_or(0);
+            (applied >= target_total).then_some(())
+        });
+        self.applied_seen.set(target_total);
+        coll::barrier(&self.comm)?;
+        self.fence_active.set(true);
+        Ok(())
+    }
+
+    /// `MPI_WIN_POST`: open an exposure epoch toward `origins` (window
+    /// ranks).
+    pub fn post(&self, origins: &[usize]) -> MpiResult<()> {
+        if self.post_group.borrow().is_some() {
+            return Err(MpiError::RmaSync("post inside an exposure epoch"));
+        }
+        let proc = self.proc();
+        for &o in origins {
+            let world = self.comm.world_rank_of(o);
+            proc.endpoint.am_send(
+                proc.addr_of_world(world),
+                proto::AM_PSCW_POST,
+                proto::header(self.shared.id, 0, 0, self.comm.rank() as u64),
+                Bytes::new(),
+            );
+        }
+        *self.post_group.borrow_mut() = Some(origins.to_vec());
+        Ok(())
+    }
+
+    /// `MPI_WIN_START`: open an access epoch toward `targets`, waiting for
+    /// their posts.
+    pub fn start(&self, targets: &[usize]) -> MpiResult<()> {
+        if self.start_group.borrow().is_some() {
+            return Err(MpiError::RmaSync("start inside an access epoch"));
+        }
+        let proc = self.proc().clone();
+        let id = self.shared.id;
+        let want: Vec<usize> = targets.to_vec();
+        wait_loop(&proc, || {
+            let pscw = proc.pscw.lock();
+            let posts = pscw.get(&id).map(|c| c.posts.clone()).unwrap_or_default();
+            want.iter().all(|t| posts.contains(t)).then_some(())
+        });
+        // Consume the posts we waited for.
+        let mut pscw = proc.pscw.lock();
+        if let Some(c) = pscw.get_mut(&id) {
+            c.posts.retain(|r| !want.contains(r));
+        }
+        drop(pscw);
+        *self.start_group.borrow_mut() = Some(want);
+        Ok(())
+    }
+
+    /// `MPI_WIN_COMPLETE`: close the access epoch; per-pair FIFO guarantees
+    /// targets apply our ops before seeing the completion notice.
+    pub fn complete(&self) -> MpiResult<()> {
+        let targets = self
+            .start_group
+            .borrow_mut()
+            .take()
+            .ok_or(MpiError::RmaSync("complete without start"))?;
+        let proc = self.proc();
+        for t in targets {
+            let world = self.comm.world_rank_of(t);
+            proc.endpoint.am_send(
+                proc.addr_of_world(world),
+                proto::AM_PSCW_COMPLETE,
+                proto::header(self.shared.id, 0, 0, self.comm.rank() as u64),
+                Bytes::new(),
+            );
+        }
+        Ok(())
+    }
+
+    /// `MPI_WIN_WAIT`: close the exposure epoch once every origin has
+    /// completed.
+    pub fn wait(&self) -> MpiResult<()> {
+        let origins = self
+            .post_group
+            .borrow_mut()
+            .take()
+            .ok_or(MpiError::RmaSync("wait without post"))?;
+        let n = origins.len();
+        let proc = self.proc().clone();
+        let id = self.shared.id;
+        wait_loop(&proc, || {
+            let pscw = proc.pscw.lock();
+            (pscw.get(&id).map(|c| c.completes).unwrap_or(0) >= n).then_some(())
+        });
+        let mut pscw = proc.pscw.lock();
+        if let Some(c) = pscw.get_mut(&id) {
+            c.completes -= n;
+        }
+        Ok(())
+    }
+
+    /// `MPI_WIN_LOCK`.
+    pub fn lock(&self, kind: LockType, target: usize) -> MpiResult<()> {
+        if self.locks_held.borrow().iter().any(|&(t, _)| t == target) {
+            return Err(MpiError::RmaSync("lock already held for target"));
+        }
+        self.shared.locks[target].acquire(kind);
+        self.locks_held.borrow_mut().push((target, kind));
+        Ok(())
+    }
+
+    /// `MPI_WIN_UNLOCK` (also flushes: passive ops are applied at issue).
+    pub fn unlock(&self, target: usize) -> MpiResult<()> {
+        let mut held = self.locks_held.borrow_mut();
+        let pos = held
+            .iter()
+            .position(|&(t, _)| t == target)
+            .ok_or(MpiError::RmaSync("unlock without lock"))?;
+        let (_, kind) = held.remove(pos);
+        self.shared.locks[target].release(kind);
+        Ok(())
+    }
+
+    /// `MPI_WIN_LOCK_ALL` (shared lock on every target).
+    pub fn lock_all(&self) -> MpiResult<()> {
+        if self.lock_all.get() {
+            return Err(MpiError::RmaSync("lock_all inside lock_all"));
+        }
+        for t in 0..self.size() {
+            self.shared.locks[t].acquire(LockType::Shared);
+        }
+        self.lock_all.set(true);
+        Ok(())
+    }
+
+    /// `MPI_WIN_UNLOCK_ALL`.
+    pub fn unlock_all(&self) -> MpiResult<()> {
+        if !self.lock_all.get() {
+            return Err(MpiError::RmaSync("unlock_all without lock_all"));
+        }
+        for t in 0..self.size() {
+            self.shared.locks[t].release(LockType::Shared);
+        }
+        self.lock_all.set(false);
+        Ok(())
+    }
+
+    /// `MPI_WIN_FLUSH`: complete outstanding ops to `target`. Native and
+    /// passive ops are synchronous here; AM get replies are awaited at the
+    /// call, so flush reduces to a progress poke.
+    pub fn flush(&self, _target: usize) -> MpiResult<()> {
+        self.proc().progress();
+        Ok(())
+    }
+
+    /// `MPI_WIN_FLUSH_ALL`.
+    pub fn flush_all(&self) -> MpiResult<()> {
+        self.proc().progress();
+        Ok(())
+    }
+
+    // ---------------------------------------------------------- prologue
+
+    /// MPI-layer + mandatory-overhead prologue for the put-family path.
+    /// Returns `None` for `MPI_PROC_NULL` targets. `vaddr` carries the
+    /// §3.2 pre-translated address when the caller used the extension.
+    #[allow(clippy::too_many_arguments)] // mirrors the MPI_Put C signature
+    fn rma_prologue(
+        &self,
+        target: i32,
+        disp: usize,
+        bytes: usize,
+        ty: &Datatype,
+        vaddr: Option<VirtAddr>,
+        skip_checks: bool,
+        static_type: bool,
+    ) -> MpiResult<Option<(usize, VirtAddr, EpochKind)>> {
+        let proc = self.proc();
+        // Build-config overheads (Table 1 rows 1–4) apply to every put-
+        // family entry point; `skip_checks` (the §3.7 fused path) removes
+        // only the *mandatory* §3 overheads below.
+        if proc.config.error_checking {
+            charge(Category::ErrorChecking, cost::put::ERROR_CHECKING);
+            if !ty.is_committed() {
+                return Err(MpiError::InvalidDatatype(
+                    litempi_datatype::TypeError::NotCommitted,
+                ));
+            }
+            if target != PROC_NULL && !skip_checks {
+                self.comm.group().check_rank(target)?;
+            }
+        }
+        if proc.config.thread_check {
+            // The runtime thread-safety branch; the critical section itself
+            // is uncontended here because window handles are rank-local.
+            charge(Category::ThreadCheck, cost::put::THREAD_CHECK);
+        }
+        if !proc.config.ipo {
+            charge(Category::FunctionCall, cost::put::FUNCTION_CALL);
+        }
+        if crate::pt2pt::redundant_checks_remain(&proc.config, static_type) {
+            charge(Category::RedundantChecks, cost::put::REDUNDANT_CHECKS);
+        }
+        if !skip_checks {
+            charge(Category::ProcNullCheck, cost::put::PROC_NULL_CHECK);
+        }
+        if target == PROC_NULL {
+            return Ok(None);
+        }
+        let t = target as usize;
+        let epoch = self.epoch_for(t).ok_or(MpiError::RmaSync(
+            "RMA operation outside an access epoch",
+        ))?;
+        if !skip_checks {
+            // §3.3: dereference into the window object.
+            charge(Category::ObjectDeref, cost::put::OBJECT_DEREF);
+            // §3.1: target rank → network address.
+            charge(Category::CommRankTranslation, cost::put::COMM_RANK_TRANSLATION);
+        }
+        let addr = match vaddr {
+            Some(a) => a,
+            None => {
+                if self.kind == WinKind::Dynamic {
+                    return Err(MpiError::InvalidWin(
+                        "offset-based RMA on a dynamic window (use *_virtual_addr)",
+                    ));
+                }
+                if !skip_checks {
+                    // §3.2: offset + displacement unit → virtual address.
+                    charge(Category::WinOffsetTranslation, cost::put::WIN_OFFSET_TRANSLATION);
+                }
+                let byte = disp * self.shared.disp_units[t];
+                if proc.config.error_checking && !skip_checks && byte + bytes > self.shared.lens[t]
+                {
+                    return Err(MpiError::InvalidWin("access beyond exposed window"));
+                }
+                VirtAddr { key: self.shared.keys[t], byte }
+            }
+        };
+        Ok(Some((t, addr, epoch)))
+    }
+
+    /// Netmod decision: native RDMA fast path vs AM fallback, with the
+    /// device-specific charges. Returns `true` when the caller should take
+    /// the native path.
+    fn native_path(&self, ty: &Datatype) -> bool {
+        use crate::config::DeviceKind;
+        let caps = self.proc().endpoint.fabric().profile().caps;
+        self.proc().config.device == DeviceKind::Ch4 && caps.native_rdma && ty.is_contiguous()
+    }
+
+    fn charge_netmod(&self, native: bool) {
+        use crate::config::DeviceKind;
+        if self.proc().config.device == DeviceKind::Original {
+            // CH3: RMA is emulated over pt2pt active messages.
+            charge(Category::NetmodIssue, cost::put::NETMOD_ISSUE);
+            charge(Category::OriginalLayering, cost::put::ORIGINAL_LAYERING);
+        } else if native {
+            charge(Category::NetmodIssue, cost::put::NETMOD_ISSUE);
+        } else {
+            charge(Category::NetmodIssue, cost::put::AM_FALLBACK);
+        }
+    }
+
+    // -------------------------------------------------------------- ops
+
+    /// `MPI_PUT` on raw bytes: write `count` elements of `ty` from `buf`
+    /// to `target` at element displacement `disp`.
+    pub fn put_bytes(
+        &self,
+        buf: &[u8],
+        ty: &Datatype,
+        count: usize,
+        target: i32,
+        disp: usize,
+    ) -> MpiResult<()> {
+        self.put_inner(buf, ty, count, target, disp, None, false, false)
+    }
+
+    #[allow(clippy::too_many_arguments)] // mirrors the MPI_Put C signature
+    pub(crate) fn put_inner(
+        &self,
+        buf: &[u8],
+        ty: &Datatype,
+        count: usize,
+        target: i32,
+        disp: usize,
+        vaddr: Option<VirtAddr>,
+        skip_checks: bool,
+        static_type: bool,
+    ) -> MpiResult<()> {
+        let bytes = pack::packed_size(ty, count);
+        let Some((t, addr, epoch)) =
+            self.rma_prologue(target, disp, bytes, ty, vaddr, skip_checks, static_type)?
+        else {
+            return Ok(());
+        };
+        let proc = self.proc();
+        let native = self.native_path(ty);
+        self.charge_netmod(native);
+        let world = self.comm.world_rank_of(t);
+        if native {
+            // Contiguous fast path: one descriptor, no target involvement.
+            proc.endpoint.rdma_put(proc.addr_of_world(world), addr.key, addr.byte, &buf[..bytes]);
+        } else {
+            let packed = if ty.is_contiguous() { buf[..bytes].to_vec() } else { pack::pack(ty, count, buf) };
+            match epoch {
+                EpochKind::Passive => {
+                    // Device-offloaded handler: apply directly (the target
+                    // CPU is not required for passive progress).
+                    proc.endpoint.rdma_put(proc.addr_of_world(world), addr.key, addr.byte, &packed);
+                }
+                EpochKind::Fence | EpochKind::Start => {
+                    proc.endpoint.am_send(
+                        proc.addr_of_world(world),
+                        proto::AM_RMA_PUT,
+                        proto::header(self.shared.id, addr.byte as u64, packed.len() as u64, 0),
+                        Bytes::from(packed),
+                    );
+                    self.sent_am.borrow_mut()[t] += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Typed `MPI_PUT` (a §2.2 Class-2 call: the datatype is a
+    /// compile-time constant, so library IPO folds the size checks).
+    pub fn put<T: MpiPrimitive>(&self, data: &[T], target: i32, disp: usize) -> MpiResult<()> {
+        self.put_inner(T::as_bytes(data), &T::DATATYPE, data.len(), target, disp, None, false, true)
+    }
+
+    /// `MPI_GET` on raw bytes.
+    pub fn get_bytes(
+        &self,
+        buf: &mut [u8],
+        ty: &Datatype,
+        count: usize,
+        target: i32,
+        disp: usize,
+    ) -> MpiResult<()> {
+        self.get_inner(buf, ty, count, target, disp, None, false, false)
+    }
+
+    #[allow(clippy::too_many_arguments)] // mirrors the MPI_Get C signature
+    pub(crate) fn get_inner(
+        &self,
+        buf: &mut [u8],
+        ty: &Datatype,
+        count: usize,
+        target: i32,
+        disp: usize,
+        vaddr: Option<VirtAddr>,
+        skip_checks: bool,
+        static_type: bool,
+    ) -> MpiResult<()> {
+        let bytes = pack::packed_size(ty, count);
+        let Some((t, addr, epoch)) =
+            self.rma_prologue(target, disp, bytes, ty, vaddr, skip_checks, static_type)?
+        else {
+            return Ok(());
+        };
+        let proc = self.proc();
+        let native = self.native_path(ty);
+        self.charge_netmod(native);
+        let world = self.comm.world_rank_of(t);
+        let wire: Vec<u8> = if native || epoch == EpochKind::Passive {
+            proc.endpoint.rdma_get(proc.addr_of_world(world), addr.key, addr.byte, bytes)
+        } else {
+            // AM get: request/reply through the target's progress engine.
+            let op_id =
+                proc.next_op_id.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let slot = Arc::new(Mutex::new(None));
+            proc.pending_replies.lock().insert(op_id, slot.clone());
+            proc.endpoint.am_send(
+                proc.addr_of_world(world),
+                proto::AM_RMA_GET_REQ,
+                proto::header(self.shared.id, addr.byte as u64, bytes as u64, op_id),
+                Bytes::new(),
+            );
+            self.sent_am.borrow_mut()[t] += 1;
+            wait_loop(proc, || slot.lock().take())
+        };
+        if ty.is_contiguous() {
+            buf[..bytes].copy_from_slice(&wire);
+        } else {
+            pack::unpack(ty, count, &wire, buf);
+        }
+        Ok(())
+    }
+
+    /// Typed `MPI_GET` (Class-2: compile-time-constant datatype).
+    pub fn get<T: MpiPrimitive>(
+        &self,
+        buf: &mut [T],
+        target: i32,
+        disp: usize,
+    ) -> MpiResult<()> {
+        let count = buf.len();
+        self.get_inner(T::as_bytes_mut(buf), &T::DATATYPE, count, target, disp, None, false, true)
+    }
+
+    /// `MPI_ACCUMULATE` (element-wise atomic at the target).
+    pub fn accumulate<T: MpiPrimitive>(
+        &self,
+        data: &[T],
+        target: i32,
+        disp: usize,
+        op: &Op,
+    ) -> MpiResult<()> {
+        let ty = T::DATATYPE;
+        let bytes = pack::packed_size(&ty, data.len());
+        if self.proc().config.error_checking && !op.legal_on(T::PREDEFINED) {
+            return Err(MpiError::InvalidOp("op not defined for this datatype"));
+        }
+        let Some((t, addr, epoch)) =
+            self.rma_prologue(target, disp, bytes, &ty, None, false, true)?
+        else {
+            return Ok(());
+        };
+        let proc = self.proc();
+        let native = self.native_path(&ty);
+        self.charge_netmod(native);
+        let world = self.comm.world_rank_of(t);
+        let wire = T::as_bytes(data);
+        if native || epoch == EpochKind::Passive {
+            // Element-wise atomic under the region lock ("hardware"
+            // atomics / offloaded handler).
+            let op = op.clone();
+            let ty2 = ty.clone();
+            let mut res = Ok(());
+            proc.endpoint.rdma_update(
+                proc.addr_of_world(world),
+                addr.key,
+                addr.byte,
+                bytes,
+                |dst| res = op.apply(&ty2, dst, wire),
+            );
+            res
+        } else {
+            let code = acc_code_of(op)
+                .ok_or(MpiError::InvalidOp("user-defined op not supported on the AM path"))?;
+            let type_idx = predef_index::<T>();
+            proc.endpoint.am_send(
+                proc.addr_of_world(world),
+                proto::AM_RMA_ACC,
+                proto::header(
+                    self.shared.id,
+                    addr.byte as u64,
+                    bytes as u64,
+                    proto::encode_acc(code, type_idx),
+                ),
+                Bytes::copy_from_slice(wire),
+            );
+            self.sent_am.borrow_mut()[t] += 1;
+            Ok(())
+        }
+    }
+
+    /// `MPI_GET_ACCUMULATE`: fetch the target data, then apply `op`.
+    /// Returns the fetched (pre-op) values.
+    pub fn get_accumulate<T: MpiPrimitive>(
+        &self,
+        data: &[T],
+        target: i32,
+        disp: usize,
+        op: &Op,
+    ) -> MpiResult<Vec<T>> {
+        let ty = T::DATATYPE;
+        let bytes = pack::packed_size(&ty, data.len());
+        if self.proc().config.error_checking && !op.legal_on(T::PREDEFINED) {
+            return Err(MpiError::InvalidOp("op not defined for this datatype"));
+        }
+        let Some((t, addr, epoch)) =
+            self.rma_prologue(target, disp, bytes, &ty, None, false, true)?
+        else {
+            return Ok(data.to_vec());
+        };
+        let proc = self.proc();
+        let native = self.native_path(&ty);
+        self.charge_netmod(native);
+        let world = self.comm.world_rank_of(t);
+        let wire = T::as_bytes(data);
+        let old_bytes: Vec<u8> = if native || epoch == EpochKind::Passive {
+            let op = op.clone();
+            let ty2 = ty.clone();
+            let mut old = Vec::new();
+            let mut res = Ok(());
+            proc.endpoint.rdma_update(
+                proc.addr_of_world(world),
+                addr.key,
+                addr.byte,
+                bytes,
+                |dst| {
+                    old = dst.to_vec();
+                    res = op.apply(&ty2, dst, wire);
+                },
+            );
+            res?;
+            old
+        } else {
+            let code = acc_code_of(op)
+                .ok_or(MpiError::InvalidOp("user-defined op not supported on the AM path"))?;
+            let type_idx = predef_index::<T>();
+            let op_id = proc.next_op_id.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let slot = Arc::new(Mutex::new(None));
+            proc.pending_replies.lock().insert(op_id, slot.clone());
+            let mut payload = proto::encode_acc(code, type_idx).to_le_bytes().to_vec();
+            payload.extend_from_slice(wire);
+            proc.endpoint.am_send(
+                proc.addr_of_world(world),
+                proto::AM_RMA_GETACC_REQ,
+                proto::header(self.shared.id, addr.byte as u64, bytes as u64, op_id),
+                Bytes::from(payload),
+            );
+            self.sent_am.borrow_mut()[t] += 1;
+            wait_loop(proc, || slot.lock().take())
+        };
+        let mut out = vec![data[0]; data.len()];
+        T::as_bytes_mut(&mut out).copy_from_slice(&old_bytes);
+        Ok(out)
+    }
+
+    /// `MPI_FETCH_AND_OP` (single element).
+    pub fn fetch_and_op<T: MpiPrimitive>(
+        &self,
+        value: T,
+        target: i32,
+        disp: usize,
+        op: &Op,
+    ) -> MpiResult<T> {
+        Ok(self.get_accumulate(&[value], target, disp, op)?[0])
+    }
+
+    /// `MPI_COMPARE_AND_SWAP` (single element): stores `new` iff the target
+    /// equals `compare`; returns the previous value.
+    pub fn compare_and_swap<T: MpiPrimitive>(
+        &self,
+        new: T,
+        compare: T,
+        target: i32,
+        disp: usize,
+    ) -> MpiResult<T> {
+        let ty = T::DATATYPE;
+        let bytes = ty.size();
+        let Some((t, addr, _epoch)) =
+            self.rma_prologue(target, disp, bytes, &ty, None, false, true)?
+        else {
+            return Ok(compare);
+        };
+        let proc = self.proc();
+        self.charge_netmod(true);
+        let world = self.comm.world_rank_of(t);
+        let new_wire = new.to_le_vec();
+        let cmp_wire = compare.to_le_vec();
+        let mut old = Vec::new();
+        proc.endpoint.rdma_update(proc.addr_of_world(world), addr.key, addr.byte, bytes, |dst| {
+            old = dst.to_vec();
+            if dst == &cmp_wire[..] {
+                dst.copy_from_slice(&new_wire);
+            }
+        });
+        Ok(T::from_wire(&old))
+    }
+}
+
+/// Index of `T`'s predefined type in `Predefined::ALL` (AM encoding).
+fn predef_index<T: MpiPrimitive>() -> usize {
+    use litempi_datatype::Predefined;
+    Predefined::ALL
+        .iter()
+        .position(|p| *p == T::PREDEFINED)
+        .expect("every primitive's predefined type is in ALL")
+}
+
+/// A shared-memory window (`MPI_WIN_ALLOCATE_SHARED`): every rank's
+/// segment is directly load/store-accessible to every other rank on the
+/// node — the shmmod's one-sided fast path, where even the RDMA descriptor
+/// disappears.
+pub struct SharedWindow {
+    win: Window,
+}
+
+impl std::fmt::Debug for SharedWindow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedWindow").field("win", &self.win).finish()
+    }
+}
+
+impl SharedWindow {
+    /// `MPI_WIN_ALLOCATE_SHARED` (collective): allocate `len` bytes per
+    /// rank, directly accessible node-wide. Errors unless every rank of
+    /// `comm` lives on the same node (the standard's precondition).
+    pub fn allocate(comm: &Communicator, len: usize, disp_unit: usize) -> MpiResult<SharedWindow> {
+        let topo = comm.proc.endpoint.fabric().topology();
+        let me = comm.proc.endpoint.addr();
+        for r in 0..comm.size() {
+            let peer = litempi_fabric::NetAddr(comm.world_rank_of(r) as u32);
+            if !topo.same_node(me, peer) {
+                return Err(MpiError::InvalidWin(
+                    "win_allocate_shared requires a single-node communicator",
+                ));
+            }
+        }
+        Ok(SharedWindow { win: Window::create(comm, len, disp_unit)? })
+    }
+
+    /// The regular window view (for RMA operations and synchronization).
+    pub fn window(&self) -> &Window {
+        &self.win
+    }
+
+    /// `MPI_WIN_SHARED_QUERY` + a direct store: write into `rank`'s
+    /// segment as a CPU store (no epoch needed; pair with
+    /// [`SharedWindow::sync`] + a barrier, as with real shared memory).
+    pub fn write_direct(&self, rank: usize, offset: usize, data: &[u8]) {
+        let key = self.win.shared.keys[rank];
+        self.win.proc().endpoint.fabric().region(key).write(offset, data);
+    }
+
+    /// Direct load from `rank`'s segment.
+    pub fn read_direct(&self, rank: usize, offset: usize, len: usize) -> Vec<u8> {
+        let key = self.win.shared.keys[rank];
+        self.win.proc().endpoint.fabric().region(key).read(offset, len)
+    }
+
+    /// `MPI_WIN_SYNC`: memory barrier between direct accesses. Our region
+    /// store is lock-synchronized, so this is ordering documentation plus
+    /// a progress poke.
+    pub fn sync(&self) {
+        self.win.proc().progress();
+    }
+
+    /// `MPI_WIN_FENCE` passthrough for mixed direct/RMA usage.
+    pub fn fence(&self) -> MpiResult<()> {
+        self.win.fence()
+    }
+}
+
+impl std::fmt::Debug for Window {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Window")
+            .field("id", &self.shared.id)
+            .field("rank", &self.comm.rank())
+            .field("size", &self.comm.size())
+            .finish()
+    }
+}

@@ -1,0 +1,66 @@
+//! `MPI_Status` and request outcome reporting.
+
+/// Outcome of a completed receive (or send).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Status {
+    /// Source rank in the receive's communicator (`MPI_SOURCE`). For
+    /// `_NOMATCH` receives, the world rank of the actual sender.
+    pub source: i32,
+    /// Message tag (`MPI_TAG`); 0 for `_NOMATCH` traffic.
+    pub tag: i32,
+    /// Received payload size in bytes (`MPI_GET_COUNT` with `MPI_BYTE`).
+    pub bytes: usize,
+}
+
+impl Status {
+    /// Status of a completed send or a `MPI_PROC_NULL` operation: the
+    /// standard defines `MPI_PROC_NULL` receives to complete immediately
+    /// with source `MPI_PROC_NULL`, tag `MPI_ANY_TAG`, and zero count.
+    pub const fn proc_null() -> Status {
+        Status { source: crate::match_bits::PROC_NULL, tag: crate::match_bits::ANY_TAG, bytes: 0 }
+    }
+
+    /// Placeholder status for completed sends (MPI leaves send statuses
+    /// mostly undefined; we zero them).
+    pub const fn send() -> Status {
+        Status { source: 0, tag: 0, bytes: 0 }
+    }
+
+    /// Element count for a datatype of size `elem_size`
+    /// (`MPI_GET_COUNT` semantics): `None` if not a whole number
+    /// (`MPI_UNDEFINED` in C MPI).
+    pub fn count(&self, elem_size: usize) -> Option<usize> {
+        if elem_size == 0 {
+            return (self.bytes == 0).then_some(0);
+        }
+        (self.bytes.is_multiple_of(elem_size)).then_some(self.bytes / elem_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_semantics() {
+        let s = Status { source: 0, tag: 0, bytes: 24 };
+        assert_eq!(s.count(8), Some(3));
+        assert_eq!(s.count(5), None); // MPI_UNDEFINED
+        assert_eq!(s.count(24), Some(1));
+    }
+
+    #[test]
+    fn zero_size_type() {
+        let s = Status { source: 0, tag: 0, bytes: 0 };
+        assert_eq!(s.count(0), Some(0));
+        let s = Status { source: 0, tag: 0, bytes: 4 };
+        assert_eq!(s.count(0), None);
+    }
+
+    #[test]
+    fn proc_null_status() {
+        let s = Status::proc_null();
+        assert_eq!(s.source, crate::match_bits::PROC_NULL);
+        assert_eq!(s.bytes, 0);
+    }
+}

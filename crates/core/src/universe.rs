@@ -1,0 +1,261 @@
+//! The job runtime: ranks as threads over one shared fabric.
+//!
+//! [`Universe::run`] plays the role of `mpiexec`: it spawns `n` OS threads,
+//! hands each a [`Process`](crate::process::Process) (its `MPI_COMM_WORLD`
+//! view), runs the application closure, and collects per-rank results.
+//! Shared-by-construction state that a real MPI job would negotiate over
+//! the network (context-id agreement, collective object creation) lives in
+//! [`UnivShared`] — see each field for the real-MPI mechanism it stands for.
+
+use crate::config::BuildConfig;
+use crate::process::{ProcInner, Process};
+use litempi_fabric::{Fabric, NetAddr, ProviderProfile, Topology};
+use parking_lot::Mutex;
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU16, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A rendezvous-table entry: data exposed by a sender for the receiver to
+/// pull (RDMA-read rendezvous), plus the sender's completion flag.
+pub(crate) struct RndvEntry {
+    pub data: Arc<Vec<u8>>,
+    pub done: Arc<AtomicBool>,
+}
+
+/// Key for collective object creation: (parent context, per-communicator
+/// derivation sequence, color/discriminator).
+pub(crate) type MeetKey = (u16, u64, u64);
+
+struct MeetEntry {
+    value: Arc<dyn Any + Send + Sync>,
+    fetched: usize,
+    expected: usize,
+}
+
+/// Rendezvous point for collectively created objects (communicators,
+/// windows). In a real MPI these are created by an agreement protocol over
+/// the network (e.g. context-id allocation via allreduce over a bitmask);
+/// in-process, the first participant constructs the object and the others
+/// retrieve the same `Arc`. The *decision to call* remains collective and
+/// ordered, so misuse (mismatched collective order) deadlocks here just as
+/// it would on a cluster.
+pub(crate) struct MeetTable {
+    inner: Mutex<HashMap<MeetKey, MeetEntry>>,
+}
+
+impl MeetTable {
+    fn new() -> Self {
+        MeetTable { inner: Mutex::new(HashMap::new()) }
+    }
+
+    /// Join the rendezvous at `key` among `expected` participants. The
+    /// first arrival runs `make`; everyone receives the same value. The
+    /// entry is removed once all participants have fetched it.
+    pub(crate) fn meet<T: Send + Sync + 'static>(
+        &self,
+        key: MeetKey,
+        expected: usize,
+        make: impl FnOnce() -> T,
+    ) -> Arc<T> {
+        let mut inner = self.inner.lock();
+        let entry = inner.entry(key).or_insert_with(|| {
+            let value: Arc<dyn Any + Send + Sync> = Arc::new(make());
+            MeetEntry { value, fetched: 0, expected }
+        });
+        entry.fetched += 1;
+        let value = entry.value.clone();
+        if entry.fetched == entry.expected {
+            inner.remove(&key);
+        }
+        drop(inner);
+        value.downcast::<T>().expect("meet type confusion: mismatched collective calls")
+    }
+}
+
+/// Universe-wide shared state.
+pub(crate) struct UnivShared {
+    /// The simulated network.
+    pub fabric: Arc<Fabric>,
+    /// Context-id allocator. Real MPICH agrees on context ids with a
+    /// collective bitmask allreduce; here a shared atomic gives the same
+    /// uniqueness guarantee (allocation still happens inside a collective
+    /// `meet`, so all members see the same id).
+    pub next_ctx: AtomicU16,
+    /// Rendezvous (RTS/pull) table for large and synchronous sends.
+    pub rndv: Mutex<HashMap<u64, RndvEntry>>,
+    /// Rendezvous id allocator.
+    pub next_rndv: AtomicU64,
+    /// Window id allocator.
+    pub next_win: AtomicU64,
+    /// Collective object rendezvous.
+    pub meet: MeetTable,
+}
+
+impl UnivShared {
+    pub(crate) fn alloc_rndv(&self, data: Vec<u8>) -> (u64, Arc<AtomicBool>) {
+        let id = self.next_rndv.fetch_add(1, Ordering::Relaxed);
+        let done = Arc::new(AtomicBool::new(false));
+        self.rndv
+            .lock()
+            .insert(id, RndvEntry { data: Arc::new(data), done: done.clone() });
+        (id, done)
+    }
+
+    /// Receiver side of the rendezvous pull: copy out the data, signal the
+    /// sender, drop the table entry.
+    pub(crate) fn pull_rndv(&self, id: u64) -> Arc<Vec<u8>> {
+        let entry = self.rndv.lock().remove(&id).expect("rendezvous entry vanished");
+        let data = entry.data.clone();
+        entry.done.store(true, Ordering::Release);
+        data
+    }
+}
+
+/// Entry point: run an `n`-rank MPI job.
+pub struct Universe;
+
+impl Universe {
+    /// Run `f` on `n` ranks with full control over build configuration,
+    /// provider, and placement. Returns each rank's result, in rank order.
+    /// A panic on any rank tears the job down and propagates.
+    pub fn run<T, F>(
+        n: usize,
+        config: BuildConfig,
+        profile: ProviderProfile,
+        topology: Topology,
+        f: F,
+    ) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(Process) -> T + Send + Sync,
+    {
+        assert!(n > 0, "universe needs at least one rank");
+        let fabric = Fabric::new(n, profile, topology);
+        let univ = Arc::new(UnivShared {
+            fabric,
+            next_ctx: AtomicU16::new(1), // 0 is MPI_COMM_WORLD
+            rndv: Mutex::new(HashMap::new()),
+            next_rndv: AtomicU64::new(1),
+            next_win: AtomicU64::new(1),
+            meet: MeetTable::new(),
+        });
+
+        let f = &f;
+        let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = results
+                .iter_mut()
+                .enumerate()
+                .map(|(rank, slot)| {
+                    let univ = univ.clone();
+                    let endpoint = univ.fabric.endpoint(NetAddr(rank as u32));
+                    scope.spawn(move || {
+                        let proc = Process::new(Arc::new(ProcInner::new(
+                            rank, n, endpoint, config, univ,
+                        )));
+                        *slot = Some(f(proc));
+                    })
+                })
+                .collect();
+            let mut panic: Option<Box<dyn Any + Send>> = None;
+            for h in handles {
+                if let Err(p) = h.join() {
+                    panic.get_or_insert(p);
+                }
+            }
+            if let Some(p) = panic {
+                std::panic::resume_unwind(p);
+            }
+        });
+        results.into_iter().map(|r| r.expect("rank produced no result")).collect()
+    }
+
+    /// Convenience: default CH4 build on an infinitely fast single-node
+    /// fabric — the configuration for functional tests and examples.
+    pub fn run_default<T, F>(n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(Process) -> T + Send + Sync,
+    {
+        Universe::run(
+            n,
+            BuildConfig::ch4_default(),
+            ProviderProfile::infinite(),
+            Topology::single_node(n),
+            f,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_see_their_identity() {
+        let out = Universe::run_default(4, |proc| (proc.rank(), proc.size()));
+        assert_eq!(out, vec![(0, 4), (1, 4), (2, 4), (3, 4)]);
+    }
+
+    #[test]
+    fn single_rank_universe() {
+        let out = Universe::run_default(1, |proc| proc.rank());
+        assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        let _ = Universe::run_default(0, |_| ());
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 2 exploded")]
+    fn rank_panic_propagates() {
+        let _ = Universe::run_default(4, |proc| {
+            if proc.rank() == 2 {
+                panic!("rank 2 exploded");
+            }
+        });
+    }
+
+    #[test]
+    fn meet_returns_same_object_to_all() {
+        let table = MeetTable::new();
+        let made = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    s.spawn(|| {
+                        let v = table.meet((0, 1, 0), 4, || {
+                            made.fetch_add(1, Ordering::Relaxed);
+                            42usize
+                        });
+                        Arc::as_ptr(&v) as usize
+                    })
+                })
+                .collect();
+            let ptrs: Vec<usize> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            assert!(ptrs.windows(2).all(|w| w[0] == w[1]), "all got the same Arc");
+        });
+        assert_eq!(made.load(Ordering::Relaxed), 1, "make ran exactly once");
+        // Entry removed after all fetched: the same key can be reused.
+        let v = table.meet((0, 1, 0), 1, || 7usize);
+        assert_eq!(*v, 7);
+    }
+
+    #[test]
+    fn rndv_alloc_and_pull() {
+        let out = Universe::run_default(1, |proc| {
+            let univ = proc.univ();
+            let (id, done) = univ.alloc_rndv(vec![1, 2, 3]);
+            assert!(!done.load(Ordering::Acquire));
+            let data = univ.pull_rndv(id);
+            assert_eq!(&*data, &vec![1, 2, 3]);
+            assert!(done.load(Ordering::Acquire));
+            true
+        });
+        assert!(out[0]);
+    }
+}

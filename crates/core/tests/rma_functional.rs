@@ -1,0 +1,334 @@
+//! Functional RMA tests: windows, epochs, one-sided data movement across
+//! providers and devices.
+
+use litempi_core::{BuildConfig, LockType, Op, Universe, Window, PROC_NULL};
+use litempi_fabric::{ProviderProfile, Topology};
+
+fn run_all_stacks(f: impl Fn(litempi_core::Process) + Send + Sync + Copy) {
+    // CH4 on a full-featured provider, CH4 forced through the AM fallback,
+    // and the CH3-like baseline.
+    for (config, profile) in [
+        (BuildConfig::ch4_default(), ProviderProfile::infinite()),
+        (BuildConfig::ch4_default(), ProviderProfile::am_only()),
+        (BuildConfig::original(), ProviderProfile::infinite()),
+    ] {
+        Universe::run(4, config, profile, Topology::single_node(4), f);
+    }
+}
+
+#[test]
+fn put_with_fence_visible_at_target() {
+    run_all_stacks(|proc| {
+        let world = proc.world();
+        let win = Window::create(&world, 64, 8).unwrap();
+        win.fence().unwrap();
+        if proc.rank() == 0 {
+            // Put rank 0's signature into every other rank at disp 1
+            // (displacement unit 8 → byte offset 8).
+            for t in 1..proc.size() as i32 {
+                win.put(&[0xABCDu64 + t as u64], t, 1).unwrap();
+            }
+        }
+        win.fence().unwrap();
+        if proc.rank() > 0 {
+            let bytes = win.read_local(8, 8);
+            let v = u64::from_le_bytes(bytes.try_into().unwrap());
+            assert_eq!(v, 0xABCD + proc.rank() as u64);
+        }
+    });
+}
+
+#[test]
+fn get_with_fence_reads_remote() {
+    run_all_stacks(|proc| {
+        let world = proc.world();
+        let win = Window::create(&world, 32, 1).unwrap();
+        // Everyone writes its rank into its own window.
+        win.write_local(0, &(proc.rank() as u64).to_le_bytes());
+        win.fence().unwrap();
+        let peer = ((proc.rank() + 1) % proc.size()) as i32;
+        let mut buf = [0u64; 1];
+        win.get(&mut buf, peer, 0).unwrap();
+        win.fence().unwrap();
+        assert_eq!(buf[0], (proc.rank() as u64 + 1) % proc.size() as u64);
+    });
+}
+
+#[test]
+fn accumulate_sum_is_atomic_across_origins() {
+    run_all_stacks(|proc| {
+        let world = proc.world();
+        let win = Window::create(&world, 8, 8).unwrap();
+        win.fence().unwrap();
+        // Everyone accumulates its rank+1 into rank 0, many times.
+        let reps = 25u64;
+        for _ in 0..reps {
+            win.accumulate(&[(proc.rank() as u64) + 1], 0, 0, &Op::Sum).unwrap();
+        }
+        win.fence().unwrap();
+        if proc.rank() == 0 {
+            let v = u64::from_le_bytes(win.read_local(0, 8).try_into().unwrap());
+            let expect: u64 = reps * (1..=proc.size() as u64).sum::<u64>();
+            assert_eq!(v, expect);
+        }
+    });
+}
+
+#[test]
+fn passive_target_lock_put_unlock() {
+    run_all_stacks(|proc| {
+        let world = proc.world();
+        let win = Window::create(&world, 16, 1).unwrap();
+        world.barrier().unwrap();
+        if proc.rank() != 0 {
+            win.lock(LockType::Exclusive, 0).unwrap();
+            // Read-modify-write under the exclusive lock.
+            let mut cur = [0u64; 1];
+            win.get(&mut cur, 0, 0).unwrap();
+            win.put(&[cur[0] + proc.rank() as u64], 0, 0).unwrap();
+            win.unlock(0).unwrap();
+        }
+        world.barrier().unwrap();
+        if proc.rank() == 0 {
+            let v = u64::from_le_bytes(win.read_local(0, 8).try_into().unwrap());
+            assert_eq!(v, (1..proc.size() as u64).sum::<u64>());
+        }
+    });
+}
+
+#[test]
+fn lock_all_shared_with_fetch_and_op() {
+    run_all_stacks(|proc| {
+        let world = proc.world();
+        let win = Window::create(&world, 8, 8).unwrap();
+        world.barrier().unwrap();
+        win.lock_all().unwrap();
+        // fetch_and_op is atomic, so shared locks suffice.
+        let old = win.fetch_and_op(1u64, 0, 0, &Op::Sum).unwrap();
+        assert!(old < proc.size() as u64);
+        win.unlock_all().unwrap();
+        world.barrier().unwrap();
+        if proc.rank() == 0 {
+            let v = u64::from_le_bytes(win.read_local(0, 8).try_into().unwrap());
+            assert_eq!(v, proc.size() as u64);
+        }
+    });
+}
+
+#[test]
+fn compare_and_swap_elects_one_winner() {
+    let winners = Universe::run_default(4, |proc| {
+        let world = proc.world();
+        let win = Window::create(&world, 8, 8).unwrap();
+        world.barrier().unwrap();
+        win.lock_all().unwrap();
+        let prev = win
+            .compare_and_swap((proc.rank() + 1) as u64, 0u64, 0, 0)
+            .unwrap();
+        win.unlock_all().unwrap();
+        world.barrier().unwrap();
+        prev == 0
+    });
+    assert_eq!(winners.iter().filter(|&&w| w).count(), 1);
+}
+
+#[test]
+fn get_accumulate_returns_pre_op_value() {
+    Universe::run_default(2, |proc| {
+        let world = proc.world();
+        let win = Window::create(&world, 8, 8).unwrap();
+        if proc.rank() == 0 {
+            win.write_local(0, &100u64.to_le_bytes());
+        }
+        win.fence().unwrap();
+        if proc.rank() == 1 {
+            let old = win.get_accumulate(&[11u64], 0, 0, &Op::Sum).unwrap();
+            assert_eq!(old, vec![100]);
+        }
+        win.fence().unwrap();
+        if proc.rank() == 0 {
+            let v = u64::from_le_bytes(win.read_local(0, 8).try_into().unwrap());
+            assert_eq!(v, 111);
+        }
+    });
+}
+
+#[test]
+fn pscw_generalized_sync() {
+    Universe::run_default(3, |proc| {
+        let world = proc.world();
+        let win = Window::create(&world, 8, 8).unwrap();
+        match proc.rank() {
+            0 => {
+                // Target: expose to origins 1 and 2.
+                win.post(&[1, 2]).unwrap();
+                win.wait().unwrap();
+                let v = u64::from_le_bytes(win.read_local(0, 8).try_into().unwrap());
+                assert_eq!(v, 1 + 2);
+            }
+            r => {
+                win.start(&[0]).unwrap();
+                win.accumulate(&[r as u64], 0, 0, &Op::Sum).unwrap();
+                win.complete().unwrap();
+            }
+        }
+        world.barrier().unwrap();
+    });
+}
+
+#[test]
+fn dynamic_window_virtual_addressing() {
+    Universe::run_default(2, |proc| {
+        let world = proc.world();
+        let win = Window::create_dynamic(&world).unwrap();
+        // Rank 1 attaches memory and publishes its address via pt2pt.
+        let addr = if proc.rank() == 1 {
+            let a = win.attach(64).unwrap();
+            let (key, byte) = a.to_raw();
+            world.send(&[key, byte], 0, 0).unwrap();
+            Some(a)
+        } else {
+            None
+        };
+        win.fence().unwrap();
+        if proc.rank() == 0 {
+            let mut buf = [0u64; 2];
+            world.recv_into(&mut buf, 1, 0).unwrap();
+            let remote = litempi_core::VirtAddr::from_raw(buf[0], buf[1]);
+            win.put_virtual_addr(&[0xFEEDu64], 1, remote).unwrap();
+        }
+        win.fence().unwrap();
+        if proc.rank() == 1 {
+            let a = addr.unwrap();
+            let mut check = [0u64; 1];
+            win.get_virtual_addr(&mut check, 1, a).unwrap();
+            assert_eq!(check[0], 0xFEED);
+        }
+        world.barrier().unwrap();
+    });
+}
+
+#[test]
+fn offset_rma_on_dynamic_window_is_error() {
+    Universe::run_default(2, |proc| {
+        let world = proc.world();
+        let win = Window::create_dynamic(&world).unwrap();
+        win.fence().unwrap();
+        if proc.rank() == 0 {
+            let e = win.put(&[1u64], 1, 0).unwrap_err();
+            assert!(matches!(e, litempi_core::MpiError::InvalidWin(_)));
+        }
+        win.fence().unwrap();
+    });
+}
+
+#[test]
+fn rma_outside_epoch_is_error() {
+    Universe::run_default(2, |proc| {
+        let world = proc.world();
+        let win = Window::create(&world, 8, 1).unwrap();
+        if proc.rank() == 0 {
+            let e = win.put(&[1u8], 1, 0).unwrap_err();
+            assert!(matches!(e, litempi_core::MpiError::RmaSync(_)));
+        }
+        world.barrier().unwrap();
+    });
+}
+
+#[test]
+fn put_beyond_window_is_error() {
+    Universe::run_default(2, |proc| {
+        let world = proc.world();
+        let win = Window::create(&world, 8, 1).unwrap();
+        win.fence().unwrap();
+        if proc.rank() == 0 {
+            let e = win.put(&[0u64, 0u64], 1, 0).unwrap_err();
+            assert!(matches!(e, litempi_core::MpiError::InvalidWin(_)));
+        }
+        win.fence().unwrap();
+    });
+}
+
+#[test]
+fn put_to_proc_null_is_noop() {
+    Universe::run_default(2, |proc| {
+        let world = proc.world();
+        let win = Window::create(&world, 8, 1).unwrap();
+        win.fence().unwrap();
+        win.put(&[9u8], PROC_NULL, 0).unwrap();
+        win.fence().unwrap();
+    });
+}
+
+#[test]
+fn window_free_is_collective_and_clean() {
+    Universe::run_default(3, |proc| {
+        let world = proc.world();
+        let win = Window::create(&world, 16, 1).unwrap();
+        win.fence().unwrap();
+        win.fence().unwrap();
+        win.free().unwrap();
+        // A second window reuses the machinery without interference.
+        let win2 = Window::create(&world, 16, 1).unwrap();
+        win2.fence().unwrap();
+        if proc.rank() == 0 {
+            win2.put(&[1u8], 1, 0).unwrap();
+        }
+        win2.fence().unwrap();
+    });
+}
+
+#[test]
+fn noncontiguous_origin_datatype_roundtrip() {
+    // Put a strided origin layout; target receives it packed.
+    Universe::run_default(2, |proc| {
+        let world = proc.world();
+        let win = Window::create(&world, 64, 1).unwrap();
+        win.fence().unwrap();
+        if proc.rank() == 0 {
+            let ty = litempi_datatype::Datatype::vector(
+                4,
+                1,
+                2,
+                &litempi_datatype::Datatype::DOUBLE,
+            )
+            .unwrap()
+            .commit();
+            let src: Vec<f64> = (0..8).map(|i| i as f64).collect();
+            let bytes: &[u8] = litempi_datatype::MpiPrimitive::as_bytes(&src[..]);
+            win.put_bytes(bytes, &ty, 1, 1, 0).unwrap();
+        }
+        win.fence().unwrap();
+        if proc.rank() == 1 {
+            let data = win.read_local(0, 32);
+            let got: Vec<f64> = data
+                .chunks_exact(8)
+                .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+                .collect();
+            assert_eq!(got, vec![0.0, 2.0, 4.0, 6.0]);
+        }
+        world.barrier().unwrap();
+    });
+}
+
+#[test]
+fn windows_are_isolated_from_each_other() {
+    Universe::run_default(2, |proc| {
+        let world = proc.world();
+        let win_a = Window::create(&world, 8, 1).unwrap();
+        let win_b = Window::create(&world, 8, 1).unwrap();
+        win_a.fence().unwrap();
+        win_b.fence().unwrap();
+        if proc.rank() == 0 {
+            win_a.put(&[0xAAu8], 1, 0).unwrap();
+            win_b.put(&[0xBBu8], 1, 0).unwrap();
+        }
+        win_a.fence().unwrap();
+        win_b.fence().unwrap();
+        if proc.rank() == 1 {
+            assert_eq!(win_a.read_local(0, 1), vec![0xAA]);
+            assert_eq!(win_b.read_local(0, 1), vec![0xBB]);
+        }
+        world.barrier().unwrap();
+    });
+}

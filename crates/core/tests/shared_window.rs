@@ -1,0 +1,138 @@
+//! Shared-memory window tests (`MPI_WIN_ALLOCATE_SHARED`) — the shmmod's
+//! direct load/store one-sided path.
+
+use litempi_core::{BuildConfig, MpiError, SharedWindow, Universe};
+use litempi_fabric::{ProviderProfile, Topology};
+
+#[test]
+fn direct_stores_visible_across_the_node() {
+    Universe::run_default(4, |proc| {
+        let world = proc.world();
+        let sw = SharedWindow::allocate(&world, 16, 8).unwrap();
+        // Everyone stores its rank into its own segment, directly.
+        sw.write_direct(world.rank(), 0, &(proc.rank() as u64).to_le_bytes());
+        sw.sync();
+        world.barrier().unwrap();
+        // Everyone loads every segment directly — no RMA calls at all.
+        for r in 0..world.size() {
+            let v = u64::from_le_bytes(sw.read_direct(r, 0, 8).try_into().unwrap());
+            assert_eq!(v as usize, r);
+        }
+        world.barrier().unwrap();
+    });
+}
+
+#[test]
+fn direct_and_rma_access_interoperate() {
+    Universe::run_default(2, |proc| {
+        let world = proc.world();
+        let sw = SharedWindow::allocate(&world, 16, 1).unwrap();
+        sw.fence().unwrap();
+        if proc.rank() == 0 {
+            // RMA put into rank 1's segment...
+            sw.window().put(&[0xAAu8, 0xBB], 1, 0).unwrap();
+        }
+        sw.fence().unwrap();
+        if proc.rank() == 1 {
+            // ...observed by a direct load.
+            assert_eq!(sw.read_direct(1, 0, 2), vec![0xAA, 0xBB]);
+            // And a direct store...
+            sw.write_direct(1, 2, &[0xCC]);
+        }
+        sw.fence().unwrap();
+        if proc.rank() == 0 {
+            // ...observed by an RMA get.
+            let mut b = [0u8; 1];
+            sw.window().get(&mut b, 1, 2).unwrap();
+            assert_eq!(b[0], 0xCC);
+        }
+        sw.fence().unwrap();
+    });
+}
+
+#[test]
+fn multi_node_communicator_rejected() {
+    Universe::run(
+        4,
+        BuildConfig::ch4_default(),
+        ProviderProfile::ofi(),
+        Topology::blocked(4, 2), // two nodes
+        |proc| {
+            let world = proc.world();
+            let e = SharedWindow::allocate(&world, 8, 1).unwrap_err();
+            assert!(matches!(e, MpiError::InvalidWin(_)));
+        },
+    );
+}
+
+#[test]
+fn split_type_shared_builds_node_comms() {
+    Universe::run(
+        6,
+        BuildConfig::ch4_default(),
+        ProviderProfile::ofi(),
+        Topology::blocked(6, 2), // 3 nodes of 2
+        |proc| {
+            let world = proc.world();
+            let node_comm = world.split_type_shared();
+            assert_eq!(node_comm.size(), 2);
+            assert_eq!(node_comm.rank(), proc.rank() % 2);
+            // A shared window on the node communicator just works.
+            let sw = SharedWindow::allocate(&node_comm, 8, 1).unwrap();
+            sw.write_direct(node_comm.rank(), 0, &[proc.rank() as u8]);
+            sw.sync();
+            node_comm.barrier().unwrap();
+            let peer = 1 - node_comm.rank();
+            let v = sw.read_direct(peer, 0, 1)[0] as usize;
+            // My node peer's world rank.
+            assert_eq!(v / 2, proc.rank() / 2, "peer is on my node");
+            node_comm.barrier().unwrap();
+        },
+    );
+}
+
+#[test]
+fn rput_rget_requests_complete() {
+    Universe::run_default(2, |proc| {
+        let world = proc.world();
+        let win = litempi_core::Window::create(&world, 16, 8).unwrap();
+        win.fence().unwrap();
+        if proc.rank() == 0 {
+            let r = win.rput(&[0xFACEu64], 1, 0).unwrap();
+            assert!(r.is_done());
+            r.wait().unwrap();
+        }
+        win.fence().unwrap();
+        if proc.rank() == 1 {
+            let mut buf = [0u64; 1];
+            let r = win.rget(&mut buf, 1, 0).unwrap();
+            r.wait().unwrap();
+            assert_eq!(buf[0], 0xFACE);
+        }
+        win.fence().unwrap();
+    });
+}
+
+#[test]
+fn node_local_subcommunicator_works_on_multi_node_job() {
+    // The standard pattern: split the world by node, then allocate the
+    // shared window on the per-node communicator.
+    Universe::run(
+        4,
+        BuildConfig::ch4_default(),
+        ProviderProfile::ofi(),
+        Topology::blocked(4, 2),
+        |proc| {
+            let world = proc.world();
+            let node = (proc.rank() / 2) as i32; // matches the blocked topology
+            let node_comm = world.split(node, proc.rank() as i32).unwrap();
+            let sw = SharedWindow::allocate(&node_comm, 8, 1).unwrap();
+            sw.write_direct(node_comm.rank(), 0, &[node_comm.rank() as u8 + 1]);
+            sw.sync();
+            node_comm.barrier().unwrap();
+            let peer = 1 - node_comm.rank();
+            assert_eq!(sw.read_direct(peer, 0, 1), vec![peer as u8 + 1]);
+            node_comm.barrier().unwrap();
+        },
+    );
+}

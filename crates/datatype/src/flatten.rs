@@ -1,0 +1,186 @@
+//! Flattened layouts — the committed form of a datatype.
+//!
+//! MPICH commits a derived datatype into a *dataloop*; we commit into a
+//! `FlatLayout`: the ordered list of contiguous `(offset, len)` segments
+//! one element of the type touches, plus its extent (the stride between
+//! consecutive elements in a `count > 1` operation). Segment offsets may be
+//! negative (MPI allows negative displacements, e.g. via `hindexed`).
+
+/// One contiguous byte range of an element, relative to the element origin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// Byte offset from the element origin (may be negative).
+    pub offset: isize,
+    /// Length in bytes (always positive).
+    pub len: usize,
+}
+
+/// The committed representation of one datatype element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlatLayout {
+    /// Contiguous segments in layout order (the order data is packed).
+    pub segments: Vec<Segment>,
+    /// Lower bound: the smallest byte offset touched (or set by `resized`).
+    pub lb: isize,
+    /// Extent: stride between consecutive elements (`ub - lb`).
+    pub extent: isize,
+}
+
+impl FlatLayout {
+    /// A single contiguous run of `size` bytes at offset 0.
+    pub fn contiguous(size: usize) -> FlatLayout {
+        FlatLayout {
+            segments: if size == 0 { vec![] } else { vec![Segment { offset: 0, len: size }] },
+            lb: 0,
+            extent: size as isize,
+        }
+    }
+
+    /// Total bytes of data per element (sum of segment lengths) — the
+    /// MPI "size" of the type.
+    pub fn size(&self) -> usize {
+        self.segments.iter().map(|s| s.len).sum()
+    }
+
+    /// The smallest offset actually touched by data.
+    pub fn true_lb(&self) -> isize {
+        self.segments.iter().map(|s| s.offset).min().unwrap_or(0)
+    }
+
+    /// The span from the lowest to the highest byte actually touched.
+    pub fn true_extent(&self) -> isize {
+        let hi = self.segments.iter().map(|s| s.offset + s.len as isize).max().unwrap_or(0);
+        hi - self.true_lb()
+    }
+
+    /// Is the layout a single gap-free run starting at the origin whose
+    /// extent equals its size? (Those are the layouts eligible for the
+    /// netmod's zero-copy fast path.)
+    pub fn is_contiguous(&self) -> bool {
+        match self.segments.as_slice() {
+            [] => self.extent == 0,
+            [s] => s.offset == 0 && self.lb == 0 && self.extent == s.len as isize,
+            _ => false,
+        }
+    }
+
+    /// Merge adjacent segments (normalization after construction).
+    pub fn coalesce(&mut self) {
+        if self.segments.len() < 2 {
+            return;
+        }
+        let mut out: Vec<Segment> = Vec::with_capacity(self.segments.len());
+        for seg in self.segments.drain(..) {
+            match out.last_mut() {
+                Some(last) if last.offset + last.len as isize == seg.offset => {
+                    last.len += seg.len;
+                }
+                _ => out.push(seg),
+            }
+        }
+        self.segments = out;
+    }
+
+    /// The layout of `count` consecutive elements fused into one element
+    /// (used to commit `contiguous` types).
+    pub fn repeat(&self, count: usize) -> FlatLayout {
+        let mut segments = Vec::with_capacity(self.segments.len() * count);
+        for i in 0..count {
+            let shift = i as isize * self.extent;
+            for s in &self.segments {
+                segments.push(Segment { offset: s.offset + shift, len: s.len });
+            }
+        }
+        let mut out = FlatLayout {
+            segments,
+            lb: self.lb,
+            extent: self.extent * count as isize,
+        };
+        out.coalesce();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_basics() {
+        let l = FlatLayout::contiguous(8);
+        assert_eq!(l.size(), 8);
+        assert_eq!(l.extent, 8);
+        assert!(l.is_contiguous());
+        assert_eq!(l.true_extent(), 8);
+        assert_eq!(l.true_lb(), 0);
+    }
+
+    #[test]
+    fn empty_layout() {
+        let l = FlatLayout::contiguous(0);
+        assert_eq!(l.size(), 0);
+        assert!(l.is_contiguous());
+    }
+
+    #[test]
+    fn gapped_layout_not_contiguous() {
+        let l = FlatLayout {
+            segments: vec![Segment { offset: 0, len: 4 }, Segment { offset: 8, len: 4 }],
+            lb: 0,
+            extent: 12,
+        };
+        assert!(!l.is_contiguous());
+        assert_eq!(l.size(), 8);
+        assert_eq!(l.true_extent(), 12);
+    }
+
+    #[test]
+    fn coalesce_merges_adjacent() {
+        let mut l = FlatLayout {
+            segments: vec![Segment { offset: 0, len: 4 }, Segment { offset: 4, len: 4 }],
+            lb: 0,
+            extent: 8,
+        };
+        l.coalesce();
+        assert_eq!(l.segments, vec![Segment { offset: 0, len: 8 }]);
+        assert!(l.is_contiguous());
+    }
+
+    #[test]
+    fn repeat_contiguous_stays_contiguous() {
+        let l = FlatLayout::contiguous(4).repeat(3);
+        assert_eq!(l.size(), 12);
+        assert_eq!(l.extent, 12);
+        assert!(l.is_contiguous());
+        assert_eq!(l.segments.len(), 1);
+    }
+
+    #[test]
+    fn repeat_gapped_keeps_gaps() {
+        let base = FlatLayout {
+            segments: vec![Segment { offset: 0, len: 2 }],
+            lb: 0,
+            extent: 4, // 2 data bytes, 2 pad bytes
+        };
+        let l = base.repeat(2);
+        assert_eq!(l.size(), 4);
+        assert_eq!(l.extent, 8);
+        assert_eq!(
+            l.segments,
+            vec![Segment { offset: 0, len: 2 }, Segment { offset: 4, len: 2 }]
+        );
+        assert!(!l.is_contiguous());
+    }
+
+    #[test]
+    fn negative_offsets_in_true_lb() {
+        let l = FlatLayout {
+            segments: vec![Segment { offset: -4, len: 4 }, Segment { offset: 4, len: 2 }],
+            lb: -4,
+            extent: 10,
+        };
+        assert_eq!(l.true_lb(), -4);
+        assert_eq!(l.true_extent(), 10);
+        assert!(!l.is_contiguous());
+    }
+}

@@ -1,0 +1,29 @@
+//! # litempi-datatype — the MPI datatype engine
+//!
+//! MPI describes message buffers with *datatypes*: predefined types
+//! (`MPI_DOUBLE`, `MPI_INT`, ...) and derived types built recursively from
+//! them (`MPI_TYPE_VECTOR`, `MPI_TYPE_CREATE_STRUCT`, ...). The paper's
+//! §2.2 analyzes how applications use datatypes (its Class 1/2/3 survey)
+//! and shows that the *runtime datatype-size lookup* is one of the
+//! removable overheads ("redundant runtime checks"); its Class-1 finding is
+//! that derived types are essentially absent from performance-critical
+//! paths — but an MPI implementation must still support them in full, which
+//! is why this substrate exists.
+//!
+//! Like MPICH, we "commit" a derived type into a flattened representation
+//! (MPICH calls these *dataloops*): a list of `(offset, length)` contiguous
+//! segments per element plus an extent, from which pack/unpack and
+//! contiguity checks are O(segments).
+
+#![warn(missing_docs)]
+
+pub mod derived;
+pub mod flatten;
+pub mod pack;
+pub mod predefined;
+pub mod primitive;
+
+pub use derived::{ArrayOrder, Datatype, TypeError};
+pub use flatten::{FlatLayout, Segment};
+pub use predefined::{Predefined, TypeClass};
+pub use primitive::MpiPrimitive;

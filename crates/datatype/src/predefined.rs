@@ -1,0 +1,160 @@
+//! Predefined (basic) MPI datatypes.
+//!
+//! These are the compile-time constants of the paper's §2.2 "Class 2"
+//! applications (`MPI_DOUBLE` passed literally at the call site) and the
+//! runtime constants of its "Class 3" applications (LULESH's `baseType`).
+
+/// A predefined MPI datatype.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Predefined {
+    /// `MPI_BYTE` — uninterpreted bytes.
+    Byte,
+    /// `MPI_CHAR`.
+    Char,
+    /// `MPI_INT8_T`.
+    Int8,
+    /// `MPI_INT16_T`.
+    Int16,
+    /// `MPI_INT32_T` / `MPI_INT` on LP64.
+    Int32,
+    /// `MPI_INT64_T` / `MPI_LONG` on LP64.
+    Int64,
+    /// `MPI_UINT8_T`.
+    UInt8,
+    /// `MPI_UINT16_T`.
+    UInt16,
+    /// `MPI_UINT32_T`.
+    UInt32,
+    /// `MPI_UINT64_T`.
+    UInt64,
+    /// `MPI_FLOAT`.
+    Float32,
+    /// `MPI_DOUBLE`.
+    Float64,
+    /// `MPI_DOUBLE_INT` — (double, int) pair for `MPI_MINLOC`/`MPI_MAXLOC`.
+    DoubleInt,
+    /// `MPI_2INT` — (int, int) pair for `MPI_MINLOC`/`MPI_MAXLOC`.
+    TwoInt,
+}
+
+/// Coarse classification used by error checking and reduction-op legality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TypeClass {
+    /// Signed/unsigned integers.
+    Integer,
+    /// IEEE floating point.
+    Float,
+    /// Raw bytes / char.
+    Bytes,
+    /// (value, index) pairs for location reductions.
+    Pair,
+}
+
+impl Predefined {
+    /// All predefined types.
+    pub const ALL: [Predefined; 14] = [
+        Predefined::Byte,
+        Predefined::Char,
+        Predefined::Int8,
+        Predefined::Int16,
+        Predefined::Int32,
+        Predefined::Int64,
+        Predefined::UInt8,
+        Predefined::UInt16,
+        Predefined::UInt32,
+        Predefined::UInt64,
+        Predefined::Float32,
+        Predefined::Float64,
+        Predefined::DoubleInt,
+        Predefined::TwoInt,
+    ];
+
+    /// Size in bytes — the quantity the paper's "redundant runtime checks"
+    /// bucket pays to look up when the compiler cannot constant-fold it.
+    pub const fn size(self) -> usize {
+        match self {
+            Predefined::Byte | Predefined::Char | Predefined::Int8 | Predefined::UInt8 => 1,
+            Predefined::Int16 | Predefined::UInt16 => 2,
+            Predefined::Int32 | Predefined::UInt32 | Predefined::Float32 => 4,
+            Predefined::Int64
+            | Predefined::UInt64
+            | Predefined::Float64
+            | Predefined::TwoInt => 8,
+            Predefined::DoubleInt => 12,
+        }
+    }
+
+    /// Type class for op-legality checks.
+    pub const fn class(self) -> TypeClass {
+        match self {
+            Predefined::Byte | Predefined::Char => TypeClass::Bytes,
+            Predefined::Int8
+            | Predefined::Int16
+            | Predefined::Int32
+            | Predefined::Int64
+            | Predefined::UInt8
+            | Predefined::UInt16
+            | Predefined::UInt32
+            | Predefined::UInt64 => TypeClass::Integer,
+            Predefined::Float32 | Predefined::Float64 => TypeClass::Float,
+            Predefined::DoubleInt | Predefined::TwoInt => TypeClass::Pair,
+        }
+    }
+
+    /// MPI-style name (for diagnostics).
+    pub const fn name(self) -> &'static str {
+        match self {
+            Predefined::Byte => "MPI_BYTE",
+            Predefined::Char => "MPI_CHAR",
+            Predefined::Int8 => "MPI_INT8_T",
+            Predefined::Int16 => "MPI_INT16_T",
+            Predefined::Int32 => "MPI_INT32_T",
+            Predefined::Int64 => "MPI_INT64_T",
+            Predefined::UInt8 => "MPI_UINT8_T",
+            Predefined::UInt16 => "MPI_UINT16_T",
+            Predefined::UInt32 => "MPI_UINT32_T",
+            Predefined::UInt64 => "MPI_UINT64_T",
+            Predefined::Float32 => "MPI_FLOAT",
+            Predefined::Float64 => "MPI_DOUBLE",
+            Predefined::DoubleInt => "MPI_DOUBLE_INT",
+            Predefined::TwoInt => "MPI_2INT",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_c_abi() {
+        assert_eq!(Predefined::Byte.size(), 1);
+        assert_eq!(Predefined::Int32.size(), 4);
+        assert_eq!(Predefined::Float64.size(), 8);
+        assert_eq!(Predefined::DoubleInt.size(), 12);
+        assert_eq!(Predefined::TwoInt.size(), 8);
+    }
+
+    #[test]
+    fn classes() {
+        assert_eq!(Predefined::Float64.class(), TypeClass::Float);
+        assert_eq!(Predefined::UInt16.class(), TypeClass::Integer);
+        assert_eq!(Predefined::Byte.class(), TypeClass::Bytes);
+        assert_eq!(Predefined::DoubleInt.class(), TypeClass::Pair);
+    }
+
+    #[test]
+    fn names_unique() {
+        let mut names: Vec<_> = Predefined::ALL.iter().map(|p| p.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Predefined::ALL.len());
+    }
+
+    #[test]
+    fn all_sizes_positive() {
+        for p in Predefined::ALL {
+            assert!(p.size() > 0, "{}", p.name());
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Mapping from Rust plain-old-data types to predefined MPI datatypes.
+//!
+//! This is the Rust analogue of the paper's "Class 2" usage: the datatype
+//! is a compile-time constant at the call site, so a monomorphized typed
+//! API can constant-fold the size — the very optimization the paper obtains
+//! with link-time inlining (§2.2).
+
+use crate::derived::Datatype;
+use crate::predefined::Predefined;
+
+/// A Rust type with a corresponding predefined MPI datatype.
+///
+/// # Safety
+///
+/// Implementors must be plain-old-data: no padding within the type, valid
+/// for any bit pattern, and exactly matching the wire size of
+/// [`MpiPrimitive::PREDEFINED`].
+pub unsafe trait MpiPrimitive: Copy + Send + Sync + 'static {
+    /// The predefined datatype describing `Self`.
+    const PREDEFINED: Predefined;
+
+    /// The datatype handle (compile-time constant).
+    const DATATYPE: Datatype = Datatype::basic(Self::PREDEFINED);
+
+    /// View a slice of `Self` as bytes.
+    fn as_bytes(slice: &[Self]) -> &[u8] {
+        // SAFETY: implementors are POD with no padding.
+        unsafe {
+            std::slice::from_raw_parts(
+                slice.as_ptr().cast::<u8>(),
+                std::mem::size_of_val(slice),
+            )
+        }
+    }
+
+    /// View a mutable slice of `Self` as bytes.
+    fn as_bytes_mut(slice: &mut [Self]) -> &mut [u8] {
+        // SAFETY: implementors are POD, valid for any bit pattern.
+        unsafe {
+            std::slice::from_raw_parts_mut(
+                slice.as_mut_ptr().cast::<u8>(),
+                std::mem::size_of_val(slice),
+            )
+        }
+    }
+
+    /// Reconstruct a value from little-endian wire bytes.
+    fn from_wire(bytes: &[u8]) -> Self;
+
+    /// Serialize a value to little-endian wire bytes.
+    fn to_le_vec(self) -> Vec<u8>;
+}
+
+macro_rules! impl_primitive {
+    ($ty:ty, $pre:expr) => {
+        // SAFETY: primitive numeric types are POD with no padding and any
+        // bit pattern is valid.
+        unsafe impl MpiPrimitive for $ty {
+            const PREDEFINED: Predefined = $pre;
+
+            fn from_wire(bytes: &[u8]) -> Self {
+                <$ty>::from_le_bytes(bytes.try_into().expect("wire size mismatch"))
+            }
+
+            fn to_le_vec(self) -> Vec<u8> {
+                self.to_le_bytes().to_vec()
+            }
+        }
+    };
+}
+
+impl_primitive!(u8, Predefined::UInt8);
+impl_primitive!(i8, Predefined::Int8);
+impl_primitive!(u16, Predefined::UInt16);
+impl_primitive!(i16, Predefined::Int16);
+impl_primitive!(u32, Predefined::UInt32);
+impl_primitive!(i32, Predefined::Int32);
+impl_primitive!(u64, Predefined::UInt64);
+impl_primitive!(i64, Predefined::Int64);
+impl_primitive!(f32, Predefined::Float32);
+impl_primitive!(f64, Predefined::Float64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datatype_constants_match_sizes() {
+        assert_eq!(<f64 as MpiPrimitive>::DATATYPE.size(), 8);
+        assert_eq!(<i32 as MpiPrimitive>::DATATYPE.size(), 4);
+        assert_eq!(<u8 as MpiPrimitive>::DATATYPE.size(), 1);
+    }
+
+    #[test]
+    fn as_bytes_roundtrip() {
+        let xs = [1.5f64, -2.25, 0.0];
+        let bytes = f64::as_bytes(&xs);
+        assert_eq!(bytes.len(), 24);
+        let mut ys = [0.0f64; 3];
+        f64::as_bytes_mut(&mut ys).copy_from_slice(bytes);
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn le_bytes_roundtrip() {
+        let v = -123456789i64;
+        let wire = v.to_le_vec();
+        assert_eq!(<i64 as MpiPrimitive>::from_wire(&wire), v);
+    }
+
+    #[test]
+    fn empty_slice_is_fine() {
+        let xs: [u32; 0] = [];
+        assert!(u32::as_bytes(&xs).is_empty());
+    }
+}

@@ -1,0 +1,135 @@
+//! Property tests: pack/unpack is lossless for arbitrary derived layouts.
+
+use litempi_datatype::derived::{ArrayOrder, Datatype};
+use litempi_datatype::pack::{pack, packed_size, span, unpack};
+use proptest::prelude::*;
+
+/// Strategy producing a random committed datatype plus the element count
+/// to transfer with it.
+fn arb_datatype() -> impl Strategy<Value = Datatype> {
+    let base = prop_oneof![
+        Just(Datatype::BYTE),
+        Just(Datatype::INT32),
+        Just(Datatype::DOUBLE),
+    ];
+    base.prop_flat_map(|inner| {
+        prop_oneof![
+            // contiguous
+            (1usize..5).prop_map({
+                let inner = inner.clone();
+                move |c| Datatype::contiguous(c, &inner).unwrap().commit()
+            }),
+            // vector with stride >= blocklen (non-overlapping)
+            (1usize..4, 1usize..4, 0isize..4).prop_map({
+                let inner = inner.clone();
+                move |(count, blocklen, pad)| {
+                    let stride = blocklen as isize + pad;
+                    Datatype::vector(count, blocklen, stride, &inner).unwrap().commit()
+                }
+            }),
+            // indexed with increasing non-overlapping displacements
+            proptest::collection::vec(1usize..3, 1..4).prop_map({
+                let inner = inner.clone();
+                move |blocklens| {
+                    let mut displs = Vec::with_capacity(blocklens.len());
+                    let mut cursor = 0isize;
+                    for &bl in &blocklens {
+                        displs.push(cursor);
+                        cursor += bl as isize + 1; // one-element gap
+                    }
+                    Datatype::indexed(&blocklens, &displs, &inner).unwrap().commit()
+                }
+            }),
+            // 2-D subarray
+            (2usize..5, 2usize..5).prop_flat_map({
+                let inner = inner.clone();
+                move |(rows, cols)| {
+                    let inner = inner.clone();
+                    (1usize..=rows, 1usize..=cols).prop_flat_map(move |(sr, sc)| {
+                        let inner = inner.clone();
+                        (0usize..=(rows - sr), 0usize..=(cols - sc)).prop_map(
+                            move |(r0, c0)| {
+                                Datatype::subarray(
+                                    &[rows, cols],
+                                    &[sr, sc],
+                                    &[r0, c0],
+                                    ArrayOrder::C,
+                                    &inner,
+                                )
+                                .unwrap()
+                                .commit()
+                            },
+                        )
+                    })
+                }
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// pack → unpack into a fresh buffer restores every data byte at its
+    /// original position and touches nothing else.
+    #[test]
+    fn pack_unpack_roundtrip(ty in arb_datatype(), count in 1usize..4, seed in any::<u64>()) {
+        let bytes_needed = span(&ty, count).max(1);
+        // Deterministic pseudo-random source buffer.
+        let mut x = seed | 1;
+        let src: Vec<u8> = (0..bytes_needed)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x & 0xFF) as u8
+            })
+            .collect();
+
+        let wire = pack(&ty, count, &src);
+        prop_assert_eq!(wire.len(), packed_size(&ty, count));
+
+        let mut dst = vec![0u8; src.len()];
+        let used = unpack(&ty, count, &wire, &mut dst);
+        prop_assert_eq!(used, wire.len());
+
+        // Every byte belonging to a segment must match the source; every
+        // other byte must remain zero.
+        let layout = ty.layout();
+        let mut is_data = vec![false; src.len()];
+        for i in 0..count {
+            let base = i as isize * layout.extent;
+            for seg in &layout.segments {
+                let start = (base + seg.offset) as usize;
+                is_data[start..start + seg.len].fill(true);
+            }
+        }
+        for (i, &d) in is_data.iter().enumerate() {
+            if d {
+                prop_assert_eq!(dst[i], src[i], "data byte {} corrupted", i);
+            } else {
+                prop_assert_eq!(dst[i], 0, "gap byte {} touched", i);
+            }
+        }
+    }
+
+    /// Size/extent invariants: size ≤ span, repeat multiplies size.
+    #[test]
+    fn size_extent_invariants(ty in arb_datatype(), count in 1usize..4) {
+        prop_assert!(ty.size() <= ty.extent().unsigned_abs());
+        prop_assert_eq!(packed_size(&ty, count), ty.size() * count);
+        let c = Datatype::contiguous(count, &ty).unwrap();
+        prop_assert_eq!(c.size(), ty.size() * count);
+        prop_assert_eq!(c.extent(), ty.extent() * count as isize);
+    }
+
+    /// Contiguity detection agrees with the packed representation: a
+    /// contiguous type's pack is a memcpy prefix of the source.
+    #[test]
+    fn contiguous_pack_is_memcpy(len in 1usize..64) {
+        let ty = Datatype::contiguous(len, &Datatype::BYTE).unwrap().commit();
+        prop_assert!(ty.is_contiguous());
+        let src: Vec<u8> = (0..len as u8).collect();
+        prop_assert_eq!(pack(&ty, 1, &src), src);
+    }
+}

@@ -1,0 +1,46 @@
+//! Physical network addresses.
+//!
+//! The paper's §3.1 distinguishes the application-visible (communicator,
+//! rank) tuple from the *physical network address* the fabric actually
+//! routes on. `NetAddr` is that physical address: in our in-process fabric
+//! it indexes the endpoint table, playing the role of a libfabric
+//! `fi_addr_t`. The MPI layer's job — and one of the paper's measured
+//! overheads — is translating communicator ranks into these.
+
+/// A physical fabric address (the index of an endpoint on the fabric).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetAddr(pub u32);
+
+impl NetAddr {
+    /// The endpoint-table index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for NetAddr {
+    fn from(v: u32) -> Self {
+        NetAddr(v)
+    }
+}
+
+impl std::fmt::Display for NetAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "fi_addr:{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_ordering() {
+        let a = NetAddr::from(3u32);
+        let b = NetAddr(7);
+        assert_eq!(a.index(), 3);
+        assert!(a < b);
+        assert_eq!(format!("{a}"), "fi_addr:3");
+    }
+}

@@ -1,0 +1,149 @@
+//! The fabric: the set of endpoints, the region table, and the provider
+//! profile shared by one simulated job.
+
+use crate::addr::NetAddr;
+use crate::cost::ProviderProfile;
+use crate::endpoint::{Endpoint, EndpointShared};
+use crate::region::{MemoryRegion, RegionKey};
+use crate::topology::Topology;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One simulated network: `n` endpoints, a registered-memory table, a
+/// topology, and a provider profile. Create once per job (`Universe`).
+#[derive(Debug)]
+pub struct Fabric {
+    profile: ProviderProfile,
+    topology: Topology,
+    endpoints: Vec<EndpointShared>,
+    regions: RwLock<HashMap<RegionKey, MemoryRegion>>,
+    next_rkey: AtomicU64,
+}
+
+impl Fabric {
+    /// Build a fabric with `n` endpoints.
+    pub fn new(n: usize, profile: ProviderProfile, topology: Topology) -> Arc<Fabric> {
+        assert_eq!(topology.n_ranks(), n, "topology must cover exactly n ranks");
+        let endpoints =
+            (0..n).map(|i| EndpointShared::new(profile.jitter_seed, NetAddr(i as u32))).collect();
+        Arc::new(Fabric {
+            profile,
+            topology,
+            endpoints,
+            regions: RwLock::new(HashMap::new()),
+            next_rkey: AtomicU64::new(1),
+        })
+    }
+
+    /// Number of endpoints.
+    pub fn n_endpoints(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// The provider profile (capabilities + cost table).
+    pub fn profile(&self) -> &ProviderProfile {
+        &self.profile
+    }
+
+    /// The rank placement.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Open the endpoint at `addr`.
+    pub fn endpoint(self: &Arc<Self>, addr: NetAddr) -> Endpoint {
+        assert!(addr.index() < self.endpoints.len(), "no such endpoint: {addr}");
+        Endpoint::new(self.clone(), addr)
+    }
+
+    pub(crate) fn shared(&self, addr: NetAddr) -> &EndpointShared {
+        &self.endpoints[addr.index()]
+    }
+
+    /// Register `len` bytes of remotely accessible memory; returns the
+    /// region handle (its key is the fabric-wide rkey).
+    pub fn register(&self, len: usize) -> MemoryRegion {
+        let key = RegionKey(self.next_rkey.fetch_add(1, Ordering::Relaxed));
+        let region = MemoryRegion::new(key, len);
+        self.regions.write().insert(key, region.clone());
+        region
+    }
+
+    /// Invalidate a region key. Subsequent access through the fabric panics
+    /// (protection error), though existing `MemoryRegion` clones keep the
+    /// storage alive.
+    pub fn deregister(&self, key: RegionKey) {
+        self.regions.write().remove(&key);
+    }
+
+    /// Look up a registered region by key (initiator side of RDMA; also
+    /// used by MPI layers above to reach their own exposed window memory).
+    /// Panics on an unregistered key, like a NIC protection error.
+    pub fn region(&self, key: RegionKey) -> MemoryRegion {
+        self.regions
+            .read()
+            .get(&key)
+            .cloned()
+            .unwrap_or_else(|| panic!("rdma access to unregistered region {key:?}"))
+    }
+
+    /// Is a region currently registered?
+    pub fn is_registered(&self, key: RegionKey) -> bool {
+        self.regions.read().contains_key(&key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let f = Fabric::new(4, ProviderProfile::ofi(), Topology::blocked(4, 2));
+        assert_eq!(f.n_endpoints(), 4);
+        assert_eq!(f.profile().kind, crate::ProviderKind::Ofi);
+        assert!(f.topology().same_node(NetAddr(0), NetAddr(1)));
+        assert!(!f.topology().same_node(NetAddr(1), NetAddr(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "topology must cover")]
+    fn topology_size_mismatch_panics() {
+        Fabric::new(4, ProviderProfile::ofi(), Topology::single_node(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "no such endpoint")]
+    fn bad_endpoint_panics() {
+        let f = Fabric::new(2, ProviderProfile::infinite(), Topology::single_node(2));
+        let _ = f.endpoint(NetAddr(5));
+    }
+
+    #[test]
+    fn register_deregister() {
+        let f = Fabric::new(1, ProviderProfile::infinite(), Topology::single_node(1));
+        let r = f.register(32);
+        assert!(f.is_registered(r.key()));
+        f.deregister(r.key());
+        assert!(!f.is_registered(r.key()));
+    }
+
+    #[test]
+    #[should_panic(expected = "unregistered region")]
+    fn access_after_deregister_panics() {
+        let f = Fabric::new(1, ProviderProfile::infinite(), Topology::single_node(1));
+        let r = f.register(32);
+        f.deregister(r.key());
+        let _ = f.region(r.key());
+    }
+
+    #[test]
+    fn rkeys_are_unique() {
+        let f = Fabric::new(1, ProviderProfile::infinite(), Topology::single_node(1));
+        let a = f.register(8);
+        let b = f.register(8);
+        assert_ne!(a.key(), b.key());
+    }
+}

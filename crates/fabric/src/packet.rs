@@ -1,0 +1,145 @@
+//! Wire-level message types carried by the simulated fabric.
+
+use crate::addr::NetAddr;
+use bytes::Bytes;
+
+/// A tagged two-sided message as delivered to a matching receive.
+///
+/// `match_bits` are opaque to the fabric: the MPI layer encodes
+/// (context id, source rank, tag) into them, exactly as the CH4/OFI netmod
+/// packs MPI matching semantics into libfabric's 64-bit tag space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaggedMessage {
+    /// Physical address of the sender.
+    pub src: NetAddr,
+    /// The sender's 64-bit match bits.
+    pub match_bits: u64,
+    /// Payload (eager data, or rendezvous control information).
+    pub data: Bytes,
+}
+
+impl TaggedMessage {
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// An active message: a handler id plus header and payload.
+///
+/// This is the transport for the CH4 core's fallback path ("if it does not
+/// have a network-specific method ... it simply falls back to the
+/// active-message-based implementation provided by the ch4 core", paper §2)
+/// and for the CH3-like baseline's RMA emulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AmMessage {
+    /// Physical address of the sender.
+    pub src: NetAddr,
+    /// Which registered handler should process this message.
+    pub handler: u16,
+    /// Small fixed-size header (operation parameters).
+    pub header: [u8; 32],
+    /// Bulk payload.
+    pub data: Bytes,
+}
+
+/// A posted (not yet matched) tagged receive inside an endpoint.
+#[derive(Debug)]
+pub(crate) struct PostedRecv {
+    pub match_bits: u64,
+    /// Bits set in `ignore` are wildcards (libfabric convention).
+    pub ignore: u64,
+    pub slot: std::sync::Arc<RecvSlot>,
+}
+
+impl PostedRecv {
+    /// Does an incoming message's match bits satisfy this posted receive?
+    #[inline]
+    pub fn matches(&self, incoming: u64) -> bool {
+        (incoming | self.ignore) == (self.match_bits | self.ignore)
+    }
+}
+
+/// Completion slot a blocked/polling receiver watches.
+#[derive(Debug, Default)]
+pub(crate) struct RecvSlot {
+    pub message: parking_lot::Mutex<Option<TaggedMessage>>,
+}
+
+impl RecvSlot {
+    pub fn fill(&self, msg: TaggedMessage) {
+        let mut guard = self.message.lock();
+        debug_assert!(guard.is_none(), "recv slot filled twice");
+        *guard = Some(msg);
+    }
+
+    pub fn take(&self) -> Option<TaggedMessage> {
+        self.message.lock().take()
+    }
+
+    pub fn is_filled(&self) -> bool {
+        self.message.lock().is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn msg(bits: u64) -> TaggedMessage {
+        TaggedMessage { src: NetAddr(0), match_bits: bits, data: Bytes::from_static(b"x") }
+    }
+
+    #[test]
+    fn exact_match() {
+        let p = PostedRecv { match_bits: 0xABCD, ignore: 0, slot: Arc::new(RecvSlot::default()) };
+        assert!(p.matches(0xABCD));
+        assert!(!p.matches(0xABCE));
+    }
+
+    #[test]
+    fn ignore_mask_is_wildcard() {
+        // Low 16 bits wild (e.g. MPI_ANY_TAG with tag in the low bits).
+        let p = PostedRecv {
+            match_bits: 0xFF0000,
+            ignore: 0xFFFF,
+            slot: Arc::new(RecvSlot::default()),
+        };
+        assert!(p.matches(0xFF0000));
+        assert!(p.matches(0xFF1234));
+        assert!(!p.matches(0xEE1234));
+    }
+
+    #[test]
+    fn full_wildcard_matches_anything() {
+        let p =
+            PostedRecv { match_bits: 0, ignore: u64::MAX, slot: Arc::new(RecvSlot::default()) };
+        assert!(p.matches(0));
+        assert!(p.matches(u64::MAX));
+        assert!(p.matches(0xDEADBEEF));
+    }
+
+    #[test]
+    fn slot_fill_take() {
+        let s = RecvSlot::default();
+        assert!(!s.is_filled());
+        s.fill(msg(1));
+        assert!(s.is_filled());
+        let m = s.take().unwrap();
+        assert_eq!(m.match_bits, 1);
+        assert!(!s.is_filled());
+    }
+
+    #[test]
+    fn tagged_message_len() {
+        let m = msg(0);
+        assert_eq!(m.len(), 1);
+        assert!(!m.is_empty());
+    }
+}

@@ -1,0 +1,231 @@
+//! Registered RDMA memory regions.
+//!
+//! Real NICs perform one-sided operations against memory the target has
+//! *registered* (pinned and keyed). We model a region as fabric-owned byte
+//! storage addressed by a [`RegionKey`]: initiators read/write/atomically
+//! update it directly, with **no involvement of the target rank's thread**,
+//! which is exactly the property that lets the CH4 netmod implement
+//! `MPI_PUT` as a handful of instructions (paper §2).
+//!
+//! A per-region lock serializes concurrent access. That is stronger than
+//! real RDMA for put/get (which give no atomicity), but it is what MPI
+//! requires of `MPI_ACCUMULATE`-family operations (element-wise atomicity),
+//! and it keeps the simulation data-race-free without `unsafe`.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Remote key naming a registered region fabric-wide (an "rkey").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegionKey(pub u64);
+
+/// Atomic update operations the simulated NIC supports, mirroring the
+/// libfabric/verbs atomic op set used by MPI accumulate operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RdmaAtomicOp {
+    /// 64-bit integer add.
+    AddU64,
+    /// 64-bit swap (fetch old, store new).
+    SwapU64,
+    /// 64-bit compare-and-swap: store if current == compare operand.
+    CasU64,
+    /// IEEE-754 f64 add (MPI_SUM on MPI_DOUBLE).
+    AddF64,
+    /// 64-bit integer max.
+    MaxU64,
+}
+
+/// A registered memory region (shared handle).
+#[derive(Debug, Clone)]
+pub struct MemoryRegion {
+    key: RegionKey,
+    inner: Arc<RegionInner>,
+}
+
+#[derive(Debug)]
+pub(crate) struct RegionInner {
+    mem: Mutex<Vec<u8>>,
+}
+
+impl MemoryRegion {
+    pub(crate) fn new(key: RegionKey, len: usize) -> Self {
+        MemoryRegion { key, inner: Arc::new(RegionInner { mem: Mutex::new(vec![0u8; len]) }) }
+    }
+
+    /// The region's remote key.
+    pub fn key(&self) -> RegionKey {
+        self.key
+    }
+
+    /// Registered length in bytes.
+    pub fn len(&self) -> usize {
+        self.inner.mem.lock().len()
+    }
+
+    /// `true` for a zero-length registration (legal in MPI: a process may
+    /// expose no memory in a window).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// One-sided write of `data` at `offset`. Panics on out-of-range access
+    /// — a real NIC would raise a protection error; tests assert on it.
+    pub fn write(&self, offset: usize, data: &[u8]) {
+        let mut mem = self.inner.mem.lock();
+        let end = offset.checked_add(data.len()).expect("rdma write overflow");
+        assert!(end <= mem.len(), "rdma write out of registered range ({end} > {})", mem.len());
+        mem[offset..end].copy_from_slice(data);
+    }
+
+    /// One-sided read of `len` bytes at `offset`.
+    pub fn read(&self, offset: usize, len: usize) -> Vec<u8> {
+        let mem = self.inner.mem.lock();
+        let end = offset.checked_add(len).expect("rdma read overflow");
+        assert!(end <= mem.len(), "rdma read out of registered range ({end} > {})", mem.len());
+        mem[offset..end].to_vec()
+    }
+
+    /// Read-modify-write under `f`, holding the region lock for the whole
+    /// update — the primitive beneath [`MemoryRegion::atomic`] and beneath
+    /// MPI accumulate operations with derived layouts.
+    pub fn update(&self, offset: usize, len: usize, f: impl FnOnce(&mut [u8])) {
+        let mut mem = self.inner.mem.lock();
+        let end = offset.checked_add(len).expect("rdma update overflow");
+        assert!(end <= mem.len(), "rdma update out of registered range");
+        f(&mut mem[offset..end]);
+    }
+
+    /// Hardware-style atomic on an 8-byte datum. Returns the *previous*
+    /// value (fetch semantics); callers not needing it discard it.
+    pub fn atomic(&self, offset: usize, op: RdmaAtomicOp, operand: u64, compare: u64) -> u64 {
+        let mut mem = self.inner.mem.lock();
+        let end = offset + 8;
+        assert!(end <= mem.len(), "rdma atomic out of registered range");
+        let cur_bytes: [u8; 8] = mem[offset..end].try_into().expect("8-byte atomic");
+        let cur = u64::from_le_bytes(cur_bytes);
+        let new = match op {
+            RdmaAtomicOp::AddU64 => cur.wrapping_add(operand),
+            RdmaAtomicOp::SwapU64 => operand,
+            RdmaAtomicOp::CasU64 => {
+                if cur == compare {
+                    operand
+                } else {
+                    cur
+                }
+            }
+            RdmaAtomicOp::AddF64 => {
+                (f64::from_bits(cur) + f64::from_bits(operand)).to_bits()
+            }
+            RdmaAtomicOp::MaxU64 => cur.max(operand),
+        };
+        mem[offset..end].copy_from_slice(&new.to_le_bytes());
+        cur
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region(len: usize) -> MemoryRegion {
+        MemoryRegion::new(RegionKey(1), len)
+    }
+
+    #[test]
+    fn write_then_read() {
+        let r = region(16);
+        r.write(4, &[1, 2, 3, 4]);
+        assert_eq!(r.read(4, 4), vec![1, 2, 3, 4]);
+        assert_eq!(r.read(0, 4), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of registered range")]
+    fn write_past_end_panics() {
+        region(8).write(5, &[0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of registered range")]
+    fn read_past_end_panics() {
+        region(8).read(8, 1);
+    }
+
+    #[test]
+    fn zero_length_region_is_legal() {
+        let r = region(0);
+        assert!(r.is_empty());
+        r.write(0, &[]); // zero-byte access at offset 0 is fine
+        assert_eq!(r.read(0, 0), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn atomic_add_returns_previous() {
+        let r = region(8);
+        r.write(0, &5u64.to_le_bytes());
+        let prev = r.atomic(0, RdmaAtomicOp::AddU64, 7, 0);
+        assert_eq!(prev, 5);
+        assert_eq!(u64::from_le_bytes(r.read(0, 8).try_into().unwrap()), 12);
+    }
+
+    #[test]
+    fn atomic_cas_success_and_failure() {
+        let r = region(8);
+        r.write(0, &10u64.to_le_bytes());
+        let prev = r.atomic(0, RdmaAtomicOp::CasU64, 99, 10);
+        assert_eq!(prev, 10);
+        assert_eq!(u64::from_le_bytes(r.read(0, 8).try_into().unwrap()), 99);
+        // Failing CAS leaves the value alone.
+        let prev = r.atomic(0, RdmaAtomicOp::CasU64, 7, 10);
+        assert_eq!(prev, 99);
+        assert_eq!(u64::from_le_bytes(r.read(0, 8).try_into().unwrap()), 99);
+    }
+
+    #[test]
+    fn atomic_f64_add() {
+        let r = region(8);
+        r.write(0, &1.5f64.to_bits().to_le_bytes());
+        r.atomic(0, RdmaAtomicOp::AddF64, 2.25f64.to_bits(), 0);
+        let v = f64::from_bits(u64::from_le_bytes(r.read(0, 8).try_into().unwrap()));
+        assert_eq!(v, 3.75);
+    }
+
+    #[test]
+    fn atomic_swap_and_max() {
+        let r = region(8);
+        r.write(0, &3u64.to_le_bytes());
+        assert_eq!(r.atomic(0, RdmaAtomicOp::SwapU64, 8, 0), 3);
+        assert_eq!(r.atomic(0, RdmaAtomicOp::MaxU64, 5, 0), 8);
+        assert_eq!(u64::from_le_bytes(r.read(0, 8).try_into().unwrap()), 8);
+    }
+
+    #[test]
+    fn update_applies_closure_atomically() {
+        let r = region(4);
+        r.update(0, 4, |bytes| {
+            for b in bytes.iter_mut() {
+                *b = 0xAA;
+            }
+        });
+        assert_eq!(r.read(0, 4), vec![0xAA; 4]);
+    }
+
+    #[test]
+    fn concurrent_atomics_do_not_lose_updates() {
+        let r = region(8);
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let r = r.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        r.atomic(0, RdmaAtomicOp::AddU64, 1, 0);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(u64::from_le_bytes(r.read(0, 8).try_into().unwrap()), 4000);
+    }
+}

@@ -1,0 +1,128 @@
+//! Per-endpoint traffic statistics.
+//!
+//! The application models for Figs 7–8 need *communication traces*: how many
+//! messages and bytes each rank moves per iteration. Rather than instrument
+//! the applications, the fabric counts traffic at the point of injection —
+//! the same place a NIC's hardware counters would.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic traffic counters for one endpoint. All counters use relaxed
+/// atomics: they are statistics, not synchronization.
+#[derive(Debug, Default)]
+pub struct EndpointStats {
+    /// Tagged (two-sided) messages injected.
+    pub msgs_sent: AtomicU64,
+    /// Tagged messages delivered to a receive on this endpoint.
+    pub msgs_received: AtomicU64,
+    /// Payload bytes injected via tagged sends.
+    pub bytes_sent: AtomicU64,
+    /// Payload bytes received.
+    pub bytes_received: AtomicU64,
+    /// One-sided RDMA writes initiated.
+    pub rdma_puts: AtomicU64,
+    /// One-sided RDMA reads initiated.
+    pub rdma_gets: AtomicU64,
+    /// One-sided RDMA atomics initiated.
+    pub rdma_atomics: AtomicU64,
+    /// Bytes moved by this endpoint's initiated RDMA operations.
+    pub rdma_bytes: AtomicU64,
+    /// Active messages injected.
+    pub am_sent: AtomicU64,
+    /// Messages that arrived before a matching receive was posted
+    /// (unexpected-queue pressure — a matching-engine health metric).
+    pub unexpected: AtomicU64,
+}
+
+impl EndpointStats {
+    #[inline]
+    pub(crate) fn bump(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Snapshot all counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            msgs_sent: self.msgs_sent.load(Ordering::Relaxed),
+            msgs_received: self.msgs_received.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            bytes_received: self.bytes_received.load(Ordering::Relaxed),
+            rdma_puts: self.rdma_puts.load(Ordering::Relaxed),
+            rdma_gets: self.rdma_gets.load(Ordering::Relaxed),
+            rdma_atomics: self.rdma_atomics.load(Ordering::Relaxed),
+            rdma_bytes: self.rdma_bytes.load(Ordering::Relaxed),
+            am_sent: self.am_sent.load(Ordering::Relaxed),
+            unexpected: self.unexpected.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`EndpointStats`], with plain integer fields.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct StatsSnapshot {
+    pub msgs_sent: u64,
+    pub msgs_received: u64,
+    pub bytes_sent: u64,
+    pub bytes_received: u64,
+    pub rdma_puts: u64,
+    pub rdma_gets: u64,
+    pub rdma_atomics: u64,
+    pub rdma_bytes: u64,
+    pub am_sent: u64,
+    pub unexpected: u64,
+}
+
+impl StatsSnapshot {
+    /// Difference `self - earlier` (per-interval trace).
+    pub fn diff(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            msgs_sent: self.msgs_sent - earlier.msgs_sent,
+            msgs_received: self.msgs_received - earlier.msgs_received,
+            bytes_sent: self.bytes_sent - earlier.bytes_sent,
+            bytes_received: self.bytes_received - earlier.bytes_received,
+            rdma_puts: self.rdma_puts - earlier.rdma_puts,
+            rdma_gets: self.rdma_gets - earlier.rdma_gets,
+            rdma_atomics: self.rdma_atomics - earlier.rdma_atomics,
+            rdma_bytes: self.rdma_bytes - earlier.rdma_bytes,
+            am_sent: self.am_sent - earlier.am_sent,
+            unexpected: self.unexpected - earlier.unexpected,
+        }
+    }
+
+    /// Total two-sided + one-sided operations initiated.
+    pub fn total_ops(&self) -> u64 {
+        self.msgs_sent + self.rdma_puts + self.rdma_gets + self.rdma_atomics + self.am_sent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_and_snapshot() {
+        let s = EndpointStats::default();
+        EndpointStats::bump(&s.msgs_sent, 3);
+        EndpointStats::bump(&s.bytes_sent, 300);
+        let snap = s.snapshot();
+        assert_eq!(snap.msgs_sent, 3);
+        assert_eq!(snap.bytes_sent, 300);
+        assert_eq!(snap.total_ops(), 3);
+    }
+
+    #[test]
+    fn diff_gives_interval() {
+        let s = EndpointStats::default();
+        EndpointStats::bump(&s.rdma_puts, 2);
+        let a = s.snapshot();
+        EndpointStats::bump(&s.rdma_puts, 5);
+        let b = s.snapshot();
+        assert_eq!(b.diff(&a).rdma_puts, 5);
+    }
+
+    #[test]
+    fn default_snapshot_is_zero() {
+        assert_eq!(EndpointStats::default().snapshot(), StatsSnapshot::default());
+    }
+}

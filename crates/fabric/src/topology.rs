@@ -1,0 +1,121 @@
+//! Rank-to-node topology.
+//!
+//! The CH4 core's first decision on every operation is *locality*: self,
+//! same node (→ shmmod), or remote (→ netmod) (paper §2, "CH4 Core").
+//! The topology is what makes that decision answerable. Our in-process
+//! fabric hosts every rank in one OS process, but the simulated topology
+//! still partitions ranks into nodes so the shmmod-vs-netmod branch in
+//! `litempi-core` is real and testable.
+
+use crate::addr::NetAddr;
+
+/// Identifies a (simulated) compute node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// Maps physical addresses to nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    /// `node_of[addr] = node`.
+    node_of: Vec<NodeId>,
+}
+
+impl Topology {
+    /// All ranks on a single node (everything goes through the shmmod).
+    pub fn single_node(n_ranks: usize) -> Self {
+        Topology { node_of: vec![NodeId(0); n_ranks] }
+    }
+
+    /// Block distribution: `ranks_per_node` consecutive ranks per node —
+    /// the standard scheduler placement and the one the paper's application
+    /// runs use (e.g. 16 ranks/node on BG/Q).
+    pub fn blocked(n_ranks: usize, ranks_per_node: usize) -> Self {
+        assert!(ranks_per_node > 0, "ranks_per_node must be positive");
+        let node_of = (0..n_ranks).map(|r| NodeId((r / ranks_per_node) as u32)).collect();
+        Topology { node_of }
+    }
+
+    /// One rank per node (every peer is remote; pure netmod traffic).
+    pub fn one_per_node(n_ranks: usize) -> Self {
+        Topology::blocked(n_ranks, 1)
+    }
+
+    /// Explicit placement.
+    pub fn from_nodes(node_of: Vec<NodeId>) -> Self {
+        Topology { node_of }
+    }
+
+    /// Number of ranks covered.
+    pub fn n_ranks(&self) -> usize {
+        self.node_of.len()
+    }
+
+    /// Number of distinct nodes.
+    pub fn n_nodes(&self) -> usize {
+        let mut nodes: Vec<_> = self.node_of.clone();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes.len()
+    }
+
+    /// Node hosting `addr`.
+    pub fn node_of(&self, addr: NetAddr) -> NodeId {
+        self.node_of[addr.index()]
+    }
+
+    /// Are two addresses on the same node? This is the shmmod/netmod branch.
+    #[inline]
+    pub fn same_node(&self, a: NetAddr, b: NetAddr) -> bool {
+        self.node_of[a.index()] == self.node_of[b.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_node_is_all_local() {
+        let t = Topology::single_node(8);
+        assert_eq!(t.n_nodes(), 1);
+        assert!(t.same_node(NetAddr(0), NetAddr(7)));
+    }
+
+    #[test]
+    fn blocked_partitions_correctly() {
+        let t = Topology::blocked(8, 4);
+        assert_eq!(t.n_nodes(), 2);
+        assert!(t.same_node(NetAddr(0), NetAddr(3)));
+        assert!(!t.same_node(NetAddr(3), NetAddr(4)));
+        assert_eq!(t.node_of(NetAddr(5)), NodeId(1));
+    }
+
+    #[test]
+    fn blocked_with_remainder() {
+        let t = Topology::blocked(5, 2);
+        assert_eq!(t.n_nodes(), 3); // nodes {0,0,1,1,2}
+        assert_eq!(t.node_of(NetAddr(4)), NodeId(2));
+    }
+
+    #[test]
+    fn one_per_node_is_all_remote() {
+        let t = Topology::one_per_node(4);
+        assert_eq!(t.n_nodes(), 4);
+        assert!(!t.same_node(NetAddr(0), NetAddr(1)));
+        assert!(t.same_node(NetAddr(2), NetAddr(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_ranks_per_node_panics() {
+        Topology::blocked(4, 0);
+    }
+
+    #[test]
+    fn explicit_placement() {
+        let t = Topology::from_nodes(vec![NodeId(3), NodeId(3), NodeId(9)]);
+        assert_eq!(t.n_ranks(), 3);
+        assert_eq!(t.n_nodes(), 2);
+        assert!(t.same_node(NetAddr(0), NetAddr(1)));
+    }
+}

@@ -1,0 +1,126 @@
+//! Property tests on the fabric's native matching engine (the PSM2-style
+//! facility the CH4 netmod relies on): per-pair FIFO, wildcard masks, and
+//! posted-before/after symmetry under random interleavings.
+
+use bytes::Bytes;
+use litempi_fabric::{Fabric, NetAddr, ProviderProfile, Topology};
+use proptest::prelude::*;
+
+fn fabric(n: usize, jitter: Option<u64>) -> std::sync::Arc<Fabric> {
+    let mut profile = ProviderProfile::infinite();
+    if let Some(seed) = jitter {
+        profile = profile.with_jitter(seed);
+    }
+    Fabric::new(n, profile, Topology::single_node(n))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Messages with identical match bits are received in send order, no
+    /// matter how receives interleave with sends (post-first vs arrive-
+    /// first), with or without cross-source jitter.
+    #[test]
+    fn same_bits_fifo(
+        n_msgs in 1usize..24,
+        post_first in proptest::collection::vec(any::<bool>(), 24),
+        jitter in proptest::option::of(any::<u64>()),
+    ) {
+        let f = fabric(2, jitter);
+        let tx = f.endpoint(NetAddr(0));
+        let rx = f.endpoint(NetAddr(1));
+        let mut pending = std::collections::VecDeque::new();
+        let mut received = Vec::new();
+        for i in 0..n_msgs {
+            if post_first[i] {
+                // Post the receive before this message is sent.
+                pending.push_back(rx.trecv_post(7, 0));
+            }
+            tx.tsend(NetAddr(1), 7, Bytes::copy_from_slice(&(i as u64).to_le_bytes()));
+        }
+        // Drain: posted handles first (they matched in post order), then
+        // blocking receives for the remainder.
+        while let Some(h) = pending.pop_front() {
+            received.push(h.wait());
+        }
+        while received.len() < n_msgs {
+            received.push(rx.trecv_blocking(7, 0));
+        }
+        // Two receive phases each preserve send order within themselves;
+        // together they form a merge of two increasing subsequences of the
+        // send order. The *set* must be exact and each phase monotone.
+        let values: Vec<u64> = received
+            .iter()
+            .map(|m| u64::from_le_bytes(m.data[..].try_into().unwrap()))
+            .collect();
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n_msgs as u64).collect::<Vec<_>>());
+        let n_posted = post_first[..n_msgs].iter().filter(|&&b| b).count();
+        prop_assert!(values[..n_posted].windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(values[n_posted..].windows(2).all(|w| w[0] < w[1]));
+    }
+
+    /// A wildcard receive (full ignore mask on the low bits) picks up the
+    /// earliest-arrived matching message; exact receives never steal from
+    /// other bit patterns.
+    #[test]
+    fn wildcard_vs_exact_isolation(
+        tags in proptest::collection::vec(0u64..8, 1..16),
+    ) {
+        let f = fabric(2, None);
+        let tx = f.endpoint(NetAddr(0));
+        let rx = f.endpoint(NetAddr(1));
+        let ctx = 0xAA00u64;
+        for (i, &t) in tags.iter().enumerate() {
+            tx.tsend(NetAddr(1), ctx | t, Bytes::copy_from_slice(&[i as u8]));
+        }
+        // Exact receive for the first occurrence of each distinct tag.
+        let mut seen = std::collections::BTreeSet::new();
+        for &t in &tags {
+            if seen.insert(t) {
+                let m = rx.trecv_blocking(ctx | t, 0);
+                let idx = m.data[0] as usize;
+                prop_assert_eq!(tags[idx], t, "exact receive got its own tag");
+                let first = tags.iter().position(|&x| x == t).unwrap();
+                prop_assert_eq!(idx, first, "earliest message of that tag");
+            }
+        }
+        // Wildcard drains the rest in arrival order.
+        let remaining = tags.len() - seen.len();
+        let mut last_idx = None;
+        for _ in 0..remaining {
+            let m = rx.trecv_blocking(ctx, 0xFF);
+            let idx = m.data[0] as usize;
+            if let Some(prev) = last_idx {
+                prop_assert!(idx > prev, "wildcard preserves arrival order");
+            }
+            last_idx = Some(idx);
+        }
+        prop_assert!(rx.tpeek(ctx, 0xFF).is_none(), "queue fully drained");
+    }
+
+    /// tdequeue (the mprobe substrate) removes exactly one message and
+    /// leaves the rest receivable.
+    #[test]
+    fn dequeue_is_surgical(count in 2usize..12, pick in any::<prop::sample::Index>()) {
+        let f = fabric(2, None);
+        let tx = f.endpoint(NetAddr(0));
+        let rx = f.endpoint(NetAddr(1));
+        for i in 0..count {
+            tx.tsend(NetAddr(1), 100 + i as u64, Bytes::new());
+        }
+        let target = 100 + pick.index(count) as u64;
+        let m = rx.tdequeue(target, 0).unwrap();
+        prop_assert_eq!(m.match_bits, target);
+        prop_assert!(rx.tdequeue(target, 0).is_none(), "only one copy existed");
+        // Everything else is intact, in arrival order via wildcard.
+        let mut rest = Vec::new();
+        for _ in 0..count - 1 {
+            rest.push(rx.trecv_blocking(0, u64::MAX).match_bits);
+        }
+        let expect: Vec<u64> =
+            (0..count as u64).map(|i| 100 + i).filter(|&b| b != target).collect();
+        prop_assert_eq!(rest, expect);
+    }
+}

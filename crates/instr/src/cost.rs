@@ -1,0 +1,214 @@
+//! SDE-calibrated instruction-cost table.
+//!
+//! Every constant here is the instruction cost of one critical-path region of
+//! the `litempi-core` implementation. The *structure* (which region executes
+//! under which build configuration / API variant) is decided by real control
+//! flow in `litempi-core`; the *magnitudes* are calibrated so that the region
+//! sums reproduce the paper's published counts. Each constant cites its
+//! provenance.
+//!
+//! Ground truth used for calibration:
+//!
+//! * Paper Table 1 (default CH4 build):
+//!   `MPI_ISEND` = 74 + 6 + 23 + 59 + 59 = **221**,
+//!   `MPI_PUT`   = 72 + 14 + 25 + 62 + 44 = 217 (Table 1) but **215** per
+//!   Figure 2. The paper's Table 1 and Figure 2 disagree by 2 for `MPI_PUT`;
+//!   we follow Figure 2 (the summary figure) and calibrate the redundant-
+//!   checks region to 60.
+//! * Figure 2 build ladder: Original 253/1342 → CH4 default 221/215 →
+//!   no-err 147/143 → no-thread-check 141/129 → IPO 59/44.
+//! * §3 per-proposal savings: ~10 (global rank), 3–4 (virtual address),
+//!   8 (precreated handles), 3 (no PROC_NULL), ~10 (no request), 5 (no match
+//!   bits); §3.7: `MPI_ISEND_ALL_OPTS` = **16** instructions total.
+
+/// Costs for the `MPI_ISEND` critical path (paper Table 1, Fig 2, §3).
+pub mod isend {
+    /// "Error checking": argument validation, object liveness, rank-in-range.
+    /// Table 1: 74 instructions.
+    pub const ERROR_CHECKING: u64 = 74;
+    /// "Thread-safety check": runtime branch to the thread-safe path.
+    /// Table 1: 6 instructions.
+    pub const THREAD_CHECK: u64 = 6;
+    /// "MPI function call": stack/register setup for the black-box call.
+    /// Table 1: 23 instructions (the paper quotes 16–18 for the bare call
+    /// plus spill/reload).
+    pub const FUNCTION_CALL: u64 = 23;
+    /// "Redundant runtime checks": datatype-size lookup etc. that IPO
+    /// constant-folds away. Table 1: 59 instructions.
+    pub const REDUNDANT_CHECKS: u64 = 59;
+    /// §3.1: communicator-rank → network-address translation.
+    /// "a reduction of around 10 instructions" for `MPI_ISEND_GLOBAL`.
+    pub const COMM_RANK_TRANSLATION: u64 = 10;
+    /// §3.3: dereference into the dynamically allocated communicator object.
+    /// "eliminates 8 instructions".
+    pub const OBJECT_DEREF: u64 = 8;
+    /// §3.4: `MPI_PROC_NULL` comparison + branch. "can save 3 instructions".
+    pub const PROC_NULL_CHECK: u64 = 3;
+    /// §3.5: request-object allocation/initialization.
+    /// "saves approximately 10 instructions".
+    pub const REQUEST_MANAGEMENT: u64 = 10;
+    /// §3.6: assembling source/tag match bits. "eliminates 5 instructions".
+    pub const MATCH_BITS: u64 = 5;
+    /// Residue: marshalling into the network API. Calibrated so the
+    /// mandatory bucket totals 59 (Table 1): 59 − 10 − 8 − 3 − 10 − 5 = 23.
+    pub const NETMOD_ISSUE: u64 = 23;
+    /// §3.7: when *all* proposals are fused into `MPI_ISEND_ALL_OPTS` the
+    /// residue itself shrinks (e.g. §3.6+§3.3 let the communicator match
+    /// bits be a single load): total = **16** instructions, all of them the
+    /// netmod issue itself.
+    pub const ALL_OPTS_NETMOD: u64 = 16;
+    /// §3.7 headline: `MPI_ISEND_ALL_OPTS` = 16 instructions.
+    pub const ALL_OPTS_TOTAL: u64 = ALL_OPTS_NETMOD;
+    /// Extra layering charged by the CH3-like `original` device: dynamic
+    /// dispatch through the device vtable plus generalized marshalling.
+    /// Calibrated: Fig 2 Original `MPI_ISEND` 253 − CH4 default 221 = 32.
+    pub const ORIGINAL_LAYERING: u64 = 32;
+
+    /// Mandatory bucket total (Table 1 row "MPI mandatory overheads" = 59).
+    pub const MANDATORY_TOTAL: u64 = COMM_RANK_TRANSLATION
+        + OBJECT_DEREF
+        + PROC_NULL_CHECK
+        + REQUEST_MANAGEMENT
+        + MATCH_BITS
+        + NETMOD_ISSUE;
+    /// CH4 default-build total (Fig 2: 221).
+    pub const CH4_DEFAULT_TOTAL: u64 =
+        ERROR_CHECKING + THREAD_CHECK + FUNCTION_CALL + REDUNDANT_CHECKS + MANDATORY_TOTAL;
+    /// Original-device default-build total (Fig 2: 253).
+    pub const ORIGINAL_TOTAL: u64 = CH4_DEFAULT_TOTAL + ORIGINAL_LAYERING;
+}
+
+/// Costs for the `MPI_PUT` critical path (paper Table 1, Fig 2, §3).
+pub mod put {
+    /// Table 1: 72 instructions.
+    pub const ERROR_CHECKING: u64 = 72;
+    /// Table 1: 14 instructions.
+    pub const THREAD_CHECK: u64 = 14;
+    /// Table 1: 25 instructions.
+    pub const FUNCTION_CALL: u64 = 25;
+    /// Table 1 says 62 but Figure 2's totals (215/143/129/44) imply 60;
+    /// we follow Figure 2. See module docs.
+    pub const REDUNDANT_CHECKS: u64 = 60;
+    /// §3.1 applies to RMA too: target rank → network address.
+    pub const COMM_RANK_TRANSLATION: u64 = 10;
+    /// §3.2: window offset + displacement unit → virtual address;
+    /// "eliminates 3–4 instructions, including an expensive memory access".
+    pub const WIN_OFFSET_TRANSLATION: u64 = 4;
+    /// §3.3: dereference into the window object (same mechanism as the
+    /// communicator dereference): 8 instructions.
+    pub const OBJECT_DEREF: u64 = 8;
+    /// §3.4: `MPI_PROC_NULL` target check: 3 instructions.
+    pub const PROC_NULL_CHECK: u64 = 3;
+    /// Residue: RDMA descriptor setup. Calibrated so the mandatory bucket
+    /// totals 44 (Table 1): 44 − 10 − 4 − 8 − 3 = 19.
+    pub const NETMOD_ISSUE: u64 = 19;
+    /// Fused `put_all_opts` path: only the residue remains.
+    pub const ALL_OPTS_TOTAL: u64 = NETMOD_ISSUE;
+    /// CH3-like RMA is emulated over pt2pt active messages, which is why
+    /// Fig 2 reports 1342 instructions. Calibrated: 1342 − 215 = 1127.
+    pub const ORIGINAL_LAYERING: u64 = 1127;
+    /// CH4's own active-message fallback (taken when the provider lacks
+    /// native RMA or the datatype is non-contiguous). Not published in the
+    /// paper; modeled as a lean header + handler dispatch, far below CH3's
+    /// full emulation but far above the native path.
+    pub const AM_FALLBACK: u64 = 310;
+
+    /// Mandatory bucket total (Table 1: 44).
+    pub const MANDATORY_TOTAL: u64 = COMM_RANK_TRANSLATION
+        + WIN_OFFSET_TRANSLATION
+        + OBJECT_DEREF
+        + PROC_NULL_CHECK
+        + NETMOD_ISSUE;
+    /// CH4 default-build total (Fig 2: 215).
+    pub const CH4_DEFAULT_TOTAL: u64 =
+        ERROR_CHECKING + THREAD_CHECK + FUNCTION_CALL + REDUNDANT_CHECKS + MANDATORY_TOTAL;
+    /// Original-device default-build total (Fig 2: 1342).
+    pub const ORIGINAL_TOTAL: u64 = CH4_DEFAULT_TOTAL + ORIGINAL_LAYERING;
+}
+
+/// Receiver-side / progress-engine costs. These are *not* part of the
+/// paper's injection-path counts (the paper omits `MPI_IRECV`, noting its
+/// path is largely identical to `MPI_ISEND` for matching-capable networks);
+/// they are tracked under [`crate::Category::Progress`] so tests can prove
+/// they never contaminate the injection-path totals.
+pub mod progress {
+    /// Walking the posted-receive queue per candidate element.
+    pub const MATCH_ATTEMPT: u64 = 12;
+    /// Enqueue into the unexpected-message queue.
+    pub const UNEXPECTED_ENQUEUE: u64 = 9;
+    /// Completion-counter / request completion processing.
+    pub const COMPLETION: u64 = 7;
+    /// Active-message handler dispatch at the target.
+    pub const AM_HANDLER: u64 = 25;
+    /// Rendezvous control messages (RTS/CTS) per protocol step.
+    pub const RNDV_STEP: u64 = 30;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table 1, `MPI_ISEND` column.
+    #[test]
+    fn isend_table1_totals() {
+        assert_eq!(isend::MANDATORY_TOTAL, 59);
+        assert_eq!(isend::CH4_DEFAULT_TOTAL, 221);
+        assert_eq!(isend::ORIGINAL_TOTAL, 253);
+    }
+
+    /// Fig 2 build ladder for `MPI_ISEND`: 221 → 147 → 141 → 59.
+    #[test]
+    fn isend_fig2_ladder() {
+        let no_err = isend::CH4_DEFAULT_TOTAL - isend::ERROR_CHECKING;
+        assert_eq!(no_err, 147);
+        let no_thread = no_err - isend::THREAD_CHECK;
+        assert_eq!(no_thread, 141);
+        let ipo = no_thread - isend::FUNCTION_CALL - isend::REDUNDANT_CHECKS;
+        assert_eq!(ipo, 59);
+    }
+
+    /// Table 1 / Fig 2, `MPI_PUT` column (Fig 2 totals).
+    #[test]
+    fn put_fig2_ladder() {
+        assert_eq!(put::MANDATORY_TOTAL, 44);
+        assert_eq!(put::CH4_DEFAULT_TOTAL, 215);
+        assert_eq!(put::ORIGINAL_TOTAL, 1342);
+        let no_err = put::CH4_DEFAULT_TOTAL - put::ERROR_CHECKING;
+        assert_eq!(no_err, 143);
+        let no_thread = no_err - put::THREAD_CHECK;
+        assert_eq!(no_thread, 129);
+        let ipo = no_thread - put::FUNCTION_CALL - put::REDUNDANT_CHECKS;
+        assert_eq!(ipo, 44);
+    }
+
+    /// §3.7: all proposals fused = 16 instructions, a 94% reduction vs
+    /// MPICH/Original and 73% vs the best standard-conforming CH4 build.
+    #[test]
+    fn all_opts_headline_reductions() {
+        assert_eq!(isend::ALL_OPTS_TOTAL, 16);
+        let vs_original = 1.0 - isend::ALL_OPTS_TOTAL as f64 / isend::ORIGINAL_TOTAL as f64;
+        assert!(vs_original > 0.93 && vs_original < 0.95, "{vs_original}");
+        let ipo = 59u64;
+        let vs_ch4 = 1.0 - isend::ALL_OPTS_TOTAL as f64 / ipo as f64;
+        assert!(vs_ch4 > 0.72 && vs_ch4 < 0.74, "{vs_ch4}");
+    }
+
+    /// §2.1: CH4 is a 13% (isend) and 84% (put) reduction over Original.
+    #[test]
+    fn ch4_vs_original_reductions() {
+        let isend_red = 1.0 - isend::CH4_DEFAULT_TOTAL as f64 / isend::ORIGINAL_TOTAL as f64;
+        assert!((isend_red - 0.13).abs() < 0.01, "{isend_red}");
+        let put_red = 1.0 - put::CH4_DEFAULT_TOTAL as f64 / put::ORIGINAL_TOTAL as f64;
+        assert!((put_red - 0.84).abs() < 0.01, "{put_red}");
+    }
+
+    /// Overall reductions quoted in §2.3: 77% for ISEND and 97% for PUT
+    /// (fully optimized CH4 vs the default MPICH/Original build).
+    #[test]
+    fn section_2_3_summary_reductions() {
+        let isend_red = 1.0 - 59.0 / isend::ORIGINAL_TOTAL as f64;
+        assert!((isend_red - 0.77).abs() < 0.01, "{isend_red}");
+        let put_red = 1.0 - 44.0 / put::ORIGINAL_TOTAL as f64;
+        assert!((put_red - 0.97).abs() < 0.01, "{put_red}");
+    }
+}

@@ -1,0 +1,200 @@
+//! Per-category instruction reports — the unit of output for Table 1 and
+//! the instruction-count figures.
+
+use crate::category::Category;
+
+/// A snapshot (or diff of snapshots) of per-category instruction counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Report {
+    counts: [u64; Category::COUNT],
+}
+
+impl Report {
+    /// Build a report from a raw count array (indexed by `Category::index`).
+    pub fn from_counts(counts: [u64; Category::COUNT]) -> Self {
+        Report { counts }
+    }
+
+    /// Count for one category.
+    #[inline]
+    pub fn get(&self, category: Category) -> u64 {
+        self.counts[category.index()]
+    }
+
+    /// Total instructions across all categories (including progress).
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Total instructions on the *injection path* — the quantity the paper
+    /// reports ("all the way from the application to the low-level network
+    /// communication API"). Excludes receiver-side progress.
+    pub fn injection_total(&self) -> u64 {
+        Category::ALL
+            .iter()
+            .filter(|c| c.is_injection_path())
+            .map(|c| self.get(*c))
+            .sum()
+    }
+
+    /// Total of the "MPI mandatory overheads" bucket (Table 1 last row).
+    pub fn mandatory_total(&self) -> u64 {
+        Category::ALL
+            .iter()
+            .filter(|c| c.is_mandatory())
+            .map(|c| self.get(*c))
+            .sum()
+    }
+
+    /// `self - earlier`, saturating at zero per category.
+    pub fn diff(&self, earlier: &Report) -> Report {
+        let mut counts = [0u64; Category::COUNT];
+        for (i, dst) in counts.iter_mut().enumerate() {
+            *dst = self.counts[i].saturating_sub(earlier.counts[i]);
+        }
+        Report { counts }
+    }
+
+    /// Element-wise sum of two reports.
+    pub fn merge(&self, other: &Report) -> Report {
+        let mut counts = [0u64; Category::COUNT];
+        for (i, dst) in counts.iter_mut().enumerate() {
+            *dst = self.counts[i] + other.counts[i];
+        }
+        Report { counts }
+    }
+
+    /// Divide all counts by `n` (for averaging over `n` repetitions).
+    pub fn per_op(&self, n: u64) -> Report {
+        assert!(n > 0, "per_op divisor must be positive");
+        let mut counts = [0u64; Category::COUNT];
+        for (i, dst) in counts.iter_mut().enumerate() {
+            *dst = self.counts[i] / n;
+        }
+        Report { counts }
+    }
+
+    /// Iterate over `(category, count)` pairs with nonzero counts.
+    pub fn nonzero(&self) -> impl Iterator<Item = (Category, u64)> + '_ {
+        Category::ALL
+            .into_iter()
+            .map(|c| (c, self.get(c)))
+            .filter(|(_, n)| *n > 0)
+    }
+
+    /// Render the report as the paper's Table-1-style rows. The four
+    /// non-mandatory buckets are printed individually; the mandatory
+    /// subcategories are aggregated into one row (with a breakdown if
+    /// `breakdown` is set).
+    pub fn table1(&self, breakdown: bool) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let rows = [
+            Category::ErrorChecking,
+            Category::ThreadCheck,
+            Category::FunctionCall,
+            Category::RedundantChecks,
+        ];
+        for c in rows {
+            let _ = writeln!(out, "{:<28} {:>6} instructions", c.label(), self.get(c));
+        }
+        let _ = writeln!(
+            out,
+            "{:<28} {:>6} instructions",
+            "mpi_mandatory_overheads",
+            self.mandatory_total()
+        );
+        if breakdown {
+            for c in Category::ALL.iter().filter(|c| c.is_mandatory()) {
+                let n = self.get(*c);
+                if n > 0 {
+                    let _ = writeln!(out, "  - {:<24} {:>6}", c.label(), n);
+                }
+            }
+        }
+        let _ = writeln!(
+            out,
+            "{:<28} {:>6} instructions",
+            "TOTAL (injection path)",
+            self.injection_total()
+        );
+        out
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (c, n) in self.nonzero() {
+            writeln!(f, "{:<28} {n}", c.label())?;
+        }
+        write!(f, "total {}", self.total())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut counts = [0u64; Category::COUNT];
+        counts[Category::ErrorChecking.index()] = 74;
+        counts[Category::MatchBits.index()] = 5;
+        counts[Category::NetmodIssue.index()] = 23;
+        counts[Category::Progress.index()] = 100;
+        Report::from_counts(counts)
+    }
+
+    #[test]
+    fn totals() {
+        let r = sample();
+        assert_eq!(r.total(), 202);
+        assert_eq!(r.injection_total(), 102); // progress excluded
+        assert_eq!(r.mandatory_total(), 28);
+    }
+
+    #[test]
+    fn diff_saturates() {
+        let a = sample();
+        let b = Report::default();
+        assert_eq!(b.diff(&a).total(), 0);
+        assert_eq!(a.diff(&b), a);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let a = sample();
+        let m = a.merge(&a);
+        assert_eq!(m.total(), 2 * a.total());
+        assert_eq!(m.get(Category::MatchBits), 10);
+    }
+
+    #[test]
+    fn per_op_divides() {
+        let a = sample().merge(&sample());
+        let one = a.per_op(2);
+        assert_eq!(one, sample());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn per_op_zero_panics() {
+        sample().per_op(0);
+    }
+
+    #[test]
+    fn table1_contains_rows() {
+        let t = sample().table1(true);
+        assert!(t.contains("error_checking"));
+        assert!(t.contains("mpi_mandatory_overheads"));
+        assert!(t.contains("match_bits"));
+        assert!(t.contains("TOTAL"));
+    }
+
+    #[test]
+    fn nonzero_skips_zeroes() {
+        let r = sample();
+        let cats: Vec<_> = r.nonzero().map(|(c, _)| c).collect();
+        assert_eq!(cats.len(), 4);
+        assert!(!cats.contains(&Category::FunctionCall));
+    }
+}

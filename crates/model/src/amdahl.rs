@@ -1,0 +1,91 @@
+//! The paper's §4.3 strong-scaling and energy algebra.
+//!
+//! Runtime on `P` processors is modeled as `T_P = O + W/P` where `O` is
+//! (latency-dominated) communication overhead and `W` the parallel work.
+//! Energy is `E_P = c·P·T_P = c·(P·O + W)`. The paper's point: halving `O`
+//! lets you double `P` at the *same* energy while halving time-to-solution
+//! — but only near the strong-scaling limit (`W/P ≈ O`), which is exactly
+//! where lightweight MPI matters.
+
+/// The `T_P = O + W/P` model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AmdahlModel {
+    /// Per-step communication overhead, seconds (independent of P).
+    pub overhead: f64,
+    /// Total parallel work, processor-seconds.
+    pub work: f64,
+}
+
+impl AmdahlModel {
+    /// Runtime on `p` processors.
+    pub fn time(&self, p: f64) -> f64 {
+        self.overhead + self.work / p
+    }
+
+    /// Parallel efficiency on `p` processors: `(W/p) / T_p` — the fraction
+    /// of time spent on useful work (Fig 7 right panel's y-axis).
+    pub fn efficiency(&self, p: f64) -> f64 {
+        let w = self.work / p;
+        w / (self.overhead + w)
+    }
+
+    /// Energy on `p` processors with scaling constant `c`.
+    pub fn energy(&self, p: f64, c: f64) -> f64 {
+        c * p * self.time(p)
+    }
+
+    /// The paper's §4.3 worked example: with overhead halved
+    /// (`O' = O/2`), running on `2P` processors costs the same energy and
+    /// halves the solution time. Returns `(time_ratio, energy_ratio)` of
+    /// the (O/2, 2P) configuration vs (O, P).
+    pub fn halved_overhead_doubled_procs(&self, p: f64, c: f64) -> (f64, f64) {
+        let faster = AmdahlModel { overhead: self.overhead / 2.0, work: self.work };
+        let t_ratio = faster.time(2.0 * p) / self.time(p);
+        let e_ratio = faster.energy(2.0 * p, c) / self.energy(p, c);
+        (t_ratio, e_ratio)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_decreases_then_floors_at_overhead() {
+        let m = AmdahlModel { overhead: 1e-3, work: 10.0 };
+        assert!(m.time(10.0) > m.time(100.0));
+        assert!(m.time(1e9) - m.overhead < 1e-6);
+    }
+
+    #[test]
+    fn efficiency_is_unity_when_work_dominates() {
+        let m = AmdahlModel { overhead: 1e-6, work: 100.0 };
+        assert!(m.efficiency(10.0) > 0.999);
+        // And collapses at the strong-scaling limit (W/P = overhead/10).
+        assert!(m.efficiency(1e9) < 0.1);
+    }
+
+    /// §4.3's exact claim: at the strong-scale limit, O' = O/2 with 2P
+    /// processors gives the *same* energy and *half* the time when W/P is
+    /// small relative to O... precisely: E'_{2P} = c(P·O + W) = E_P, and
+    /// T'_{2P} = (O + W/P)/2 = T_P/2.
+    #[test]
+    fn paper_energy_identity() {
+        let m = AmdahlModel { overhead: 2e-3, work: 5.0 };
+        for p in [10.0, 100.0, 1000.0] {
+            let (t_ratio, e_ratio) = m.halved_overhead_doubled_procs(p, 1.0);
+            assert!((t_ratio - 0.5).abs() < 1e-12, "time halves exactly");
+            assert!((e_ratio - 1.0).abs() < 1e-12, "energy unchanged exactly");
+        }
+    }
+
+    #[test]
+    fn away_from_limit_overhead_reduction_buys_little() {
+        // W/P >> O: halving O barely changes T_P at fixed P.
+        let m = AmdahlModel { overhead: 1e-6, work: 100.0 };
+        let faster = AmdahlModel { overhead: m.overhead / 2.0, ..m };
+        let p = 10.0;
+        let gain = m.time(p) / faster.time(p);
+        assert!(gain < 1.001);
+    }
+}

@@ -1,0 +1,199 @@
+//! Fig 8: LAMMPS strong-scaling model.
+//!
+//! The paper runs a 3-million-atom Lennard-Jones FCC crystal for 10,000
+//! timesteps on BG/Q with 16 ranks/node, 512 → 8192 nodes (368 → 23
+//! atoms/core), and plots timesteps/second efficiency for MPICH/CH4 and
+//! MPICH/Original plus the CH4 speedup — which grows with scale, with
+//! MPICH/Original "completely stopping scaling at 8,192 nodes".
+//!
+//! ## Model
+//!
+//! One timestep per rank:
+//!
+//! ```text
+//! T = a·t_atom                                  (force + integration)
+//!   + m·(o_dev + L + q_dev·P)                   (halo exchange; q_dev·P is
+//!                                                the matching-queue term)
+//!   + halo_bytes·G
+//! ```
+//!
+//! The `q_dev·P` term is the documented substitution for why the baseline
+//! stops scaling: CH3-era stacks match receives against single
+//! posted/unexpected queues whose search depth grows with the number of
+//! communicating peers and in-flight messages at scale (cf. the
+//! message-matching literature the paper cites [Flajslik et al.]); CH4's
+//! per-peer offloaded matching keeps that term an order of magnitude
+//! smaller. Constants are calibrated to land the paper's shape: speedup
+//! rising with node count and the baseline flat (or regressing) from
+//! 4096 → 8192 nodes.
+
+/// Model constants for the Fig 8 reproduction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LammpsModel {
+    /// Total atoms (paper: 3,000,000).
+    pub atoms: f64,
+    /// MPI ranks per node (paper: 16, with 4 OpenMP threads).
+    pub ranks_per_node: usize,
+    /// Per-atom per-step compute cost, µs.
+    pub t_atom_us: f64,
+    /// Messages per step (forward/reverse halo exchanges, 6 directions).
+    pub msgs_per_step: f64,
+    /// Per-message software overhead, µs: MPICH/Original.
+    pub o_std_us: f64,
+    /// Per-message software overhead, µs: MPICH/CH4.
+    pub o_lite_us: f64,
+    /// Matching-queue cost per message per rank, µs: MPICH/Original.
+    pub q_std_us_per_rank: f64,
+    /// Matching-queue cost per message per rank, µs: MPICH/CH4.
+    pub q_lite_us_per_rank: f64,
+    /// Network latency, µs.
+    pub latency_us: f64,
+    /// Inverse bandwidth, µs/byte.
+    pub g_us_per_byte: f64,
+    /// Bytes per halo atom on the wire (positions + velocities + type).
+    pub bytes_per_halo_atom: f64,
+}
+
+/// One node-count point of Fig 8.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LammpsPoint {
+    /// Node count.
+    pub nodes: usize,
+    /// Atoms per core at this scale.
+    pub atoms_per_core: f64,
+    /// Timesteps/second, MPICH/Original.
+    pub rate_std: f64,
+    /// Timesteps/second, MPICH/CH4.
+    pub rate_ch4: f64,
+    /// CH4 speedup over Original, fractional (0.25 = 25%).
+    pub speedup: f64,
+}
+
+impl LammpsModel {
+    /// Paper-like configuration (BG/Q constants, see module docs).
+    pub fn bgq_paper() -> LammpsModel {
+        LammpsModel {
+            atoms: 3.0e6,
+            ranks_per_node: 16,
+            t_atom_us: 10.0,
+            msgs_per_step: 48.0,
+            o_std_us: 3.0,
+            o_lite_us: 1.4,
+            q_std_us_per_rank: 0.15e-3,
+            q_lite_us_per_rank: 0.04e-3,
+            latency_us: 2.2,
+            g_us_per_byte: 1.0 / 1800.0,
+            bytes_per_halo_atom: 48.0,
+        }
+    }
+
+    fn step_time_us(&self, nodes: usize, o_us: f64, q_us_per_rank: f64) -> f64 {
+        let ranks = (nodes * self.ranks_per_node) as f64;
+        let a = self.atoms / ranks;
+        let work = a * self.t_atom_us;
+        let latency = self.msgs_per_step * (o_us + self.latency_us + q_us_per_rank * ranks);
+        // Halo shell ≈ one atom-diameter skin around the local box.
+        let halo_atoms = 6.0 * a.powf(2.0 / 3.0) * 1.2;
+        work + latency + halo_atoms * self.bytes_per_halo_atom * self.g_us_per_byte
+    }
+
+    /// Evaluate one node count.
+    pub fn point(&self, nodes: usize) -> LammpsPoint {
+        let t_std = self.step_time_us(nodes, self.o_std_us, self.q_std_us_per_rank);
+        let t_ch4 = self.step_time_us(nodes, self.o_lite_us, self.q_lite_us_per_rank);
+        let rate_std = 1e6 / t_std;
+        let rate_ch4 = 1e6 / t_ch4;
+        LammpsPoint {
+            nodes,
+            atoms_per_core: self.atoms / (nodes * self.ranks_per_node) as f64,
+            rate_std,
+            rate_ch4,
+            speedup: rate_ch4 / rate_std - 1.0,
+        }
+    }
+
+    /// The paper's sweep: 512, 1024, 2048, 4096, 8192 nodes.
+    pub fn sweep(&self) -> Vec<LammpsPoint> {
+        [512, 1024, 2048, 4096, 8192].iter().map(|&n| self.point(n)).collect()
+    }
+
+    /// Strong-scaling efficiency of `rate` at `nodes` relative to the
+    /// 512-node baseline of the same stack.
+    pub fn efficiency(&self, baseline_rate: f64, nodes: usize, rate: f64) -> f64 {
+        rate / (baseline_rate * nodes as f64 / 512.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sweep() -> Vec<LammpsPoint> {
+        LammpsModel::bgq_paper().sweep()
+    }
+
+    #[test]
+    fn atoms_per_core_matches_paper_axis() {
+        // Paper x-axis: 512 (368) ... 8192 (23).
+        let s = sweep();
+        assert!((s[0].atoms_per_core - 366.2).abs() < 3.0);
+        assert!((s[4].atoms_per_core - 22.9).abs() < 1.0);
+    }
+
+    #[test]
+    fn ch4_wins_everywhere_and_more_at_scale() {
+        let s = sweep();
+        for p in &s {
+            assert!(p.rate_ch4 > p.rate_std, "CH4 must win at {} nodes", p.nodes);
+        }
+        // "the simulation is sped up overall, with more speedup at higher
+        // scale as the scaling limit is approached".
+        for w in s.windows(2) {
+            assert!(w[1].speedup > w[0].speedup, "speedup must grow with scale");
+        }
+        assert!(s[0].speedup < 0.10, "modest at 512 nodes: {}", s[0].speedup);
+        assert!(s[4].speedup > 0.50, "large at 8192 nodes: {}", s[4].speedup);
+    }
+
+    #[test]
+    fn original_stops_scaling_at_8192() {
+        let s = sweep();
+        let gain = s[4].rate_std / s[3].rate_std;
+        assert!(gain < 1.05, "Original must not scale 4096→8192 (gain {gain})");
+        let ch4_gain = s[4].rate_ch4 / s[3].rate_ch4;
+        assert!(ch4_gain > 1.10, "CH4 must keep scaling (gain {ch4_gain})");
+    }
+
+    #[test]
+    fn original_scales_fine_at_small_node_counts() {
+        let s = sweep();
+        assert!(s[1].rate_std > 1.5 * s[0].rate_std, "512→1024 should scale well");
+        assert!(s[2].rate_std > 1.3 * s[1].rate_std);
+    }
+
+    #[test]
+    fn rates_land_on_paper_axis() {
+        // Y-axis: 0–1400 timesteps/second.
+        let s = sweep();
+        assert!(s[0].rate_ch4 > 100.0 && s[0].rate_ch4 < 500.0);
+        assert!(s[4].rate_ch4 > 1000.0 && s[4].rate_ch4 < 1800.0);
+    }
+
+    #[test]
+    fn efficiency_declines_with_scale() {
+        let m = LammpsModel::bgq_paper();
+        let s = sweep();
+        let base = s[0].rate_ch4;
+        let effs: Vec<f64> =
+            s.iter().map(|p| m.efficiency(base, p.nodes, p.rate_ch4)).collect();
+        assert!((effs[0] - 1.0).abs() < 1e-9);
+        for w in effs.windows(2) {
+            assert!(w[1] < w[0], "efficiency monotonically declines");
+        }
+        // CH4 efficiency stays above Original's at scale.
+        let base_std = s[0].rate_std;
+        let eff_std_8192 = m.efficiency(base_std, 8192, s[4].rate_std);
+        let eff_ch4_8192 = m.efficiency(base, 8192, s[4].rate_ch4);
+        assert!(eff_ch4_8192 > eff_std_8192);
+    }
+}

@@ -1,0 +1,36 @@
+//! # litempi-model — analytic performance models for figure reproduction
+//!
+//! The paper's evaluation spans two kinds of numbers:
+//!
+//! * **Microbenchmark message rates** (Figs 3–6): a single core injecting
+//!   1-byte messages as fast as the software stack + NIC allow. These are
+//!   deterministic functions of (instructions on the critical path,
+//!   CPI, clock, per-message NIC cycles) — exactly the quantities our
+//!   instrumented implementation and fabric profiles provide. [`rate`]
+//!   computes them.
+//! * **Application results on BG/Q at 512–8192 nodes** (Figs 7–8). That
+//!   hardware does not exist here, so — per the reproduction's
+//!   substitution rule — [`nek`] and [`lammps`] provide LogGP/Amdahl
+//!   models of the two applications, fed by (a) communication traces from
+//!   the *real* mini-apps in `litempi-apps` run at laptop scale and (b)
+//!   per-message software overheads derived from the measured instruction
+//!   counts, with BG/Q-like hardware constants. The models reproduce the
+//!   paper's *shapes* (who wins, by what factor, where the crossover
+//!   falls), not its absolute device numbers.
+//!
+//! [`amdahl`] implements the §4.3 strong-scaling/energy algebra
+//! (`T_P = O + W/P`, `E_P = cP·T_P`) used in Fig 7's right panel.
+
+#![warn(missing_docs)]
+
+pub mod amdahl;
+pub mod lammps;
+pub mod nek;
+pub mod rate;
+pub mod simtime;
+
+pub use amdahl::AmdahlModel;
+pub use lammps::{LammpsModel, LammpsPoint};
+pub use nek::{NekModel, NekPoint};
+pub use rate::{rate_series, RatePoint, StackCosts};
+pub use simtime::SimTime;

@@ -1,0 +1,247 @@
+//! Fig 7: Nek5000 mass-matrix-inversion model.
+//!
+//! The paper runs a conjugate-gradient solve of `B u = f` (B the spectral-
+//! element mass matrix) on 16384 BG/Q ranks, sweeping E = 2^14..2^21
+//! elements of order N ∈ {3, 5, 7}, and plots
+//! `[point-iterations]/[processor-second]` against `n/P` for
+//! MPICH/Original ("Std") and MPICH/CH4 ("Lite"), their ratio, and a
+//! parallel-efficiency model.
+//!
+//! ## Model
+//!
+//! One CG iteration per rank costs
+//!
+//! ```text
+//! T = w(N)·(n/P) + w0            (local work: operator + CG vector ops)
+//!   + m·(o_dev + L)              (gather-scatter neighbor latency +
+//!                                 2 dot-product allreduces)
+//!   + 6·(n/P)^(2/3)·8·G          (halo surface bytes)
+//! ```
+//!
+//! and the plotted performance is `(n/P) / T`.
+//!
+//! ## Calibration (documented substitution)
+//!
+//! `w(N)` encodes the paper's observation that small N vectorizes poorly
+//! and pays relatively more `O(M³N)` interpolation. The per-message
+//! software overheads `o_std`/`o_lite` are BG/Q-scale constants: the
+//! instruction-count delta of our own isend path (253 vs 221 default-build
+//! instructions) under-predicts the app-level CH4 gain because BG/Q's
+//! baseline device (PAMID) carried overheads well beyond the injection
+//! instructions; we calibrate the pair so the Lite/Std ratio lands in the
+//! paper's 1.2–1.25 band at n/P ≈ 100–1000 and converges to parity at the
+//! largest grain — the shape claims of Fig 7.
+
+use crate::amdahl::AmdahlModel;
+
+/// Model constants for the Fig 7 reproduction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NekModel {
+    /// Ranks (the paper: 512 nodes × 32 = 16384).
+    pub ranks: usize,
+    /// Per-point work cost in µs for orders 3, 5, 7 (index by `(N-3)/2`).
+    pub w_us_per_point: [f64; 3],
+    /// Fixed per-iteration local cost in µs (CG vector ops, loop overhead).
+    pub w0_us: f64,
+    /// Gather-scatter neighbor messages + allreduce steps per iteration.
+    pub msgs_per_iter: f64,
+    /// Per-message software overhead, MPICH/Original ("Std"), µs.
+    pub o_std_us: f64,
+    /// Per-message software overhead, MPICH/CH4 ("Lite"), µs.
+    pub o_lite_us: f64,
+    /// Network latency per message, µs (BG/Q torus).
+    pub latency_us: f64,
+    /// Inverse bandwidth, µs per byte.
+    pub g_us_per_byte: f64,
+}
+
+/// One sweep point of Fig 7.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NekPoint {
+    /// Polynomial order N.
+    pub order: usize,
+    /// Elements per rank.
+    pub e_per_p: f64,
+    /// Grid points per rank (n/P = E·N³/P).
+    pub n_over_p: f64,
+    /// Std (MPICH/Original) performance, point-iterations per proc-second.
+    pub perf_std: f64,
+    /// Lite (MPICH/CH4) performance.
+    pub perf_lite: f64,
+    /// Lite/Std performance ratio (Fig 7 center panel).
+    pub ratio: f64,
+    /// Parallel efficiency of the Lite stack (Fig 7 right panel).
+    pub efficiency: f64,
+}
+
+impl NekModel {
+    /// Paper-like configuration: 16384 ranks, BG/Q-scale constants.
+    pub fn bgq_paper() -> NekModel {
+        NekModel {
+            ranks: 16384,
+            // N=3 runs poorly (vectorization + O(M³N) interpolation share);
+            // N=5/7 approach the machine's effective per-point rate.
+            w_us_per_point: [0.55, 0.23, 0.20],
+            w0_us: 90.0,
+            // 26 neighbor exchanges (3-D gather-scatter) + 2 dot-product
+            // allreduces of ~log2(16384) = 14 steps each.
+            msgs_per_iter: 26.0 + 2.0 * 14.0,
+            o_std_us: 3.0,
+            o_lite_us: 1.4,
+            latency_us: 2.2,
+            g_us_per_byte: 1.0 / 1800.0, // 1.8 GB/s per link
+        }
+    }
+
+    fn w_us(&self, order: usize) -> f64 {
+        match order {
+            3 => self.w_us_per_point[0],
+            5 => self.w_us_per_point[1],
+            7 => self.w_us_per_point[2],
+            other => panic!("unsupported order {other} (paper uses 3, 5, 7)"),
+        }
+    }
+
+    /// Per-iteration time in µs for one rank, with device overhead `o_us`.
+    fn iter_time_us(&self, order: usize, n_over_p: f64, o_us: f64) -> f64 {
+        let work = self.w_us(order) * n_over_p + self.w0_us;
+        let latency = self.msgs_per_iter * (o_us + self.latency_us);
+        let halo_bytes = 6.0 * n_over_p.powf(2.0 / 3.0) * 8.0;
+        work + latency + halo_bytes * self.g_us_per_byte
+    }
+
+    /// Evaluate one sweep point.
+    pub fn point(&self, order: usize, elements_total: f64) -> NekPoint {
+        let e_per_p = elements_total / self.ranks as f64;
+        let n_over_p = e_per_p * (order as f64).powi(3);
+        let t_std = self.iter_time_us(order, n_over_p, self.o_std_us);
+        let t_lite = self.iter_time_us(order, n_over_p, self.o_lite_us);
+        let perf = |t_us: f64| n_over_p / (t_us * 1e-6);
+        // Efficiency model (right panel): Amdahl with the Lite overhead.
+        let work_us = self.w_us(order) * n_over_p + self.w0_us;
+        let overhead_us = t_lite - work_us;
+        let amdahl = AmdahlModel { overhead: overhead_us, work: work_us };
+        NekPoint {
+            order,
+            e_per_p,
+            n_over_p,
+            perf_std: perf(t_std),
+            perf_lite: perf(t_lite),
+            ratio: t_std / t_lite,
+            efficiency: amdahl.efficiency(1.0),
+        }
+    }
+
+    /// The paper's full sweep: E = 2^14..2^21 for each order.
+    pub fn sweep(&self, order: usize) -> Vec<NekPoint> {
+        (14..=21).map(|k| self.point(order, (1u64 << k) as f64)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> NekModel {
+        NekModel::bgq_paper()
+    }
+
+    #[test]
+    fn n_over_p_covers_paper_range() {
+        // Paper: n/P ∈ [27, 43904].
+        let lo = model().point(3, (1u64 << 14) as f64);
+        let hi = model().point(7, (1u64 << 21) as f64);
+        assert!((lo.n_over_p - 27.0).abs() < 1.0, "{}", lo.n_over_p);
+        assert!((hi.n_over_p - 43904.0).abs() < 100.0, "{}", hi.n_over_p);
+    }
+
+    /// Center panel: 1.2–1.25x gain in the n/P ≈ 100–1000 band.
+    #[test]
+    fn ratio_band_matches_paper() {
+        for order in [5, 7] {
+            for p in model().sweep(order) {
+                if (100.0..=1000.0).contains(&p.n_over_p) {
+                    assert!(
+                        (1.13..=1.35).contains(&p.ratio),
+                        "N={order} n/P={} ratio={}",
+                        p.n_over_p,
+                        p.ratio
+                    );
+                }
+            }
+        }
+    }
+
+    /// Left panel: Lite ≥ Std everywhere; equality only at the largest
+    /// grain ("except for the largest values of n/P, where the two models
+    /// are equal").
+    #[test]
+    fn lite_wins_until_work_dominates() {
+        for order in [3, 5, 7] {
+            for p in model().sweep(order) {
+                assert!(p.perf_lite >= p.perf_std, "Lite must not lose");
+            }
+        }
+        let hi = model().point(7, (1u64 << 21) as f64);
+        assert!(hi.ratio < 1.06, "parity at n/P = 43904, got {}", hi.ratio);
+    }
+
+    /// Left panel: N=3 performs worse per point than N=5/7 at large grain.
+    #[test]
+    fn low_order_is_slow() {
+        let m = model();
+        let p3 = m.point(3, (1u64 << 21) as f64);
+        let p5 = m.point(5, (1u64 << 21) as f64);
+        let p7 = m.point(7, (1u64 << 21) as f64);
+        assert!(p3.perf_lite < 0.6 * p5.perf_lite);
+        assert!(p5.perf_lite < 1.3 * p7.perf_lite);
+    }
+
+    /// Right panel: order-unity efficiency for n/P beyond ~1000–2000,
+    /// collapsing at the strong-scaling limit.
+    #[test]
+    fn efficiency_transition() {
+        let m = model();
+        let at = |n_over_p_target: f64| {
+            // Find the sweep point (order 5) closest to the target.
+            m.sweep(5)
+                .into_iter()
+                .min_by(|a, b| {
+                    (a.n_over_p - n_over_p_target)
+                        .abs()
+                        .total_cmp(&(b.n_over_p - n_over_p_target).abs())
+                })
+                .unwrap()
+        };
+        assert!(at(1000.0).efficiency > 0.45 && at(1000.0).efficiency < 0.85);
+        assert!(at(16000.0).efficiency > 0.85);
+        assert!(at(100.0).efficiency < 0.5);
+    }
+
+    /// Performance magnitudes land in the paper's 10^5–10^6 band
+    /// (left panel y-axis) at practical grains.
+    #[test]
+    fn perf_axis_range() {
+        let m = model();
+        for p in m.sweep(5) {
+            if p.n_over_p > 500.0 {
+                assert!(
+                    (1e5..5e6).contains(&p.perf_lite),
+                    "n/P={} perf={}",
+                    p.n_over_p,
+                    p.perf_lite
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn perf_is_monotone_in_grain() {
+        // More points per rank → better amortization, until work dominates.
+        let m = model();
+        let sweep = m.sweep(7);
+        for w in sweep.windows(2) {
+            assert!(w[1].perf_lite > w[0].perf_lite);
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Message-rate computation for the microbenchmark figures (Figs 3–6).
+//!
+//! A single core issuing back-to-back 1-byte operations achieves
+//!
+//! ```text
+//! rate = freq / (instructions × CPI  +  NIC injection cycles)
+//! ```
+//!
+//! The instruction term comes from the *measured* injection path of the
+//! build under test (Table 1 / Fig 2 machinery); the NIC term from the
+//! provider's calibrated [`NetCost`](litempi_fabric::NetCost) ("zero" for
+//! the paper's infinitely fast network).
+
+use litempi_fabric::NetCost;
+use litempi_instr::CostModel;
+
+/// Per-operation software+hardware costs of one (build, operation) pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StackCosts {
+    /// Instructions on the injection path (from the instr counters).
+    pub instructions: u64,
+    /// NIC injection cycles per operation (0 for the infinite network).
+    pub inject_cycles: f64,
+}
+
+impl StackCosts {
+    /// Two-sided send on `net`.
+    pub fn send(instructions: u64, net: &NetCost) -> StackCosts {
+        StackCosts { instructions, inject_cycles: net.inject_cycles_send }
+    }
+
+    /// One-sided RDMA on `net`.
+    pub fn rdma(instructions: u64, net: &NetCost) -> StackCosts {
+        StackCosts { instructions, inject_cycles: net.inject_cycles_rdma }
+    }
+
+    /// Messages per second on `core`.
+    pub fn rate(&self, core: &CostModel) -> f64 {
+        core.msg_rate(self.instructions, self.inject_cycles)
+    }
+}
+
+/// One bar of a message-rate figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RatePoint {
+    /// Build/variant label (e.g. "mpich/ch4 (no-err)").
+    pub label: String,
+    /// `MPI_ISEND` rate in messages/second.
+    pub isend_rate: f64,
+    /// `MPI_PUT` rate in messages/second.
+    pub put_rate: f64,
+}
+
+/// Build a figure's bar series from measured instruction counts.
+/// `builds` supplies `(label, isend_instructions, put_instructions)`.
+pub fn rate_series(
+    builds: &[(String, u64, u64)],
+    core: &CostModel,
+    net: &NetCost,
+) -> Vec<RatePoint> {
+    builds
+        .iter()
+        .map(|(label, isend_instr, put_instr)| RatePoint {
+            label: label.clone(),
+            isend_rate: StackCosts::send(*isend_instr, net).rate(core),
+            put_rate: StackCosts::rdma(*put_instr, net).rate(core),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use litempi_fabric::ProviderProfile;
+    use litempi_instr::cost;
+
+    fn fig2_builds() -> Vec<(String, u64, u64)> {
+        vec![
+            ("mpich/original".into(), 253, 1342),
+            ("mpich/ch4 (default)".into(), 221, 215),
+            ("mpich/ch4 (no-err)".into(), 147, 143),
+            ("mpich/ch4 (no-err-single)".into(), 141, 129),
+            ("mpich/ch4 (no-err-single-ipo)".into(), 59, 44),
+        ]
+    }
+
+    /// Fig 3's headline observations: ~50% isend gain and close to 4x put
+    /// gain on the OFI fabric, with absolute rates in the millions.
+    #[test]
+    fn fig3_ofi_shape() {
+        let net = ProviderProfile::ofi().cost;
+        let series = rate_series(&fig2_builds(), &CostModel::IT_CLUSTER, &net);
+        let orig = &series[0];
+        let best = &series[4];
+        let isend_gain = best.isend_rate / orig.isend_rate;
+        let put_gain = best.put_rate / orig.put_rate;
+        assert!((1.4..1.7).contains(&isend_gain), "isend gain {isend_gain}");
+        assert!((3.3..4.5).contains(&put_gain), "put gain {put_gain}");
+        assert!(orig.isend_rate > 1e6 && best.isend_rate < 10e6, "axis range");
+    }
+
+    /// Fig 4: same shape on the UCX/EDR fabric at 2.5 GHz.
+    #[test]
+    fn fig4_ucx_shape() {
+        let net = ProviderProfile::ucx().cost;
+        let series = rate_series(&fig2_builds(), &CostModel::GOMEZ_CLUSTER, &net);
+        let isend_gain = series[4].isend_rate / series[0].isend_rate;
+        let put_gain = series[4].put_rate / series[0].put_rate;
+        assert!((1.3..1.8).contains(&isend_gain), "isend gain {isend_gain}");
+        assert!((3.0..5.0).contains(&put_gain), "put gain {put_gain}");
+    }
+
+    /// Fig 5: on the infinitely fast network the spread becomes "several
+    /// orders of magnitude" larger than on real fabrics — tens of millions
+    /// of messages per second.
+    #[test]
+    fn fig5_infinite_shape() {
+        let series = rate_series(&fig2_builds(), &CostModel::IT_CLUSTER, &NetCost::ZERO);
+        assert!(series[4].isend_rate > 30e6, "best case tens of M msg/s");
+        assert!(series[4].put_rate > 45e6);
+        // Put rate ordering: original is dramatically slower.
+        assert!(series[4].put_rate / series[0].put_rate > 25.0);
+        // Monotone improvement along the ladder.
+        for w in series.windows(2) {
+            assert!(w[1].isend_rate >= w[0].isend_rate);
+        }
+    }
+
+    /// Fig 6: the extension ladder peaks at ~132.8 M msg/s (16 instr).
+    #[test]
+    fn fig6_extension_peak() {
+        let all_opts = StackCosts::send(cost::isend::ALL_OPTS_TOTAL, &NetCost::ZERO);
+        let rate = all_opts.rate(&CostModel::IT_CLUSTER);
+        assert!((rate - 132.8e6).abs() / 132.8e6 < 0.01, "{rate}");
+    }
+
+    #[test]
+    fn rdma_injection_costs_more_than_send() {
+        let net = ProviderProfile::ofi().cost;
+        let s = StackCosts::send(100, &net);
+        let r = StackCosts::rdma(100, &net);
+        assert!(r.rate(&CostModel::IT_CLUSTER) < s.rate(&CostModel::IT_CLUSTER));
+    }
+
+    #[test]
+    fn rate_decreases_with_instructions() {
+        let net = ProviderProfile::ofi().cost;
+        let fast = StackCosts::send(50, &net).rate(&CostModel::IT_CLUSTER);
+        let slow = StackCosts::send(500, &net).rate(&CostModel::IT_CLUSTER);
+        assert!(fast > slow);
+    }
+}

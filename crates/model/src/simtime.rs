@@ -1,0 +1,114 @@
+//! Simulated time: convert *measured* instruction counts and traffic
+//! counters into seconds on a modeled machine.
+//!
+//! This is the glue between the functional runs (which execute on
+//! whatever laptop hosts the tests) and the paper's platform-specific
+//! results: the instruction counters say how much MPI software work each
+//! rank actually did; the [`CostModel`] turns that into core-seconds; the
+//! [`NetCost`] adds the per-message and per-byte hardware costs. Unlike
+//! the closed-form figures in [`crate::nek`]/[`crate::lammps`], nothing
+//! here assumes a communication pattern — the pattern is whatever the
+//! real application did.
+
+use litempi_fabric::NetCost;
+use litempi_instr::{CostModel, Report};
+
+/// A machine to simulate time on: a core clock + a network cost table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimTime {
+    /// Core model (clock, CPI).
+    pub core: CostModel,
+    /// Network cost table.
+    pub net: NetCost,
+}
+
+impl SimTime {
+    /// A BG/Q-like machine (1.6 GHz A2 cores, in-order so a higher CPI,
+    /// torus network) for extrapolating application runs.
+    pub fn bgq() -> SimTime {
+        SimTime {
+            core: CostModel { freq_ghz: 1.6, cpi: 3.0 },
+            net: litempi_fabric::ProviderProfile::bgq().cost,
+        }
+    }
+
+    /// The paper's IT cluster (2.2 GHz, OFI network).
+    pub fn it_cluster() -> SimTime {
+        SimTime {
+            core: CostModel::IT_CLUSTER,
+            net: litempi_fabric::ProviderProfile::ofi().cost,
+        }
+    }
+
+    /// Seconds of core time for the MPI software work in `report`
+    /// (injection path + progress engine).
+    pub fn software_seconds(&self, report: &Report) -> f64 {
+        self.core.seconds(report.total())
+    }
+
+    /// Seconds of network hardware time for `msgs` two-sided messages and
+    /// `bytes` of payload: per-message injection + latency, plus the
+    /// serialization term.
+    pub fn network_seconds(&self, msgs: f64, bytes: f64) -> f64 {
+        let per_msg =
+            self.core.seconds(0) + // (kept for symmetry; zero)
+            msgs * (self.net.inject_cycles_send * self.core.cpi / (self.core.freq_ghz * 1e9)
+                + self.net.latency_ns * 1e-9);
+        per_msg + self.net.transfer_seconds(bytes as usize)
+    }
+
+    /// Total simulated seconds for one rank's measured activity.
+    pub fn total_seconds(&self, report: &Report, msgs: f64, bytes: f64) -> f64 {
+        self.software_seconds(report) + self.network_seconds(msgs, bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use litempi_instr::Category;
+
+    fn report(netmod: u64, progress: u64) -> Report {
+        let mut counts = [0u64; Category::COUNT];
+        counts[Category::NetmodIssue.index()] = netmod;
+        counts[Category::Progress.index()] = progress;
+        Report::from_counts(counts)
+    }
+
+    #[test]
+    fn software_time_scales_with_instructions() {
+        let m = SimTime::bgq();
+        let one = m.software_seconds(&report(1000, 0));
+        let two = m.software_seconds(&report(2000, 0));
+        assert!((two - 2.0 * one).abs() < 1e-15);
+        // 1000 instr at CPI 3 on 1.6 GHz = 1.875 µs.
+        assert!((one - 1.875e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn progress_counts_toward_time() {
+        let m = SimTime::bgq();
+        assert!(
+            m.software_seconds(&report(100, 100)) > m.software_seconds(&report(100, 0)),
+            "receiver-side progress is real time even though it is not \
+             injection-path instructions"
+        );
+    }
+
+    #[test]
+    fn network_time_has_latency_and_bandwidth_terms() {
+        let m = SimTime::bgq();
+        let lat_only = m.network_seconds(10.0, 0.0);
+        assert!(lat_only > 10.0 * 2.2e-6, "10 messages x >= 2.2 us latency");
+        let half_second_of_bytes = 1.8 * 1024.0 * 1024.0 * 1024.0 / 2.0;
+        let with_bytes = m.network_seconds(10.0, half_second_of_bytes);
+        assert!((with_bytes - lat_only - 0.5).abs() < 0.01, "0.9 GiB at 1.8 GiB/s = 0.5 s");
+    }
+
+    #[test]
+    fn infinite_network_is_software_only() {
+        let m = SimTime { core: CostModel::IT_CLUSTER, net: NetCost::ZERO };
+        let r = report(221, 0);
+        assert_eq!(m.total_seconds(&r, 5.0, 1e6), m.software_seconds(&r));
+    }
+}

@@ -1,0 +1,70 @@
+//! A guided tour of every §3 proposed MPI-standard extension, with live
+//! instruction counts showing what each one removes from the critical
+//! path — the paper's Table 1 / Fig 6 story as a runnable program.
+//!
+//! Run with: `cargo run --example extensions_tour`
+
+use litempi::instr::counter;
+use litempi::prelude::*;
+
+fn measure(label: &str, world: &Communicator, f: impl FnOnce(&Communicator)) {
+    counter::reset();
+    let probe = counter::probe();
+    f(world);
+    let n = probe.finish().injection_total();
+    println!("{label:<54} {n:>4} instructions");
+}
+
+fn main() {
+    // The extensions shine on the fully optimized build (no error
+    // checking, single-threaded, link-time inlined) — the paper's
+    // "no-err-single-ipo" configuration.
+    Universe::run(
+        2,
+        BuildConfig::ch4_no_err_single_ipo(),
+        ProviderProfile::infinite(),
+        Topology::single_node(2),
+        |proc| {
+            let world = proc.world();
+            if proc.rank() == 0 {
+                println!("MPI_ISEND variants on the optimized build (paper Fig 6):");
+                measure("classic MPI_ISEND", &world, |w| {
+                    w.isend(&[1u8], 1, 0).unwrap().wait().unwrap();
+                });
+                measure("MPI_ISEND_GLOBAL (3.1: world-rank addressing)", &world, |w| {
+                    w.isend_global(&[1u8], 1, 0).unwrap().wait().unwrap();
+                });
+                measure("MPI_ISEND_NPN (3.4: no PROC_NULL check)", &world, |w| {
+                    w.isend_npn(&[1u8], 1, 0).unwrap().wait().unwrap();
+                });
+                measure("MPI_ISEND_NOREQ (3.5: counter, not request)", &world, |w| {
+                    w.isend_noreq(&[1u8], 1, 0).unwrap();
+                    w.comm_waitall().unwrap();
+                });
+                measure("MPI_ISEND_NOMATCH (3.6: arrival-order matching)", &world, |w| {
+                    w.isend_nomatch(&[1u8], 1).unwrap().wait().unwrap();
+                });
+                measure("MPI_ISEND_ALL_OPTS (3.7: everything fused)", &world, |w| {
+                    w.isend_all_opts(&[1u8], 1).unwrap();
+                    w.comm_waitall().unwrap();
+                });
+                println!();
+                println!(
+                    "16 instructions end to end = the paper's 132.8 M msg/s on an \
+                     infinitely fast network — a 94% reduction vs MPICH/Original."
+                );
+                world.barrier().unwrap();
+            } else {
+                // Drain the six messages (4 classic-tagged, 2 nomatch).
+                let mut buf = [0u8; 1];
+                for _ in 0..4 {
+                    world.recv_into(&mut buf, 0, 0).unwrap();
+                }
+                for _ in 0..2 {
+                    world.recv_nomatch(&mut buf).unwrap();
+                }
+                world.barrier().unwrap();
+            }
+        },
+    );
+}

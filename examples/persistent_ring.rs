@@ -1,0 +1,63 @@
+//! Persistent requests on a fixed communication pattern — the standard
+//! MPI-3.1 answer to per-operation overhead, and the natural comparison
+//! point for the paper's §3 proposals: init once, start every iteration.
+//!
+//! Run with: `cargo run --example persistent_ring`
+
+use litempi::instr::counter;
+use litempi::prelude::*;
+
+fn main() {
+    // The optimized build, where the remaining overheads are the
+    // *mandatory* ones the paper dissects.
+    Universe::run(
+        4,
+        BuildConfig::ch4_no_err_single_ipo(),
+        ProviderProfile::infinite(),
+        Topology::single_node(4),
+        |proc| {
+            let world = proc.world();
+            let rank = proc.rank();
+            let size = proc.size();
+            let right = ((rank + 1) % size) as i32;
+            let left = ((rank + size - 1) % size) as i32;
+
+            let iterations = 1000u64;
+            let send_data = [rank as u64];
+            let mut recv_data = [0u64; 1];
+
+            // Init once: validation, rank translation, match bits — paid here.
+            let mut send = world.send_init(&send_data, right, 0).unwrap();
+            let mut recv = world.recv_init(&mut recv_data, left, 0).unwrap();
+
+            counter::reset();
+            let probe = counter::probe();
+            for _ in 0..iterations {
+                recv.start().unwrap();
+                send.start().unwrap();
+                send.wait().unwrap();
+                recv.wait().unwrap();
+            }
+            let per_iter = probe.finish().injection_total() as f64 / iterations as f64;
+            drop(recv);
+            assert_eq!(recv_data[0], (rank + size - 1) as u64 % size as u64);
+
+            world.barrier().unwrap();
+            if rank == 0 {
+                println!("persistent ring, {iterations} iterations on 4 ranks");
+                println!("MPI instructions per iteration (1 start+wait each way): {per_iter:.0}");
+                println!();
+                println!("Ladder on this build (per one-way send):");
+                println!("  classic MPI_ISEND          59 instructions");
+                println!("  persistent MPI_START       33 instructions (standard MPI-3.1!)");
+                println!("  MPI_ISEND_ALL_OPTS         16 instructions (paper 3.7 proposal)");
+                println!();
+                println!(
+                    "Persistence recovers about half the gap the paper identifies; the \
+                     rest (request re-arming + the generic netmod descriptor) needs the \
+                     standard changes of 3.5-3.7."
+                );
+            }
+        },
+    );
+}

@@ -1,0 +1,52 @@
+//! Quickstart: spin up a 4-rank MPI job, do point-to-point and collective
+//! communication, and peek at the instruction accounting that powers the
+//! paper reproduction.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use litempi::prelude::*;
+use litempi::instr::{counter, Category};
+
+fn main() {
+    // `Universe::run_default` = 4 ranks as threads, CH4 default build,
+    // infinitely fast fabric, all on one simulated node.
+    let results = Universe::run_default(4, |proc| {
+        let world = proc.world();
+        let rank = proc.rank();
+        let size = proc.size();
+
+        // --- point-to-point: a ring rotation ---------------------------
+        let right = ((rank + 1) % size) as i32;
+        let left = ((rank + size - 1) % size) as i32;
+        let mut from_left = [0u64; 1];
+        world
+            .sendrecv(&[rank as u64], right, 0, &mut from_left, left, 0)
+            .expect("ring exchange");
+
+        // --- collectives ------------------------------------------------
+        let sum = world.allreduce(&[rank as u64], &Op::Sum).expect("allreduce")[0];
+        let everyone = world.allgather(&[rank as u64 * 10]).expect("allgather");
+
+        // --- instruction accounting ------------------------------------
+        // Measure one isend exactly the way the paper measures MPICH with
+        // the Intel SDE: bracket the call with a probe.
+        counter::reset();
+        let probe = counter::probe();
+        world.isend(&[1u8], right, 9).unwrap().wait().unwrap();
+        let report = probe.finish();
+        let mut buf = [0u8; 1];
+        world.recv_into(&mut buf, left, 9).unwrap();
+
+        (rank, from_left[0], sum, everyone, report.injection_total(), report.get(Category::ErrorChecking))
+    });
+
+    println!("rank | from-left | allreduce | allgather            | isend instr (err-check)");
+    for (rank, from_left, sum, everyone, instr, err) in results {
+        println!(
+            "{rank:>4} | {from_left:>9} | {sum:>9} | {everyone:?} | {instr} ({err})"
+        );
+    }
+    println!();
+    println!("The 221 instructions match the paper's Table 1 for the default ch4 build;");
+    println!("74 of them are error checking, which the no-err build removes.");
+}

@@ -1,0 +1,77 @@
+//! One-sided communication tour: window creation, fence epochs, put/get,
+//! atomic accumulates, passive-target locks, and the §3.2
+//! `MPI_PUT_VIRTUAL_ADDR` extension on a dynamic window.
+//!
+//! Run with: `cargo run --example rma_window`
+
+use litempi::prelude::*;
+
+fn main() {
+    Universe::run_default(4, |proc| {
+        let world = proc.world();
+        let rank = proc.rank();
+        let size = proc.size();
+
+        // ---- fence epoch: everyone puts its rank into its right neighbor
+        let win = Window::create(&world, 64, 8).expect("window");
+        win.fence().unwrap();
+        let right = ((rank + 1) % size) as i32;
+        win.put(&[rank as u64], right, 0).unwrap();
+        win.fence().unwrap();
+        let got = u64::from_le_bytes(win.read_local(0, 8).try_into().unwrap());
+        assert_eq!(got as usize, (rank + size - 1) % size);
+
+        // ---- atomic accumulate into rank 0 under a fence epoch
+        win.accumulate(&[1u64], 0, 1, &Op::Sum).unwrap();
+        win.fence().unwrap();
+        if rank == 0 {
+            let total = u64::from_le_bytes(win.read_local(8, 8).try_into().unwrap());
+            assert_eq!(total as usize, size);
+            println!("fence epoch: neighbor puts + atomic sum of {size} contributions OK");
+        }
+
+        // ---- passive target: exclusive-lock read-modify-write on rank 0
+        world.barrier().unwrap();
+        if rank != 0 {
+            win.lock(LockType::Exclusive, 0).unwrap();
+            let mut cur = [0u64; 1];
+            win.get(&mut cur, 0, 2).unwrap();
+            win.put(&[cur[0] + rank as u64], 0, 2).unwrap();
+            win.unlock(0).unwrap();
+        }
+        world.barrier().unwrap();
+        if rank == 0 {
+            let v = u64::from_le_bytes(win.read_local(16, 8).try_into().unwrap());
+            assert_eq!(v as usize, (1..size).sum::<usize>());
+            println!("passive target: lock/RMW/unlock accumulated {v} OK");
+        }
+
+        // ---- §3.2: dynamic window + virtual-address put
+        let dyn_win = Window::create_dynamic(&world).expect("dynamic window");
+        let my_addr = dyn_win.attach(32).expect("attach");
+        // Publish my address to the left neighbor (as MPI publishes Aints).
+        let (key, byte) = my_addr.to_raw();
+        let left = ((rank + size - 1) % size) as i32;
+        let mut peer = [0u64; 2];
+        world.sendrecv(&[key, byte], left, 5, &mut peer, right, 5).unwrap();
+        let right_addr = VirtAddr::from_raw(peer[0], peer[1]);
+        dyn_win.fence().unwrap();
+        dyn_win
+            .put_virtual_addr(&[0x1000 + rank as u64], right, right_addr)
+            .unwrap();
+        dyn_win.fence().unwrap();
+        let mut mine = [0u64; 1];
+        dyn_win.get_virtual_addr(&mut mine, rank as i32, my_addr).unwrap();
+        assert_eq!(mine[0] as usize, 0x1000 + (rank + size - 1) % size);
+        if rank == 0 {
+            println!("dynamic window: PUT_VIRTUAL_ADDR ring exchange OK");
+            println!();
+            println!(
+                "The virtual-address path (paper 3.2) skips the offset->address \
+                 translation and the window-kind check: 3-4 instructions per \
+                 operation, and it makes dynamic windows first-class."
+            );
+        }
+        world.barrier().unwrap();
+    });
+}

@@ -1,0 +1,45 @@
+//! The paper's §3.1 motivating example: a Jacobi stencil on a Cartesian
+//! grid, run twice — with classic communicator-rank sends and with the
+//! proposed `MPI_ISEND_GLOBAL` pattern (neighbor world ranks translated
+//! once at setup) — and verified to produce identical fields.
+//!
+//! Run with: `cargo run --example stencil_halo`
+
+use litempi::apps::stencil::{self, HaloFlavor, StencilConfig};
+use litempi::prelude::*;
+
+fn main() {
+    let ranks = 4;
+    let cfg = |flavor| StencilConfig {
+        local: [32, 32],
+        rank_grid: [2, 2],
+        iterations: 50,
+        flavor,
+    };
+
+    println!("Running 2x2-rank Jacobi, 64x64 global grid, 50 sweeps...");
+    let classic = Universe::run_default(ranks, move |proc| {
+        stencil::run(&proc, &cfg(HaloFlavor::Classic)).unwrap()
+    });
+    let global = Universe::run_default(ranks, move |proc| {
+        stencil::run(&proc, &cfg(HaloFlavor::GlobalRank)).unwrap()
+    });
+
+    for rank in 0..ranks {
+        assert_eq!(
+            classic[rank].field, global[rank].field,
+            "flavors diverged on rank {rank}"
+        );
+    }
+    println!("classic and _GLOBAL flavors produced bit-identical fields.");
+    println!();
+    println!("per-rank communication (classic): {:.1} msgs/iter, {:.0} bytes/iter",
+        classic[0].trace.msgs_per_iter, classic[0].trace.bytes_per_iter);
+    println!("final update delta: {:.3e}", classic[0].delta);
+    println!();
+    println!(
+        "Why it matters (paper 3.1): the _GLOBAL path skips the per-send \
+         communicator-rank translation — ~10 instructions per message, every \
+         halo message, every sweep."
+    );
+}

@@ -1,0 +1,50 @@
+//! # litempi — a Rust reproduction of *"Why Is MPI So Slow?"* (SC '17)
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`core`](litempi_core) — the MPI-3.1-subset library with the
+//!   CH4-style device, the CH3-like baseline, and the paper's §3
+//!   proposed standard extensions;
+//! * [`fabric`](litempi_fabric) — the simulated network providers
+//!   (OFI-like, UCX-like, BG/Q-like, infinitely fast, AM-only);
+//! * [`datatype`](litempi_datatype) — the derived-datatype engine;
+//! * [`instr`](litempi_instr) — instruction accounting (the SDE stand-in);
+//! * [`apps`](litempi_apps) — Nekbone CG, LJ molecular dynamics, and the
+//!   Jacobi stencil mini-apps;
+//! * [`model`](litempi_model) — the LogGP/Amdahl models behind the
+//!   application figures.
+//!
+//! Start with the [`prelude`], the `examples/` directory, and the
+//! `litempi-bench` binaries (`cargo run -p litempi-bench --bin table1`).
+
+pub use litempi_apps as apps;
+pub use litempi_core as core;
+pub use litempi_datatype as datatype;
+pub use litempi_fabric as fabric;
+pub use litempi_instr as instr;
+pub use litempi_model as model;
+
+/// The names most programs need.
+pub mod prelude {
+    pub use litempi_core::{
+        BuildConfig, CartComm, Communicator, DeviceKind, Group, LockType, MpiError, MpiResult,
+        Op, PredefHandle, Process, Request, Status, ThreadLevel, Universe, VirtAddr, Window,
+        ANY_SOURCE, ANY_TAG, PROC_NULL,
+    };
+    pub use litempi_datatype::{Datatype, MpiPrimitive};
+    pub use litempi_fabric::{ProviderProfile, Topology};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_smoke() {
+        let out = Universe::run_default(2, |proc| {
+            let world = proc.world();
+            world.allreduce(&[1u64], &Op::Sum).unwrap()[0]
+        });
+        assert_eq!(out, vec![2, 2]);
+    }
+}

@@ -1,0 +1,154 @@
+//! Workspace-level acceptance tests: the paper's headline claims, checked
+//! end-to-end through the facade crate (instrumented library + fabric
+//! profiles + models together).
+
+use litempi::instr::{cost, counter, CostModel};
+use litempi::model::{LammpsModel, NekModel};
+use litempi::prelude::*;
+
+/// §2.1: "the MPICH/CH4 stack takes 221 instructions for MPI_ISEND and
+/// 215 instructions for MPI_PUT" (default build), measured end-to-end.
+#[test]
+fn headline_instruction_counts() {
+    let totals = Universe::run_default(2, |proc| {
+        let world = proc.world();
+        if proc.rank() == 0 {
+            counter::reset();
+            let p = counter::probe();
+            world.isend(&[1u8], 1, 0).unwrap().wait().unwrap();
+            let isend = p.finish().injection_total();
+            let win = Window::create(&world, 8, 1).unwrap();
+            win.fence().unwrap();
+            counter::reset();
+            let p = counter::probe();
+            win.put(&[1u8], 1, 0).unwrap();
+            let put = p.finish().injection_total();
+            win.fence().unwrap();
+            Some((isend, put))
+        } else {
+            let mut b = [0u8; 1];
+            world.recv_into(&mut b, 0, 0).unwrap();
+            let win = Window::create(&world, 8, 1).unwrap();
+            win.fence().unwrap();
+            win.fence().unwrap();
+            None
+        }
+    });
+    assert_eq!(totals.into_iter().flatten().next().unwrap(), (221, 215));
+}
+
+/// §3.7: the fused extension path is 16 instructions → 132.8 M msg/s on
+/// the paper's 2.2 GHz core with an infinitely fast network.
+#[test]
+fn headline_peak_message_rate() {
+    let rate = CostModel::IT_CLUSTER.msg_rate(cost::isend::ALL_OPTS_TOTAL, 0.0);
+    assert!((rate - 132.8e6).abs() / 132.8e6 < 0.01);
+}
+
+/// The full pipeline: run the real Nekbone CG, take its measured per-
+/// iteration message count, and confirm it is consistent with what the
+/// Fig 7 model assumes for the gather-scatter skeleton (same order of
+/// magnitude; the model adds BG/Q-scale allreduce depth).
+#[test]
+fn nek_trace_feeds_model_consistently() {
+    use litempi::apps::nekbone::{self, NekConfig};
+    let out = Universe::run_default(8, |proc| {
+        nekbone::run(
+            &proc,
+            &NekConfig { elems: [4, 2, 2], order: 3, iterations: 20, rank_grid: [2, 2, 2] },
+        )
+        .unwrap()
+    });
+    for r in &out {
+        assert!(r.max_error < 1e-9, "CG must converge");
+        // dssum = 3 axes × up to 4 sendrecv messages + 2 allreduce-ish
+        // messages per dot product at 8 ranks.
+        assert!(
+            r.trace.msgs_per_iter >= 6.0 && r.trace.msgs_per_iter <= 60.0,
+            "trace {} msgs/iter out of plausible range",
+            r.trace.msgs_per_iter
+        );
+    }
+    // The model at 16384 ranks uses 54 messages/iter — same regime.
+    let m = NekModel::bgq_paper();
+    assert!(m.msgs_per_iter > 10.0 && m.msgs_per_iter < 100.0);
+}
+
+/// The MD mini-app's physics sanity plus the Fig 8 model shape, together.
+#[test]
+fn md_and_lammps_model_agree_on_the_story() {
+    use litempi::apps::minimd::{self, MdConfig};
+    let out = Universe::run_default(2, |proc| {
+        minimd::run(&proc, &MdConfig::small([2, 1, 1])).unwrap()
+    });
+    for r in &out {
+        let drift =
+            (r.energy_final - r.energy_initial).abs() / r.energy_initial.abs().max(1e-12);
+        assert!(drift < 0.01, "drift {drift}");
+    }
+    let sweep = LammpsModel::bgq_paper().sweep();
+    assert!(sweep.last().unwrap().speedup > sweep.first().unwrap().speedup);
+}
+
+/// Build-config equivalence at the workspace level: an application gets
+/// identical *answers* from every build; only the cost differs.
+#[test]
+fn builds_differ_in_cost_not_semantics() {
+    use litempi::apps::stencil::{self, HaloFlavor, StencilConfig};
+    let cfg = StencilConfig {
+        local: [8, 8],
+        rank_grid: [2, 2],
+        iterations: 10,
+        flavor: HaloFlavor::Classic,
+    };
+    let reference = Universe::run_default(4, move |proc| stencil::run(&proc, &cfg).unwrap());
+    for build in [
+        BuildConfig::original(),
+        BuildConfig::ch4_no_err(),
+        BuildConfig::ch4_no_err_single_ipo(),
+    ] {
+        let got = Universe::run(
+            4,
+            build,
+            ProviderProfile::infinite(),
+            Topology::single_node(4),
+            move |proc| stencil::run(&proc, &cfg).unwrap(),
+        );
+        for (a, b) in reference.iter().zip(&got) {
+            assert_eq!(a.field, b.field, "build {build:?} changed the answer");
+        }
+    }
+}
+
+/// Locality routing: on a multi-node topology, node-local traffic still
+/// works alongside inter-node traffic (the shmmod/netmod branch).
+#[test]
+fn mixed_intra_and_inter_node_traffic() {
+    let out = Universe::run(
+        4,
+        BuildConfig::ch4_default(),
+        ProviderProfile::ofi(),
+        Topology::blocked(4, 2), // ranks {0,1} node 0, {2,3} node 1
+        |proc| {
+            let world = proc.world();
+            // Everyone sends to everyone (alltoall over pt2pt).
+            let mut sum = 0u64;
+            for peer in 0..proc.size() {
+                if peer == proc.rank() {
+                    continue;
+                }
+                world.isend(&[proc.rank() as u64], peer as i32, 0).unwrap().wait().unwrap();
+            }
+            for _ in 0..proc.size() - 1 {
+                let mut b = [0u64; 1];
+                world.recv_into(&mut b, ANY_SOURCE, 0).unwrap();
+                sum += b[0];
+            }
+            sum
+        },
+    );
+    let expect: u64 = (0..4).sum();
+    for (rank, s) in out.iter().enumerate() {
+        assert_eq!(*s + rank as u64, expect);
+    }
+}

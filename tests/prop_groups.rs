@@ -1,0 +1,142 @@
+//! Property tests for group algebra and rank-map compression: the §3.1
+//! translation machinery must behave like honest set/sequence operations
+//! regardless of which compressed representation backs it.
+
+use litempi::core::{Group, GroupRelation};
+use proptest::prelude::*;
+
+/// Arbitrary subset of a 64-process world, as sorted unique world ranks.
+fn arb_ranks() -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::btree_set(0u32..64, 0..24)
+        .prop_map(|s| s.into_iter().collect())
+}
+
+fn members(g: &Group) -> Vec<usize> {
+    (0..g.size()).map(|r| g.world_rank(r)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Construction preserves membership and order, whatever representation
+    /// (identity / strided / direct) the compressor picks.
+    #[test]
+    fn construction_roundtrip(ranks in arb_ranks()) {
+        let g = Group::from_world_ranks(&ranks);
+        prop_assert_eq!(g.size(), ranks.len());
+        for (local, &world) in ranks.iter().enumerate() {
+            prop_assert_eq!(g.world_rank(local), world as usize);
+            prop_assert_eq!(g.local_rank(world as usize), Some(local));
+        }
+        // Non-members translate to None.
+        for w in 0..64usize {
+            let expect = ranks.iter().position(|&r| r as usize == w);
+            prop_assert_eq!(g.local_rank(w), expect);
+        }
+    }
+
+    /// Union/intersection/difference satisfy the set laws (on membership)
+    /// while preserving MPI's ordering rules.
+    #[test]
+    fn set_algebra_laws(a in arb_ranks(), b in arb_ranks()) {
+        let ga = Group::from_world_ranks(&a);
+        let gb = Group::from_world_ranks(&b);
+        let union = members(&ga.union(&gb));
+        let inter = members(&ga.intersection(&gb));
+        let diff = members(&ga.difference(&gb));
+
+        use std::collections::BTreeSet;
+        let sa: BTreeSet<usize> = a.iter().map(|&r| r as usize).collect();
+        let sb: BTreeSet<usize> = b.iter().map(|&r| r as usize).collect();
+
+        let union_set: BTreeSet<usize> = union.iter().copied().collect();
+        prop_assert_eq!(&union_set, &(&sa | &sb));
+        let inter_set: BTreeSet<usize> = inter.iter().copied().collect();
+        prop_assert_eq!(&inter_set, &(&sa & &sb));
+        let diff_set: BTreeSet<usize> = diff.iter().copied().collect();
+        prop_assert_eq!(&diff_set, &(&sa - &sb));
+
+        // Ordering: union lists A's members first, in A's order.
+        prop_assert_eq!(&union[..a.len()], &members(&ga)[..]);
+        // Intersection and difference preserve A's relative order.
+        let mut last = None;
+        for &m in &inter {
+            let pos = a.iter().position(|&r| r as usize == m).unwrap();
+            if let Some(prev) = last {
+                prop_assert!(pos > prev);
+            }
+            last = Some(pos);
+        }
+
+        // Identities.
+        prop_assert_eq!(ga.union(&ga).compare(&ga), GroupRelation::Identical);
+        prop_assert_eq!(ga.intersection(&ga).compare(&ga), GroupRelation::Identical);
+        prop_assert_eq!(ga.difference(&ga).size(), 0);
+        prop_assert_eq!(
+            ga.difference(&gb).size() + ga.intersection(&gb).size(),
+            ga.size()
+        );
+    }
+
+    /// `include` then inverse lookup is the identity; `exclude` partitions.
+    #[test]
+    fn include_exclude_partition(ranks in arb_ranks(), picks in proptest::collection::vec(any::<prop::sample::Index>(), 0..8)) {
+        let g = Group::from_world_ranks(&ranks);
+        if g.size() == 0 {
+            return Ok(());
+        }
+        let mut chosen: Vec<usize> = picks.iter().map(|i| i.index(g.size())).collect();
+        chosen.sort_unstable();
+        chosen.dedup();
+        let inc = g.include(&chosen).unwrap();
+        prop_assert_eq!(inc.size(), chosen.len());
+        for (i, &local) in chosen.iter().enumerate() {
+            prop_assert_eq!(inc.world_rank(i), g.world_rank(local));
+        }
+        let exc = g.exclude(&chosen).unwrap();
+        prop_assert_eq!(exc.size() + inc.size(), g.size());
+        for r in 0..exc.size() {
+            prop_assert!(inc.local_rank(exc.world_rank(r)).is_none());
+        }
+    }
+
+    /// translate_ranks between arbitrary groups agrees with manual lookup.
+    #[test]
+    fn translate_ranks_agrees(a in arb_ranks(), b in arb_ranks()) {
+        let ga = Group::from_world_ranks(&a);
+        let gb = Group::from_world_ranks(&b);
+        let all: Vec<usize> = (0..ga.size()).collect();
+        let translated = ga.translate_ranks(&all, &gb);
+        for (local, t) in all.iter().zip(&translated) {
+            let world = ga.world_rank(*local);
+            prop_assert_eq!(*t, gb.local_rank(world));
+        }
+    }
+
+    /// compare() is reflexive, symmetric for Similar, and detects
+    /// permutations.
+    #[test]
+    fn compare_properties(ranks in arb_ranks(), seed in any::<u64>()) {
+        let g = Group::from_world_ranks(&ranks);
+        prop_assert_eq!(g.compare(&g), GroupRelation::Identical);
+        if ranks.len() >= 2 {
+            // Deterministic shuffle.
+            let mut shuffled = ranks.clone();
+            let mut x = seed | 1;
+            for i in (1..shuffled.len()).rev() {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                shuffled.swap(i, (x as usize) % (i + 1));
+            }
+            let gs = Group::from_world_ranks(&shuffled);
+            let rel = g.compare(&gs);
+            if shuffled == ranks {
+                prop_assert_eq!(rel, GroupRelation::Identical);
+            } else {
+                prop_assert_eq!(rel, GroupRelation::Similar);
+                prop_assert_eq!(gs.compare(&g), GroupRelation::Similar);
+            }
+        }
+    }
+}
