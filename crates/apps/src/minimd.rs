@@ -169,8 +169,7 @@ impl Domain {
                     ghosts.push(a);
                 }
             } else {
-                let recv =
-                    exchange_atoms(comm, &hi_out, dst, &lo_out, src, 30 + axis as i32)?;
+                let recv = exchange_atoms(comm, &hi_out, dst, &lo_out, src, 30 + axis as i32)?;
                 for mut a in recv {
                     self.normalize_ghost(&mut a);
                     ghosts.push(a);
@@ -208,10 +207,7 @@ impl Domain {
             for a in owned.drain(..) {
                 if a.x[axis] < self.lo[axis] || a.x[axis] >= self.hi[axis] {
                     // Which direction is shorter (periodic)?
-                    let d = self.min_image(
-                        a.x[axis] - 0.5 * (self.lo[axis] + self.hi[axis]),
-                        axis,
-                    );
+                    let d = self.min_image(a.x[axis] - 0.5 * (self.lo[axis] + self.hi[axis]), axis);
                     if d < 0.0 {
                         to_lo.push(a);
                     } else {
@@ -226,8 +222,7 @@ impl Domain {
             // single step atoms move far less than a sub-box, so one hop
             // per axis suffices (asserted by the caller's conservation
             // check).
-            let from_both =
-                exchange_atoms(comm, &to_hi, dst, &to_lo, src, 40 + axis as i32)?;
+            let from_both = exchange_atoms(comm, &to_hi, dst, &to_lo, src, 40 + axis as i32)?;
             stay.extend(from_both);
             *owned = stay;
         }
@@ -257,7 +252,14 @@ fn exchange_atoms(
     let mut n_from_lo = [0u64; 1];
     let mut n_from_hi = [0u64; 1];
     comm.sendrecv(&[hi_out.len() as u64], dst, tag, &mut n_from_lo, src, tag)?;
-    comm.sendrecv(&[lo_out.len() as u64], src, tag + 100, &mut n_from_hi, dst, tag + 100)?;
+    comm.sendrecv(
+        &[lo_out.len() as u64],
+        src,
+        tag + 100,
+        &mut n_from_hi,
+        dst,
+        tag + 100,
+    )?;
     let mut from_lo = vec![0.0f64; n_from_lo[0] as usize * 6];
     let mut from_hi = vec![0.0f64; n_from_hi[0] as usize * 6];
     comm.sendrecv(&hi_wire, dst, tag + 200, &mut from_lo, src, tag + 200)?;
@@ -285,7 +287,9 @@ fn compute_forces(domain: &Domain, owned: &mut [Atom], ghosts: &[Atom]) -> f64 {
     let n_cells: Vec<usize> = (0..3)
         .map(|d| (((ext_hi[d] - ext_lo[d]) / domain.cutoff).floor() as usize).max(1))
         .collect();
-    let cell_len: Vec<f64> = (0..3).map(|d| (ext_hi[d] - ext_lo[d]) / n_cells[d] as f64).collect();
+    let cell_len: Vec<f64> = (0..3)
+        .map(|d| (ext_hi[d] - ext_lo[d]) / n_cells[d] as f64)
+        .collect();
     let cell_of = |x: &[f64; 3]| -> Option<usize> {
         let mut idx = [0usize; 3];
         for d in 0..3 {
@@ -304,8 +308,11 @@ fn compute_forces(domain: &Domain, owned: &mut [Atom], ghosts: &[Atom]) -> f64 {
     // Positions are snapshotted so force accumulation can borrow `owned`
     // mutably below.
     let n_owned = owned.len();
-    let positions: Vec<[f64; 3]> =
-        owned.iter().map(|a| a.x).chain(ghosts.iter().map(|a| a.x)).collect();
+    let positions: Vec<[f64; 3]> = owned
+        .iter()
+        .map(|a| a.x)
+        .chain(ghosts.iter().map(|a| a.x))
+        .collect();
     let mut bins: Vec<Vec<usize>> = vec![Vec::new(); n_cells[0] * n_cells[1] * n_cells[2]];
     for (i, x) in positions.iter().enumerate() {
         if let Some(c) = cell_of(x) {
@@ -378,8 +385,8 @@ fn compute_forces(domain: &Domain, owned: &mut [Atom], ghosts: &[Atom]) -> f64 {
 /// Run the MD benchmark.
 pub fn run(proc: &Process, cfg: &MdConfig) -> MpiResult<MdReport> {
     let world = proc.world();
-    let cart = CartComm::create(&world, &cfg.rank_grid, &[true, true, true])?
-        .expect("all ranks in grid");
+    let cart =
+        CartComm::create(&world, &cfg.rank_grid, &[true, true, true])?.expect("all ranks in grid");
 
     // FCC lattice constant from the reduced density: 4 atoms per a³.
     let a = (4.0 / cfg.density).cbrt();
@@ -400,11 +407,21 @@ pub fn run(proc: &Process, cfg: &MdConfig) -> MpiResult<MdReport> {
             "sub-box ({width:.3}) narrower than cutoff on axis {d}; use fewer ranks"
         );
     }
-    let domain = Domain { cart, box_len, lo, hi, cutoff: cfg.cutoff };
+    let domain = Domain {
+        cart,
+        box_len,
+        lo,
+        hi,
+        cutoff: cfg.cutoff,
+    };
 
     // FCC basis within each unit cell.
-    const BASIS: [[f64; 3]; 4] =
-        [[0.0, 0.0, 0.0], [0.5, 0.5, 0.0], [0.5, 0.0, 0.5], [0.0, 0.5, 0.5]];
+    const BASIS: [[f64; 3]; 4] = [
+        [0.0, 0.0, 0.0],
+        [0.5, 0.5, 0.0],
+        [0.5, 0.0, 0.5],
+        [0.0, 0.5, 0.5],
+    ];
     let mut owned: Vec<Atom> = Vec::new();
     let mut atom_id: u64 = 0;
     for cz in 0..cfg.cells[2] {
@@ -417,8 +434,7 @@ pub fn run(proc: &Process, cfg: &MdConfig) -> MpiResult<MdReport> {
                         (cz as f64 + b[2]) * a,
                     ];
                     atom_id += 1;
-                    let inside =
-                        (0..3).all(|d| x[d] >= domain.lo[d] && x[d] < domain.hi[d]);
+                    let inside = (0..3).all(|d| x[d] >= domain.lo[d] && x[d] < domain.hi[d]);
                     if inside {
                         // Deterministic per-atom velocity from a hash of
                         // the id (reproducible across decompositions).
@@ -445,8 +461,10 @@ pub fn run(proc: &Process, cfg: &MdConfig) -> MpiResult<MdReport> {
     let energy_per_atom = |owned: &mut Vec<Atom>, domain: &Domain| -> MpiResult<f64> {
         let ghosts = domain.ghost_exchange(owned)?;
         let pot = compute_forces(domain, owned, &ghosts);
-        let kin: f64 =
-            owned.iter().map(|a| 0.5 * (a.v[0].powi(2) + a.v[1].powi(2) + a.v[2].powi(2))).sum();
+        let kin: f64 = owned
+            .iter()
+            .map(|a| 0.5 * (a.v[0].powi(2) + a.v[1].powi(2) + a.v[2].powi(2)))
+            .sum();
         let totals = comm.allreduce(&[pot + kin, owned.len() as f64], &Op::Sum)?;
         Ok(totals[0] / totals[1])
     };
@@ -486,7 +504,10 @@ pub fn run(proc: &Process, cfg: &MdConfig) -> MpiResult<MdReport> {
         trace: IterTrace::from_snapshots(stats_before, stats_after, cfg.steps.max(1)),
     })
     .inspect(|r| {
-        debug_assert_eq!(r.atoms_global, atoms_global_expected, "atoms lost or duplicated")
+        debug_assert_eq!(
+            r.atoms_global, atoms_global_expected,
+            "atoms lost or duplicated"
+        )
     })
 }
 
@@ -497,39 +518,34 @@ mod tests {
 
     #[test]
     fn single_rank_conserves_energy_and_atoms() {
-        let out = Universe::run_default(1, |proc| {
-            run(&proc, &MdConfig::small([1, 1, 1])).unwrap()
-        });
+        let out = Universe::run_default(1, |proc| run(&proc, &MdConfig::small([1, 1, 1])).unwrap());
         let r = &out[0];
         assert_eq!(r.atoms_global, 256);
         assert_eq!(r.atoms_owned, 256);
-        let drift = (r.energy_final - r.energy_initial).abs()
-            / r.energy_initial.abs().max(1e-9);
+        let drift = (r.energy_final - r.energy_initial).abs() / r.energy_initial.abs().max(1e-9);
         assert!(drift < 0.02, "energy drift {drift}");
     }
 
     #[test]
     fn two_rank_decomposition_conserves() {
-        let out = Universe::run_default(2, |proc| {
-            run(&proc, &MdConfig::small([2, 1, 1])).unwrap()
-        });
+        let out = Universe::run_default(2, |proc| run(&proc, &MdConfig::small([2, 1, 1])).unwrap());
         for r in &out {
             assert_eq!(r.atoms_global, 256, "atom count conserved");
-            let drift = (r.energy_final - r.energy_initial).abs()
-                / r.energy_initial.abs().max(1e-9);
+            let drift =
+                (r.energy_final - r.energy_initial).abs() / r.energy_initial.abs().max(1e-9);
             assert!(drift < 0.02, "energy drift {drift}");
-            assert!(r.trace.msgs_per_iter > 0.0, "halo exchange must communicate");
+            assert!(
+                r.trace.msgs_per_iter > 0.0,
+                "halo exchange must communicate"
+            );
         }
     }
 
     #[test]
     fn parallel_energy_matches_serial() {
-        let serial = Universe::run_default(1, |proc| {
-            run(&proc, &MdConfig::small([1, 1, 1])).unwrap()
-        });
-        let par = Universe::run_default(4, |proc| {
-            run(&proc, &MdConfig::small([2, 2, 1])).unwrap()
-        });
+        let serial =
+            Universe::run_default(1, |proc| run(&proc, &MdConfig::small([1, 1, 1])).unwrap());
+        let par = Universe::run_default(4, |proc| run(&proc, &MdConfig::small([2, 2, 1])).unwrap());
         // Initial energies must agree to near machine precision (identical
         // lattice + velocities, order-independent to first order).
         let e_serial = serial[0].energy_initial;
@@ -543,7 +559,11 @@ mod tests {
     #[test]
     fn eight_rank_3d_grid() {
         let out = Universe::run_default(8, |proc| {
-            let cfg = MdConfig { cells: [6, 6, 6], steps: 4, ..MdConfig::small([2, 2, 2]) };
+            let cfg = MdConfig {
+                cells: [6, 6, 6],
+                steps: 4,
+                ..MdConfig::small([2, 2, 2])
+            };
             run(&proc, &cfg).unwrap()
         });
         for r in &out {
@@ -558,7 +578,10 @@ mod tests {
     fn overdecomposition_is_rejected() {
         Universe::run_default(4, |proc| {
             // 2 cells over 4 ranks on x → sub-box < cutoff.
-            let cfg = MdConfig { cells: [2, 4, 4], ..MdConfig::small([4, 1, 1]) };
+            let cfg = MdConfig {
+                cells: [2, 4, 4],
+                ..MdConfig::small([4, 1, 1])
+            };
             run(&proc, &cfg).unwrap()
         });
     }

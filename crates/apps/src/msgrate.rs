@@ -43,8 +43,9 @@ pub fn isend_rate(
         let mut issued = 0;
         while issued < ops {
             let batch = window.min(ops - issued);
-            let reqs: Vec<_> =
-                (0..batch).map(|_| comm.isend(&data, 1, 0)).collect::<MpiResult<_>>()?;
+            let reqs: Vec<_> = (0..batch)
+                .map(|_| comm.isend(&data, 1, 0))
+                .collect::<MpiResult<_>>()?;
             waitall(reqs)?;
             issued += batch;
         }
@@ -69,11 +70,7 @@ pub fn isend_rate(
 }
 
 /// `MPI_PUT` issue rate under one fence epoch pair.
-pub fn put_rate(
-    proc: &Process,
-    comm: &Communicator,
-    ops: usize,
-) -> MpiResult<Option<RateReport>> {
+pub fn put_rate(proc: &Process, comm: &Communicator, ops: usize) -> MpiResult<Option<RateReport>> {
     assert!(comm.size() >= 2, "need a target rank");
     let win = Window::create(comm, 8, 1)?;
     win.fence()?;

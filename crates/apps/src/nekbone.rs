@@ -209,9 +209,23 @@ impl LocalMesh {
             let mut from_right = vec![0.0f64; plane_len];
             let mut from_left = vec![0.0f64; plane_len];
             let (left, right) = (src_lo, dst_hi);
-            let st = comm.sendrecv(&hi, right, 100 + axis as i32, &mut from_left, left, 100 + axis as i32)?;
+            let st = comm.sendrecv(
+                &hi,
+                right,
+                100 + axis as i32,
+                &mut from_left,
+                left,
+                100 + axis as i32,
+            )?;
             let _ = st;
-            let st = comm.sendrecv(&lo, left, 200 + axis as i32, &mut from_right, right, 200 + axis as i32)?;
+            let st = comm.sendrecv(
+                &lo,
+                left,
+                200 + axis as i32,
+                &mut from_right,
+                right,
+                200 + axis as i32,
+            )?;
             let _ = st;
             if left != litempi_core::PROC_NULL {
                 self.add_plane(field, axis, 0, &from_left);
@@ -347,7 +361,9 @@ pub fn run_on(proc: &Process, comm: &Communicator, cfg: &NekConfig) -> MpiResult
     let w1 = weights_1d(np);
 
     // Diagonal of the local (unassembled) mass matrix.
-    let mut b = Field { data: vec![0.0; nn] };
+    let mut b = Field {
+        data: vec![0.0; nn],
+    };
     for ez in 0..mesh.le[2] {
         for ey in 0..mesh.le[1] {
             for ex in 0..mesh.le[0] {
@@ -364,17 +380,23 @@ pub fn run_on(proc: &Process, comm: &Communicator, cfg: &NekConfig) -> MpiResult
     }
 
     // Assembled diagonal (dssum of b) — also the closed-form denominator.
-    let mut diag = Field { data: b.data.clone() };
+    let mut diag = Field {
+        data: b.data.clone(),
+    };
     mesh.dssum(&mut diag)?;
 
     // Node multiplicity, for dot products over unique global nodes.
-    let mut mult = Field { data: vec![1.0; nn] };
+    let mut mult = Field {
+        data: vec![1.0; nn],
+    };
     mesh.dssum(&mut mult)?;
     let inv_mult: Vec<f64> = mult.data.iter().map(|m| 1.0 / m).collect();
 
     // Right-hand side: a smooth assembled field (consistent across copies
     // by construction: depends only on the *global* node position).
-    let mut f = Field { data: vec![0.0; nn] };
+    let mut f = Field {
+        data: vec![0.0; nn],
+    };
     let my_coords = mesh.cart.coords_of(mesh.cart.rank());
     for ez in 0..mesh.le[2] {
         for ey in 0..mesh.le[1] {
@@ -418,14 +440,23 @@ pub fn run_on(proc: &Process, comm: &Communicator, cfg: &NekConfig) -> MpiResult
     // Conjugate gradient on B̂ û = f̂ with matvec(u) = dssum(b ∘ u).
     let matvec = |u: &Field, out: &mut Field| -> MpiResult<()> {
         out.data.clear();
-        out.data.extend(u.data.iter().zip(&b.data).map(|(x, w)| x * w));
+        out.data
+            .extend(u.data.iter().zip(&b.data).map(|(x, w)| x * w));
         mesh.dssum(out)
     };
 
-    let mut u = Field { data: vec![0.0; nn] };
-    let mut r = Field { data: fhat.data.clone() };
-    let mut p = Field { data: r.data.clone() };
-    let mut ap = Field { data: vec![0.0; nn] };
+    let mut u = Field {
+        data: vec![0.0; nn],
+    };
+    let mut r = Field {
+        data: fhat.data.clone(),
+    };
+    let mut p = Field {
+        data: r.data.clone(),
+    };
+    let mut ap = Field {
+        data: vec![0.0; nn],
+    };
     let mut rr = dot(&r, &r)?;
 
     let stats_before = proc.comm_stats();
@@ -479,23 +510,26 @@ mod tests {
     use litempi_core::Universe;
 
     fn cfg(elems: [usize; 3], order: usize, grid: [usize; 3]) -> NekConfig {
-        NekConfig { elems, order, iterations: 25, rank_grid: grid }
+        NekConfig {
+            elems,
+            order,
+            iterations: 25,
+            rank_grid: grid,
+        }
     }
 
     #[test]
     fn single_rank_converges_to_closed_form() {
-        let out = Universe::run_default(1, |proc| {
-            run(&proc, &cfg([2, 2, 2], 3, [1, 1, 1])).unwrap()
-        });
+        let out =
+            Universe::run_default(1, |proc| run(&proc, &cfg([2, 2, 2], 3, [1, 1, 1])).unwrap());
         assert!(out[0].max_error < 1e-10, "error {}", out[0].max_error);
         assert!(out[0].residual < 1e-10, "residual {}", out[0].residual);
     }
 
     #[test]
     fn two_rank_decomposition_matches() {
-        let out = Universe::run_default(2, |proc| {
-            run(&proc, &cfg([2, 2, 2], 3, [2, 1, 1])).unwrap()
-        });
+        let out =
+            Universe::run_default(2, |proc| run(&proc, &cfg([2, 2, 2], 3, [2, 1, 1])).unwrap());
         for r in &out {
             assert!(r.max_error < 1e-10, "error {}", r.max_error);
         }
@@ -503,9 +537,8 @@ mod tests {
 
     #[test]
     fn full_3d_rank_grid() {
-        let out = Universe::run_default(8, |proc| {
-            run(&proc, &cfg([2, 2, 2], 2, [2, 2, 2])).unwrap()
-        });
+        let out =
+            Universe::run_default(8, |proc| run(&proc, &cfg([2, 2, 2], 2, [2, 2, 2])).unwrap());
         for r in &out {
             assert!(r.max_error < 1e-10, "error {}", r.max_error);
             assert!(r.trace.msgs_per_iter > 0.0, "dssum must communicate");
@@ -514,9 +547,8 @@ mod tests {
 
     #[test]
     fn asymmetric_grid_and_higher_order() {
-        let out = Universe::run_default(4, |proc| {
-            run(&proc, &cfg([4, 2, 1], 5, [4, 1, 1])).unwrap()
-        });
+        let out =
+            Universe::run_default(4, |proc| run(&proc, &cfg([4, 2, 1], 5, [4, 1, 1])).unwrap());
         for r in &out {
             assert!(r.max_error < 1e-9, "error {}", r.max_error);
         }
@@ -524,9 +556,8 @@ mod tests {
 
     #[test]
     fn points_per_rank_reported() {
-        let out = Universe::run_default(1, |proc| {
-            run(&proc, &cfg([2, 2, 2], 3, [1, 1, 1])).unwrap()
-        });
+        let out =
+            Universe::run_default(1, |proc| run(&proc, &cfg([2, 2, 2], 3, [1, 1, 1])).unwrap());
         // 2 elements of order 3 per axis → 2·3+1 = 7 points per axis.
         assert_eq!(out[0].points_per_rank, 343);
     }

@@ -41,7 +41,10 @@ pub fn latency(
                 comm.recv_into(&mut buf, 1, 0)?;
             }
             let dt = t0.elapsed().as_secs_f64();
-            out.push(SizePoint { bytes, value: dt / (2.0 * reps as f64) * 1e6 });
+            out.push(SizePoint {
+                bytes,
+                value: dt / (2.0 * reps as f64) * 1e6,
+            });
         } else if me == 1 {
             for _ in 0..reps {
                 comm.recv_into(&mut buf, 0, 0)?;
@@ -82,7 +85,10 @@ pub fn bandwidth(
             }
             let dt = t0.elapsed().as_secs_f64();
             let total = (bytes * window * reps) as f64;
-            out.push(SizePoint { bytes, value: total / dt / (1024.0 * 1024.0) });
+            out.push(SizePoint {
+                bytes,
+                value: total / dt / (1024.0 * 1024.0),
+            });
         } else if me == 1 {
             let mut buf = vec![0u8; bytes];
             for _ in 0..reps {

@@ -76,8 +76,22 @@ impl Halo {
             match self.flavor {
                 HaloFlavor::Classic => {
                     // High edge → +axis neighbor; low ghost ← -axis neighbor.
-                    comm.sendrecv(hi, dst, 10 + axis as i32, &mut from_lo, src, 10 + axis as i32)?;
-                    comm.sendrecv(lo, src, 20 + axis as i32, &mut from_hi, dst, 20 + axis as i32)?;
+                    comm.sendrecv(
+                        hi,
+                        dst,
+                        10 + axis as i32,
+                        &mut from_lo,
+                        src,
+                        10 + axis as i32,
+                    )?;
+                    comm.sendrecv(
+                        lo,
+                        src,
+                        20 + axis as i32,
+                        &mut from_hi,
+                        dst,
+                        20 + axis as i32,
+                    )?;
                 }
                 HaloFlavor::GlobalRank => {
                     // §3.1 pattern: world ranks stored once at setup; the
@@ -117,14 +131,19 @@ impl Halo {
 /// Run the Jacobi stencil.
 pub fn run(proc: &Process, cfg: &StencilConfig) -> MpiResult<StencilReport> {
     let world = proc.world();
-    let cart = CartComm::create(&world, &cfg.rank_grid, &[false, false])?
-        .expect("all ranks in grid");
+    let cart =
+        CartComm::create(&world, &cfg.rank_grid, &[false, false])?.expect("all ranks in grid");
     let shifts = [cart.shift(0, 1), cart.shift(1, 1)];
     let world_shifts = {
         let n = cart.neighbor_world_ranks();
         [n[0], n[1]]
     };
-    let halo = Halo { cart, shifts, world_shifts, flavor: cfg.flavor };
+    let halo = Halo {
+        cart,
+        shifts,
+        world_shifts,
+        flavor: cfg.flavor,
+    };
 
     let (nx, ny) = (cfg.local[0], cfg.local[1]);
     let gx = nx + 2; // ghost frame
@@ -215,7 +234,12 @@ mod tests {
     use litempi_core::Universe;
 
     fn cfg(flavor: HaloFlavor) -> StencilConfig {
-        StencilConfig { local: [6, 4], rank_grid: [2, 2], iterations: 12, flavor }
+        StencilConfig {
+            local: [6, 4],
+            rank_grid: [2, 2],
+            iterations: 12,
+            flavor,
+        }
     }
 
     #[test]
@@ -223,7 +247,10 @@ mod tests {
         let out = Universe::run_default(4, |proc| run(&proc, &cfg(HaloFlavor::Classic)).unwrap());
         for r in &out {
             assert!(r.delta.is_finite());
-            assert!(r.trace.msgs_per_iter >= 2.0, "corner ranks send 2 halo messages per iter");
+            assert!(
+                r.trace.msgs_per_iter >= 2.0,
+                "corner ranks send 2 halo messages per iter"
+            );
         }
     }
 

@@ -37,8 +37,16 @@ mod tests {
 
     #[test]
     fn diff_and_divide() {
-        let before = StatsSnapshot { msgs_sent: 10, bytes_sent: 1000, ..Default::default() };
-        let after = StatsSnapshot { msgs_sent: 34, bytes_sent: 4000, ..Default::default() };
+        let before = StatsSnapshot {
+            msgs_sent: 10,
+            bytes_sent: 1000,
+            ..Default::default()
+        };
+        let after = StatsSnapshot {
+            msgs_sent: 34,
+            bytes_sent: 4000,
+            ..Default::default()
+        };
         let t = IterTrace::from_snapshots(before, after, 8);
         assert_eq!(t.msgs_per_iter, 3.0);
         assert_eq!(t.bytes_per_iter, 375.0);

@@ -13,19 +13,21 @@ fn bench_rankmap_translation(c: &mut Criterion) {
     g.sample_size(20).measurement_time(Duration::from_secs(1));
     let n = 4096usize;
     let identity = Group::world(n);
-    let strided = Group::from_world_ranks(
-        &(0..n as u32 / 2).map(|r| r * 2).collect::<Vec<_>>(),
-    );
+    let strided = Group::from_world_ranks(&(0..n as u32 / 2).map(|r| r * 2).collect::<Vec<_>>());
     let irregular = {
         // A pseudo-random permutation subset: defeats compression.
-        let mut ranks: Vec<u32> = (0..n as u32 / 2).map(|r| (r * 2654435761) % n as u32).collect();
+        let mut ranks: Vec<u32> = (0..n as u32 / 2)
+            .map(|r| (r * 2654435761) % n as u32)
+            .collect();
         ranks.sort_unstable();
         ranks.dedup();
         Group::from_world_ranks(&ranks)
     };
-    for (label, group) in
-        [("identity", &identity), ("strided", &strided), ("irregular", &irregular)]
-    {
+    for (label, group) in [
+        ("identity", &identity),
+        ("strided", &strided),
+        ("irregular", &irregular),
+    ] {
         let size = group.size();
         g.bench_function(BenchmarkId::from_parameter(label), |b| {
             b.iter(|| {
@@ -47,11 +49,11 @@ fn bench_rankmap_inverse(c: &mut Criterion) {
     let mut g = c.benchmark_group("rankmap_inverse");
     g.sample_size(20).measurement_time(Duration::from_secs(1));
     let n = 4096usize;
-    let strided =
-        Group::from_world_ranks(&(0..n as u32 / 2).map(|r| r * 2).collect::<Vec<_>>());
+    let strided = Group::from_world_ranks(&(0..n as u32 / 2).map(|r| r * 2).collect::<Vec<_>>());
     let irregular = {
-        let mut ranks: Vec<u32> =
-            (0..n as u32 / 2).map(|r| (r * 2654435761) % n as u32).collect();
+        let mut ranks: Vec<u32> = (0..n as u32 / 2)
+            .map(|r| (r * 2654435761) % n as u32)
+            .collect();
         ranks.sort_unstable();
         ranks.dedup();
         Group::from_world_ranks(&ranks)
@@ -84,13 +86,21 @@ fn bench_request_allocation(c: &mut Criterion) {
     g.sample_size(20).measurement_time(Duration::from_secs(1));
     g.bench_function("boxed_per_op (ch3-style)", |b| {
         b.iter(|| {
-            let d = Box::new(SendDesc { _bits: black_box(1), _dst: 2, _len: 3 });
+            let d = Box::new(SendDesc {
+                _bits: black_box(1),
+                _dst: 2,
+                _len: 3,
+            });
             black_box(d)
         });
     });
     g.bench_function("inline (ch4-style)", |b| {
         b.iter(|| {
-            let d = SendDesc { _bits: black_box(1), _dst: 2, _len: 3 };
+            let d = SendDesc {
+                _bits: black_box(1),
+                _dst: 2,
+                _len: 3,
+            };
             black_box(d)
         });
     });

@@ -11,17 +11,28 @@ fn bench_pack_layouts(c: &mut Criterion) {
     g.sample_size(20).measurement_time(Duration::from_secs(2));
 
     // 4 KiB of payload through different layout shapes.
-    let contig = Datatype::contiguous(512, &Datatype::DOUBLE).unwrap().commit();
-    let vector = Datatype::vector(256, 2, 4, &Datatype::DOUBLE).unwrap().commit();
+    let contig = Datatype::contiguous(512, &Datatype::DOUBLE)
+        .unwrap()
+        .commit();
+    let vector = Datatype::vector(256, 2, 4, &Datatype::DOUBLE)
+        .unwrap()
+        .commit();
     let indexed = {
         let blocklens: Vec<usize> = (0..128).map(|_| 4).collect();
         let displs: Vec<isize> = (0..128).map(|i| i * 8).collect();
-        Datatype::indexed(&blocklens, &displs, &Datatype::DOUBLE).unwrap().commit()
-    };
-    let subarray =
-        Datatype::subarray(&[64, 64], &[32, 16], &[8, 8], ArrayOrder::C, &Datatype::DOUBLE)
+        Datatype::indexed(&blocklens, &displs, &Datatype::DOUBLE)
             .unwrap()
-            .commit();
+            .commit()
+    };
+    let subarray = Datatype::subarray(
+        &[64, 64],
+        &[32, 16],
+        &[8, 8],
+        ArrayOrder::C,
+        &Datatype::DOUBLE,
+    )
+    .unwrap()
+    .commit();
 
     for (label, ty) in [
         ("contiguous", &contig),
@@ -40,7 +51,9 @@ fn bench_pack_layouts(c: &mut Criterion) {
 fn bench_unpack(c: &mut Criterion) {
     let mut g = c.benchmark_group("unpack_4kib_data");
     g.sample_size(20).measurement_time(Duration::from_secs(2));
-    let vector = Datatype::vector(256, 2, 4, &Datatype::DOUBLE).unwrap().commit();
+    let vector = Datatype::vector(256, 2, 4, &Datatype::DOUBLE)
+        .unwrap()
+        .commit();
     let src = vec![0xA5u8; pack::span(&vector, 1)];
     let wire = pack::pack(&vector, 1, &src);
     g.bench_function("vector", |b| {
@@ -73,12 +86,20 @@ fn bench_commit(c: &mut Criterion) {
     g.bench_function("vector_1k_blocks", |b| {
         b.iter(|| {
             black_box(
-                Datatype::vector(1024, 2, 4, &Datatype::DOUBLE).unwrap().commit(),
+                Datatype::vector(1024, 2, 4, &Datatype::DOUBLE)
+                    .unwrap()
+                    .commit(),
             )
         });
     });
     g.finish();
 }
 
-criterion_group!(benches, bench_pack_layouts, bench_unpack, bench_size_lookup, bench_commit);
+criterion_group!(
+    benches,
+    bench_pack_layouts,
+    bench_unpack,
+    bench_size_lookup,
+    bench_commit
+);
 criterion_main!(benches);

@@ -4,9 +4,13 @@
 //! degrades at scale; cf. the "matching misery" literature the paper
 //! cites).
 
+use bytes::Bytes;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use litempi_core::{BuildConfig, Universe};
-use litempi_fabric::{ProviderProfile, Topology};
+use litempi_fabric::matching::MatchEngine;
+use litempi_fabric::packet::{PostedRecv, RecvSlot};
+use litempi_fabric::{Fabric, MatcherKind, NetAddr, ProviderProfile, Topology};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Depth-`depth` unexpected queue: rank 0 sends `depth` non-matching
@@ -106,5 +110,150 @@ fn bench_wildcard_vs_exact(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_unexpected_queue, bench_wildcard_vs_exact);
+/// Matcher ablation: time the *deliver* side of `tsend` while `depth`
+/// standing decoy receives (distinct exact tags, never matched) clog the
+/// posted queue. The linear matcher scans past every decoy on each
+/// delivery; the bucketed matcher hashes straight to the live tag's
+/// bucket, so its cost should be flat in `depth`.
+///
+/// This drives the fabric endpoints directly from one thread (no MPI
+/// layer, no progress threads) and keeps the receive posting and the
+/// completion drain *outside* the timed region, so the measured delta is
+/// the matcher walk itself — the `q·P` term the paper's Fig 8 model
+/// charges — not spin/park overhead.
+fn matcher_posted_depth(kind: MatcherKind, depth: usize, iters: u64) -> Duration {
+    let fabric = Fabric::new(
+        2,
+        ProviderProfile::infinite().with_matcher(kind),
+        Topology::single_node(2),
+    );
+    let tx = fabric.endpoint(NetAddr(0));
+    let rx = fabric.endpoint(NetAddr(1));
+    // Decoys occupy a disjoint tag range so the timed traffic never
+    // matches them; holding the handles keeps them posted. They are
+    // posted first, so every linear delivery scans past all of them.
+    const DECOY_BASE: u64 = 1 << 40;
+    const LIVE: u64 = 7;
+    const BATCH: u64 = 64;
+    let decoys: Vec<_> = (0..depth)
+        .map(|i| rx.trecv_post(DECOY_BASE + i as u64, 0))
+        .collect();
+    let mut total = Duration::ZERO;
+    let mut done = 0u64;
+    while done < iters.max(1) {
+        let n = BATCH.min(iters.max(1) - done);
+        // Untimed: pre-post the live receives (all on one tag, FIFO).
+        let handles: Vec<_> = (0..n).map(|_| rx.trecv_post(LIVE, 0)).collect();
+        // Timed: each send must find its receive behind `depth` decoys.
+        let t0 = Instant::now();
+        for _ in 0..n {
+            tx.tsend(NetAddr(1), LIVE, Bytes::from_static(b"x"));
+        }
+        total += t0.elapsed();
+        // Untimed: drain completions (already filled; wait() is a poll hit).
+        for h in handles {
+            let _ = h.wait();
+        }
+        done += n;
+    }
+    drop(decoys);
+    total
+}
+
+/// Raw engine ablation: the matching data structure alone, no endpoint
+/// locks, no completion events. `depth` standing decoy receives, then each
+/// timed `deliver` must locate the live receive: a full scan for the linear
+/// engine, one hash probe for the bucketed one. This is the isolated `q·P`
+/// matching term.
+fn matcher_engine_depth(kind: MatcherKind, depth: usize, iters: u64) -> Duration {
+    const DECOY_BASE: u64 = 1 << 40;
+    const LIVE: u64 = 7;
+    const BATCH: u64 = 64;
+    let src = NetAddr(0);
+    let mut eng = MatchEngine::new(kind);
+    let recv = |bits| PostedRecv {
+        match_bits: bits,
+        ignore: 0,
+        slot: Arc::new(RecvSlot::default()),
+    };
+    for i in 0..depth {
+        assert!(eng.post(recv(DECOY_BASE + i as u64)).is_none());
+    }
+    let mut total = Duration::ZERO;
+    let mut done = 0u64;
+    while done < iters.max(1) {
+        let n = BATCH.min(iters.max(1) - done);
+        // Untimed: pre-post the live receives (one bucket, FIFO within it)
+        // and pre-build the incoming messages.
+        let slots: Vec<_> = (0..n)
+            .map(|_| {
+                let r = recv(LIVE);
+                let slot = r.slot.clone();
+                assert!(eng.post(r).is_none());
+                slot
+            })
+            .collect();
+        let msgs: Vec<_> = (0..n)
+            .map(|_| litempi_fabric::TaggedMessage {
+                src,
+                match_bits: LIVE,
+                data: Bytes::from_static(b"x"),
+            })
+            .collect();
+        // Timed: the matcher walk itself.
+        let t0 = Instant::now();
+        for msg in msgs {
+            criterion::black_box(eng.deliver(msg));
+        }
+        total += t0.elapsed();
+        for slot in slots {
+            assert!(slot.take().is_some());
+        }
+        done += n;
+    }
+    total
+}
+
+fn bench_matcher_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matcher_ablation_posted_depth");
+    g.sample_size(10).measurement_time(Duration::from_secs(1));
+    for depth in [1usize, 16, 256, 4096] {
+        for (label, kind) in [
+            ("bucketed", MatcherKind::Bucketed),
+            ("linear", MatcherKind::Linear),
+        ] {
+            g.bench_function(BenchmarkId::new(label, depth), |b| {
+                b.iter_custom(|iters| matcher_engine_depth(kind, depth, iters));
+            });
+        }
+    }
+    g.finish();
+}
+
+/// The same sweep through the full endpoint path (`tsend` → lock → deliver
+/// → event): shows the matcher delta as seen by real traffic, where the
+/// fixed per-message cost amortizes the data-structure difference.
+fn bench_tsend_posted_depth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tsend_path_posted_depth");
+    g.sample_size(10).measurement_time(Duration::from_secs(1));
+    for depth in [1usize, 16, 256, 4096] {
+        for (label, kind) in [
+            ("bucketed", MatcherKind::Bucketed),
+            ("linear", MatcherKind::Linear),
+        ] {
+            g.bench_function(BenchmarkId::new(label, depth), |b| {
+                b.iter_custom(|iters| matcher_posted_depth(kind, depth, iters));
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_unexpected_queue,
+    bench_wildcard_vs_exact,
+    bench_matcher_ablation,
+    bench_tsend_posted_depth
+);
 criterion_main!(benches);

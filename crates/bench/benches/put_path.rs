@@ -33,9 +33,21 @@ fn bench_put_paths(c: &mut Criterion) {
     let mut g = c.benchmark_group("put_8byte");
     g.sample_size(10).measurement_time(Duration::from_secs(2));
     let cases = [
-        ("ch4_native_rdma", BuildConfig::ch4_default(), ProviderProfile::infinite()),
-        ("ch4_am_fallback", BuildConfig::ch4_default(), ProviderProfile::am_only()),
-        ("original_am_emulation", BuildConfig::original(), ProviderProfile::infinite()),
+        (
+            "ch4_native_rdma",
+            BuildConfig::ch4_default(),
+            ProviderProfile::infinite(),
+        ),
+        (
+            "ch4_am_fallback",
+            BuildConfig::ch4_default(),
+            ProviderProfile::am_only(),
+        ),
+        (
+            "original_am_emulation",
+            BuildConfig::original(),
+            ProviderProfile::infinite(),
+        ),
     ];
     for (label, cfg, profile) in cases {
         g.bench_function(BenchmarkId::from_parameter(label), |b| {
@@ -62,7 +74,8 @@ fn bench_accumulate(c: &mut Criterion) {
                     let out = if proc.rank() == 0 {
                         let t0 = Instant::now();
                         for _ in 0..iters.max(1) {
-                            win.accumulate(&[1u64], 1, 0, &litempi_core::Op::Sum).unwrap();
+                            win.accumulate(&[1u64], 1, 0, &litempi_core::Op::Sum)
+                                .unwrap();
                         }
                         Some(t0.elapsed())
                     } else {

@@ -6,7 +6,10 @@ use litempi_bench::figs;
 
 fn main() {
     let series = figs::fig3();
-    figs::print_rate_figure("Figure 3: Message rates with OFI/PSM2 (1-byte messages)", &series);
+    figs::print_rate_figure(
+        "Figure 3: Message rates with OFI/PSM2 (1-byte messages)",
+        &series,
+    );
     let gain_isend = series[4].isend_rate / series[0].isend_rate - 1.0;
     let gain_put = series[4].put_rate / series[0].put_rate;
     println!();

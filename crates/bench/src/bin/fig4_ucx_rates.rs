@@ -5,9 +5,16 @@ use litempi_bench::figs;
 
 fn main() {
     let series = figs::fig4();
-    figs::print_rate_figure("Figure 4: Message rates with UCX/EDR (1-byte messages)", &series);
+    figs::print_rate_figure(
+        "Figure 4: Message rates with UCX/EDR (1-byte messages)",
+        &series,
+    );
     let gain_isend = series[4].isend_rate / series[0].isend_rate - 1.0;
     let gain_put = series[4].put_rate / series[0].put_rate;
     println!();
-    println!("Observed: isend +{:.0}% / put {:.1}x.", gain_isend * 100.0, gain_put);
+    println!(
+        "Observed: isend +{:.0}% / put {:.1}x.",
+        gain_isend * 100.0,
+        gain_put
+    );
 }

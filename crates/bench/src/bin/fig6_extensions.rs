@@ -11,8 +11,13 @@ fn main() {
     let max = rungs.iter().map(|r| r.rate).fold(0.0, f64::max);
     println!("{:<20} {:>6} {:>14}", "variant", "instr", "msg rate");
     for r in &rungs {
-        println!("{:<20} {:>6} {:>10.1} M/s  |{}", r.label, r.instructions, r.rate / 1e6,
-                 figs::bar(r.rate, max, 40));
+        println!(
+            "{:<20} {:>6} {:>10.1} M/s  |{}",
+            r.label,
+            r.instructions,
+            r.rate / 1e6,
+            figs::bar(r.rate, max, 40)
+        );
     }
     println!();
     println!(

@@ -67,7 +67,12 @@ fn main() {
         (7, [2, 2, 2]),
         (7, [4, 4, 2]),
     ] {
-        let cfg = NekConfig { elems, order, iterations: 25, rank_grid: [2, 2, 2] };
+        let cfg = NekConfig {
+            elems,
+            order,
+            iterations: 25,
+            rank_grid: [2, 2, 2],
+        };
         let std = run_device(BuildConfig::original(), cfg);
         let lite = run_device(BuildConfig::ch4_default(), cfg);
         // Simulated per-iteration MPI time: software instructions plus

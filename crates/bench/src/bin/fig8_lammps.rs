@@ -40,8 +40,7 @@ fn main() {
         minimd::run(&proc, &MdConfig::small([2, 2, 1])).unwrap()
     });
     let r = &out[0];
-    let drift =
-        (r.energy_final - r.energy_initial).abs() / r.energy_initial.abs().max(1e-12);
+    let drift = (r.energy_final - r.energy_initial).abs() / r.energy_initial.abs().max(1e-12);
     println!(
         "  atoms = {}, energy/atom {:.4} -> {:.4} (drift {:.2e})",
         r.atoms_global, r.energy_initial, r.energy_final, drift

@@ -31,7 +31,11 @@ pub fn fig2() -> Vec<(String, u64, u64)> {
     BuildConfig::FIG2_LADDER
         .iter()
         .map(|(label, cfg)| {
-            (label.to_string(), measure::isend_instr(*cfg), measure::put_instr(*cfg))
+            (
+                label.to_string(),
+                measure::isend_instr(*cfg),
+                measure::put_instr(*cfg),
+            )
         })
         .collect()
 }
@@ -75,18 +79,28 @@ pub struct Fig6Rung {
 pub fn fig6() -> Vec<Fig6Rung> {
     let rate = |instr: u64| CostModel::IT_CLUSTER.msg_rate(instr, 0.0);
     let rungs: Vec<(&'static str, u64)> = vec![
-        ("minimal_pt2pt", measure::isend_opts_instr(SendOptions::default(), false)),
+        (
+            "minimal_pt2pt",
+            measure::isend_opts_instr(SendOptions::default(), false),
+        ),
         (
             "no_req",
             measure::isend_opts_instr(
-                SendOptions { no_request: true, ..Default::default() },
+                SendOptions {
+                    no_request: true,
+                    ..Default::default()
+                },
                 false,
             ),
         ),
         (
             "no_match",
             measure::isend_opts_instr(
-                SendOptions { no_request: true, no_match: true, ..Default::default() },
+                SendOptions {
+                    no_request: true,
+                    no_match: true,
+                    ..Default::default()
+                },
                 false,
             ),
         ),
@@ -155,23 +169,56 @@ pub fn savings_table() -> Vec<(&'static str, u64)> {
     vec![
         (
             "3.1 global rank (MPI_ISEND_GLOBAL)",
-            one(SendOptions { global_rank: true, ..Default::default() }, false),
+            one(
+                SendOptions {
+                    global_rank: true,
+                    ..Default::default()
+                },
+                false,
+            ),
         ),
-        ("3.2 virtual address (MPI_PUT_VIRTUAL_ADDR)", put_base - put_vaddr),
-        ("3.3 predefined comm handle", one(SendOptions::default(), true)),
+        (
+            "3.2 virtual address (MPI_PUT_VIRTUAL_ADDR)",
+            put_base - put_vaddr,
+        ),
+        (
+            "3.3 predefined comm handle",
+            one(SendOptions::default(), true),
+        ),
         (
             "3.4 no PROC_NULL (MPI_ISEND_NPN)",
-            one(SendOptions { no_proc_null: true, ..Default::default() }, false),
+            one(
+                SendOptions {
+                    no_proc_null: true,
+                    ..Default::default()
+                },
+                false,
+            ),
         ),
         (
             "3.5 no request (MPI_ISEND_NOREQ)",
-            one(SendOptions { no_request: true, ..Default::default() }, false),
+            one(
+                SendOptions {
+                    no_request: true,
+                    ..Default::default()
+                },
+                false,
+            ),
         ),
         (
             "3.6 no match bits (MPI_ISEND_NOMATCH)",
-            one(SendOptions { no_match: true, ..Default::default() }, false),
+            one(
+                SendOptions {
+                    no_match: true,
+                    ..Default::default()
+                },
+                false,
+            ),
         ),
-        ("3.7 all fused (MPI_ISEND_ALL_OPTS)", base - measure::isend_all_opts_instr()),
+        (
+            "3.7 all fused (MPI_ISEND_ALL_OPTS)",
+            base - measure::isend_all_opts_instr(),
+        ),
     ]
 }
 

@@ -14,10 +14,7 @@ use litempi_instr::{counter, Report};
 
 /// Measure the instructions charged by `op` (one send-like call) on rank 0.
 /// Rank 1 drains one message from either the classic or nomatch channel.
-pub fn measure_send(
-    config: BuildConfig,
-    op: impl Fn(&Communicator) + Send + Sync,
-) -> Report {
+pub fn measure_send(config: BuildConfig, op: impl Fn(&Communicator) + Send + Sync) -> Report {
     let reports = Universe::run(
         2,
         config,
@@ -53,10 +50,13 @@ fn drain_one(proc: &litempi_core::Process, world: &Communicator) {
     let mut b2 = [0u8; 64];
     let mut b3 = [0u8; 64];
     let mut b4 = [0u8; 64];
-    let mut classic = world.irecv(&mut b1, litempi_core::ANY_SOURCE, litempi_core::ANY_TAG).unwrap();
+    let mut classic = world
+        .irecv(&mut b1, litempi_core::ANY_SOURCE, litempi_core::ANY_TAG)
+        .unwrap();
     let mut nomatch = world.irecv_nomatch(&mut b2).unwrap();
-    let mut pre_classic =
-        pre.irecv(&mut b3, litempi_core::ANY_SOURCE, litempi_core::ANY_TAG).unwrap();
+    let mut pre_classic = pre
+        .irecv(&mut b3, litempi_core::ANY_SOURCE, litempi_core::ANY_TAG)
+        .unwrap();
     let mut pre_nomatch = pre.irecv_nomatch(&mut b4).unwrap();
     loop {
         if classic.test().unwrap().is_some() {
@@ -133,15 +133,25 @@ pub fn put_instr(config: BuildConfig) -> u64 {
 /// work).
 pub fn isend_opts_instr(options: SendOptions, predef: bool) -> u64 {
     measure_send(BuildConfig::ch4_no_err_single_ipo(), move |w| {
-        let dest = if options.global_rank { w.world_rank_of(1) as i32 } else { 1 };
+        let dest = if options.global_rank {
+            w.world_rank_of(1) as i32
+        } else {
+            1
+        };
         if predef {
             let pre = Communicator::predefined(&w.process(), PredefHandle::Comm1).unwrap();
-            pre.isend_with_options(&[1u8], dest, 0, options).unwrap().wait().unwrap();
+            pre.isend_with_options(&[1u8], dest, 0, options)
+                .unwrap()
+                .wait()
+                .unwrap();
             if options.no_request {
                 pre.comm_waitall().unwrap();
             }
         } else {
-            w.isend_with_options(&[1u8], dest, 0, options).unwrap().wait().unwrap();
+            w.isend_with_options(&[1u8], dest, 0, options)
+                .unwrap()
+                .wait()
+                .unwrap();
             if options.no_request {
                 w.comm_waitall().unwrap();
             }
@@ -175,11 +185,18 @@ mod tests {
     fn ladder_is_monotone() {
         let minimal = isend_opts_instr(SendOptions::default(), false);
         let noreq = isend_opts_instr(
-            SendOptions { no_request: true, ..Default::default() },
+            SendOptions {
+                no_request: true,
+                ..Default::default()
+            },
             false,
         );
         let nomatch = isend_opts_instr(
-            SendOptions { no_request: true, no_match: true, ..Default::default() },
+            SendOptions {
+                no_request: true,
+                no_match: true,
+                ..Default::default()
+            },
             false,
         );
         let glob = isend_opts_instr(

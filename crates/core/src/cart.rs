@@ -20,7 +20,11 @@ pub struct CartComm {
 impl CartComm {
     /// `MPI_CART_CREATE` (collective): impose a `dims` grid on the first
     /// `prod(dims)` ranks of `comm`. Ranks beyond the grid get `None`.
-    pub fn create(comm: &Communicator, dims: &[usize], periodic: &[bool]) -> MpiResult<Option<CartComm>> {
+    pub fn create(
+        comm: &Communicator,
+        dims: &[usize],
+        periodic: &[bool],
+    ) -> MpiResult<Option<CartComm>> {
         if dims.is_empty() || dims.len() != periodic.len() {
             return Err(MpiError::InvalidComm("dims/periods mismatch"));
         }
@@ -28,7 +32,11 @@ impl CartComm {
         if cells == 0 || cells > comm.size() {
             return Err(MpiError::InvalidComm("grid larger than communicator"));
         }
-        let color = if comm.rank() < cells { 0 } else { crate::comm::UNDEFINED };
+        let color = if comm.rank() < cells {
+            0
+        } else {
+            crate::comm::UNDEFINED
+        };
         let sub = comm.split(color, comm.rank() as i32);
         Ok(sub.map(|comm| CartComm {
             comm,
@@ -163,7 +171,9 @@ mod tests {
     fn coords_roundtrip() {
         Universe::run_default(6, |proc| {
             let world = proc.world();
-            let cart = CartComm::create(&world, &[2, 3], &[false, false]).unwrap().unwrap();
+            let cart = CartComm::create(&world, &[2, 3], &[false, false])
+                .unwrap()
+                .unwrap();
             let me = cart.coords_of(cart.rank());
             let back = cart
                 .rank_of(&me.iter().map(|&c| c as isize).collect::<Vec<_>>())
@@ -211,7 +221,9 @@ mod tests {
     fn excess_ranks_get_none() {
         let out = Universe::run_default(5, |proc| {
             let world = proc.world();
-            CartComm::create(&world, &[2, 2], &[false, false]).unwrap().is_some()
+            CartComm::create(&world, &[2, 2], &[false, false])
+                .unwrap()
+                .is_some()
         });
         assert_eq!(out, vec![true, true, true, true, false]);
     }
@@ -220,7 +232,9 @@ mod tests {
     fn neighbor_world_ranks_translate_once() {
         Universe::run_default(4, |proc| {
             let world = proc.world();
-            let cart = CartComm::create(&world, &[2, 2], &[false, false]).unwrap().unwrap();
+            let cart = CartComm::create(&world, &[2, 2], &[false, false])
+                .unwrap()
+                .unwrap();
             let n = cart.neighbor_world_ranks();
             assert_eq!(n.len(), 2);
             // Identity placement: cart rank == world rank here.

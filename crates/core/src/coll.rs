@@ -156,7 +156,11 @@ pub fn bcast_scatter_allgather<T: MpiPrimitive>(
     // Phase 1: scatter blocks from root (linear scatter of the payload's
     // `size` blocks; block i is destined to rank i).
     let my_block = {
-        let send = if comm.rank() == root { Some(&buf[..]) } else { None };
+        let send = if comm.rank() == root {
+            Some(&buf[..])
+        } else {
+            None
+        };
         scatter(comm, send, block, root)?
     };
     // Phase 2: ring allgather of the blocks back into everyone's buffer.
@@ -280,8 +284,10 @@ pub fn gatherv<T: MpiPrimitive>(
         for src in (0..size).filter(|&r| r != root) {
             blocks[src] = crecv(comm, src, tag);
         }
-        let counts: Vec<usize> =
-            blocks.iter().map(|b| b.len() / T::PREDEFINED.size()).collect();
+        let counts: Vec<usize> = blocks
+            .iter()
+            .map(|b| b.len() / T::PREDEFINED.size())
+            .collect();
         let total: usize = counts.iter().sum();
         let mut out: Vec<T> = vec![T::from_wire(&vec![0u8; T::PREDEFINED.size()]); total];
         let bytes = T::as_bytes_mut(&mut out);
@@ -310,9 +316,18 @@ pub fn scatter<T: MpiPrimitive>(
     let tag = comm.next_coll_tag();
     if rank == root {
         let send = sendbuf.expect("root must provide a send buffer");
-        assert_eq!(send.len(), block * size, "scatter buffer must be block*size elements");
+        assert_eq!(
+            send.len(),
+            block * size,
+            "scatter buffer must be block*size elements"
+        );
         for dst in (0..size).filter(|&r| r != root) {
-            csend(comm, dst, tag, T::as_bytes(&send[dst * block..(dst + 1) * block]));
+            csend(
+                comm,
+                dst,
+                tag,
+                T::as_bytes(&send[dst * block..(dst + 1) * block]),
+            );
         }
         Ok(send[root * block..(root + 1) * block].to_vec())
     } else {
@@ -402,7 +417,11 @@ pub fn alltoall<T: MpiPrimitive>(
 ) -> MpiResult<Vec<T>> {
     let size = comm.size();
     let rank = comm.rank();
-    assert_eq!(sendbuf.len(), block * size, "alltoall buffer must be block*size elements");
+    assert_eq!(
+        sendbuf.len(),
+        block * size,
+        "alltoall buffer must be block*size elements"
+    );
     let tag = comm.next_coll_tag();
     let mut out = vec![sendbuf[0]; block * size];
     out[rank * block..(rank + 1) * block]
@@ -410,7 +429,12 @@ pub fn alltoall<T: MpiPrimitive>(
     for phase in 1..size {
         let send_to = (rank + phase) % size;
         let recv_from = (rank + size - phase) % size;
-        csend(comm, send_to, tag, T::as_bytes(&sendbuf[send_to * block..(send_to + 1) * block]));
+        csend(
+            comm,
+            send_to,
+            tag,
+            T::as_bytes(&sendbuf[send_to * block..(send_to + 1) * block]),
+        );
         let data = crecv(comm, recv_from, tag);
         let dst = &mut out[recv_from * block..(recv_from + 1) * block];
         T::as_bytes_mut(dst).copy_from_slice(&data);
@@ -450,7 +474,11 @@ pub fn exscan<T: MpiPrimitive>(
     let rank = comm.rank();
     let tag = comm.next_coll_tag();
     // Receive the exclusive prefix, then forward prefix OP mine.
-    let prefix = if rank > 0 { Some(crecv(comm, rank - 1, tag)) } else { None };
+    let prefix = if rank > 0 {
+        Some(crecv(comm, rank - 1, tag))
+    } else {
+        None
+    };
     if rank + 1 < size {
         let mut fwd = match &prefix {
             Some(p) => {
@@ -480,16 +508,24 @@ pub fn reduce_scatter_block<T: MpiPrimitive>(
     op: &Op,
 ) -> MpiResult<Vec<T>> {
     let size = comm.size();
-    assert_eq!(sendbuf.len() % size, 0, "buffer must divide into size blocks");
+    assert_eq!(
+        sendbuf.len() % size,
+        0,
+        "buffer must divide into size blocks"
+    );
     let block = sendbuf.len() / size;
     let rank = comm.rank();
     let tag = comm.next_coll_tag();
-    let mut acc: Vec<u8> =
-        T::as_bytes(&sendbuf[rank * block..(rank + 1) * block]).to_vec();
+    let mut acc: Vec<u8> = T::as_bytes(&sendbuf[rank * block..(rank + 1) * block]).to_vec();
     for d in 1..size {
         let to = (rank + d) % size;
         let from = (rank + size - d) % size;
-        csend(comm, to, tag, T::as_bytes(&sendbuf[to * block..(to + 1) * block]));
+        csend(
+            comm,
+            to,
+            tag,
+            T::as_bytes(&sendbuf[to * block..(to + 1) * block]),
+        );
         let data = crecv(comm, from, tag);
         op.apply(&T::DATATYPE, &mut acc, &data)?;
     }
@@ -506,7 +542,11 @@ pub fn reduce_scatter_block_naive<T: MpiPrimitive>(
     op: &Op,
 ) -> MpiResult<Vec<T>> {
     let size = comm.size();
-    assert_eq!(sendbuf.len() % size, 0, "buffer must divide into size blocks");
+    assert_eq!(
+        sendbuf.len() % size,
+        0,
+        "buffer must divide into size blocks"
+    );
     let block = sendbuf.len() / size;
     let reduced = reduce(comm, sendbuf, op, 0)?;
     scatter(comm, reduced.as_deref(), block, 0)
@@ -546,11 +586,7 @@ impl Communicator {
     }
 
     /// `MPI_GATHER`.
-    pub fn gather<T: MpiPrimitive>(
-        &self,
-        sendbuf: &[T],
-        root: usize,
-    ) -> MpiResult<Option<Vec<T>>> {
+    pub fn gather<T: MpiPrimitive>(&self, sendbuf: &[T], root: usize) -> MpiResult<Option<Vec<T>>> {
         gather(self, sendbuf, root)
     }
 
@@ -589,11 +625,7 @@ impl Communicator {
     }
 
     /// `MPI_EXSCAN`.
-    pub fn exscan<T: MpiPrimitive>(
-        &self,
-        sendbuf: &[T],
-        op: &Op,
-    ) -> MpiResult<Option<Vec<T>>> {
+    pub fn exscan<T: MpiPrimitive>(&self, sendbuf: &[T], op: &Op) -> MpiResult<Option<Vec<T>>> {
         exscan(self, sendbuf, op)
     }
 
@@ -630,7 +662,11 @@ mod tests {
             for root in 0..n {
                 let out = Universe::run_default(n, move |proc| {
                     let world = proc.world();
-                    let mut buf = if proc.rank() == root { [42u64, 7] } else { [0, 0] };
+                    let mut buf = if proc.rank() == root {
+                        [42u64, 7]
+                    } else {
+                        [0, 0]
+                    };
                     world.bcast(&mut buf, root).unwrap();
                     buf
                 });
@@ -671,7 +707,10 @@ mod tests {
             let e0: f64 = (0..n).map(|r| r as f64 + 1.0).sum();
             let e1: f64 = (0..n).map(|r| r as f64 * 0.5).sum();
             for o in out {
-                assert!((o[0] - e0).abs() < 1e-12 && (o[1] - e1).abs() < 1e-12, "n={n}");
+                assert!(
+                    (o[0] - e0).abs() < 1e-12 && (o[1] - e1).abs() < 1e-12,
+                    "n={n}"
+                );
             }
         }
     }
@@ -715,8 +754,7 @@ mod tests {
     fn scatter_distributes_blocks() {
         let out = Universe::run_default(3, |proc| {
             let world = proc.world();
-            let send: Option<Vec<i32>> =
-                (proc.rank() == 1).then(|| (0..6).collect());
+            let send: Option<Vec<i32>> = (proc.rank() == 1).then(|| (0..6).collect());
             world.scatter(send.as_deref(), 2, 1).unwrap()
         });
         assert_eq!(out, vec![vec![0, 1], vec![2, 3], vec![4, 5]]);
@@ -806,9 +844,17 @@ mod tests {
                     let make = |seed: u64| -> Vec<u64> {
                         (0..n as u64 * 4).map(|i| seed * 1000 + i).collect()
                     };
-                    let mut a = if proc.rank() == root { make(7) } else { vec![0; n * 4] };
+                    let mut a = if proc.rank() == root {
+                        make(7)
+                    } else {
+                        vec![0; n * 4]
+                    };
                     super::bcast_binomial(&world, &mut a, root).unwrap();
-                    let mut b = if proc.rank() == root { make(7) } else { vec![0; n * 4] };
+                    let mut b = if proc.rank() == root {
+                        make(7)
+                    } else {
+                        vec![0; n * 4]
+                    };
                     super::bcast_scatter_allgather(&world, &mut b, root).unwrap();
                     (a, b)
                 });
@@ -859,11 +905,11 @@ mod tests {
         for n in [2, 3, 4, 5] {
             let out = Universe::run_default(n, |proc| {
                 let world = proc.world();
-                let send: Vec<i64> =
-                    (0..n as i64 * 2).map(|j| proc.rank() as i64 * 10 + j).collect();
+                let send: Vec<i64> = (0..n as i64 * 2)
+                    .map(|j| proc.rank() as i64 * 10 + j)
+                    .collect();
                 let pairwise = world.reduce_scatter_block(&send, &Op::Sum).unwrap();
-                let naive =
-                    super::reduce_scatter_block_naive(&world, &send, &Op::Sum).unwrap();
+                let naive = super::reduce_scatter_block_naive(&world, &send, &Op::Sum).unwrap();
                 (pairwise, naive)
             });
             for (p, q) in out {

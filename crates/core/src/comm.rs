@@ -106,7 +106,10 @@ impl Communicator {
         let rank = proc.rank;
         Communicator {
             proc,
-            shared: Arc::new(CommShared { ctx: ContextId(0), group: Group::world(size) }),
+            shared: Arc::new(CommShared {
+                ctx: ContextId(0),
+                group: Group::world(size),
+            }),
             rank,
             coll_seq: Cell::new(0),
             derive_seq: Cell::new(0),
@@ -116,10 +119,7 @@ impl Communicator {
     }
 
     /// Crate-internal constructor used by intercommunicator merge.
-    pub(crate) fn from_shared_crate(
-        proc: Arc<ProcInner>,
-        shared: Arc<CommShared>,
-    ) -> Communicator {
+    pub(crate) fn from_shared_crate(proc: Arc<ProcInner>, shared: Arc<CommShared>) -> Communicator {
         Communicator::from_shared(proc, shared, false)
     }
 
@@ -189,14 +189,14 @@ impl Communicator {
         let seq = self.next_derive_seq();
         let group = self.shared.group.clone();
         let univ = &self.proc.univ;
-        let shared = univ.meet.meet(
-            (self.shared.ctx.0, seq, u64::MAX),
-            self.size(),
-            || CommShared {
-                ctx: ContextId(univ.next_ctx.fetch_add(1, Ordering::Relaxed)),
-                group,
-            },
-        );
+        let shared = univ
+            .meet
+            .meet((self.shared.ctx.0, seq, u64::MAX), self.size(), || {
+                CommShared {
+                    ctx: ContextId(univ.next_ctx.fetch_add(1, Ordering::Relaxed)),
+                    group,
+                }
+            });
         Communicator::from_shared(self.proc.clone(), shared, false)
     }
 
@@ -216,8 +216,10 @@ impl Communicator {
             .map(|r| (all[2 * r + 1], r))
             .collect();
         members.sort_unstable();
-        let world_ranks: Vec<u32> =
-            members.iter().map(|&(_, r)| self.world_rank_of(r) as u32).collect();
+        let world_ranks: Vec<u32> = members
+            .iter()
+            .map(|&(_, r)| self.world_rank_of(r) as u32)
+            .collect();
         let group = Group::from_world_ranks(&world_ranks);
         let univ = &self.proc.univ;
         let shared = univ.meet.meet(
@@ -264,10 +266,12 @@ impl Communicator {
         let univ = &self.proc.univ;
         let group = group.clone();
         let expected = group.size();
-        let shared = univ.meet.meet((self.shared.ctx.0, seq, h), expected, || CommShared {
-            ctx: ContextId(univ.next_ctx.fetch_add(1, Ordering::Relaxed)),
-            group,
-        });
+        let shared = univ
+            .meet
+            .meet((self.shared.ctx.0, seq, h), expected, || CommShared {
+                ctx: ContextId(univ.next_ctx.fetch_add(1, Ordering::Relaxed)),
+                group,
+            });
         Some(Communicator::from_shared(self.proc.clone(), shared, false))
     }
 

@@ -80,25 +80,37 @@ impl BuildConfig {
 
     /// CH4 with error checking disabled (Fig 2 bar 3, "no-err").
     pub const fn ch4_no_err() -> Self {
-        BuildConfig { error_checking: false, ..BuildConfig::ch4_default() }
+        BuildConfig {
+            error_checking: false,
+            ..BuildConfig::ch4_default()
+        }
     }
 
     /// CH4 without error checking or thread check (Fig 2 bar 4,
     /// "no-err-single").
     pub const fn ch4_no_err_single() -> Self {
-        BuildConfig { thread_check: false, ..BuildConfig::ch4_no_err() }
+        BuildConfig {
+            thread_check: false,
+            ..BuildConfig::ch4_no_err()
+        }
     }
 
     /// CH4 fully optimized: no error checking, single-threaded, link-time
     /// inlined (Fig 2 bar 5, "no-err-single-ipo").
     pub const fn ch4_no_err_single_ipo() -> Self {
-        BuildConfig { ipo: true, ..BuildConfig::ch4_no_err_single() }
+        BuildConfig {
+            ipo: true,
+            ..BuildConfig::ch4_no_err_single()
+        }
     }
 
     /// §2.2's fully subsumed build: whole-program link-time inlining, so
     /// even "Class 3" runtime-constant datatypes constant-fold.
     pub const fn ch4_ipo_whole_program() -> Self {
-        BuildConfig { ipo_whole_program: true, ..BuildConfig::ch4_no_err_single_ipo() }
+        BuildConfig {
+            ipo_whole_program: true,
+            ..BuildConfig::ch4_no_err_single_ipo()
+        }
     }
 
     /// The five builds in the paper's Figure 2 order, with display labels.
@@ -106,8 +118,14 @@ impl BuildConfig {
         ("mpich/original", BuildConfig::original()),
         ("mpich/ch4 (default)", BuildConfig::ch4_default()),
         ("mpich/ch4 (no-err)", BuildConfig::ch4_no_err()),
-        ("mpich/ch4 (no-err-single)", BuildConfig::ch4_no_err_single()),
-        ("mpich/ch4 (no-err-single-ipo)", BuildConfig::ch4_no_err_single_ipo()),
+        (
+            "mpich/ch4 (no-err-single)",
+            BuildConfig::ch4_no_err_single(),
+        ),
+        (
+            "mpich/ch4 (no-err-single-ipo)",
+            BuildConfig::ch4_no_err_single_ipo(),
+        ),
     ];
 }
 

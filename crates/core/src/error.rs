@@ -65,7 +65,10 @@ impl std::fmt::Display for MpiError {
             MpiError::InvalidCount(c) => write!(f, "MPI_ERR_COUNT: {c}"),
             MpiError::InvalidDatatype(e) => write!(f, "MPI_ERR_TYPE: {e}"),
             MpiError::Truncate { message, buffer } => {
-                write!(f, "MPI_ERR_TRUNCATE: {message}-byte message into {buffer}-byte buffer")
+                write!(
+                    f,
+                    "MPI_ERR_TRUNCATE: {message}-byte message into {buffer}-byte buffer"
+                )
             }
             MpiError::BufferTooSmall { needed, provided } => {
                 write!(f, "MPI_ERR_BUFFER: need {needed} bytes, got {provided}")
@@ -99,7 +102,10 @@ mod tests {
     fn display_messages_identify_class() {
         let e = MpiError::InvalidRank { rank: 9, size: 4 };
         assert!(e.to_string().contains("MPI_ERR_RANK"));
-        let e = MpiError::Truncate { message: 100, buffer: 10 };
+        let e = MpiError::Truncate {
+            message: 100,
+            buffer: 10,
+        };
         assert!(e.to_string().contains("TRUNCATE"));
     }
 

@@ -16,7 +16,7 @@
 
 use crate::comm::Communicator;
 use crate::error::{MpiError, MpiResult};
-use crate::pt2pt::{isend_impl, irecv_impl, RecvOpts, SendMode, SendOpts};
+use crate::pt2pt::{irecv_impl, isend_impl, RecvOpts, SendMode, SendOpts};
 use crate::request::{wait_loop, Request};
 use crate::rma::{VirtAddr, Window};
 use crate::status::Status;
@@ -72,7 +72,11 @@ impl Communicator {
             dest_world,
             tag,
             SendMode::Standard,
-            SendOpts { global_rank: true, static_type: true, ..SendOpts::default() },
+            SendOpts {
+                global_rank: true,
+                static_type: true,
+                ..SendOpts::default()
+            },
         )
     }
 
@@ -92,8 +96,9 @@ impl Communicator {
         let source = if source_world >= 0 {
             self.group()
                 .local_rank(source_world as usize)
-                .ok_or(MpiError::InvalidComm("source world rank not in communicator"))?
-                as i32
+                .ok_or(MpiError::InvalidComm(
+                    "source world rank not in communicator",
+                ))? as i32
         } else {
             source_world
         };
@@ -105,7 +110,11 @@ impl Communicator {
             count,
             source,
             tag,
-            RecvOpts { global_rank: false, no_match: false, static_type: true },
+            RecvOpts {
+                global_rank: false,
+                no_match: false,
+                static_type: true,
+            },
         )
     }
 
@@ -126,7 +135,11 @@ impl Communicator {
             dest,
             tag,
             SendMode::Standard,
-            SendOpts { no_proc_null: true, static_type: true, ..SendOpts::default() },
+            SendOpts {
+                no_proc_null: true,
+                static_type: true,
+                ..SendOpts::default()
+            },
         )
     }
 
@@ -142,7 +155,11 @@ impl Communicator {
             dest,
             tag,
             SendMode::Standard,
-            SendOpts { no_request: true, static_type: true, ..SendOpts::default() },
+            SendOpts {
+                no_request: true,
+                static_type: true,
+                ..SendOpts::default()
+            },
         )
         .map(|_| ())
     }
@@ -174,7 +191,11 @@ impl Communicator {
             dest,
             0,
             SendMode::Standard,
-            SendOpts { no_match: true, static_type: true, ..SendOpts::default() },
+            SendOpts {
+                no_match: true,
+                static_type: true,
+                ..SendOpts::default()
+            },
         )
     }
 
@@ -192,7 +213,11 @@ impl Communicator {
             count,
             crate::match_bits::ANY_SOURCE,
             crate::match_bits::ANY_TAG,
-            RecvOpts { no_match: true, global_rank: false, static_type: true },
+            RecvOpts {
+                no_match: true,
+                global_rank: false,
+                static_type: true,
+            },
         )
     }
 
@@ -264,7 +289,16 @@ impl Window {
         target: i32,
         addr: VirtAddr,
     ) -> MpiResult<()> {
-        self.put_inner(T::as_bytes(data), &T::DATATYPE, data.len(), target, 0, Some(addr), false, true)
+        self.put_inner(
+            T::as_bytes(data),
+            &T::DATATYPE,
+            data.len(),
+            target,
+            0,
+            Some(addr),
+            false,
+            true,
+        )
     }
 
     /// §3.2 `MPI_GET_VIRTUAL_ADDR`.
@@ -275,7 +309,16 @@ impl Window {
         addr: VirtAddr,
     ) -> MpiResult<()> {
         let count = buf.len();
-        self.get_inner(T::as_bytes_mut(buf), &T::DATATYPE, count, target, 0, Some(addr), false, true)
+        self.get_inner(
+            T::as_bytes_mut(buf),
+            &T::DATATYPE,
+            count,
+            target,
+            0,
+            Some(addr),
+            false,
+            true,
+        )
     }
 
     /// `MPI_RPUT` (request-based RMA): like put, returning a request whose
@@ -315,6 +358,15 @@ impl Window {
         target: i32,
         addr: VirtAddr,
     ) -> MpiResult<()> {
-        self.put_inner(T::as_bytes(data), &T::DATATYPE, data.len(), target, 0, Some(addr), true, true)
+        self.put_inner(
+            T::as_bytes(data),
+            &T::DATATYPE,
+            data.len(),
+            target,
+            0,
+            Some(addr),
+            true,
+            true,
+        )
     }
 }

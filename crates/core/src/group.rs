@@ -46,18 +46,26 @@ pub struct Group {
 impl Group {
     /// The world group of `size` processes.
     pub fn world(size: usize) -> Group {
-        Group { map: RankMap::Identity { size } }
+        Group {
+            map: RankMap::Identity { size },
+        }
     }
 
     /// Build a group from an explicit world-rank list, auto-compressing to
     /// the cheapest representation (the Guo-et-al. optimization).
     pub fn from_world_ranks(ranks: &[u32]) -> Group {
         if ranks.is_empty() {
-            return Group { map: RankMap::Direct { world: Arc::from([]) } };
+            return Group {
+                map: RankMap::Direct {
+                    world: Arc::from([]),
+                },
+            };
         }
         // Identity?
         if ranks.iter().enumerate().all(|(i, &w)| w as usize == i) {
-            return Group { map: RankMap::Identity { size: ranks.len() } };
+            return Group {
+                map: RankMap::Identity { size: ranks.len() },
+            };
         }
         // Strided?
         if ranks.len() >= 2 {
@@ -69,15 +77,29 @@ impl Group {
                     .enumerate()
                     .all(|(i, &w)| w as usize == offset + stride * i);
             if strided {
-                return Group { map: RankMap::Strided { offset, stride, size: ranks.len() } };
+                return Group {
+                    map: RankMap::Strided {
+                        offset,
+                        stride,
+                        size: ranks.len(),
+                    },
+                };
             }
         } else {
             // Single member: strided with arbitrary stride.
             return Group {
-                map: RankMap::Strided { offset: ranks[0] as usize, stride: 1, size: 1 },
+                map: RankMap::Strided {
+                    offset: ranks[0] as usize,
+                    stride: 1,
+                    size: 1,
+                },
             };
         }
-        Group { map: RankMap::Direct { world: Arc::from(ranks) } }
+        Group {
+            map: RankMap::Direct {
+                world: Arc::from(ranks),
+            },
+        }
     }
 
     /// Number of members.
@@ -98,7 +120,11 @@ impl Group {
     /// Translate a local rank to a world rank. This is the §3.1 hot path.
     #[inline]
     pub fn world_rank(&self, local: usize) -> usize {
-        debug_assert!(local < self.size(), "rank {local} out of group of {}", self.size());
+        debug_assert!(
+            local < self.size(),
+            "rank {local} out of group of {}",
+            self.size()
+        );
         match &self.map {
             RankMap::Identity { .. } => local,
             RankMap::Strided { offset, stride, .. } => offset + stride * local,
@@ -111,16 +137,18 @@ impl Group {
     pub fn local_rank(&self, world: usize) -> Option<usize> {
         match &self.map {
             RankMap::Identity { size } => (world < *size).then_some(world),
-            RankMap::Strided { offset, stride, size } => {
+            RankMap::Strided {
+                offset,
+                stride,
+                size,
+            } => {
                 if world < *offset {
                     return None;
                 }
                 let d = world - offset;
                 (d.is_multiple_of(*stride) && d / stride < *size).then_some(d / stride)
             }
-            RankMap::Direct { world: table } => {
-                table.iter().position(|&w| w as usize == world)
-            }
+            RankMap::Direct { world: table } => table.iter().position(|&w| w as usize == world),
         }
     }
 
@@ -129,21 +157,29 @@ impl Group {
     /// function the paper's §3.1 proposal leans on: applications translate
     /// once and then use `_GLOBAL` routines.
     pub fn translate_ranks(&self, ranks: &[usize], other: &Group) -> Vec<Option<usize>> {
-        ranks.iter().map(|&r| other.local_rank(self.world_rank(r))).collect()
+        ranks
+            .iter()
+            .map(|&r| other.local_rank(self.world_rank(r)))
+            .collect()
     }
 
     /// Validate that `rank` names a member (error-checking path).
     pub fn check_rank(&self, rank: i32) -> MpiResult<usize> {
         if rank < 0 || rank as usize >= self.size() {
-            return Err(MpiError::InvalidRank { rank, size: self.size() });
+            return Err(MpiError::InvalidRank {
+                rank,
+                size: self.size(),
+            });
         }
         Ok(rank as usize)
     }
 
     /// Subgroup keeping members whose local rank satisfies `keep`, in order.
     pub fn filter(&self, keep: impl Fn(usize) -> bool) -> Group {
-        let ranks: Vec<u32> =
-            (0..self.size()).filter(|&r| keep(r)).map(|r| self.world_rank(r) as u32).collect();
+        let ranks: Vec<u32> = (0..self.size())
+            .filter(|&r| keep(r))
+            .map(|r| self.world_rank(r) as u32)
+            .collect();
         Group::from_world_ranks(&ranks)
     }
 
@@ -153,7 +189,10 @@ impl Group {
         let mut world = Vec::with_capacity(ranks.len());
         for &r in ranks {
             if r >= self.size() {
-                return Err(MpiError::InvalidRank { rank: r as i32, size: self.size() });
+                return Err(MpiError::InvalidRank {
+                    rank: r as i32,
+                    size: self.size(),
+                });
             }
             world.push(self.world_rank(r) as u32);
         }
@@ -164,7 +203,10 @@ impl Group {
     pub fn exclude(&self, ranks: &[usize]) -> MpiResult<Group> {
         for &r in ranks {
             if r >= self.size() {
-                return Err(MpiError::InvalidRank { rank: r as i32, size: self.size() });
+                return Err(MpiError::InvalidRank {
+                    rank: r as i32,
+                    size: self.size(),
+                });
             }
         }
         Ok(self.filter(|r| !ranks.contains(&r)))
@@ -173,7 +215,10 @@ impl Group {
     /// `MPI_GROUP_RANGE_INCL` with a single `(first, last, stride)` triple.
     pub fn range_include(&self, first: usize, last: usize, stride: usize) -> MpiResult<Group> {
         if stride == 0 || first > last || last >= self.size() {
-            return Err(MpiError::InvalidRank { rank: last as i32, size: self.size() });
+            return Err(MpiError::InvalidRank {
+                rank: last as i32,
+                size: self.size(),
+            });
         }
         let ranks: Vec<usize> = (first..=last).step_by(stride).collect();
         self.include(&ranks)
@@ -182,8 +227,9 @@ impl Group {
     /// `MPI_GROUP_UNION`: members of `self`, then members of `other` not
     /// already present (standard ordering).
     pub fn union(&self, other: &Group) -> Group {
-        let mut world: Vec<u32> =
-            (0..self.size()).map(|r| self.world_rank(r) as u32).collect();
+        let mut world: Vec<u32> = (0..self.size())
+            .map(|r| self.world_rank(r) as u32)
+            .collect();
         for r in 0..other.size() {
             let w = other.world_rank(r) as u32;
             if self.local_rank(w as usize).is_none() {
@@ -215,8 +261,7 @@ impl Group {
         if ident {
             return GroupRelation::Identical;
         }
-        let similar =
-            (0..self.size()).all(|r| other.local_rank(self.world_rank(r)).is_some());
+        let similar = (0..self.size()).all(|r| other.local_rank(self.world_rank(r)).is_some());
         if similar {
             GroupRelation::Similar
         } else {
@@ -260,7 +305,14 @@ mod tests {
     fn stride_detected() {
         // Even ranks of an 8-process world.
         let g = Group::from_world_ranks(&[0, 2, 4, 6]);
-        assert!(matches!(g.map(), RankMap::Strided { offset: 0, stride: 2, size: 4 }));
+        assert!(matches!(
+            g.map(),
+            RankMap::Strided {
+                offset: 0,
+                stride: 2,
+                size: 4
+            }
+        ));
         assert_eq!(g.world_rank(3), 6);
         assert_eq!(g.local_rank(4), Some(2));
         assert_eq!(g.local_rank(3), None); // odd world rank not a member
@@ -270,7 +322,14 @@ mod tests {
     #[test]
     fn offset_stride_detected() {
         let g = Group::from_world_ranks(&[3, 5, 7]);
-        assert!(matches!(g.map(), RankMap::Strided { offset: 3, stride: 2, size: 3 }));
+        assert!(matches!(
+            g.map(),
+            RankMap::Strided {
+                offset: 3,
+                stride: 2,
+                size: 3
+            }
+        ));
         assert_eq!(g.local_rank(1), None); // below offset
     }
 
@@ -362,11 +421,20 @@ mod tests {
             vec![0, 2, 4, 3, 5]
         );
         let i = a.intersection(&b);
-        assert_eq!((0..i.size()).map(|r| i.world_rank(r)).collect::<Vec<_>>(), vec![2, 4]);
+        assert_eq!(
+            (0..i.size()).map(|r| i.world_rank(r)).collect::<Vec<_>>(),
+            vec![2, 4]
+        );
         let d = a.difference(&b);
-        assert_eq!((0..d.size()).map(|r| d.world_rank(r)).collect::<Vec<_>>(), vec![0]);
+        assert_eq!(
+            (0..d.size()).map(|r| d.world_rank(r)).collect::<Vec<_>>(),
+            vec![0]
+        );
         let d2 = b.difference(&a);
-        assert_eq!((0..d2.size()).map(|r| d2.world_rank(r)).collect::<Vec<_>>(), vec![3, 5]);
+        assert_eq!(
+            (0..d2.size()).map(|r| d2.world_rank(r)).collect::<Vec<_>>(),
+            vec![3, 5]
+        );
     }
 
     #[test]

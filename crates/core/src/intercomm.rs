@@ -59,8 +59,9 @@ impl Communicator {
             peer_comm.group().check_rank(remote_leader as i32)?;
         }
         // 1. Leaders swap group membership over the peer communicator.
-        let my_group_worlds: Vec<u64> =
-            (0..self.size()).map(|r| self.world_rank_of(r) as u64).collect();
+        let my_group_worlds: Vec<u64> = (0..self.size())
+            .map(|r| self.world_rank_of(r) as u64)
+            .collect();
         let mut remote_worlds: Vec<u64> = Vec::new();
         if self.rank() == local_leader {
             let mut remote_len = [0u64; 1];
@@ -92,7 +93,11 @@ impl Communicator {
             Group::from_world_ranks(&remote_worlds.iter().map(|&w| w as u32).collect::<Vec<_>>());
         if self.proc.config.error_checking {
             for r in 0..remote_group.size() {
-                if self.group().local_rank(remote_group.world_rank(r)).is_some() {
+                if self
+                    .group()
+                    .local_rank(remote_group.world_rank(r))
+                    .is_some()
+                {
                     return Err(MpiError::InvalidComm("intercomm groups must be disjoint"));
                 }
             }
@@ -112,23 +117,24 @@ impl Communicator {
         let total = self.size() + remote_group.size();
         let univ = &self.proc.univ;
         let local_group = self.group().clone();
-        let shared = univ.meet.meet(
-            (0xFFFF ^ (tag as u16), lo, hi),
-            total,
-            || {
-                let groups = if my_side_is_low {
-                    [local_group.clone(), remote_group.clone()]
-                } else {
-                    [remote_group.clone(), local_group.clone()]
-                };
-                InterShared {
-                    ctx: ContextId(univ.next_ctx.fetch_add(1, Ordering::Relaxed)),
-                    groups,
-                }
-            },
-        );
+        let shared = univ.meet.meet((0xFFFF ^ (tag as u16), lo, hi), total, || {
+            let groups = if my_side_is_low {
+                [local_group.clone(), remote_group.clone()]
+            } else {
+                [remote_group.clone(), local_group.clone()]
+            };
+            InterShared {
+                ctx: ContextId(univ.next_ctx.fetch_add(1, Ordering::Relaxed)),
+                groups,
+            }
+        });
         let side = usize::from(!my_side_is_low);
-        Ok(InterComm { proc: self.proc.clone(), shared, side, local_rank: self.rank() })
+        Ok(InterComm {
+            proc: self.proc.clone(),
+            shared,
+            side,
+            local_rank: self.rank(),
+        })
     }
 }
 
@@ -165,7 +171,13 @@ impl InterComm {
         let bytes = T::as_bytes(data);
         let max_eager = self.proc.endpoint.fabric().profile().caps.max_eager;
         if bytes.len() <= max_eager {
-            inject(&self.proc, dest_world, bits, proto::eager(bytes), &SendOpts::default());
+            inject(
+                &self.proc,
+                dest_world,
+                bits,
+                proto::eager(bytes),
+                &SendOpts::default(),
+            );
         } else {
             let (rndv_id, _done) = self.proc.univ.alloc_rndv(bytes.to_vec());
             inject(
@@ -211,7 +223,10 @@ impl InterComm {
         };
         let dst = T::as_bytes_mut(buf);
         if wire.len() > dst.len() {
-            return Err(MpiError::Truncate { message: wire.len(), buffer: dst.len() });
+            return Err(MpiError::Truncate {
+                message: wire.len(),
+                buffer: dst.len(),
+            });
         }
         dst[..wire.len()].copy_from_slice(&wire);
         Ok(Status {
@@ -230,7 +245,10 @@ impl InterComm {
     /// that changes nothing about the communicator machinery under test.)
     pub fn merge(&self, high: bool) -> MpiResult<Communicator> {
         let first_side = usize::from(high);
-        let (a, b) = (&self.shared.groups[first_side], &self.shared.groups[1 - first_side]);
+        let (a, b) = (
+            &self.shared.groups[first_side],
+            &self.shared.groups[1 - first_side],
+        );
         let union = a.union(b);
         let univ = &self.proc.univ;
         let total = union.size();
@@ -269,7 +287,9 @@ mod tests {
         let local = world.split(parity as i32, proc.rank() as i32).unwrap();
         // Leaders: world rank 0 (evens) and 1 (odds).
         let remote_leader = if parity == 0 { 1 } else { 0 };
-        let inter = local.intercomm_create(0, &world, remote_leader, 77).unwrap();
+        let inter = local
+            .intercomm_create(0, &world, remote_leader, 77)
+            .unwrap();
         (world, inter)
     }
 
@@ -336,10 +356,14 @@ mod tests {
         Universe::run_default(4, |proc| {
             let (_world, inter) = split_intercomm(&proc);
             if proc.rank() % 2 == 0 {
-                inter.send(&[inter.rank() as u32 + 1], inter.rank(), 9).unwrap();
+                inter
+                    .send(&[inter.rank() as u32 + 1], inter.rank(), 9)
+                    .unwrap();
             } else {
                 let mut buf = [0u32; 1];
-                let st = inter.recv_into(&mut buf, match_bits::ANY_SOURCE, 9).unwrap();
+                let st = inter
+                    .recv_into(&mut buf, match_bits::ANY_SOURCE, 9)
+                    .unwrap();
                 assert_eq!(buf[0] as i32, st.source + 1);
             }
         });

@@ -58,10 +58,11 @@ impl ContextId {
 #[inline]
 pub fn encode(ctx: ContextId, src_rank: usize, tag: i32) -> u64 {
     debug_assert!((0..=TAG_UB).contains(&tag), "tag {tag} out of range");
-    debug_assert!((src_rank as u64) < NOMATCH_SRC, "rank {src_rank} too large for match bits");
-    ((ctx.0 as u64) << CTX_SHIFT)
-        | ((src_rank as u64) << SRC_SHIFT)
-        | ((tag as u64) << TAG_SHIFT)
+    debug_assert!(
+        (src_rank as u64) < NOMATCH_SRC,
+        "rank {src_rank} too large for match bits"
+    );
+    ((ctx.0 as u64) << CTX_SHIFT) | ((src_rank as u64) << SRC_SHIFT) | ((tag as u64) << TAG_SHIFT)
 }
 
 /// Encode the `_NOMATCH` channel bits for a communicator: fixed source

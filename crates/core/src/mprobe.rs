@@ -18,6 +18,7 @@ use crate::request::{wait_loop, RecvDest};
 use crate::status::Status;
 use bytes::Bytes;
 use litempi_datatype::MpiPrimitive;
+use litempi_instr::{charge, cost, Category};
 use std::sync::Arc;
 
 /// A message claimed by `improbe`/`mprobe`, awaiting its `mrecv`.
@@ -53,8 +54,11 @@ impl MatchedMessage {
     /// `MPI_MRECV`: complete this specific message into `buf`.
     pub fn mrecv<T: MpiPrimitive>(self, buf: &mut [T]) -> MpiResult<Status> {
         let count = buf.len();
-        let mut dest =
-            RecvDest { buf: T::as_bytes_mut(buf), ty: T::DATATYPE, count };
+        let mut dest = RecvDest {
+            buf: T::as_bytes_mut(buf),
+            ty: T::DATATYPE,
+            count,
+        };
         crate::request::complete_recv(
             &self.proc,
             self.bits,
@@ -85,6 +89,10 @@ impl Communicator {
             }));
         }
         self.proc.progress();
+        // A matched probe builds and matches the same bits as MPI_IRECV, so
+        // it charges the same matching cost (polling loops over improbe pay
+        // per poll, like a real matching-queue walk).
+        charge(Category::MatchBits, cost::isend::MATCH_BITS);
         let (bits, ignore) = match_bits::recv_bits(self.context_id(), source, tag);
         let native = self.proc.endpoint.fabric().profile().caps.native_tagged;
         let found = if native {
@@ -145,7 +153,23 @@ mod tests {
     fn improbe_none_when_empty() {
         Universe::run_default(1, |proc| {
             let world = proc.world();
-            assert!(world.improbe(crate::match_bits::ANY_SOURCE, 0).unwrap().is_none());
+            assert!(world
+                .improbe(crate::match_bits::ANY_SOURCE, 0)
+                .unwrap()
+                .is_none());
+        });
+    }
+
+    #[test]
+    fn improbe_charges_matching_cost_per_poll() {
+        Universe::run_default(1, |proc| {
+            let world = proc.world();
+            let probe = litempi_instr::probe();
+            for _ in 0..3 {
+                let _ = world.improbe(ANY_SOURCE, 0).unwrap();
+            }
+            let report = probe.finish();
+            assert_eq!(report.get(Category::MatchBits), 3 * cost::isend::MATCH_BITS);
         });
     }
 
@@ -154,11 +178,15 @@ mod tests {
         Universe::run_default(3, |proc| {
             let world = proc.world();
             if proc.rank() > 0 {
-                world.send(&[proc.rank() as u8], 0, proc.rank() as i32).unwrap();
+                world
+                    .send(&[proc.rank() as u8], 0, proc.rank() as i32)
+                    .unwrap();
             } else {
                 let mut seen = Vec::new();
                 for _ in 0..2 {
-                    let m = world.mprobe(ANY_SOURCE, crate::match_bits::ANY_TAG).unwrap();
+                    let m = world
+                        .mprobe(ANY_SOURCE, crate::match_bits::ANY_TAG)
+                        .unwrap();
                     let mut b = [0u8; 1];
                     let st = m.mrecv(&mut b).unwrap();
                     seen.push((st.source, b[0]));

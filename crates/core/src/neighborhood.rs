@@ -141,14 +141,20 @@ mod tests {
     fn neighbor_allgather_2d() {
         Universe::run_default(4, |proc| {
             let world = proc.world();
-            let cart = CartComm::create(&world, &[2, 2], &[true, true]).unwrap().unwrap();
+            let cart = CartComm::create(&world, &[2, 2], &[true, true])
+                .unwrap()
+                .unwrap();
             let (data, present) = cart.neighbor_allgather(&[cart.rank() as u32]).unwrap();
             assert_eq!(present, vec![true; 4]);
             let me = cart.coords_of(cart.rank());
             let expect = |dx: isize, dy: isize| {
-                cart.rank_of(&[me[0] as isize + dx, me[1] as isize + dy]).unwrap() as u32
+                cart.rank_of(&[me[0] as isize + dx, me[1] as isize + dy])
+                    .unwrap() as u32
             };
-            assert_eq!(data, vec![expect(-1, 0), expect(1, 0), expect(0, -1), expect(0, 1)]);
+            assert_eq!(
+                data,
+                vec![expect(-1, 0), expect(1, 0), expect(0, -1), expect(0, 1)]
+            );
         });
     }
 
@@ -170,7 +176,11 @@ mod tests {
             let right = (r + 1) % n;
             // From my left neighbor I get its right-bound block (x*10+1);
             // from my right neighbor its left-bound block (x*10).
-            assert_eq!(d, &vec![left as u64 * 10 + 1, right as u64 * 10], "rank {r}");
+            assert_eq!(
+                d,
+                &vec![left as u64 * 10 + 1, right as u64 * 10],
+                "rank {r}"
+            );
         }
     }
 }

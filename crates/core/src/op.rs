@@ -144,25 +144,49 @@ impl Op {
             inout.copy_from_slice(input);
             return Ok(());
         }
-        let pre = ty
-            .as_predefined()
-            .ok_or(MpiError::InvalidOp("predefined op requires predefined datatype"))?;
+        let pre = ty.as_predefined().ok_or(MpiError::InvalidOp(
+            "predefined op requires predefined datatype",
+        ))?;
         if !self.legal_on(pre) {
             return Err(MpiError::InvalidOp("op not defined for this datatype"));
         }
         match self {
             Op::MinLoc | Op::MaxLoc => self.apply_pair(pre, inout, input),
-            Op::Sum => arith_dispatch!(pre, inout, input, |a, b| a.wrapping_add(b), |a, b| a
-                .wrapping_add(b), |a, b| a + b),
-            Op::Prod => arith_dispatch!(pre, inout, input, |a, b| a.wrapping_mul(b), |a, b| a
-                .wrapping_mul(b), |a, b| a * b),
+            Op::Sum => arith_dispatch!(
+                pre,
+                inout,
+                input,
+                |a, b| a.wrapping_add(b),
+                |a, b| a.wrapping_add(b),
+                |a, b| a + b
+            ),
+            Op::Prod => arith_dispatch!(
+                pre,
+                inout,
+                input,
+                |a, b| a.wrapping_mul(b),
+                |a, b| a.wrapping_mul(b),
+                |a, b| a * b
+            ),
             Op::Min => {
-                arith_dispatch!(pre, inout, input, |a, b| a.min(b), |a, b| a.min(b), |a, b| a
-                    .min(b))
+                arith_dispatch!(
+                    pre,
+                    inout,
+                    input,
+                    |a, b| a.min(b),
+                    |a, b| a.min(b),
+                    |a, b| a.min(b)
+                )
             }
             Op::Max => {
-                arith_dispatch!(pre, inout, input, |a, b| a.max(b), |a, b| a.max(b), |a, b| a
-                    .max(b))
+                arith_dispatch!(
+                    pre,
+                    inout,
+                    input,
+                    |a, b| a.max(b),
+                    |a, b| a.max(b),
+                    |a, b| a.max(b)
+                )
             }
             Op::Land => bitwise_dispatch!(pre, inout, input, |a, b| ((a != 0) && (b != 0)) as _),
             Op::Lor => bitwise_dispatch!(pre, inout, input, |a, b| ((a != 0) || (b != 0)) as _),
@@ -325,9 +349,13 @@ mod tests {
     #[test]
     fn replace_and_noop() {
         let mut a = ints(&[1, 2]);
-        Op::Replace.apply(&Datatype::INT32, &mut a, &ints(&[9, 8])).unwrap();
+        Op::Replace
+            .apply(&Datatype::INT32, &mut a, &ints(&[9, 8]))
+            .unwrap();
         assert_eq!(a, ints(&[9, 8]));
-        Op::NoOp.apply(&Datatype::INT32, &mut a, &ints(&[0, 0])).unwrap();
+        Op::NoOp
+            .apply(&Datatype::INT32, &mut a, &ints(&[0, 0]))
+            .unwrap();
         assert_eq!(a, ints(&[9, 8]));
     }
 

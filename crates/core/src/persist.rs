@@ -86,7 +86,10 @@ impl Communicator {
         let dest_world = if dest == match_bits::PROC_NULL {
             None
         } else {
-            charge(Category::CommRankTranslation, cost::isend::COMM_RANK_TRANSLATION);
+            charge(
+                Category::CommRankTranslation,
+                cost::isend::COMM_RANK_TRANSLATION,
+            );
             Some(self.world_rank_of(dest as usize))
         };
         charge(Category::MatchBits, cost::isend::MATCH_BITS);
@@ -120,7 +123,10 @@ impl Communicator {
         }
         charge(Category::ProcNullCheck, cost::isend::PROC_NULL_CHECK);
         charge(Category::ObjectDeref, cost::isend::OBJECT_DEREF);
-        charge(Category::CommRankTranslation, cost::isend::COMM_RANK_TRANSLATION);
+        charge(
+            Category::CommRankTranslation,
+            cost::isend::COMM_RANK_TRANSLATION,
+        );
         charge(Category::MatchBits, cost::isend::MATCH_BITS);
         let (bits, ignore) = match_bits::recv_bits(self.context_id(), source, tag);
         let count = buf.len();
@@ -165,7 +171,13 @@ impl PersistentSend<'_> {
                 pack::pack(&self.ty, self.count, self.buf)
             };
             if data.len() <= self.max_eager {
-                inject(proc, dest_world, self.bits, proto::eager(&data), &SendOpts::default());
+                inject(
+                    proc,
+                    dest_world,
+                    self.bits,
+                    proto::eager(&data),
+                    &SendOpts::default(),
+                );
                 self.state = Armed::SendInFlight(None);
             } else {
                 let (rndv_id, done) = proc.univ.alloc_rndv(data.clone());
@@ -190,7 +202,9 @@ impl PersistentSend<'_> {
                 wait_loop(&self.proc, || done.load(Ordering::Acquire).then_some(()));
                 Ok(Status::send())
             }
-            Armed::Idle => Err(MpiError::InvalidRequest("wait on inactive persistent request")),
+            Armed::Idle => Err(MpiError::InvalidRequest(
+                "wait on inactive persistent request",
+            )),
             _ => unreachable!("send request cannot hold recv state"),
         }
     }
@@ -237,18 +251,30 @@ impl PersistentRecv<'_> {
     /// `MPI_WAIT`: complete into the bound buffer; resets to inactive.
     pub fn wait(&mut self) -> MpiResult<Status> {
         let state = std::mem::replace(&mut self.state, Armed::Idle);
-        let mut dest = RecvDest { buf: self.buf, ty: self.ty.clone(), count: self.count };
+        let mut dest = RecvDest {
+            buf: self.buf,
+            ty: self.ty.clone(),
+            count: self.count,
+        };
         match state {
             Armed::RecvFabric(handle) => {
                 let msg = wait_loop(&self.proc, || handle.poll());
-                complete_recv(&self.proc, msg.match_bits, msg.src.index(), &msg.data, &mut dest)
+                complete_recv(
+                    &self.proc,
+                    msg.match_bits,
+                    msg.src.index(),
+                    &msg.data,
+                    &mut dest,
+                )
             }
             Armed::RecvCore(slot) => {
                 let msg = wait_loop(&self.proc, || slot.filled.lock().take());
                 complete_recv(&self.proc, msg.bits, msg.src_world, &msg.payload, &mut dest)
             }
             Armed::SendInFlight(None) => Ok(Status::proc_null()),
-            Armed::Idle => Err(MpiError::InvalidRequest("wait on inactive persistent request")),
+            Armed::Idle => Err(MpiError::InvalidRequest(
+                "wait on inactive persistent request",
+            )),
             Armed::SendInFlight(Some(_)) => unreachable!("recv request cannot hold send state"),
         }
     }
@@ -346,11 +372,15 @@ mod tests {
         Universe::run_default(1, |proc| {
             let world = proc.world();
             let data = [9u8];
-            let mut send = world.send_init(&data, crate::match_bits::PROC_NULL, 0).unwrap();
+            let mut send = world
+                .send_init(&data, crate::match_bits::PROC_NULL, 0)
+                .unwrap();
             send.start().unwrap();
             send.wait().unwrap();
             let mut buf = [0u8; 1];
-            let mut recv = world.recv_init(&mut buf, crate::match_bits::PROC_NULL, 0).unwrap();
+            let mut recv = world
+                .recv_init(&mut buf, crate::match_bits::PROC_NULL, 0)
+                .unwrap();
             recv.start().unwrap();
             let st = recv.wait().unwrap();
             assert_eq!(st.source, crate::match_bits::PROC_NULL);

@@ -77,7 +77,11 @@ impl CoreMatcher {
     /// Post a receive: satisfy from the unexpected queue or enqueue.
     pub(crate) fn post(&self, bits: u64, ignore: u64) -> Arc<CoreSlot> {
         let slot = Arc::new(CoreSlot::default());
-        let probe = CorePosted { bits, ignore, slot: slot.clone() };
+        let probe = CorePosted {
+            bits,
+            ignore,
+            slot: slot.clone(),
+        };
         // Hold the posted lock across the unexpected scan so a concurrent
         // deliver cannot slip a matching message into `unexpected` after we
         // scanned it but before we post.
@@ -95,7 +99,11 @@ impl CoreMatcher {
     /// Remove and return the first matching unexpected message (the AM-
     /// path substrate for `MPI_MPROBE`).
     pub(crate) fn dequeue(&self, bits: u64, ignore: u64) -> Option<CoreMsg> {
-        let probe = CorePosted { bits, ignore, slot: Arc::new(CoreSlot::default()) };
+        let probe = CorePosted {
+            bits,
+            ignore,
+            slot: Arc::new(CoreSlot::default()),
+        };
         let mut unexpected = self.unexpected.lock();
         let pos = unexpected.iter().position(|m| probe.matches(m.bits))?;
         unexpected.remove(pos)
@@ -103,8 +111,16 @@ impl CoreMatcher {
 
     /// Peek without consuming (IPROBE over the AM path).
     pub(crate) fn peek(&self, bits: u64, ignore: u64) -> Option<CoreMsg> {
-        let probe = CorePosted { bits, ignore, slot: Arc::new(CoreSlot::default()) };
-        self.unexpected.lock().iter().find(|m| probe.matches(m.bits)).cloned()
+        let probe = CorePosted {
+            bits,
+            ignore,
+            slot: Arc::new(CoreSlot::default()),
+        };
+        self.unexpected
+            .lock()
+            .iter()
+            .find(|m| probe.matches(m.bits))
+            .cloned()
     }
 
     /// Cancel a posted receive (true if it had not yet matched).
@@ -211,13 +227,19 @@ impl ProcInner {
         let (h0, h1, h2, h3) = proto::parse_header(&am.header);
         match am.handler {
             proto::AM_PT2PT => {
-                self.core_match
-                    .deliver(CoreMsg { bits: h0, src_world: h3 as usize, payload: am.data });
+                self.core_match.deliver(CoreMsg {
+                    bits: h0,
+                    src_world: h3 as usize,
+                    payload: am.data,
+                });
             }
             proto::AM_RMA_PUT => {
                 // h0=win, h1=offset, h2=len, h3=unused.
                 let win = self.window(h0);
-                self.endpoint.fabric().region(win.local_key(self.rank)).write(h1 as usize, &am.data);
+                self.endpoint
+                    .fabric()
+                    .region(win.local_key(self.rank))
+                    .write(h1 as usize, &am.data);
                 debug_assert_eq!(h2 as usize, am.data.len());
                 self.note_applied(h0);
             }
@@ -226,15 +248,23 @@ impl ProcInner {
                 let win = self.window(h0);
                 let (op_code, type_idx) = proto::decode_acc(h3);
                 let (op, ty) = decode_acc_op(op_code, type_idx);
-                self.endpoint.fabric().region(win.local_key(self.rank)).update(h1 as usize, h2 as usize, |dst| {
-                    op.apply(&ty, dst, &am.data).expect("acc op legality checked at origin");
-                });
+                self.endpoint
+                    .fabric()
+                    .region(win.local_key(self.rank))
+                    .update(h1 as usize, h2 as usize, |dst| {
+                        op.apply(&ty, dst, &am.data)
+                            .expect("acc op legality checked at origin");
+                    });
                 self.note_applied(h0);
             }
             proto::AM_RMA_GET_REQ => {
                 // h0=win, h1=offset, h2=len, h3=op id.
                 let win = self.window(h0);
-                let data = self.endpoint.fabric().region(win.local_key(self.rank)).read(h1 as usize, h2 as usize);
+                let data = self
+                    .endpoint
+                    .fabric()
+                    .region(win.local_key(self.rank))
+                    .read(h1 as usize, h2 as usize);
                 self.endpoint.am_send(
                     am.src,
                     proto::AM_RMA_GET_REPLY,
@@ -252,10 +282,14 @@ impl ProcInner {
                 let (op, ty) = decode_acc_op(op_code, type_idx);
                 let operand = &am.data[8..];
                 let mut old = Vec::new();
-                self.endpoint.fabric().region(win.local_key(self.rank)).update(h1 as usize, h2 as usize, |dst| {
-                    old = dst.to_vec();
-                    op.apply(&ty, dst, operand).expect("acc op legality checked at origin");
-                });
+                self.endpoint
+                    .fabric()
+                    .region(win.local_key(self.rank))
+                    .update(h1 as usize, h2 as usize, |dst| {
+                        old = dst.to_vec();
+                        op.apply(&ty, dst, operand)
+                            .expect("acc op legality checked at origin");
+                    });
                 self.endpoint.am_send(
                     am.src,
                     proto::AM_RMA_GET_REPLY,
@@ -273,7 +307,12 @@ impl ProcInner {
                 *slot.lock() = Some(am.data.to_vec());
             }
             proto::AM_PSCW_POST => {
-                self.pscw.lock().entry(h0).or_default().posts.push(h3 as usize);
+                self.pscw
+                    .lock()
+                    .entry(h0)
+                    .or_default()
+                    .posts
+                    .push(h3 as usize);
             }
             proto::AM_PSCW_COMPLETE => {
                 self.pscw.lock().entry(h0).or_default().completes += 1;
@@ -283,7 +322,11 @@ impl ProcInner {
     }
 
     fn window(&self, id: u64) -> Arc<crate::rma::WinShared> {
-        self.my_windows.lock().get(&id).expect("AM for unknown window").clone()
+        self.my_windows
+            .lock()
+            .get(&id)
+            .expect("AM for unknown window")
+            .clone()
     }
 
     fn note_applied(&self, win_id: u64) {
@@ -404,7 +447,9 @@ impl Process {
             .bsend_buffer
             .lock()
             .take()
-            .ok_or(crate::error::MpiError::ExtensionMisuse("no bsend buffer attached"))
+            .ok_or(crate::error::MpiError::ExtensionMisuse(
+                "no bsend buffer attached",
+            ))
     }
 
     /// Fabric traffic counters for this rank (messages/bytes sent and
@@ -439,8 +484,16 @@ mod tests {
         let m = CoreMatcher::default();
         let s1 = m.post(5, 0);
         let s2 = m.post(5, 0);
-        m.deliver(CoreMsg { bits: 5, src_world: 0, payload: Bytes::from_static(b"a") });
-        m.deliver(CoreMsg { bits: 5, src_world: 0, payload: Bytes::from_static(b"b") });
+        m.deliver(CoreMsg {
+            bits: 5,
+            src_world: 0,
+            payload: Bytes::from_static(b"a"),
+        });
+        m.deliver(CoreMsg {
+            bits: 5,
+            src_world: 0,
+            payload: Bytes::from_static(b"b"),
+        });
         assert_eq!(&s1.filled.lock().as_ref().unwrap().payload[..], b"a");
         assert_eq!(&s2.filled.lock().as_ref().unwrap().payload[..], b"b");
     }
@@ -448,7 +501,11 @@ mod tests {
     #[test]
     fn core_matcher_unexpected_then_post() {
         let m = CoreMatcher::default();
-        m.deliver(CoreMsg { bits: 9, src_world: 0, payload: Bytes::from_static(b"early") });
+        m.deliver(CoreMsg {
+            bits: 9,
+            src_world: 0,
+            payload: Bytes::from_static(b"early"),
+        });
         let s = m.post(9, 0);
         assert_eq!(&s.filled.lock().as_ref().unwrap().payload[..], b"early");
     }
@@ -456,7 +513,11 @@ mod tests {
     #[test]
     fn core_matcher_wildcard_ignore() {
         let m = CoreMatcher::default();
-        m.deliver(CoreMsg { bits: 0xAB, src_world: 0, payload: Bytes::new() });
+        m.deliver(CoreMsg {
+            bits: 0xAB,
+            src_world: 0,
+            payload: Bytes::new(),
+        });
         let s = m.post(0x00, 0xFF);
         assert!(s.filled.lock().is_some());
     }
@@ -466,7 +527,11 @@ mod tests {
         let m = CoreMatcher::default();
         let s = m.post(1, 0);
         assert!(m.cancel(&s));
-        m.deliver(CoreMsg { bits: 1, src_world: 0, payload: Bytes::new() });
+        m.deliver(CoreMsg {
+            bits: 1,
+            src_world: 0,
+            payload: Bytes::new(),
+        });
         // Cancelled receive must not consume the message.
         assert!(s.filled.lock().is_none());
         assert!(m.peek(1, 0).is_some());
@@ -475,7 +540,11 @@ mod tests {
     #[test]
     fn core_matcher_peek_does_not_consume() {
         let m = CoreMatcher::default();
-        m.deliver(CoreMsg { bits: 2, src_world: 0, payload: Bytes::new() });
+        m.deliver(CoreMsg {
+            bits: 2,
+            src_world: 0,
+            payload: Bytes::new(),
+        });
         assert!(m.peek(2, 0).is_some());
         assert!(m.peek(2, 0).is_some());
     }

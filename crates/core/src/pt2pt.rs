@@ -88,23 +88,33 @@ fn validate_send(
     opts: &SendOpts,
 ) -> MpiResult<()> {
     if !ty.is_committed() {
-        return Err(MpiError::InvalidDatatype(litempi_datatype::TypeError::NotCommitted));
+        return Err(MpiError::InvalidDatatype(
+            litempi_datatype::TypeError::NotCommitted,
+        ));
     }
     match_bits::check_tag(tag)?;
     if dest != PROC_NULL {
         if opts.global_rank || opts.all_opts {
             if dest < 0 || dest as usize >= comm.proc.size {
-                return Err(MpiError::InvalidRank { rank: dest, size: comm.proc.size });
+                return Err(MpiError::InvalidRank {
+                    rank: dest,
+                    size: comm.proc.size,
+                });
             }
         } else {
             comm.group().check_rank(dest)?;
         }
     } else if opts.no_proc_null || opts.all_opts {
-        return Err(MpiError::ExtensionMisuse("MPI_PROC_NULL passed to an _NPN routine"));
+        return Err(MpiError::ExtensionMisuse(
+            "MPI_PROC_NULL passed to an _NPN routine",
+        ));
     }
     let needed = pack::span(ty, count);
     if buf_len < needed {
-        return Err(MpiError::BufferTooSmall { needed, provided: buf_len });
+        return Err(MpiError::BufferTooSmall {
+            needed,
+            provided: buf_len,
+        });
     }
     Ok(())
 }
@@ -119,13 +129,18 @@ fn validate_recv(
     opts: &RecvOpts,
 ) -> MpiResult<()> {
     if !ty.is_committed() {
-        return Err(MpiError::InvalidDatatype(litempi_datatype::TypeError::NotCommitted));
+        return Err(MpiError::InvalidDatatype(
+            litempi_datatype::TypeError::NotCommitted,
+        ));
     }
     match_bits::check_recv_tag(tag)?;
     if source != PROC_NULL && source != ANY_SOURCE {
         if opts.global_rank {
             if source < 0 || source as usize >= comm.proc.size {
-                return Err(MpiError::InvalidRank { rank: source, size: comm.proc.size });
+                return Err(MpiError::InvalidRank {
+                    rank: source,
+                    size: comm.proc.size,
+                });
             }
         } else {
             comm.group().check_rank(source)?;
@@ -133,7 +148,10 @@ fn validate_recv(
     }
     let needed = pack::span(ty, count);
     if buf_len < needed {
-        return Err(MpiError::BufferTooSmall { needed, provided: buf_len });
+        return Err(MpiError::BufferTooSmall {
+            needed,
+            provided: buf_len,
+        });
     }
     Ok(())
 }
@@ -173,7 +191,8 @@ struct OriginalDevice;
 
 impl OriginalOps for OriginalDevice {
     fn inject_tagged(&self, proc: &ProcInner, dst_world: usize, bits: u64, payload: Bytes) {
-        proc.endpoint.tsend(proc.addr_of_world(dst_world), bits, payload);
+        proc.endpoint
+            .tsend(proc.addr_of_world(dst_world), bits, payload);
     }
 
     fn inject_am(
@@ -184,7 +203,8 @@ impl OriginalOps for OriginalDevice {
         header: [u8; 32],
         payload: Bytes,
     ) {
-        proc.endpoint.am_send(proc.addr_of_world(dst_world), handler, header, payload);
+        proc.endpoint
+            .am_send(proc.addr_of_world(dst_world), handler, header, payload);
     }
 }
 
@@ -222,10 +242,15 @@ pub(crate) fn inject(
         DeviceKind::Ch4 => {
             charge(
                 Category::NetmodIssue,
-                if opts.all_opts { cost::isend::ALL_OPTS_NETMOD } else { cost::isend::NETMOD_ISSUE },
+                if opts.all_opts {
+                    cost::isend::ALL_OPTS_NETMOD
+                } else {
+                    cost::isend::NETMOD_ISSUE
+                },
             );
             if native_tagged {
-                proc.endpoint.tsend(proc.addr_of_world(dst_world), bits, payload);
+                proc.endpoint
+                    .tsend(proc.addr_of_world(dst_world), bits, payload);
             } else {
                 // CH4-core active-message fallback: the netmod cannot match,
                 // so matching happens in the core at the receiver.
@@ -241,7 +266,11 @@ pub(crate) fn inject(
             charge(Category::NetmodIssue, cost::isend::NETMOD_ISSUE);
             charge(Category::OriginalLayering, cost::isend::ORIGINAL_LAYERING);
             // Real allocation + real dynamic dispatch: the CH3 structure.
-            let desc = Box::new(SendDesc { bits, dst_world, bytes: payload.len() });
+            let desc = Box::new(SendDesc {
+                bits,
+                dst_world,
+                bytes: payload.len(),
+            });
             let dev = original_device();
             if native_tagged {
                 dev.inject_tagged(proc, desc.dst_world, desc.bits, payload);
@@ -312,7 +341,10 @@ pub(crate) fn isend_impl(
         let dest_world = if opts.global_rank || opts.all_opts {
             dest as usize
         } else {
-            charge(Category::CommRankTranslation, cost::isend::COMM_RANK_TRANSLATION);
+            charge(
+                Category::CommRankTranslation,
+                cost::isend::COMM_RANK_TRANSLATION,
+            );
             comm.group().world_rank(dest as usize)
         };
 
@@ -347,7 +379,13 @@ pub(crate) fn isend_impl(
             Ok(Request::done(Status::send()))
         } else {
             let (rndv_id, done) = proc.univ.alloc_rndv(data.clone());
-            inject(proc, dest_world, bits, proto::rts(rndv_id, data.len()), &opts);
+            inject(
+                proc,
+                dest_world,
+                bits,
+                proto::rts(rndv_id, data.len()),
+                &opts,
+            );
             if opts.no_request || opts.all_opts {
                 let mut state = comm.noreq.borrow_mut();
                 state.issued += 1;
@@ -400,7 +438,10 @@ pub(crate) fn irecv_impl<'buf>(
         // structures is the receive-side twin of the sender's rank
         // translation — the paper: "the software path is largely identical
         // to MPI_ISEND for network APIs that support matching".
-        charge(Category::CommRankTranslation, cost::isend::COMM_RANK_TRANSLATION);
+        charge(
+            Category::CommRankTranslation,
+            cost::isend::COMM_RANK_TRANSLATION,
+        );
         let (bits, ignore) = if opts.no_match {
             (match_bits::encode_nomatch(comm.context_id()), 0)
         } else {
@@ -411,7 +452,11 @@ pub(crate) fn irecv_impl<'buf>(
         // Marshalling the receive descriptor into the fabric's posted queue.
         charge(Category::NetmodIssue, cost::isend::NETMOD_ISSUE);
 
-        let dest = RecvDest { buf, ty: ty.clone(), count };
+        let dest = RecvDest {
+            buf,
+            ty: ty.clone(),
+            count,
+        };
         let native_tagged = proc.endpoint.fabric().profile().caps.native_tagged;
         if native_tagged {
             let handle = proc.endpoint.trecv_post(bits, ignore);
@@ -435,7 +480,16 @@ impl Communicator {
         dest: i32,
         tag: i32,
     ) -> MpiResult<Request<'static>> {
-        isend_impl(self, buf, ty, count, dest, tag, SendMode::Standard, SendOpts::default())
+        isend_impl(
+            self,
+            buf,
+            ty,
+            count,
+            dest,
+            tag,
+            SendMode::Standard,
+            SendOpts::default(),
+        )
     }
 
     /// `MPI_IRECV` on raw bytes with an explicit datatype.
@@ -466,7 +520,10 @@ impl Communicator {
             dest,
             tag,
             SendMode::Standard,
-            SendOpts { static_type: true, ..SendOpts::default() },
+            SendOpts {
+                static_type: true,
+                ..SendOpts::default()
+            },
         )
     }
 
@@ -485,7 +542,10 @@ impl Communicator {
             count,
             source,
             tag,
-            RecvOpts { static_type: true, ..RecvOpts::default() },
+            RecvOpts {
+                static_type: true,
+                ..RecvOpts::default()
+            },
         )
     }
 
@@ -504,7 +564,10 @@ impl Communicator {
             dest,
             tag,
             SendMode::Synchronous,
-            SendOpts { static_type: true, ..SendOpts::default() },
+            SendOpts {
+                static_type: true,
+                ..SendOpts::default()
+            },
         )?
         .wait()
         .map(|_| ())
@@ -520,7 +583,10 @@ impl Communicator {
             dest,
             tag,
             SendMode::Ready,
-            SendOpts { static_type: true, ..SendOpts::default() },
+            SendOpts {
+                static_type: true,
+                ..SendOpts::default()
+            },
         )?
         .wait()
         .map(|_| ())
@@ -544,7 +610,10 @@ impl Communicator {
                     ))
                 }
                 Some(cap) if cap < needed => {
-                    return Err(MpiError::BufferTooSmall { needed, provided: cap })
+                    return Err(MpiError::BufferTooSmall {
+                        needed,
+                        provided: cap,
+                    })
                 }
                 Some(_) => {}
             }
@@ -557,7 +626,10 @@ impl Communicator {
             dest,
             tag,
             SendMode::Buffered,
-            SendOpts { static_type: true, ..SendOpts::default() },
+            SendOpts {
+                static_type: true,
+                ..SendOpts::default()
+            },
         )?
         .wait()
         .map(|_| ())
@@ -636,12 +708,22 @@ impl Communicator {
             return Ok(Some(Status::proc_null()));
         }
         self.proc.progress();
+        // Probing builds and matches the same bits as MPI_IRECV, so it
+        // charges the same matching cost — an MPI_IPROBE polling loop pays
+        // per poll, exactly like repeated matching-queue walks in MPICH.
+        charge(Category::MatchBits, cost::isend::MATCH_BITS);
         let (bits, ignore) = match_bits::recv_bits(self.context_id(), source, tag);
         let native = self.proc.endpoint.fabric().profile().caps.native_tagged;
         let found = if native {
-            self.proc.endpoint.tpeek(bits, ignore).map(|m| (m.match_bits, m.data))
+            self.proc
+                .endpoint
+                .tpeek(bits, ignore)
+                .map(|m| (m.match_bits, m.data))
         } else {
-            self.proc.core_match.peek(bits, ignore).map(|m| (m.bits, m.payload))
+            self.proc
+                .core_match
+                .peek(bits, ignore)
+                .map(|m| (m.bits, m.payload))
         };
         Ok(found.map(|(mbits, payload)| {
             let bytes = match proto::decode(&payload).1 {
@@ -665,8 +747,8 @@ impl Communicator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::universe::Universe;
     use crate::match_bits::ANY_TAG;
+    use crate::universe::Universe;
 
     #[test]
     fn send_opts_default_is_classic_path() {
@@ -798,7 +880,9 @@ mod tests {
             let right = ((rank + 1) % n) as i32;
             let left = ((rank + n - 1) % n) as i32;
             let mut recv = [0u64; 1];
-            world.sendrecv(&[rank as u64], right, 0, &mut recv, left, 0).unwrap();
+            world
+                .sendrecv(&[rank as u64], right, 0, &mut recv, left, 0)
+                .unwrap();
             recv[0] as usize
         });
         assert_eq!(out, vec![3, 0, 1, 2]);
@@ -825,6 +909,20 @@ mod tests {
         Universe::run_default(1, |proc| {
             let world = proc.world();
             assert!(world.iprobe(ANY_SOURCE, ANY_TAG).unwrap().is_none());
+        });
+    }
+
+    #[test]
+    fn iprobe_charges_matching_cost_per_poll() {
+        Universe::run_default(1, |proc| {
+            let world = proc.world();
+            let probe = litempi_instr::probe();
+            for _ in 0..3 {
+                let _ = world.iprobe(ANY_SOURCE, ANY_TAG).unwrap();
+            }
+            let report = probe.finish();
+            // Each poll pays the same matching cost as an MPI_IRECV.
+            assert_eq!(report.get(Category::MatchBits), 3 * cost::isend::MATCH_BITS);
         });
     }
 }

@@ -22,9 +22,21 @@ use litempi_fabric::endpoint::RecvHandle;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-/// Spin a completion poll, interleaving progress. The yield keeps the
-/// single-CPU simulation live; on a real machine this is the MPICH
-/// progress-wait loop.
+/// Completion polls before a blocking loop parks on the endpoint's
+/// completion-event condvar.
+const WAIT_SPINS: u32 = 64;
+
+/// Upper bound on one parked sleep. Completions are normally announced by
+/// an event-epoch bump on this rank's endpoint; the timeout covers the few
+/// that are signalled elsewhere (e.g. a rendezvous done flag set by the
+/// remote rank's pull) so no waiter can hang on a missed notification.
+const PARK_TIMEOUT: std::time::Duration = std::time::Duration::from_micros(200);
+
+/// Drive a completion poll, interleaving progress: bounded spin first (the
+/// common case completes within a few polls), then park on the endpoint's
+/// completion-event epoch instead of burning a core. On a real machine this
+/// is the MPICH progress-wait loop with its spin-then-yield replaced by
+/// spin-then-park.
 pub(crate) fn wait_loop<T>(proc: &ProcInner, mut poll: impl FnMut() -> Option<T>) -> T {
     let mut spins = 0u32;
     loop {
@@ -33,9 +45,19 @@ pub(crate) fn wait_loop<T>(proc: &ProcInner, mut poll: impl FnMut() -> Option<T>
         }
         proc.progress();
         spins = spins.wrapping_add(1);
-        if spins & 0x3 == 0 {
-            std::thread::yield_now();
+        if spins < WAIT_SPINS {
+            if spins & 0x3 == 0 {
+                std::thread::yield_now();
+            }
+            continue;
         }
+        // Read the epoch, re-poll (a completion may have landed between the
+        // poll above and here), then sleep until the epoch moves.
+        let seen = proc.endpoint.event_epoch();
+        if let Some(v) = poll() {
+            return v;
+        }
+        proc.endpoint.wait_event(seen, PARK_TIMEOUT);
     }
 }
 
@@ -52,7 +74,10 @@ impl RecvDest<'_> {
     fn deliver(&mut self, wire: &[u8]) -> MpiResult<usize> {
         let capacity = pack::packed_size(&self.ty, self.count);
         if wire.len() > capacity {
-            return Err(MpiError::Truncate { message: wire.len(), buffer: capacity });
+            return Err(MpiError::Truncate {
+                message: wire.len(),
+                buffer: capacity,
+            });
         }
         if self.ty.is_contiguous() {
             self.buf[..wire.len()].copy_from_slice(wire);
@@ -91,7 +116,11 @@ pub(crate) fn complete_recv(
     } else {
         match_bits::decode_src(bits) as i32
     };
-    let tag = if match_bits::is_nomatch(bits) { 0 } else { match_bits::decode_tag(bits) };
+    let tag = if match_bits::is_nomatch(bits) {
+        0
+    } else {
+        match_bits::decode_tag(bits)
+    };
     Ok(Status { source, tag, bytes })
 }
 
@@ -99,11 +128,22 @@ enum ReqInner<'buf> {
     /// Completed at creation (eager send, PROC_NULL, immediate match).
     Done(Status),
     /// Rendezvous send waiting for the receiver's pull.
-    SendRndv { proc: Arc<ProcInner>, done: Arc<AtomicBool> },
+    SendRndv {
+        proc: Arc<ProcInner>,
+        done: Arc<AtomicBool>,
+    },
     /// Receive posted to the fabric's native matching.
-    RecvFabric { proc: Arc<ProcInner>, handle: RecvHandle, dest: RecvDest<'buf> },
+    RecvFabric {
+        proc: Arc<ProcInner>,
+        handle: RecvHandle,
+        dest: RecvDest<'buf>,
+    },
     /// Receive posted to the CH4 core matcher (AM-only provider).
-    RecvCore { proc: Arc<ProcInner>, slot: Arc<CoreSlot>, dest: RecvDest<'buf> },
+    RecvCore {
+        proc: Arc<ProcInner>,
+        slot: Arc<CoreSlot>,
+        dest: RecvDest<'buf>,
+    },
     /// Consumed (waited or cancelled); kept so `test` can be called on a
     /// completed request without double-delivery.
     Consumed,
@@ -116,11 +156,15 @@ pub struct Request<'buf> {
 
 impl<'buf> Request<'buf> {
     pub(crate) fn done(status: Status) -> Request<'static> {
-        Request { inner: ReqInner::Done(status) }
+        Request {
+            inner: ReqInner::Done(status),
+        }
     }
 
     pub(crate) fn send_rndv(proc: Arc<ProcInner>, done: Arc<AtomicBool>) -> Request<'static> {
-        Request { inner: ReqInner::SendRndv { proc, done } }
+        Request {
+            inner: ReqInner::SendRndv { proc, done },
+        }
     }
 
     pub(crate) fn recv_fabric(
@@ -128,7 +172,9 @@ impl<'buf> Request<'buf> {
         handle: RecvHandle,
         dest: RecvDest<'buf>,
     ) -> Request<'buf> {
-        Request { inner: ReqInner::RecvFabric { proc, handle, dest } }
+        Request {
+            inner: ReqInner::RecvFabric { proc, handle, dest },
+        }
     }
 
     pub(crate) fn recv_core(
@@ -136,7 +182,9 @@ impl<'buf> Request<'buf> {
         slot: Arc<CoreSlot>,
         dest: RecvDest<'buf>,
     ) -> Request<'buf> {
-        Request { inner: ReqInner::RecvCore { proc, slot, dest } }
+        Request {
+            inner: ReqInner::RecvCore { proc, slot, dest },
+        }
     }
 
     /// `MPI_WAIT`: block until the operation completes.
@@ -150,24 +198,24 @@ impl<'buf> Request<'buf> {
                         wait_loop(&proc, || done.load(Ordering::Acquire).then_some(()));
                         Ok(Status::send())
                     }
-                    ReqInner::RecvFabric { proc, handle, mut dest } => {
+                    ReqInner::RecvFabric {
+                        proc,
+                        handle,
+                        mut dest,
+                    } => {
                         let msg = wait_loop(&proc, || handle.poll());
-                        complete_recv(
-                            &proc,
-                            msg.match_bits,
-                            msg.src.index(),
-                            &msg.data,
-                            &mut dest,
-                        )
+                        complete_recv(&proc, msg.match_bits, msg.src.index(), &msg.data, &mut dest)
                     }
-                    ReqInner::RecvCore { proc, slot, mut dest } => {
+                    ReqInner::RecvCore {
+                        proc,
+                        slot,
+                        mut dest,
+                    } => {
                         let msg = wait_loop(&proc, || slot.filled.lock().take());
                         complete_recv(&proc, msg.bits, msg.src_world, &msg.payload, &mut dest)
                     }
                     ReqInner::Done(s) => Ok(s),
-                    ReqInner::Consumed => {
-                        Err(MpiError::InvalidRequest("request already consumed"))
-                    }
+                    ReqInner::Consumed => Err(MpiError::InvalidRequest("request already consumed")),
                 }
             }
         }
@@ -194,7 +242,11 @@ impl<'buf> Request<'buf> {
                     Ok(None)
                 }
             }
-            ReqInner::RecvFabric { proc, handle, mut dest } => {
+            ReqInner::RecvFabric {
+                proc,
+                handle,
+                mut dest,
+            } => {
                 proc.progress();
                 if let Some(msg) = handle.poll() {
                     let s = complete_recv(
@@ -211,7 +263,11 @@ impl<'buf> Request<'buf> {
                     Ok(None)
                 }
             }
-            ReqInner::RecvCore { proc, slot, mut dest } => {
+            ReqInner::RecvCore {
+                proc,
+                slot,
+                mut dest,
+            } => {
                 proc.progress();
                 let taken = slot.filled.lock().take();
                 if let Some(msg) = taken {
@@ -240,6 +296,36 @@ impl<'buf> Request<'buf> {
     pub fn is_done(&self) -> bool {
         matches!(self.inner, ReqInner::Done(_))
     }
+
+    /// The process a pending request belongs to (None once settled) — lets
+    /// multi-request wait loops park on that rank's endpoint.
+    fn proc(&self) -> Option<&Arc<ProcInner>> {
+        match &self.inner {
+            ReqInner::SendRndv { proc, .. }
+            | ReqInner::RecvFabric { proc, .. }
+            | ReqInner::RecvCore { proc, .. } => Some(proc),
+            ReqInner::Done(_) | ReqInner::Consumed => None,
+        }
+    }
+}
+
+/// Park a multi-request wait loop (`waitany`/`waitsome`) between sweeps:
+/// bounded spin first, then sleep on the event epoch of the first pending
+/// request's endpoint. All requests in one call belong to the same rank in
+/// practice; the sleep timeout keeps the loop live even if one doesn't.
+fn park_between_sweeps(reqs: &[Request<'_>], spins: &mut u32) {
+    *spins = spins.wrapping_add(1);
+    if *spins < WAIT_SPINS {
+        std::thread::yield_now();
+        return;
+    }
+    match reqs.iter().find_map(|r| r.proc()) {
+        Some(proc) => {
+            let seen = proc.endpoint.event_epoch();
+            proc.endpoint.wait_event(seen, PARK_TIMEOUT);
+        }
+        None => std::thread::yield_now(),
+    }
 }
 
 impl std::fmt::Debug for Request<'_> {
@@ -264,6 +350,7 @@ pub fn waitall(reqs: Vec<Request<'_>>) -> MpiResult<Vec<Status>> {
 /// The remaining requests are returned so callers can keep waiting.
 pub fn waitany<'b>(mut reqs: Vec<Request<'b>>) -> MpiResult<(usize, Status, Vec<Request<'b>>)> {
     assert!(!reqs.is_empty(), "waitany on empty request list");
+    let mut spins = 0u32;
     loop {
         for (i, r) in reqs.iter_mut().enumerate() {
             if let Some(s) = r.test()? {
@@ -271,7 +358,7 @@ pub fn waitany<'b>(mut reqs: Vec<Request<'b>>) -> MpiResult<(usize, Status, Vec<
                 return Ok((i, s, reqs));
             }
         }
-        std::thread::yield_now();
+        park_between_sweeps(&reqs, &mut spins);
     }
 }
 
@@ -311,6 +398,7 @@ pub fn testany(reqs: &mut Vec<Request<'_>>) -> MpiResult<Option<(usize, Status)>
 /// `MPI_WAITSOME`'s deflation in C).
 pub fn waitsome(reqs: &mut Vec<Request<'_>>) -> MpiResult<Vec<(usize, Status)>> {
     assert!(!reqs.is_empty(), "waitsome on empty request list");
+    let mut spins = 0u32;
     loop {
         let mut done = Vec::new();
         let mut i = 0;
@@ -327,7 +415,7 @@ pub fn waitsome(reqs: &mut Vec<Request<'_>>) -> MpiResult<Vec<(usize, Status)>> 
         if !done.is_empty() {
             return Ok(done);
         }
-        std::thread::yield_now();
+        park_between_sweeps(reqs, &mut spins);
     }
 }
 
@@ -337,7 +425,11 @@ mod tests {
 
     #[test]
     fn done_request_wait_and_test() {
-        let s = Status { source: 1, tag: 2, bytes: 3 };
+        let s = Status {
+            source: 1,
+            tag: 2,
+            bytes: 3,
+        };
         let mut r = Request::done(s);
         assert!(r.is_done());
         assert_eq!(r.test().unwrap(), Some(s));
@@ -347,7 +439,11 @@ mod tests {
     #[test]
     fn recv_dest_contiguous_delivery() {
         let mut buf = [0u8; 8];
-        let mut dest = RecvDest { buf: &mut buf, ty: Datatype::BYTE, count: 8 };
+        let mut dest = RecvDest {
+            buf: &mut buf,
+            ty: Datatype::BYTE,
+            count: 8,
+        };
         let n = dest.deliver(&[1, 2, 3]).unwrap();
         assert_eq!(n, 3);
         assert_eq!(&buf[..3], &[1, 2, 3]);
@@ -356,16 +452,30 @@ mod tests {
     #[test]
     fn recv_dest_truncation_detected() {
         let mut buf = [0u8; 2];
-        let mut dest = RecvDest { buf: &mut buf, ty: Datatype::BYTE, count: 2 };
+        let mut dest = RecvDest {
+            buf: &mut buf,
+            ty: Datatype::BYTE,
+            count: 2,
+        };
         let e = dest.deliver(&[1, 2, 3]).unwrap_err();
-        assert!(matches!(e, MpiError::Truncate { message: 3, buffer: 2 }));
+        assert!(matches!(
+            e,
+            MpiError::Truncate {
+                message: 3,
+                buffer: 2
+            }
+        ));
     }
 
     #[test]
     fn recv_dest_noncontiguous_unpack() {
         let ty = Datatype::vector(2, 1, 2, &Datatype::BYTE).unwrap().commit();
         let mut buf = [0xFFu8; 4];
-        let mut dest = RecvDest { buf: &mut buf, ty, count: 1 };
+        let mut dest = RecvDest {
+            buf: &mut buf,
+            ty,
+            count: 1,
+        };
         dest.deliver(&[7, 9]).unwrap();
         assert_eq!(buf, [7, 0xFF, 9, 0xFF]);
     }

@@ -41,7 +41,10 @@ pub struct VirtAddr {
 impl VirtAddr {
     /// Displace the address by `delta` bytes.
     pub fn byte_offset(self, delta: usize) -> VirtAddr {
-        VirtAddr { key: self.key, byte: self.byte + delta }
+        VirtAddr {
+            key: self.key,
+            byte: self.byte + delta,
+        }
     }
 
     /// Serialize for the wire (applications exchange window addresses with
@@ -53,7 +56,10 @@ impl VirtAddr {
 
     /// Reconstruct an address received from a peer.
     pub fn from_raw(key: u64, byte: u64) -> VirtAddr {
-        VirtAddr { key: RegionKey(key), byte: byte as usize }
+        VirtAddr {
+            key: RegionKey(key),
+            byte: byte as usize,
+        }
     }
 }
 
@@ -138,7 +144,10 @@ impl WinShared {
     /// The region key exposed by the process with the given *world* rank
     /// (used by the AM progress engine, which only knows world identities).
     pub fn local_key(&self, world: usize) -> RegionKey {
-        let local = self.group.local_rank(world).expect("AM target not in window group");
+        let local = self
+            .group
+            .local_rank(world)
+            .expect("AM target not in window group");
         self.keys[local]
     }
 }
@@ -193,7 +202,12 @@ impl Window {
         Window::build(comm, 0, 1, WinKind::Dynamic)
     }
 
-    fn build(comm: &Communicator, len: usize, disp_unit: usize, kind: WinKind) -> MpiResult<Window> {
+    fn build(
+        comm: &Communicator,
+        len: usize,
+        disp_unit: usize,
+        kind: WinKind,
+    ) -> MpiResult<Window> {
         let wcomm = comm.dup();
         let proc = wcomm.proc.clone();
         let region = proc.endpoint.register(len);
@@ -207,7 +221,9 @@ impl Window {
         let univ = &proc.univ;
         let ctx = wcomm.context_id().0;
         let shared = univ.meet.meet((ctx, u64::MAX, 0), size, || WinShared {
-            id: univ.next_win.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            id: univ
+                .next_win
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed),
             keys,
             lens,
             disp_units,
@@ -267,7 +283,10 @@ impl Window {
     /// The base virtual address of `rank`'s exposed memory (§3.2: the
     /// application can store these and use address-based operations).
     pub fn base_addr(&self, rank: usize) -> VirtAddr {
-        VirtAddr { key: self.shared.keys[rank], byte: 0 }
+        VirtAddr {
+            key: self.shared.keys[rank],
+            byte: 0,
+        }
     }
 
     /// `MPI_WIN_ATTACH` (dynamic windows): expose `len` more bytes; returns
@@ -277,7 +296,10 @@ impl Window {
             return Err(MpiError::InvalidWin("attach on a static window"));
         }
         let region = self.proc().endpoint.register(len);
-        let addr = VirtAddr { key: region.key(), byte: 0 };
+        let addr = VirtAddr {
+            key: region.key(),
+            byte: 0,
+        };
         self.attached.borrow_mut().push(region);
         Ok(addr)
     }
@@ -291,7 +313,11 @@ impl Window {
     /// Write my own exposed memory directly (initialization).
     pub fn write_local(&self, offset: usize, data: &[u8]) {
         let key = self.shared.keys[self.comm.rank()];
-        self.proc().endpoint.fabric().region(key).write(offset, data);
+        self.proc()
+            .endpoint
+            .fabric()
+            .region(key)
+            .write(offset, data);
     }
 
     // ------------------------------------------------------------- epochs
@@ -318,10 +344,8 @@ impl Window {
     pub fn fence(&self) -> MpiResult<()> {
         // Exchange per-target AM-op counts; then wait until the expected
         // number of incoming ops has been applied locally.
-        let counts: Vec<u64> = std::mem::replace(
-            &mut *self.sent_am.borrow_mut(),
-            vec![0; self.comm.size()],
-        );
+        let counts: Vec<u64> =
+            std::mem::replace(&mut *self.sent_am.borrow_mut(), vec![0; self.comm.size()]);
         let incoming = coll::alltoall(&self.comm, &counts, 1)?;
         let expected: u64 = incoming.iter().sum();
         let target_total = self.applied_seen.get() + expected;
@@ -533,14 +557,17 @@ impl Window {
             return Ok(None);
         }
         let t = target as usize;
-        let epoch = self.epoch_for(t).ok_or(MpiError::RmaSync(
-            "RMA operation outside an access epoch",
-        ))?;
+        let epoch = self
+            .epoch_for(t)
+            .ok_or(MpiError::RmaSync("RMA operation outside an access epoch"))?;
         if !skip_checks {
             // §3.3: dereference into the window object.
             charge(Category::ObjectDeref, cost::put::OBJECT_DEREF);
             // §3.1: target rank → network address.
-            charge(Category::CommRankTranslation, cost::put::COMM_RANK_TRANSLATION);
+            charge(
+                Category::CommRankTranslation,
+                cost::put::COMM_RANK_TRANSLATION,
+            );
         }
         let addr = match vaddr {
             Some(a) => a,
@@ -552,14 +579,20 @@ impl Window {
                 }
                 if !skip_checks {
                     // §3.2: offset + displacement unit → virtual address.
-                    charge(Category::WinOffsetTranslation, cost::put::WIN_OFFSET_TRANSLATION);
+                    charge(
+                        Category::WinOffsetTranslation,
+                        cost::put::WIN_OFFSET_TRANSLATION,
+                    );
                 }
                 let byte = disp * self.shared.disp_units[t];
                 if proc.config.error_checking && !skip_checks && byte + bytes > self.shared.lens[t]
                 {
                     return Err(MpiError::InvalidWin("access beyond exposed window"));
                 }
-                VirtAddr { key: self.shared.keys[t], byte }
+                VirtAddr {
+                    key: self.shared.keys[t],
+                    byte,
+                }
             }
         };
         Ok(Some((t, addr, epoch)))
@@ -626,14 +659,24 @@ impl Window {
         let world = self.comm.world_rank_of(t);
         if native {
             // Contiguous fast path: one descriptor, no target involvement.
-            proc.endpoint.rdma_put(proc.addr_of_world(world), addr.key, addr.byte, &buf[..bytes]);
+            proc.endpoint.rdma_put(
+                proc.addr_of_world(world),
+                addr.key,
+                addr.byte,
+                &buf[..bytes],
+            );
         } else {
-            let packed = if ty.is_contiguous() { buf[..bytes].to_vec() } else { pack::pack(ty, count, buf) };
+            let packed = if ty.is_contiguous() {
+                buf[..bytes].to_vec()
+            } else {
+                pack::pack(ty, count, buf)
+            };
             match epoch {
                 EpochKind::Passive => {
                     // Device-offloaded handler: apply directly (the target
                     // CPU is not required for passive progress).
-                    proc.endpoint.rdma_put(proc.addr_of_world(world), addr.key, addr.byte, &packed);
+                    proc.endpoint
+                        .rdma_put(proc.addr_of_world(world), addr.key, addr.byte, &packed);
                 }
                 EpochKind::Fence | EpochKind::Start => {
                     proc.endpoint.am_send(
@@ -652,7 +695,16 @@ impl Window {
     /// Typed `MPI_PUT` (a §2.2 Class-2 call: the datatype is a
     /// compile-time constant, so library IPO folds the size checks).
     pub fn put<T: MpiPrimitive>(&self, data: &[T], target: i32, disp: usize) -> MpiResult<()> {
-        self.put_inner(T::as_bytes(data), &T::DATATYPE, data.len(), target, disp, None, false, true)
+        self.put_inner(
+            T::as_bytes(data),
+            &T::DATATYPE,
+            data.len(),
+            target,
+            disp,
+            None,
+            false,
+            true,
+        )
     }
 
     /// `MPI_GET` on raw bytes.
@@ -690,11 +742,13 @@ impl Window {
         self.charge_netmod(native);
         let world = self.comm.world_rank_of(t);
         let wire: Vec<u8> = if native || epoch == EpochKind::Passive {
-            proc.endpoint.rdma_get(proc.addr_of_world(world), addr.key, addr.byte, bytes)
+            proc.endpoint
+                .rdma_get(proc.addr_of_world(world), addr.key, addr.byte, bytes)
         } else {
             // AM get: request/reply through the target's progress engine.
-            let op_id =
-                proc.next_op_id.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let op_id = proc
+                .next_op_id
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             let slot = Arc::new(Mutex::new(None));
             proc.pending_replies.lock().insert(op_id, slot.clone());
             proc.endpoint.am_send(
@@ -715,14 +769,18 @@ impl Window {
     }
 
     /// Typed `MPI_GET` (Class-2: compile-time-constant datatype).
-    pub fn get<T: MpiPrimitive>(
-        &self,
-        buf: &mut [T],
-        target: i32,
-        disp: usize,
-    ) -> MpiResult<()> {
+    pub fn get<T: MpiPrimitive>(&self, buf: &mut [T], target: i32, disp: usize) -> MpiResult<()> {
         let count = buf.len();
-        self.get_inner(T::as_bytes_mut(buf), &T::DATATYPE, count, target, disp, None, false, true)
+        self.get_inner(
+            T::as_bytes_mut(buf),
+            &T::DATATYPE,
+            count,
+            target,
+            disp,
+            None,
+            false,
+            true,
+        )
     }
 
     /// `MPI_ACCUMULATE` (element-wise atomic at the target).
@@ -763,8 +821,9 @@ impl Window {
             );
             res
         } else {
-            let code = acc_code_of(op)
-                .ok_or(MpiError::InvalidOp("user-defined op not supported on the AM path"))?;
+            let code = acc_code_of(op).ok_or(MpiError::InvalidOp(
+                "user-defined op not supported on the AM path",
+            ))?;
             let type_idx = predef_index::<T>();
             proc.endpoint.am_send(
                 proc.addr_of_world(world),
@@ -824,10 +883,13 @@ impl Window {
             res?;
             old
         } else {
-            let code = acc_code_of(op)
-                .ok_or(MpiError::InvalidOp("user-defined op not supported on the AM path"))?;
+            let code = acc_code_of(op).ok_or(MpiError::InvalidOp(
+                "user-defined op not supported on the AM path",
+            ))?;
             let type_idx = predef_index::<T>();
-            let op_id = proc.next_op_id.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let op_id = proc
+                .next_op_id
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             let slot = Arc::new(Mutex::new(None));
             proc.pending_replies.lock().insert(op_id, slot.clone());
             let mut payload = proto::encode_acc(code, type_idx).to_le_bytes().to_vec();
@@ -879,12 +941,18 @@ impl Window {
         let new_wire = new.to_le_vec();
         let cmp_wire = compare.to_le_vec();
         let mut old = Vec::new();
-        proc.endpoint.rdma_update(proc.addr_of_world(world), addr.key, addr.byte, bytes, |dst| {
-            old = dst.to_vec();
-            if dst == &cmp_wire[..] {
-                dst.copy_from_slice(&new_wire);
-            }
-        });
+        proc.endpoint.rdma_update(
+            proc.addr_of_world(world),
+            addr.key,
+            addr.byte,
+            bytes,
+            |dst| {
+                old = dst.to_vec();
+                if dst == &cmp_wire[..] {
+                    dst.copy_from_slice(&new_wire);
+                }
+            },
+        );
         Ok(T::from_wire(&old))
     }
 }
@@ -908,7 +976,9 @@ pub struct SharedWindow {
 
 impl std::fmt::Debug for SharedWindow {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SharedWindow").field("win", &self.win).finish()
+        f.debug_struct("SharedWindow")
+            .field("win", &self.win)
+            .finish()
     }
 }
 
@@ -927,7 +997,9 @@ impl SharedWindow {
                 ));
             }
         }
-        Ok(SharedWindow { win: Window::create(comm, len, disp_unit)? })
+        Ok(SharedWindow {
+            win: Window::create(comm, len, disp_unit)?,
+        })
     }
 
     /// The regular window view (for RMA operations and synchronization).
@@ -940,13 +1012,23 @@ impl SharedWindow {
     /// [`SharedWindow::sync`] + a barrier, as with real shared memory).
     pub fn write_direct(&self, rank: usize, offset: usize, data: &[u8]) {
         let key = self.win.shared.keys[rank];
-        self.win.proc().endpoint.fabric().region(key).write(offset, data);
+        self.win
+            .proc()
+            .endpoint
+            .fabric()
+            .region(key)
+            .write(offset, data);
     }
 
     /// Direct load from `rank`'s segment.
     pub fn read_direct(&self, rank: usize, offset: usize, len: usize) -> Vec<u8> {
         let key = self.win.shared.keys[rank];
-        self.win.proc().endpoint.fabric().region(key).read(offset, len)
+        self.win
+            .proc()
+            .endpoint
+            .fabric()
+            .region(key)
+            .read(offset, len)
     }
 
     /// `MPI_WIN_SYNC`: memory barrier between direct accesses. Our region

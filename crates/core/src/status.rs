@@ -17,13 +17,21 @@ impl Status {
     /// standard defines `MPI_PROC_NULL` receives to complete immediately
     /// with source `MPI_PROC_NULL`, tag `MPI_ANY_TAG`, and zero count.
     pub const fn proc_null() -> Status {
-        Status { source: crate::match_bits::PROC_NULL, tag: crate::match_bits::ANY_TAG, bytes: 0 }
+        Status {
+            source: crate::match_bits::PROC_NULL,
+            tag: crate::match_bits::ANY_TAG,
+            bytes: 0,
+        }
     }
 
     /// Placeholder status for completed sends (MPI leaves send statuses
     /// mostly undefined; we zero them).
     pub const fn send() -> Status {
-        Status { source: 0, tag: 0, bytes: 0 }
+        Status {
+            source: 0,
+            tag: 0,
+            bytes: 0,
+        }
     }
 
     /// Element count for a datatype of size `elem_size`
@@ -43,7 +51,11 @@ mod tests {
 
     #[test]
     fn count_semantics() {
-        let s = Status { source: 0, tag: 0, bytes: 24 };
+        let s = Status {
+            source: 0,
+            tag: 0,
+            bytes: 24,
+        };
         assert_eq!(s.count(8), Some(3));
         assert_eq!(s.count(5), None); // MPI_UNDEFINED
         assert_eq!(s.count(24), Some(1));
@@ -51,9 +63,17 @@ mod tests {
 
     #[test]
     fn zero_size_type() {
-        let s = Status { source: 0, tag: 0, bytes: 0 };
+        let s = Status {
+            source: 0,
+            tag: 0,
+            bytes: 0,
+        };
         assert_eq!(s.count(0), Some(0));
-        let s = Status { source: 0, tag: 0, bytes: 4 };
+        let s = Status {
+            source: 0,
+            tag: 0,
+            bytes: 4,
+        };
         assert_eq!(s.count(0), None);
     }
 

@@ -46,7 +46,9 @@ pub(crate) struct MeetTable {
 
 impl MeetTable {
     fn new() -> Self {
-        MeetTable { inner: Mutex::new(HashMap::new()) }
+        MeetTable {
+            inner: Mutex::new(HashMap::new()),
+        }
     }
 
     /// Join the rendezvous at `key` among `expected` participants. The
@@ -61,7 +63,11 @@ impl MeetTable {
         let mut inner = self.inner.lock();
         let entry = inner.entry(key).or_insert_with(|| {
             let value: Arc<dyn Any + Send + Sync> = Arc::new(make());
-            MeetEntry { value, fetched: 0, expected }
+            MeetEntry {
+                value,
+                fetched: 0,
+                expected,
+            }
         });
         entry.fetched += 1;
         let value = entry.value.clone();
@@ -69,7 +75,9 @@ impl MeetTable {
             inner.remove(&key);
         }
         drop(inner);
-        value.downcast::<T>().expect("meet type confusion: mismatched collective calls")
+        value
+            .downcast::<T>()
+            .expect("meet type confusion: mismatched collective calls")
     }
 }
 
@@ -96,16 +104,24 @@ impl UnivShared {
     pub(crate) fn alloc_rndv(&self, data: Vec<u8>) -> (u64, Arc<AtomicBool>) {
         let id = self.next_rndv.fetch_add(1, Ordering::Relaxed);
         let done = Arc::new(AtomicBool::new(false));
-        self.rndv
-            .lock()
-            .insert(id, RndvEntry { data: Arc::new(data), done: done.clone() });
+        self.rndv.lock().insert(
+            id,
+            RndvEntry {
+                data: Arc::new(data),
+                done: done.clone(),
+            },
+        );
         (id, done)
     }
 
     /// Receiver side of the rendezvous pull: copy out the data, signal the
     /// sender, drop the table entry.
     pub(crate) fn pull_rndv(&self, id: u64) -> Arc<Vec<u8>> {
-        let entry = self.rndv.lock().remove(&id).expect("rendezvous entry vanished");
+        let entry = self
+            .rndv
+            .lock()
+            .remove(&id)
+            .expect("rendezvous entry vanished");
         let data = entry.data.clone();
         entry.done.store(true, Ordering::Release);
         data
@@ -151,9 +167,8 @@ impl Universe {
                     let univ = univ.clone();
                     let endpoint = univ.fabric.endpoint(NetAddr(rank as u32));
                     scope.spawn(move || {
-                        let proc = Process::new(Arc::new(ProcInner::new(
-                            rank, n, endpoint, config, univ,
-                        )));
+                        let proc =
+                            Process::new(Arc::new(ProcInner::new(rank, n, endpoint, config, univ)));
                         *slot = Some(f(proc));
                     })
                 })
@@ -168,7 +183,10 @@ impl Universe {
                 std::panic::resume_unwind(p);
             }
         });
-        results.into_iter().map(|r| r.expect("rank produced no result")).collect()
+        results
+            .into_iter()
+            .map(|r| r.expect("rank produced no result"))
+            .collect()
     }
 
     /// Convenience: default CH4 build on an infinitely fast single-node
@@ -237,7 +255,10 @@ mod tests {
                 })
                 .collect();
             let ptrs: Vec<usize> = handles.into_iter().map(|h| h.join().unwrap()).collect();
-            assert!(ptrs.windows(2).all(|w| w[0] == w[1]), "all got the same Arc");
+            assert!(
+                ptrs.windows(2).all(|w| w[0] == w[1]),
+                "all got the same Arc"
+            );
         });
         assert_eq!(made.load(Ordering::Relaxed), 1, "make ran exactly once");
         // Entry removed after all fetched: the same key can be reused.

@@ -26,7 +26,12 @@ fn nested_dups_are_all_distinct() {
         let a = world.dup();
         let b = world.dup();
         let c = a.dup();
-        let mut ids = [world.context_id().0, a.context_id().0, b.context_id().0, c.context_id().0];
+        let mut ids = [
+            world.context_id().0,
+            a.context_id().0,
+            b.context_id().0,
+            c.context_id().0,
+        ];
         ids.sort_unstable();
         ids.windows(2).for_each(|w| assert_ne!(w[0], w[1]));
     });
@@ -36,7 +41,9 @@ fn nested_dups_are_all_distinct() {
 fn split_by_parity() {
     let out = Universe::run_default(6, |proc| {
         let world = proc.world();
-        let sub = world.split((proc.rank() % 2) as i32, proc.rank() as i32).unwrap();
+        let sub = world
+            .split((proc.rank() % 2) as i32, proc.rank() as i32)
+            .unwrap();
         (sub.rank(), sub.size(), sub.world_rank_of(sub.rank()))
     });
     // Evens: world 0,2,4 → ranks 0,1,2. Odds: world 1,3,5 → ranks 0,1,2.
@@ -72,7 +79,9 @@ fn split_undefined_gets_none() {
 fn split_subcommunicator_collectives_work() {
     let out = Universe::run_default(6, |proc| {
         let world = proc.world();
-        let sub = world.split((proc.rank() / 3) as i32, proc.rank() as i32).unwrap();
+        let sub = world
+            .split((proc.rank() / 3) as i32, proc.rank() as i32)
+            .unwrap();
         sub.allreduce(&[proc.rank() as u64], &Op::Sum).unwrap()[0]
     });
     assert_eq!(out, vec![3, 3, 3, 12, 12, 12]);
@@ -128,7 +137,9 @@ fn workload(proc: litempi_core::Process) -> u64 {
     let right = ((rank + 1) % size) as i32;
     let left = ((rank + size - 1) % size) as i32;
     let mut got = [0u64; 1];
-    world.sendrecv(&[rank as u64], right, 1, &mut got, left, 1).unwrap();
+    world
+        .sendrecv(&[rank as u64], right, 1, &mut got, left, 1)
+        .unwrap();
     digest = digest.wrapping_add(got[0]);
 
     // Wildcard gather at rank 0.
@@ -157,10 +168,18 @@ fn workload(proc: litempi_core::Process) -> u64 {
             .commit();
         if rank == 0 {
             let src: Vec<u8> = (0..9).collect();
-            world.isend_bytes(&src, &ty, 1, 1, 9).unwrap().wait().unwrap();
+            world
+                .isend_bytes(&src, &ty, 1, 1, 9)
+                .unwrap()
+                .wait()
+                .unwrap();
         } else if rank == 1 {
             let mut dst = vec![0u8; 9];
-            world.irecv_bytes(&mut dst, &ty, 1, 0, 9).unwrap().wait().unwrap();
+            world
+                .irecv_bytes(&mut dst, &ty, 1, 0, 9)
+                .unwrap()
+                .wait()
+                .unwrap();
             digest = digest.wrapping_add(dst.iter().map(|&b| b as u64).sum::<u64>());
         }
     }
@@ -172,11 +191,36 @@ fn workload(proc: litempi_core::Process) -> u64 {
 fn all_stacks_produce_identical_results() {
     let reference = Universe::run_default(4, workload);
     let stacks: Vec<(&str, BuildConfig, ProviderProfile, Topology)> = vec![
-        ("ch4/ofi", BuildConfig::ch4_default(), ProviderProfile::ofi(), Topology::blocked(4, 2)),
-        ("ch4/ucx", BuildConfig::ch4_default(), ProviderProfile::ucx(), Topology::blocked(4, 2)),
-        ("ch4/am-only", BuildConfig::ch4_default(), ProviderProfile::am_only(), Topology::single_node(4)),
-        ("original", BuildConfig::original(), ProviderProfile::infinite(), Topology::single_node(4)),
-        ("ipo", BuildConfig::ch4_no_err_single_ipo(), ProviderProfile::infinite(), Topology::single_node(4)),
+        (
+            "ch4/ofi",
+            BuildConfig::ch4_default(),
+            ProviderProfile::ofi(),
+            Topology::blocked(4, 2),
+        ),
+        (
+            "ch4/ucx",
+            BuildConfig::ch4_default(),
+            ProviderProfile::ucx(),
+            Topology::blocked(4, 2),
+        ),
+        (
+            "ch4/am-only",
+            BuildConfig::ch4_default(),
+            ProviderProfile::am_only(),
+            Topology::single_node(4),
+        ),
+        (
+            "original",
+            BuildConfig::original(),
+            ProviderProfile::infinite(),
+            Topology::single_node(4),
+        ),
+        (
+            "ipo",
+            BuildConfig::ch4_no_err_single_ipo(),
+            ProviderProfile::infinite(),
+            Topology::single_node(4),
+        ),
         (
             "jitter",
             BuildConfig::ch4_default(),
@@ -242,7 +286,10 @@ fn ssend_blocks_until_matched() {
         if proc.rank() == 0 {
             world.ssend(&[1u8], 1, 0).unwrap();
             // At ssend completion the receiver must have matched.
-            assert!(flag.load(Ordering::SeqCst), "ssend completed before the match");
+            assert!(
+                flag.load(Ordering::SeqCst),
+                "ssend completed before the match"
+            );
         } else {
             std::thread::sleep(std::time::Duration::from_millis(20));
             flag2.store(true, Ordering::SeqCst);
@@ -335,7 +382,7 @@ fn testall_and_testany() {
             let mut reqs = vec![r1, r2];
             assert!(litempi_core::request::testall(&mut reqs).unwrap().is_none());
             world.barrier().unwrap(); // rank 1 sends tag 1 only
-            // Spin until testany claims the tag-1 request.
+                                      // Spin until testany claims the tag-1 request.
             let (idx, st) = loop {
                 if let Some(hit) = litempi_core::request::testany(&mut reqs).unwrap() {
                     break hit;
@@ -375,8 +422,8 @@ fn waitsome_returns_ready_subset() {
             let r3 = world.irecv(&mut b3, 1, 3).unwrap();
             let mut reqs = vec![r1, r2, r3];
             world.barrier().unwrap(); // rank 1 sends tags 1 and 3
-            // Eventually both tag-1 and tag-3 complete; collect until the
-            // pending set shrinks to just tag 2.
+                                      // Eventually both tag-1 and tag-3 complete; collect until the
+                                      // pending set shrinks to just tag 2.
             let mut got = Vec::new();
             while reqs.len() > 1 {
                 got.extend(

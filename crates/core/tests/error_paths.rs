@@ -2,9 +2,7 @@
 //! public API, raised and classified correctly — the "error checking"
 //! bucket of Table 1 actually checking things.
 
-use litempi_core::{
-    BuildConfig, LockType, MpiError, Op, Universe, Window, ANY_SOURCE, PROC_NULL,
-};
+use litempi_core::{BuildConfig, LockType, MpiError, Op, Universe, Window, ANY_SOURCE, PROC_NULL};
 use litempi_datatype::Datatype;
 use litempi_fabric::{ProviderProfile, Topology};
 
@@ -62,7 +60,13 @@ fn buffer_too_small_detected() {
         let ty = Datatype::contiguous(8, &Datatype::DOUBLE).unwrap().commit();
         let small = [0u8; 16]; // needs 64
         let e = world.isend_bytes(&small, &ty, 1, 0, 0).unwrap_err();
-        assert!(matches!(e, MpiError::BufferTooSmall { needed: 64, provided: 16 }));
+        assert!(matches!(
+            e,
+            MpiError::BufferTooSmall {
+                needed: 64,
+                provided: 16
+            }
+        ));
     });
 }
 
@@ -123,7 +127,13 @@ fn truncation_reported_at_completion() {
         } else {
             let mut small = [0u64; 1];
             let e = world.recv_into(&mut small, 0, 0).unwrap_err();
-            assert!(matches!(e, MpiError::Truncate { message: 24, buffer: 8 }));
+            assert!(matches!(
+                e,
+                MpiError::Truncate {
+                    message: 24,
+                    buffer: 8
+                }
+            ));
         }
     });
 }

@@ -12,14 +12,19 @@ fn isend_global_delivers_like_isend() {
     Universe::run_default(4, |proc| {
         let world = proc.world();
         // Evens and odds.
-        let sub = world.split((proc.rank() % 2) as i32, proc.rank() as i32).unwrap();
+        let sub = world
+            .split((proc.rank() % 2) as i32, proc.rank() as i32)
+            .unwrap();
         if sub.size() < 2 {
             return;
         }
         if sub.rank() == 0 {
             // Translate my peer's comm rank to a world rank once (§3.1).
             let peer_world = sub.world_rank_of(1) as i32;
-            sub.isend_global(&[0xAAu8], peer_world, 7).unwrap().wait().unwrap();
+            sub.isend_global(&[0xAAu8], peer_world, 7)
+                .unwrap()
+                .wait()
+                .unwrap();
         } else if sub.rank() == 1 {
             let mut buf = [0u8; 1];
             let st = sub.recv_into(&mut buf, 0, 7).unwrap();
@@ -33,7 +38,9 @@ fn isend_global_delivers_like_isend() {
 fn irecv_global_translates_source() {
     Universe::run_default(4, |proc| {
         let world = proc.world();
-        let sub = world.split((proc.rank() % 2) as i32, proc.rank() as i32).unwrap();
+        let sub = world
+            .split((proc.rank() % 2) as i32, proc.rank() as i32)
+            .unwrap();
         if sub.size() < 2 {
             return;
         }
@@ -42,7 +49,10 @@ fn irecv_global_translates_source() {
         } else if sub.rank() == 0 {
             let src_world = sub.world_rank_of(1) as i32;
             let mut buf = [0u32; 1];
-            sub.irecv_global(&mut buf, src_world, 3).unwrap().wait().unwrap();
+            sub.irecv_global(&mut buf, src_world, 3)
+                .unwrap()
+                .wait()
+                .unwrap();
             assert_eq!(buf[0], 5);
         }
     });

@@ -30,7 +30,8 @@ fn measure_isend(config: BuildConfig, op: impl Fn(&Communicator) + Send + Sync) 
                 let mut buf = [0u8; 64];
                 // Drain exactly one message of any kind (classic or
                 // nomatch) — `op` sends exactly one.
-                let classic = world.irecv(&mut buf, litempi_core::ANY_SOURCE, litempi_core::ANY_TAG);
+                let classic =
+                    world.irecv(&mut buf, litempi_core::ANY_SOURCE, litempi_core::ANY_TAG);
                 let req = classic.unwrap();
                 // Nomatch messages don't match the wildcard (reserved src
                 // bits differ) — so also post a nomatch receive and accept
@@ -55,7 +56,11 @@ fn measure_isend(config: BuildConfig, op: impl Fn(&Communicator) + Send + Sync) 
             }
         },
     );
-    reports.into_iter().flatten().next().expect("rank 0 produced a report")
+    reports
+        .into_iter()
+        .flatten()
+        .next()
+        .expect("rank 0 produced a report")
 }
 
 /// Measure one `op` against an established window (fence epoch already
@@ -82,7 +87,11 @@ fn measure_put(config: BuildConfig, op: impl Fn(&Window) + Send + Sync) -> Repor
             out
         },
     );
-    reports.into_iter().flatten().next().expect("rank 0 produced a report")
+    reports
+        .into_iter()
+        .flatten()
+        .next()
+        .expect("rank 0 produced a report")
 }
 
 fn send_one(world: &Communicator) {
@@ -123,7 +132,11 @@ fn fig2_isend_build_ladder() {
         .iter()
         .map(|(_, cfg)| measure_isend(*cfg, send_one).injection_total())
         .collect();
-    assert_eq!(totals, vec![253, 221, 147, 141, 59], "paper Fig 2, MPI_ISEND bars");
+    assert_eq!(
+        totals,
+        vec![253, 221, 147, 141, 59],
+        "paper Fig 2, MPI_ISEND bars"
+    );
 }
 
 #[test]
@@ -134,7 +147,11 @@ fn fig2_put_build_ladder() {
             measure_put(*cfg, |win| win.put(&[0u8; 8], 1, 0).unwrap()).injection_total()
         })
         .collect();
-    assert_eq!(totals, vec![1342, 215, 143, 129, 44], "paper Fig 2, MPI_PUT bars");
+    assert_eq!(
+        totals,
+        vec![1342, 215, 143, 129, 44],
+        "paper Fig 2, MPI_PUT bars"
+    );
 }
 
 // ----------------------------------------------------- §3 extension savings
@@ -260,10 +277,16 @@ fn datatype_class_2_vs_class_3_under_ipo() {
         // Runtime handle: the compiler cannot see through it.
         let ty = litempi_datatype::Datatype::DOUBLE;
         let data = [1.0f64];
-        w.isend_bytes(litempi_datatype::MpiPrimitive::as_bytes(&data[..]), &ty, 1, 1, 0)
-            .unwrap()
-            .wait()
-            .unwrap();
+        w.isend_bytes(
+            litempi_datatype::MpiPrimitive::as_bytes(&data[..]),
+            &ty,
+            1,
+            1,
+            0,
+        )
+        .unwrap()
+        .wait()
+        .unwrap();
     })
     .injection_total();
     assert_eq!(class2, 59, "Class 2 folds the size checks");
@@ -274,10 +297,16 @@ fn datatype_class_2_vs_class_3_under_ipo() {
     let whole = measure_isend(BuildConfig::ch4_ipo_whole_program(), |w| {
         let ty = litempi_datatype::Datatype::DOUBLE;
         let data = [1.0f64];
-        w.isend_bytes(litempi_datatype::MpiPrimitive::as_bytes(&data[..]), &ty, 1, 1, 0)
-            .unwrap()
-            .wait()
-            .unwrap();
+        w.isend_bytes(
+            litempi_datatype::MpiPrimitive::as_bytes(&data[..]),
+            &ty,
+            1,
+            1,
+            0,
+        )
+        .unwrap()
+        .wait()
+        .unwrap();
     })
     .injection_total();
     assert_eq!(whole, 59);
@@ -350,12 +379,19 @@ fn am_fallback_put_costs_more_than_native() {
 
 #[test]
 fn original_put_is_84_percent_worse_than_ch4() {
-    let orig = measure_put(BuildConfig::original(), |win| win.put(&[0u8; 8], 1, 0).unwrap())
-        .injection_total();
-    let ch4 = measure_put(BuildConfig::ch4_default(), |win| win.put(&[0u8; 8], 1, 0).unwrap())
-        .injection_total();
+    let orig = measure_put(BuildConfig::original(), |win| {
+        win.put(&[0u8; 8], 1, 0).unwrap()
+    })
+    .injection_total();
+    let ch4 = measure_put(BuildConfig::ch4_default(), |win| {
+        win.put(&[0u8; 8], 1, 0).unwrap()
+    })
+    .injection_total();
     let reduction = 1.0 - ch4 as f64 / orig as f64;
-    assert!((reduction - 0.84).abs() < 0.01, "paper §2.1: 84% reduction, got {reduction}");
+    assert!(
+        (reduction - 0.84).abs() < 0.01,
+        "paper §2.1: 84% reduction, got {reduction}"
+    );
 }
 
 #[test]

@@ -63,7 +63,8 @@ fn accumulate_sum_is_atomic_across_origins() {
         // Everyone accumulates its rank+1 into rank 0, many times.
         let reps = 25u64;
         for _ in 0..reps {
-            win.accumulate(&[(proc.rank() as u64) + 1], 0, 0, &Op::Sum).unwrap();
+            win.accumulate(&[(proc.rank() as u64) + 1], 0, 0, &Op::Sum)
+                .unwrap();
         }
         win.fence().unwrap();
         if proc.rank() == 0 {
@@ -286,14 +287,10 @@ fn noncontiguous_origin_datatype_roundtrip() {
         let win = Window::create(&world, 64, 1).unwrap();
         win.fence().unwrap();
         if proc.rank() == 0 {
-            let ty = litempi_datatype::Datatype::vector(
-                4,
-                1,
-                2,
-                &litempi_datatype::Datatype::DOUBLE,
-            )
-            .unwrap()
-            .commit();
+            let ty =
+                litempi_datatype::Datatype::vector(4, 1, 2, &litempi_datatype::Datatype::DOUBLE)
+                    .unwrap()
+                    .commit();
             let src: Vec<f64> = (0..8).map(|i| i as f64).collect();
             let bytes: &[u8] = litempi_datatype::MpiPrimitive::as_bytes(&src[..]);
             win.put_bytes(bytes, &ty, 1, 1, 0).unwrap();

@@ -62,7 +62,11 @@ fn many_outstanding_requests() {
                 order.swap(i, (x as usize) % (i + 1));
             }
             for i in order {
-                world.isend(&[(i * 3) as u64], 1, i as i32).unwrap().wait().unwrap();
+                world
+                    .isend(&[(i * 3) as u64], 1, i as i32)
+                    .unwrap()
+                    .wait()
+                    .unwrap();
             }
         }
     });
@@ -116,8 +120,7 @@ fn rendezvous_storm() {
         move |proc| {
             let world = proc.world();
             if proc.rank() == 0 {
-                let payloads: Vec<Vec<u8>> =
-                    (0..n).map(|i| vec![i as u8; len]).collect();
+                let payloads: Vec<Vec<u8>> = (0..n).map(|i| vec![i as u8; len]).collect();
                 let reqs: Vec<_> = payloads
                     .iter()
                     .enumerate()
@@ -155,7 +158,9 @@ fn kitchen_sink_rounds() {
                     let right = ((proc.rank() + 1) % 4) as i32;
                     let left = ((proc.rank() + 3) % 4) as i32;
                     let mut got = [0u64; 1];
-                    world.sendrecv(&[round], right, 1, &mut got, left, 1).unwrap();
+                    world
+                        .sendrecv(&[round], right, 1, &mut got, left, 1)
+                        .unwrap();
                     assert_eq!(got[0], round);
                     // collective.
                     let s = world.allreduce(&[round], &Op::Sum).unwrap()[0];
@@ -165,8 +170,7 @@ fn kitchen_sink_rounds() {
                     win.fence().unwrap();
                 }
                 if proc.rank() == 0 {
-                    let total =
-                        u64::from_le_bytes(win.read_local(0, 8).try_into().unwrap());
+                    let total = u64::from_le_bytes(win.read_local(0, 8).try_into().unwrap());
                     assert_eq!(total, 40);
                 }
                 world.barrier().unwrap();

@@ -69,7 +69,9 @@ impl Datatype {
 
     /// Wrap a predefined type (always committed).
     pub const fn basic(p: Predefined) -> Datatype {
-        Datatype { inner: DatatypeRepr::Basic(p) }
+        Datatype {
+            inner: DatatypeRepr::Basic(p),
+        }
     }
 
     /// `MPI_BYTE`.
@@ -98,7 +100,10 @@ impl Datatype {
     fn from_layout(mut layout: FlatLayout) -> Datatype {
         layout.coalesce();
         Datatype {
-            inner: DatatypeRepr::Derived(Arc::new(Inner { layout, committed: false })),
+            inner: DatatypeRepr::Derived(Arc::new(Inner {
+                layout,
+                committed: false,
+            })),
         }
     }
 
@@ -131,7 +136,10 @@ impl Datatype {
         for i in 0..count {
             let shift = i as isize * stride_bytes;
             for s in &block.segments {
-                segments.push(Segment { offset: s.offset + shift, len: s.len });
+                segments.push(Segment {
+                    offset: s.offset + shift,
+                    len: s.len,
+                });
             }
         }
         let extent = if count == 0 {
@@ -140,7 +148,11 @@ impl Datatype {
             // MPI extent of a vector: from lb of first block to ub of last.
             (count as isize - 1) * stride_bytes + block.extent
         };
-        Ok(Datatype::from_layout(FlatLayout { segments, lb: 0, extent }))
+        Ok(Datatype::from_layout(FlatLayout {
+            segments,
+            lb: 0,
+            extent,
+        }))
     }
 
     /// `MPI_TYPE_INDEXED`: displacements in elements of the inner type.
@@ -150,7 +162,9 @@ impl Datatype {
         inner: &Datatype,
     ) -> Result<Datatype, TypeError> {
         if blocklens.len() != displacements.len() {
-            return Err(TypeError::LengthMismatch("indexed blocklens vs displacements"));
+            return Err(TypeError::LengthMismatch(
+                "indexed blocklens vs displacements",
+            ));
         }
         let ext = inner.layout().extent;
         let byte_displs: Vec<isize> = displacements.iter().map(|d| d * ext).collect();
@@ -175,7 +189,9 @@ impl Datatype {
         inner: &Datatype,
     ) -> Result<Datatype, TypeError> {
         if blocklens.len() != byte_displacements.len() {
-            return Err(TypeError::LengthMismatch("hindexed blocklens vs displacements"));
+            return Err(TypeError::LengthMismatch(
+                "hindexed blocklens vs displacements",
+            ));
         }
         let mut segments = Vec::new();
         let mut ub = 0isize;
@@ -184,7 +200,10 @@ impl Datatype {
         for (&bl, &disp) in blocklens.iter().zip(byte_displacements) {
             let block = inner.layout().repeat(bl);
             for s in &block.segments {
-                segments.push(Segment { offset: s.offset + disp, len: s.len });
+                segments.push(Segment {
+                    offset: s.offset + disp,
+                    len: s.len,
+                });
             }
             if first {
                 lb = disp;
@@ -195,7 +214,11 @@ impl Datatype {
                 ub = ub.max(disp + block.extent);
             }
         }
-        Ok(Datatype::from_layout(FlatLayout { segments, lb, extent: ub - lb }))
+        Ok(Datatype::from_layout(FlatLayout {
+            segments,
+            lb,
+            extent: ub - lb,
+        }))
     }
 
     /// `MPI_TYPE_CREATE_STRUCT`: heterogeneous members at byte offsets.
@@ -214,7 +237,10 @@ impl Datatype {
         for ((&bl, &disp), ty) in blocklens.iter().zip(byte_displacements).zip(types) {
             let block = ty.layout().repeat(bl);
             for s in &block.segments {
-                segments.push(Segment { offset: s.offset + disp, len: s.len });
+                segments.push(Segment {
+                    offset: s.offset + disp,
+                    len: s.len,
+                });
             }
             if first {
                 lb = disp;
@@ -225,7 +251,11 @@ impl Datatype {
                 ub = ub.max(disp + block.extent);
             }
         }
-        Ok(Datatype::from_layout(FlatLayout { segments, lb, extent: ub - lb }))
+        Ok(Datatype::from_layout(FlatLayout {
+            segments,
+            lb,
+            extent: ub - lb,
+        }))
     }
 
     /// `MPI_TYPE_CREATE_SUBARRAY`: an n-dimensional sub-block of an
@@ -275,7 +305,10 @@ impl Datatype {
             let base = elem as isize * ext;
             let row = inner.layout().repeat(subsizes[nd - 1]);
             for s in &row.segments {
-                segments.push(Segment { offset: s.offset + base, len: s.len });
+                segments.push(Segment {
+                    offset: s.offset + base,
+                    len: s.len,
+                });
             }
             // Advance the multi-index over the outer dims.
             if nd == 1 {
@@ -395,7 +428,9 @@ mod tests {
     #[test]
     fn vector_with_gaps() {
         // 3 blocks of 2 doubles, stride 4 doubles: |XX..|XX..|XX|
-        let t = Datatype::vector(3, 2, 4, &Datatype::DOUBLE).unwrap().commit();
+        let t = Datatype::vector(3, 2, 4, &Datatype::DOUBLE)
+            .unwrap()
+            .commit();
         assert_eq!(t.size(), 48);
         assert_eq!(t.extent(), (2 * 4 + 2) as isize * 8); // (count-1)*stride + blocklen
         assert!(!t.is_contiguous());
@@ -404,14 +439,18 @@ mod tests {
 
     #[test]
     fn vector_unit_stride_is_contiguous() {
-        let t = Datatype::vector(5, 1, 1, &Datatype::INT32).unwrap().commit();
+        let t = Datatype::vector(5, 1, 1, &Datatype::INT32)
+            .unwrap()
+            .commit();
         assert!(t.is_contiguous());
         assert_eq!(t.size(), 20);
     }
 
     #[test]
     fn hvector_byte_stride() {
-        let t = Datatype::hvector(2, 1, 16, &Datatype::INT32).unwrap().commit();
+        let t = Datatype::hvector(2, 1, 16, &Datatype::INT32)
+            .unwrap()
+            .commit();
         let l = t.layout();
         assert_eq!(l.segments[0].offset, 0);
         assert_eq!(l.segments[1].offset, 16);
@@ -420,11 +459,18 @@ mod tests {
 
     #[test]
     fn indexed_matches_manual_layout() {
-        let t =
-            Datatype::indexed(&[2, 1], &[0, 4], &Datatype::INT32).unwrap().commit();
+        let t = Datatype::indexed(&[2, 1], &[0, 4], &Datatype::INT32)
+            .unwrap()
+            .commit();
         let l = t.layout();
         // Blocks at elements 0..2 and 4..5 → bytes [0,8) and [16,20).
-        assert_eq!(l.segments, vec![Segment { offset: 0, len: 8 }, Segment { offset: 16, len: 4 }]);
+        assert_eq!(
+            l.segments,
+            vec![
+                Segment { offset: 0, len: 8 },
+                Segment { offset: 16, len: 4 }
+            ]
+        );
         assert_eq!(t.size(), 12);
         assert_eq!(t.extent(), 20);
     }
@@ -437,8 +483,12 @@ mod tests {
 
     #[test]
     fn indexed_block_shares_blocklen() {
-        let a = Datatype::indexed_block(2, &[0, 4, 9], &Datatype::INT32).unwrap().commit();
-        let b = Datatype::indexed(&[2, 2, 2], &[0, 4, 9], &Datatype::INT32).unwrap().commit();
+        let a = Datatype::indexed_block(2, &[0, 4, 9], &Datatype::INT32)
+            .unwrap()
+            .commit();
+        let b = Datatype::indexed(&[2, 2, 2], &[0, 4, 9], &Datatype::INT32)
+            .unwrap()
+            .commit();
         assert_eq!(a.layout(), b.layout());
         assert_eq!(a.size(), 24);
     }
@@ -446,13 +496,9 @@ mod tests {
     #[test]
     fn structured_heterogeneous() {
         // struct { int32 a; double b; } with C-like padding to 16 bytes.
-        let t = Datatype::structured(
-            &[1, 1],
-            &[0, 8],
-            &[Datatype::INT32, Datatype::DOUBLE],
-        )
-        .unwrap()
-        .commit();
+        let t = Datatype::structured(&[1, 1], &[0, 8], &[Datatype::INT32, Datatype::DOUBLE])
+            .unwrap()
+            .commit();
         assert_eq!(t.size(), 12);
         assert_eq!(t.extent(), 16);
         assert!(!t.is_contiguous());
@@ -468,7 +514,10 @@ mod tests {
         // Rows 1 and 2, columns 1..3 → element offsets {5,6} and {9,10}.
         assert_eq!(
             l.segments,
-            vec![Segment { offset: 20, len: 8 }, Segment { offset: 36, len: 8 }]
+            vec![
+                Segment { offset: 20, len: 8 },
+                Segment { offset: 36, len: 8 }
+            ]
         );
         assert_eq!(t.size(), 16);
         assert_eq!(t.extent(), 64);
@@ -476,8 +525,8 @@ mod tests {
 
     #[test]
     fn subarray_fortran_order_transposes() {
-        let c = Datatype::subarray(&[4, 4], &[2, 2], &[1, 1], ArrayOrder::C, &Datatype::INT32)
-            .unwrap();
+        let c =
+            Datatype::subarray(&[4, 4], &[2, 2], &[1, 1], ArrayOrder::C, &Datatype::INT32).unwrap();
         let f = Datatype::subarray(
             &[4, 4],
             &[2, 2],
@@ -519,12 +568,15 @@ mod tests {
 
     #[test]
     fn nested_vector_of_struct() {
-        let rec = Datatype::structured(&[1, 1], &[0, 8], &[Datatype::INT32, Datatype::DOUBLE])
-            .unwrap();
+        let rec =
+            Datatype::structured(&[1, 1], &[0, 8], &[Datatype::INT32, Datatype::DOUBLE]).unwrap();
         let v = Datatype::vector(2, 1, 2, &rec).unwrap().commit();
         assert_eq!(v.size(), 24);
         // Stride of 2 records = 32 bytes.
-        assert_eq!(v.layout().segments.iter().map(|s| s.offset).max().unwrap(), 40);
+        assert_eq!(
+            v.layout().segments.iter().map(|s| s.offset).max().unwrap(),
+            40
+        );
     }
 
     #[test]

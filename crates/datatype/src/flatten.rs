@@ -30,7 +30,14 @@ impl FlatLayout {
     /// A single contiguous run of `size` bytes at offset 0.
     pub fn contiguous(size: usize) -> FlatLayout {
         FlatLayout {
-            segments: if size == 0 { vec![] } else { vec![Segment { offset: 0, len: size }] },
+            segments: if size == 0 {
+                vec![]
+            } else {
+                vec![Segment {
+                    offset: 0,
+                    len: size,
+                }]
+            },
             lb: 0,
             extent: size as isize,
         }
@@ -49,7 +56,12 @@ impl FlatLayout {
 
     /// The span from the lowest to the highest byte actually touched.
     pub fn true_extent(&self) -> isize {
-        let hi = self.segments.iter().map(|s| s.offset + s.len as isize).max().unwrap_or(0);
+        let hi = self
+            .segments
+            .iter()
+            .map(|s| s.offset + s.len as isize)
+            .max()
+            .unwrap_or(0);
         hi - self.true_lb()
     }
 
@@ -88,7 +100,10 @@ impl FlatLayout {
         for i in 0..count {
             let shift = i as isize * self.extent;
             for s in &self.segments {
-                segments.push(Segment { offset: s.offset + shift, len: s.len });
+                segments.push(Segment {
+                    offset: s.offset + shift,
+                    len: s.len,
+                });
             }
         }
         let mut out = FlatLayout {
@@ -175,7 +190,10 @@ mod tests {
     #[test]
     fn negative_offsets_in_true_lb() {
         let l = FlatLayout {
-            segments: vec![Segment { offset: -4, len: 4 }, Segment { offset: 4, len: 2 }],
+            segments: vec![
+                Segment { offset: -4, len: 4 },
+                Segment { offset: 4, len: 2 },
+            ],
             lb: -4,
             extent: 10,
         };

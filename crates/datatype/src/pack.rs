@@ -30,10 +30,17 @@ pub fn pack(ty: &Datatype, count: usize, src: &[u8]) -> Vec<u8> {
         let base = i as isize * layout.extent;
         for seg in &layout.segments {
             let start = base + seg.offset;
-            assert!(start >= 0, "pack: segment offset {start} before buffer start");
+            assert!(
+                start >= 0,
+                "pack: segment offset {start} before buffer start"
+            );
             let start = start as usize;
             let end = start + seg.len;
-            assert!(end <= src.len(), "pack: segment [{start},{end}) beyond buffer {}", src.len());
+            assert!(
+                end <= src.len(),
+                "pack: segment [{start},{end}) beyond buffer {}",
+                src.len()
+            );
             out.extend_from_slice(&src[start..end]);
         }
     }
@@ -49,7 +56,10 @@ pub fn unpack(ty: &Datatype, count: usize, wire: &[u8], dst: &mut [u8]) -> usize
         let base = i as isize * layout.extent;
         for seg in &layout.segments {
             let start = base + seg.offset;
-            assert!(start >= 0, "unpack: segment offset {start} before buffer start");
+            assert!(
+                start >= 0,
+                "unpack: segment offset {start} before buffer start"
+            );
             let start = start as usize;
             let end = start + seg.len;
             assert!(
@@ -84,7 +94,9 @@ mod tests {
     fn vector_pack_gathers_strided() {
         // Bytes 0..16; vector of 4 blocks of 1 int32-sized block, stride 2.
         let src: Vec<u8> = (0..32).collect();
-        let t = Datatype::vector(4, 1, 2, &Datatype::INT32).unwrap().commit();
+        let t = Datatype::vector(4, 1, 2, &Datatype::INT32)
+            .unwrap()
+            .commit();
         let packed = pack(&t, 1, &src);
         assert_eq!(packed.len(), 16);
         // Elements 0, 2, 4, 6 → bytes 0..4, 8..12, 16..20, 24..28.
@@ -96,7 +108,9 @@ mod tests {
     #[test]
     fn vector_roundtrip_restores_layout() {
         let src: Vec<u8> = (0..40).collect();
-        let t = Datatype::vector(2, 2, 5, &Datatype::INT32).unwrap().commit();
+        let t = Datatype::vector(2, 2, 5, &Datatype::INT32)
+            .unwrap()
+            .commit();
         let packed = pack(&t, 1, &src);
         let mut dst = vec![0xFFu8; 40];
         unpack(&t, 1, &packed, &mut dst);
@@ -133,7 +147,9 @@ mod tests {
 
     #[test]
     fn packed_size_and_span() {
-        let t = Datatype::vector(3, 2, 4, &Datatype::DOUBLE).unwrap().commit();
+        let t = Datatype::vector(3, 2, 4, &Datatype::DOUBLE)
+            .unwrap()
+            .commit();
         assert_eq!(packed_size(&t, 2), 2 * 48);
         assert_eq!(span(&t, 1), t.extent() as usize);
     }
@@ -141,7 +157,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "beyond buffer")]
     fn pack_out_of_bounds_panics() {
-        let t = Datatype::vector(4, 1, 4, &Datatype::INT32).unwrap().commit();
+        let t = Datatype::vector(4, 1, 4, &Datatype::INT32)
+            .unwrap()
+            .commit();
         let src = vec![0u8; 8]; // far too small
         let _ = pack(&t, 1, &src);
     }

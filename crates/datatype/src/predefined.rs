@@ -76,10 +76,7 @@ impl Predefined {
             Predefined::Byte | Predefined::Char | Predefined::Int8 | Predefined::UInt8 => 1,
             Predefined::Int16 | Predefined::UInt16 => 2,
             Predefined::Int32 | Predefined::UInt32 | Predefined::Float32 => 4,
-            Predefined::Int64
-            | Predefined::UInt64
-            | Predefined::Float64
-            | Predefined::TwoInt => 8,
+            Predefined::Int64 | Predefined::UInt64 | Predefined::Float64 | Predefined::TwoInt => 8,
             Predefined::DoubleInt => 12,
         }
     }

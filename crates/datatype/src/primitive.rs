@@ -26,10 +26,7 @@ pub unsafe trait MpiPrimitive: Copy + Send + Sync + 'static {
     fn as_bytes(slice: &[Self]) -> &[u8] {
         // SAFETY: implementors are POD with no padding.
         unsafe {
-            std::slice::from_raw_parts(
-                slice.as_ptr().cast::<u8>(),
-                std::mem::size_of_val(slice),
-            )
+            std::slice::from_raw_parts(slice.as_ptr().cast::<u8>(), std::mem::size_of_val(slice))
         }
     }
 

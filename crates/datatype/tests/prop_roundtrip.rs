@@ -24,7 +24,9 @@ fn arb_datatype() -> impl Strategy<Value = Datatype> {
                 let inner = inner.clone();
                 move |(count, blocklen, pad)| {
                     let stride = blocklen as isize + pad;
-                    Datatype::vector(count, blocklen, stride, &inner).unwrap().commit()
+                    Datatype::vector(count, blocklen, stride, &inner)
+                        .unwrap()
+                        .commit()
                 }
             }),
             // indexed with increasing non-overlapping displacements
@@ -37,7 +39,9 @@ fn arb_datatype() -> impl Strategy<Value = Datatype> {
                         displs.push(cursor);
                         cursor += bl as isize + 1; // one-element gap
                     }
-                    Datatype::indexed(&blocklens, &displs, &inner).unwrap().commit()
+                    Datatype::indexed(&blocklens, &displs, &inner)
+                        .unwrap()
+                        .commit()
                 }
             }),
             // 2-D subarray
@@ -47,19 +51,17 @@ fn arb_datatype() -> impl Strategy<Value = Datatype> {
                     let inner = inner.clone();
                     (1usize..=rows, 1usize..=cols).prop_flat_map(move |(sr, sc)| {
                         let inner = inner.clone();
-                        (0usize..=(rows - sr), 0usize..=(cols - sc)).prop_map(
-                            move |(r0, c0)| {
-                                Datatype::subarray(
-                                    &[rows, cols],
-                                    &[sr, sc],
-                                    &[r0, c0],
-                                    ArrayOrder::C,
-                                    &inner,
-                                )
-                                .unwrap()
-                                .commit()
-                            },
-                        )
+                        (0usize..=(rows - sr), 0usize..=(cols - sc)).prop_map(move |(r0, c0)| {
+                            Datatype::subarray(
+                                &[rows, cols],
+                                &[sr, sc],
+                                &[r0, c0],
+                                ArrayOrder::C,
+                                &inner,
+                            )
+                            .unwrap()
+                            .commit()
+                        })
                     })
                 }
             }),

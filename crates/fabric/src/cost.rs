@@ -55,6 +55,19 @@ impl ProviderKind {
     }
 }
 
+/// Which tag-matching engine an endpoint runs (see the `matching` module
+/// for the two implementations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MatcherKind {
+    /// Hash-bucketed O(1) matching with a sequence-arbitrated wildcard
+    /// overflow list — the default.
+    #[default]
+    Bucketed,
+    /// The original linear-scan matcher, kept as an ablation baseline for
+    /// the depth-sweep benchmarks.
+    Linear,
+}
+
 /// Per-message / per-byte hardware costs of a provider, used analytically.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NetCost {
@@ -118,6 +131,8 @@ pub struct ProviderProfile {
     /// Seed for cross-source delivery jitter; `None` disables jitter
     /// (the default — jitter is a matching-stress mode for tests).
     pub jitter_seed: Option<u64>,
+    /// Which tag-matching engine endpoints run.
+    pub matcher: MatcherKind,
 }
 
 impl ProviderProfile {
@@ -140,6 +155,7 @@ impl ProviderProfile {
                 bandwidth_gib_s: 11.0,
             },
             jitter_seed: None,
+            matcher: MatcherKind::Bucketed,
         }
     }
 
@@ -160,6 +176,7 @@ impl ProviderProfile {
                 bandwidth_gib_s: 11.3,
             },
             jitter_seed: None,
+            matcher: MatcherKind::Bucketed,
         }
     }
 
@@ -182,6 +199,7 @@ impl ProviderProfile {
                 bandwidth_gib_s: 1.8,
             },
             jitter_seed: None,
+            matcher: MatcherKind::Bucketed,
         }
     }
 
@@ -198,6 +216,7 @@ impl ProviderProfile {
             },
             cost: NetCost::ZERO,
             jitter_seed: None,
+            matcher: MatcherKind::Bucketed,
         }
     }
 
@@ -218,6 +237,7 @@ impl ProviderProfile {
                 bandwidth_gib_s: 40.0,
             },
             jitter_seed: None,
+            matcher: MatcherKind::Bucketed,
         }
     }
 
@@ -239,12 +259,19 @@ impl ProviderProfile {
                 bandwidth_gib_s: 11.0,
             },
             jitter_seed: None,
+            matcher: MatcherKind::Bucketed,
         }
     }
 
     /// Copy of this profile with cross-source delivery jitter enabled.
     pub fn with_jitter(mut self, seed: u64) -> Self {
         self.jitter_seed = Some(seed);
+        self
+    }
+
+    /// Copy of this profile running the given tag-matching engine.
+    pub fn with_matcher(mut self, matcher: MatcherKind) -> Self {
+        self.matcher = matcher;
         self
     }
 }
@@ -297,6 +324,13 @@ mod tests {
     fn jitter_builder_sets_seed() {
         let p = ProviderProfile::ofi().with_jitter(42);
         assert_eq!(p.jitter_seed, Some(42));
+    }
+
+    #[test]
+    fn matcher_defaults_to_bucketed() {
+        assert_eq!(ProviderProfile::ofi().matcher, MatcherKind::Bucketed);
+        let p = ProviderProfile::ofi().with_matcher(MatcherKind::Linear);
+        assert_eq!(p.matcher, MatcherKind::Linear);
     }
 
     #[test]

@@ -1,57 +1,85 @@
 //! Endpoints: the per-rank handle onto the fabric.
 //!
 //! An [`Endpoint`] corresponds to a libfabric endpoint bound to completion
-//! and receive queues. The transport is an in-process mailbox per endpoint
-//! guarded by a `parking_lot` mutex + condvar (the perf-book-recommended
-//! lock for short critical sections). Matching happens *sender-side under
-//! the receiver's lock*, which models a NIC/firmware doing receiver-side
-//! matching without waking the host thread — the PSM2 behaviour the CH4/OFI
-//! netmod depends on.
+//! and receive queues. The transport is an in-process mailbox per endpoint.
+//! Matching happens *sender-side under the receiver's tag lock*, which
+//! models a NIC/firmware doing receiver-side matching without waking the
+//! host thread — the PSM2 behaviour the CH4/OFI netmod depends on.
+//!
+//! ## Locking
+//!
+//! Endpoint state is split across three independent mutexes so unrelated
+//! traffic classes never contend (the paper's "fast-path critical section"
+//! discipline, §3.6):
+//!
+//! * **tag** — the tag-matching engine (posted receives + unexpected
+//!   messages). The pt2pt critical path takes only this lock.
+//! * **am** — the active-message queue. The progress engine's `am_poll`
+//!   spins here without slowing tagged traffic.
+//! * **jitter** — the deferred-delivery state of the jitter stress mode.
+//!   Untouched when jitter is off (the common case): every entry point
+//!   checks a cached `jitter_enabled` flag first, so production profiles
+//!   pay a single predictable branch, not a lock acquisition.
+//!
+//! Lock order where two are needed (jitter flushes): **jitter → tag**,
+//! everywhere. Holding the jitter lock across the tag-side delivery keeps
+//! flush-then-deliver atomic with respect to other senders, preserving
+//! per-(src,dst) FIFO.
+//!
+//! ## Completion events
+//!
+//! Blocked waiters park instead of spinning: every action that can complete
+//! an operation (tagged delivery, AM arrival) bumps a per-endpoint event
+//! epoch and notifies a condvar. Waiters spin briefly, then sleep until the
+//! epoch moves (or a short timeout, covering completions that are signalled
+//! on other endpoints — e.g. a rendezvous done flag).
 
 use crate::addr::NetAddr;
 use crate::fabric::Fabric;
+use crate::matching::MatchEngine;
 use crate::packet::{AmMessage, PostedRecv, RecvSlot, TaggedMessage};
 use crate::region::{MemoryRegion, RdmaAtomicOp, RegionKey};
 use crate::stats::{EndpointStats, StatsSnapshot};
 use bytes::Bytes;
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
+
+use crate::cost::ProviderProfile;
 
 /// Shared state of one endpoint (owned by the fabric).
 #[derive(Debug)]
 pub(crate) struct EndpointShared {
-    pub(crate) state: Mutex<EndpointState>,
-    pub(crate) cv: Condvar,
+    /// Tag-matching engine (posted receives + unexpected messages).
+    tag: Mutex<MatchEngine>,
+    /// Pending active messages, in arrival order.
+    am: Mutex<VecDeque<AmMessage>>,
+    /// Precise wakeups for [`Endpoint::am_wait`].
+    am_cv: Condvar,
+    /// Jitter-mode deferred-delivery state.
+    jitter: Mutex<JitterState>,
+    /// Cached `profile.jitter_seed.is_some()` — the hoisted check that
+    /// keeps jitter bookkeeping entirely off the non-jitter fast path.
+    jitter_enabled: bool,
+    /// Completion-event epoch; bumped on every delivery/arrival.
+    events: AtomicU64,
+    /// Parking lot for epoch waiters ([`Endpoint::wait_event`]).
+    event_lock: Mutex<()>,
+    event_cv: Condvar,
     pub(crate) stats: EndpointStats,
 }
 
 #[derive(Debug, Default)]
-pub(crate) struct EndpointState {
-    /// Tagged messages that arrived before a matching receive was posted.
-    pub(crate) unexpected: VecDeque<TaggedMessage>,
-    /// Receives posted and not yet matched, in post order.
-    pub(crate) posted: Vec<PostedRecv>,
-    /// Pending active messages, in arrival order.
-    pub(crate) am_queue: VecDeque<AmMessage>,
-    /// Jitter mode: messages whose delivery is deferred (insertion order).
-    pub(crate) deferred: Vec<TaggedMessage>,
+struct JitterState {
+    /// Messages whose delivery is deferred (insertion order).
+    deferred: Vec<TaggedMessage>,
     /// xorshift64 state for the jitter decision.
-    pub(crate) rng: u64,
+    rng: u64,
 }
 
-impl EndpointShared {
-    pub(crate) fn new(jitter_seed: Option<u64>, addr: NetAddr) -> Self {
-        let rng = jitter_seed.map(|s| s ^ (addr.0 as u64).wrapping_mul(0x9E3779B97F4A7C15)).unwrap_or(0);
-        EndpointShared {
-            state: Mutex::new(EndpointState { rng, ..EndpointState::default() }),
-            cv: Condvar::new(),
-            stats: EndpointStats::default(),
-        }
-    }
-}
-
-impl EndpointState {
+impl JitterState {
     fn next_rand(&mut self) -> u64 {
         // xorshift64: deterministic, seeded per endpoint.
         let mut x = self.rng;
@@ -62,38 +90,102 @@ impl EndpointState {
         x
     }
 
-    /// Deliver `msg` into this endpoint: match against a posted receive or
-    /// append to the unexpected queue. Returns true if it matched.
-    fn deliver(&mut self, msg: TaggedMessage, stats: &EndpointStats) -> bool {
-        if let Some(pos) = self.posted.iter().position(|p| p.matches(msg.match_bits)) {
-            let posted = self.posted.remove(pos);
-            EndpointStats::bump(&stats.msgs_received, 1);
-            EndpointStats::bump(&stats.bytes_received, msg.data.len() as u64);
-            posted.slot.fill(msg);
-            true
-        } else {
-            EndpointStats::bump(&stats.unexpected, 1);
-            self.unexpected.push_back(msg);
-            false
+    /// Remove and return deferred messages from `src` (or all, if `src` is
+    /// `None`), preserving insertion order within the taken subset.
+    fn take_deferred(&mut self, src: Option<NetAddr>) -> Vec<TaggedMessage> {
+        if self.deferred.is_empty() {
+            return Vec::new();
+        }
+        match src {
+            None => std::mem::take(&mut self.deferred),
+            Some(s) => {
+                let mut taken = Vec::new();
+                self.deferred.retain(|m| {
+                    if m.src == s {
+                        taken.push(m.clone());
+                        false
+                    } else {
+                        true
+                    }
+                });
+                taken
+            }
+        }
+    }
+}
+
+impl EndpointShared {
+    pub(crate) fn new(profile: &ProviderProfile, addr: NetAddr) -> Self {
+        let rng = profile
+            .jitter_seed
+            .map(|s| s ^ (addr.0 as u64).wrapping_mul(0x9E3779B97F4A7C15))
+            .unwrap_or(0);
+        EndpointShared {
+            tag: Mutex::new(MatchEngine::new(profile.matcher)),
+            am: Mutex::new(VecDeque::new()),
+            am_cv: Condvar::new(),
+            jitter: Mutex::new(JitterState {
+                deferred: Vec::new(),
+                rng,
+            }),
+            jitter_enabled: profile.jitter_seed.is_some(),
+            events: AtomicU64::new(0),
+            event_lock: Mutex::new(()),
+            event_cv: Condvar::new(),
+            stats: EndpointStats::default(),
         }
     }
 
-    /// Flush deferred messages from `src` (or all, if `src` is `None`),
-    /// preserving insertion order within the flushed subset.
-    fn flush_deferred(&mut self, src: Option<NetAddr>, stats: &EndpointStats) {
-        if self.deferred.is_empty() {
+    /// Announce that something completion-worthy happened on this endpoint.
+    fn bump_event(&self) {
+        self.events.fetch_add(1, Ordering::Release);
+        // Serialize against waiters between their epoch check and their
+        // sleep, so the notify cannot be lost.
+        let _guard = self.event_lock.lock();
+        self.event_cv.notify_all();
+    }
+
+    fn event_epoch(&self) -> u64 {
+        self.events.load(Ordering::Acquire)
+    }
+
+    /// Sleep until the event epoch moves past `seen`, or `timeout` elapses.
+    fn wait_event(&self, seen: u64, timeout: Duration) {
+        let mut guard = self.event_lock.lock();
+        if self.event_epoch() != seen {
             return;
         }
-        let mut kept = Vec::with_capacity(self.deferred.len());
-        let pending = std::mem::take(&mut self.deferred);
-        for msg in pending {
-            if src.is_none() || src == Some(msg.src) {
-                self.deliver(msg, stats);
-            } else {
-                kept.push(msg);
-            }
+        let _ = self.event_cv.wait_for(&mut guard, timeout);
+    }
+
+    /// Deliver jitter-deferred messages from `src` (or all). No-op when
+    /// jitter is off — the hoisted `jitter_enabled` check means disabled
+    /// profiles never touch the jitter lock.
+    fn flush_deferred(&self, src: Option<NetAddr>) {
+        if !self.jitter_enabled {
+            return;
         }
-        self.deferred = kept;
+        let jit = self.jitter.lock();
+        self.flush_deferred_locked(jit, src);
+    }
+
+    /// Flush with the jitter lock already held (lock order: jitter → tag).
+    fn flush_deferred_locked(
+        &self,
+        mut jit: parking_lot::MutexGuard<'_, JitterState>,
+        src: Option<NetAddr>,
+    ) {
+        let flush = jit.take_deferred(src);
+        if flush.is_empty() {
+            return;
+        }
+        let mut tag = self.tag.lock();
+        for m in flush {
+            tag.deliver(m);
+        }
+        drop(tag);
+        drop(jit);
+        self.bump_event();
     }
 }
 
@@ -106,7 +198,9 @@ pub struct Endpoint {
 
 impl std::fmt::Debug for Endpoint {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Endpoint").field("addr", &self.addr).finish()
+        f.debug_struct("Endpoint")
+            .field("addr", &self.addr)
+            .finish()
     }
 }
 
@@ -125,13 +219,32 @@ impl Endpoint {
         &self.fabric
     }
 
-    /// Traffic counters for this endpoint.
+    /// Traffic counters for this endpoint: the cross-thread atomics merged
+    /// with the matching engine's tag-lock-domain counters (one brief tag
+    /// lock acquisition — stats are off the critical path).
     pub fn stats(&self) -> StatsSnapshot {
-        self.shared(self.addr).stats.snapshot()
+        let shared = self.shared(self.addr);
+        let matching = shared.tag.lock().counters();
+        shared.stats.snapshot(&matching)
     }
 
     fn shared(&self, addr: NetAddr) -> &EndpointShared {
         self.fabric.shared(addr)
+    }
+
+    // -------------------------------------------------------------- events
+
+    /// Current completion-event epoch. Pair with [`Self::wait_event`] to
+    /// park a progress loop without missing completions.
+    pub fn event_epoch(&self) -> u64 {
+        self.shared(self.addr).event_epoch()
+    }
+
+    /// Block until this endpoint's event epoch moves past `seen` (a value
+    /// previously read with [`Self::event_epoch`]) or `timeout` elapses.
+    /// The timeout keeps waiters live for completions signalled elsewhere.
+    pub fn wait_event(&self, seen: u64, timeout: Duration) {
+        self.shared(self.addr).wait_event(seen, timeout);
     }
 
     // ---------------------------------------------------------------- tagged
@@ -144,24 +257,35 @@ impl Endpoint {
         EndpointStats::bump(&my.stats.msgs_sent, 1);
         EndpointStats::bump(&my.stats.bytes_sent, data.len() as u64);
 
-        let msg = TaggedMessage { src: self.addr, match_bits, data };
+        let msg = TaggedMessage {
+            src: self.addr,
+            match_bits,
+            data,
+        };
         let peer = self.shared(dst);
-        let mut state = peer.state.lock();
-        if self.fabric.profile().jitter_seed.is_some() {
+        if peer.jitter_enabled {
             // Jitter mode: maybe hold this message back to let later
             // messages from *other* sources overtake it (legal for MPI —
             // only per-pair order is guaranteed).
-            if state.next_rand() & 1 == 0 {
-                state.deferred.push(msg);
+            let mut jit = peer.jitter.lock();
+            if jit.next_rand() & 1 == 0 {
+                jit.deferred.push(msg);
                 return;
             }
             // Deliver: first release anything older from the same source so
-            // per-pair FIFO is preserved.
-            state.flush_deferred(Some(self.addr), &peer.stats);
+            // per-pair FIFO is preserved. The jitter lock is held across
+            // the tag-side delivery (jitter → tag) so no concurrent sender
+            // can interleave between flush and deliver.
+            let flush = jit.take_deferred(Some(self.addr));
+            let mut tag = peer.tag.lock();
+            for m in flush {
+                tag.deliver(m);
+            }
+            tag.deliver(msg);
+        } else {
+            peer.tag.lock().deliver(msg);
         }
-        state.deliver(msg, &peer.stats);
-        drop(state);
-        peer.cv.notify_all();
+        peer.bump_event();
     }
 
     /// Post a receive for `match_bits` (bits set in `ignore` are wildcards)
@@ -173,20 +297,22 @@ impl Endpoint {
     /// Post a nonblocking receive; the returned handle is polled or waited.
     pub fn trecv_post(&self, match_bits: u64, ignore: u64) -> RecvHandle {
         let peer = self.shared(self.addr);
-        let mut state = peer.state.lock();
-        state.flush_deferred(None, &peer.stats);
-        let probe = PostedRecv { match_bits, ignore, slot: Arc::new(RecvSlot::default()) };
-        // First satisfy from the unexpected queue, in arrival order.
-        if let Some(pos) = state.unexpected.iter().position(|m| probe.matches(m.match_bits)) {
-            let msg = state.unexpected.remove(pos).expect("position valid");
-            EndpointStats::bump(&peer.stats.msgs_received, 1);
-            EndpointStats::bump(&peer.stats.bytes_received, msg.data.len() as u64);
-            probe.slot.fill(msg);
-            return RecvHandle { fabric: self.fabric.clone(), addr: self.addr, slot: probe.slot };
-        }
+        peer.flush_deferred(None);
+        let probe = PostedRecv {
+            match_bits,
+            ignore,
+            slot: Arc::new(RecvSlot::default()),
+        };
         let slot = probe.slot.clone();
-        state.posted.push(probe);
-        RecvHandle { fabric: self.fabric.clone(), addr: self.addr, slot }
+        // First satisfy from the unexpected queue, in arrival order.
+        if let Some(msg) = peer.tag.lock().post(probe) {
+            slot.fill(msg);
+        }
+        RecvHandle {
+            fabric: self.fabric.clone(),
+            addr: self.addr,
+            slot,
+        }
     }
 
     /// Nonblocking check of the unexpected queue (the substrate for
@@ -194,10 +320,8 @@ impl Endpoint {
     /// without consuming it.
     pub fn tpeek(&self, match_bits: u64, ignore: u64) -> Option<TaggedMessage> {
         let peer = self.shared(self.addr);
-        let mut state = peer.state.lock();
-        state.flush_deferred(None, &peer.stats);
-        let probe = PostedRecv { match_bits, ignore, slot: Arc::new(RecvSlot::default()) };
-        state.unexpected.iter().find(|m| probe.matches(m.match_bits)).cloned()
+        peer.flush_deferred(None);
+        peer.tag.lock().peek(match_bits, ignore).cloned()
     }
 
     /// Remove and return the first unexpected message matching
@@ -206,14 +330,8 @@ impl Endpoint {
     /// claim it. Returns `None` when nothing has arrived yet.
     pub fn tdequeue(&self, match_bits: u64, ignore: u64) -> Option<TaggedMessage> {
         let peer = self.shared(self.addr);
-        let mut state = peer.state.lock();
-        state.flush_deferred(None, &peer.stats);
-        let probe = PostedRecv { match_bits, ignore, slot: Arc::new(RecvSlot::default()) };
-        let pos = state.unexpected.iter().position(|m| probe.matches(m.match_bits))?;
-        let msg = state.unexpected.remove(pos).expect("position valid");
-        EndpointStats::bump(&peer.stats.msgs_received, 1);
-        EndpointStats::bump(&peer.stats.bytes_received, msg.data.len() as u64);
-        Some(msg)
+        peer.flush_deferred(None);
+        peer.tag.lock().dequeue(match_bits, ignore)
     }
 
     /// Deliver any jitter-deferred messages destined to this endpoint.
@@ -221,12 +339,7 @@ impl Endpoint {
     /// this from their polling loops so deferred traffic cannot stall a
     /// posted receive that is being polled (rather than blocked) on.
     pub fn pump(&self) {
-        if self.fabric.profile().jitter_seed.is_none() {
-            return;
-        }
-        let peer = self.shared(self.addr);
-        let mut state = peer.state.lock();
-        state.flush_deferred(None, &peer.stats);
+        self.shared(self.addr).flush_deferred(None);
     }
 
     // -------------------------------------------------------------------- AM
@@ -236,28 +349,30 @@ impl Endpoint {
         let my = self.shared(self.addr);
         EndpointStats::bump(&my.stats.am_sent, 1);
         let peer = self.shared(dst);
-        let mut state = peer.state.lock();
-        state.am_queue.push_back(AmMessage { src: self.addr, handler, header, data });
-        drop(state);
-        peer.cv.notify_all();
+        peer.am.lock().push_back(AmMessage {
+            src: self.addr,
+            handler,
+            header,
+            data,
+        });
+        peer.am_cv.notify_all();
+        peer.bump_event();
     }
 
     /// Nonblocking poll for a pending active message.
     pub fn am_poll(&self) -> Option<AmMessage> {
-        let peer = self.shared(self.addr);
-        let mut state = peer.state.lock();
-        state.am_queue.pop_front()
+        self.shared(self.addr).am.lock().pop_front()
     }
 
     /// Block until an active message arrives.
     pub fn am_wait(&self) -> AmMessage {
         let peer = self.shared(self.addr);
-        let mut state = peer.state.lock();
+        let mut queue = peer.am.lock();
         loop {
-            if let Some(m) = state.am_queue.pop_front() {
+            if let Some(m) = queue.pop_front() {
                 return m;
             }
-            peer.cv.wait(&mut state);
+            peer.am_cv.wait(&mut queue);
         }
     }
 
@@ -332,9 +447,14 @@ pub struct RecvHandle {
 
 impl std::fmt::Debug for RecvHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("RecvHandle").field("addr", &self.addr).finish()
+        f.debug_struct("RecvHandle")
+            .field("addr", &self.addr)
+            .finish()
     }
 }
+
+/// Polls before a waiter parks on the event condvar.
+const WAIT_SPINS: u32 = 64;
 
 impl RecvHandle {
     /// Nonblocking: take the message if it has arrived.
@@ -347,19 +467,26 @@ impl RecvHandle {
         self.slot.is_filled()
     }
 
-    /// Block until the message arrives.
+    /// Block until the message arrives: bounded spin, then park on the
+    /// endpoint's completion-event epoch.
     pub fn wait(self) -> TaggedMessage {
         let shared = self.fabric.shared(self.addr);
-        let mut state = shared.state.lock();
+        let mut spins = 0u32;
         loop {
             if let Some(m) = self.slot.take() {
                 return m;
             }
-            state.flush_deferred(None, &shared.stats);
+            shared.flush_deferred(None);
+            spins = spins.wrapping_add(1);
+            if spins < WAIT_SPINS {
+                std::thread::yield_now();
+                continue;
+            }
+            let seen = shared.event_epoch();
             if let Some(m) = self.slot.take() {
                 return m;
             }
-            shared.cv.wait(&mut state);
+            shared.wait_event(seen, Duration::from_micros(200));
         }
     }
 
@@ -367,23 +494,14 @@ impl RecvHandle {
     /// matching, `false` if a message already matched it (in which case the
     /// message can still be polled).
     pub fn cancel(&self) -> bool {
-        let shared = self.fabric.shared(self.addr);
-        let mut state = shared.state.lock();
-        if let Some(pos) =
-            state.posted.iter().position(|p| Arc::ptr_eq(&p.slot, &self.slot))
-        {
-            state.posted.remove(pos);
-            true
-        } else {
-            false
-        }
+        self.fabric.shared(self.addr).tag.lock().cancel(&self.slot)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cost::ProviderProfile;
+    use crate::cost::{MatcherKind, ProviderProfile};
     use crate::topology::Topology;
 
     fn fabric(n: usize) -> Arc<Fabric> {
@@ -521,6 +639,42 @@ mod tests {
     }
 
     #[test]
+    fn stats_track_match_paths_and_depths() {
+        let f = fabric(2);
+        let a = f.endpoint(NetAddr(0));
+        let b = f.endpoint(NetAddr(1));
+        let h1 = b.trecv_post(1, 0);
+        let h2 = b.trecv_post(2, 0);
+        a.tsend(NetAddr(1), 1, Bytes::new());
+        a.tsend(NetAddr(1), 2, Bytes::new());
+        a.tsend(NetAddr(1), 3, Bytes::new());
+        let _ = b.trecv_blocking(0, u64::MAX);
+        let s = b.stats();
+        assert_eq!(s.bucket_hits, 2);
+        assert_eq!(s.wildcard_matches, 1);
+        assert_eq!(s.max_posted_depth, 2);
+        assert_eq!(s.max_unexpected_depth, 1);
+        assert_eq!(s.bucket_hit_rate(), Some(2.0 / 3.0));
+        drop(h1);
+        drop(h2);
+    }
+
+    #[test]
+    fn event_epoch_moves_on_delivery() {
+        let f = fabric(2);
+        let a = f.endpoint(NetAddr(0));
+        let b = f.endpoint(NetAddr(1));
+        let before = b.event_epoch();
+        a.tsend(NetAddr(1), 1, Bytes::new());
+        assert!(b.event_epoch() > before);
+        // A stale epoch returns immediately instead of sleeping out the
+        // full timeout.
+        let t0 = std::time::Instant::now();
+        b.wait_event(before, Duration::from_secs(5));
+        assert!(t0.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
     fn tdequeue_removes_from_matching() {
         let f = fabric(2);
         let a = f.endpoint(NetAddr(0));
@@ -544,14 +698,19 @@ mod tests {
         assert!(b.tdequeue(0xAB00, 0xFF).is_some());
     }
 
-    #[test]
-    fn jitter_preserves_pair_fifo() {
-        let profile = ProviderProfile::infinite().with_jitter(0xFEED);
+    fn jitter_fifo_roundtrip(matcher: MatcherKind) {
+        let profile = ProviderProfile::infinite()
+            .with_jitter(0xFEED)
+            .with_matcher(matcher);
         let f = Fabric::new(2, profile, Topology::single_node(2));
         let a = f.endpoint(NetAddr(0));
         let b = f.endpoint(NetAddr(1));
         for i in 0..100u64 {
-            a.tsend(NetAddr(1), 100 + i, Bytes::copy_from_slice(&i.to_le_bytes()));
+            a.tsend(
+                NetAddr(1),
+                100 + i,
+                Bytes::copy_from_slice(&i.to_le_bytes()),
+            );
         }
         // Receive in posted order with exact tags: per-pair FIFO means
         // payload i always carries value i.
@@ -559,6 +718,12 @@ mod tests {
             let m = b.trecv_blocking(100 + i, 0);
             assert_eq!(u64::from_le_bytes(m.data[..].try_into().unwrap()), i);
         }
+    }
+
+    #[test]
+    fn jitter_preserves_pair_fifo() {
+        jitter_fifo_roundtrip(MatcherKind::Bucketed);
+        jitter_fifo_roundtrip(MatcherKind::Linear);
     }
 
     #[test]
@@ -580,5 +745,17 @@ mod tests {
         let mut expect: Vec<u64> = (0..20).chain(1000..1020).collect();
         expect.sort_unstable();
         assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn linear_matcher_end_to_end() {
+        let profile = ProviderProfile::infinite().with_matcher(MatcherKind::Linear);
+        let f = Fabric::new(2, profile, Topology::single_node(2));
+        let a = f.endpoint(NetAddr(0));
+        let b = f.endpoint(NetAddr(1));
+        a.tsend(NetAddr(1), 1, Bytes::from_static(b"first"));
+        a.tsend(NetAddr(1), 2, Bytes::from_static(b"second"));
+        assert_eq!(&b.trecv_blocking(0, u64::MAX).data[..], b"first");
+        assert_eq!(&b.trecv_blocking(2, 0).data[..], b"second");
     }
 }

@@ -26,8 +26,9 @@ impl Fabric {
     /// Build a fabric with `n` endpoints.
     pub fn new(n: usize, profile: ProviderProfile, topology: Topology) -> Arc<Fabric> {
         assert_eq!(topology.n_ranks(), n, "topology must cover exactly n ranks");
-        let endpoints =
-            (0..n).map(|i| EndpointShared::new(profile.jitter_seed, NetAddr(i as u32))).collect();
+        let endpoints = (0..n)
+            .map(|i| EndpointShared::new(&profile, NetAddr(i as u32)))
+            .collect();
         Arc::new(Fabric {
             profile,
             topology,
@@ -54,7 +55,10 @@ impl Fabric {
 
     /// Open the endpoint at `addr`.
     pub fn endpoint(self: &Arc<Self>, addr: NetAddr) -> Endpoint {
-        assert!(addr.index() < self.endpoints.len(), "no such endpoint: {addr}");
+        assert!(
+            addr.index() < self.endpoints.len(),
+            "no such endpoint: {addr}"
+        );
         Endpoint::new(self.clone(), addr)
     }
 

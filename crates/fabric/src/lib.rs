@@ -37,13 +37,14 @@ pub mod addr;
 pub mod cost;
 pub mod endpoint;
 pub mod fabric;
+pub mod matching;
 pub mod packet;
 pub mod region;
 pub mod stats;
 pub mod topology;
 
 pub use addr::NetAddr;
-pub use cost::{NetCost, ProviderKind, ProviderProfile};
+pub use cost::{MatcherKind, NetCost, ProviderKind, ProviderProfile};
 pub use endpoint::Endpoint;
 pub use fabric::Fabric;
 pub use packet::{AmMessage, TaggedMessage};

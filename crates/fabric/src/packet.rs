@@ -2,6 +2,8 @@
 
 use crate::addr::NetAddr;
 use bytes::Bytes;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU8, Ordering};
 
 /// A tagged two-sided message as delivered to a matching receive.
 ///
@@ -49,11 +51,17 @@ pub struct AmMessage {
 }
 
 /// A posted (not yet matched) tagged receive inside an endpoint.
+///
+/// Public so the matching-engine ablation benches can drive
+/// [`matching::MatchEngine`](crate::matching::MatchEngine) directly; not a
+/// stable API for fabric consumers.
 #[derive(Debug)]
-pub(crate) struct PostedRecv {
+pub struct PostedRecv {
+    /// The receive's 64-bit match bits.
     pub match_bits: u64,
     /// Bits set in `ignore` are wildcards (libfabric convention).
     pub ignore: u64,
+    /// Completion slot filled when the receive matches.
     pub slot: std::sync::Arc<RecvSlot>,
 }
 
@@ -66,24 +74,73 @@ impl PostedRecv {
 }
 
 /// Completion slot a blocked/polling receiver watches.
+///
+/// A lock-free single-shot cell rather than a mutex: [`fill`](Self::fill)
+/// runs on the sender's critical path (inside the matching engine, under
+/// the receiver's tag lock), so completion costs one state transition plus
+/// a release store — and a receiver polling [`take`](Self::take) or
+/// [`is_filled`](Self::is_filled) before delivery costs a single acquire
+/// load, never a lock the sender could contend on.
 #[derive(Debug, Default)]
-pub(crate) struct RecvSlot {
-    pub message: parking_lot::Mutex<Option<TaggedMessage>>,
+pub struct RecvSlot {
+    /// EMPTY → FILLING → FULL → TAKEN; the only writer of the cell holds
+    /// the FILLING state, the only reader wins the FULL → TAKEN race.
+    state: AtomicU8,
+    /// The delivered message, once matched.
+    message: UnsafeCell<Option<TaggedMessage>>,
 }
 
+/// States of [`RecvSlot::state`].
+const EMPTY: u8 = 0;
+const FILLING: u8 = 1;
+const FULL: u8 = 2;
+const TAKEN: u8 = 3;
+
+// SAFETY: the `state` protocol serializes all access to `message`: the
+// cell is written only between a successful EMPTY→FILLING transition and
+// the FULL release store, and read only after winning the FULL→TAKEN
+// transition (which acquires that store).
+unsafe impl Send for RecvSlot {}
+unsafe impl Sync for RecvSlot {}
+
 impl RecvSlot {
+    /// Deposit a matched message (panics on double fill).
     pub fn fill(&self, msg: TaggedMessage) {
-        let mut guard = self.message.lock();
-        debug_assert!(guard.is_none(), "recv slot filled twice");
-        *guard = Some(msg);
+        if self
+            .state
+            .compare_exchange(EMPTY, FILLING, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            panic!("recv slot filled twice");
+        }
+        // SAFETY: the EMPTY→FILLING transition makes this the cell's only
+        // accessor until the FULL store below publishes it.
+        unsafe { *self.message.get() = Some(msg) };
+        self.state.store(FULL, Ordering::Release);
     }
 
+    /// Consume the delivered message, if any.
     pub fn take(&self) -> Option<TaggedMessage> {
-        self.message.lock().take()
+        // Cheap rejection first: polling an incomplete receive is the hot
+        // case in wait loops and must not write shared state.
+        if self.state.load(Ordering::Acquire) != FULL {
+            return None;
+        }
+        if self
+            .state
+            .compare_exchange(FULL, TAKEN, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            return None;
+        }
+        // SAFETY: winning FULL→TAKEN grants exclusive access to the cell,
+        // and the acquire pairs with `fill`'s release store.
+        unsafe { (*self.message.get()).take() }
     }
 
+    /// Has a message been delivered (and not yet taken)?
     pub fn is_filled(&self) -> bool {
-        self.message.lock().is_some()
+        self.state.load(Ordering::Acquire) == FULL
     }
 }
 
@@ -93,12 +150,20 @@ mod tests {
     use std::sync::Arc;
 
     fn msg(bits: u64) -> TaggedMessage {
-        TaggedMessage { src: NetAddr(0), match_bits: bits, data: Bytes::from_static(b"x") }
+        TaggedMessage {
+            src: NetAddr(0),
+            match_bits: bits,
+            data: Bytes::from_static(b"x"),
+        }
     }
 
     #[test]
     fn exact_match() {
-        let p = PostedRecv { match_bits: 0xABCD, ignore: 0, slot: Arc::new(RecvSlot::default()) };
+        let p = PostedRecv {
+            match_bits: 0xABCD,
+            ignore: 0,
+            slot: Arc::new(RecvSlot::default()),
+        };
         assert!(p.matches(0xABCD));
         assert!(!p.matches(0xABCE));
     }
@@ -118,8 +183,11 @@ mod tests {
 
     #[test]
     fn full_wildcard_matches_anything() {
-        let p =
-            PostedRecv { match_bits: 0, ignore: u64::MAX, slot: Arc::new(RecvSlot::default()) };
+        let p = PostedRecv {
+            match_bits: 0,
+            ignore: u64::MAX,
+            slot: Arc::new(RecvSlot::default()),
+        };
         assert!(p.matches(0));
         assert!(p.matches(u64::MAX));
         assert!(p.matches(0xDEADBEEF));
@@ -134,6 +202,24 @@ mod tests {
         let m = s.take().unwrap();
         assert_eq!(m.match_bits, 1);
         assert!(!s.is_filled());
+    }
+
+    #[test]
+    fn slot_take_is_single_shot() {
+        let s = RecvSlot::default();
+        assert!(s.take().is_none());
+        s.fill(msg(2));
+        assert!(s.take().is_some());
+        assert!(s.take().is_none(), "a message is consumed exactly once");
+        assert!(!s.is_filled());
+    }
+
+    #[test]
+    #[should_panic(expected = "recv slot filled twice")]
+    fn slot_double_fill_panics() {
+        let s = RecvSlot::default();
+        s.fill(msg(1));
+        s.fill(msg(2));
     }
 
     #[test]

@@ -49,7 +49,12 @@ pub(crate) struct RegionInner {
 
 impl MemoryRegion {
     pub(crate) fn new(key: RegionKey, len: usize) -> Self {
-        MemoryRegion { key, inner: Arc::new(RegionInner { mem: Mutex::new(vec![0u8; len]) }) }
+        MemoryRegion {
+            key,
+            inner: Arc::new(RegionInner {
+                mem: Mutex::new(vec![0u8; len]),
+            }),
+        }
     }
 
     /// The region's remote key.
@@ -73,7 +78,11 @@ impl MemoryRegion {
     pub fn write(&self, offset: usize, data: &[u8]) {
         let mut mem = self.inner.mem.lock();
         let end = offset.checked_add(data.len()).expect("rdma write overflow");
-        assert!(end <= mem.len(), "rdma write out of registered range ({end} > {})", mem.len());
+        assert!(
+            end <= mem.len(),
+            "rdma write out of registered range ({end} > {})",
+            mem.len()
+        );
         mem[offset..end].copy_from_slice(data);
     }
 
@@ -81,7 +90,11 @@ impl MemoryRegion {
     pub fn read(&self, offset: usize, len: usize) -> Vec<u8> {
         let mem = self.inner.mem.lock();
         let end = offset.checked_add(len).expect("rdma read overflow");
-        assert!(end <= mem.len(), "rdma read out of registered range ({end} > {})", mem.len());
+        assert!(
+            end <= mem.len(),
+            "rdma read out of registered range ({end} > {})",
+            mem.len()
+        );
         mem[offset..end].to_vec()
     }
 
@@ -113,9 +126,7 @@ impl MemoryRegion {
                     cur
                 }
             }
-            RdmaAtomicOp::AddF64 => {
-                (f64::from_bits(cur) + f64::from_bits(operand)).to_bits()
-            }
+            RdmaAtomicOp::AddF64 => (f64::from_bits(cur) + f64::from_bits(operand)).to_bits(),
             RdmaAtomicOp::MaxU64 => cur.max(operand),
         };
         mem[offset..end].copy_from_slice(&new.to_le_bytes());

@@ -4,21 +4,27 @@
 //! messages and bytes each rank moves per iteration. Rather than instrument
 //! the applications, the fabric counts traffic at the point of injection —
 //! the same place a NIC's hardware counters would.
+//!
+//! Counters are split by locking domain. Send-side and one-sided counters
+//! are updated *outside* the receiver's tag lock (any thread may inject),
+//! so they live here as relaxed atomics. Matching-side counters are only
+//! ever written under the tag lock, so they live in the matching engine as
+//! plain integers ([`MatchCounters`](crate::matching::MatchCounters)) — an
+//! atomic RMW costs more than the O(1) bucket operation it would account.
+//! [`snapshot`](EndpointStats::snapshot) merges both into one
+//! [`StatsSnapshot`].
 
+use crate::matching::MatchCounters;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Monotonic traffic counters for one endpoint. All counters use relaxed
-/// atomics: they are statistics, not synchronization.
+/// Monotonic cross-thread traffic counters for one endpoint. All counters
+/// use relaxed atomics: they are statistics, not synchronization.
 #[derive(Debug, Default)]
 pub struct EndpointStats {
     /// Tagged (two-sided) messages injected.
     pub msgs_sent: AtomicU64,
-    /// Tagged messages delivered to a receive on this endpoint.
-    pub msgs_received: AtomicU64,
     /// Payload bytes injected via tagged sends.
     pub bytes_sent: AtomicU64,
-    /// Payload bytes received.
-    pub bytes_received: AtomicU64,
     /// One-sided RDMA writes initiated.
     pub rdma_puts: AtomicU64,
     /// One-sided RDMA reads initiated.
@@ -29,9 +35,6 @@ pub struct EndpointStats {
     pub rdma_bytes: AtomicU64,
     /// Active messages injected.
     pub am_sent: AtomicU64,
-    /// Messages that arrived before a matching receive was posted
-    /// (unexpected-queue pressure — a matching-engine health metric).
-    pub unexpected: AtomicU64,
 }
 
 impl EndpointStats {
@@ -40,24 +43,30 @@ impl EndpointStats {
         counter.fetch_add(n, Ordering::Relaxed);
     }
 
-    /// Snapshot all counters.
-    pub fn snapshot(&self) -> StatsSnapshot {
+    /// Snapshot all counters, merging the matching engine's tag-lock-domain
+    /// counters with this endpoint's atomics.
+    pub fn snapshot(&self, matching: &MatchCounters) -> StatsSnapshot {
         StatsSnapshot {
             msgs_sent: self.msgs_sent.load(Ordering::Relaxed),
-            msgs_received: self.msgs_received.load(Ordering::Relaxed),
+            msgs_received: matching.msgs_received,
             bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
-            bytes_received: self.bytes_received.load(Ordering::Relaxed),
+            bytes_received: matching.bytes_received,
             rdma_puts: self.rdma_puts.load(Ordering::Relaxed),
             rdma_gets: self.rdma_gets.load(Ordering::Relaxed),
             rdma_atomics: self.rdma_atomics.load(Ordering::Relaxed),
             rdma_bytes: self.rdma_bytes.load(Ordering::Relaxed),
             am_sent: self.am_sent.load(Ordering::Relaxed),
-            unexpected: self.unexpected.load(Ordering::Relaxed),
+            unexpected: matching.unexpected,
+            bucket_hits: matching.bucket_hits,
+            wildcard_matches: matching.wildcard_matches,
+            max_posted_depth: matching.max_posted_depth,
+            max_unexpected_depth: matching.max_unexpected_depth,
         }
     }
 }
 
-/// A point-in-time copy of [`EndpointStats`], with plain integer fields.
+/// A point-in-time copy of one endpoint's counters ([`EndpointStats`]
+/// merged with its engine's [`MatchCounters`]), with plain integer fields.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub struct StatsSnapshot {
@@ -71,10 +80,16 @@ pub struct StatsSnapshot {
     pub rdma_bytes: u64,
     pub am_sent: u64,
     pub unexpected: u64,
+    pub bucket_hits: u64,
+    pub wildcard_matches: u64,
+    pub max_posted_depth: u64,
+    pub max_unexpected_depth: u64,
 }
 
 impl StatsSnapshot {
-    /// Difference `self - earlier` (per-interval trace).
+    /// Difference `self - earlier` (per-interval trace). The depth
+    /// high-water marks are not differentiable, so the later snapshot's
+    /// values carry through unchanged.
     pub fn diff(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
         StatsSnapshot {
             msgs_sent: self.msgs_sent - earlier.msgs_sent,
@@ -87,7 +102,18 @@ impl StatsSnapshot {
             rdma_bytes: self.rdma_bytes - earlier.rdma_bytes,
             am_sent: self.am_sent - earlier.am_sent,
             unexpected: self.unexpected - earlier.unexpected,
+            bucket_hits: self.bucket_hits - earlier.bucket_hits,
+            wildcard_matches: self.wildcard_matches - earlier.wildcard_matches,
+            max_posted_depth: self.max_posted_depth,
+            max_unexpected_depth: self.max_unexpected_depth,
         }
+    }
+
+    /// Fraction of matches that took the exact-bits fast path, or `None`
+    /// when nothing has matched yet.
+    pub fn bucket_hit_rate(&self) -> Option<f64> {
+        let total = self.bucket_hits + self.wildcard_matches;
+        (total > 0).then(|| self.bucket_hits as f64 / total as f64)
     }
 
     /// Total two-sided + one-sided operations initiated.
@@ -105,7 +131,7 @@ mod tests {
         let s = EndpointStats::default();
         EndpointStats::bump(&s.msgs_sent, 3);
         EndpointStats::bump(&s.bytes_sent, 300);
-        let snap = s.snapshot();
+        let snap = s.snapshot(&MatchCounters::default());
         assert_eq!(snap.msgs_sent, 3);
         assert_eq!(snap.bytes_sent, 300);
         assert_eq!(snap.total_ops(), 3);
@@ -114,15 +140,45 @@ mod tests {
     #[test]
     fn diff_gives_interval() {
         let s = EndpointStats::default();
+        let m = MatchCounters::default();
         EndpointStats::bump(&s.rdma_puts, 2);
-        let a = s.snapshot();
+        let a = s.snapshot(&m);
         EndpointStats::bump(&s.rdma_puts, 5);
-        let b = s.snapshot();
+        let b = s.snapshot(&m);
         assert_eq!(b.diff(&a).rdma_puts, 5);
     }
 
     #[test]
     fn default_snapshot_is_zero() {
-        assert_eq!(EndpointStats::default().snapshot(), StatsSnapshot::default());
+        let snap = EndpointStats::default().snapshot(&MatchCounters::default());
+        assert_eq!(snap, StatsSnapshot::default());
+    }
+
+    #[test]
+    fn snapshot_merges_matching_counters() {
+        let s = EndpointStats::default();
+        let m = MatchCounters {
+            msgs_received: 4,
+            bytes_received: 64,
+            unexpected: 1,
+            bucket_hits: 3,
+            wildcard_matches: 1,
+            max_posted_depth: 5,
+            max_unexpected_depth: 2,
+        };
+        let snap = s.snapshot(&m);
+        assert_eq!(snap.msgs_received, 4);
+        assert_eq!(snap.bytes_received, 64);
+        assert_eq!(snap.max_posted_depth, 5);
+        assert_eq!(snap.bucket_hit_rate(), Some(0.75));
+    }
+
+    #[test]
+    fn bucket_hit_rate() {
+        let mut snap = StatsSnapshot::default();
+        assert_eq!(snap.bucket_hit_rate(), None);
+        snap.bucket_hits = 3;
+        snap.wildcard_matches = 1;
+        assert_eq!(snap.bucket_hit_rate(), Some(0.75));
     }
 }

@@ -23,7 +23,9 @@ pub struct Topology {
 impl Topology {
     /// All ranks on a single node (everything goes through the shmmod).
     pub fn single_node(n_ranks: usize) -> Self {
-        Topology { node_of: vec![NodeId(0); n_ranks] }
+        Topology {
+            node_of: vec![NodeId(0); n_ranks],
+        }
     }
 
     /// Block distribution: `ranks_per_node` consecutive ranks per node —
@@ -31,7 +33,9 @@ impl Topology {
     /// runs use (e.g. 16 ranks/node on BG/Q).
     pub fn blocked(n_ranks: usize, ranks_per_node: usize) -> Self {
         assert!(ranks_per_node > 0, "ranks_per_node must be positive");
-        let node_of = (0..n_ranks).map(|r| NodeId((r / ranks_per_node) as u32)).collect();
+        let node_of = (0..n_ranks)
+            .map(|r| NodeId((r / ranks_per_node) as u32))
+            .collect();
         Topology { node_of }
     }
 

@@ -3,11 +3,15 @@
 //! posted-before/after symmetry under random interleavings.
 
 use bytes::Bytes;
-use litempi_fabric::{Fabric, NetAddr, ProviderProfile, Topology};
+use litempi_fabric::{Fabric, MatcherKind, NetAddr, ProviderProfile, Topology};
 use proptest::prelude::*;
 
 fn fabric(n: usize, jitter: Option<u64>) -> std::sync::Arc<Fabric> {
-    let mut profile = ProviderProfile::infinite();
+    fabric_with(n, MatcherKind::Bucketed, jitter)
+}
+
+fn fabric_with(n: usize, kind: MatcherKind, jitter: Option<u64>) -> std::sync::Arc<Fabric> {
+    let mut profile = ProviderProfile::infinite().with_matcher(kind);
     if let Some(seed) = jitter {
         profile = profile.with_jitter(seed);
     }
@@ -31,8 +35,8 @@ proptest! {
         let rx = f.endpoint(NetAddr(1));
         let mut pending = std::collections::VecDeque::new();
         let mut received = Vec::new();
-        for i in 0..n_msgs {
-            if post_first[i] {
+        for (i, &post) in post_first.iter().enumerate().take(n_msgs) {
+            if post {
                 // Post the receive before this message is sent.
                 pending.push_back(rx.trecv_post(7, 0));
             }
@@ -98,6 +102,58 @@ proptest! {
             last_idx = Some(idx);
         }
         prop_assert!(rx.tpeek(ctx, 0xFF).is_none(), "queue fully drained");
+    }
+
+    /// The bucketed engine is a drop-in replacement for the linear scan:
+    /// any interleaving of exact and wildcard posts with sends — including
+    /// under deterministic delivery jitter, which reorders cross-source
+    /// traffic and defers deliveries — produces the *identical* match
+    /// assignment and the identical leftover unexpected queue. This is the
+    /// MPI matching-order contract the bucket/seq arbitration must uphold
+    /// bit-for-bit.
+    #[test]
+    fn bucketed_matches_linear_exactly(
+        ops in proptest::collection::vec((0u64..6, any::<bool>(), 0u8..3), 1..48),
+        jitter in proptest::option::of(any::<u64>()),
+    ) {
+        const CTX: u64 = 0xC0FF_EE00;
+        // Replay the same op sequence against each engine. All jitter
+        // decisions come from a seeded per-endpoint RNG advanced in call
+        // order, so both runs see identical delivery schedules.
+        let run = |kind: MatcherKind| {
+            let f = fabric_with(2, kind, jitter);
+            let tx = f.endpoint(NetAddr(0));
+            let rx = f.endpoint(NetAddr(1));
+            let mut handles = Vec::new();
+            let mut seq = 0u64;
+            for &(tag, is_send, recv_kind) in &ops {
+                if is_send {
+                    tx.tsend(NetAddr(1), CTX | tag, Bytes::copy_from_slice(&seq.to_le_bytes()));
+                    seq += 1;
+                } else {
+                    let (bits, ignore) = match recv_kind {
+                        0 => (CTX | tag, 0),          // exact
+                        1 => (CTX, 0x7),              // tag-wildcard
+                        _ => (0, u64::MAX),           // full wildcard
+                    };
+                    handles.push(rx.trecv_post(bits, ignore));
+                }
+            }
+            // Flush any jitter-deferred deliveries, then observe the final
+            // state: which message (by send seq) each posted receive got,
+            // and the arrival order of the unmatched leftovers.
+            rx.pump();
+            let matched: Vec<Option<u64>> = handles
+                .iter()
+                .map(|h| h.poll().map(|m| u64::from_le_bytes(m.data[..].try_into().unwrap())))
+                .collect();
+            let mut leftover = Vec::new();
+            while let Some(m) = rx.tdequeue(0, u64::MAX) {
+                leftover.push(u64::from_le_bytes(m.data[..].try_into().unwrap()));
+            }
+            (matched, leftover)
+        };
+        prop_assert_eq!(run(MatcherKind::Bucketed), run(MatcherKind::Linear));
     }
 
     /// tdequeue (the mprobe substrate) removes exactly one message and

@@ -53,9 +53,15 @@ pub struct CostModel {
 
 impl CostModel {
     /// IT cluster model: 2.2 GHz Intel E5-2699 v4 (paper §4.1).
-    pub const IT_CLUSTER: CostModel = CostModel { freq_ghz: 2.2, cpi: 1.035 };
+    pub const IT_CLUSTER: CostModel = CostModel {
+        freq_ghz: 2.2,
+        cpi: 1.035,
+    };
     /// Gomez cluster model: 2.5 GHz Intel E7-8867 v3 (paper §4.1).
-    pub const GOMEZ_CLUSTER: CostModel = CostModel { freq_ghz: 2.5, cpi: 1.035 };
+    pub const GOMEZ_CLUSTER: CostModel = CostModel {
+        freq_ghz: 2.5,
+        cpi: 1.035,
+    };
 
     /// Cycles consumed by `instructions` instructions.
     #[inline]

@@ -39,7 +39,10 @@ impl AmdahlModel {
     /// halves the solution time. Returns `(time_ratio, energy_ratio)` of
     /// the (O/2, 2P) configuration vs (O, P).
     pub fn halved_overhead_doubled_procs(&self, p: f64, c: f64) -> (f64, f64) {
-        let faster = AmdahlModel { overhead: self.overhead / 2.0, work: self.work };
+        let faster = AmdahlModel {
+            overhead: self.overhead / 2.0,
+            work: self.work,
+        };
         let t_ratio = faster.time(2.0 * p) / self.time(p);
         let e_ratio = faster.energy(2.0 * p, c) / self.energy(p, c);
         (t_ratio, e_ratio)
@@ -52,14 +55,20 @@ mod tests {
 
     #[test]
     fn time_decreases_then_floors_at_overhead() {
-        let m = AmdahlModel { overhead: 1e-3, work: 10.0 };
+        let m = AmdahlModel {
+            overhead: 1e-3,
+            work: 10.0,
+        };
         assert!(m.time(10.0) > m.time(100.0));
         assert!(m.time(1e9) - m.overhead < 1e-6);
     }
 
     #[test]
     fn efficiency_is_unity_when_work_dominates() {
-        let m = AmdahlModel { overhead: 1e-6, work: 100.0 };
+        let m = AmdahlModel {
+            overhead: 1e-6,
+            work: 100.0,
+        };
         assert!(m.efficiency(10.0) > 0.999);
         // And collapses at the strong-scaling limit (W/P = overhead/10).
         assert!(m.efficiency(1e9) < 0.1);
@@ -71,7 +80,10 @@ mod tests {
     /// T'_{2P} = (O + W/P)/2 = T_P/2.
     #[test]
     fn paper_energy_identity() {
-        let m = AmdahlModel { overhead: 2e-3, work: 5.0 };
+        let m = AmdahlModel {
+            overhead: 2e-3,
+            work: 5.0,
+        };
         for p in [10.0, 100.0, 1000.0] {
             let (t_ratio, e_ratio) = m.halved_overhead_doubled_procs(p, 1.0);
             assert!((t_ratio - 0.5).abs() < 1e-12, "time halves exactly");
@@ -82,8 +94,14 @@ mod tests {
     #[test]
     fn away_from_limit_overhead_reduction_buys_little() {
         // W/P >> O: halving O barely changes T_P at fixed P.
-        let m = AmdahlModel { overhead: 1e-6, work: 100.0 };
-        let faster = AmdahlModel { overhead: m.overhead / 2.0, ..m };
+        let m = AmdahlModel {
+            overhead: 1e-6,
+            work: 100.0,
+        };
+        let faster = AmdahlModel {
+            overhead: m.overhead / 2.0,
+            ..m
+        };
         let p = 10.0;
         let gain = m.time(p) / faster.time(p);
         assert!(gain < 1.001);

@@ -114,7 +114,10 @@ impl LammpsModel {
 
     /// The paper's sweep: 512, 1024, 2048, 4096, 8192 nodes.
     pub fn sweep(&self) -> Vec<LammpsPoint> {
-        [512, 1024, 2048, 4096, 8192].iter().map(|&n| self.point(n)).collect()
+        [512, 1024, 2048, 4096, 8192]
+            .iter()
+            .map(|&n| self.point(n))
+            .collect()
     }
 
     /// Strong-scaling efficiency of `rate` at `nodes` relative to the
@@ -159,7 +162,10 @@ mod tests {
     fn original_stops_scaling_at_8192() {
         let s = sweep();
         let gain = s[4].rate_std / s[3].rate_std;
-        assert!(gain < 1.05, "Original must not scale 4096→8192 (gain {gain})");
+        assert!(
+            gain < 1.05,
+            "Original must not scale 4096→8192 (gain {gain})"
+        );
         let ch4_gain = s[4].rate_ch4 / s[3].rate_ch4;
         assert!(ch4_gain > 1.10, "CH4 must keep scaling (gain {ch4_gain})");
     }
@@ -167,7 +173,10 @@ mod tests {
     #[test]
     fn original_scales_fine_at_small_node_counts() {
         let s = sweep();
-        assert!(s[1].rate_std > 1.5 * s[0].rate_std, "512→1024 should scale well");
+        assert!(
+            s[1].rate_std > 1.5 * s[0].rate_std,
+            "512→1024 should scale well"
+        );
         assert!(s[2].rate_std > 1.3 * s[1].rate_std);
     }
 
@@ -184,8 +193,10 @@ mod tests {
         let m = LammpsModel::bgq_paper();
         let s = sweep();
         let base = s[0].rate_ch4;
-        let effs: Vec<f64> =
-            s.iter().map(|p| m.efficiency(base, p.nodes, p.rate_ch4)).collect();
+        let effs: Vec<f64> = s
+            .iter()
+            .map(|p| m.efficiency(base, p.nodes, p.rate_ch4))
+            .collect();
         assert!((effs[0] - 1.0).abs() < 1e-9);
         for w in effs.windows(2) {
             assert!(w[1] < w[0], "efficiency monotonically declines");

@@ -120,7 +120,10 @@ impl NekModel {
         // Efficiency model (right panel): Amdahl with the Lite overhead.
         let work_us = self.w_us(order) * n_over_p + self.w0_us;
         let overhead_us = t_lite - work_us;
-        let amdahl = AmdahlModel { overhead: overhead_us, work: work_us };
+        let amdahl = AmdahlModel {
+            overhead: overhead_us,
+            work: work_us,
+        };
         NekPoint {
             order,
             e_per_p,
@@ -134,7 +137,9 @@ impl NekModel {
 
     /// The paper's full sweep: E = 2^14..2^21 for each order.
     pub fn sweep(&self, order: usize) -> Vec<NekPoint> {
-        (14..=21).map(|k| self.point(order, (1u64 << k) as f64)).collect()
+        (14..=21)
+            .map(|k| self.point(order, (1u64 << k) as f64))
+            .collect()
     }
 }
 

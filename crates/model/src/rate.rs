@@ -26,12 +26,18 @@ pub struct StackCosts {
 impl StackCosts {
     /// Two-sided send on `net`.
     pub fn send(instructions: u64, net: &NetCost) -> StackCosts {
-        StackCosts { instructions, inject_cycles: net.inject_cycles_send }
+        StackCosts {
+            instructions,
+            inject_cycles: net.inject_cycles_send,
+        }
     }
 
     /// One-sided RDMA on `net`.
     pub fn rdma(instructions: u64, net: &NetCost) -> StackCosts {
-        StackCosts { instructions, inject_cycles: net.inject_cycles_rdma }
+        StackCosts {
+            instructions,
+            inject_cycles: net.inject_cycles_rdma,
+        }
     }
 
     /// Messages per second on `core`.
@@ -96,7 +102,10 @@ mod tests {
         let put_gain = best.put_rate / orig.put_rate;
         assert!((1.4..1.7).contains(&isend_gain), "isend gain {isend_gain}");
         assert!((3.3..4.5).contains(&put_gain), "put gain {put_gain}");
-        assert!(orig.isend_rate > 1e6 && best.isend_rate < 10e6, "axis range");
+        assert!(
+            orig.isend_rate > 1e6 && best.isend_rate < 10e6,
+            "axis range"
+        );
     }
 
     /// Fig 4: same shape on the UCX/EDR fabric at 2.5 GHz.

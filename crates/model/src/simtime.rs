@@ -27,7 +27,10 @@ impl SimTime {
     /// torus network) for extrapolating application runs.
     pub fn bgq() -> SimTime {
         SimTime {
-            core: CostModel { freq_ghz: 1.6, cpi: 3.0 },
+            core: CostModel {
+                freq_ghz: 1.6,
+                cpi: 3.0,
+            },
             net: litempi_fabric::ProviderProfile::bgq().cost,
         }
     }
@@ -50,8 +53,7 @@ impl SimTime {
     /// `bytes` of payload: per-message injection + latency, plus the
     /// serialization term.
     pub fn network_seconds(&self, msgs: f64, bytes: f64) -> f64 {
-        let per_msg =
-            self.core.seconds(0) + // (kept for symmetry; zero)
+        let per_msg = self.core.seconds(0) + // (kept for symmetry; zero)
             msgs * (self.net.inject_cycles_send * self.core.cpi / (self.core.freq_ghz * 1e9)
                 + self.net.latency_ns * 1e-9);
         per_msg + self.net.transfer_seconds(bytes as usize)
@@ -102,12 +104,18 @@ mod tests {
         assert!(lat_only > 10.0 * 2.2e-6, "10 messages x >= 2.2 us latency");
         let half_second_of_bytes = 1.8 * 1024.0 * 1024.0 * 1024.0 / 2.0;
         let with_bytes = m.network_seconds(10.0, half_second_of_bytes);
-        assert!((with_bytes - lat_only - 0.5).abs() < 0.01, "0.9 GiB at 1.8 GiB/s = 0.5 s");
+        assert!(
+            (with_bytes - lat_only - 0.5).abs() < 0.01,
+            "0.9 GiB at 1.8 GiB/s = 0.5 s"
+        );
     }
 
     #[test]
     fn infinite_network_is_software_only() {
-        let m = SimTime { core: CostModel::IT_CLUSTER, net: NetCost::ZERO };
+        let m = SimTime {
+            core: CostModel::IT_CLUSTER,
+            net: NetCost::ZERO,
+        };
         let r = report(221, 0);
         assert_eq!(m.total_seconds(&r, 5.0, 1e6), m.software_seconds(&r));
     }

@@ -31,9 +31,13 @@ fn main() {
                 measure("classic MPI_ISEND", &world, |w| {
                     w.isend(&[1u8], 1, 0).unwrap().wait().unwrap();
                 });
-                measure("MPI_ISEND_GLOBAL (3.1: world-rank addressing)", &world, |w| {
-                    w.isend_global(&[1u8], 1, 0).unwrap().wait().unwrap();
-                });
+                measure(
+                    "MPI_ISEND_GLOBAL (3.1: world-rank addressing)",
+                    &world,
+                    |w| {
+                        w.isend_global(&[1u8], 1, 0).unwrap().wait().unwrap();
+                    },
+                );
                 measure("MPI_ISEND_NPN (3.4: no PROC_NULL check)", &world, |w| {
                     w.isend_npn(&[1u8], 1, 0).unwrap().wait().unwrap();
                 });
@@ -41,9 +45,13 @@ fn main() {
                     w.isend_noreq(&[1u8], 1, 0).unwrap();
                     w.comm_waitall().unwrap();
                 });
-                measure("MPI_ISEND_NOMATCH (3.6: arrival-order matching)", &world, |w| {
-                    w.isend_nomatch(&[1u8], 1).unwrap().wait().unwrap();
-                });
+                measure(
+                    "MPI_ISEND_NOMATCH (3.6: arrival-order matching)",
+                    &world,
+                    |w| {
+                        w.isend_nomatch(&[1u8], 1).unwrap().wait().unwrap();
+                    },
+                );
                 measure("MPI_ISEND_ALL_OPTS (3.7: everything fused)", &world, |w| {
                     w.isend_all_opts(&[1u8], 1).unwrap();
                     w.comm_waitall().unwrap();

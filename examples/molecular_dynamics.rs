@@ -31,7 +31,10 @@ fn main() {
     let r = &out[0];
     let drift = (r.energy_final - r.energy_initial).abs() / r.energy_initial.abs();
     println!("atoms (global, conserved): {}", r.atoms_global);
-    println!("energy/atom: {:.4} -> {:.4}  (drift {:.2e})", r.energy_initial, r.energy_final, drift);
+    println!(
+        "energy/atom: {:.4} -> {:.4}  (drift {:.2e})",
+        r.energy_initial, r.energy_final, drift
+    );
     println!(
         "comm per step: {:.1} messages, {:.0} bytes (per rank)",
         r.trace.msgs_per_iter, r.trace.bytes_per_iter
@@ -40,7 +43,10 @@ fn main() {
 
     println!();
     println!("Extrapolation (Fig 8 model, 3M atoms, 16 ranks/node):");
-    println!("{:>6} {:>12} {:>10} {:>10} {:>9}", "nodes", "atoms/core", "orig t/s", "ch4 t/s", "speedup");
+    println!(
+        "{:>6} {:>12} {:>10} {:>10} {:>9}",
+        "nodes", "atoms/core", "orig t/s", "ch4 t/s", "speedup"
+    );
     for p in LammpsModel::bgq_paper().sweep() {
         println!(
             "{:>6} {:>12.0} {:>10.1} {:>10.1} {:>8.0}%",

@@ -4,8 +4,8 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use litempi::prelude::*;
 use litempi::instr::{counter, Category};
+use litempi::prelude::*;
 
 fn main() {
     // `Universe::run_default` = 4 ranks as threads, CH4 default build,
@@ -24,7 +24,9 @@ fn main() {
             .expect("ring exchange");
 
         // --- collectives ------------------------------------------------
-        let sum = world.allreduce(&[rank as u64], &Op::Sum).expect("allreduce")[0];
+        let sum = world
+            .allreduce(&[rank as u64], &Op::Sum)
+            .expect("allreduce")[0];
         let everyone = world.allgather(&[rank as u64 * 10]).expect("allgather");
 
         // --- instruction accounting ------------------------------------
@@ -37,14 +39,19 @@ fn main() {
         let mut buf = [0u8; 1];
         world.recv_into(&mut buf, left, 9).unwrap();
 
-        (rank, from_left[0], sum, everyone, report.injection_total(), report.get(Category::ErrorChecking))
+        (
+            rank,
+            from_left[0],
+            sum,
+            everyone,
+            report.injection_total(),
+            report.get(Category::ErrorChecking),
+        )
     });
 
     println!("rank | from-left | allreduce | allgather            | isend instr (err-check)");
     for (rank, from_left, sum, everyone, instr, err) in results {
-        println!(
-            "{rank:>4} | {from_left:>9} | {sum:>9} | {everyone:?} | {instr} ({err})"
-        );
+        println!("{rank:>4} | {from_left:>9} | {sum:>9} | {everyone:?} | {instr} ({err})");
     }
     println!();
     println!("The 221 instructions match the paper's Table 1 for the default ch4 build;");

@@ -53,7 +53,9 @@ fn main() {
         let (key, byte) = my_addr.to_raw();
         let left = ((rank + size - 1) % size) as i32;
         let mut peer = [0u64; 2];
-        world.sendrecv(&[key, byte], left, 5, &mut peer, right, 5).unwrap();
+        world
+            .sendrecv(&[key, byte], left, 5, &mut peer, right, 5)
+            .unwrap();
         let right_addr = VirtAddr::from_raw(peer[0], peer[1]);
         dyn_win.fence().unwrap();
         dyn_win
@@ -61,7 +63,9 @@ fn main() {
             .unwrap();
         dyn_win.fence().unwrap();
         let mut mine = [0u64; 1];
-        dyn_win.get_virtual_addr(&mut mine, rank as i32, my_addr).unwrap();
+        dyn_win
+            .get_virtual_addr(&mut mine, rank as i32, my_addr)
+            .unwrap();
         assert_eq!(mine[0] as usize, 0x1000 + (rank + size - 1) % size);
         if rank == 0 {
             println!("dynamic window: PUT_VIRTUAL_ADDR ring exchange OK");

@@ -31,7 +31,10 @@ fn main() {
         "comm per CG iteration:     {:.1} messages, {:.0} bytes (per rank)",
         r.trace.msgs_per_iter, r.trace.bytes_per_iter
     );
-    assert!(r.max_error < 1e-9, "CG must converge to the closed-form solution");
+    assert!(
+        r.max_error < 1e-9,
+        "CG must converge to the closed-form solution"
+    );
 
     println!();
     println!("Extrapolation (Fig 7 model, 16384 BG/Q-like ranks, N = 5):");

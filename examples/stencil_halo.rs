@@ -33,8 +33,10 @@ fn main() {
     }
     println!("classic and _GLOBAL flavors produced bit-identical fields.");
     println!();
-    println!("per-rank communication (classic): {:.1} msgs/iter, {:.0} bytes/iter",
-        classic[0].trace.msgs_per_iter, classic[0].trace.bytes_per_iter);
+    println!(
+        "per-rank communication (classic): {:.1} msgs/iter, {:.0} bytes/iter",
+        classic[0].trace.msgs_per_iter, classic[0].trace.bytes_per_iter
+    );
     println!("final update delta: {:.3e}", classic[0].delta);
     println!();
     println!(

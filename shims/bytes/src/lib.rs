@@ -1,0 +1,218 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Provides [`Bytes`] (a cheaply cloneable, immutable, reference-counted
+//! byte buffer), [`BytesMut`] (an append-only builder that freezes into
+//! `Bytes`), and the few [`BufMut`] writer methods the workspace's wire
+//! protocol uses. Cloning `Bytes` is an `Arc` bump — the property the
+//! fabric's eager-send path relies on.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A cheaply cloneable immutable byte buffer.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    #[inline]
+    pub fn new() -> Self {
+        Bytes {
+            data: Arc::from(&[][..]),
+        }
+    }
+
+    /// Wrap a static slice. (The shim copies once; clones still share.)
+    #[inline]
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Bytes {
+            data: Arc::from(data),
+        }
+    }
+
+    /// Copy `data` into a new shared buffer.
+    #[inline]
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes {
+            data: Arc::from(data),
+        }
+    }
+
+    /// Buffer length in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the buffer is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    #[inline]
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    #[inline]
+    fn from(v: Vec<u8>) -> Self {
+        Bytes { data: Arc::from(v) }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    #[inline]
+    fn from(v: &'static [u8]) -> Self {
+        Bytes::from_static(v)
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.data[..] == other.data[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.data[..] == *other
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.data.hash(state);
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bytes({} bytes)", self.len())
+    }
+}
+
+/// A growable byte buffer that freezes into [`Bytes`].
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// A builder pre-sized for `cap` bytes.
+    #[inline]
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Convert to an immutable shared [`Bytes`] without copying.
+    #[inline]
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+
+    /// Bytes written so far.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when nothing has been written.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Writer trait: the `bytes::BufMut` subset the wire protocol uses.
+pub trait BufMut {
+    /// Append a raw slice.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    #[inline]
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a little-endian `u16`.
+    #[inline]
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u32`.
+    #[inline]
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    #[inline]
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    #[inline]
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_freeze_share() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u8(7);
+        b.put_u64_le(0x0102);
+        b.put_slice(b"xy");
+        let frozen = b.freeze();
+        assert_eq!(frozen.len(), 11);
+        assert_eq!(frozen[0], 7);
+        assert_eq!(&frozen[9..], b"xy");
+        let clone = frozen.clone();
+        assert_eq!(clone, frozen);
+    }
+
+    #[test]
+    fn constructors() {
+        assert!(Bytes::new().is_empty());
+        assert_eq!(&Bytes::from_static(b"abc")[..], b"abc");
+        assert_eq!(&Bytes::copy_from_slice(&[1, 2])[..], &[1, 2]);
+        assert_eq!(&Bytes::from(vec![9u8])[..], &[9]);
+    }
+}

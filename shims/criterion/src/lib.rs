@@ -1,0 +1,349 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of criterion's API the workspace's benches use:
+//! `criterion_group!` / `criterion_main!`, `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{sample_size, measurement_time, bench_function,
+//! finish}`, `Bencher::{iter, iter_custom}`, `BenchmarkId`, and
+//! `black_box`. Measurement is simple wall-clock sampling: calibrate an
+//! iteration count against the group's measurement time, take N samples,
+//! report the median ns/iteration.
+//!
+//! Two extras for scripting:
+//! * run with `--test` (as `cargo test` does for harness-less targets) and
+//!   every bench executes once, quickly, with no measurement;
+//! * set `CRITERION_SHIM_JSON=<path>` and the final summary is also written
+//!   to that file as a JSON array of `{group, bench, median_ns, samples}`.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark group name.
+    pub group: String,
+    /// Benchmark id within the group.
+    pub bench: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Number of samples taken.
+    pub samples: usize,
+}
+
+/// The top-level harness state handed to every bench function.
+pub struct Criterion {
+    results: Vec<BenchResult>,
+    filter: Option<String>,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut test_mode = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                s if s.starts_with('-') => {}
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Criterion {
+            results: Vec::new(),
+            filter,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+
+    /// Bench a standalone function (an implicit single-entry group).
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut g = self.benchmark_group(id.0.clone());
+        g.bench_function(BenchmarkId::from_parameter(""), f);
+        g.finish();
+        self
+    }
+
+    fn record(&mut self, result: BenchResult) {
+        println!(
+            "{:<40} {:>14.1} ns/iter ({} samples)",
+            format!("{}/{}", result.group, result.bench),
+            result.median_ns,
+            result.samples,
+        );
+        self.results.push(result);
+    }
+
+    fn matches(&self, group: &str, bench: &str) -> bool {
+        match &self.filter {
+            Some(f) => format!("{group}/{bench}").contains(f.as_str()),
+            None => true,
+        }
+    }
+
+    /// Print the final table and, when `CRITERION_SHIM_JSON` names a path,
+    /// write the results there as JSON.
+    pub fn final_summary(&self) {
+        if let Ok(path) = std::env::var("CRITERION_SHIM_JSON") {
+            let mut out = String::from("[\n");
+            for (i, r) in self.results.iter().enumerate() {
+                out.push_str(&format!(
+                    "  {{\"group\": \"{}\", \"bench\": \"{}\", \"median_ns\": {:.1}, \"samples\": {}}}{}\n",
+                    r.group,
+                    r.bench,
+                    r.median_ns,
+                    r.samples,
+                    if i + 1 < self.results.len() { "," } else { "" },
+                ));
+            }
+            out.push_str("]\n");
+            if let Err(e) = std::fs::write(&path, out) {
+                eprintln!("criterion shim: cannot write {path}: {e}");
+            }
+        }
+    }
+}
+
+/// A named group of benchmarks sharing sampling parameters.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Wall-clock budget one benchmark's samples should roughly fill.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Measure one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        if !self.criterion.matches(&self.name, &id.0) {
+            return self;
+        }
+        let mut bencher = Bencher {
+            sample_size: if self.criterion.test_mode {
+                1
+            } else {
+                self.sample_size
+            },
+            sample_budget: if self.criterion.test_mode {
+                Duration::ZERO
+            } else {
+                self.measurement_time / self.sample_size.max(1) as u32
+            },
+            samples_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        let mut samples = bencher.samples_ns;
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = if samples.is_empty() {
+            0.0
+        } else {
+            samples[samples.len() / 2]
+        };
+        self.criterion.record(BenchResult {
+            group: self.name.clone(),
+            bench: id.0,
+            median_ns: median,
+            samples: samples.len(),
+        });
+        self
+    }
+
+    /// Close the group (kept for API parity; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter` form.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), parameter))
+    }
+
+    /// Parameter-only form (the group provides the name).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Runs the measured closure and collects timing samples.
+pub struct Bencher {
+    sample_size: usize,
+    sample_budget: Duration,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measure a closure the harness times externally.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Calibrate: double the batch until it costs ~1/8 of the budget.
+        let mut batch: u64 = 1;
+        let floor = (self.sample_budget.as_nanos() / 8).max(1) as u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = t0.elapsed().as_nanos() as u64;
+            if elapsed >= floor || batch >= 1 << 24 {
+                break;
+            }
+            batch *= 2;
+        }
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples_ns
+                .push(t0.elapsed().as_nanos() as f64 / batch as f64);
+        }
+    }
+
+    /// Measure a closure that times `iters` iterations itself and returns
+    /// the elapsed duration (criterion's `iter_custom`).
+    pub fn iter_custom(&mut self, mut f: impl FnMut(u64) -> Duration) {
+        // Calibrate with a single iteration, then scale to the budget.
+        // Scale by the probe's *wall* cost, not just the duration it
+        // returns: many callers time a small slice of each iteration
+        // (matching-walk benches exclude posting and draining), and
+        // budgeting on the slice alone would overshoot the wall budget by
+        // orders of magnitude.
+        let t0 = Instant::now();
+        let returned = f(1);
+        let probe = returned.max(t0.elapsed()).as_nanos().max(1) as u64;
+        let budget = self.sample_budget.as_nanos().max(1) as u64;
+        let iters = (budget / probe).clamp(1, 1 << 20);
+        for _ in 0..self.sample_size {
+            let d = f(iters);
+            self.samples_ns.push(d.as_nanos() as f64 / iters as f64);
+        }
+    }
+}
+
+/// Bundle bench functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn harness() -> Criterion {
+        Criterion {
+            results: Vec::new(),
+            filter: None,
+            test_mode: true,
+        }
+    }
+
+    #[test]
+    fn group_runs_and_records() {
+        let mut c = harness();
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3).measurement_time(Duration::from_millis(10));
+            g.bench_function(BenchmarkId::from_parameter(1), |b| b.iter(|| 2 + 2));
+            g.bench_function(BenchmarkId::from_parameter(2), |b| {
+                b.iter_custom(|iters| {
+                    let t0 = Instant::now();
+                    for _ in 0..iters {
+                        black_box(3 * 3);
+                    }
+                    t0.elapsed()
+                })
+            });
+            g.finish();
+        }
+        assert_eq!(c.results.len(), 2);
+        assert_eq!(c.results[0].bench, "1");
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = harness();
+        c.filter = Some("wanted".into());
+        {
+            let mut g = c.benchmark_group("g");
+            g.bench_function(BenchmarkId::from_parameter("other"), |b| b.iter(|| 1));
+            g.bench_function(BenchmarkId::from_parameter("wanted"), |b| b.iter(|| 1));
+            g.finish();
+        }
+        assert_eq!(c.results.len(), 1);
+        assert_eq!(c.results[0].bench, "wanted");
+    }
+
+    #[test]
+    fn benchmark_id_forms() {
+        assert_eq!(BenchmarkId::new("n", 5).0, "n/5");
+        assert_eq!(BenchmarkId::from_parameter("x").0, "x");
+    }
+}

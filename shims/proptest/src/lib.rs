@@ -1,0 +1,221 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this shim implements
+//! the subset of proptest the workspace's property tests use: the
+//! [`proptest!`] macro, [`strategy::Strategy`] with `prop_map` /
+//! `prop_flat_map` / `boxed`, integer-range and tuple strategies,
+//! [`collection::vec`] / [`collection::btree_set`], [`option::of`],
+//! [`sample::Index`], [`prop_oneof!`], and the `prop_assert*` macros.
+//!
+//! Differences from real proptest, deliberate for a hermetic test suite:
+//! values are generated from a deterministic per-test RNG (seeded from the
+//! test's module path) so runs are reproducible, and failing cases are
+//! reported with their full inputs but are **not shrunk**.
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod option;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a property test needs in scope.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Namespaced access mirroring `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::{collection, option, sample};
+    }
+}
+
+/// Define property tests. Each function runs `config.cases` times with
+/// freshly generated inputs; a failing case panics with its inputs printed.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::for_test(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for case in 0..config.cases {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    let inputs =
+                        format!(concat!($(stringify!($arg), " = {:?}; "),+), $(&$arg),+);
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(
+                            move || -> ::std::result::Result<
+                                (),
+                                $crate::test_runner::TestCaseError,
+                            > {
+                                $body
+                                #[allow(unreachable_code)]
+                                Ok(())
+                            },
+                        ),
+                    );
+                    match outcome {
+                        Ok(Ok(())) => {}
+                        Ok(Err(e)) => {
+                            eprintln!(
+                                "proptest: {} failed at case {}/{} with inputs: {}",
+                                stringify!($name),
+                                case + 1,
+                                config.cases,
+                                inputs,
+                            );
+                            panic!("test case failed: {}", e);
+                        }
+                        Err(payload) => {
+                            eprintln!(
+                                "proptest: {} failed at case {}/{} with inputs: {}",
+                                stringify!($name),
+                                case + 1,
+                                config.cases,
+                                inputs,
+                            );
+                            ::std::panic::resume_unwind(payload);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Assert a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            panic!("prop_assert failed: {}", stringify!($cond));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            panic!($($fmt)+);
+        }
+    };
+}
+
+/// Assert equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            panic!("prop_assert_eq failed: {:?} != {:?}", l, r);
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            panic!("{}: {:?} != {:?}", format_args!($($fmt)+), l, r);
+        }
+    }};
+}
+
+/// Assert inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            panic!("prop_assert_ne failed: both sides are {:?}", l);
+        }
+    }};
+}
+
+/// Choose uniformly between several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, y in -5i64..5, z in 0u8..=4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+            prop_assert!(z <= 4);
+        }
+
+        #[test]
+        fn combinators_compose(
+            v in prop::collection::vec((0u32..10, any::<bool>()), 1..8),
+            opt in prop::option::of(any::<u64>()),
+            pick in any::<prop::sample::Index>(),
+            mapped in (1usize..4).prop_map(|n| n * 2),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 8);
+            prop_assert!(v.iter().all(|&(a, _)| a < 10));
+            let _ = opt;
+            prop_assert!(pick.index(v.len()) < v.len());
+            prop_assert!(mapped % 2 == 0 && (2..=6).contains(&mapped));
+        }
+
+        #[test]
+        fn oneof_and_flat_map(
+            x in prop_oneof![Just(1u32), Just(2u32), 10u32..20],
+            grid in (2usize..5).prop_flat_map(|n| {
+                crate::collection::vec(0usize..n, n)
+            }),
+        ) {
+            prop_assert!(x == 1 || x == 2 || (10..20).contains(&x));
+            let n = grid.len();
+            prop_assert!((2..5).contains(&n));
+            prop_assert!(grid.iter().all(|&g| g < n));
+        }
+
+        #[test]
+        fn btree_set_is_sorted_unique(s in crate::collection::btree_set(0u32..32, 0..10)) {
+            let v: Vec<u32> = s.iter().copied().collect();
+            prop_assert!(v.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(v.len() < 10);
+        }
+    }
+
+    #[test]
+    fn determinism_same_test_same_values() {
+        let mut a = crate::test_runner::TestRng::for_test("x::y");
+        let mut b = crate::test_runner::TestRng::for_test("x::y");
+        let s = 0u64..1_000_000;
+        for _ in 0..32 {
+            assert_eq!(
+                Strategy::generate(&s, &mut a),
+                Strategy::generate(&s, &mut b)
+            );
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Sampling helpers: `sample::Index`.
+
+use crate::strategy::Arbitrary;
+use crate::test_runner::TestRng;
+
+/// A length-agnostic index: generated once, projected onto any collection
+/// length with [`Index::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(usize);
+
+impl Index {
+    /// Project onto a collection of `len` elements. `len` must be nonzero.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on empty collection");
+        self.0 % len
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        Index(rng.next_u64() as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_is_stable_per_value() {
+        let i = Index(13);
+        assert_eq!(i.index(5), 3);
+        assert_eq!(i.index(5), 3);
+        assert!(i.index(7) < 7);
+    }
+}

@@ -55,7 +55,12 @@ fn nek_trace_feeds_model_consistently() {
     let out = Universe::run_default(8, |proc| {
         nekbone::run(
             &proc,
-            &NekConfig { elems: [4, 2, 2], order: 3, iterations: 20, rank_grid: [2, 2, 2] },
+            &NekConfig {
+                elems: [4, 2, 2],
+                order: 3,
+                iterations: 20,
+                rank_grid: [2, 2, 2],
+            },
         )
         .unwrap()
     });
@@ -82,8 +87,7 @@ fn md_and_lammps_model_agree_on_the_story() {
         minimd::run(&proc, &MdConfig::small([2, 1, 1])).unwrap()
     });
     for r in &out {
-        let drift =
-            (r.energy_final - r.energy_initial).abs() / r.energy_initial.abs().max(1e-12);
+        let drift = (r.energy_final - r.energy_initial).abs() / r.energy_initial.abs().max(1e-12);
         assert!(drift < 0.01, "drift {drift}");
     }
     let sweep = LammpsModel::bgq_paper().sweep();
@@ -137,7 +141,11 @@ fn mixed_intra_and_inter_node_traffic() {
                 if peer == proc.rank() {
                     continue;
                 }
-                world.isend(&[proc.rank() as u64], peer as i32, 0).unwrap().wait().unwrap();
+                world
+                    .isend(&[proc.rank() as u64], peer as i32, 0)
+                    .unwrap()
+                    .wait()
+                    .unwrap();
             }
             for _ in 0..proc.size() - 1 {
                 let mut b = [0u64; 1];

@@ -7,8 +7,7 @@ use proptest::prelude::*;
 
 /// Arbitrary subset of a 64-process world, as sorted unique world ranks.
 fn arb_ranks() -> impl Strategy<Value = Vec<u32>> {
-    proptest::collection::btree_set(0u32..64, 0..24)
-        .prop_map(|s| s.into_iter().collect())
+    proptest::collection::btree_set(0u32..64, 0..24).prop_map(|s| s.into_iter().collect())
 }
 
 fn members(g: &Group) -> Vec<usize> {

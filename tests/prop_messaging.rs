@@ -58,9 +58,7 @@ fn run_script(script: &[(usize, i32)], seed: u64, profile: ProviderProfile) {
                 let reqs: Vec<_> = script
                     .iter()
                     .enumerate()
-                    .map(|(i, (len, tag))| {
-                        world.isend(&payload(seed, i, *len), 1, *tag).unwrap()
-                    })
+                    .map(|(i, (len, tag))| world.isend(&payload(seed, i, *len), 1, *tag).unwrap())
                     .collect();
                 litempi::core::waitall(reqs).unwrap();
                 true

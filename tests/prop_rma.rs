@@ -49,14 +49,26 @@ fn reference(scripts: &[Vec<RmaOp>], n: usize) -> Vec<Vec<u64>> {
         for script in scripts {
             if let Some(&op) = script.get(round) {
                 match op {
-                    RmaOp::Put { target, slot, value } => {
+                    RmaOp::Put {
+                        target,
+                        slot,
+                        value,
+                    } => {
                         mem[target as usize][slot as usize] = value as u64;
                     }
-                    RmaOp::AccSum { target, slot, value } => {
+                    RmaOp::AccSum {
+                        target,
+                        slot,
+                        value,
+                    } => {
                         mem[target as usize][slot as usize] =
                             mem[target as usize][slot as usize].wrapping_add(value as u64);
                     }
-                    RmaOp::AccMax { target, slot, value } => {
+                    RmaOp::AccMax {
+                        target,
+                        slot,
+                        value,
+                    } => {
                         let cur = mem[target as usize][slot as usize];
                         mem[target as usize][slot as usize] = cur.max(value as u64);
                     }
@@ -87,7 +99,11 @@ fn deconflict(mut scripts: Vec<Vec<RmaOp>>) -> Vec<Vec<RmaOp>> {
                 if taken.contains(&key) {
                     // Neutralize: retarget to this origin's private slot 0
                     // as an idempotent no-op accumulate of 0.
-                    *op = RmaOp::AccSum { target: key.0, slot: key.1, value: 0 };
+                    *op = RmaOp::AccSum {
+                        target: key.0,
+                        slot: key.1,
+                        value: 0,
+                    };
                     // A zero-sum never changes the reference or the run.
                 } else {
                     taken.push(key);
@@ -113,14 +129,27 @@ fn run_stack(
         for round in 0..rounds {
             if let Some(&op) = script.get(round) {
                 match op {
-                    RmaOp::Put { target, slot, value } => {
-                        win.put(&[value as u64], target as i32, slot as usize).unwrap();
+                    RmaOp::Put {
+                        target,
+                        slot,
+                        value,
+                    } => {
+                        win.put(&[value as u64], target as i32, slot as usize)
+                            .unwrap();
                     }
-                    RmaOp::AccSum { target, slot, value } => {
+                    RmaOp::AccSum {
+                        target,
+                        slot,
+                        value,
+                    } => {
                         win.accumulate(&[value as u64], target as i32, slot as usize, &Op::Sum)
                             .unwrap();
                     }
-                    RmaOp::AccMax { target, slot, value } => {
+                    RmaOp::AccMax {
+                        target,
+                        slot,
+                        value,
+                    } => {
                         win.accumulate(&[value as u64], target as i32, slot as usize, &Op::Max)
                             .unwrap();
                     }
@@ -129,7 +158,9 @@ fn run_stack(
             win.fence().unwrap();
         }
         let mem = win.read_local(0, 32);
-        mem.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect::<Vec<_>>()
+        mem.chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect::<Vec<_>>()
     });
     out
 }
