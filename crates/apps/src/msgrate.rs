@@ -21,6 +21,11 @@ pub struct RateReport {
     pub wall_rate: f64,
     /// Measured injection-path instructions per operation.
     pub instr_per_op: f64,
+    /// Per-message heap allocations per operation (payload-pipeline
+    /// counter — a separate dimension from the instruction categories, so
+    /// the paper's instruction counts are untouched). With the pooled
+    /// pipeline warm this is ~0 for eager traffic.
+    pub allocs_per_op: f64,
 }
 
 /// `MPI_ISEND` issue rate: rank 0 fires `ops` one-byte sends at rank 1 in
@@ -50,11 +55,13 @@ pub fn isend_rate(
             issued += batch;
         }
         let dt = t0.elapsed().as_secs_f64();
+        let allocs = probe.allocs();
         let report = probe.finish();
         Some(RateReport {
             ops,
             wall_rate: ops as f64 / dt.max(1e-12),
             instr_per_op: report.injection_total() as f64 / ops as f64,
+            allocs_per_op: allocs as f64 / ops as f64,
         })
     } else if me == 1 {
         let mut buf = [0u8; 1];
@@ -83,11 +90,13 @@ pub fn put_rate(proc: &Process, comm: &Communicator, ops: usize) -> MpiResult<Op
             win.put(&data, 1, 0)?;
         }
         let dt = t0.elapsed().as_secs_f64();
+        let allocs = probe.allocs();
         let report = probe.finish();
         Some(RateReport {
             ops,
             wall_rate: ops as f64 / dt.max(1e-12),
             instr_per_op: report.injection_total() as f64 / ops as f64,
+            allocs_per_op: allocs as f64 / ops as f64,
         })
     } else {
         None
@@ -114,6 +123,9 @@ mod tests {
         assert!(r.wall_rate > 0.0);
         // Default ch4 build: 221 instructions per isend, exactly.
         assert!((r.instr_per_op - 221.0).abs() < 1e-9, "{}", r.instr_per_op);
+        // Pooled pipeline: even a cold pool (2 allocs per miss) beats the
+        // legacy path's 3 staged allocations per eager message.
+        assert!(r.allocs_per_op < 3.0, "{}", r.allocs_per_op);
         assert!(out[1].is_none());
     }
 

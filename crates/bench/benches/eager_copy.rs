@@ -1,0 +1,99 @@
+//! Copy-pipeline ablation: pooled single-copy payloads vs the legacy
+//! stage-then-copy path, at matched message sizes.
+//!
+//! The legacy path builds each eager message by staging the user data into
+//! a fresh `Vec`, then copying it again (with the envelope byte) into a
+//! second freshly allocated wire buffer. The pooled path leases a recycled
+//! buffer and writes envelope + user data into it once. Both paths run the
+//! same protocol and matching code, so any gap is the double copy plus the
+//! per-message allocations. `ProviderProfile::infinite()` keeps every size
+//! below the eager threshold, including 64 KiB.
+//!
+//! Only the sender's injection loop is timed. Sends go out in bursts of
+//! `BATCH`; the receiver holds off draining until it matches the burst-end
+//! marker, then drains and acks (all untimed). The warm-up burst leaves
+//! `BATCH` recycled buffers in the pool (below the per-class depth), so
+//! every timed take is a pool hit and no release ever contends with the
+//! timed region.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use litempi_core::{BuildConfig, Universe};
+use litempi_fabric::{CopyMode, ProviderProfile, Topology};
+use std::time::{Duration, Instant};
+
+const BATCH: u64 = 32;
+
+/// Time `iters` eager injections under the given copy mode.
+fn send_batch(mode: CopyMode, iters: u64, payload: usize) -> Duration {
+    let out = Universe::run(
+        2,
+        BuildConfig::ch4_default(),
+        ProviderProfile::infinite().with_copy_mode(mode),
+        Topology::single_node(2),
+        move |proc| {
+            let world = proc.world();
+            let data = vec![7u8; payload];
+            let mut ack = [0u8; 1];
+            let batches = iters.div_ceil(BATCH);
+            if proc.rank() == 0 {
+                let mut burst = |n: u64, timer: &mut Duration| {
+                    let t0 = Instant::now();
+                    for _ in 0..n {
+                        world.isend(&data, 1, 0).unwrap().wait().unwrap();
+                    }
+                    *timer += t0.elapsed();
+                    // Untimed: tell the receiver the burst is complete,
+                    // then wait for it to drain and recycle every buffer.
+                    world.send(&[1u8], 1, 1).unwrap();
+                    world.recv_into(&mut ack, 1, 2).unwrap();
+                };
+                let mut warm = Duration::ZERO;
+                burst(BATCH, &mut warm);
+                let mut dt = Duration::ZERO;
+                let mut left = iters;
+                for _ in 0..batches {
+                    let n = left.min(BATCH);
+                    left -= n;
+                    burst(n, &mut dt);
+                }
+                Some(dt)
+            } else {
+                let mut buf = vec![0u8; payload.max(1)];
+                let mut drain = |n: u64| {
+                    // The burst queues as unexpected messages while we wait
+                    // for the marker; no payload is released until then.
+                    world.recv_into(&mut ack, 0, 1).unwrap();
+                    for _ in 0..n {
+                        world.recv_into(&mut buf, 0, 0).unwrap();
+                    }
+                    world.send(&[1u8], 0, 2).unwrap();
+                };
+                drain(BATCH);
+                let mut left = iters;
+                for _ in 0..batches {
+                    let n = left.min(BATCH);
+                    left -= n;
+                    drain(n);
+                }
+                None
+            }
+        },
+    );
+    out.into_iter().flatten().next().unwrap()
+}
+
+fn bench_eager_copy_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("eager_copy_ablation");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+    for payload in [0usize, 64, 1024, 65536] {
+        for (label, mode) in [("pooled", CopyMode::Pooled), ("legacy", CopyMode::Legacy)] {
+            g.bench_function(BenchmarkId::new(label, payload), |b| {
+                b.iter_custom(|iters| send_batch(mode, iters.max(1), payload));
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_eager_copy_ablation);
+criterion_main!(benches);

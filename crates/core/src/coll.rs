@@ -25,25 +25,33 @@ pub(crate) fn csend(comm: &Communicator, dest: usize, tag: i32, data: &[u8]) {
     let proc = &comm.proc;
     let bits = match_bits::encode(comm.context_id().collective(), comm.rank, tag);
     let dest_world = comm.world_rank_of(dest);
-    let max_eager = proc.endpoint.fabric().profile().caps.max_eager;
+    let fabric = proc.endpoint.fabric();
+    let max_eager = fabric.profile().caps.max_eager;
     let payload = if data.len() <= max_eager {
-        proto::eager(data)
+        proto::eager_payload(fabric, data)
     } else {
+        litempi_instr::note_alloc(1);
         let (rndv_id, _done) = proc.univ.alloc_rndv(data.to_vec());
-        proto::rts(rndv_id, data.len())
+        proto::rts_payload(fabric, rndv_id, data.len())
     };
     inject(proc, dest_world, bits, payload, &SendOpts::default());
 }
 
-/// Internal collective-channel receive from a specific peer.
-pub(crate) fn crecv(comm: &Communicator, src: usize, tag: i32) -> Vec<u8> {
+/// Internal collective-channel receive from a specific peer. Returns a
+/// zero-copy view of the delivered data: the eager case slices past the
+/// envelope byte in place, the rendezvous case shares the staged table
+/// payload — no `to_vec` on either path.
+pub(crate) fn crecv(comm: &Communicator, src: usize, tag: i32) -> bytes::Bytes {
     let proc = &comm.proc;
     let bits = match_bits::encode(comm.context_id().collective(), src, tag);
     let payload = recv_raw(proc, bits);
-    match proto::decode(&payload).1 {
-        DecodedPayload::Eager(d) => d.to_vec(),
-        DecodedPayload::Rts { rndv_id, .. } => proc.univ.pull_rndv(rndv_id).to_vec(),
+    if let DecodedPayload::Rts { rndv_id, .. } = proto::decode(&payload).1 {
+        let data = proc.univ.pull_rndv(rndv_id);
+        // The 17-byte RTS envelope is consumed: recycle it.
+        proc.endpoint.fabric().pool().release(payload);
+        return bytes::Bytes::from_storage(data);
     }
+    proto::eager_view(&payload)
 }
 
 fn recv_raw(proc: &ProcInner, bits: u64) -> bytes::Bytes {
@@ -279,8 +287,8 @@ pub fn gatherv<T: MpiPrimitive>(
     let rank = comm.rank();
     let tag = comm.next_coll_tag();
     if rank == root {
-        let mut blocks: Vec<Vec<u8>> = vec![Vec::new(); size];
-        blocks[root] = T::as_bytes(sendbuf).to_vec();
+        let mut blocks: Vec<bytes::Bytes> = vec![bytes::Bytes::new(); size];
+        blocks[root] = bytes::Bytes::copy_from_slice(T::as_bytes(sendbuf));
         for src in (0..size).filter(|&r| r != root) {
             blocks[src] = crecv(comm, src, tag);
         }
@@ -452,7 +460,9 @@ pub fn scan<T: MpiPrimitive>(comm: &Communicator, sendbuf: &[T], op: &Op) -> Mpi
         let prev = crecv(comm, rank - 1, tag);
         // acc = prefix(0..rank-1) OP mine — order matters for
         // non-commutative user ops: previous prefix first.
-        let mut prefix = prev;
+        // scan mutates the received prefix in place, so this is the one
+        // consumer that genuinely needs an owned copy of the wire data.
+        let mut prefix = prev.to_vec();
         op.apply(&T::DATATYPE, &mut prefix, &acc)?;
         acc = prefix;
     }
@@ -482,7 +492,7 @@ pub fn exscan<T: MpiPrimitive>(
     if rank + 1 < size {
         let mut fwd = match &prefix {
             Some(p) => {
-                let mut f = p.clone();
+                let mut f = p.to_vec();
                 op.apply(&T::DATATYPE, &mut f, T::as_bytes(sendbuf))?;
                 f
             }

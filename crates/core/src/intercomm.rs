@@ -169,22 +169,24 @@ impl InterComm {
         // receiver (whose remote group is our local group) names us.
         let bits = match_bits::encode(self.shared.ctx, self.local_rank, tag);
         let bytes = T::as_bytes(data);
-        let max_eager = self.proc.endpoint.fabric().profile().caps.max_eager;
+        let fabric = self.proc.endpoint.fabric();
+        let max_eager = fabric.profile().caps.max_eager;
         if bytes.len() <= max_eager {
             inject(
                 &self.proc,
                 dest_world,
                 bits,
-                proto::eager(bytes),
+                proto::eager_payload(fabric, bytes),
                 &SendOpts::default(),
             );
         } else {
+            litempi_instr::note_alloc(1);
             let (rndv_id, _done) = self.proc.univ.alloc_rndv(bytes.to_vec());
             inject(
                 &self.proc,
                 dest_world,
                 bits,
-                proto::rts(rndv_id, bytes.len()),
+                proto::rts_payload(fabric, rndv_id, bytes.len()),
                 &SendOpts::default(),
             );
         }
@@ -217,9 +219,15 @@ impl InterComm {
             (msg.bits, msg.payload)
         };
         let (mbits, data) = payload;
-        let wire: Vec<u8> = match proto::decode(&data).1 {
-            DecodedPayload::Eager(d) => d.to_vec(),
-            DecodedPayload::Rts { rndv_id, .. } => proc.univ.pull_rndv(rndv_id).to_vec(),
+        // Zero-copy view of the wire data: slice past the eager envelope
+        // in place, or share the staged rendezvous payload.
+        let wire: bytes::Bytes = if let DecodedPayload::Rts { rndv_id, .. } = proto::decode(&data).1
+        {
+            let staged = proc.univ.pull_rndv(rndv_id);
+            proc.endpoint.fabric().pool().release(data);
+            bytes::Bytes::from_storage(staged)
+        } else {
+            proto::eager_view(&data)
         };
         let dst = T::as_bytes_mut(buf);
         if wire.len() > dst.len() {

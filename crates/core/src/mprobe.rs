@@ -63,7 +63,7 @@ impl MatchedMessage {
             &self.proc,
             self.bits,
             self.src_world,
-            &self.payload,
+            self.payload,
             &mut dest,
         )
     }

@@ -165,27 +165,26 @@ impl PersistentSend<'_> {
                 self.state = Armed::SendInFlight(None);
                 return Ok(());
             };
-            let data: Vec<u8> = if self.ty.is_contiguous() {
-                self.buf[..self.ty.size() * self.count].to_vec()
-            } else {
-                pack::pack(&self.ty, self.count, self.buf)
-            };
-            if data.len() <= self.max_eager {
-                inject(
-                    proc,
-                    dest_world,
-                    self.bits,
-                    proto::eager(&data),
-                    &SendOpts::default(),
-                );
+            let wire_len = pack::packed_size(&self.ty, self.count);
+            if wire_len <= self.max_eager {
+                let payload =
+                    proto::eager_packed(proc.endpoint.fabric(), &self.ty, self.count, self.buf);
+                inject(proc, dest_world, self.bits, payload, &SendOpts::default());
                 self.state = Armed::SendInFlight(None);
             } else {
-                let (rndv_id, done) = proc.univ.alloc_rndv(data.clone());
+                litempi_instr::note_alloc(1);
+                let data: Vec<u8> = if self.ty.is_contiguous() {
+                    self.buf[..wire_len].to_vec()
+                } else {
+                    pack::pack(&self.ty, self.count, self.buf)
+                };
+                // Moved into the rendezvous table, never cloned.
+                let (rndv_id, done) = proc.univ.alloc_rndv(data);
                 inject(
                     proc,
                     dest_world,
                     self.bits,
-                    proto::rts(rndv_id, data.len()),
+                    proto::rts_payload(proc.endpoint.fabric(), rndv_id, wire_len),
                     &SendOpts::default(),
                 );
                 self.state = Armed::SendInFlight(Some(done));
@@ -263,13 +262,13 @@ impl PersistentRecv<'_> {
                     &self.proc,
                     msg.match_bits,
                     msg.src.index(),
-                    &msg.data,
+                    msg.data,
                     &mut dest,
                 )
             }
             Armed::RecvCore(slot) => {
                 let msg = wait_loop(&self.proc, || slot.filled.lock().take());
-                complete_recv(&self.proc, msg.bits, msg.src_world, &msg.payload, &mut dest)
+                complete_recv(&self.proc, msg.bits, msg.src_world, msg.payload, &mut dest)
             }
             Armed::SendInFlight(None) => Ok(Status::proc_null()),
             Armed::Idle => Err(MpiError::InvalidRequest(

@@ -460,6 +460,12 @@ impl Process {
         self.inner.endpoint.stats()
     }
 
+    /// Payload-pool counters for this job's fabric (takes, hits, recycled,
+    /// dropped). Tests assert pool reuse and hit rates through this.
+    pub fn pool_stats(&self) -> litempi_fabric::PoolStats {
+        self.inner.endpoint.fabric().pool().stats()
+    }
+
     #[cfg(test)]
     pub(crate) fn univ(&self) -> Arc<UnivShared> {
         self.inner.univ.clone()

@@ -7,6 +7,8 @@
 //! the RDMA-read rendezvous protocol used by modern MPI stacks.
 
 use bytes::{BufMut, Bytes, BytesMut};
+use litempi_datatype::{pack, Datatype};
+use litempi_fabric::{CopyMode, Fabric};
 
 /// Payload kind for tagged messages.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -17,21 +19,91 @@ pub enum PayloadKind {
     Rts,
 }
 
-/// Encode an eager payload.
+/// Encode an eager payload (the legacy copying path: stages into a fresh
+/// wire buffer). The pooled pipeline goes through [`eager_payload`] /
+/// [`eager_packed`] instead.
 pub fn eager(data: &[u8]) -> Bytes {
+    // One allocation for the wire buffer, one for its shared handle.
+    litempi_instr::note_alloc(2);
     let mut buf = BytesMut::with_capacity(1 + data.len());
     buf.put_u8(0);
     buf.put_slice(data);
     buf.freeze()
 }
 
-/// Encode an RTS payload.
+/// Encode an RTS payload (legacy path; see [`rts_payload`]).
 pub fn rts(rndv_id: u64, len: usize) -> Bytes {
+    litempi_instr::note_alloc(2);
     let mut buf = BytesMut::with_capacity(17);
     buf.put_u8(1);
     buf.put_u64_le(rndv_id);
     buf.put_u64_le(len as u64);
     buf.freeze()
+}
+
+/// Build an eager payload for contiguous `data` under `fabric`'s copy
+/// mode. The pooled pipeline leases a recycled wire buffer, writes the
+/// envelope byte, and copies the user data into it exactly once — zero
+/// heap allocations when the pool is warm. The legacy mode reproduces the
+/// original stage-then-copy behaviour for the ablation.
+pub fn eager_payload(fabric: &Fabric, data: &[u8]) -> Bytes {
+    match fabric.profile().copy_mode {
+        CopyMode::Pooled => {
+            let mut buf = fabric.pool().take(1 + data.len());
+            buf.put_u8(0);
+            buf.put_slice(data);
+            buf.freeze()
+        }
+        CopyMode::Legacy => {
+            // Staging copy the pooled pipeline exists to eliminate.
+            litempi_instr::note_alloc(1);
+            let staged = data.to_vec();
+            eager(&staged)
+        }
+    }
+}
+
+/// Build an eager payload for `count` elements of `ty` at `buf`,
+/// packing a non-contiguous layout directly into the wire buffer
+/// (single copy) on the pooled path.
+pub fn eager_packed(fabric: &Fabric, ty: &Datatype, count: usize, buf: &[u8]) -> Bytes {
+    let wire_len = pack::packed_size(ty, count);
+    if ty.is_contiguous() {
+        return eager_payload(fabric, &buf[..wire_len]);
+    }
+    match fabric.profile().copy_mode {
+        CopyMode::Pooled => {
+            let mut wire = fabric.pool().take(1 + wire_len);
+            wire.put_u8(0);
+            pack::pack_with(ty, count, buf, |seg| wire.put_slice(seg));
+            wire.freeze()
+        }
+        CopyMode::Legacy => {
+            litempi_instr::note_alloc(1);
+            eager(&pack::pack(ty, count, buf))
+        }
+    }
+}
+
+/// Build an RTS payload under `fabric`'s copy mode. The 17-byte envelope
+/// is pooled too: rendezvous control traffic recycles like eager data.
+pub fn rts_payload(fabric: &Fabric, rndv_id: u64, len: usize) -> Bytes {
+    match fabric.profile().copy_mode {
+        CopyMode::Pooled => {
+            let mut buf = fabric.pool().take(17);
+            buf.put_u8(1);
+            buf.put_u64_le(rndv_id);
+            buf.put_u64_le(len as u64);
+            buf.freeze()
+        }
+        CopyMode::Legacy => rts(rndv_id, len),
+    }
+}
+
+/// Zero-copy view of an eager payload's data: the delivered buffer minus
+/// its envelope byte, sharing storage with `payload`.
+pub fn eager_view(payload: &Bytes) -> Bytes {
+    payload.slice(1..)
 }
 
 /// Decode a tagged payload.
@@ -173,6 +245,51 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn pooled_builders_round_trip_and_recycle() {
+        use litempi_fabric::{ProviderProfile, Topology};
+        let fabric = Fabric::new(1, ProviderProfile::infinite(), Topology::single_node(1));
+        let p = eager_payload(&fabric, b"data");
+        match decode(&p) {
+            (PayloadKind::Eager, DecodedPayload::Eager(d)) => assert_eq!(d, b"data"),
+            other => panic!("{other:?}"),
+        }
+        let view = eager_view(&p);
+        assert_eq!(&view[..], b"data");
+        assert_eq!(
+            view.as_ref().as_ptr(),
+            p[1..].as_ptr(),
+            "view shares storage"
+        );
+        drop(view);
+        fabric.pool().release(p);
+        let p2 = eager_payload(&fabric, b"next");
+        assert_eq!(fabric.pool().stats().hits, 1, "second build reuses storage");
+        let r = rts_payload(&fabric, 7, 99);
+        match decode(&r) {
+            (PayloadKind::Rts, DecodedPayload::Rts { rndv_id, len }) => {
+                assert_eq!((rndv_id, len), (7, 99));
+            }
+            other => panic!("{other:?}"),
+        }
+        drop(p2);
+    }
+
+    #[test]
+    fn legacy_mode_notes_staging_allocations() {
+        use litempi_fabric::{CopyMode, ProviderProfile, Topology};
+        let fabric = Fabric::new(
+            1,
+            ProviderProfile::infinite().with_copy_mode(CopyMode::Legacy),
+            Topology::single_node(1),
+        );
+        litempi_instr::reset();
+        let p = eager_payload(&fabric, b"data");
+        assert_eq!(litempi_instr::alloc_count(), 3, "stage + wire + handle");
+        assert_eq!(&p[1..], b"data");
+        assert_eq!(fabric.pool().stats().takes, 0, "legacy path bypasses pool");
     }
 
     #[test]

@@ -266,6 +266,7 @@ pub(crate) fn inject(
             charge(Category::NetmodIssue, cost::isend::NETMOD_ISSUE);
             charge(Category::OriginalLayering, cost::isend::ORIGINAL_LAYERING);
             // Real allocation + real dynamic dispatch: the CH3 structure.
+            litempi_instr::note_alloc(1);
             let desc = Box::new(SendDesc {
                 bits,
                 dst_world,
@@ -360,30 +361,37 @@ pub(crate) fn isend_impl(
         }
 
         // ---- protocol ------------------------------------------------------
-        let data: Vec<u8> = if ty.is_contiguous() {
-            buf[..ty.size() * count].to_vec()
-        } else {
-            pack::pack(ty, count, buf)
-        };
-        let max_eager = proc.endpoint.fabric().profile().caps.max_eager;
+        let fabric = proc.endpoint.fabric();
+        let wire_len = pack::packed_size(ty, count);
+        let max_eager = fabric.profile().caps.max_eager;
         // Buffered mode always completes locally (the library owns a copy);
         // synchronous mode must rendezvous to observe the match.
-        let eager_ok = mode == SendMode::Buffered
-            || (data.len() <= max_eager && mode != SendMode::Synchronous);
+        let eager_ok =
+            mode == SendMode::Buffered || (wire_len <= max_eager && mode != SendMode::Synchronous);
 
         if eager_ok {
-            inject(proc, dest_world, bits, proto::eager(&data), &opts);
+            // Single-copy pipeline: user buffer straight into the (pooled)
+            // wire buffer, no staging Vec.
+            let payload = proto::eager_packed(fabric, ty, count, buf);
+            inject(proc, dest_world, bits, payload, &opts);
             if opts.no_request || opts.all_opts {
                 comm.noreq.borrow_mut().issued += 1;
             }
             Ok(Request::done(Status::send()))
         } else {
-            let (rndv_id, done) = proc.univ.alloc_rndv(data.clone());
+            litempi_instr::note_alloc(1);
+            let data: Vec<u8> = if ty.is_contiguous() {
+                buf[..wire_len].to_vec()
+            } else {
+                pack::pack(ty, count, buf)
+            };
+            // The rendezvous table takes ownership — moved, never cloned.
+            let (rndv_id, done) = proc.univ.alloc_rndv(data);
             inject(
                 proc,
                 dest_world,
                 bits,
-                proto::rts(rndv_id, data.len()),
+                proto::rts_payload(fabric, rndv_id, wire_len),
                 &opts,
             );
             if opts.no_request || opts.all_opts {

@@ -93,15 +93,17 @@ impl RecvDest<'_> {
 }
 
 /// Resolve a matched message (eager or rendezvous) into the destination
-/// buffer, producing the receive status.
+/// buffer, producing the receive status. Consumes the wire payload so its
+/// storage can be recycled through the fabric's buffer pool — the step
+/// that keeps the eager pipeline allocation-free in steady state.
 pub(crate) fn complete_recv(
     proc: &ProcInner,
     bits: u64,
     fabric_src_world: usize,
-    payload: &Bytes,
+    payload: Bytes,
     dest: &mut RecvDest<'_>,
 ) -> MpiResult<Status> {
-    let (_, decoded) = proto::decode(payload);
+    let (_, decoded) = proto::decode(&payload);
     let bytes = match decoded {
         DecodedPayload::Eager(data) => dest.deliver(data)?,
         DecodedPayload::Rts { rndv_id, .. } => {
@@ -109,6 +111,7 @@ pub(crate) fn complete_recv(
             dest.deliver(&data)?
         }
     };
+    proc.endpoint.fabric().pool().release(payload);
     let source = if match_bits::is_nomatch(bits) {
         // No source bits on the nomatch channel; report the physical
         // sender's world rank (documented extension semantics).
@@ -204,7 +207,7 @@ impl<'buf> Request<'buf> {
                         mut dest,
                     } => {
                         let msg = wait_loop(&proc, || handle.poll());
-                        complete_recv(&proc, msg.match_bits, msg.src.index(), &msg.data, &mut dest)
+                        complete_recv(&proc, msg.match_bits, msg.src.index(), msg.data, &mut dest)
                     }
                     ReqInner::RecvCore {
                         proc,
@@ -212,7 +215,7 @@ impl<'buf> Request<'buf> {
                         mut dest,
                     } => {
                         let msg = wait_loop(&proc, || slot.filled.lock().take());
-                        complete_recv(&proc, msg.bits, msg.src_world, &msg.payload, &mut dest)
+                        complete_recv(&proc, msg.bits, msg.src_world, msg.payload, &mut dest)
                     }
                     ReqInner::Done(s) => Ok(s),
                     ReqInner::Consumed => Err(MpiError::InvalidRequest("request already consumed")),
@@ -249,13 +252,8 @@ impl<'buf> Request<'buf> {
             } => {
                 proc.progress();
                 if let Some(msg) = handle.poll() {
-                    let s = complete_recv(
-                        &proc,
-                        msg.match_bits,
-                        msg.src.index(),
-                        &msg.data,
-                        &mut dest,
-                    )?;
+                    let s =
+                        complete_recv(&proc, msg.match_bits, msg.src.index(), msg.data, &mut dest)?;
                     self.inner = ReqInner::Done(s);
                     Ok(Some(s))
                 } else {
@@ -271,7 +269,7 @@ impl<'buf> Request<'buf> {
                 proc.progress();
                 let taken = slot.filled.lock().take();
                 if let Some(msg) = taken {
-                    let s = complete_recv(&proc, msg.bits, msg.src_world, &msg.payload, &mut dest)?;
+                    let s = complete_recv(&proc, msg.bits, msg.src_world, msg.payload, &mut dest)?;
                     self.inner = ReqInner::Done(s);
                     Ok(Some(s))
                 } else {

@@ -666,6 +666,9 @@ impl Window {
                 &buf[..bytes],
             );
         } else {
+            // AM put stages one wire buffer; `Bytes::from` then moves it
+            // (no second copy).
+            litempi_instr::note_alloc(1);
             let packed = if ty.is_contiguous() {
                 buf[..bytes].to_vec()
             } else {
@@ -825,6 +828,8 @@ impl Window {
                 "user-defined op not supported on the AM path",
             ))?;
             let type_idx = predef_index::<T>();
+            // One staged operand buffer for the AM handler.
+            litempi_instr::note_alloc(1);
             proc.endpoint.am_send(
                 proc.addr_of_world(world),
                 proto::AM_RMA_ACC,
@@ -892,6 +897,8 @@ impl Window {
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             let slot = Arc::new(Mutex::new(None));
             proc.pending_replies.lock().insert(op_id, slot.clone());
+            // One staged request buffer, moved into `Bytes` below.
+            litempi_instr::note_alloc(1);
             let mut payload = proto::encode_acc(code, type_idx).to_le_bytes().to_vec();
             payload.extend_from_slice(wire);
             proc.endpoint.am_send(

@@ -101,9 +101,13 @@ pub(crate) struct UnivShared {
 }
 
 impl UnivShared {
+    /// Park `data` in the rendezvous table until the receiver pulls it.
+    /// Takes the payload by move — the table holds the only copy.
     pub(crate) fn alloc_rndv(&self, data: Vec<u8>) -> (u64, Arc<AtomicBool>) {
         let id = self.next_rndv.fetch_add(1, Ordering::Relaxed);
         let done = Arc::new(AtomicBool::new(false));
+        // The shared handle for the staged payload.
+        litempi_instr::note_alloc(1);
         self.rndv.lock().insert(
             id,
             RndvEntry {
@@ -114,8 +118,8 @@ impl UnivShared {
         (id, done)
     }
 
-    /// Receiver side of the rendezvous pull: copy out the data, signal the
-    /// sender, drop the table entry.
+    /// Receiver side of the rendezvous pull: share the staged data (no
+    /// copy), signal the sender, drop the table entry.
     pub(crate) fn pull_rndv(&self, id: u64) -> Arc<Vec<u8>> {
         let entry = self
             .rndv

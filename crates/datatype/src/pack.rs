@@ -25,6 +25,17 @@ pub fn span(ty: &Datatype, count: usize) -> usize {
 /// when added to the element base.
 pub fn pack(ty: &Datatype, count: usize, src: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(packed_size(ty, count));
+    pack_with(ty, count, src, |seg| out.extend_from_slice(seg));
+    out
+}
+
+/// Pack `count` elements of `ty` from `src` directly into a writer, one
+/// contiguous segment at a time — the pack-into-writer entry point the
+/// single-copy payload pipeline uses to gather a non-contiguous layout
+/// straight into a pooled wire buffer, with no intermediate staging `Vec`.
+///
+/// Bounds requirements match [`pack`].
+pub fn pack_with(ty: &Datatype, count: usize, src: &[u8], mut sink: impl FnMut(&[u8])) {
     let layout = ty.layout();
     for i in 0..count {
         let base = i as isize * layout.extent;
@@ -41,10 +52,9 @@ pub fn pack(ty: &Datatype, count: usize, src: &[u8]) -> Vec<u8> {
                 "pack: segment [{start},{end}) beyond buffer {}",
                 src.len()
             );
-            out.extend_from_slice(&src[start..end]);
+            sink(&src[start..end]);
         }
     }
-    out
 }
 
 /// Unpack a contiguous wire buffer into `count` elements of `ty` at `dst`.
@@ -143,6 +153,22 @@ mod tests {
             .commit();
         let packed = pack(&t, 1, &src);
         assert_eq!(packed, vec![5, 6, 9, 10]);
+    }
+
+    #[test]
+    fn pack_with_matches_pack() {
+        let src: Vec<u8> = (0..32).collect();
+        let t = Datatype::vector(4, 1, 2, &Datatype::INT32)
+            .unwrap()
+            .commit();
+        let mut streamed = Vec::new();
+        let mut segments = 0;
+        pack_with(&t, 1, &src, |seg| {
+            segments += 1;
+            streamed.extend_from_slice(seg);
+        });
+        assert_eq!(streamed, pack(&t, 1, &src));
+        assert_eq!(segments, 4, "one sink call per contiguous segment");
     }
 
     #[test]

@@ -68,6 +68,22 @@ pub enum MatcherKind {
     Linear,
 }
 
+/// Which payload-construction pipeline the layers above the fabric run
+/// (see the `pool` module). A runtime ablation switch, mirroring
+/// [`MatcherKind`]: the pooled single-copy pipeline is the default, the
+/// legacy copying path is kept selectable for the `eager_copy_ablation`
+/// benchmark and the equivalence tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CopyMode {
+    /// Single-copy pipeline: user buffer → pooled wire buffer, recycled
+    /// through the fabric's [`PayloadPool`](crate::pool::PayloadPool).
+    #[default]
+    Pooled,
+    /// The original double-copy path: stage the user data in a fresh
+    /// `Vec`, then copy it again into a freshly allocated wire buffer.
+    Legacy,
+}
+
 /// Per-message / per-byte hardware costs of a provider, used analytically.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NetCost {
@@ -133,6 +149,8 @@ pub struct ProviderProfile {
     pub jitter_seed: Option<u64>,
     /// Which tag-matching engine endpoints run.
     pub matcher: MatcherKind,
+    /// Which payload-construction pipeline senders run.
+    pub copy_mode: CopyMode,
 }
 
 impl ProviderProfile {
@@ -156,6 +174,7 @@ impl ProviderProfile {
             },
             jitter_seed: None,
             matcher: MatcherKind::Bucketed,
+            copy_mode: CopyMode::Pooled,
         }
     }
 
@@ -177,6 +196,7 @@ impl ProviderProfile {
             },
             jitter_seed: None,
             matcher: MatcherKind::Bucketed,
+            copy_mode: CopyMode::Pooled,
         }
     }
 
@@ -200,6 +220,7 @@ impl ProviderProfile {
             },
             jitter_seed: None,
             matcher: MatcherKind::Bucketed,
+            copy_mode: CopyMode::Pooled,
         }
     }
 
@@ -217,6 +238,7 @@ impl ProviderProfile {
             cost: NetCost::ZERO,
             jitter_seed: None,
             matcher: MatcherKind::Bucketed,
+            copy_mode: CopyMode::Pooled,
         }
     }
 
@@ -238,6 +260,7 @@ impl ProviderProfile {
             },
             jitter_seed: None,
             matcher: MatcherKind::Bucketed,
+            copy_mode: CopyMode::Pooled,
         }
     }
 
@@ -260,6 +283,7 @@ impl ProviderProfile {
             },
             jitter_seed: None,
             matcher: MatcherKind::Bucketed,
+            copy_mode: CopyMode::Pooled,
         }
     }
 
@@ -272,6 +296,13 @@ impl ProviderProfile {
     /// Copy of this profile running the given tag-matching engine.
     pub fn with_matcher(mut self, matcher: MatcherKind) -> Self {
         self.matcher = matcher;
+        self
+    }
+
+    /// Copy of this profile running the given payload-construction
+    /// pipeline.
+    pub fn with_copy_mode(mut self, copy_mode: CopyMode) -> Self {
+        self.copy_mode = copy_mode;
         self
     }
 }
@@ -331,6 +362,13 @@ mod tests {
         assert_eq!(ProviderProfile::ofi().matcher, MatcherKind::Bucketed);
         let p = ProviderProfile::ofi().with_matcher(MatcherKind::Linear);
         assert_eq!(p.matcher, MatcherKind::Linear);
+    }
+
+    #[test]
+    fn copy_mode_defaults_to_pooled() {
+        assert_eq!(ProviderProfile::ofi().copy_mode, CopyMode::Pooled);
+        let p = ProviderProfile::ofi().with_copy_mode(CopyMode::Legacy);
+        assert_eq!(p.copy_mode, CopyMode::Legacy);
     }
 
     #[test]

@@ -99,15 +99,12 @@ impl JitterState {
         match src {
             None => std::mem::take(&mut self.deferred),
             Some(s) => {
-                let mut taken = Vec::new();
-                self.deferred.retain(|m| {
-                    if m.src == s {
-                        taken.push(m.clone());
-                        false
-                    } else {
-                        true
-                    }
-                });
+                // Partition by move: deferred payloads must not be cloned
+                // just to change queues.
+                let (taken, kept) = std::mem::take(&mut self.deferred)
+                    .into_iter()
+                    .partition(|m| m.src == s);
+                self.deferred = kept;
                 taken
             }
         }

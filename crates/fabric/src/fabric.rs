@@ -4,6 +4,7 @@
 use crate::addr::NetAddr;
 use crate::cost::ProviderProfile;
 use crate::endpoint::{Endpoint, EndpointShared};
+use crate::pool::PayloadPool;
 use crate::region::{MemoryRegion, RegionKey};
 use crate::topology::Topology;
 use parking_lot::RwLock;
@@ -20,6 +21,7 @@ pub struct Fabric {
     endpoints: Vec<EndpointShared>,
     regions: RwLock<HashMap<RegionKey, MemoryRegion>>,
     next_rkey: AtomicU64,
+    pool: PayloadPool,
 }
 
 impl Fabric {
@@ -35,6 +37,7 @@ impl Fabric {
             endpoints,
             regions: RwLock::new(HashMap::new()),
             next_rkey: AtomicU64::new(1),
+            pool: PayloadPool::new(),
         })
     }
 
@@ -51,6 +54,12 @@ impl Fabric {
     /// The rank placement.
     pub fn topology(&self) -> &Topology {
         &self.topology
+    }
+
+    /// The shared wire-buffer pool senders take from and receivers release
+    /// consumed payloads back into (the single-copy payload pipeline).
+    pub fn pool(&self) -> &PayloadPool {
+        &self.pool
     }
 
     /// Open the endpoint at `addr`.

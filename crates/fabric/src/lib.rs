@@ -39,15 +39,17 @@ pub mod endpoint;
 pub mod fabric;
 pub mod matching;
 pub mod packet;
+pub mod pool;
 pub mod region;
 pub mod stats;
 pub mod topology;
 
 pub use addr::NetAddr;
-pub use cost::{MatcherKind, NetCost, ProviderKind, ProviderProfile};
+pub use cost::{CopyMode, MatcherKind, NetCost, ProviderKind, ProviderProfile};
 pub use endpoint::Endpoint;
 pub use fabric::Fabric;
 pub use packet::{AmMessage, TaggedMessage};
+pub use pool::{PayloadBuf, PayloadPool, PoolStats};
 pub use region::{MemoryRegion, RdmaAtomicOp, RegionKey};
 pub use stats::EndpointStats;
 pub use topology::Topology;

@@ -13,6 +13,14 @@ use std::cell::Cell;
 thread_local! {
     static COUNTS: [Cell<u64>; Category::COUNT] =
         const { [const { Cell::new(0) }; Category::COUNT] };
+
+    /// Heap allocations performed to build wire payloads (the eager /
+    /// rendezvous payload pipeline), on this thread. A separate dimension
+    /// from the instruction categories: the paper attributes instructions
+    /// to MPI-standard requirements, while this counter exists to verify
+    /// the pooled payload pipeline's zero-allocation steady state (and to
+    /// let `msgrate` report allocs/op alongside instructions/op).
+    static PAYLOAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
 }
 
 /// Charge `n` instructions to `category` on the current thread (rank).
@@ -24,6 +32,22 @@ pub fn charge(category: Category, n: u64) {
     });
 }
 
+/// Record `n` heap allocations made while building a wire payload on the
+/// current thread (rank). Charged by the payload pipeline's slow paths:
+/// pool misses, the legacy copying path, and rendezvous staging buffers.
+/// The pooled fast path charges nothing in steady state.
+#[inline]
+pub fn note_alloc(n: u64) {
+    PAYLOAD_ALLOCS.with(|c| c.set(c.get() + n));
+}
+
+/// Payload-pipeline allocations recorded on the current thread since the
+/// last [`reset`].
+#[inline]
+pub fn alloc_count() -> u64 {
+    PAYLOAD_ALLOCS.with(|c| c.get())
+}
+
 /// Reset all counters on the current thread.
 pub fn reset() {
     COUNTS.with(|c| {
@@ -31,6 +55,7 @@ pub fn reset() {
             cell.set(0);
         }
     });
+    PAYLOAD_ALLOCS.with(|c| c.set(0));
 }
 
 /// Snapshot the current thread's counters.
@@ -48,19 +73,29 @@ pub fn snapshot() -> Report {
 /// [`Probe::finish`] returns the instructions charged since creation,
 /// analogous to bracketing a code region with SDE start/stop markers.
 pub fn probe() -> Probe {
-    Probe { start: snapshot() }
+    Probe {
+        start: snapshot(),
+        start_allocs: alloc_count(),
+    }
 }
 
 /// RAII-style measurement region (see [`probe`]).
 #[derive(Debug, Clone)]
 pub struct Probe {
     start: Report,
+    start_allocs: u64,
 }
 
 impl Probe {
     /// Instructions charged since the probe was created.
     pub fn finish(&self) -> Report {
         snapshot().diff(&self.start)
+    }
+
+    /// Payload-pipeline heap allocations recorded since the probe was
+    /// created (see [`note_alloc`]).
+    pub fn allocs(&self) -> u64 {
+        alloc_count().saturating_sub(self.start_allocs)
     }
 }
 
@@ -118,6 +153,22 @@ mod tests {
         assert_eq!(handle.join().unwrap(), 1);
         // Our own count is unaffected by the other thread.
         assert_eq!(snapshot().get(Category::FunctionCall), 9);
+    }
+
+    #[test]
+    fn alloc_counter_is_a_separate_dimension() {
+        reset();
+        note_alloc(3);
+        // Allocations never contaminate the instruction categories the
+        // paper-calibrated tests assert exactly.
+        assert_eq!(snapshot().total(), 0);
+        assert_eq!(alloc_count(), 3);
+        let p = probe();
+        note_alloc(2);
+        assert_eq!(p.allocs(), 2);
+        assert_eq!(p.finish().total(), 0);
+        reset();
+        assert_eq!(alloc_count(), 0);
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub mod counter;
 pub mod report;
 
 pub use category::Category;
-pub use counter::{charge, probe, reset, snapshot, Probe};
+pub use counter::{alloc_count, charge, note_alloc, probe, reset, snapshot, Probe};
 pub use report::Report;
 
 /// Converts instruction counts into cycles and seconds.

@@ -5,17 +5,34 @@
 //! `Bytes`), and the few [`BufMut`] writer methods the workspace's wire
 //! protocol uses. Cloning `Bytes` is an `Arc` bump — the property the
 //! fabric's eager-send path relies on.
+//!
+//! Like the real crate, `Bytes` is a *view* (offset + length) over shared
+//! storage: [`Bytes::slice`] produces a sub-view without copying, and
+//! `Bytes::from(Vec<u8>)` / [`BytesMut::freeze`] move the vector into the
+//! shared storage rather than copying it. Two shim-only extensions expose
+//! the storage itself — [`Bytes::from_storage`] and [`Bytes::into_storage`]
+//! — so a buffer pool can recycle the backing allocation once a payload's
+//! refcount drops back to one.
 
 #![warn(missing_docs)]
 
 use std::fmt;
-use std::ops::Deref;
+use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
 
 /// A cheaply cloneable immutable byte buffer.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
+    off: usize,
+    len: usize,
+}
+
+impl Default for Bytes {
+    #[inline]
+    fn default() -> Self {
+        Bytes::new()
+    }
 }
 
 impl Bytes {
@@ -23,36 +40,77 @@ impl Bytes {
     #[inline]
     pub fn new() -> Self {
         Bytes {
-            data: Arc::from(&[][..]),
+            data: Arc::new(Vec::new()),
+            off: 0,
+            len: 0,
         }
     }
 
     /// Wrap a static slice. (The shim copies once; clones still share.)
     #[inline]
     pub fn from_static(data: &'static [u8]) -> Self {
-        Bytes {
-            data: Arc::from(data),
-        }
+        Bytes::copy_from_slice(data)
     }
 
     /// Copy `data` into a new shared buffer.
     #[inline]
     pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes::from(data.to_vec())
+    }
+
+    /// Wrap already-shared storage without copying (shim extension used by
+    /// the fabric's payload pool and the rendezvous table). The view covers
+    /// the vector's full length.
+    #[inline]
+    pub fn from_storage(data: Arc<Vec<u8>>) -> Self {
+        let len = data.len();
+        Bytes { data, off: 0, len }
+    }
+
+    /// Recover the backing storage, discarding the view window (shim
+    /// extension: lets a buffer pool reclaim the allocation when the
+    /// returned `Arc` turns out to be uniquely owned).
+    #[inline]
+    pub fn into_storage(self) -> Arc<Vec<u8>> {
+        self.data
+    }
+
+    /// A zero-copy sub-view sharing this buffer's storage.
+    ///
+    /// Panics when the range exceeds the buffer, matching the real crate.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len,
+        };
+        assert!(
+            start <= end && end <= self.len,
+            "slice out of range: {start}..{end} of {}",
+            self.len
+        );
         Bytes {
-            data: Arc::from(data),
+            data: self.data.clone(),
+            off: self.off + start,
+            len: end - start,
         }
     }
 
     /// Buffer length in bytes.
     #[inline]
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.len
     }
 
     /// `true` when the buffer is empty.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len == 0
     }
 }
 
@@ -60,21 +118,22 @@ impl Deref for Bytes {
     type Target = [u8];
     #[inline]
     fn deref(&self) -> &[u8] {
-        &self.data
+        &self.data[self.off..self.off + self.len]
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     #[inline]
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self
     }
 }
 
 impl From<Vec<u8>> for Bytes {
+    /// Moves the vector into shared storage — no byte copy.
     #[inline]
     fn from(v: Vec<u8>) -> Self {
-        Bytes { data: Arc::from(v) }
+        Bytes::from_storage(Arc::new(v))
     }
 }
 
@@ -87,7 +146,7 @@ impl From<&'static [u8]> for Bytes {
 
 impl PartialEq for Bytes {
     fn eq(&self, other: &Self) -> bool {
-        self.data[..] == other.data[..]
+        self[..] == other[..]
     }
 }
 
@@ -95,13 +154,13 @@ impl Eq for Bytes {}
 
 impl PartialEq<[u8]> for Bytes {
     fn eq(&self, other: &[u8]) -> bool {
-        self.data[..] == *other
+        self[..] == *other
     }
 }
 
 impl std::hash::Hash for Bytes {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
-        self.data.hash(state);
+        self[..].hash(state);
     }
 }
 
@@ -214,5 +273,49 @@ mod tests {
         assert_eq!(&Bytes::from_static(b"abc")[..], b"abc");
         assert_eq!(&Bytes::copy_from_slice(&[1, 2])[..], &[1, 2]);
         assert_eq!(&Bytes::from(vec![9u8])[..], &[9]);
+    }
+
+    #[test]
+    fn from_vec_moves_storage() {
+        let v = vec![1u8, 2, 3];
+        let ptr = v.as_ptr();
+        let b = Bytes::from(v);
+        assert_eq!(b.as_ref().as_ptr(), ptr, "freeze must not copy the data");
+    }
+
+    #[test]
+    fn slice_is_zero_copy_view() {
+        let b = Bytes::from(vec![0u8, 1, 2, 3, 4, 5]);
+        let s = b.slice(1..4);
+        assert_eq!(&s[..], &[1, 2, 3]);
+        assert_eq!(s.as_ref().as_ptr(), b[1..].as_ptr());
+        // Sub-slicing a slice composes offsets.
+        let t = s.slice(1..);
+        assert_eq!(&t[..], &[2, 3]);
+        assert_eq!(b.slice(..).len(), 6);
+        assert!(b.slice(3..3).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "slice out of range")]
+    fn slice_out_of_range_panics() {
+        let b = Bytes::from(vec![0u8; 4]);
+        let _ = b.slice(2..9);
+    }
+
+    #[test]
+    fn storage_round_trip() {
+        let arc = Arc::new(vec![5u8, 6]);
+        let b = Bytes::from_storage(arc.clone());
+        assert_eq!(&b[..], &[5, 6]);
+        assert_eq!(Arc::strong_count(&arc), 2);
+        drop(arc);
+        let back = b.into_storage();
+        assert_eq!(
+            Arc::strong_count(&back),
+            1,
+            "unique again: a pool may recycle"
+        );
+        assert_eq!(*back, vec![5, 6]);
     }
 }
