@@ -9,7 +9,7 @@
 //! rate figures derive from).
 
 use litempi_core::{waitall, Communicator, MpiResult, Process, Window};
-use litempi_instr::counter;
+use litempi_instr::{counter, Category};
 use std::time::Instant;
 
 /// Result of one message-rate measurement.
@@ -26,6 +26,11 @@ pub struct RateReport {
     /// the paper's instruction counts are untouched). With the pooled
     /// pipeline warm this is ~0 for eager traffic.
     pub allocs_per_op: f64,
+    /// Per-operation instructions charged to the software reliability
+    /// protocol ([`Category::Reliability`]: seq/ack/retransmit bookkeeping,
+    /// CRC). Exactly 0 when the provider profile runs without the reliable
+    /// transport — the ablation's control condition.
+    pub relia_per_op: f64,
 }
 
 /// `MPI_ISEND` issue rate: rank 0 fires `ops` one-byte sends at rank 1 in
@@ -62,6 +67,7 @@ pub fn isend_rate(
             wall_rate: ops as f64 / dt.max(1e-12),
             instr_per_op: report.injection_total() as f64 / ops as f64,
             allocs_per_op: allocs as f64 / ops as f64,
+            relia_per_op: report.get(Category::Reliability) as f64 / ops as f64,
         })
     } else if me == 1 {
         let mut buf = [0u8; 1];
@@ -97,6 +103,7 @@ pub fn put_rate(proc: &Process, comm: &Communicator, ops: usize) -> MpiResult<Op
             wall_rate: ops as f64 / dt.max(1e-12),
             instr_per_op: report.injection_total() as f64 / ops as f64,
             allocs_per_op: allocs as f64 / ops as f64,
+            relia_per_op: report.get(Category::Reliability) as f64 / ops as f64,
         })
     } else {
         None
@@ -126,7 +133,30 @@ mod tests {
         // Pooled pipeline: even a cold pool (2 allocs per miss) beats the
         // legacy path's 3 staged allocations per eager message.
         assert!(r.allocs_per_op < 3.0, "{}", r.allocs_per_op);
+        // Perfect fabric: the reliability protocol charges nothing.
+        assert_eq!(r.relia_per_op, 0.0);
         assert!(out[1].is_none());
+    }
+
+    #[test]
+    fn reliable_transport_shows_per_message_overhead() {
+        let out = Universe::run(
+            2,
+            BuildConfig::ch4_default(),
+            ProviderProfile::infinite().reliable(),
+            Topology::single_node(2),
+            |proc| {
+                let world = proc.world();
+                isend_rate(&proc, &world, 100, 16).unwrap()
+            },
+        );
+        let r = out[0].unwrap();
+        // The software reliability protocol (seq/ack/retransmit + CRC) now
+        // costs real instructions on every message...
+        assert!(r.relia_per_op > 0.0, "{}", r.relia_per_op);
+        // ...and they show up in the injection total on top of the default
+        // build's exact 221-instruction path.
+        assert!(r.instr_per_op > 221.0, "{}", r.instr_per_op);
     }
 
     #[test]

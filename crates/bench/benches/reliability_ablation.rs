@@ -1,0 +1,109 @@
+//! Reliability-layer ablation: what does software seq/ack/retransmit cost
+//! per message when the fabric is actually perfect?
+//!
+//! Three conditions at matched payload sizes:
+//!
+//! * `perfect`  — the stock lossless fabric, reliability off (control;
+//!   must be indistinguishable from pre-reliability builds).
+//! * `reliable` — the full seq/ack/CRC protocol running over the same
+//!   lossless fabric: pure protocol overhead, no retransmissions fire.
+//! * `chaos`    — the reliable protocol earning its keep over a seeded
+//!   lossy fabric (10% drop, 5% dup, 15% reorder); the gap over
+//!   `reliable` is the recovery cost, not the bookkeeping cost.
+//!
+//! Only the sender's injection loop is timed, with the same burst/drain
+//! protocol as the eager-copy ablation so pool state and matching work are
+//! held constant across conditions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use litempi_core::{BuildConfig, Universe};
+use litempi_fabric::{FaultPlan, FaultSpec, ProviderProfile, Topology};
+use std::time::{Duration, Instant};
+
+const BATCH: u64 = 32;
+
+fn profile(condition: &str) -> ProviderProfile {
+    match condition {
+        "perfect" => ProviderProfile::infinite(),
+        "reliable" => ProviderProfile::infinite().reliable(),
+        "chaos" => ProviderProfile::infinite()
+            .with_faults(FaultPlan::uniform(
+                0xC0FFEE,
+                FaultSpec::percent(10, 5, 15, 0),
+            ))
+            .reliable(),
+        other => unreachable!("unknown condition {other}"),
+    }
+}
+
+/// Time `iters` eager injections under the given fabric condition.
+fn send_batch(condition: &'static str, iters: u64, payload: usize) -> Duration {
+    let out = Universe::run(
+        2,
+        BuildConfig::ch4_default(),
+        profile(condition),
+        Topology::single_node(2),
+        move |proc| {
+            let world = proc.world();
+            let data = vec![7u8; payload];
+            let mut ack = [0u8; 1];
+            let batches = iters.div_ceil(BATCH);
+            if proc.rank() == 0 {
+                let mut burst = |n: u64, timer: &mut Duration| {
+                    let t0 = Instant::now();
+                    for _ in 0..n {
+                        world.isend(&data, 1, 0).unwrap().wait().unwrap();
+                    }
+                    *timer += t0.elapsed();
+                    // Untimed: burst-end marker, then wait for the drain.
+                    world.send(&[1u8], 1, 1).unwrap();
+                    world.recv_into(&mut ack, 1, 2).unwrap();
+                };
+                let mut warm = Duration::ZERO;
+                burst(BATCH, &mut warm);
+                let mut dt = Duration::ZERO;
+                let mut left = iters;
+                for _ in 0..batches {
+                    let n = left.min(BATCH);
+                    left -= n;
+                    burst(n, &mut dt);
+                }
+                Some(dt)
+            } else {
+                let mut buf = vec![0u8; payload.max(1)];
+                let mut drain = |n: u64| {
+                    world.recv_into(&mut ack, 0, 1).unwrap();
+                    for _ in 0..n {
+                        world.recv_into(&mut buf, 0, 0).unwrap();
+                    }
+                    world.send(&[1u8], 0, 2).unwrap();
+                };
+                drain(BATCH);
+                let mut left = iters;
+                for _ in 0..batches {
+                    let n = left.min(BATCH);
+                    left -= n;
+                    drain(n);
+                }
+                None
+            }
+        },
+    );
+    out.into_iter().flatten().next().unwrap()
+}
+
+fn bench_reliability_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reliability_ablation");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+    for payload in [0usize, 64, 1024, 65536] {
+        for condition in ["perfect", "reliable", "chaos"] {
+            g.bench_function(BenchmarkId::new(condition, payload), |b| {
+                b.iter_custom(|iters| send_batch(condition, iters.max(1), payload));
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_reliability_ablation);
+criterion_main!(benches);

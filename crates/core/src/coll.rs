@@ -11,7 +11,7 @@
 //! ring allgather, pairwise-exchange alltoall, linear scan/exscan.
 
 use crate::comm::Communicator;
-use crate::error::MpiResult;
+use crate::error::{MpiError, MpiResult};
 use crate::match_bits;
 use crate::op::Op;
 use crate::process::ProcInner;
@@ -46,7 +46,12 @@ pub(crate) fn crecv(comm: &Communicator, src: usize, tag: i32) -> bytes::Bytes {
     let bits = match_bits::encode(comm.context_id().collective(), src, tag);
     let payload = recv_raw(proc, bits);
     if let DecodedPayload::Rts { rndv_id, .. } = proto::decode(&payload).1 {
-        let data = proc.univ.pull_rndv(rndv_id);
+        // Internal collective channel: never exposed to lossy delivery, so
+        // a vanished entry is a library bug, not a recoverable fault.
+        let data = proc
+            .univ
+            .pull_rndv(rndv_id)
+            .expect("rendezvous entry vanished");
         // The 17-byte RTS envelope is consumed: recycle it.
         proc.endpoint.fabric().pool().release(payload);
         return bytes::Bytes::from_storage(data);
@@ -323,12 +328,18 @@ pub fn scatter<T: MpiPrimitive>(
     let rank = comm.rank();
     let tag = comm.next_coll_tag();
     if rank == root {
-        let send = sendbuf.expect("root must provide a send buffer");
-        assert_eq!(
-            send.len(),
-            block * size,
-            "scatter buffer must be block*size elements"
-        );
+        // User-argument validation: errors, not panics — a missing or
+        // short-sized root buffer is `MPI_ERR_BUFFER`, same as pt2pt.
+        let send = sendbuf.ok_or(MpiError::BufferTooSmall {
+            needed: block * size * T::PREDEFINED.size(),
+            provided: 0,
+        })?;
+        if send.len() != block * size {
+            return Err(MpiError::BufferTooSmall {
+                needed: block * size * T::PREDEFINED.size(),
+                provided: send.len() * T::PREDEFINED.size(),
+            });
+        }
         for dst in (0..size).filter(|&r| r != root) {
             csend(
                 comm,
@@ -425,11 +436,12 @@ pub fn alltoall<T: MpiPrimitive>(
 ) -> MpiResult<Vec<T>> {
     let size = comm.size();
     let rank = comm.rank();
-    assert_eq!(
-        sendbuf.len(),
-        block * size,
-        "alltoall buffer must be block*size elements"
-    );
+    if sendbuf.len() != block * size {
+        return Err(MpiError::BufferTooSmall {
+            needed: block * size * T::PREDEFINED.size(),
+            provided: sendbuf.len() * T::PREDEFINED.size(),
+        });
+    }
     let tag = comm.next_coll_tag();
     let mut out = vec![sendbuf[0]; block * size];
     out[rank * block..(rank + 1) * block]
@@ -518,11 +530,9 @@ pub fn reduce_scatter_block<T: MpiPrimitive>(
     op: &Op,
 ) -> MpiResult<Vec<T>> {
     let size = comm.size();
-    assert_eq!(
-        sendbuf.len() % size,
-        0,
-        "buffer must divide into size blocks"
-    );
+    if !sendbuf.len().is_multiple_of(size) {
+        return Err(MpiError::InvalidCount(sendbuf.len() as i64));
+    }
     let block = sendbuf.len() / size;
     let rank = comm.rank();
     let tag = comm.next_coll_tag();
@@ -552,11 +562,9 @@ pub fn reduce_scatter_block_naive<T: MpiPrimitive>(
     op: &Op,
 ) -> MpiResult<Vec<T>> {
     let size = comm.size();
-    assert_eq!(
-        sendbuf.len() % size,
-        0,
-        "buffer must divide into size blocks"
-    );
+    if !sendbuf.len().is_multiple_of(size) {
+        return Err(MpiError::InvalidCount(sendbuf.len() as i64));
+    }
     let block = sendbuf.len() / size;
     let reduced = reduce(comm, sendbuf, op, 0)?;
     scatter(comm, reduced.as_deref(), block, 0)
@@ -653,6 +661,57 @@ impl Communicator {
 mod tests {
     use super::*;
     use crate::universe::Universe;
+
+    #[test]
+    fn scatter_root_without_buffer_is_an_error() {
+        Universe::run_default(1, |proc| {
+            let world = proc.world();
+            let e = world.scatter::<u8>(None, 2, 0).unwrap_err();
+            assert!(matches!(e, MpiError::BufferTooSmall { provided: 0, .. }));
+        });
+    }
+
+    #[test]
+    fn scatter_short_root_buffer_is_an_error() {
+        Universe::run_default(1, |proc| {
+            let world = proc.world();
+            let e = world.scatter(Some(&[1u8][..]), 2, 0).unwrap_err();
+            assert!(matches!(
+                e,
+                MpiError::BufferTooSmall {
+                    needed: 2,
+                    provided: 1
+                }
+            ));
+        });
+    }
+
+    #[test]
+    fn alltoall_missized_buffer_is_an_error() {
+        // Validation fires before any traffic, so every rank errors locally.
+        Universe::run_default(2, |proc| {
+            let world = proc.world();
+            let e = world.alltoall(&[1u8, 2, 3], 2).unwrap_err();
+            assert!(matches!(
+                e,
+                MpiError::BufferTooSmall {
+                    needed: 4,
+                    provided: 3
+                }
+            ));
+        });
+    }
+
+    #[test]
+    fn reduce_scatter_indivisible_buffer_is_an_error() {
+        Universe::run_default(3, |proc| {
+            let world = proc.world();
+            let e = world
+                .reduce_scatter_block(&[1i64, 2], &Op::Sum)
+                .unwrap_err();
+            assert!(matches!(e, MpiError::InvalidCount(2)));
+        });
+    }
 
     #[test]
     fn barrier_completes_at_various_sizes() {

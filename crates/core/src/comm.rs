@@ -81,6 +81,25 @@ impl PredefHandle {
 /// `MPI_UNDEFINED` for `split`.
 pub const UNDEFINED: i32 = -32766;
 
+/// Communicator error handler (`MPI_Errhandler` subset).
+///
+/// The handler governs **communication failures only** —
+/// [`MpiError::is_comm_failure`] errors such as an unreachable peer or a
+/// wire-integrity fault. Argument-validation errors are always returned to
+/// the caller regardless of the handler, so error-checking builds keep
+/// their `Result`-based API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Errhandler {
+    /// `MPI_ERRORS_ARE_FATAL` (the MPI default): a communication failure
+    /// aborts the rank (panics, which the universe surfaces as job failure).
+    #[default]
+    ErrorsAreFatal,
+    /// `MPI_ERRORS_RETURN`: communication failures come back as `Err`, so
+    /// the application can degrade gracefully (skip the dead peer, drain
+    /// outstanding requests, checkpoint, …).
+    ErrorsReturn,
+}
+
 /// A communicator handle, owned by one rank.
 ///
 /// Not `Clone`: duplicate explicitly with [`Communicator::dup`] (which is
@@ -98,6 +117,8 @@ pub struct Communicator {
     pub(crate) noreq: RefCell<NoReqState>,
     /// Was this handle obtained through a precreated slot (§3.3)?
     pub(crate) is_predef: bool,
+    /// Error handler for communication failures (`MPI_Comm_set_errhandler`).
+    pub(crate) errhandler: Cell<Errhandler>,
 }
 
 impl Communicator {
@@ -115,6 +136,7 @@ impl Communicator {
             derive_seq: Cell::new(0),
             noreq: RefCell::new(NoReqState::default()),
             is_predef: false,
+            errhandler: Cell::new(Errhandler::default()),
         }
     }
 
@@ -136,6 +158,31 @@ impl Communicator {
             derive_seq: Cell::new(0),
             noreq: RefCell::new(NoReqState::default()),
             is_predef,
+            errhandler: Cell::new(Errhandler::default()),
+        }
+    }
+
+    /// `MPI_Comm_set_errhandler` (local).
+    pub fn set_errhandler(&self, eh: Errhandler) {
+        self.errhandler.set(eh);
+    }
+
+    /// `MPI_Comm_get_errhandler` (local).
+    pub fn errhandler(&self) -> Errhandler {
+        self.errhandler.get()
+    }
+
+    /// Route an error through the communicator's handler: communication
+    /// failures abort under [`Errhandler::ErrorsAreFatal`]; everything else
+    /// (and everything under [`Errhandler::ErrorsReturn`]) is returned.
+    pub(crate) fn handle_error<T>(&self, r: MpiResult<T>) -> MpiResult<T> {
+        match r {
+            Err(e)
+                if e.is_comm_failure() && self.errhandler.get() == Errhandler::ErrorsAreFatal =>
+            {
+                panic!("MPI_ERRORS_ARE_FATAL: {e}");
+            }
+            other => other,
         }
     }
 
@@ -197,7 +244,9 @@ impl Communicator {
                     group,
                 }
             });
-        Communicator::from_shared(self.proc.clone(), shared, false)
+        let dup = Communicator::from_shared(self.proc.clone(), shared, false);
+        dup.errhandler.set(self.errhandler.get());
+        dup
     }
 
     /// `MPI_COMM_SPLIT` (collective). `color == UNDEFINED` (negative)
@@ -230,7 +279,9 @@ impl Communicator {
                 group,
             },
         );
-        Some(Communicator::from_shared(self.proc.clone(), shared, false))
+        let sub = Communicator::from_shared(self.proc.clone(), shared, false);
+        sub.errhandler.set(self.errhandler.get());
+        Some(sub)
     }
 
     /// `MPI_COMM_SPLIT_TYPE(MPI_COMM_TYPE_SHARED)` (collective): split into
@@ -272,7 +323,9 @@ impl Communicator {
                 ctx: ContextId(univ.next_ctx.fetch_add(1, Ordering::Relaxed)),
                 group,
             });
-        Some(Communicator::from_shared(self.proc.clone(), shared, false))
+        let sub = Communicator::from_shared(self.proc.clone(), shared, false);
+        sub.errhandler.set(self.errhandler.get());
+        Some(sub)
     }
 
     /// §3.3 `MPI_COMM_DUP_PREDEFINED` (collective): duplicate this

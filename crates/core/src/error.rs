@@ -53,6 +53,56 @@ pub enum MpiError {
     /// `MPI_ERR_PENDING`-style: a requestless-send counter underflow or
     /// other extension-API misuse.
     ExtensionMisuse(&'static str),
+    /// `MPI_ERR_PROC_FAILED` (FT semantics): the peer's endpoint is dead —
+    /// its kill switch fired, or the reliability layer's retry budget was
+    /// exhausted without an acknowledgement.
+    PeerUnreachable {
+        /// World rank of the unreachable peer.
+        peer: usize,
+    },
+    /// `MPI_ERR_OTHER`-class integrity failure: a protocol message arrived
+    /// damaged (undetected by, or with, CRC) and could not be interpreted.
+    Integrity(&'static str),
+}
+
+impl MpiError {
+    /// Stable numeric error class (analogous to `MPI_Error_class`).
+    ///
+    /// Classes are assigned in declaration order starting at 1 and are part
+    /// of the crate's compatibility surface: new variants must be appended,
+    /// never inserted, so existing class numbers survive library upgrades
+    /// (the same rule the standard applies to `MPI_ERR_*` constants).
+    pub fn error_class(&self) -> u32 {
+        match self {
+            MpiError::InvalidRank { .. } => 1,
+            MpiError::InvalidTag(_) => 2,
+            MpiError::InvalidCount(_) => 3,
+            MpiError::InvalidDatatype(_) => 4,
+            MpiError::Truncate { .. } => 5,
+            MpiError::BufferTooSmall { .. } => 6,
+            MpiError::InvalidWin(_) => 7,
+            MpiError::RmaSync(_) => 8,
+            MpiError::InvalidOp(_) => 9,
+            MpiError::InvalidComm(_) => 10,
+            MpiError::InvalidRequest(_) => 11,
+            MpiError::ExtensionMisuse(_) => 12,
+            MpiError::PeerUnreachable { .. } => 13,
+            MpiError::Integrity(_) => 14,
+        }
+    }
+
+    /// Is this a *communication* failure (dead peer, damaged wire data)
+    /// rather than an argument/usage error? Only communication failures are
+    /// routed through the communicator's error handler: argument errors are
+    /// always returned to the caller, matching the common MPI practice of
+    /// treating `MPI_ERRORS_ARE_FATAL` as a transport-fault policy while
+    /// parameter validation stays a local, recoverable check.
+    pub fn is_comm_failure(&self) -> bool {
+        matches!(
+            self,
+            MpiError::PeerUnreachable { .. } | MpiError::Integrity(_)
+        )
+    }
 }
 
 impl std::fmt::Display for MpiError {
@@ -79,6 +129,10 @@ impl std::fmt::Display for MpiError {
             MpiError::InvalidComm(s) => write!(f, "MPI_ERR_COMM: {s}"),
             MpiError::InvalidRequest(s) => write!(f, "MPI_ERR_REQUEST: {s}"),
             MpiError::ExtensionMisuse(s) => write!(f, "extension misuse: {s}"),
+            MpiError::PeerUnreachable { peer } => {
+                write!(f, "MPI_ERR_PROC_FAILED: peer rank {peer} unreachable")
+            }
+            MpiError::Integrity(s) => write!(f, "MPI_ERR_OTHER (integrity): {s}"),
         }
     }
 }
@@ -113,5 +167,35 @@ mod tests {
     fn type_error_converts() {
         let e: MpiError = TypeError::NotCommitted.into();
         assert!(matches!(e, MpiError::InvalidDatatype(_)));
+    }
+
+    #[test]
+    fn error_classes_are_stable() {
+        // Frozen numbering: appending variants must not renumber these.
+        assert_eq!(MpiError::InvalidRank { rank: 0, size: 1 }.error_class(), 1);
+        assert_eq!(MpiError::ExtensionMisuse("x").error_class(), 12);
+        assert_eq!(MpiError::PeerUnreachable { peer: 3 }.error_class(), 13);
+        assert_eq!(MpiError::Integrity("x").error_class(), 14);
+    }
+
+    #[test]
+    fn comm_failures_are_distinguished_from_argument_errors() {
+        assert!(MpiError::PeerUnreachable { peer: 0 }.is_comm_failure());
+        assert!(MpiError::Integrity("bad header").is_comm_failure());
+        assert!(!MpiError::InvalidTag(-1).is_comm_failure());
+        assert!(!MpiError::Truncate {
+            message: 8,
+            buffer: 4
+        }
+        .is_comm_failure());
+    }
+
+    #[test]
+    fn new_classes_display_identifiably() {
+        let e = MpiError::PeerUnreachable { peer: 7 };
+        assert!(e.to_string().contains("MPI_ERR_PROC_FAILED"));
+        assert!(e.to_string().contains('7'));
+        let e = MpiError::Integrity("rts header shorter than 17 bytes");
+        assert!(e.to_string().contains("integrity"));
     }
 }

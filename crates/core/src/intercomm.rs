@@ -223,7 +223,10 @@ impl InterComm {
         // in place, or share the staged rendezvous payload.
         let wire: bytes::Bytes = if let DecodedPayload::Rts { rndv_id, .. } = proto::decode(&data).1
         {
-            let staged = proc.univ.pull_rndv(rndv_id);
+            let staged = proc
+                .univ
+                .pull_rndv(rndv_id)
+                .expect("rendezvous entry vanished");
             proc.endpoint.fabric().pool().release(data);
             bytes::Bytes::from_storage(staged)
         } else {

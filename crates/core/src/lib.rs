@@ -61,7 +61,7 @@ pub mod status;
 pub mod universe;
 
 pub use cart::CartComm;
-pub use comm::{Communicator, PredefHandle, UNDEFINED};
+pub use comm::{Communicator, Errhandler, PredefHandle, UNDEFINED};
 pub use config::{BuildConfig, DeviceKind, ThreadLevel};
 pub use error::{MpiError, MpiResult};
 pub use group::{Group, GroupRelation, RankMap};

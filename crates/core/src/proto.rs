@@ -6,6 +6,7 @@
 //! descriptor whose data the receiver *pulls* from the rendezvous table —
 //! the RDMA-read rendezvous protocol used by modern MPI stacks.
 
+use crate::error::{MpiError, MpiResult};
 use bytes::{BufMut, Bytes, BytesMut};
 use litempi_datatype::{pack, Datatype};
 use litempi_fabric::{CopyMode, Fabric};
@@ -106,17 +107,28 @@ pub fn eager_view(payload: &Bytes) -> Bytes {
     payload.slice(1..)
 }
 
-/// Decode a tagged payload.
-pub fn decode(payload: &Bytes) -> (PayloadKind, DecodedPayload<'_>) {
+/// Decode a tagged payload, surfacing damage as [`MpiError::Integrity`]
+/// instead of panicking — the entry point the reliability-aware receive
+/// path uses so a corrupted envelope degrades gracefully.
+pub fn try_decode(payload: &Bytes) -> MpiResult<(PayloadKind, DecodedPayload<'_>)> {
     match payload.first() {
-        Some(0) => (PayloadKind::Eager, DecodedPayload::Eager(&payload[1..])),
+        Some(0) => Ok((PayloadKind::Eager, DecodedPayload::Eager(&payload[1..]))),
         Some(1) => {
-            let rndv_id = u64::from_le_bytes(payload[1..9].try_into().expect("rts header"));
-            let len = u64::from_le_bytes(payload[9..17].try_into().expect("rts header")) as usize;
-            (PayloadKind::Rts, DecodedPayload::Rts { rndv_id, len })
+            if payload.len() < 17 {
+                return Err(MpiError::Integrity("rts header shorter than 17 bytes"));
+            }
+            let rndv_id = u64::from_le_bytes(payload[1..9].try_into().expect("len checked"));
+            let len = u64::from_le_bytes(payload[9..17].try_into().expect("len checked")) as usize;
+            Ok((PayloadKind::Rts, DecodedPayload::Rts { rndv_id, len }))
         }
-        other => panic!("corrupt payload envelope: kind {other:?}"),
+        _ => Err(MpiError::Integrity("unknown payload envelope kind")),
     }
+}
+
+/// Decode a tagged payload. Panics on a damaged envelope (protection-error
+/// semantics for paths that must never see one, e.g. local loopback).
+pub fn decode(payload: &Bytes) -> (PayloadKind, DecodedPayload<'_>) {
+    try_decode(payload).unwrap_or_else(|e| panic!("corrupt payload envelope: {e}"))
 }
 
 /// Decoded view of a tagged payload.
@@ -297,6 +309,18 @@ mod tests {
     fn bad_kind_panics() {
         let p = Bytes::from_static(&[9, 9, 9]);
         let _ = decode(&p);
+    }
+
+    #[test]
+    fn try_decode_reports_damage_as_integrity_errors() {
+        // Unknown envelope kind byte (e.g. corrupted in flight, CRC off).
+        let e = try_decode(&Bytes::from_static(&[9, 9, 9])).unwrap_err();
+        assert!(matches!(e, MpiError::Integrity(_)));
+        // RTS kind byte with a truncated descriptor.
+        let e = try_decode(&Bytes::from_static(&[1, 0, 0])).unwrap_err();
+        assert!(matches!(e, MpiError::Integrity(_)));
+        // Intact payloads still decode.
+        assert!(try_decode(&eager(b"ok")).is_ok());
     }
 
     #[test]

@@ -349,6 +349,17 @@ pub(crate) fn isend_impl(
             comm.group().world_rank(dest as usize)
         };
 
+        // FT pre-check: injecting toward a known-dead peer fails fast (the
+        // provider's analogue of a link-down completion error) instead of
+        // retrying into a black hole. Routed through the communicator's
+        // error handler: fatal by default, `Err` under MPI_ERRORS_RETURN.
+        if proc
+            .endpoint
+            .peer_unreachable(proc.addr_of_world(dest_world))
+        {
+            return comm.handle_error(Err(MpiError::PeerUnreachable { peer: dest_world }));
+        }
+
         let bits = if opts.no_match || opts.all_opts {
             match_bits::encode_nomatch(comm.context_id())
         } else {
@@ -400,7 +411,13 @@ pub(crate) fn isend_impl(
                 state.pending.push(done);
                 Ok(Request::done(Status::send()))
             } else {
-                Ok(Request::send_rndv(proc.clone(), done))
+                let fatal = comm.errhandler() == crate::comm::Errhandler::ErrorsAreFatal;
+                Ok(Request::send_rndv(
+                    proc.clone(),
+                    done,
+                    Some(dest_world),
+                    fatal,
+                ))
             }
         }
     })
@@ -465,13 +482,30 @@ pub(crate) fn irecv_impl<'buf>(
             ty: ty.clone(),
             count,
         };
+        // Dead-peer detection needs the source's world rank; wildcard
+        // receives have no single peer to watch (FT semantics: ANY_SOURCE
+        // against a failed process is the application's problem).
+        let peer = if source == ANY_SOURCE {
+            None
+        } else if opts.global_rank {
+            Some(source as usize)
+        } else {
+            Some(comm.group().world_rank(source as usize))
+        };
+        let fatal = comm.errhandler() == crate::comm::Errhandler::ErrorsAreFatal;
         let native_tagged = proc.endpoint.fabric().profile().caps.native_tagged;
         if native_tagged {
             let handle = proc.endpoint.trecv_post(bits, ignore);
-            Ok(Request::recv_fabric(proc.clone(), handle, dest))
+            Ok(Request::recv_fabric(
+                proc.clone(),
+                handle,
+                dest,
+                peer,
+                fatal,
+            ))
         } else {
             let slot = proc.core_match.post(bits, ignore);
-            Ok(Request::recv_core(proc.clone(), slot, dest))
+            Ok(Request::recv_core(proc.clone(), slot, dest, peer, fatal))
         }
     })
 }

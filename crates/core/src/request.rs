@@ -103,11 +103,13 @@ pub(crate) fn complete_recv(
     payload: Bytes,
     dest: &mut RecvDest<'_>,
 ) -> MpiResult<Status> {
-    let (_, decoded) = proto::decode(&payload);
+    let (_, decoded) = proto::try_decode(&payload)?;
     let bytes = match decoded {
         DecodedPayload::Eager(data) => dest.deliver(data)?,
         DecodedPayload::Rts { rndv_id, .. } => {
-            let data = proc.univ.pull_rndv(rndv_id);
+            let data = proc.univ.pull_rndv(rndv_id).ok_or(MpiError::Integrity(
+                "rendezvous entry vanished (damaged or replayed RTS descriptor)",
+            ))?;
             dest.deliver(&data)?
         }
     };
@@ -134,22 +136,60 @@ enum ReqInner<'buf> {
     SendRndv {
         proc: Arc<ProcInner>,
         done: Arc<AtomicBool>,
+        /// World rank of the peer, for dead-peer detection.
+        peer: Option<usize>,
+        /// Snapshot of `MPI_ERRORS_ARE_FATAL` at request creation.
+        fatal: bool,
     },
     /// Receive posted to the fabric's native matching.
     RecvFabric {
         proc: Arc<ProcInner>,
         handle: RecvHandle,
         dest: RecvDest<'buf>,
+        /// `None` for wildcard (`MPI_ANY_SOURCE`) receives.
+        peer: Option<usize>,
+        fatal: bool,
     },
     /// Receive posted to the CH4 core matcher (AM-only provider).
     RecvCore {
         proc: Arc<ProcInner>,
         slot: Arc<CoreSlot>,
         dest: RecvDest<'buf>,
+        peer: Option<usize>,
+        fatal: bool,
     },
-    /// Consumed (waited or cancelled); kept so `test` can be called on a
-    /// completed request without double-delivery.
+    /// Consumed (waited, cancelled, or errored); kept so `test` can be
+    /// called on a completed request without double-delivery.
     Consumed,
+}
+
+/// Dead-peer check shared by every pending-request poll site. Under
+/// `MPI_ERRORS_ARE_FATAL` (the snapshot taken at request creation) an
+/// unreachable peer aborts the rank; under `MPI_ERRORS_RETURN` it surfaces
+/// as `Err(PeerUnreachable)` so wait/test return instead of hanging.
+fn check_peer(proc: &ProcInner, peer: Option<usize>, fatal: bool) -> MpiResult<()> {
+    let Some(p) = peer else { return Ok(()) };
+    if proc.endpoint.peer_unreachable(proc.addr_of_world(p)) {
+        let e = MpiError::PeerUnreachable { peer: p };
+        if fatal {
+            panic!("MPI_ERRORS_ARE_FATAL: {e}");
+        }
+        return Err(e);
+    }
+    Ok(())
+}
+
+/// Apply the errhandler snapshot to a completed receive: communication
+/// failures (e.g. an integrity fault in the delivered envelope) abort under
+/// `MPI_ERRORS_ARE_FATAL`; argument-level errors such as truncation always
+/// return.
+fn fatal_filter(r: MpiResult<Status>, fatal: bool) -> MpiResult<Status> {
+    if let Err(e) = &r {
+        if fatal && e.is_comm_failure() {
+            panic!("MPI_ERRORS_ARE_FATAL: {e}");
+        }
+    }
+    r
 }
 
 /// A nonblocking-operation handle.
@@ -164,9 +204,19 @@ impl<'buf> Request<'buf> {
         }
     }
 
-    pub(crate) fn send_rndv(proc: Arc<ProcInner>, done: Arc<AtomicBool>) -> Request<'static> {
+    pub(crate) fn send_rndv(
+        proc: Arc<ProcInner>,
+        done: Arc<AtomicBool>,
+        peer: Option<usize>,
+        fatal: bool,
+    ) -> Request<'static> {
         Request {
-            inner: ReqInner::SendRndv { proc, done },
+            inner: ReqInner::SendRndv {
+                proc,
+                done,
+                peer,
+                fatal,
+            },
         }
     }
 
@@ -174,9 +224,17 @@ impl<'buf> Request<'buf> {
         proc: Arc<ProcInner>,
         handle: RecvHandle,
         dest: RecvDest<'buf>,
+        peer: Option<usize>,
+        fatal: bool,
     ) -> Request<'buf> {
         Request {
-            inner: ReqInner::RecvFabric { proc, handle, dest },
+            inner: ReqInner::RecvFabric {
+                proc,
+                handle,
+                dest,
+                peer,
+                fatal,
+            },
         }
     }
 
@@ -184,9 +242,17 @@ impl<'buf> Request<'buf> {
         proc: Arc<ProcInner>,
         slot: Arc<CoreSlot>,
         dest: RecvDest<'buf>,
+        peer: Option<usize>,
+        fatal: bool,
     ) -> Request<'buf> {
         Request {
-            inner: ReqInner::RecvCore { proc, slot, dest },
+            inner: ReqInner::RecvCore {
+                proc,
+                slot,
+                dest,
+                peer,
+                fatal,
+            },
         }
     }
 
@@ -195,27 +261,77 @@ impl<'buf> Request<'buf> {
         match self.test()? {
             Some(status) => Ok(status),
             None => {
-                // Re-enter the blocking path on the remaining variants.
+                // Re-enter the blocking path on the remaining variants. Each
+                // poll checks completion first, then peer liveness, so a
+                // message that raced ahead of the death notice still lands.
                 match std::mem::replace(&mut self.inner, ReqInner::Consumed) {
-                    ReqInner::SendRndv { proc, done } => {
-                        wait_loop(&proc, || done.load(Ordering::Acquire).then_some(()));
+                    ReqInner::SendRndv {
+                        proc,
+                        done,
+                        peer,
+                        fatal,
+                    } => {
+                        wait_loop(&proc, || {
+                            if done.load(Ordering::Acquire) {
+                                return Some(Ok(()));
+                            }
+                            check_peer(&proc, peer, fatal).err().map(Err)
+                        })?;
                         Ok(Status::send())
                     }
                     ReqInner::RecvFabric {
                         proc,
                         handle,
                         mut dest,
+                        peer,
+                        fatal,
                     } => {
-                        let msg = wait_loop(&proc, || handle.poll());
-                        complete_recv(&proc, msg.match_bits, msg.src.index(), msg.data, &mut dest)
+                        let msg = wait_loop(&proc, || {
+                            if let Some(m) = handle.poll() {
+                                return Some(Ok(m));
+                            }
+                            check_peer(&proc, peer, fatal).err().map(Err)
+                        });
+                        match msg {
+                            Ok(m) => fatal_filter(
+                                complete_recv(
+                                    &proc,
+                                    m.match_bits,
+                                    m.src.index(),
+                                    m.data,
+                                    &mut dest,
+                                ),
+                                fatal,
+                            ),
+                            Err(e) => {
+                                handle.cancel();
+                                Err(e)
+                            }
+                        }
                     }
                     ReqInner::RecvCore {
                         proc,
                         slot,
                         mut dest,
+                        peer,
+                        fatal,
                     } => {
-                        let msg = wait_loop(&proc, || slot.filled.lock().take());
-                        complete_recv(&proc, msg.bits, msg.src_world, msg.payload, &mut dest)
+                        let msg = wait_loop(&proc, || {
+                            if let Some(m) = slot.filled.lock().take() {
+                                return Some(Ok(m));
+                            }
+                            check_peer(&proc, peer, fatal).err().map(Err)
+                        });
+                        match msg {
+                            Ok(m) => fatal_filter(
+                                complete_recv(&proc, m.bits, m.src_world, m.payload, &mut dest),
+                                fatal,
+                            ),
+                            Err(e) => {
+                                proc.core_match.cancel(&slot);
+                                Err(e)
+                            }
+                        }
                     }
                     ReqInner::Done(s) => Ok(s),
                     ReqInner::Consumed => Err(MpiError::InvalidRequest("request already consumed")),
@@ -234,14 +350,27 @@ impl<'buf> Request<'buf> {
                 self.inner = ReqInner::Done(s);
                 Ok(Some(s))
             }
-            ReqInner::SendRndv { proc, done } => {
+            ReqInner::SendRndv {
+                proc,
+                done,
+                peer,
+                fatal,
+            } => {
                 proc.progress();
                 if done.load(Ordering::Acquire) {
                     let s = Status::send();
                     self.inner = ReqInner::Done(s);
                     Ok(Some(s))
                 } else {
-                    self.inner = ReqInner::SendRndv { proc, done };
+                    // A dead peer errors the request (it stays Consumed —
+                    // drained, per FT semantics) instead of pending forever.
+                    check_peer(&proc, peer, fatal)?;
+                    self.inner = ReqInner::SendRndv {
+                        proc,
+                        done,
+                        peer,
+                        fatal,
+                    };
                     Ok(None)
                 }
             }
@@ -249,15 +378,28 @@ impl<'buf> Request<'buf> {
                 proc,
                 handle,
                 mut dest,
+                peer,
+                fatal,
             } => {
                 proc.progress();
                 if let Some(msg) = handle.poll() {
-                    let s =
-                        complete_recv(&proc, msg.match_bits, msg.src.index(), msg.data, &mut dest)?;
+                    let s = fatal_filter(
+                        complete_recv(&proc, msg.match_bits, msg.src.index(), msg.data, &mut dest),
+                        fatal,
+                    )?;
                     self.inner = ReqInner::Done(s);
                     Ok(Some(s))
+                } else if let Err(e) = check_peer(&proc, peer, fatal) {
+                    handle.cancel();
+                    Err(e)
                 } else {
-                    self.inner = ReqInner::RecvFabric { proc, handle, dest };
+                    self.inner = ReqInner::RecvFabric {
+                        proc,
+                        handle,
+                        dest,
+                        peer,
+                        fatal,
+                    };
                     Ok(None)
                 }
             }
@@ -265,15 +407,29 @@ impl<'buf> Request<'buf> {
                 proc,
                 slot,
                 mut dest,
+                peer,
+                fatal,
             } => {
                 proc.progress();
                 let taken = slot.filled.lock().take();
                 if let Some(msg) = taken {
-                    let s = complete_recv(&proc, msg.bits, msg.src_world, msg.payload, &mut dest)?;
+                    let s = fatal_filter(
+                        complete_recv(&proc, msg.bits, msg.src_world, msg.payload, &mut dest),
+                        fatal,
+                    )?;
                     self.inner = ReqInner::Done(s);
                     Ok(Some(s))
+                } else if let Err(e) = check_peer(&proc, peer, fatal) {
+                    proc.core_match.cancel(&slot);
+                    Err(e)
                 } else {
-                    self.inner = ReqInner::RecvCore { proc, slot, dest };
+                    self.inner = ReqInner::RecvCore {
+                        proc,
+                        slot,
+                        dest,
+                        peer,
+                        fatal,
+                    };
                     Ok(None)
                 }
             }

@@ -119,16 +119,14 @@ impl UnivShared {
     }
 
     /// Receiver side of the rendezvous pull: share the staged data (no
-    /// copy), signal the sender, drop the table entry.
-    pub(crate) fn pull_rndv(&self, id: u64) -> Arc<Vec<u8>> {
-        let entry = self
-            .rndv
-            .lock()
-            .remove(&id)
-            .expect("rendezvous entry vanished");
+    /// copy), signal the sender, drop the table entry. Returns `None` when
+    /// no entry exists — a damaged or replayed RTS descriptor, which the
+    /// receive path surfaces as an integrity error rather than a panic.
+    pub(crate) fn pull_rndv(&self, id: u64) -> Option<Arc<Vec<u8>>> {
+        let entry = self.rndv.lock().remove(&id)?;
         let data = entry.data.clone();
         entry.done.store(true, Ordering::Release);
-        data
+        Some(data)
     }
 }
 
@@ -171,9 +169,14 @@ impl Universe {
                     let univ = univ.clone();
                     let endpoint = univ.fabric.endpoint(NetAddr(rank as u32));
                     scope.spawn(move || {
-                        let proc =
-                            Process::new(Arc::new(ProcInner::new(rank, n, endpoint, config, univ)));
+                        let inner = Arc::new(ProcInner::new(rank, n, endpoint, config, univ));
+                        let proc = Process::new(inner.clone());
                         *slot = Some(f(proc));
+                        // MPI's delivery guarantee: a locally-completed eager
+                        // send must still arrive. With the reliability layer
+                        // on, the rank's fire-and-forget traffic may still be
+                        // unacknowledged here, so drain it before teardown.
+                        inner.endpoint.quiesce();
                     })
                 })
                 .collect();
@@ -276,9 +279,10 @@ mod tests {
             let univ = proc.univ();
             let (id, done) = univ.alloc_rndv(vec![1, 2, 3]);
             assert!(!done.load(Ordering::Acquire));
-            let data = univ.pull_rndv(id);
+            let data = univ.pull_rndv(id).expect("entry present");
             assert_eq!(&*data, &vec![1, 2, 3]);
             assert!(done.load(Ordering::Acquire));
+            assert!(univ.pull_rndv(id).is_none(), "pull consumes the entry");
             true
         });
         assert!(out[0]);

@@ -21,6 +21,9 @@
 //! Latency/bandwidth figures are public specifications of the respective
 //! fabrics and feed the LogGP application models (Figs 7–8).
 
+use crate::fault::FaultPlan;
+use crate::reliability::ReliabilityConfig;
+
 /// Which simulated provider this is (selects netmod code paths and labels).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ProviderKind {
@@ -151,6 +154,12 @@ pub struct ProviderProfile {
     pub matcher: MatcherKind,
     /// Which payload-construction pipeline senders run.
     pub copy_mode: CopyMode,
+    /// Deterministic fault-injection plan; [`FaultPlan::NONE`] (the
+    /// default) leaves delivery byte- and charge-identical to a fabric
+    /// without fault support.
+    pub faults: FaultPlan,
+    /// Software reliability protocol (seq/ack/retransmit); off by default.
+    pub reliability: ReliabilityConfig,
 }
 
 impl ProviderProfile {
@@ -175,6 +184,8 @@ impl ProviderProfile {
             jitter_seed: None,
             matcher: MatcherKind::Bucketed,
             copy_mode: CopyMode::Pooled,
+            faults: FaultPlan::NONE,
+            reliability: ReliabilityConfig::OFF,
         }
     }
 
@@ -197,6 +208,8 @@ impl ProviderProfile {
             jitter_seed: None,
             matcher: MatcherKind::Bucketed,
             copy_mode: CopyMode::Pooled,
+            faults: FaultPlan::NONE,
+            reliability: ReliabilityConfig::OFF,
         }
     }
 
@@ -221,6 +234,8 @@ impl ProviderProfile {
             jitter_seed: None,
             matcher: MatcherKind::Bucketed,
             copy_mode: CopyMode::Pooled,
+            faults: FaultPlan::NONE,
+            reliability: ReliabilityConfig::OFF,
         }
     }
 
@@ -239,6 +254,8 @@ impl ProviderProfile {
             jitter_seed: None,
             matcher: MatcherKind::Bucketed,
             copy_mode: CopyMode::Pooled,
+            faults: FaultPlan::NONE,
+            reliability: ReliabilityConfig::OFF,
         }
     }
 
@@ -261,6 +278,8 @@ impl ProviderProfile {
             jitter_seed: None,
             matcher: MatcherKind::Bucketed,
             copy_mode: CopyMode::Pooled,
+            faults: FaultPlan::NONE,
+            reliability: ReliabilityConfig::OFF,
         }
     }
 
@@ -284,6 +303,8 @@ impl ProviderProfile {
             jitter_seed: None,
             matcher: MatcherKind::Bucketed,
             copy_mode: CopyMode::Pooled,
+            faults: FaultPlan::NONE,
+            reliability: ReliabilityConfig::OFF,
         }
     }
 
@@ -304,6 +325,23 @@ impl ProviderProfile {
     pub fn with_copy_mode(mut self, copy_mode: CopyMode) -> Self {
         self.copy_mode = copy_mode;
         self
+    }
+
+    /// Copy of this profile with the given fault-injection plan active.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Copy of this profile with the given reliability configuration.
+    pub fn with_reliability(mut self, reliability: ReliabilityConfig) -> Self {
+        self.reliability = reliability;
+        self
+    }
+
+    /// Copy of this profile with the reliable path on at default knobs.
+    pub fn reliable(self) -> Self {
+        self.with_reliability(ReliabilityConfig::on())
     }
 }
 
@@ -369,6 +407,25 @@ mod tests {
         assert_eq!(ProviderProfile::ofi().copy_mode, CopyMode::Pooled);
         let p = ProviderProfile::ofi().with_copy_mode(CopyMode::Legacy);
         assert_eq!(p.copy_mode, CopyMode::Legacy);
+    }
+
+    #[test]
+    fn faults_and_reliability_default_off() {
+        let p = ProviderProfile::ofi();
+        assert!(p.faults.is_none());
+        assert!(!p.reliability.enabled);
+        let q = p
+            .with_faults(FaultPlan::uniform(
+                9,
+                crate::fault::FaultSpec::percent(5, 0, 0, 0),
+            ))
+            .reliable();
+        assert!(!q.faults.is_none());
+        assert!(q.reliability.enabled);
+        assert!(q.reliability.crc);
+        // Builders compose with the existing ones.
+        let r = q.with_matcher(MatcherKind::Linear);
+        assert!(r.reliability.enabled);
     }
 
     #[test]

@@ -9,8 +9,9 @@ use crate::region::{MemoryRegion, RegionKey};
 use crate::topology::Topology;
 use parking_lot::RwLock;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// One simulated network: `n` endpoints, a registered-memory table, a
 /// topology, and a provider profile. Create once per job (`Universe`).
@@ -22,6 +23,12 @@ pub struct Fabric {
     regions: RwLock<HashMap<RegionKey, MemoryRegion>>,
     next_rkey: AtomicU64,
     pool: PayloadPool,
+    /// Epoch for the retransmit-timer clock ([`Fabric::now_us`]).
+    t0: Instant,
+    /// Packets the kill-switch victim has touched so far.
+    kill_count: AtomicU64,
+    /// Set once the kill switch has fired (the victim is off the fabric).
+    kill_tripped: AtomicBool,
 }
 
 impl Fabric {
@@ -29,7 +36,7 @@ impl Fabric {
     pub fn new(n: usize, profile: ProviderProfile, topology: Topology) -> Arc<Fabric> {
         assert_eq!(topology.n_ranks(), n, "topology must cover exactly n ranks");
         let endpoints = (0..n)
-            .map(|i| EndpointShared::new(&profile, NetAddr(i as u32)))
+            .map(|i| EndpointShared::new(&profile, NetAddr(i as u32), n))
             .collect();
         Arc::new(Fabric {
             profile,
@@ -38,7 +45,45 @@ impl Fabric {
             regions: RwLock::new(HashMap::new()),
             next_rkey: AtomicU64::new(1),
             pool: PayloadPool::new(),
+            t0: Instant::now(),
+            kill_count: AtomicU64::new(0),
+            kill_tripped: AtomicBool::new(false),
         })
+    }
+
+    /// Microseconds since fabric creation (the reliability layer's clock).
+    pub(crate) fn now_us(&self) -> u64 {
+        self.t0.elapsed().as_micros() as u64
+    }
+
+    /// Account one packet against the kill switch. Returns `true` when the
+    /// packet must vanish because the victim endpoint is dead.
+    pub(crate) fn kill_packet(&self, src: NetAddr, dst: NetAddr) -> bool {
+        let Some(k) = self.profile.faults.kill else {
+            return false;
+        };
+        if src.0 != k.endpoint && dst.0 != k.endpoint {
+            return false;
+        }
+        if self.kill_tripped.load(Ordering::Acquire) {
+            return true;
+        }
+        let n = self.kill_count.fetch_add(1, Ordering::AcqRel) + 1;
+        if n >= k.after_packets {
+            self.kill_tripped.store(true, Ordering::Release);
+        }
+        // The k-th packet itself still goes through; death starts after.
+        false
+    }
+
+    /// Has the kill switch fired for `addr`? Modeled as a fabric-wide
+    /// link-down event: peers can observe it without exchanging packets
+    /// with the corpse (the way a real provider surfaces a downed port).
+    pub fn endpoint_killed(&self, addr: NetAddr) -> bool {
+        match self.profile.faults.kill {
+            Some(k) => addr.0 == k.endpoint && self.kill_tripped.load(Ordering::Acquire),
+            None => false,
+        }
     }
 
     /// Number of endpoints.

@@ -37,10 +37,12 @@ pub mod addr;
 pub mod cost;
 pub mod endpoint;
 pub mod fabric;
+pub mod fault;
 pub mod matching;
 pub mod packet;
 pub mod pool;
 pub mod region;
+pub mod reliability;
 pub mod stats;
 pub mod topology;
 
@@ -48,8 +50,10 @@ pub use addr::NetAddr;
 pub use cost::{CopyMode, MatcherKind, NetCost, ProviderKind, ProviderProfile};
 pub use endpoint::Endpoint;
 pub use fabric::Fabric;
+pub use fault::{FaultPlan, FaultSpec, KillSwitch, LinkOverride};
 pub use packet::{AmMessage, TaggedMessage};
 pub use pool::{PayloadBuf, PayloadPool, PoolStats};
 pub use region::{MemoryRegion, RdmaAtomicOp, RegionKey};
+pub use reliability::{crc32, ReliabilityConfig};
 pub use stats::EndpointStats;
 pub use topology::Topology;

@@ -1,0 +1,701 @@
+//! Software reliability protocol (sequence / ACK / retransmit).
+//!
+//! On Omni-Path the provider (PSM2) implements reliability in software on
+//! the host CPU — sequence numbers, a dedup/reorder window, cumulative
+//! ACKs, timeout-driven retransmission, and an integrity check. This module
+//! is that protocol for the simulated fabric, so the instruction cost of
+//! reliability can be charged ([`Category::Reliability`]) and measured like
+//! the paper's other per-message overheads.
+//!
+//! ## Protocol
+//!
+//! Each directed link (src, dst) carries an independent 32-bit wrapping
+//! sequence space shared by tagged and active-message traffic. Every data
+//! packet carries `seq`, a piggybacked cumulative ACK for the reverse link,
+//! and (optionally) a CRC32 over the identifying bytes and payload. The
+//! receiver releases packets to the matching engine / AM queue strictly in
+//! sequence order, buffering out-of-order arrivals in a bounded window and
+//! dropping duplicates. The sender keeps unacknowledged packets in a
+//! retransmit queue armed with a timeout that backs off exponentially;
+//! after `max_retries` fruitless rounds the peer is declared unreachable.
+//! When traffic is one-directional the receiver owes a *standalone* ACK
+//! packet (no payload, not itself sequenced or retransmitted — a lost ACK
+//! is recovered by the sender's retransmission, which re-raises the debt).
+//!
+//! The state machines here ([`LinkTx`], [`LinkRx`]) are pure: time enters
+//! only as a `now_us` argument and randomness not at all, so the backoff
+//! schedule, window wraparound, and ACK bookkeeping are unit-testable in
+//! isolation (and runs are replayable).
+//!
+//! [`Category::Reliability`]: litempi_instr::Category::Reliability
+
+use crate::addr::NetAddr;
+use crate::cost::ProviderProfile;
+use crate::fault::{FaultSpec, LinkRng};
+use crate::packet::{AmMessage, TaggedMessage};
+use std::collections::VecDeque;
+
+/// Configuration of the reliable path, carried by value in
+/// [`ProviderProfile`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReliabilityConfig {
+    /// Run the seq/ack/retransmit protocol on every tagged and active
+    /// message. When `false` the fabric behaves exactly as before this
+    /// layer existed (and faults, if any, are delivered raw).
+    pub enabled: bool,
+    /// Retransmission rounds without progress before the peer is declared
+    /// unreachable.
+    pub max_retries: u32,
+    /// Initial retransmit timeout in microseconds.
+    pub base_rto_us: u64,
+    /// Cap on the exponential-backoff exponent (timeout ≤ base << cap).
+    pub max_backoff_exp: u32,
+    /// Verify a CRC32 on every packet; a mismatch is treated as a drop
+    /// (the retransmission recovers the original bytes).
+    pub crc: bool,
+    /// Owe a standalone ACK after this many unacknowledged deliveries
+    /// (ticks flush the debt earlier; this bounds it between ticks).
+    pub ack_every: u32,
+    /// Out-of-order buffering window (packets) per link; arrivals beyond
+    /// it are dropped and recovered by retransmission.
+    pub window: u32,
+}
+
+impl ReliabilityConfig {
+    /// Protocol off — the default for every provider profile.
+    pub const OFF: ReliabilityConfig = ReliabilityConfig {
+        enabled: false,
+        max_retries: 8,
+        base_rto_us: 200,
+        max_backoff_exp: 6,
+        crc: true,
+        ack_every: 4,
+        window: 64,
+    };
+
+    /// Protocol on with default knobs (8 retries, 200 µs initial RTO,
+    /// CRC enabled, 64-packet window).
+    pub const fn on() -> ReliabilityConfig {
+        ReliabilityConfig {
+            enabled: true,
+            max_retries: 8,
+            base_rto_us: 200,
+            max_backoff_exp: 6,
+            crc: true,
+            ack_every: 4,
+            window: 64,
+        }
+    }
+
+    /// Copy of this config with CRC verification switched.
+    pub const fn with_crc(mut self, crc: bool) -> ReliabilityConfig {
+        self.crc = crc;
+        self
+    }
+
+    /// Copy of this config with the retry budget replaced.
+    pub const fn with_retries(mut self, max_retries: u32, base_rto_us: u64) -> ReliabilityConfig {
+        self.max_retries = max_retries;
+        self.base_rto_us = base_rto_us;
+        self
+    }
+}
+
+/// `true` when `a` is strictly before `b` in the wrapping sequence space.
+#[inline]
+pub(crate) fn seq_before(a: u32, b: u32) -> bool {
+    a != b && b.wrapping_sub(a) < 0x8000_0000
+}
+
+// ------------------------------------------------------------------ CRC32
+
+const CRC_INIT: u32 = 0xFFFF_FFFF;
+
+/// One CRC32 (IEEE, reflected, poly `0xEDB88320`) update step.
+#[inline]
+fn crc32_update(mut crc: u32, data: &[u8]) -> u32 {
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    crc
+}
+
+/// CRC32 of a byte slice (IEEE polynomial, bitwise — no lookup tables, as
+/// an onload provider computing checksums inline would).
+pub fn crc32(data: &[u8]) -> u32 {
+    !crc32_update(CRC_INIT, data)
+}
+
+// ------------------------------------------------------------- wire types
+
+/// The payload of a sequenced packet: either traffic class rides the same
+/// per-link sequence space, preserving the fabric's per-(src,dst) FIFO
+/// guarantee across classes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum PacketBody {
+    /// A tagged two-sided message.
+    Tagged(TaggedMessage),
+    /// An active message.
+    Am(AmMessage),
+}
+
+impl PacketBody {
+    /// CRC32 over the identifying bytes and payload. The `Bytes` payload
+    /// itself is never rewritten — reliability metadata travels beside it —
+    /// which is what makes the fault-free path byte-identical to the
+    /// pre-reliability fabric.
+    pub(crate) fn checksum(&self) -> u32 {
+        let mut c = CRC_INIT;
+        match self {
+            PacketBody::Tagged(m) => {
+                c = crc32_update(c, &m.match_bits.to_le_bytes());
+                c = crc32_update(c, &m.data);
+            }
+            PacketBody::Am(m) => {
+                c = crc32_update(c, &m.handler.to_le_bytes());
+                c = crc32_update(c, &m.header);
+                c = crc32_update(c, &m.data);
+            }
+        }
+        !c
+    }
+
+    /// Number of payload bytes (for per-word CRC cost accounting).
+    pub(crate) fn payload_len(&self) -> usize {
+        match self {
+            PacketBody::Tagged(m) => m.data.len(),
+            PacketBody::Am(m) => m.data.len(),
+        }
+    }
+
+    /// A copy of this body with one bit flipped somewhere the checksum
+    /// covers (the corruption fault). `pick` selects the position.
+    pub(crate) fn corrupted(&self, pick: u64) -> PacketBody {
+        fn flip(data: &bytes::Bytes, pick: u64) -> bytes::Bytes {
+            let mut v = data.to_vec();
+            let i = (pick as usize) % v.len();
+            v[i] ^= 1 << ((pick >> 32) % 8);
+            bytes::Bytes::from(v)
+        }
+        match self {
+            PacketBody::Tagged(m) => {
+                let mut m = m.clone();
+                if m.data.is_empty() {
+                    m.match_bits ^= 1 << (pick % 64);
+                } else {
+                    m.data = flip(&m.data, pick);
+                }
+                PacketBody::Tagged(m)
+            }
+            PacketBody::Am(m) => {
+                let mut m = m.clone();
+                if m.data.is_empty() {
+                    m.header[(pick as usize) % 32] ^= 1 << ((pick >> 32) % 8);
+                } else {
+                    m.data = flip(&m.data, pick);
+                }
+                PacketBody::Am(m)
+            }
+        }
+    }
+}
+
+/// One packet on the (simulated) wire. Reliability metadata lives in
+/// struct fields rather than a serialized header so the payload `Bytes`
+/// handle is delivered untouched.
+#[derive(Debug, Clone)]
+pub(crate) struct WirePacket {
+    /// Sending endpoint.
+    pub src: NetAddr,
+    /// Per-link sequence number (meaningless for standalone ACKs).
+    pub seq: u32,
+    /// Piggybacked cumulative ACK for the reverse link: "I have received
+    /// everything before this sequence number from you".
+    pub ack: Option<u32>,
+    /// CRC32 of the body, when the config enables integrity checking.
+    pub crc: Option<u32>,
+    /// The data; `None` makes this a standalone ACK.
+    pub body: Option<PacketBody>,
+}
+
+// ------------------------------------------------------------- sender side
+
+/// An entry awaiting acknowledgment.
+#[derive(Debug, Clone)]
+pub(crate) struct Pending {
+    pub seq: u32,
+    pub body: PacketBody,
+    pub crc: Option<u32>,
+}
+
+/// What a retransmit-timer tick decided.
+#[derive(Debug)]
+pub(crate) enum TxTick {
+    /// Nothing due.
+    Idle,
+    /// Timeout fired: re-issue these packets (go-back-N over the small
+    /// unacked queue).
+    Resend(Vec<Pending>),
+    /// Retry budget exhausted: the peer is now considered unreachable.
+    Dead,
+}
+
+/// Sender half of one directed link: sequence allocation + retransmit
+/// queue with exponential backoff.
+#[derive(Debug)]
+pub(crate) struct LinkTx {
+    next_seq: u32,
+    queue: VecDeque<Pending>,
+    /// Deadline for the next retransmission round (µs; valid when the
+    /// queue is nonempty).
+    deadline_us: u64,
+    backoff_exp: u32,
+    /// Consecutive retransmission rounds without forward progress.
+    retries: u32,
+    base_rto_us: u64,
+    max_backoff_exp: u32,
+    max_retries: u32,
+    /// Set once the retry budget is exhausted.
+    pub dead: bool,
+}
+
+impl LinkTx {
+    pub(crate) fn new(cfg: &ReliabilityConfig) -> LinkTx {
+        LinkTx::new_at(cfg, 0)
+    }
+
+    /// Start the sequence space at `seq` (wraparound tests).
+    pub(crate) fn new_at(cfg: &ReliabilityConfig, seq: u32) -> LinkTx {
+        LinkTx {
+            next_seq: seq,
+            queue: VecDeque::new(),
+            deadline_us: 0,
+            backoff_exp: 0,
+            retries: 0,
+            base_rto_us: cfg.base_rto_us,
+            max_backoff_exp: cfg.max_backoff_exp,
+            max_retries: cfg.max_retries,
+            dead: false,
+        }
+    }
+
+    /// Assign the next sequence number, enqueue the packet for potential
+    /// retransmission, and arm the timer if it was idle.
+    pub(crate) fn prepare(&mut self, body: PacketBody, crc: Option<u32>, now_us: u64) -> u32 {
+        let seq = self.next_seq;
+        self.next_seq = self.next_seq.wrapping_add(1);
+        if self.queue.is_empty() {
+            self.deadline_us = now_us + self.base_rto_us;
+            self.backoff_exp = 0;
+        }
+        self.queue.push_back(Pending { seq, body, crc });
+        seq
+    }
+
+    /// Process a cumulative ACK: retire everything before `cum`. Forward
+    /// progress resets the backoff and the retry budget.
+    pub(crate) fn on_ack(&mut self, cum: u32, now_us: u64) {
+        let mut progressed = false;
+        while let Some(front) = self.queue.front() {
+            if seq_before(front.seq, cum) {
+                self.queue.pop_front();
+                progressed = true;
+            } else {
+                break;
+            }
+        }
+        if progressed {
+            self.retries = 0;
+            self.backoff_exp = 0;
+            self.deadline_us = now_us + self.base_rto_us;
+        }
+    }
+
+    /// Fire the retransmit timer if due.
+    pub(crate) fn tick(&mut self, now_us: u64) -> TxTick {
+        if self.dead || self.queue.is_empty() || now_us < self.deadline_us {
+            return TxTick::Idle;
+        }
+        if self.retries >= self.max_retries {
+            self.dead = true;
+            self.queue.clear();
+            return TxTick::Dead;
+        }
+        self.retries += 1;
+        if self.backoff_exp < self.max_backoff_exp {
+            self.backoff_exp += 1;
+        }
+        self.deadline_us = now_us + (self.base_rto_us << self.backoff_exp);
+        TxTick::Resend(self.queue.iter().cloned().collect())
+    }
+
+    /// Packets awaiting acknowledgment.
+    pub(crate) fn in_flight(&self) -> usize {
+        self.queue.len()
+    }
+
+    #[cfg(test)]
+    fn deadline(&self) -> u64 {
+        self.deadline_us
+    }
+}
+
+// ----------------------------------------------------------- receiver side
+
+/// What the dedup/reorder window decided about an arrival.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum RxVerdict {
+    /// In-order: release these bodies (the arrival plus any buffered
+    /// successors it unblocked), in sequence order.
+    Deliver(Vec<PacketBody>),
+    /// Ahead of the expected sequence: buffered until the gap fills.
+    Buffered,
+    /// Already delivered (or already buffered): dropped.
+    Duplicate,
+    /// Too far ahead for the window: dropped, retransmission recovers it.
+    Overflow,
+}
+
+/// Receiver half of one directed link: the sliding dedup/reorder window.
+#[derive(Debug)]
+pub(crate) struct LinkRx {
+    /// Next in-order sequence number (everything before it is delivered —
+    /// this is also the cumulative ACK value).
+    expected: u32,
+    window: u32,
+    /// Out-of-order arrivals, at most `window` of them (unsorted; the
+    /// window is small).
+    buffer: Vec<(u32, PacketBody)>,
+    /// In-order deliveries (and re-ACK-worthy duplicates) not yet covered
+    /// by an outgoing ACK.
+    pub ack_owed: u32,
+    /// Duplicates dropped (stats).
+    pub dups: u64,
+}
+
+impl LinkRx {
+    pub(crate) fn new(cfg: &ReliabilityConfig) -> LinkRx {
+        LinkRx::new_at(cfg, 0)
+    }
+
+    /// Expect the first packet at `seq` (wraparound tests).
+    pub(crate) fn new_at(cfg: &ReliabilityConfig, seq: u32) -> LinkRx {
+        LinkRx {
+            expected: seq,
+            window: cfg.window,
+            buffer: Vec::new(),
+            ack_owed: 0,
+            dups: 0,
+        }
+    }
+
+    /// Run the window check on an arrival.
+    pub(crate) fn receive(&mut self, seq: u32, body: PacketBody) -> RxVerdict {
+        let offset = seq.wrapping_sub(self.expected);
+        if offset >= 0x8000_0000 {
+            // Behind the window: a duplicate of something already
+            // delivered. Still owe an ACK — the sender may be
+            // retransmitting precisely because the previous ACK was lost.
+            self.dups += 1;
+            self.ack_owed += 1;
+            return RxVerdict::Duplicate;
+        }
+        if offset == 0 {
+            let mut out = vec![body];
+            self.expected = self.expected.wrapping_add(1);
+            // Drain any buffered successors the gap-fill unblocked.
+            while let Some(i) = self.buffer.iter().position(|(s, _)| *s == self.expected) {
+                out.push(self.buffer.swap_remove(i).1);
+                self.expected = self.expected.wrapping_add(1);
+            }
+            self.ack_owed += out.len() as u32;
+            return RxVerdict::Deliver(out);
+        }
+        // Ahead: hold for reordering.
+        if self.buffer.iter().any(|(s, _)| *s == seq) {
+            self.dups += 1;
+            return RxVerdict::Duplicate;
+        }
+        if self.buffer.len() >= self.window as usize {
+            return RxVerdict::Overflow;
+        }
+        self.buffer.push((seq, body));
+        RxVerdict::Buffered
+    }
+
+    /// The cumulative ACK value for this link.
+    pub(crate) fn cum_ack(&self) -> u32 {
+        self.expected
+    }
+
+    /// Consume the ACK debt (the caller is about to transmit `cum_ack`).
+    pub(crate) fn take_ack(&mut self) -> u32 {
+        self.ack_owed = 0;
+        self.expected
+    }
+}
+
+// -------------------------------------------------------- per-endpoint state
+
+/// Everything one endpoint tracks for the lossy/reliable path, behind a
+/// single mutex (untouched — and empty — when both faults and reliability
+/// are disabled).
+#[derive(Debug)]
+pub(crate) struct ReliaState {
+    pub cfg: ReliabilityConfig,
+    /// Sender halves, indexed by destination endpoint.
+    pub tx: Vec<LinkTx>,
+    /// Receiver halves, indexed by source endpoint.
+    pub rx: Vec<LinkRx>,
+    /// Fault-decision RNGs, one per outgoing link (deterministic per link).
+    pub fault_rng: Vec<LinkRng>,
+    /// Fault probabilities per outgoing link (resolved once).
+    pub specs: Vec<FaultSpec>,
+    /// Reorder hold-back slot per outgoing link: a packet parked here is
+    /// transmitted after the next packet on the link (or on the next tick).
+    pub stash: Vec<Option<WirePacket>>,
+    /// Peers declared unreachable by retry exhaustion.
+    pub dead: Vec<bool>,
+}
+
+impl ReliaState {
+    /// Build state for the endpoint at `addr` on a fabric of `n`
+    /// endpoints. When neither faults nor reliability are enabled the
+    /// vectors stay empty (nothing ever looks at them).
+    pub(crate) fn new(profile: &ProviderProfile, addr: NetAddr, n: usize) -> ReliaState {
+        let cfg = profile.reliability;
+        let active = cfg.enabled || !profile.faults.is_none();
+        let n = if active { n } else { 0 };
+        ReliaState {
+            cfg,
+            tx: (0..n).map(|_| LinkTx::new(&cfg)).collect(),
+            rx: (0..n).map(|_| LinkRx::new(&cfg)).collect(),
+            fault_rng: (0..n)
+                .map(|d| LinkRng::new(profile.faults.link_seed(addr, NetAddr(d as u32))))
+                .collect(),
+            specs: (0..n)
+                .map(|d| profile.faults.spec_for(addr, NetAddr(d as u32)))
+                .collect(),
+            stash: (0..n).map(|_| None).collect(),
+            dead: vec![false; n],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn body(tag: u64) -> PacketBody {
+        PacketBody::Tagged(TaggedMessage {
+            src: NetAddr(0),
+            match_bits: tag,
+            data: Bytes::from_static(b"payload"),
+        })
+    }
+
+    fn cfg() -> ReliabilityConfig {
+        ReliabilityConfig::on()
+    }
+
+    #[test]
+    fn crc32_check_value() {
+        // The standard CRC-32/IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_ne!(crc32(b"123456788"), crc32(b"123456789"));
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn checksum_detects_corruption() {
+        let b = body(42);
+        let c = b.checksum();
+        for pick in [0u64, 3, 0xFFFF_0005, u64::MAX] {
+            let bad = b.corrupted(pick);
+            assert_ne!(bad.checksum(), c, "pick = {pick}");
+        }
+        // Empty payloads corrupt their metadata instead.
+        let empty = PacketBody::Tagged(TaggedMessage {
+            src: NetAddr(0),
+            match_bits: 7,
+            data: Bytes::new(),
+        });
+        assert_ne!(empty.corrupted(1).checksum(), empty.checksum());
+    }
+
+    #[test]
+    fn seq_before_handles_wraparound() {
+        assert!(seq_before(0, 1));
+        assert!(seq_before(u32::MAX, 0));
+        assert!(seq_before(u32::MAX - 1, 3));
+        assert!(!seq_before(1, 0));
+        assert!(!seq_before(0, u32::MAX));
+        assert!(!seq_before(5, 5));
+    }
+
+    /// Satellite: backoff schedule. Deadlines double per fruitless round,
+    /// capped at `base << max_backoff_exp`, and progress resets them.
+    #[test]
+    fn backoff_schedule_doubles_and_caps() {
+        let c = cfg(); // base 200 µs, cap exp 6, 8 retries
+        let mut tx = LinkTx::new(&c);
+        tx.prepare(body(1), None, 1_000);
+        assert_eq!(tx.deadline(), 1_200);
+        assert!(matches!(tx.tick(1_199), TxTick::Idle));
+
+        // Round 1 fires at the base RTO; the next deadline uses 2× base.
+        let TxTick::Resend(r) = tx.tick(1_200) else {
+            panic!("round 1 should fire");
+        };
+        assert_eq!(r.len(), 1);
+        assert_eq!(tx.deadline(), 1_200 + 400);
+
+        // Rounds 2..6 keep doubling: 800, 1600, 3200, 6400, 12800.
+        let mut now = 1_600;
+        for expect in [800u64, 1_600, 3_200, 6_400, 12_800] {
+            assert!(matches!(tx.tick(now), TxTick::Resend(_)));
+            assert_eq!(tx.deadline(), now + expect);
+            now += expect;
+        }
+        // Exponent is capped: the next round waits 12800 again.
+        assert!(matches!(tx.tick(now), TxTick::Resend(_)));
+        assert_eq!(tx.deadline(), now + 12_800);
+        now += 12_800;
+
+        // Round 8 exhausts the budget (max_retries = 8).
+        assert!(matches!(tx.tick(now), TxTick::Resend(_)));
+        now += 12_800;
+        assert!(matches!(tx.tick(now), TxTick::Dead));
+        assert!(tx.dead);
+        assert_eq!(tx.in_flight(), 0);
+        assert!(matches!(tx.tick(now + 1), TxTick::Idle));
+    }
+
+    #[test]
+    fn ack_progress_resets_backoff() {
+        let c = cfg();
+        let mut tx = LinkTx::new(&c);
+        tx.prepare(body(1), None, 0);
+        tx.prepare(body(2), None, 0);
+        assert!(matches!(tx.tick(200), TxTick::Resend(_)));
+        assert!(matches!(tx.tick(600), TxTick::Resend(_)));
+        // Cumulative ACK for seq 1 retires the first packet and resets the
+        // schedule to the base RTO.
+        tx.on_ack(1, 700);
+        assert_eq!(tx.in_flight(), 1);
+        assert_eq!(tx.deadline(), 900);
+        assert!(matches!(tx.tick(899), TxTick::Idle));
+        assert!(matches!(tx.tick(900), TxTick::Resend(_)));
+        // Full ACK drains the queue; the timer goes idle forever.
+        tx.on_ack(2, 1_000);
+        assert_eq!(tx.in_flight(), 0);
+        assert!(matches!(tx.tick(1_000_000), TxTick::Idle));
+    }
+
+    /// Satellite: dedup-window wraparound at sequence overflow. In-order
+    /// and out-of-order arrivals across the u32 boundary behave exactly as
+    /// mid-range, and duplicates are recognized on both sides of it.
+    #[test]
+    fn dedup_window_wraps_at_sequence_overflow() {
+        let c = cfg();
+        let start = u32::MAX - 2;
+        let mut rx = LinkRx::new_at(&c, start);
+
+        // In-order across the boundary: MAX-2, MAX-1, MAX, 0, 1.
+        for (i, seq) in (0..5u32).map(|i| (i, start.wrapping_add(i))) {
+            match rx.receive(seq, body(i as u64)) {
+                RxVerdict::Deliver(out) => assert_eq!(out.len(), 1),
+                v => panic!("seq {seq:#x}: {v:?}"),
+            }
+        }
+        assert_eq!(rx.cum_ack(), 2);
+
+        // Everything already delivered is a duplicate, on both sides of
+        // the wrap point.
+        for seq in [start, u32::MAX, 0, 1] {
+            assert_eq!(rx.receive(seq, body(9)), RxVerdict::Duplicate);
+        }
+        assert_eq!(rx.dups, 4);
+
+        // Out-of-order across the boundary: expected = 2; buffering 3 and
+        // 4, then filling the gap, releases all three in order.
+        assert_eq!(rx.receive(4, body(104)), RxVerdict::Buffered);
+        assert_eq!(rx.receive(3, body(103)), RxVerdict::Buffered);
+        assert_eq!(rx.receive(3, body(103)), RxVerdict::Duplicate);
+        match rx.receive(2, body(102)) {
+            RxVerdict::Deliver(out) => {
+                let tags: Vec<u64> = out
+                    .iter()
+                    .map(|b| match b {
+                        PacketBody::Tagged(m) => m.match_bits,
+                        _ => unreachable!(),
+                    })
+                    .collect();
+                assert_eq!(tags, vec![102, 103, 104]);
+            }
+            v => panic!("{v:?}"),
+        }
+        assert_eq!(rx.cum_ack(), 5);
+    }
+
+    #[test]
+    fn window_overflow_drops_far_ahead() {
+        let mut c = cfg();
+        c.window = 2;
+        let mut rx = LinkRx::new_at(&c, 0);
+        assert_eq!(rx.receive(1, body(1)), RxVerdict::Buffered);
+        assert_eq!(rx.receive(2, body(2)), RxVerdict::Buffered);
+        assert_eq!(rx.receive(3, body(3)), RxVerdict::Overflow);
+        // The gap fill still releases what was buffered.
+        match rx.receive(0, body(0)) {
+            RxVerdict::Deliver(out) => assert_eq!(out.len(), 3),
+            v => panic!("{v:?}"),
+        }
+    }
+
+    /// Satellite: standalone-ACK generation for one-directional traffic.
+    /// The receiver accrues ACK debt with nothing to piggyback on; taking
+    /// the ACK clears the debt; re-ACK debt accrues for stale duplicates
+    /// (the lost-ACK recovery path).
+    #[test]
+    fn standalone_ack_debt_for_one_directional_traffic() {
+        let c = cfg();
+        let mut rx = LinkRx::new(&c);
+        assert_eq!(rx.ack_owed, 0);
+        for i in 0..3u32 {
+            assert!(matches!(
+                rx.receive(i, body(i as u64)),
+                RxVerdict::Deliver(_)
+            ));
+        }
+        assert_eq!(rx.ack_owed, 3);
+        assert_eq!(rx.take_ack(), 3);
+        assert_eq!(rx.ack_owed, 0);
+
+        // A retransmitted (already-delivered) packet re-raises the debt so
+        // a fresh standalone ACK gets generated even though nothing new
+        // was delivered — otherwise a sender whose ACK was lost would
+        // retry to death.
+        assert_eq!(rx.receive(1, body(1)), RxVerdict::Duplicate);
+        assert_eq!(rx.ack_owed, 1);
+        assert_eq!(rx.take_ack(), 3);
+    }
+
+    #[test]
+    fn relia_state_sizes_follow_activation() {
+        let off = ProviderProfile::infinite();
+        let s = ReliaState::new(&off, NetAddr(0), 4);
+        assert!(s.tx.is_empty() && s.rx.is_empty() && s.dead.is_empty());
+
+        let on = ProviderProfile::infinite().with_reliability(ReliabilityConfig::on());
+        let s = ReliaState::new(&on, NetAddr(0), 4);
+        assert_eq!(s.tx.len(), 4);
+        assert_eq!(s.rx.len(), 4);
+        assert_eq!(s.fault_rng.len(), 4);
+    }
+}

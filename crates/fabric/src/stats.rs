@@ -35,6 +35,16 @@ pub struct EndpointStats {
     pub rdma_bytes: AtomicU64,
     /// Active messages injected.
     pub am_sent: AtomicU64,
+    /// Packets re-issued by the reliability layer's retransmit timer.
+    pub retransmits: AtomicU64,
+    /// Duplicate packets dropped by the dedup window (receiver side).
+    pub dup_dropped: AtomicU64,
+    /// Packets failing the CRC integrity check (receiver side).
+    pub crc_failures: AtomicU64,
+    /// Standalone ACK packets sent by this endpoint.
+    pub acks_sent: AtomicU64,
+    /// Packets the fault plan dropped (or killed) on this endpoint's sends.
+    pub faults_dropped: AtomicU64,
 }
 
 impl EndpointStats {
@@ -56,6 +66,11 @@ impl EndpointStats {
             rdma_atomics: self.rdma_atomics.load(Ordering::Relaxed),
             rdma_bytes: self.rdma_bytes.load(Ordering::Relaxed),
             am_sent: self.am_sent.load(Ordering::Relaxed),
+            retransmits: self.retransmits.load(Ordering::Relaxed),
+            dup_dropped: self.dup_dropped.load(Ordering::Relaxed),
+            crc_failures: self.crc_failures.load(Ordering::Relaxed),
+            acks_sent: self.acks_sent.load(Ordering::Relaxed),
+            faults_dropped: self.faults_dropped.load(Ordering::Relaxed),
             unexpected: matching.unexpected,
             bucket_hits: matching.bucket_hits,
             wildcard_matches: matching.wildcard_matches,
@@ -79,6 +94,11 @@ pub struct StatsSnapshot {
     pub rdma_atomics: u64,
     pub rdma_bytes: u64,
     pub am_sent: u64,
+    pub retransmits: u64,
+    pub dup_dropped: u64,
+    pub crc_failures: u64,
+    pub acks_sent: u64,
+    pub faults_dropped: u64,
     pub unexpected: u64,
     pub bucket_hits: u64,
     pub wildcard_matches: u64,
@@ -101,6 +121,11 @@ impl StatsSnapshot {
             rdma_atomics: self.rdma_atomics - earlier.rdma_atomics,
             rdma_bytes: self.rdma_bytes - earlier.rdma_bytes,
             am_sent: self.am_sent - earlier.am_sent,
+            retransmits: self.retransmits - earlier.retransmits,
+            dup_dropped: self.dup_dropped - earlier.dup_dropped,
+            crc_failures: self.crc_failures - earlier.crc_failures,
+            acks_sent: self.acks_sent - earlier.acks_sent,
+            faults_dropped: self.faults_dropped - earlier.faults_dropped,
             unexpected: self.unexpected - earlier.unexpected,
             bucket_hits: self.bucket_hits - earlier.bucket_hits,
             wildcard_matches: self.wildcard_matches - earlier.wildcard_matches,

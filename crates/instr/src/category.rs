@@ -51,6 +51,14 @@ pub enum Category {
     /// emulation of one-sided operations over pt2pt active messages
     /// (the reason CH3 `MPI_PUT` costs 1342 instructions).
     OriginalLayering,
+    /// Software reliability protocol (PSM2-style onload transport):
+    /// sequence-number assembly, retransmit-queue bookkeeping, ACK
+    /// generation/processing, dedup/reorder window checks, and optional
+    /// CRC integrity. Zero unless the provider profile enables the
+    /// reliable path — on OPA this work is part of the real critical path
+    /// the paper measures, so it is accounted as one more overhead
+    /// dimension rather than folded into the netmod residue.
+    Reliability,
     /// Progress-engine work outside the injection path (matching at the
     /// receiver, completion processing). Not part of the paper's send-side
     /// counts; tracked separately so tests can assert it never leaks into
@@ -60,7 +68,7 @@ pub enum Category {
 
 impl Category {
     /// Number of categories (array sizing).
-    pub const COUNT: usize = 13;
+    pub const COUNT: usize = 14;
 
     /// All categories in declaration order.
     pub const ALL: [Category; Category::COUNT] = [
@@ -76,6 +84,7 @@ impl Category {
         Category::MatchBits,
         Category::NetmodIssue,
         Category::OriginalLayering,
+        Category::Reliability,
         Category::Progress,
     ];
 
@@ -122,6 +131,7 @@ impl Category {
             Category::MatchBits => "match_bits",
             Category::NetmodIssue => "netmod_issue",
             Category::OriginalLayering => "original_layering",
+            Category::Reliability => "reliability",
             Category::Progress => "progress",
         }
     }
@@ -143,6 +153,7 @@ impl Category {
             Category::MatchBits => "MPI matching bits (Sec 3.6)",
             Category::NetmodIssue => "Low-level network API issue (irreducible)",
             Category::OriginalLayering => "CH3-style layering / AM emulation (baseline only)",
+            Category::Reliability => "Software reliability protocol (PSM2-style onload)",
             Category::Progress => "Receiver-side progress (not in injection path)",
         }
     }
@@ -178,6 +189,12 @@ mod tests {
     fn progress_not_in_injection_path() {
         assert!(!Category::Progress.is_injection_path());
         assert!(Category::NetmodIssue.is_injection_path());
+    }
+
+    #[test]
+    fn reliability_is_injection_path_but_not_mandatory() {
+        assert!(Category::Reliability.is_injection_path());
+        assert!(!Category::Reliability.is_mandatory());
     }
 
     #[test]

@@ -27,12 +27,12 @@ pub use litempi_model as model;
 /// The names most programs need.
 pub mod prelude {
     pub use litempi_core::{
-        BuildConfig, CartComm, Communicator, DeviceKind, Group, LockType, MpiError, MpiResult, Op,
-        PredefHandle, Process, Request, Status, ThreadLevel, Universe, VirtAddr, Window,
-        ANY_SOURCE, ANY_TAG, PROC_NULL,
+        BuildConfig, CartComm, Communicator, DeviceKind, Errhandler, Group, LockType, MpiError,
+        MpiResult, Op, PredefHandle, Process, Request, Status, ThreadLevel, Universe, VirtAddr,
+        Window, ANY_SOURCE, ANY_TAG, PROC_NULL,
     };
     pub use litempi_datatype::{Datatype, MpiPrimitive};
-    pub use litempi_fabric::{ProviderProfile, Topology};
+    pub use litempi_fabric::{FaultPlan, FaultSpec, ProviderProfile, ReliabilityConfig, Topology};
 }
 
 #[cfg(test)]
