@@ -501,7 +501,7 @@ pub fn run(proc: &Process, cfg: &MdConfig) -> MpiResult<MdReport> {
         energy_initial,
         energy_final,
         steps_per_sec: cfg.steps as f64 / elapsed.max(1e-9),
-        trace: IterTrace::from_snapshots(stats_before, stats_after, cfg.steps.max(1)),
+        trace: IterTrace::from_snapshots(stats_before, stats_after, cfg.steps.max(1))?,
     })
     .inspect(|r| {
         debug_assert_eq!(

@@ -499,7 +499,7 @@ pub fn run_on(proc: &Process, comm: &Communicator, cfg: &NekConfig) -> MpiResult
         points_per_rank,
         residual: rr.sqrt(),
         point_iters_per_sec: points_per_rank as f64 * cfg.iterations as f64 / elapsed.max(1e-9),
-        trace: IterTrace::from_snapshots(stats_before, stats_after, cfg.iterations),
+        trace: IterTrace::from_snapshots(stats_before, stats_after, cfg.iterations)?,
         max_error,
     })
 }

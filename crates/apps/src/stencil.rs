@@ -223,7 +223,7 @@ pub fn run(proc: &Process, cfg: &StencilConfig) -> MpiResult<StencilReport> {
     Ok(StencilReport {
         field,
         delta: delta.sqrt(),
-        trace: IterTrace::from_snapshots(stats_before, stats_after, cfg.iterations),
+        trace: IterTrace::from_snapshots(stats_before, stats_after, cfg.iterations)?,
         iters_per_sec: cfg.iterations as f64 / elapsed.max(1e-9),
     })
 }

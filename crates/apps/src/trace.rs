@@ -5,6 +5,7 @@
 //! hand-count, the apps diff the fabric's hardware-style traffic counters
 //! around a measured phase.
 
+use litempi_core::error::{MpiError, MpiResult};
 use litempi_fabric::stats::StatsSnapshot;
 
 /// Communication performed per iteration by one rank.
@@ -19,15 +20,23 @@ pub struct IterTrace {
 }
 
 impl IterTrace {
-    /// Build a trace from two counter snapshots spanning `iters` iterations.
-    pub fn from_snapshots(before: StatsSnapshot, after: StatsSnapshot, iters: usize) -> IterTrace {
-        assert!(iters > 0, "trace needs at least one iteration");
+    /// Build a trace from two counter snapshots spanning `iters`
+    /// iterations. `iters == 0` is an invalid-count error (the divisor
+    /// comes straight from a user-supplied config), not a panic.
+    pub fn from_snapshots(
+        before: StatsSnapshot,
+        after: StatsSnapshot,
+        iters: usize,
+    ) -> MpiResult<IterTrace> {
+        if iters == 0 {
+            return Err(MpiError::InvalidCount(0));
+        }
         let d = after.diff(&before);
-        IterTrace {
+        Ok(IterTrace {
             msgs_per_iter: (d.msgs_sent + d.am_sent) as f64 / iters as f64,
             bytes_per_iter: d.bytes_sent as f64 / iters as f64,
             rdma_per_iter: (d.rdma_puts + d.rdma_gets + d.rdma_atomics) as f64 / iters as f64,
-        }
+        })
     }
 }
 
@@ -47,16 +56,16 @@ mod tests {
             bytes_sent: 4000,
             ..Default::default()
         };
-        let t = IterTrace::from_snapshots(before, after, 8);
+        let t = IterTrace::from_snapshots(before, after, 8).unwrap();
         assert_eq!(t.msgs_per_iter, 3.0);
         assert_eq!(t.bytes_per_iter, 375.0);
         assert_eq!(t.rdma_per_iter, 0.0);
     }
 
     #[test]
-    #[should_panic(expected = "at least one iteration")]
-    fn zero_iters_panics() {
+    fn zero_iters_is_an_error_not_a_panic() {
         let s = StatsSnapshot::default();
-        let _ = IterTrace::from_snapshots(s, s, 0);
+        let e = IterTrace::from_snapshots(s, s, 0).unwrap_err();
+        assert!(matches!(e, MpiError::InvalidCount(0)));
     }
 }

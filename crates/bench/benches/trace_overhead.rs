@@ -1,0 +1,88 @@
+//! Tracing-overhead ablation: what does the event-tracing subsystem cost
+//! on the eager injection path?
+//!
+//! Three conditions over the same OFI-like fabric and workload:
+//!
+//! * `off`     — tracing disabled (the default): every event site reduces
+//!   to one predictable branch on a bool hoisted at construction. This
+//!   condition must be indistinguishable from pre-tracing builds.
+//! * `on`      — per-rank ring recorders armed with the default 64K-event
+//!   capacity: each event is a timestamp read plus a store into a
+//!   preallocated ring — no allocation, no lock, no instruction charges.
+//! * `on-tiny` — a deliberately undersized 64-event ring, so drop-oldest
+//!   overwriting runs continuously; the cost must not grow when the ring
+//!   is saturated (dropping is a store plus a counter bump).
+//!
+//! Only the sender's injection loop is timed, with the burst/drain
+//! protocol the other ablations use.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use litempi_core::{BuildConfig, Universe};
+use litempi_fabric::{ProviderProfile, Topology, TraceConfig};
+use std::time::{Duration, Instant};
+
+const BATCH: u64 = 32;
+
+fn profile(condition: &str) -> ProviderProfile {
+    match condition {
+        "off" => ProviderProfile::ofi(),
+        "on" => ProviderProfile::ofi().traced(),
+        "on-tiny" => ProviderProfile::ofi().with_trace(TraceConfig::with_capacity(64)),
+        other => unreachable!("unknown condition {other}"),
+    }
+}
+
+/// Time `iters` eager injections under the given tracing condition.
+fn send_batch(condition: &'static str, iters: u64, payload: usize) -> Duration {
+    let out = Universe::run(
+        2,
+        BuildConfig::ch4_default(),
+        profile(condition),
+        Topology::single_node(2),
+        move |proc| {
+            let world = proc.world();
+            let data = vec![7u8; payload];
+            let mut ack = [0u8; 1];
+            let batches = iters.div_ceil(BATCH);
+            if proc.rank() == 0 {
+                let mut elapsed = Duration::ZERO;
+                for _ in 0..batches {
+                    let t0 = Instant::now();
+                    for _ in 0..BATCH {
+                        world.send(&data, 1, 0).unwrap();
+                    }
+                    elapsed += t0.elapsed();
+                    // Drain the sink's ack outside the timed region so the
+                    // pool and match queues start each burst identically.
+                    world.recv_into(&mut ack, 1, 1).unwrap();
+                }
+                elapsed
+            } else {
+                let mut buf = vec![0u8; payload];
+                for _ in 0..batches {
+                    for _ in 0..BATCH {
+                        world.recv_into(&mut buf, 0, 0).unwrap();
+                    }
+                    world.send(&[1u8], 0, 1).unwrap();
+                }
+                Duration::ZERO
+            }
+        },
+    );
+    out[0]
+}
+
+fn bench_trace_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_overhead");
+    for condition in ["off", "on", "on-tiny"] {
+        for payload in [8usize, 1024] {
+            group.bench_function(BenchmarkId::new(condition, payload), |b| {
+                b.iter_custom(|iters| send_batch(condition, iters.max(BATCH), payload));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace_overhead);
+criterion_main!(benches);

@@ -37,7 +37,7 @@ impl CartComm {
         } else {
             crate::comm::UNDEFINED
         };
-        let sub = comm.split(color, comm.rank() as i32);
+        let sub = comm.split(color, comm.rank() as i32)?;
         Ok(sub.map(|comm| CartComm {
             comm,
             dims: dims.to_vec(),

@@ -17,8 +17,35 @@ use crate::op::Op;
 use crate::process::ProcInner;
 use crate::proto::{self, DecodedPayload};
 use crate::pt2pt::{inject, SendOpts};
-use crate::request::wait_loop;
+use crate::request::{check_peer, wait_loop};
 use litempi_datatype::MpiPrimitive;
+use litempi_trace::{event::coll_op, EventKind};
+
+/// RAII span emitting `CollBegin`/`CollEnd` around one collective when
+/// tracing is on (one branch when off). Drop-based so error returns still
+/// close the span.
+struct CollSpan {
+    traced: bool,
+    op: u64,
+}
+
+impl CollSpan {
+    fn begin(comm: &Communicator, op: u64) -> CollSpan {
+        let traced = comm.proc.endpoint.fabric().trace_enabled();
+        if traced {
+            litempi_trace::emit(EventKind::CollBegin, op, 0);
+        }
+        CollSpan { traced, op }
+    }
+}
+
+impl Drop for CollSpan {
+    fn drop(&mut self) {
+        if self.traced {
+            litempi_trace::emit(EventKind::CollEnd, self.op, 0);
+        }
+    }
+}
 
 /// Internal collective-channel send: fire-and-forget, eager or rendezvous.
 pub(crate) fn csend(comm: &Communicator, dest: usize, tag: i32, data: &[u8]) {
@@ -41,31 +68,63 @@ pub(crate) fn csend(comm: &Communicator, dest: usize, tag: i32, data: &[u8]) {
 /// zero-copy view of the delivered data: the eager case slices past the
 /// envelope byte in place, the rendezvous case shares the staged table
 /// payload — no `to_vec` on either path.
-pub(crate) fn crecv(comm: &Communicator, src: usize, tag: i32) -> bytes::Bytes {
+///
+/// Fallible: over a lossy fabric the sender can die mid-collective, and a
+/// damaged or replayed RTS descriptor can name a rendezvous entry that no
+/// longer exists. Both surface as comm-failure `MpiError`s routed through
+/// the communicator's errhandler, so `MPI_ERRORS_RETURN` gets an `Err`
+/// and `MPI_ERRORS_ARE_FATAL` panics — never an unconditional panic.
+pub(crate) fn crecv(comm: &Communicator, src: usize, tag: i32) -> MpiResult<bytes::Bytes> {
     let proc = &comm.proc;
     let bits = match_bits::encode(comm.context_id().collective(), src, tag);
-    let payload = recv_raw(proc, bits);
+    let payload = comm.handle_error(recv_raw(proc, bits, Some(comm.world_rank_of(src))))?;
     if let DecodedPayload::Rts { rndv_id, .. } = proto::decode(&payload).1 {
-        // Internal collective channel: never exposed to lossy delivery, so
-        // a vanished entry is a library bug, not a recoverable fault.
-        let data = proc
-            .univ
-            .pull_rndv(rndv_id)
-            .expect("rendezvous entry vanished");
+        let data = comm.handle_error(proc.univ.pull_rndv(rndv_id).ok_or(MpiError::Integrity(
+            "rendezvous entry vanished (damaged or replayed RTS descriptor)",
+        )))?;
         // The 17-byte RTS envelope is consumed: recycle it.
         proc.endpoint.fabric().pool().release(payload);
-        return bytes::Bytes::from_storage(data);
+        return Ok(bytes::Bytes::from_storage(data));
     }
-    proto::eager_view(&payload)
+    Ok(proto::eager_view(&payload))
 }
 
-fn recv_raw(proc: &ProcInner, bits: u64) -> bytes::Bytes {
+/// Blocking matched receive on the collective channel. `peer` is the
+/// expected sender's world rank: the poll closure checks it for death on
+/// every pass, so a kill-switch firing mid-collective turns the wait into
+/// `PeerUnreachable` instead of a hang.
+fn recv_raw(proc: &ProcInner, bits: u64, peer: Option<usize>) -> MpiResult<bytes::Bytes> {
     if proc.endpoint.fabric().profile().caps.native_tagged {
         let handle = proc.endpoint.trecv_post(bits, 0);
-        wait_loop(proc, || handle.poll()).data
+        let r = wait_loop(proc, || {
+            if let Some(m) = handle.poll() {
+                return Some(Ok(m.data));
+            }
+            check_peer(proc, peer, false).err().map(Err)
+        });
+        if r.is_err() {
+            // Death may race an in-flight delivery: take it if it landed.
+            if let Some(m) = handle.poll() {
+                return Ok(m.data);
+            }
+            handle.cancel();
+        }
+        r
     } else {
         let slot = proc.core_match.post(bits, 0);
-        wait_loop(proc, || slot.filled.lock().take()).payload
+        let r = wait_loop(proc, || {
+            if let Some(m) = slot.filled.lock().take() {
+                return Some(Ok(m.payload));
+            }
+            check_peer(proc, peer, false).err().map(Err)
+        });
+        if r.is_err() {
+            if let Some(m) = slot.filled.lock().take() {
+                return Ok(m.payload);
+            }
+            proc.core_match.cancel(&slot);
+        }
+        r
     }
 }
 
@@ -76,6 +135,7 @@ pub fn barrier(comm: &Communicator) -> MpiResult<()> {
     if size == 1 {
         return Ok(());
     }
+    let _span = CollSpan::begin(comm, coll_op::BARRIER);
     let rank = comm.rank();
     let tag = comm.next_coll_tag();
     let mut k = 1usize;
@@ -83,7 +143,7 @@ pub fn barrier(comm: &Communicator) -> MpiResult<()> {
         let to = (rank + k) % size;
         let from = (rank + size - k) % size;
         csend(comm, to, tag, &[]);
-        let _ = crecv(comm, from, tag);
+        crecv(comm, from, tag)?;
         k <<= 1;
     }
     Ok(())
@@ -98,6 +158,7 @@ pub const BCAST_LONG_MSG_BYTES: usize = 32 * 1024;
 /// `MPI_BCAST`: algorithm selected by payload size — binomial tree for
 /// short messages, scatter + ring allgather for long ones.
 pub fn bcast<T: MpiPrimitive>(comm: &Communicator, buf: &mut [T], root: usize) -> MpiResult<()> {
+    let _span = CollSpan::begin(comm, coll_op::BCAST);
     let bytes = std::mem::size_of_val(buf);
     if bytes > BCAST_LONG_MSG_BYTES && comm.size() > 2 && buf.len().is_multiple_of(comm.size()) {
         bcast_scatter_allgather(comm, buf, root)
@@ -113,6 +174,14 @@ pub fn bcast_binomial<T: MpiPrimitive>(
     root: usize,
 ) -> MpiResult<()> {
     let size = comm.size();
+    // Real validation, not `debug_assert!`: an out-of-range root in a
+    // release build must be `MPI_ERR_RANK`, not a silent mis-rooted tree.
+    if root >= size {
+        return Err(MpiError::InvalidRank {
+            rank: root as i32,
+            size,
+        });
+    }
     if size == 1 {
         return Ok(());
     }
@@ -123,7 +192,7 @@ pub fn bcast_binomial<T: MpiPrimitive>(
     if vrank != 0 {
         let parent = parent_of(vrank);
         let src = (parent + root) % size;
-        let data = crecv(comm, src, tag);
+        let data = crecv(comm, src, tag)?;
         T::as_bytes_mut(buf).copy_from_slice(&data);
     }
     // Send to children.
@@ -161,11 +230,22 @@ pub fn bcast_scatter_allgather<T: MpiPrimitive>(
     root: usize,
 ) -> MpiResult<()> {
     let size = comm.size();
+    if root >= size {
+        return Err(MpiError::InvalidRank {
+            rank: root as i32,
+            size,
+        });
+    }
     if size == 1 {
         return Ok(());
     }
     let block = buf.len() / size;
-    debug_assert!(block * size == buf.len());
+    // The `bcast` selector guarantees divisibility, but this algorithm is
+    // public API: a mismatched buffer must be `MPI_ERR_COUNT`, not a
+    // truncated release-mode broadcast.
+    if block * size != buf.len() {
+        return Err(MpiError::InvalidCount(buf.len() as i64));
+    }
     // Phase 1: scatter blocks from root (linear scatter of the payload's
     // `size` blocks; block i is destined to rank i).
     let my_block = {
@@ -190,6 +270,7 @@ pub fn reduce<T: MpiPrimitive>(
     op: &Op,
     root: usize,
 ) -> MpiResult<Option<Vec<T>>> {
+    let _span = CollSpan::begin(comm, coll_op::REDUCE);
     let size = comm.size();
     let rank = comm.rank();
     let tag = comm.next_coll_tag();
@@ -205,7 +286,7 @@ pub fn reduce<T: MpiPrimitive>(
             break;
         } else if vrank + k < size {
             let src = ((vrank + k) + root) % size;
-            let data = crecv(comm, src, tag);
+            let data = crecv(comm, src, tag)?;
             // Reduction order: accumulate the child's contribution.
             op.apply(&T::DATATYPE, &mut acc, &data)?;
         }
@@ -227,6 +308,7 @@ pub fn allreduce<T: MpiPrimitive>(
     sendbuf: &[T],
     op: &Op,
 ) -> MpiResult<Vec<T>> {
+    let _span = CollSpan::begin(comm, coll_op::ALLREDUCE);
     let size = comm.size();
     let rank = comm.rank();
     if size.is_power_of_two() && size > 1 {
@@ -236,7 +318,7 @@ pub fn allreduce<T: MpiPrimitive>(
         while k < size {
             let partner = rank ^ k;
             csend(comm, partner, tag, &acc);
-            let data = crecv(comm, partner, tag);
+            let data = crecv(comm, partner, tag)?;
             op.apply(&T::DATATYPE, &mut acc, &data)?;
             k <<= 1;
         }
@@ -261,6 +343,7 @@ pub fn gather<T: MpiPrimitive>(
     sendbuf: &[T],
     root: usize,
 ) -> MpiResult<Option<Vec<T>>> {
+    let _span = CollSpan::begin(comm, coll_op::GATHER);
     let size = comm.size();
     let rank = comm.rank();
     let tag = comm.next_coll_tag();
@@ -269,7 +352,7 @@ pub fn gather<T: MpiPrimitive>(
         let block = sendbuf.len();
         out[root * block..(root + 1) * block].copy_from_slice(sendbuf);
         for src in (0..size).filter(|&r| r != root) {
-            let data = crecv(comm, src, tag);
+            let data = crecv(comm, src, tag)?;
             let dst = &mut out[src * block..(src + 1) * block];
             T::as_bytes_mut(dst).copy_from_slice(&data);
         }
@@ -288,6 +371,7 @@ pub fn gatherv<T: MpiPrimitive>(
     sendbuf: &[T],
     root: usize,
 ) -> MpiResult<Option<(Vec<T>, Vec<usize>)>> {
+    let _span = CollSpan::begin(comm, coll_op::GATHER);
     let size = comm.size();
     let rank = comm.rank();
     let tag = comm.next_coll_tag();
@@ -295,7 +379,7 @@ pub fn gatherv<T: MpiPrimitive>(
         let mut blocks: Vec<bytes::Bytes> = vec![bytes::Bytes::new(); size];
         blocks[root] = bytes::Bytes::copy_from_slice(T::as_bytes(sendbuf));
         for src in (0..size).filter(|&r| r != root) {
-            blocks[src] = crecv(comm, src, tag);
+            blocks[src] = crecv(comm, src, tag)?;
         }
         let counts: Vec<usize> = blocks
             .iter()
@@ -324,6 +408,7 @@ pub fn scatter<T: MpiPrimitive>(
     block: usize,
     root: usize,
 ) -> MpiResult<Vec<T>> {
+    let _span = CollSpan::begin(comm, coll_op::SCATTER);
     let size = comm.size();
     let rank = comm.rank();
     let tag = comm.next_coll_tag();
@@ -350,7 +435,7 @@ pub fn scatter<T: MpiPrimitive>(
         }
         Ok(send[root * block..(root + 1) * block].to_vec())
     } else {
-        let data = crecv(comm, root, tag);
+        let data = crecv(comm, root, tag)?;
         let mut out = vec![T::from_wire(&vec![0u8; T::PREDEFINED.size()]); block];
         T::as_bytes_mut(&mut out).copy_from_slice(&data);
         Ok(out)
@@ -360,6 +445,7 @@ pub fn scatter<T: MpiPrimitive>(
 /// `MPI_ALLGATHER`: recursive doubling for power-of-two communicator
 /// sizes (log P steps), ring otherwise (P-1 steps, bandwidth-friendly).
 pub fn allgather<T: MpiPrimitive>(comm: &Communicator, sendbuf: &[T]) -> MpiResult<Vec<T>> {
+    let _span = CollSpan::begin(comm, coll_op::ALLGATHER);
     if comm.size().is_power_of_two() && comm.size() > 1 {
         allgather_recursive_doubling(comm, sendbuf)
     } else {
@@ -388,7 +474,7 @@ pub fn allgather_recursive_doubling<T: MpiPrimitive>(
         let partner_base = (partner / k) * k;
         let send_range = my_base * block..(my_base + k) * block;
         csend(comm, partner, tag, T::as_bytes(&out[send_range]));
-        let data = crecv(comm, partner, tag);
+        let data = crecv(comm, partner, tag)?;
         let dst = &mut out[partner_base * block..(partner_base + k) * block];
         T::as_bytes_mut(dst).copy_from_slice(&data);
         k <<= 1;
@@ -420,7 +506,7 @@ pub fn allgather_ring<T: MpiPrimitive>(comm: &Communicator, sendbuf: &[T]) -> Mp
             tag,
             T::as_bytes(&out[send_origin * block..(send_origin + 1) * block]),
         );
-        let data = crecv(comm, left, tag);
+        let data = crecv(comm, left, tag)?;
         let dst = &mut out[recv_origin * block..(recv_origin + 1) * block];
         T::as_bytes_mut(dst).copy_from_slice(&data);
     }
@@ -434,6 +520,7 @@ pub fn alltoall<T: MpiPrimitive>(
     sendbuf: &[T],
     block: usize,
 ) -> MpiResult<Vec<T>> {
+    let _span = CollSpan::begin(comm, coll_op::ALLTOALL);
     let size = comm.size();
     let rank = comm.rank();
     if sendbuf.len() != block * size {
@@ -455,7 +542,7 @@ pub fn alltoall<T: MpiPrimitive>(
             tag,
             T::as_bytes(&sendbuf[send_to * block..(send_to + 1) * block]),
         );
-        let data = crecv(comm, recv_from, tag);
+        let data = crecv(comm, recv_from, tag)?;
         let dst = &mut out[recv_from * block..(recv_from + 1) * block];
         T::as_bytes_mut(dst).copy_from_slice(&data);
     }
@@ -464,12 +551,13 @@ pub fn alltoall<T: MpiPrimitive>(
 
 /// `MPI_SCAN` (inclusive prefix reduction, linear chain).
 pub fn scan<T: MpiPrimitive>(comm: &Communicator, sendbuf: &[T], op: &Op) -> MpiResult<Vec<T>> {
+    let _span = CollSpan::begin(comm, coll_op::SCAN);
     let size = comm.size();
     let rank = comm.rank();
     let tag = comm.next_coll_tag();
     let mut acc: Vec<u8> = T::as_bytes(sendbuf).to_vec();
     if rank > 0 {
-        let prev = crecv(comm, rank - 1, tag);
+        let prev = crecv(comm, rank - 1, tag)?;
         // acc = prefix(0..rank-1) OP mine — order matters for
         // non-commutative user ops: previous prefix first.
         // scan mutates the received prefix in place, so this is the one
@@ -492,12 +580,13 @@ pub fn exscan<T: MpiPrimitive>(
     sendbuf: &[T],
     op: &Op,
 ) -> MpiResult<Option<Vec<T>>> {
+    let _span = CollSpan::begin(comm, coll_op::SCAN);
     let size = comm.size();
     let rank = comm.rank();
     let tag = comm.next_coll_tag();
     // Receive the exclusive prefix, then forward prefix OP mine.
     let prefix = if rank > 0 {
-        Some(crecv(comm, rank - 1, tag))
+        Some(crecv(comm, rank - 1, tag)?)
     } else {
         None
     };
@@ -529,6 +618,7 @@ pub fn reduce_scatter_block<T: MpiPrimitive>(
     sendbuf: &[T],
     op: &Op,
 ) -> MpiResult<Vec<T>> {
+    let _span = CollSpan::begin(comm, coll_op::REDUCE_SCATTER);
     let size = comm.size();
     if !sendbuf.len().is_multiple_of(size) {
         return Err(MpiError::InvalidCount(sendbuf.len() as i64));
@@ -546,7 +636,7 @@ pub fn reduce_scatter_block<T: MpiPrimitive>(
             tag,
             T::as_bytes(&sendbuf[to * block..(to + 1) * block]),
         );
-        let data = crecv(comm, from, tag);
+        let data = crecv(comm, from, tag)?;
         op.apply(&T::DATATYPE, &mut acc, &data)?;
     }
     let mut out = vec![sendbuf[0]; block];
@@ -570,9 +660,11 @@ pub fn reduce_scatter_block_naive<T: MpiPrimitive>(
     scatter(comm, reduced.as_deref(), block, 0)
 }
 
-/// Fixed-size `i32` allgather used internally by `comm_split`.
-pub(crate) fn allgather_plain(comm: &Communicator, mine: &[i32]) -> Vec<i32> {
-    allgather(comm, mine).expect("internal allgather cannot fail")
+/// Fixed-size `i32` allgather used internally by `comm_split`. Fallible:
+/// over a lossy fabric the exchange can observe a dead peer, and under
+/// `MPI_ERRORS_RETURN` the caller must see that, not a panic.
+pub(crate) fn allgather_plain(comm: &Communicator, mine: &[i32]) -> MpiResult<Vec<i32>> {
+    allgather(comm, mine)
 }
 
 // --------------------------------------------------- Communicator methods

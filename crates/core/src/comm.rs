@@ -250,14 +250,17 @@ impl Communicator {
     }
 
     /// `MPI_COMM_SPLIT` (collective). `color == UNDEFINED` (negative)
-    /// yields `None`. Members of each color are ordered by (key, rank).
-    pub fn split(&self, color: i32, key: i32) -> Option<Communicator> {
+    /// yields `Ok(None)`. Members of each color are ordered by (key, rank).
+    /// Fallible: the exchange is a real allgather, so a peer dying
+    /// mid-split surfaces as `Err` under `MPI_ERRORS_RETURN` instead of a
+    /// panic (or a hang).
+    pub fn split(&self, color: i32, key: i32) -> MpiResult<Option<Communicator>> {
         let seq = self.next_derive_seq();
         // Exchange (color, key) with everyone — the collective part.
         let mine = [color, key];
-        let all: Vec<i32> = crate::coll::allgather_plain(self, &mine);
+        let all: Vec<i32> = crate::coll::allgather_plain(self, &mine)?;
         if color < 0 {
-            return None;
+            return Ok(None);
         }
         // Members of my color, ordered by (key, rank).
         let mut members: Vec<(i32, usize)> = (0..self.size())
@@ -281,7 +284,7 @@ impl Communicator {
         );
         let sub = Communicator::from_shared(self.proc.clone(), shared, false);
         sub.errhandler.set(self.errhandler.get());
-        Some(sub)
+        Ok(Some(sub))
     }
 
     /// `MPI_COMM_SPLIT_TYPE(MPI_COMM_TYPE_SHARED)` (collective): split into
@@ -289,18 +292,19 @@ impl Communicator {
     /// `MPI_WIN_ALLOCATE_SHARED` and to hierarchical (node+network)
     /// algorithms. The node id comes from the fabric topology, exactly the
     /// locality information the CH4 core's shmmod/netmod branch uses.
-    pub fn split_type_shared(&self) -> Communicator {
+    pub fn split_type_shared(&self) -> MpiResult<Communicator> {
         let topo = self.proc.endpoint.fabric().topology();
         let my_world = litempi_fabric::NetAddr(self.proc.rank as u32);
         let node = topo.node_of(my_world).0 as i32;
-        self.split(node, self.rank as i32)
-            .expect("node color is never MPI_UNDEFINED")
+        Ok(self
+            .split(node, self.rank as i32)?
+            .expect("node color is never MPI_UNDEFINED"))
     }
 
     /// `MPI_COMM_CREATE` (collective over `self`): a new communicator over
     /// `group` (a subgroup of this communicator's group, expressed in world
-    /// ranks). Non-members receive `None`.
-    pub fn create(&self, group: &Group) -> Option<Communicator> {
+    /// ranks). Non-members receive `Ok(None)`.
+    pub fn create(&self, group: &Group) -> MpiResult<Option<Communicator>> {
         let seq = self.next_derive_seq();
         // Cheap stable discriminator for the meet key.
         let mut h: u64 = 0xcbf29ce484222325;
@@ -310,9 +314,9 @@ impl Communicator {
         let member = group.local_rank(self.proc.rank).is_some();
         // Everyone participates in a barrier-like agreement so ordering
         // stays collective even for non-members.
-        crate::coll::barrier(self).expect("barrier cannot fail");
+        crate::coll::barrier(self)?;
         if !member {
-            return None;
+            return Ok(None);
         }
         let univ = &self.proc.univ;
         let group = group.clone();
@@ -325,7 +329,7 @@ impl Communicator {
             });
         let sub = Communicator::from_shared(self.proc.clone(), shared, false);
         sub.errhandler.set(self.errhandler.get());
-        Some(sub)
+        Ok(Some(sub))
     }
 
     /// §3.3 `MPI_COMM_DUP_PREDEFINED` (collective): duplicate this

@@ -295,7 +295,10 @@ mod tests {
     fn split_intercomm(proc: &crate::process::Process) -> (Communicator, InterComm) {
         let world = proc.world();
         let parity = proc.rank() % 2;
-        let local = world.split(parity as i32, proc.rank() as i32).unwrap();
+        let local = world
+            .split(parity as i32, proc.rank() as i32)
+            .unwrap()
+            .unwrap();
         // Leaders: world rank 0 (evens) and 1 (odds).
         let remote_leader = if parity == 0 { 1 } else { 0 };
         let inter = local

@@ -189,6 +189,14 @@ impl ProcInner {
         config: BuildConfig,
         univ: Arc<UnivShared>,
     ) -> ProcInner {
+        // Arm this rank thread's trace recorder when the profile opts in:
+        // the ring is preallocated here, before any traffic, so event
+        // sites never allocate. Stamped against the fabric epoch so all
+        // ranks share one clock.
+        let trace = endpoint.fabric().profile().trace;
+        if trace.enabled {
+            litempi_trace::enable(rank, trace.ring_capacity, endpoint.fabric().epoch());
+        }
         ProcInner {
             rank,
             size,

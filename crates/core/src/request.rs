@@ -167,7 +167,7 @@ enum ReqInner<'buf> {
 /// `MPI_ERRORS_ARE_FATAL` (the snapshot taken at request creation) an
 /// unreachable peer aborts the rank; under `MPI_ERRORS_RETURN` it surfaces
 /// as `Err(PeerUnreachable)` so wait/test return instead of hanging.
-fn check_peer(proc: &ProcInner, peer: Option<usize>, fatal: bool) -> MpiResult<()> {
+pub(crate) fn check_peer(proc: &ProcInner, peer: Option<usize>, fatal: bool) -> MpiResult<()> {
     let Some(p) = peer else { return Ok(()) };
     if proc.endpoint.peer_unreachable(proc.addr_of_world(p)) {
         let e = MpiError::PeerUnreachable { peer: p };

@@ -39,12 +39,18 @@ pub struct VirtAddr {
 }
 
 impl VirtAddr {
-    /// Displace the address by `delta` bytes.
-    pub fn byte_offset(self, delta: usize) -> VirtAddr {
-        VirtAddr {
+    /// Displace the address by `delta` bytes. Checked: an offset that
+    /// overflows the address space is an RMA range error, not a debug
+    /// panic (or a silent wrap in release that would alias byte 0).
+    pub fn byte_offset(self, delta: usize) -> MpiResult<VirtAddr> {
+        let byte = self
+            .byte
+            .checked_add(delta)
+            .ok_or(MpiError::InvalidWin("virtual-address offset overflows"))?;
+        Ok(VirtAddr {
             key: self.key,
-            byte: self.byte + delta,
-        }
+            byte,
+        })
     }
 
     /// Serialize for the wire (applications exchange window addresses with
@@ -570,7 +576,26 @@ impl Window {
             );
         }
         let addr = match vaddr {
-            Some(a) => a,
+            Some(a) => {
+                // §3.2 pre-translated address: still range-check it against
+                // the named region's extent (the NIC would fault here; we
+                // return `MPI_ERR_WIN` instead of wrapping or panicking).
+                if proc.config.error_checking && !skip_checks {
+                    let end = a
+                        .byte
+                        .checked_add(bytes)
+                        .ok_or(MpiError::InvalidWin("access beyond exposed window"))?;
+                    let extent = proc
+                        .endpoint
+                        .fabric()
+                        .region_len(a.key)
+                        .ok_or(MpiError::InvalidWin("RMA through a stale region key"))?;
+                    if end > extent {
+                        return Err(MpiError::InvalidWin("access beyond exposed window"));
+                    }
+                }
+                a
+            }
             None => {
                 if self.kind == WinKind::Dynamic {
                     return Err(MpiError::InvalidWin(
@@ -584,14 +609,20 @@ impl Window {
                         cost::put::WIN_OFFSET_TRANSLATION,
                     );
                 }
-                let byte = disp * self.shared.disp_units[t];
-                if proc.config.error_checking && !skip_checks && byte + bytes > self.shared.lens[t]
-                {
-                    return Err(MpiError::InvalidWin("access beyond exposed window"));
+                if proc.config.error_checking && !skip_checks {
+                    let byte = disp
+                        .checked_mul(self.shared.disp_units[t])
+                        .ok_or(MpiError::InvalidWin("access beyond exposed window"))?;
+                    let end = byte
+                        .checked_add(bytes)
+                        .ok_or(MpiError::InvalidWin("access beyond exposed window"))?;
+                    if end > self.shared.lens[t] {
+                        return Err(MpiError::InvalidWin("access beyond exposed window"));
+                    }
                 }
                 VirtAddr {
                     key: self.shared.keys[t],
-                    byte,
+                    byte: disp * self.shared.disp_units[t],
                 }
             }
         };

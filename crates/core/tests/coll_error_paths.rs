@@ -1,0 +1,125 @@
+//! Error paths on the collective hot path: argument validation that is
+//! real (not `debug_assert!`), and comm failures under `MPI_ERRORS_RETURN`
+//! that surface as `Err` instead of a hang or an unconditional panic.
+
+use litempi_core::{BuildConfig, Errhandler, MpiError, Universe};
+use litempi_fabric::{FaultPlan, ProviderProfile, Topology};
+
+#[test]
+fn bcast_out_of_range_root_is_invalid_rank() {
+    Universe::run_default(2, |proc| {
+        let world = proc.world();
+        let mut buf = [0u64; 4];
+        let e = world.bcast(&mut buf, 7).unwrap_err();
+        assert!(matches!(e, MpiError::InvalidRank { rank: 7, size: 2 }));
+    });
+}
+
+#[test]
+fn bcast_binomial_validates_root_directly() {
+    Universe::run_default(2, |proc| {
+        let world = proc.world();
+        let mut buf = [0u32; 2];
+        let e = litempi_core::coll::bcast_binomial(&world, &mut buf, 9).unwrap_err();
+        assert!(matches!(e, MpiError::InvalidRank { rank: 9, size: 2 }));
+    });
+}
+
+#[test]
+fn bcast_scatter_allgather_rejects_non_divisible_buffer() {
+    Universe::run_default(2, |proc| {
+        let world = proc.world();
+        // 3 elements over 2 ranks: not block-divisible. Must be a real
+        // MPI_ERR_COUNT in release builds, not a debug_assert.
+        let mut buf = [0u64; 3];
+        let e = litempi_core::coll::bcast_scatter_allgather(&world, &mut buf, 0).unwrap_err();
+        assert!(matches!(e, MpiError::InvalidCount(3)));
+        let mut bad_root = [0u64; 4];
+        let e = litempi_core::coll::bcast_scatter_allgather(&world, &mut bad_root, 5).unwrap_err();
+        assert!(matches!(e, MpiError::InvalidRank { rank: 5, size: 2 }));
+    });
+}
+
+/// Rank 1 sends two warm-up messages (arming the kill switch) and then
+/// deserts; rank 0, under `MPI_ERRORS_RETURN`, runs a collective that must
+/// receive from the corpse and gets `PeerUnreachable` back — the
+/// collective analogue of the pt2pt kill-switch tests.
+fn run_with_dead_rank_1(
+    coll: impl Fn(&litempi_core::Communicator) -> Result<(), MpiError> + Send + Sync + 'static,
+) -> MpiError {
+    let profile = ProviderProfile::infinite().with_faults(FaultPlan::none().with_kill(1, 2));
+    let out = Universe::run(
+        2,
+        BuildConfig::ch4_default(),
+        profile,
+        Topology::single_node(2),
+        move |proc| {
+            let world = proc.world();
+            if proc.rank() == 0 {
+                world.set_errhandler(Errhandler::ErrorsReturn);
+                let mut buf = [0u8; 1];
+                world.recv_into(&mut buf, 1, 0).unwrap();
+                world.recv_into(&mut buf, 1, 1).unwrap();
+                Some(coll(&world).unwrap_err())
+            } else {
+                // Two packets touch endpoint 1, tripping the kill switch;
+                // then the victim stops participating.
+                world.send(&[1u8], 0, 0).unwrap();
+                world.send(&[2u8], 0, 1).unwrap();
+                None
+            }
+        },
+    );
+    out.into_iter().flatten().next().expect("rank 0 error")
+}
+
+#[test]
+fn killed_peer_fails_bcast_under_errors_return() {
+    let e = run_with_dead_rank_1(|world| {
+        let mut buf = [0u8; 8];
+        // Root 1 is dead: rank 0 must receive from it.
+        world.bcast(&mut buf, 1)
+    });
+    assert!(matches!(e, MpiError::PeerUnreachable { peer: 1 }));
+}
+
+#[test]
+fn killed_peer_fails_allgather_under_errors_return() {
+    let e = run_with_dead_rank_1(|world| world.allgather(&[0u32]).map(|_| ()));
+    assert!(matches!(e, MpiError::PeerUnreachable { peer: 1 }));
+}
+
+#[test]
+fn killed_peer_fails_barrier_and_split_under_errors_return() {
+    let e = run_with_dead_rank_1(|world| world.barrier());
+    assert!(matches!(e, MpiError::PeerUnreachable { peer: 1 }));
+    // comm_split rides on allgather_plain, which is now fallible too.
+    let e = run_with_dead_rank_1(|world| world.split(0, 0).map(|_| ()));
+    assert!(matches!(e, MpiError::PeerUnreachable { peer: 1 }));
+}
+
+#[test]
+#[should_panic(expected = "MPI_ERRORS_ARE_FATAL")]
+fn killed_peer_aborts_collective_under_default_errhandler() {
+    let profile = ProviderProfile::infinite().with_faults(FaultPlan::none().with_kill(1, 2));
+    Universe::run(
+        2,
+        BuildConfig::ch4_default(),
+        profile,
+        Topology::single_node(2),
+        |proc| {
+            let world = proc.world();
+            if proc.rank() == 0 {
+                let mut buf = [0u8; 1];
+                world.recv_into(&mut buf, 1, 0).unwrap();
+                world.recv_into(&mut buf, 1, 1).unwrap();
+                let mut data = [0u8; 8];
+                // Default errhandler: the dead root aborts the rank.
+                let _ = world.bcast(&mut data, 1);
+            } else {
+                world.send(&[1u8], 0, 0).unwrap();
+                world.send(&[2u8], 0, 1).unwrap();
+            }
+        },
+    );
+}

@@ -43,6 +43,7 @@ fn split_by_parity() {
         let world = proc.world();
         let sub = world
             .split((proc.rank() % 2) as i32, proc.rank() as i32)
+            .unwrap()
             .unwrap();
         (sub.rank(), sub.size(), sub.world_rank_of(sub.rank()))
     });
@@ -59,7 +60,7 @@ fn split_key_reorders_ranks() {
     let out = Universe::run_default(4, |proc| {
         let world = proc.world();
         // Reverse order via descending keys.
-        let sub = world.split(0, -(proc.rank() as i32)).unwrap();
+        let sub = world.split(0, -(proc.rank() as i32)).unwrap().unwrap();
         sub.rank()
     });
     assert_eq!(out, vec![3, 2, 1, 0]);
@@ -70,7 +71,7 @@ fn split_undefined_gets_none() {
     let out = Universe::run_default(4, |proc| {
         let world = proc.world();
         let color = if proc.rank() == 2 { UNDEFINED } else { 0 };
-        world.split(color, 0).is_none()
+        world.split(color, 0).unwrap().is_none()
     });
     assert_eq!(out, vec![false, false, true, false]);
 }
@@ -81,6 +82,7 @@ fn split_subcommunicator_collectives_work() {
         let world = proc.world();
         let sub = world
             .split((proc.rank() / 3) as i32, proc.rank() as i32)
+            .unwrap()
             .unwrap();
         sub.allreduce(&[proc.rank() as u64], &Op::Sum).unwrap()[0]
     });
@@ -92,7 +94,7 @@ fn comm_create_from_subgroup() {
     let out = Universe::run_default(4, |proc| {
         let world = proc.world();
         let group = world.group().filter(|r| r != 1);
-        match world.create(&group) {
+        match world.create(&group).unwrap() {
             Some(sub) => {
                 let total = sub.allreduce(&[1u64], &Op::Sum).unwrap()[0];
                 Some((sub.rank(), total))
@@ -114,7 +116,7 @@ fn deep_communicator_hierarchy() {
         // Repeatedly halve: 8 → 4 → 2 → 1 ranks.
         while comm.size() > 1 {
             let half = (comm.rank() >= comm.size() / 2) as i32;
-            let next = comm.split(half, comm.rank() as i32).unwrap();
+            let next = comm.split(half, comm.rank() as i32).unwrap().unwrap();
             // Sanity collective at every level.
             let n = next.allreduce(&[1u64], &Op::Sum).unwrap()[0];
             assert_eq!(n as usize, next.size());

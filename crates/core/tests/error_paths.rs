@@ -170,3 +170,58 @@ fn wildcards_are_not_valid_destinations() {
         world.send(&[1u8], PROC_NULL, 0).unwrap();
     });
 }
+
+#[test]
+fn virt_addr_offset_overflow_is_an_error() {
+    Universe::run_default(2, |proc| {
+        let world = proc.world();
+        let win = Window::create(&world, 16, 1).unwrap();
+        win.fence().unwrap();
+        let base = win.base_addr(1);
+        // Composed displacements that overflow the address space must be
+        // a range error, not a debug overflow panic (or a silent wrap to
+        // byte 0 in release that would alias the start of the window).
+        let e = base
+            .byte_offset(1)
+            .and_then(|a| a.byte_offset(usize::MAX))
+            .unwrap_err();
+        assert!(matches!(e, MpiError::InvalidWin(_)));
+        // A legal offset still composes.
+        let a = base.byte_offset(8).unwrap();
+        assert_eq!(a.to_raw().1, 8);
+        win.fence().unwrap();
+    });
+}
+
+#[test]
+fn virtual_addr_rma_validates_region_extent() {
+    Universe::run_default(2, |proc| {
+        let world = proc.world();
+        let win = Window::create(&world, 16, 1).unwrap();
+        win.fence().unwrap();
+        if world.rank() == 0 {
+            // 8 bytes starting at byte 12 of a 16-byte region: off the end.
+            let addr = win.base_addr(1).byte_offset(12).unwrap();
+            let e = win.put_virtual_addr(&[0u64], 1, addr).unwrap_err();
+            assert!(matches!(
+                e,
+                MpiError::InvalidWin("access beyond exposed window")
+            ));
+            let mut buf = [0u64];
+            let e = win.get_virtual_addr(&mut buf, 1, addr).unwrap_err();
+            assert!(matches!(
+                e,
+                MpiError::InvalidWin("access beyond exposed window")
+            ));
+            // In-range traffic through the same API still lands.
+            let ok = win.base_addr(1).byte_offset(8).unwrap();
+            win.put_virtual_addr(&[7u64], 1, ok).unwrap();
+        }
+        win.fence().unwrap();
+        let local = win.read_local(0, 16);
+        win.fence().unwrap();
+        if world.rank() == 1 {
+            assert_eq!(local[8..16], 7u64.to_le_bytes());
+        }
+    });
+}

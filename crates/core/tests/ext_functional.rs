@@ -14,6 +14,7 @@ fn isend_global_delivers_like_isend() {
         // Evens and odds.
         let sub = world
             .split((proc.rank() % 2) as i32, proc.rank() as i32)
+            .unwrap()
             .unwrap();
         if sub.size() < 2 {
             return;
@@ -40,6 +41,7 @@ fn irecv_global_translates_source() {
         let world = proc.world();
         let sub = world
             .split((proc.rank() % 2) as i32, proc.rank() as i32)
+            .unwrap()
             .unwrap();
         if sub.size() < 2 {
             return;

@@ -263,7 +263,7 @@ fn errhandler_is_inherited_by_derived_communicators() {
         world.set_errhandler(Errhandler::ErrorsReturn);
         let dup = world.dup();
         assert_eq!(dup.errhandler(), Errhandler::ErrorsReturn);
-        let split = world.split(0, proc.rank() as i32).unwrap();
+        let split = world.split(0, proc.rank() as i32).unwrap().unwrap();
         assert_eq!(split.errhandler(), Errhandler::ErrorsReturn);
         // Setting the child back does not touch the parent.
         split.set_errhandler(Errhandler::ErrorsAreFatal);

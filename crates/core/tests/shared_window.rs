@@ -74,7 +74,7 @@ fn split_type_shared_builds_node_comms() {
         Topology::blocked(6, 2), // 3 nodes of 2
         |proc| {
             let world = proc.world();
-            let node_comm = world.split_type_shared();
+            let node_comm = world.split_type_shared().unwrap();
             assert_eq!(node_comm.size(), 2);
             assert_eq!(node_comm.rank(), proc.rank() % 2);
             // A shared window on the node communicator just works.
@@ -125,7 +125,7 @@ fn node_local_subcommunicator_works_on_multi_node_job() {
         |proc| {
             let world = proc.world();
             let node = (proc.rank() / 2) as i32; // matches the blocked topology
-            let node_comm = world.split(node, proc.rank() as i32).unwrap();
+            let node_comm = world.split(node, proc.rank() as i32).unwrap().unwrap();
             let sw = SharedWindow::allocate(&node_comm, 8, 1).unwrap();
             sw.write_direct(node_comm.rank(), 0, &[node_comm.rank() as u8 + 1]);
             sw.sync();

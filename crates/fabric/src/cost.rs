@@ -23,6 +23,7 @@
 
 use crate::fault::FaultPlan;
 use crate::reliability::ReliabilityConfig;
+use litempi_trace::TraceConfig;
 
 /// Which simulated provider this is (selects netmod code paths and labels).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -160,6 +161,10 @@ pub struct ProviderProfile {
     pub faults: FaultPlan,
     /// Software reliability protocol (seq/ack/retransmit); off by default.
     pub reliability: ReliabilityConfig,
+    /// Event-tracing opt-in; [`TraceConfig::OFF`] (the default) keeps
+    /// every event site down to one predictable branch, with charges and
+    /// wire bytes bit-identical to an untraced build.
+    pub trace: TraceConfig,
 }
 
 impl ProviderProfile {
@@ -186,6 +191,7 @@ impl ProviderProfile {
             copy_mode: CopyMode::Pooled,
             faults: FaultPlan::NONE,
             reliability: ReliabilityConfig::OFF,
+            trace: TraceConfig::OFF,
         }
     }
 
@@ -210,6 +216,7 @@ impl ProviderProfile {
             copy_mode: CopyMode::Pooled,
             faults: FaultPlan::NONE,
             reliability: ReliabilityConfig::OFF,
+            trace: TraceConfig::OFF,
         }
     }
 
@@ -236,6 +243,7 @@ impl ProviderProfile {
             copy_mode: CopyMode::Pooled,
             faults: FaultPlan::NONE,
             reliability: ReliabilityConfig::OFF,
+            trace: TraceConfig::OFF,
         }
     }
 
@@ -256,6 +264,7 @@ impl ProviderProfile {
             copy_mode: CopyMode::Pooled,
             faults: FaultPlan::NONE,
             reliability: ReliabilityConfig::OFF,
+            trace: TraceConfig::OFF,
         }
     }
 
@@ -280,6 +289,7 @@ impl ProviderProfile {
             copy_mode: CopyMode::Pooled,
             faults: FaultPlan::NONE,
             reliability: ReliabilityConfig::OFF,
+            trace: TraceConfig::OFF,
         }
     }
 
@@ -305,6 +315,7 @@ impl ProviderProfile {
             copy_mode: CopyMode::Pooled,
             faults: FaultPlan::NONE,
             reliability: ReliabilityConfig::OFF,
+            trace: TraceConfig::OFF,
         }
     }
 
@@ -342,6 +353,18 @@ impl ProviderProfile {
     /// Copy of this profile with the reliable path on at default knobs.
     pub fn reliable(self) -> Self {
         self.with_reliability(ReliabilityConfig::on())
+    }
+
+    /// Copy of this profile with the given event-tracing configuration.
+    pub fn with_trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Copy of this profile with event tracing on at the default ring
+    /// capacity.
+    pub fn traced(self) -> Self {
+        self.with_trace(TraceConfig::on())
     }
 }
 
@@ -425,6 +448,21 @@ mod tests {
         assert!(q.reliability.crc);
         // Builders compose with the existing ones.
         let r = q.with_matcher(MatcherKind::Linear);
+        assert!(r.reliability.enabled);
+    }
+
+    #[test]
+    fn trace_defaults_off_and_builders_compose() {
+        let p = ProviderProfile::ofi();
+        assert!(!p.trace.enabled);
+        let q = p.traced();
+        assert!(q.trace.enabled);
+        assert_eq!(q.trace.ring_capacity, TraceConfig::DEFAULT_CAPACITY);
+        let r = ProviderProfile::infinite()
+            .with_trace(TraceConfig::with_capacity(128))
+            .reliable();
+        assert!(r.trace.enabled);
+        assert_eq!(r.trace.ring_capacity, 128);
         assert!(r.reliability.enabled);
     }
 

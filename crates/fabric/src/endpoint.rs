@@ -43,6 +43,7 @@ use crate::reliability::{PacketBody, ReliaState, RxVerdict, TxTick, WirePacket};
 use crate::stats::{EndpointStats, StatsSnapshot};
 use bytes::Bytes;
 use litempi_instr::{charge, cost as icost, Category};
+use litempi_trace::EventKind;
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -80,6 +81,10 @@ pub(crate) struct EndpointShared {
     /// `relia_enabled || lossy_enabled` — the single hoisted branch the
     /// default fast path pays, mirroring `jitter_enabled`.
     routed: bool,
+    /// Hoisted from the profile's trace opt-in, mirroring
+    /// `jitter_enabled`: event sites cost one predictable branch when
+    /// tracing is off.
+    trace_enabled: bool,
     pub(crate) stats: EndpointStats,
 }
 
@@ -147,6 +152,7 @@ impl EndpointShared {
             relia_enabled,
             lossy_enabled,
             routed: relia_enabled || lossy_enabled,
+            trace_enabled: profile.trace.enabled,
             stats: EndpointStats::default(),
         }
     }
@@ -196,7 +202,7 @@ impl EndpointShared {
         }
         let mut tag = self.tag.lock();
         for m in flush {
-            tag.deliver(m);
+            self.engine_deliver(&mut tag, m);
         }
         drop(tag);
         drop(jit);
@@ -224,13 +230,34 @@ impl EndpointShared {
             let flush = jit.take_deferred(Some(src));
             let mut tag = self.tag.lock();
             for m in flush {
-                tag.deliver(m);
+                self.engine_deliver(&mut tag, m);
             }
-            tag.deliver(msg);
+            self.engine_deliver(&mut tag, msg);
         } else {
-            self.tag.lock().deliver(msg);
+            self.engine_deliver(&mut self.tag.lock(), msg);
         }
         self.bump_event();
+    }
+
+    /// Deliver into the matching engine, emitting the match-outcome
+    /// trace event (hit with posted depth, or unexpected with queue
+    /// depth) when tracing is on. Events land on the executing thread's
+    /// ring — the sender's for NIC-side matching, per the onload model.
+    fn engine_deliver(&self, tag: &mut MatchEngine, msg: TaggedMessage) {
+        if !self.trace_enabled {
+            tag.deliver(msg);
+            return;
+        }
+        let bits = msg.match_bits;
+        if tag.deliver(msg) {
+            litempi_trace::emit(EventKind::MatchHit, bits, tag.posted_len() as u64);
+        } else {
+            litempi_trace::emit(
+                EventKind::MatchUnexpected,
+                bits,
+                tag.unexpected_len() as u64,
+            );
+        }
     }
 
     /// Deliver an active message into this endpoint's AM queue.
@@ -385,6 +412,9 @@ fn deliver_packet(fabric: &Fabric, dst: NetAddr, pkt: WirePacket) {
             // retransmit entries for the reverse link.
             charge(Category::Reliability, icost::relia::ACK_PROCESS);
             st.tx[s].on_ack(cum, fabric.now_us());
+            if peer.trace_enabled {
+                litempi_trace::emit(EventKind::AckProcessed, s as u64, cum as u64);
+            }
         }
         if let Some(body) = pkt.body {
             let crc_ok = if st.cfg.crc {
@@ -407,6 +437,9 @@ fn deliver_packet(fabric: &Fabric, dst: NetAddr, pkt: WirePacket) {
                     RxVerdict::Deliver(bodies) => released = bodies,
                     RxVerdict::Duplicate => {
                         EndpointStats::bump(&peer.stats.dup_dropped, 1);
+                        if peer.trace_enabled {
+                            litempi_trace::emit(EventKind::DupDropped, s as u64, pkt.seq as u64);
+                        }
                     }
                     RxVerdict::Buffered | RxVerdict::Overflow => {}
                 }
@@ -433,6 +466,9 @@ fn deliver_packet(fabric: &Fabric, dst: NetAddr, pkt: WirePacket) {
 fn send_ack(fabric: &Fabric, from: NetAddr, to: NetAddr, cum: u32) {
     charge(Category::Reliability, icost::relia::ACK_BUILD);
     EndpointStats::bump(&fabric.shared(from).stats.acks_sent, 1);
+    if fabric.shared(from).trace_enabled {
+        litempi_trace::emit(EventKind::AckSent, to.0 as u64, cum as u64);
+    }
     let pkt = WirePacket {
         src: from,
         seq: 0,
@@ -472,6 +508,13 @@ fn tick_relia(fabric: &Fabric, addr: NetAddr, now: u64) {
                             icost::relia::RETRANSMIT * pending.len() as u64,
                         );
                         EndpointStats::bump(&my.stats.retransmits, pending.len() as u64);
+                        if my.trace_enabled {
+                            litempi_trace::emit(
+                                EventKind::Retransmit,
+                                d as u64,
+                                pending.len() as u64,
+                            );
+                        }
                         let ack = Some(st.rx[d].cum_ack());
                         for p in pending {
                             resends.push((
@@ -579,6 +622,9 @@ impl Endpoint {
         let my = self.shared(self.addr);
         EndpointStats::bump(&my.stats.msgs_sent, 1);
         EndpointStats::bump(&my.stats.bytes_sent, data.len() as u64);
+        if my.trace_enabled {
+            litempi_trace::emit(EventKind::SendBegin, match_bits, data.len() as u64);
+        }
 
         let msg = TaggedMessage {
             src: self.addr,
@@ -587,9 +633,12 @@ impl Endpoint {
         };
         if my.routed {
             send_packet(&self.fabric, self.addr, dst, PacketBody::Tagged(msg));
-            return;
+        } else {
+            self.shared(dst).deliver_tagged(msg);
         }
-        self.shared(dst).deliver_tagged(msg);
+        if my.trace_enabled {
+            litempi_trace::emit(EventKind::SendComplete, match_bits, 0);
+        }
     }
 
     /// Post a receive for `match_bits` (bits set in `ignore` are wildcards)
@@ -602,6 +651,9 @@ impl Endpoint {
     pub fn trecv_post(&self, match_bits: u64, ignore: u64) -> RecvHandle {
         let peer = self.shared(self.addr);
         peer.flush_deferred(None);
+        if peer.trace_enabled {
+            litempi_trace::emit(EventKind::RecvPost, match_bits, ignore);
+        }
         let probe = PostedRecv {
             match_bits,
             ignore,
@@ -609,12 +661,23 @@ impl Endpoint {
         };
         let slot = probe.slot.clone();
         // First satisfy from the unexpected queue, in arrival order.
-        if let Some(msg) = peer.tag.lock().post(probe) {
-            slot.fill(msg);
+        {
+            let mut tag = peer.tag.lock();
+            if let Some(msg) = tag.post(probe) {
+                if peer.trace_enabled {
+                    litempi_trace::emit(
+                        EventKind::MatchFromUnexpected,
+                        match_bits,
+                        tag.unexpected_len() as u64,
+                    );
+                }
+                slot.fill(msg);
+            }
         }
         RecvHandle {
             fabric: self.fabric.clone(),
             addr: self.addr,
+            bits: match_bits,
             slot,
         }
     }
@@ -747,7 +810,13 @@ impl Endpoint {
         let my = self.shared(self.addr);
         EndpointStats::bump(&my.stats.rdma_puts, 1);
         EndpointStats::bump(&my.stats.rdma_bytes, data.len() as u64);
+        if my.trace_enabled {
+            litempi_trace::emit(EventKind::PutBegin, key.0, data.len() as u64);
+        }
         self.fabric.region(key).write(offset, data);
+        if my.trace_enabled {
+            litempi_trace::emit(EventKind::PutComplete, key.0, 0);
+        }
     }
 
     /// One-sided read from a remote region.
@@ -755,7 +824,14 @@ impl Endpoint {
         let my = self.shared(self.addr);
         EndpointStats::bump(&my.stats.rdma_gets, 1);
         EndpointStats::bump(&my.stats.rdma_bytes, len as u64);
-        self.fabric.region(key).read(offset, len)
+        if my.trace_enabled {
+            litempi_trace::emit(EventKind::GetBegin, key.0, len as u64);
+        }
+        let out = self.fabric.region(key).read(offset, len);
+        if my.trace_enabled {
+            litempi_trace::emit(EventKind::GetComplete, key.0, 0);
+        }
+        out
     }
 
     /// One-sided read-modify-write on a remote region, holding the region
@@ -795,6 +871,10 @@ impl Endpoint {
 pub struct RecvHandle {
     fabric: Arc<Fabric>,
     addr: NetAddr,
+    /// Posted match bits, kept so the completion event pairs with the
+    /// `RecvPost` that opened the span (wildcard receives may complete
+    /// with different message bits).
+    bits: u64,
     slot: Arc<RecvSlot>,
 }
 
@@ -812,7 +892,11 @@ const WAIT_SPINS: u32 = 64;
 impl RecvHandle {
     /// Nonblocking: take the message if it has arrived.
     pub fn poll(&self) -> Option<TaggedMessage> {
-        self.slot.take()
+        let m = self.slot.take()?;
+        if self.fabric.shared(self.addr).trace_enabled {
+            litempi_trace::emit(EventKind::RecvComplete, self.bits, m.data.len() as u64);
+        }
+        Some(m)
     }
 
     /// `true` once the message has arrived (without consuming it).
@@ -826,7 +910,7 @@ impl RecvHandle {
         let shared = self.fabric.shared(self.addr);
         let mut spins = 0u32;
         loop {
-            if let Some(m) = self.slot.take() {
+            if let Some(m) = self.poll() {
                 return m;
             }
             shared.flush_deferred(None);
@@ -839,7 +923,7 @@ impl RecvHandle {
                 continue;
             }
             let seen = shared.event_epoch();
-            if let Some(m) = self.slot.take() {
+            if let Some(m) = self.poll() {
                 return m;
             }
             shared.wait_event(seen, Duration::from_micros(200));

@@ -29,6 +29,10 @@ pub struct Fabric {
     kill_count: AtomicU64,
     /// Set once the kill switch has fired (the victim is off the fabric).
     kill_tripped: AtomicBool,
+    /// Hoisted from `profile.trace.enabled`, same as the endpoint's
+    /// reliability/jitter flags: a disabled trace costs one predictable
+    /// branch at each event site.
+    trace_enabled: bool,
 }
 
 impl Fabric {
@@ -44,16 +48,30 @@ impl Fabric {
             endpoints,
             regions: RwLock::new(HashMap::new()),
             next_rkey: AtomicU64::new(1),
-            pool: PayloadPool::new(),
+            pool: PayloadPool::with_tracing(profile.trace.enabled),
             t0: Instant::now(),
             kill_count: AtomicU64::new(0),
             kill_tripped: AtomicBool::new(false),
+            trace_enabled: profile.trace.enabled,
         })
     }
 
     /// Microseconds since fabric creation (the reliability layer's clock).
     pub(crate) fn now_us(&self) -> u64 {
         self.t0.elapsed().as_micros() as u64
+    }
+
+    /// The fabric's creation instant — the shared clock origin trace
+    /// recorders stamp events against, so every rank's track aligns.
+    pub fn epoch(&self) -> Instant {
+        self.t0
+    }
+
+    /// Is event tracing on for this fabric? Hoisted at construction; the
+    /// layers above consult this (never the profile) on hot paths.
+    #[inline]
+    pub fn trace_enabled(&self) -> bool {
+        self.trace_enabled
     }
 
     /// Account one packet against the kill switch. Returns `true` when the
@@ -150,6 +168,12 @@ impl Fabric {
     /// Is a region currently registered?
     pub fn is_registered(&self, key: RegionKey) -> bool {
         self.regions.read().contains_key(&key)
+    }
+
+    /// Length of a registered region, or `None` if the key is stale — the
+    /// non-panicking lookup the RMA range checks use.
+    pub fn region_len(&self, key: RegionKey) -> Option<usize> {
+        self.regions.read().get(&key).map(|r| r.len())
     }
 }
 

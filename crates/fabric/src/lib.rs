@@ -51,6 +51,7 @@ pub use cost::{CopyMode, MatcherKind, NetCost, ProviderKind, ProviderProfile};
 pub use endpoint::Endpoint;
 pub use fabric::Fabric;
 pub use fault::{FaultPlan, FaultSpec, KillSwitch, LinkOverride};
+pub use litempi_trace::TraceConfig;
 pub use packet::{AmMessage, TaggedMessage};
 pub use pool::{PayloadBuf, PayloadPool, PoolStats};
 pub use region::{MemoryRegion, RdmaAtomicOp, RegionKey};

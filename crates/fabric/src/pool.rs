@@ -26,6 +26,7 @@
 //! pool never requires a release.
 
 use bytes::{BufMut, Bytes};
+use litempi_trace::EventKind;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -79,6 +80,9 @@ pub struct PayloadPool {
     misses: AtomicU64,
     recycled: AtomicU64,
     dropped: AtomicU64,
+    /// Hoisted from the profile's trace opt-in at fabric construction;
+    /// when false, lease/recycle event sites cost one branch.
+    traced: bool,
 }
 
 #[inline]
@@ -90,6 +94,15 @@ impl PayloadPool {
     /// An empty pool.
     pub fn new() -> Self {
         PayloadPool::default()
+    }
+
+    /// An empty pool that records lease/recycle trace events when
+    /// `traced` (the fabric passes its profile's trace opt-in).
+    pub fn with_tracing(traced: bool) -> Self {
+        PayloadPool {
+            traced,
+            ..PayloadPool::default()
+        }
     }
 
     /// Take a writable buffer with room for at least `cap` bytes.
@@ -113,6 +126,9 @@ impl PayloadPool {
                 // above; see also `PayloadBuf::vec`.
                 unsafe { (*vec).clear() };
                 bump(&self.hits);
+                if self.traced {
+                    litempi_trace::emit(EventKind::PoolLease, class as u64, 1);
+                }
                 return PayloadBuf {
                     storage,
                     vec,
@@ -121,6 +137,13 @@ impl PayloadPool {
             }
         }
         bump(&self.misses);
+        if self.traced {
+            litempi_trace::emit(
+                EventKind::PoolLease,
+                class.map_or(u64::MAX, |c| c as u64),
+                0,
+            );
+        }
         // Miss: one allocation for the buffer, one for the Arc control
         // block — both recovered on recycle, hence counted here only.
         litempi_instr::note_alloc(2);
@@ -150,6 +173,9 @@ impl PayloadPool {
                 if list.len() < CLASS_DEPTH {
                     list.push(storage);
                     bump(&self.recycled);
+                    if self.traced {
+                        litempi_trace::emit(EventKind::PoolRecycle, class as u64, 0);
+                    }
                 } else {
                     bump(&self.dropped);
                 }

@@ -1,0 +1,209 @@
+//! chrome://tracing (Trace Event Format) exporter.
+//!
+//! Renders drained [`RankTrace`]s as a JSON object with a `traceEvents`
+//! array — load it in `chrome://tracing` or Perfetto to see one track per
+//! rank. Span kinds (send, recv, rdma, collective phases) become async
+//! begin/end pairs (`ph: "b"` / `"e"`, matched by `id`) because multiple
+//! operations are legitimately in flight at once on one rank and async
+//! events don't require stack-like nesting; instant kinds (match, pool,
+//! reliability) become thread-scoped instants (`ph: "i"`).
+//!
+//! Timestamps are microseconds with nanosecond precision (the format's
+//! `ts` field takes fractional µs), all on the fabric's shared clock, so
+//! cross-rank ordering in the viewer reflects simulation order.
+
+use crate::event::{coll_op_name, EventKind, TraceEvent};
+use crate::recorder::RankTrace;
+
+fn push_common(out: &mut String, name: &str, cat: &str, ev: &TraceEvent, rank: usize) {
+    // All names/cats are static identifier-like strings — no escaping
+    // needed, but keep them out of harm's way anyway.
+    debug_assert!(!name.contains('"') && !cat.contains('"'));
+    out.push_str(&format!(
+        "{{\"name\":\"{}\",\"cat\":\"{}\",\"pid\":0,\"tid\":{},\"ts\":{}.{:03}",
+        name,
+        cat,
+        rank,
+        ev.ts_ns / 1000,
+        ev.ts_ns % 1000,
+    ));
+}
+
+fn push_event(out: &mut String, ev: &TraceEvent, rank: usize, seq: usize) {
+    let name = if matches!(ev.kind, EventKind::CollBegin | EventKind::CollEnd) {
+        coll_op_name(ev.a)
+    } else {
+        ev.kind.name()
+    };
+    push_common(out, name, ev.kind.category(), ev, rank);
+    if ev.kind.is_begin() {
+        // Async begin: id pairs it with its end. The id folds in the rank
+        // and the per-track span ordinal so concurrent spans stay distinct.
+        out.push_str(&format!(
+            ",\"ph\":\"b\",\"id\":\"0x{:x}\",\"args\":{{\"a\":{},\"b\":{}}}}}",
+            (rank as u64) << 48 | seq as u64,
+            ev.a,
+            ev.b
+        ));
+    } else if ev.kind.begin_of().is_some() {
+        out.push_str(&format!(
+            ",\"ph\":\"e\",\"id\":\"0x{:x}\",\"args\":{{\"a\":{},\"b\":{}}}}}",
+            (rank as u64) << 48 | seq as u64,
+            ev.a,
+            ev.b
+        ));
+    } else {
+        out.push_str(&format!(
+            ",\"ph\":\"i\",\"s\":\"t\",\"args\":{{\"a\":{},\"b\":{}}}}}",
+            ev.a, ev.b
+        ));
+    }
+}
+
+/// Pair span begins with their ends FIFO per `(kind, a)` within a rank,
+/// yielding `(begin index, end index)` pairs and a shared span ordinal
+/// for each. Unpaired events keep an ordinal of their own.
+fn span_ordinals(events: &[TraceEvent]) -> Vec<usize> {
+    use std::collections::HashMap;
+    let mut ordinals = vec![0usize; events.len()];
+    let mut next = 0usize;
+    // Open spans keyed by (begin kind, a) → stack of ordinals (LIFO pairs
+    // nested re-entries correctly; FIFO vs LIFO only differs for
+    // identical keys in flight, where either pairing is valid).
+    let mut open: HashMap<(EventKind, u64), Vec<usize>> = HashMap::new();
+    for (i, ev) in events.iter().enumerate() {
+        if ev.kind.is_begin() {
+            let ord = next;
+            next += 1;
+            ordinals[i] = ord;
+            open.entry((ev.kind, ev.a)).or_default().push(ord);
+        } else if let Some(bk) = ev.kind.begin_of() {
+            let ord = open
+                .get_mut(&(bk, ev.a))
+                .and_then(|v| v.pop())
+                .unwrap_or_else(|| {
+                    let o = next;
+                    next += 1;
+                    o
+                });
+            ordinals[i] = ord;
+        } else {
+            ordinals[i] = next;
+            next += 1;
+        }
+    }
+    ordinals
+}
+
+/// Render the traces as a chrome://tracing JSON document.
+pub fn chrome_trace_json(traces: &[RankTrace]) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    for tr in traces {
+        let ordinals = span_ordinals(&tr.events);
+        // Thread-name metadata so the viewer labels each track.
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{},\
+             \"args\":{{\"name\":\"rank {}\"}}}}",
+            tr.rank, tr.rank
+        ));
+        for (i, ev) in tr.events.iter().enumerate() {
+            out.push(',');
+            push_event(&mut out, ev, tr.rank, ordinals[i]);
+        }
+        if tr.dropped > 0 {
+            out.push_str(&format!(
+                ",{{\"name\":\"dropped_events\",\"cat\":\"meta\",\"ph\":\"C\",\
+                 \"pid\":0,\"tid\":{},\"ts\":0,\"args\":{{\"dropped\":{}}}}}",
+                tr.rank, tr.dropped
+            ));
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::coll_op;
+
+    fn trace(rank: usize, events: Vec<TraceEvent>) -> RankTrace {
+        RankTrace {
+            rank,
+            events,
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn exports_valid_shape_with_one_track_per_rank() {
+        let t0 = trace(
+            0,
+            vec![
+                TraceEvent::new(1_000, EventKind::SendBegin, 42, 8),
+                TraceEvent::new(2_500, EventKind::SendComplete, 42, 0),
+            ],
+        );
+        let t1 = trace(1, vec![TraceEvent::new(1_200, EventKind::MatchHit, 42, 1)]);
+        let json = chrome_trace_json(&[t0, t1]);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"traceEvents\":["));
+        assert!(json.contains("\"tid\":0"));
+        assert!(json.contains("\"tid\":1"));
+        assert!(json.contains("\"rank 0\""));
+        assert!(json.contains("\"ph\":\"b\""));
+        assert!(json.contains("\"ph\":\"e\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        // 1000ns → ts 1.000 µs, 2500ns → 2.500 µs.
+        assert!(json.contains("\"ts\":1.000"));
+        assert!(json.contains("\"ts\":2.500"));
+        // Braces and brackets balance.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn begin_and_end_share_an_id() {
+        let t = trace(
+            2,
+            vec![
+                TraceEvent::new(10, EventKind::PutBegin, 7, 64),
+                TraceEvent::new(20, EventKind::PutComplete, 7, 0),
+            ],
+        );
+        let json = chrome_trace_json(&[t]);
+        let id = "\"id\":\"0x2000000000000\"";
+        assert_eq!(json.matches(id).count(), 2, "{json}");
+    }
+
+    #[test]
+    fn collective_spans_use_op_names() {
+        let t = trace(
+            0,
+            vec![
+                TraceEvent::new(5, EventKind::CollBegin, coll_op::BCAST, 0),
+                TraceEvent::new(9, EventKind::CollEnd, coll_op::BCAST, 0),
+            ],
+        );
+        let json = chrome_trace_json(&[t]);
+        assert!(json.contains("\"name\":\"bcast\""));
+        assert!(json.contains("\"cat\":\"coll\""));
+    }
+
+    #[test]
+    fn dropped_events_surface_as_a_counter() {
+        let mut t = trace(0, vec![]);
+        t.dropped = 17;
+        let json = chrome_trace_json(&[t]);
+        assert!(json.contains("\"dropped\":17"));
+    }
+}

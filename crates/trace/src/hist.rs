@@ -1,0 +1,193 @@
+//! HdrHistogram-style log-bucketed latency histograms.
+//!
+//! Values (nanoseconds, bytes, queue depths — anything non-negative) are
+//! binned by position of their highest set bit, so the histogram covers
+//! the full `u64` range in 65 fixed buckets with ~2x relative error, no
+//! allocation after construction, and O(1) recording. That is the same
+//! trade HdrHistogram makes at its coarsest setting and is plenty to
+//! distinguish "eager send, 100ns" from "rendezvous pull, 80µs".
+
+/// Fixed-size log₂ histogram over `u64` values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    /// `buckets[0]` counts value 0; `buckets[k]` (k ≥ 1) counts values in
+    /// `[2^(k-1), 2^k)`.
+    buckets: [u64; 65],
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// Lower bound of bucket `k` (its smallest representable value).
+    pub fn bucket_floor(k: usize) -> u64 {
+        if k == 0 {
+            0
+        } else {
+            1u64 << (k - 1)
+        }
+    }
+
+    /// Record one value.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest recorded value, or 0 if empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of recorded values, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate value at percentile `p` (0.0–100.0): the floor of the
+    /// first bucket whose cumulative count reaches `p` percent.
+    pub fn value_at_percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (p / 100.0 * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (k, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return Self::bucket_floor(k);
+            }
+        }
+        self.max
+    }
+
+    /// Non-empty buckets as `(bucket_floor, count)` pairs, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(k, &n)| (Self::bucket_floor(k), n))
+            .collect()
+    }
+
+    /// Render one compact line: count, min/mean/p50/p99/max.
+    pub fn render_line(&self, unit: &str) -> String {
+        format!(
+            "n={} min={}{u} mean={:.0}{u} p50={}{u} p99={}{u} max={}{u}",
+            self.count,
+            self.min(),
+            self.mean(),
+            self.value_at_percentile(50.0),
+            self.value_at_percentile(99.0),
+            self.max,
+            u = unit,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2() {
+        assert_eq!(LatencyHistogram::bucket_of(0), 0);
+        assert_eq!(LatencyHistogram::bucket_of(1), 1);
+        assert_eq!(LatencyHistogram::bucket_of(2), 2);
+        assert_eq!(LatencyHistogram::bucket_of(3), 2);
+        assert_eq!(LatencyHistogram::bucket_of(4), 3);
+        assert_eq!(LatencyHistogram::bucket_of(u64::MAX), 64);
+        assert_eq!(LatencyHistogram::bucket_floor(0), 0);
+        assert_eq!(LatencyHistogram::bucket_floor(1), 1);
+        assert_eq!(LatencyHistogram::bucket_floor(11), 1024);
+    }
+
+    #[test]
+    fn stats_track_recorded_values() {
+        let mut h = LatencyHistogram::new();
+        for v in [100u64, 200, 400, 800] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.min(), 100);
+        assert_eq!(h.max(), 800);
+        assert!((h.mean() - 375.0).abs() < 1e-9);
+        // p50 lands in the bucket containing 200 → floor 128.
+        assert_eq!(h.value_at_percentile(50.0), 128);
+        // p100 reaches the last non-empty bucket (floor 512).
+        assert_eq!(h.value_at_percentile(100.0), 512);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.value_at_percentile(99.0), 0);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn percentiles_are_monotone() {
+        let mut h = LatencyHistogram::new();
+        for v in 0..1000u64 {
+            h.record(v * 17 % 4096);
+        }
+        let mut last = 0;
+        for p in [1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            let v = h.value_at_percentile(p);
+            assert!(v >= last, "p{p}: {v} < {last}");
+            last = v;
+        }
+    }
+}

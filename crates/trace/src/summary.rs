@@ -1,0 +1,181 @@
+//! Latency derivation and the plaintext summary.
+//!
+//! The exporters work from drained [`RankTrace`]s only — no live access
+//! to the rings — so summarizing is entirely off the critical path.
+//! Latencies come from pairing span begins with their ends FIFO per
+//! `(rank, kind, match key)`; each pair feeds the log-bucketed histogram
+//! for its operation name.
+
+use crate::event::EventKind;
+use crate::hist::LatencyHistogram;
+use crate::recorder::RankTrace;
+use std::collections::HashMap;
+
+/// Derive per-operation latency histograms (nanoseconds) from begin/end
+/// pairs across all ranks. Returned as `(operation name, histogram)`
+/// sorted by name for stable output.
+pub fn latency_histograms(traces: &[RankTrace]) -> Vec<(&'static str, LatencyHistogram)> {
+    let mut hists: HashMap<&'static str, LatencyHistogram> = HashMap::new();
+    for tr in traces {
+        // Open spans per (begin kind, key): stack of begin timestamps.
+        let mut open: HashMap<(EventKind, u64), Vec<u64>> = HashMap::new();
+        for ev in &tr.events {
+            if ev.kind.is_begin() {
+                open.entry((ev.kind, ev.a)).or_default().push(ev.ts_ns);
+            } else if let Some(bk) = ev.kind.begin_of() {
+                if let Some(t0) = open.get_mut(&(bk, ev.a)).and_then(|v| v.pop()) {
+                    let dt = ev.ts_ns.saturating_sub(t0);
+                    hists.entry(ev.kind.name()).or_default().record(dt);
+                }
+            }
+        }
+    }
+    let mut out: Vec<_> = hists.into_iter().collect();
+    out.sort_by_key(|(name, _)| *name);
+    out
+}
+
+/// Count events per operation name across all ranks. Begin/complete pairs
+/// share a name, so one row covers both halves of a span.
+fn kind_counts(traces: &[RankTrace]) -> Vec<(&'static str, &'static str, u64)> {
+    let mut counts: HashMap<(&'static str, &'static str), u64> = HashMap::new();
+    for tr in traces {
+        for ev in &tr.events {
+            *counts
+                .entry((ev.kind.category(), ev.kind.name()))
+                .or_insert(0) += 1;
+        }
+    }
+    let mut out: Vec<_> = counts
+        .into_iter()
+        .map(|((cat, name), n)| (cat, name, n))
+        .collect();
+    out.sort();
+    out
+}
+
+/// Total events recorded (surviving in rings) and dropped.
+pub fn totals(traces: &[RankTrace]) -> (u64, u64) {
+    let recorded = traces.iter().map(|t| t.events.len() as u64).sum();
+    let dropped = traces.iter().map(|t| t.dropped).sum();
+    (recorded, dropped)
+}
+
+/// Render the plaintext summary the benchmarks print alongside
+/// instructions/op: event totals per kind, pool/match/reliability
+/// activity, and per-operation latency histograms.
+pub fn summarize(traces: &[RankTrace]) -> String {
+    let (recorded, dropped) = totals(traces);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "trace: {} ranks, {} events recorded, {} dropped (drop-oldest)\n",
+        traces.len(),
+        recorded,
+        dropped
+    ));
+    let counts = kind_counts(traces);
+    if !counts.is_empty() {
+        out.push_str("events by kind:\n");
+        let mut last_cat = "";
+        for (cat, name, n) in &counts {
+            if cat != &last_cat {
+                out.push_str(&format!("  [{cat}]\n"));
+                last_cat = cat;
+            }
+            out.push_str(&format!("    {name:<22} {n}\n"));
+        }
+    }
+    let hists = latency_histograms(traces);
+    if !hists.is_empty() {
+        out.push_str("latency (ns, log-bucketed):\n");
+        for (name, h) in &hists {
+            out.push_str(&format!("  {:<12} {}\n", name, h.render_line("ns")));
+        }
+    }
+    out
+}
+
+/// Merge helper for pairing spans when callers want raw durations
+/// instead of histograms (used by tests).
+pub fn span_durations(tr: &RankTrace, end_kind: EventKind) -> Vec<u64> {
+    let Some(begin_kind) = end_kind.begin_of() else {
+        return Vec::new();
+    };
+    let mut open: HashMap<u64, Vec<u64>> = HashMap::new();
+    let mut out = Vec::new();
+    for ev in &tr.events {
+        if ev.kind == begin_kind {
+            open.entry(ev.a).or_default().push(ev.ts_ns);
+        } else if ev.kind == end_kind {
+            if let Some(t0) = open.get_mut(&ev.a).and_then(|v| v.pop()) {
+                out.push(ev.ts_ns.saturating_sub(t0));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+
+    fn tr(events: Vec<TraceEvent>) -> RankTrace {
+        RankTrace {
+            rank: 0,
+            events,
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn pairs_spans_into_latency_histograms() {
+        let t = tr(vec![
+            TraceEvent::new(100, EventKind::SendBegin, 1, 8),
+            TraceEvent::new(400, EventKind::SendComplete, 1, 0),
+            TraceEvent::new(500, EventKind::SendBegin, 2, 8),
+            TraceEvent::new(1500, EventKind::SendComplete, 2, 0),
+        ]);
+        let hists = latency_histograms(&[t]);
+        assert_eq!(hists.len(), 1);
+        let (name, h) = &hists[0];
+        assert_eq!(*name, "send");
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), 300);
+        assert_eq!(h.max(), 1000);
+    }
+
+    #[test]
+    fn unmatched_ends_are_ignored() {
+        let t = tr(vec![TraceEvent::new(400, EventKind::RecvComplete, 9, 0)]);
+        assert!(latency_histograms(&[t]).is_empty());
+    }
+
+    #[test]
+    fn summary_mentions_totals_and_kinds() {
+        let t = RankTrace {
+            rank: 0,
+            events: vec![
+                TraceEvent::new(1, EventKind::PoolLease, 0, 1),
+                TraceEvent::new(2, EventKind::MatchHit, 42, 1),
+            ],
+            dropped: 3,
+        };
+        let s = summarize(&[t]);
+        assert!(s.contains("2 events recorded"));
+        assert!(s.contains("3 dropped"));
+        assert!(s.contains("pool_lease"));
+        assert!(s.contains("match_hit"));
+        assert!(s.contains("[pool]"));
+    }
+
+    #[test]
+    fn span_durations_pairs_fifo_per_key() {
+        let t = tr(vec![
+            TraceEvent::new(10, EventKind::PutBegin, 5, 64),
+            TraceEvent::new(70, EventKind::PutComplete, 5, 0),
+        ]);
+        assert_eq!(span_durations(&t, EventKind::PutComplete), vec![60]);
+        assert!(span_durations(&t, EventKind::PutBegin).is_empty());
+    }
+}

@@ -12,7 +12,10 @@
 //! * [`apps`](litempi_apps) — Nekbone CG, LJ molecular dynamics, and the
 //!   Jacobi stencil mini-apps;
 //! * [`model`](litempi_model) — the LogGP/Amdahl models behind the
-//!   application figures.
+//!   application figures;
+//! * [`trace`](litempi_trace) — the opt-in event-tracing subsystem
+//!   (per-rank ring recorders, chrome://tracing export, latency
+//!   histograms).
 //!
 //! Start with the [`prelude`], the `examples/` directory, and the
 //! `litempi-bench` binaries (`cargo run -p litempi-bench --bin table1`).
@@ -23,6 +26,7 @@ pub use litempi_datatype as datatype;
 pub use litempi_fabric as fabric;
 pub use litempi_instr as instr;
 pub use litempi_model as model;
+pub use litempi_trace as trace;
 
 /// The names most programs need.
 pub mod prelude {
@@ -32,7 +36,9 @@ pub mod prelude {
         Window, ANY_SOURCE, ANY_TAG, PROC_NULL,
     };
     pub use litempi_datatype::{Datatype, MpiPrimitive};
-    pub use litempi_fabric::{FaultPlan, FaultSpec, ProviderProfile, ReliabilityConfig, Topology};
+    pub use litempi_fabric::{
+        FaultPlan, FaultSpec, ProviderProfile, ReliabilityConfig, Topology, TraceConfig,
+    };
 }
 
 #[cfg(test)]
