@@ -1,0 +1,78 @@
+//! Communication/compute overlap: the same allreduce + compute workload
+//! run serial (blocking collective, then compute) versus overlapped
+//! (schedule-based nonblocking collective with compute interleaved
+//! against `test`). The gap is the latency the schedule engine hides.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use litempi_core::{BuildConfig, Op, Universe};
+use litempi_fabric::{ProviderProfile, Topology};
+use std::time::{Duration, Instant};
+
+/// Deterministic stand-in for application work between issue and wait.
+fn compute_kernel(units: usize) -> u64 {
+    let mut acc = 0x9E37_79B9_7F4A_7C15u64;
+    for i in 0..units {
+        acc = acc
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(i as u64)
+            .rotate_left(17);
+    }
+    std::hint::black_box(acc)
+}
+
+const CHUNKS: usize = 8;
+
+fn overlap_batch(n: usize, iters: u64, len: usize, nonblocking: bool) -> Duration {
+    let out = Universe::run(
+        n,
+        BuildConfig::ch4_default(),
+        ProviderProfile::infinite(),
+        Topology::single_node(n),
+        move |proc| {
+            let world = proc.world();
+            let data: Vec<u64> = (0..len as u64).map(|i| proc.rank() as u64 + i).collect();
+            // Scale compute with the payload so the two phases stay
+            // comparable across sizes.
+            let units = (len * 4).max(1024);
+            let t0 = Instant::now();
+            for _ in 0..iters.max(1) {
+                if nonblocking {
+                    let mut req = world.iallreduce(&data, &Op::Sum).unwrap();
+                    for _ in 0..CHUNKS {
+                        compute_kernel(units / CHUNKS);
+                        req.test().unwrap();
+                    }
+                    req.wait().unwrap();
+                } else {
+                    world.allreduce(&data, &Op::Sum).unwrap();
+                    for _ in 0..CHUNKS {
+                        compute_kernel(units / CHUNKS);
+                    }
+                }
+            }
+            let dt = t0.elapsed();
+            if proc.rank() == 0 {
+                Some(dt)
+            } else {
+                None
+            }
+        },
+    );
+    out.into_iter().flatten().next().unwrap()
+}
+
+fn bench_overlap(c: &mut Criterion) {
+    for len in [64usize, 1024, 8192] {
+        let mut g = c.benchmark_group(format!("overlap_allreduce_{len}"));
+        g.sample_size(10).measurement_time(Duration::from_secs(2));
+        for (cond, nonblocking) in [("blocking_serial", false), ("nbc_overlapped", true)] {
+            g.bench_function(BenchmarkId::from_parameter(cond), |b| {
+                b.iter_custom(|iters| overlap_batch(4, iters, len, nonblocking));
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_overlap);
+criterion_main!(benches);

@@ -209,13 +209,13 @@ pub fn bcast_binomial<T: MpiPrimitive>(
 /// `parent(v) = v - 2^⌊log₂ v⌋` (clear the highest set bit). Children of
 /// `v` are `v + 2^k` for every `2^k` at least the next power of two
 /// above `v` — together these tile 0..P into a binomial tree.
-fn parent_of(vrank: usize) -> usize {
+pub(crate) fn parent_of(vrank: usize) -> usize {
     debug_assert!(vrank > 0);
     let high = usize::BITS - 1 - vrank.leading_zeros();
     vrank - (1 << high)
 }
 
-fn next_pow2_at_least(n: usize) -> usize {
+pub(crate) fn next_pow2_at_least(n: usize) -> usize {
     n.next_power_of_two()
 }
 

@@ -57,6 +57,7 @@ pub mod proto;
 pub mod pt2pt;
 pub mod request;
 pub mod rma;
+pub mod sched;
 pub mod status;
 pub mod universe;
 
@@ -73,7 +74,10 @@ pub use op::Op;
 pub use persist::{PersistentRecv, PersistentSend};
 pub use process::Process;
 pub use pt2pt::SendMode;
-pub use request::{waitall, waitany, Request};
+pub use request::{testall, testany, waitall, waitany, waitsome, Request};
 pub use rma::{LockType, SharedWindow, VirtAddr, Window};
+pub use sched::{
+    iallgather, iallreduce, ialltoall, ibarrier, ibcast, ireduce, CollOutput, CollRequest,
+};
 pub use status::Status;
 pub use universe::Universe;

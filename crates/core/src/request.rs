@@ -158,6 +158,13 @@ enum ReqInner<'buf> {
         peer: Option<usize>,
         fatal: bool,
     },
+    /// Nonblocking-collective schedule (see [`crate::sched`]); each poll
+    /// drives the schedule's phase engine until every vertex retires.
+    Coll {
+        proc: Arc<ProcInner>,
+        sched: Arc<crate::sched::SchedShared>,
+        fatal: bool,
+    },
     /// Consumed (waited, cancelled, or errored); kept so `test` can be
     /// called on a completed request without double-delivery.
     Consumed,
@@ -256,6 +263,16 @@ impl<'buf> Request<'buf> {
         }
     }
 
+    pub(crate) fn coll(
+        proc: Arc<ProcInner>,
+        sched: Arc<crate::sched::SchedShared>,
+        fatal: bool,
+    ) -> Request<'static> {
+        Request {
+            inner: ReqInner::Coll { proc, sched, fatal },
+        }
+    }
+
     /// `MPI_WAIT`: block until the operation completes.
     pub fn wait(mut self) -> MpiResult<Status> {
         match self.test()? {
@@ -332,6 +349,14 @@ impl<'buf> Request<'buf> {
                                 Err(e)
                             }
                         }
+                    }
+                    ReqInner::Coll { proc, sched, fatal } => {
+                        let r = wait_loop(&proc, || match sched.inner.lock().progress(&proc) {
+                            Ok(Some(s)) => Some(Ok(s)),
+                            Ok(None) => None,
+                            Err(e) => Some(Err(e)),
+                        });
+                        fatal_filter(r, fatal)
                     }
                     ReqInner::Done(s) => Ok(s),
                     ReqInner::Consumed => Err(MpiError::InvalidRequest("request already consumed")),
@@ -433,6 +458,23 @@ impl<'buf> Request<'buf> {
                     Ok(None)
                 }
             }
+            ReqInner::Coll { proc, sched, fatal } => {
+                proc.progress();
+                let polled = sched.inner.lock().progress(&proc);
+                match polled {
+                    Ok(Some(s)) => {
+                        self.inner = ReqInner::Done(s);
+                        Ok(Some(s))
+                    }
+                    Ok(None) => {
+                        self.inner = ReqInner::Coll { proc, sched, fatal };
+                        Ok(None)
+                    }
+                    // The schedule latched the error and cancelled its
+                    // receives; the request stays Consumed (drained).
+                    Err(e) => fatal_filter(Err(e), fatal).map(|_| None),
+                }
+            }
             ReqInner::Consumed => Err(MpiError::InvalidRequest("request already consumed")),
         }
     }
@@ -457,7 +499,8 @@ impl<'buf> Request<'buf> {
         match &self.inner {
             ReqInner::SendRndv { proc, .. }
             | ReqInner::RecvFabric { proc, .. }
-            | ReqInner::RecvCore { proc, .. } => Some(proc),
+            | ReqInner::RecvCore { proc, .. }
+            | ReqInner::Coll { proc, .. } => Some(proc),
             ReqInner::Done(_) | ReqInner::Consumed => None,
         }
     }
@@ -489,6 +532,7 @@ impl std::fmt::Debug for Request<'_> {
             ReqInner::SendRndv { .. } => "send-rndv",
             ReqInner::RecvFabric { .. } => "recv-fabric",
             ReqInner::RecvCore { .. } => "recv-core",
+            ReqInner::Coll { .. } => "coll",
             ReqInner::Consumed => "consumed",
         };
         write!(f, "Request({state})")
@@ -534,38 +578,58 @@ pub fn testall(reqs: &mut [Request<'_>]) -> MpiResult<Option<Vec<Status>>> {
     Ok(all.then_some(statuses))
 }
 
-/// `MPI_TESTANY`: `Some((index, status))` for the first complete request
-/// found, removing it from the vector; `None` if none are ready.
-pub fn testany(reqs: &mut Vec<Request<'_>>) -> MpiResult<Option<(usize, Status)>> {
-    for i in 0..reqs.len() {
+/// One deflating completion sweep shared by `testany` and `waitsome`: test
+/// each request in place, remove the complete ones, and report each as
+/// `(index, status)` where the index is the position the request held in
+/// `reqs` *at the start of this call* (MPI's array-position semantics).
+/// After a sweep that removed requests, the survivors shift down, so a
+/// subsequent call indexes into the deflated vector. With
+/// `stop_after_first` the sweep returns at the first completion (TESTANY).
+fn sweep_complete(
+    reqs: &mut Vec<Request<'_>>,
+    stop_after_first: bool,
+) -> MpiResult<Vec<(usize, Status)>> {
+    let mut done = Vec::new();
+    let mut i = 0;
+    let mut original = 0;
+    while i < reqs.len() {
         if let Some(s) = reqs[i].test()? {
             reqs.remove(i);
-            return Ok(Some((i, s)));
+            done.push((original, s));
+            if stop_after_first {
+                break;
+            }
+        } else {
+            i += 1;
         }
+        original += 1;
     }
-    Ok(None)
+    Ok(done)
+}
+
+/// `MPI_TESTANY`: `Some((index, status))` for the first complete request
+/// found, removing it from the vector; `None` if none are ready (or the
+/// list is empty). The index refers to the request's position in `reqs`
+/// as passed to *this* call — the same original-index semantics as
+/// [`waitsome`] — so across repeated deflating calls it indexes the
+/// already-deflated vector.
+pub fn testany(reqs: &mut Vec<Request<'_>>) -> MpiResult<Option<(usize, Status)>> {
+    Ok(sweep_complete(reqs, true)?.pop())
 }
 
 /// `MPI_WAITSOME`: block until at least one request completes, then return
-/// every currently-complete request's (original index, status). The
-/// incomplete remainder stays in `reqs` (with positions shifted, as with
-/// `MPI_WAITSOME`'s deflation in C).
+/// every currently-complete request's (original index, status) — indices
+/// are positions in `reqs` as passed to this call. The incomplete
+/// remainder stays in `reqs` (with positions shifted, as with
+/// `MPI_WAITSOME`'s deflation in C). An empty list completes immediately
+/// with no statuses, per MPI (`MPI_WAITSOME` with `incount = 0`).
 pub fn waitsome(reqs: &mut Vec<Request<'_>>) -> MpiResult<Vec<(usize, Status)>> {
-    assert!(!reqs.is_empty(), "waitsome on empty request list");
+    if reqs.is_empty() {
+        return Ok(Vec::new());
+    }
     let mut spins = 0u32;
     loop {
-        let mut done = Vec::new();
-        let mut i = 0;
-        let mut original = 0;
-        while i < reqs.len() {
-            if let Some(s) = reqs[i].test()? {
-                reqs.remove(i);
-                done.push((original, s));
-            } else {
-                i += 1;
-            }
-            original += 1;
-        }
+        let done = sweep_complete(reqs, false)?;
         if !done.is_empty() {
             return Ok(done);
         }

@@ -1,0 +1,885 @@
+//! Nonblocking collectives on a schedule-based progress engine.
+//!
+//! Each `MPI_I*` collective call *compiles* the corresponding blocking
+//! algorithm (dissemination barrier, binomial bcast/reduce, recursive-
+//! doubling allreduce/allgather, ring allgather, pairwise alltoall) into a
+//! small DAG of vertices — isend, irecv, local reduce, local copy —
+//! grouped into *phases*: every vertex of phase `p` must retire before
+//! phase `p+1` issues, exactly mirroring the round structure of the
+//! blocking code so results are byte-identical. This is the MPICH
+//! TSP-style generic scheduler architecture (see PAPERS.md) scaled to the
+//! algorithms litempi already has.
+//!
+//! The schedule is driven incrementally from `test`/`wait` on the
+//! returned [`CollRequest`]: each poll issues any newly-ready phase
+//! (sends inject immediately, receives post to the fabric's native
+//! matching or the CH4 core matcher), drains completed receives into
+//! their destination spans, and advances the phase cursor. Phase 0 is
+//! issued at call time, so communication is on the wire before the caller
+//! returns — that's what makes communication/compute overlap possible.
+//!
+//! Bookkeeping charges go to `Category::Schedule` (`cost::schedule::*`),
+//! which is *outside* the paper's injection-path accounting: the sends a
+//! schedule issues still charge their own injection categories, and the
+//! calibrated blocking totals (221/215/59/253) are untouched.
+
+use crate::comm::{Communicator, Errhandler};
+use crate::error::{MpiError, MpiResult};
+use crate::match_bits::{self, ContextId};
+use crate::op::Op;
+use crate::process::{CoreSlot, ProcInner};
+use crate::proto::{self, DecodedPayload};
+use crate::pt2pt::{inject, SendOpts};
+use crate::request::{check_peer, Request};
+use crate::status::Status;
+use bytes::Bytes;
+use litempi_datatype::{Datatype, MpiPrimitive};
+use litempi_fabric::endpoint::RecvHandle;
+use litempi_instr::{charge, cost, Category};
+use litempi_trace::{event::coll_op, EventKind};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Which schedule-owned buffer a [`Span`] points into.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Buf {
+    /// The accumulator / result buffer (also the bcast payload).
+    Acc,
+    /// Scratch for incoming reduction operands.
+    Tmp,
+    /// Immutable snapshot of the caller's send buffer (alltoall).
+    Input,
+}
+
+/// A byte range inside one of the schedule's buffers.
+#[derive(Clone, Copy, Debug)]
+struct Span {
+    buf: Buf,
+    start: usize,
+    len: usize,
+}
+
+impl Span {
+    fn acc(start: usize, len: usize) -> Span {
+        Span {
+            buf: Buf::Acc,
+            start,
+            len,
+        }
+    }
+    fn tmp(start: usize, len: usize) -> Span {
+        Span {
+            buf: Buf::Tmp,
+            start,
+            len,
+        }
+    }
+    fn input(start: usize, len: usize) -> Span {
+        Span {
+            buf: Buf::Input,
+            start,
+            len,
+        }
+    }
+}
+
+/// One DAG vertex. `peer` is a rank in the collective's communicator;
+/// `tag` is the collective-channel tag assigned at compile time.
+enum Vertex {
+    /// Inject a message (eager or rendezvous). `src: None` sends an empty
+    /// payload (barrier). The payload is materialized at issue time, so a
+    /// later phase may freely mutate the source span.
+    Send {
+        peer: usize,
+        tag: i32,
+        src: Option<Span>,
+    },
+    /// Post a matched receive. `dst: None` discards the payload (barrier).
+    Recv {
+        peer: usize,
+        tag: i32,
+        dst: Option<Span>,
+    },
+    /// `dst = dst OP src` with the schedule's reduction op — operand order
+    /// matches the blocking algorithms, so non-commutative user ops and
+    /// floating-point rounding behave identically.
+    Reduce { src: Span, dst: Span },
+    /// Local copy between buffers (alltoall's self block).
+    Copy { src: Span, dst: Span },
+}
+
+/// An issued, not-yet-completed receive vertex.
+enum LiveRecv {
+    /// Posted to the fabric's native tagged matching.
+    Fabric {
+        handle: RecvHandle,
+        dst: Option<Span>,
+        /// Peer's world rank, for dead-peer detection.
+        peer: usize,
+    },
+    /// Posted to the CH4 core matcher (AM-only provider).
+    Core {
+        slot: Arc<CoreSlot>,
+        dst: Option<Span>,
+        peer: usize,
+    },
+}
+
+enum SchedState {
+    Running,
+    Done,
+    Failed(MpiError),
+}
+
+/// A compiled collective schedule plus its progress cursor. Owned by the
+/// issuing rank; driven from `test`/`wait` via [`SchedShared`].
+pub(crate) struct Schedule {
+    /// This rank in the collective's communicator.
+    rank: usize,
+    /// Communicator rank → world rank.
+    world: Vec<usize>,
+    /// The communicator's collective-channel context.
+    ctx: ContextId,
+    /// Reduction op + element datatype, when the schedule reduces.
+    op: Option<(Op, Datatype)>,
+    /// Trace collective-op id (`coll_op::*`).
+    op_id: u64,
+    traced: bool,
+    phases: Vec<Vec<Vertex>>,
+    cur: usize,
+    issued: bool,
+    /// Accumulator / result bytes; taken by [`CollOutput`] on completion.
+    acc: Vec<u8>,
+    tmp: Vec<u8>,
+    input: Vec<u8>,
+    live: Vec<LiveRecv>,
+    /// Does this rank produce a result (`false` on non-root for ireduce)?
+    produce_output: bool,
+    state: SchedState,
+}
+
+/// Shared handle: the `Request` half drives progress, the [`CollOutput`]
+/// half extracts the result after completion.
+pub(crate) struct SchedShared {
+    pub(crate) inner: Mutex<Schedule>,
+}
+
+impl Schedule {
+    fn base(comm: &Communicator, op_id: u64) -> Schedule {
+        Schedule {
+            rank: comm.rank(),
+            world: (0..comm.size()).map(|r| comm.world_rank_of(r)).collect(),
+            ctx: comm.context_id().collective(),
+            op: None,
+            op_id,
+            traced: comm.proc.endpoint.fabric().trace_enabled(),
+            phases: Vec::new(),
+            cur: 0,
+            issued: false,
+            acc: Vec::new(),
+            tmp: Vec::new(),
+            input: Vec::new(),
+            live: Vec::new(),
+            produce_output: true,
+            state: SchedState::Running,
+        }
+    }
+
+    fn span(&self, s: &Span) -> &[u8] {
+        let b = match s.buf {
+            Buf::Acc => &self.acc,
+            Buf::Tmp => &self.tmp,
+            Buf::Input => &self.input,
+        };
+        &b[s.start..s.start + s.len]
+    }
+
+    fn span_mut(&mut self, s: &Span) -> &mut [u8] {
+        let b = match s.buf {
+            Buf::Acc => &mut self.acc,
+            Buf::Tmp => &mut self.tmp,
+            Buf::Input => &mut self.input,
+        };
+        &mut b[s.start..s.start + s.len]
+    }
+
+    fn status(&self) -> Status {
+        Status {
+            source: match_bits::PROC_NULL,
+            tag: 0,
+            bytes: if self.produce_output {
+                self.acc.len()
+            } else {
+                0
+            },
+        }
+    }
+
+    /// Drive the schedule: issue ready phases, drain completed receives,
+    /// advance. `Ok(Some(status))` once every phase has retired. The
+    /// caller pumps `proc.progress()`; this only polls schedule state.
+    pub(crate) fn progress(&mut self, proc: &ProcInner) -> MpiResult<Option<Status>> {
+        match &self.state {
+            SchedState::Done => return Ok(Some(self.status())),
+            SchedState::Failed(e) => return Err(e.clone()),
+            SchedState::Running => {}
+        }
+        loop {
+            if self.cur == self.phases.len() {
+                self.state = SchedState::Done;
+                if self.traced {
+                    litempi_trace::emit(EventKind::CollEnd, self.op_id, 0);
+                }
+                return Ok(Some(self.status()));
+            }
+            if !self.issued {
+                if let Err(e) = self.issue_phase(proc) {
+                    return self.fail(proc, e);
+                }
+            }
+            if let Err(e) = self.poll_live(proc) {
+                return self.fail(proc, e);
+            }
+            if !self.live.is_empty() {
+                return Ok(None);
+            }
+            charge(Category::Schedule, cost::schedule::PHASE_ADVANCE);
+            if self.traced {
+                litempi_trace::emit(EventKind::SchedPhaseComplete, self.op_id, self.cur as u64);
+            }
+            self.cur += 1;
+            self.issued = false;
+        }
+    }
+
+    /// Error the schedule: cancel outstanding receives (so their posted
+    /// slots can't swallow later traffic), close the trace span, and latch
+    /// the error for subsequent `test`/`wait` calls.
+    fn fail(&mut self, proc: &ProcInner, e: MpiError) -> MpiResult<Option<Status>> {
+        for l in self.live.drain(..) {
+            match l {
+                LiveRecv::Fabric { handle, .. } => {
+                    handle.cancel();
+                }
+                LiveRecv::Core { slot, .. } => {
+                    proc.core_match.cancel(&slot);
+                }
+            }
+        }
+        if self.traced {
+            litempi_trace::emit(EventKind::CollEnd, self.op_id, 0);
+        }
+        self.state = SchedState::Failed(e.clone());
+        Err(e)
+    }
+
+    fn issue_phase(&mut self, proc: &ProcInner) -> MpiResult<()> {
+        if self.traced {
+            litempi_trace::emit(EventKind::SchedPhaseBegin, self.op_id, self.cur as u64);
+        }
+        let phase = std::mem::take(&mut self.phases[self.cur]);
+        for v in phase {
+            charge(Category::Schedule, cost::schedule::VERTEX_ISSUE);
+            match v {
+                Vertex::Send { peer, tag, src } => {
+                    match &src {
+                        Some(s) => self.issue_send(proc, peer, tag, self.span(s)),
+                        None => self.issue_send(proc, peer, tag, &[]),
+                    };
+                }
+                Vertex::Recv { peer, tag, dst } => {
+                    let bits = match_bits::encode(self.ctx, peer, tag);
+                    let peer_world = self.world[peer];
+                    if proc.endpoint.fabric().profile().caps.native_tagged {
+                        let handle = proc.endpoint.trecv_post(bits, 0);
+                        self.live.push(LiveRecv::Fabric {
+                            handle,
+                            dst,
+                            peer: peer_world,
+                        });
+                    } else {
+                        let slot = proc.core_match.post(bits, 0);
+                        self.live.push(LiveRecv::Core {
+                            slot,
+                            dst,
+                            peer: peer_world,
+                        });
+                    }
+                }
+                Vertex::Reduce { src, dst } => {
+                    debug_assert_eq!(src.buf, Buf::Tmp);
+                    debug_assert_eq!(dst.buf, Buf::Acc);
+                    let (op, ty) = self.op.as_ref().expect("reduce vertex without op");
+                    let input = &self.tmp[src.start..src.start + src.len];
+                    let inout = &mut self.acc[dst.start..dst.start + dst.len];
+                    op.apply(ty, inout, input)?;
+                }
+                Vertex::Copy { src, dst } => {
+                    debug_assert_eq!(src.buf, Buf::Input);
+                    debug_assert_eq!(dst.buf, Buf::Acc);
+                    let input = &self.input[src.start..src.start + src.len];
+                    self.acc[dst.start..dst.start + dst.len].copy_from_slice(input);
+                }
+            }
+        }
+        self.issued = true;
+        Ok(())
+    }
+
+    /// Mirror of `coll::csend`: fire-and-forget, eager or rendezvous —
+    /// both capture the payload at issue time.
+    fn issue_send(&self, proc: &ProcInner, peer: usize, tag: i32, data: &[u8]) {
+        let bits = match_bits::encode(self.ctx, self.rank, tag);
+        let dest_world = self.world[peer];
+        let fabric = proc.endpoint.fabric();
+        let max_eager = fabric.profile().caps.max_eager;
+        let payload = if data.len() <= max_eager {
+            proto::eager_payload(fabric, data)
+        } else {
+            litempi_instr::note_alloc(1);
+            let (rndv_id, _done) = proc.univ.alloc_rndv(data.to_vec());
+            proto::rts_payload(fabric, rndv_id, data.len())
+        };
+        inject(proc, dest_world, bits, payload, &SendOpts::default());
+    }
+
+    fn poll_entry(&self, i: usize) -> Option<Bytes> {
+        match &self.live[i] {
+            LiveRecv::Fabric { handle, .. } => handle.poll().map(|m| m.data),
+            LiveRecv::Core { slot, .. } => slot.filled.lock().take().map(|m| m.payload),
+        }
+    }
+
+    fn poll_live(&mut self, proc: &ProcInner) -> MpiResult<()> {
+        let mut i = 0;
+        while i < self.live.len() {
+            match self.poll_entry(i) {
+                Some(payload) => {
+                    let dst = match self.live.swap_remove(i) {
+                        LiveRecv::Fabric { dst, .. } | LiveRecv::Core { dst, .. } => dst,
+                    };
+                    charge(Category::Schedule, cost::schedule::VERTEX_COMPLETE);
+                    self.deliver(proc, payload, dst)?;
+                }
+                None => {
+                    let peer = match &self.live[i] {
+                        LiveRecv::Fabric { peer, .. } | LiveRecv::Core { peer, .. } => *peer,
+                    };
+                    if let Err(e) = check_peer(proc, Some(peer), false) {
+                        // Death may race an in-flight delivery: take it if
+                        // it landed (same re-poll as the blocking paths).
+                        if let Some(payload) = self.poll_entry(i) {
+                            let dst = match self.live.swap_remove(i) {
+                                LiveRecv::Fabric { dst, .. } | LiveRecv::Core { dst, .. } => dst,
+                            };
+                            charge(Category::Schedule, cost::schedule::VERTEX_COMPLETE);
+                            self.deliver(proc, payload, dst)?;
+                            continue;
+                        }
+                        return Err(e);
+                    }
+                    i += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Decode a matched payload (eager or rendezvous) into its destination
+    /// span and recycle the wire envelope.
+    fn deliver(&mut self, proc: &ProcInner, payload: Bytes, dst: Option<Span>) -> MpiResult<()> {
+        let (_, decoded) = proto::try_decode(&payload)?;
+        match decoded {
+            DecodedPayload::Eager(data) => {
+                if let Some(s) = &dst {
+                    if data.len() != s.len {
+                        return Err(MpiError::Truncate {
+                            message: data.len(),
+                            buffer: s.len,
+                        });
+                    }
+                    let data = data.to_vec();
+                    self.span_mut(s).copy_from_slice(&data);
+                }
+            }
+            DecodedPayload::Rts { rndv_id, .. } => {
+                let data = proc.univ.pull_rndv(rndv_id).ok_or(MpiError::Integrity(
+                    "rendezvous entry vanished (damaged or replayed RTS descriptor)",
+                ))?;
+                if let Some(s) = &dst {
+                    if data.len() != s.len {
+                        return Err(MpiError::Truncate {
+                            message: data.len(),
+                            buffer: s.len,
+                        });
+                    }
+                    self.span_mut(s).copy_from_slice(&data);
+                }
+            }
+        }
+        proc.endpoint.fabric().pool().release(payload);
+        Ok(())
+    }
+}
+
+/// A nonblocking-collective handle: a [`Request`]-compatible completion
+/// object plus the typed result.
+///
+/// Use [`CollRequest::wait`]/[`CollRequest::test`] directly, or
+/// [`CollRequest::split`] to hand the raw request to the
+/// `waitall`/`waitany`/`waitsome`/`testall` combinators and extract the
+/// result from the [`CollOutput`] afterwards.
+pub struct CollRequest<T> {
+    req: Request<'static>,
+    out: CollOutput<T>,
+}
+
+/// The result half of a split [`CollRequest`]: redeemable once the
+/// corresponding request has completed.
+pub struct CollOutput<T> {
+    sched: Arc<SchedShared>,
+    #[allow(clippy::type_complexity)]
+    extract: Box<dyn FnOnce(Vec<u8>, bool) -> T + Send>,
+}
+
+impl<T> CollRequest<T> {
+    /// `MPI_WAIT` + result extraction: block until the collective
+    /// completes on this rank, then return its typed output.
+    pub fn wait(self) -> MpiResult<T> {
+        self.req.wait()?;
+        self.out.take()
+    }
+
+    /// `MPI_TEST`: drive the schedule one poll; `true` once complete
+    /// (after which [`CollRequest::wait`] returns immediately).
+    pub fn test(&mut self) -> MpiResult<bool> {
+        Ok(self.req.test()?.is_some())
+    }
+
+    /// Has the schedule already completed (without driving progress)?
+    pub fn is_done(&self) -> bool {
+        self.req.is_done()
+    }
+
+    /// Split into the raw [`Request`] (for the multi-request combinators)
+    /// and the [`CollOutput`] result handle.
+    pub fn split(self) -> (Request<'static>, CollOutput<T>) {
+        (self.req, self.out)
+    }
+}
+
+impl<T> CollOutput<T> {
+    /// Redeem the collective's result. Errors with `InvalidRequest` if the
+    /// schedule has not completed (wait on the request half first).
+    pub fn take(self) -> MpiResult<T> {
+        let mut s = self.sched.inner.lock();
+        if !matches!(s.state, SchedState::Done) {
+            return Err(MpiError::InvalidRequest("collective schedule not complete"));
+        }
+        let acc = std::mem::take(&mut s.acc);
+        let produced = s.produce_output;
+        drop(s);
+        Ok((self.extract)(acc, produced))
+    }
+}
+
+/// Little-endian wire bytes → a typed vector (the inverse of
+/// `T::as_bytes`, same pattern as the blocking collectives).
+fn bytes_to_vec<T: MpiPrimitive>(bytes: &[u8]) -> Vec<T> {
+    let elem = T::PREDEFINED.size();
+    debug_assert!(bytes.len().is_multiple_of(elem));
+    let mut out: Vec<T> = vec![T::from_wire(&vec![0u8; elem]); bytes.len() / elem];
+    T::as_bytes_mut(&mut out).copy_from_slice(bytes);
+    out
+}
+
+/// Wrap a compiled schedule in a [`CollRequest`]: charge the compile,
+/// open the trace span, and kick phase 0 onto the wire.
+fn begin_request<T>(
+    comm: &Communicator,
+    sched: Schedule,
+    extract: impl FnOnce(Vec<u8>, bool) -> T + Send + 'static,
+) -> MpiResult<CollRequest<T>> {
+    let mut sched = sched;
+    charge(Category::Schedule, cost::schedule::BUILD);
+    if sched.traced {
+        litempi_trace::emit(EventKind::CollBegin, sched.op_id, 0);
+    }
+    let proc = Arc::clone(&comm.proc);
+    let fatal = matches!(comm.errhandler(), Errhandler::ErrorsAreFatal);
+    // Issue phase 0 at call time: sends leave now, receives are posted
+    // before any peer's data can arrive — overlap starts here, not at the
+    // first test/wait.
+    let first = sched.progress(&proc);
+    let shared = Arc::new(SchedShared {
+        inner: Mutex::new(sched),
+    });
+    let req = match first {
+        Ok(Some(s)) => Request::done(s),
+        Ok(None) => Request::coll(proc, Arc::clone(&shared), fatal),
+        Err(e) => return comm.handle_error(Err(e)),
+    };
+    Ok(CollRequest {
+        req,
+        out: CollOutput {
+            sched: shared,
+            extract: Box::new(extract),
+        },
+    })
+}
+
+/// `MPI_IBARRIER`: nonblocking dissemination barrier.
+pub fn ibarrier(comm: &Communicator) -> MpiResult<CollRequest<()>> {
+    let size = comm.size();
+    let rank = comm.rank();
+    let mut s = Schedule::base(comm, coll_op::BARRIER);
+    if size > 1 {
+        let tag = comm.next_coll_tag();
+        let mut k = 1usize;
+        while k < size {
+            s.phases.push(vec![
+                Vertex::Send {
+                    peer: (rank + k) % size,
+                    tag,
+                    src: None,
+                },
+                Vertex::Recv {
+                    peer: (rank + size - k) % size,
+                    tag,
+                    dst: None,
+                },
+            ]);
+            k <<= 1;
+        }
+    }
+    begin_request(comm, s, |_, _| ())
+}
+
+/// `MPI_IBCAST` (binomial tree): every rank receives the root's buffer.
+/// Takes the payload by shared slice and returns the broadcast data, so
+/// non-root ranks pass their (same-length) staging buffer.
+pub fn ibcast<T: MpiPrimitive>(
+    comm: &Communicator,
+    buf: &[T],
+    root: usize,
+) -> MpiResult<CollRequest<Vec<T>>> {
+    let size = comm.size();
+    if root >= size {
+        return Err(MpiError::InvalidRank {
+            rank: root as i32,
+            size,
+        });
+    }
+    let rank = comm.rank();
+    let mut s = Schedule::base(comm, coll_op::BCAST);
+    s.acc = T::as_bytes(buf).to_vec();
+    let n = s.acc.len();
+    if size > 1 {
+        let tag = comm.next_coll_tag();
+        let full = Span::acc(0, n);
+        let vrank = (rank + size - root) % size;
+        if vrank != 0 {
+            let parent = crate::coll::parent_of(vrank);
+            s.phases.push(vec![Vertex::Recv {
+                peer: (parent + root) % size,
+                tag,
+                dst: Some(full),
+            }]);
+        }
+        let mut sends = Vec::new();
+        let mut k = crate::coll::next_pow2_at_least(vrank + 1);
+        while vrank + k < size {
+            sends.push(Vertex::Send {
+                peer: (vrank + k + root) % size,
+                tag,
+                src: Some(full),
+            });
+            k <<= 1;
+        }
+        if !sends.is_empty() {
+            s.phases.push(sends);
+        }
+    }
+    begin_request(comm, s, |acc, _| bytes_to_vec::<T>(&acc))
+}
+
+/// `MPI_IREDUCE` (binomial tree): the root's output resolves to
+/// `Some(result)`, everyone else's to `None`.
+pub fn ireduce<T: MpiPrimitive>(
+    comm: &Communicator,
+    sendbuf: &[T],
+    op: &Op,
+    root: usize,
+) -> MpiResult<CollRequest<Option<Vec<T>>>> {
+    let size = comm.size();
+    if root >= size {
+        return Err(MpiError::InvalidRank {
+            rank: root as i32,
+            size,
+        });
+    }
+    let rank = comm.rank();
+    let mut s = Schedule::base(comm, coll_op::REDUCE);
+    let tag = comm.next_coll_tag();
+    s.acc = T::as_bytes(sendbuf).to_vec();
+    let n = s.acc.len();
+    s.tmp = vec![0u8; n];
+    s.op = Some((op.clone(), T::DATATYPE));
+    s.produce_output = rank == root;
+    push_binomial_reduce(&mut s, size, (rank + size - root) % size, root, tag, n);
+    begin_request(comm, s, |acc, produced| {
+        produced.then(|| bytes_to_vec::<T>(&acc))
+    })
+}
+
+/// Binomial reduce-to-root phases, shared by `ireduce` and the non-power-
+/// of-two `iallreduce` composition. Step k: vranks with bit k set send
+/// their partial accumulator to `vrank - 2^k` and drop out; the rest
+/// receive and fold.
+fn push_binomial_reduce(
+    s: &mut Schedule,
+    size: usize,
+    vrank: usize,
+    root: usize,
+    tag: i32,
+    n: usize,
+) {
+    let acc = Span::acc(0, n);
+    let tmp = Span::tmp(0, n);
+    let mut k = 1usize;
+    while k < size {
+        if vrank & k != 0 {
+            s.phases.push(vec![Vertex::Send {
+                peer: ((vrank - k) + root) % size,
+                tag,
+                src: Some(acc),
+            }]);
+            break;
+        } else if vrank + k < size {
+            s.phases.push(vec![Vertex::Recv {
+                peer: ((vrank + k) + root) % size,
+                tag,
+                dst: Some(tmp),
+            }]);
+            s.phases.push(vec![Vertex::Reduce { src: tmp, dst: acc }]);
+        }
+        k <<= 1;
+    }
+}
+
+/// `MPI_IALLREDUCE`: recursive doubling for power-of-two sizes, otherwise
+/// the blocking path's reduce-to-zero + binomial-broadcast composition.
+pub fn iallreduce<T: MpiPrimitive>(
+    comm: &Communicator,
+    sendbuf: &[T],
+    op: &Op,
+) -> MpiResult<CollRequest<Vec<T>>> {
+    let size = comm.size();
+    let rank = comm.rank();
+    let mut s = Schedule::base(comm, coll_op::ALLREDUCE);
+    s.acc = T::as_bytes(sendbuf).to_vec();
+    let n = s.acc.len();
+    s.tmp = vec![0u8; n];
+    s.op = Some((op.clone(), T::DATATYPE));
+    let acc = Span::acc(0, n);
+    let tmp = Span::tmp(0, n);
+    if size.is_power_of_two() && size > 1 {
+        let tag = comm.next_coll_tag();
+        let mut k = 1usize;
+        while k < size {
+            let partner = rank ^ k;
+            s.phases.push(vec![
+                Vertex::Send {
+                    peer: partner,
+                    tag,
+                    src: Some(acc),
+                },
+                Vertex::Recv {
+                    peer: partner,
+                    tag,
+                    dst: Some(tmp),
+                },
+            ]);
+            s.phases.push(vec![Vertex::Reduce { src: tmp, dst: acc }]);
+            k <<= 1;
+        }
+    } else {
+        // Reduce to rank 0, then binomial-broadcast the result — two
+        // collectives, two tags, matching the blocking composition.
+        let t1 = comm.next_coll_tag();
+        push_binomial_reduce(&mut s, size, rank, 0, t1, n);
+        if size > 1 {
+            let t2 = comm.next_coll_tag();
+            if rank != 0 {
+                let parent = crate::coll::parent_of(rank);
+                s.phases.push(vec![Vertex::Recv {
+                    peer: parent % size,
+                    tag: t2,
+                    dst: Some(acc),
+                }]);
+            }
+            let mut sends = Vec::new();
+            let mut k = crate::coll::next_pow2_at_least(rank + 1);
+            while rank + k < size {
+                sends.push(Vertex::Send {
+                    peer: rank + k,
+                    tag: t2,
+                    src: Some(acc),
+                });
+                k <<= 1;
+            }
+            if !sends.is_empty() {
+                s.phases.push(sends);
+            }
+        }
+    }
+    begin_request(comm, s, |acc, _| bytes_to_vec::<T>(&acc))
+}
+
+/// `MPI_IALLGATHER`: recursive doubling for power-of-two sizes, ring
+/// otherwise — receives land directly in their rank-ordered output slots.
+pub fn iallgather<T: MpiPrimitive>(
+    comm: &Communicator,
+    sendbuf: &[T],
+) -> MpiResult<CollRequest<Vec<T>>> {
+    let size = comm.size();
+    let rank = comm.rank();
+    let mut s = Schedule::base(comm, coll_op::ALLGATHER);
+    let tag = comm.next_coll_tag();
+    let block = std::mem::size_of_val(sendbuf);
+    s.acc = vec![0u8; block * size];
+    s.acc[rank * block..(rank + 1) * block].copy_from_slice(T::as_bytes(sendbuf));
+    if size.is_power_of_two() && size > 1 {
+        let mut k = 1usize;
+        while k < size {
+            let partner = rank ^ k;
+            let my_base = (rank / k) * k;
+            let partner_base = (partner / k) * k;
+            s.phases.push(vec![
+                Vertex::Send {
+                    peer: partner,
+                    tag,
+                    src: Some(Span::acc(my_base * block, k * block)),
+                },
+                Vertex::Recv {
+                    peer: partner,
+                    tag,
+                    dst: Some(Span::acc(partner_base * block, k * block)),
+                },
+            ]);
+            k <<= 1;
+        }
+    } else if size > 1 {
+        let right = (rank + 1) % size;
+        let left = (rank + size - 1) % size;
+        for step in 0..size - 1 {
+            let send_origin = (rank + size - step) % size;
+            let recv_origin = (rank + size - step - 1) % size;
+            s.phases.push(vec![
+                Vertex::Send {
+                    peer: right,
+                    tag,
+                    src: Some(Span::acc(send_origin * block, block)),
+                },
+                Vertex::Recv {
+                    peer: left,
+                    tag,
+                    dst: Some(Span::acc(recv_origin * block, block)),
+                },
+            ]);
+        }
+    }
+    begin_request(comm, s, |acc, _| bytes_to_vec::<T>(&acc))
+}
+
+/// `MPI_IALLTOALL` (pairwise exchange compiled into one wide phase —
+/// every exchange is independent, so the DAG exposes full parallelism
+/// while delivering the same blocks as the blocking loop).
+pub fn ialltoall<T: MpiPrimitive>(
+    comm: &Communicator,
+    sendbuf: &[T],
+    block: usize,
+) -> MpiResult<CollRequest<Vec<T>>> {
+    let size = comm.size();
+    let rank = comm.rank();
+    if sendbuf.len() != block * size {
+        return Err(MpiError::BufferTooSmall {
+            needed: block * size * T::PREDEFINED.size(),
+            provided: sendbuf.len() * T::PREDEFINED.size(),
+        });
+    }
+    let mut s = Schedule::base(comm, coll_op::ALLTOALL);
+    let tag = comm.next_coll_tag();
+    let blockb = block * T::PREDEFINED.size();
+    s.input = T::as_bytes(sendbuf).to_vec();
+    s.acc = vec![0u8; blockb * size];
+    let mut phase = vec![Vertex::Copy {
+        src: Span::input(rank * blockb, blockb),
+        dst: Span::acc(rank * blockb, blockb),
+    }];
+    for p in 1..size {
+        let send_to = (rank + p) % size;
+        let recv_from = (rank + size - p) % size;
+        phase.push(Vertex::Send {
+            peer: send_to,
+            tag,
+            src: Some(Span::input(send_to * blockb, blockb)),
+        });
+        phase.push(Vertex::Recv {
+            peer: recv_from,
+            tag,
+            dst: Some(Span::acc(recv_from * blockb, blockb)),
+        });
+    }
+    s.phases.push(phase);
+    begin_request(comm, s, |acc, _| bytes_to_vec::<T>(&acc))
+}
+
+impl Communicator {
+    /// `MPI_IBARRIER` — see [`ibarrier`].
+    pub fn ibarrier(&self) -> MpiResult<CollRequest<()>> {
+        ibarrier(self)
+    }
+
+    /// `MPI_IBCAST` — see [`ibcast`].
+    pub fn ibcast<T: MpiPrimitive>(
+        &self,
+        buf: &[T],
+        root: usize,
+    ) -> MpiResult<CollRequest<Vec<T>>> {
+        ibcast(self, buf, root)
+    }
+
+    /// `MPI_IREDUCE` — see [`ireduce`].
+    pub fn ireduce<T: MpiPrimitive>(
+        &self,
+        sendbuf: &[T],
+        op: &Op,
+        root: usize,
+    ) -> MpiResult<CollRequest<Option<Vec<T>>>> {
+        ireduce(self, sendbuf, op, root)
+    }
+
+    /// `MPI_IALLREDUCE` — see [`iallreduce`].
+    pub fn iallreduce<T: MpiPrimitive>(
+        &self,
+        sendbuf: &[T],
+        op: &Op,
+    ) -> MpiResult<CollRequest<Vec<T>>> {
+        iallreduce(self, sendbuf, op)
+    }
+
+    /// `MPI_IALLGATHER` — see [`iallgather`].
+    pub fn iallgather<T: MpiPrimitive>(&self, sendbuf: &[T]) -> MpiResult<CollRequest<Vec<T>>> {
+        iallgather(self, sendbuf)
+    }
+
+    /// `MPI_IALLTOALL` — see [`ialltoall`].
+    pub fn ialltoall<T: MpiPrimitive>(
+        &self,
+        sendbuf: &[T],
+        block: usize,
+    ) -> MpiResult<CollRequest<Vec<T>>> {
+        ialltoall(self, sendbuf, block)
+    }
+}

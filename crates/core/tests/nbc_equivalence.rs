@@ -1,0 +1,274 @@
+//! Nonblocking collectives must be *byte-identical* to their blocking
+//! counterparts: the schedule engine compiles the same algorithms, so the
+//! same inputs must give the same outputs on every rank — on the clean
+//! fabric, under cross-source delivery jitter, and under packet chaos on
+//! the reliable transport. Completion style (wait immediately, test-poll
+//! loop, out-of-order waits) must not change results either.
+
+use litempi_core::{BuildConfig, CollRequest, Op, Universe};
+use litempi_fabric::{FaultPlan, FaultSpec, ProviderProfile, Topology};
+use proptest::prelude::*;
+
+/// How a test drives an NBC request to completion.
+#[derive(Clone, Copy)]
+enum Mode {
+    /// `wait()` right away (still overlappable: phase 0 issued at call).
+    WaitNow,
+    /// Spin on `test()` until it reports completion, then redeem.
+    PollLoop,
+}
+
+fn finish<T>(req: CollRequest<T>, mode: Mode) -> T {
+    match mode {
+        Mode::WaitNow => req.wait().unwrap(),
+        Mode::PollLoop => {
+            let mut req = req;
+            while !req.test().unwrap() {
+                std::thread::yield_now();
+            }
+            req.wait().unwrap()
+        }
+    }
+}
+
+/// Run every NBC next to its blocking twin on one communicator and assert
+/// byte equality. Sequential blocking/nonblocking calls advance the
+/// collective tag identically on every rank, so the two families can
+/// interleave freely on the same communicator.
+fn check_all_ops(proc: &litempi_core::Process, len: usize, root: usize, mode: Mode) {
+    let world = proc.world();
+    let rank = world.rank();
+    let n = world.size();
+    let data: Vec<u64> = (0..len as u64).map(|i| rank as u64 * 1000 + i).collect();
+
+    finish(world.ibarrier().unwrap(), mode);
+
+    let mut blocking = data.clone();
+    world.bcast(&mut blocking, root).unwrap();
+    assert_eq!(finish(world.ibcast(&data, root).unwrap(), mode), blocking);
+
+    assert_eq!(
+        finish(world.ireduce(&data, &Op::Sum, root).unwrap(), mode),
+        world.reduce(&data, &Op::Sum, root).unwrap()
+    );
+
+    assert_eq!(
+        finish(world.iallreduce(&data, &Op::Sum).unwrap(), mode),
+        world.allreduce(&data, &Op::Sum).unwrap()
+    );
+
+    assert_eq!(
+        finish(world.iallgather(&data).unwrap(), mode),
+        world.allgather(&data).unwrap()
+    );
+
+    let a2a: Vec<u64> = (0..(len * n) as u64)
+        .map(|i| rank as u64 * 100_000 + i)
+        .collect();
+    assert_eq!(
+        finish(world.ialltoall(&a2a, len).unwrap(), mode),
+        world.alltoall(&a2a, len).unwrap()
+    );
+
+    // Floating point is sensitive to reduction *order*, not just operand
+    // sets — bit-compare to prove the schedule folds in the same order as
+    // the blocking tree.
+    let fdata: Vec<f64> = (0..len)
+        .map(|i| (rank + 1) as f64 * 0.1 + i as f64 * 1e-7)
+        .collect();
+    let fb = world.allreduce(&fdata, &Op::Sum).unwrap();
+    let fnb = finish(world.iallreduce(&fdata, &Op::Sum).unwrap(), mode);
+    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    assert_eq!(bits(&fnb), bits(&fb), "fp reduction order diverged");
+}
+
+#[test]
+fn nbc_matches_blocking_all_sizes() {
+    // 2 and 4 exercise the power-of-two paths (recursive doubling), 3 the
+    // non-power-of-two ones (ring allgather, reduce+bcast allreduce), 1
+    // the trivial early-outs.
+    for n in [1usize, 2, 3, 4] {
+        Universe::run_default(n, move |proc| {
+            check_all_ops(&proc, 8, n - 1, Mode::WaitNow);
+        });
+    }
+}
+
+#[test]
+fn nbc_matches_blocking_under_jitter() {
+    let profile = ProviderProfile::infinite().with_jitter(0xBEEF);
+    for n in [3usize, 4] {
+        let p = profile;
+        Universe::run(
+            n,
+            BuildConfig::ch4_default(),
+            p,
+            Topology::single_node(n),
+            |proc| {
+                check_all_ops(&proc, 8, 0, Mode::PollLoop);
+            },
+        );
+    }
+}
+
+#[test]
+fn nbc_matches_blocking_under_chaos() {
+    // Same fixed seeds and fault mix the reliability chaos tests pin.
+    for seed in [0xC0FFEE_u64, 0x5EED] {
+        let plan = FaultPlan::uniform(seed, FaultSpec::percent(20, 10, 30, 0));
+        for n in [3usize, 4] {
+            let profile = ProviderProfile::ofi().with_faults(plan).reliable();
+            Universe::run(
+                n,
+                BuildConfig::ch4_default(),
+                profile,
+                Topology::single_node(n),
+                |proc| {
+                    check_all_ops(&proc, 8, 0, Mode::WaitNow);
+                },
+            );
+        }
+    }
+}
+
+#[test]
+fn nbc_large_payload_takes_rendezvous_path() {
+    // 10_000 u64 = 80 KB per message, far past every profile's eager
+    // ceiling, so schedule sends go RTS/rendezvous.
+    Universe::run_default(2, |proc| {
+        let world = proc.world();
+        let rank = world.rank();
+        let data: Vec<u64> = (0..10_000u64)
+            .map(|i| rank as u64 * 1_000_000 + i)
+            .collect();
+        let mut blocking = data.clone();
+        world.bcast(&mut blocking, 0).unwrap();
+        assert_eq!(world.ibcast(&data, 0).unwrap().wait().unwrap(), blocking);
+        assert_eq!(
+            world.iallreduce(&data, &Op::Max).unwrap().wait().unwrap(),
+            world.allreduce(&data, &Op::Max).unwrap()
+        );
+    });
+}
+
+#[test]
+fn nbc_out_of_order_wait() {
+    // Two outstanding schedules per rank, completed in reverse issue
+    // order. Distinct collective tags keep them independent, so the late
+    // wait on the first must still deliver the right bytes.
+    Universe::run_default(4, |proc| {
+        let world = proc.world();
+        let rank = world.rank();
+        let data: Vec<u64> = (0..8u64).map(|i| rank as u64 * 7 + i).collect();
+        let expect_red = world.allreduce(&data, &Op::Sum).unwrap();
+        let expect_gat = world.allgather(&data).unwrap();
+
+        let red = world.iallreduce(&data, &Op::Sum).unwrap();
+        let gat = world.iallgather(&data).unwrap();
+        // Second first.
+        assert_eq!(gat.wait().unwrap(), expect_gat);
+        assert_eq!(red.wait().unwrap(), expect_red);
+    });
+}
+
+#[test]
+fn nbc_split_drives_through_combinators() {
+    // The Request half of a split CollRequest must be a first-class
+    // citizen of waitall/waitsome; the CollOutput half redeems afterwards.
+    Universe::run_default(4, |proc| {
+        let world = proc.world();
+        let rank = world.rank();
+        let data: Vec<u64> = (0..6u64).map(|i| rank as u64 * 31 + i).collect();
+        let expect_red = world.allreduce(&data, &Op::Sum).unwrap();
+        let expect_gat = world.allgather(&data).unwrap();
+
+        let (r1, o1) = world.iallreduce(&data, &Op::Sum).unwrap().split();
+        let (r2, o2) = world.iallgather(&data).unwrap().split();
+        let (r3, o3) = world.ibarrier().unwrap().split();
+        litempi_core::waitall(vec![r1, r2, r3]).unwrap();
+        assert_eq!(o1.take().unwrap(), expect_red);
+        assert_eq!(o2.take().unwrap(), expect_gat);
+        o3.take().unwrap();
+
+        // waitsome drains a mixed batch too.
+        let (r1, o1) = world.iallreduce(&data, &Op::Max).unwrap().split();
+        let (r2, o2) = world.ibarrier().unwrap().split();
+        let mut reqs = vec![r1, r2];
+        let mut completions = 0;
+        while !reqs.is_empty() {
+            completions += litempi_core::waitsome(&mut reqs).unwrap().len();
+        }
+        assert_eq!(completions, 2);
+        assert_eq!(
+            o1.take().unwrap(),
+            world.allreduce(&data, &Op::Max).unwrap()
+        );
+        o2.take().unwrap();
+    });
+}
+
+#[test]
+fn coll_output_before_completion_is_invalid_request() {
+    Universe::run_default(2, |proc| {
+        let world = proc.world();
+        let data = [proc.rank() as u64];
+        let (req, out) = world.iallreduce(&data, &Op::Sum).unwrap().split();
+        if !req.is_done() {
+            // Redeeming early must error rather than hand back garbage.
+            let e = out.take().unwrap_err();
+            assert!(matches!(e, litempi_core::MpiError::InvalidRequest(_)));
+            req.wait().unwrap();
+        } else {
+            // Tiny schedules can finish at issue on a fast fabric; then
+            // redemption succeeds immediately.
+            req.wait().unwrap();
+            out.take().unwrap();
+        }
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Random sizes, payload lengths, roots, and jitter seeds: every NBC
+    /// stays byte-identical to its blocking twin.
+    #[test]
+    fn nbc_equivalence_randomized(
+        n in 2usize..=4,
+        len in 1usize..24,
+        root_pick in 0usize..4,
+        jitter in proptest::option::of(any::<u64>()),
+    ) {
+        let root = root_pick % n;
+        let mut profile = ProviderProfile::infinite();
+        if let Some(seed) = jitter {
+            profile = profile.with_jitter(seed);
+        }
+        Universe::run(
+            n,
+            BuildConfig::ch4_default(),
+            profile,
+            Topology::single_node(n),
+            move |proc| {
+                check_all_ops(&proc, len, root, Mode::WaitNow);
+            },
+        );
+    }
+
+    /// Chaos with random fixed seeds on the reliable transport: lossy,
+    /// duplicating, reordering links must not change collective results.
+    #[test]
+    fn nbc_equivalence_under_chaos_randomized(seed in any::<u64>()) {
+        let plan = FaultPlan::uniform(seed, FaultSpec::percent(20, 10, 30, 0));
+        let profile = ProviderProfile::ofi().with_faults(plan).reliable();
+        Universe::run(
+            3,
+            BuildConfig::ch4_default(),
+            profile,
+            Topology::single_node(3),
+            |proc| {
+                check_all_ops(&proc, 5, 1, Mode::PollLoop);
+            },
+        );
+    }
+}

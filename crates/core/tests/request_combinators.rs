@@ -1,0 +1,124 @@
+//! Multi-request combinator semantics: empty request lists complete
+//! immediately (MPI's `incount = 0` case — previously a panic in
+//! `waitsome`), and `testany`/`waitsome` report *original* indices (the
+//! position each request held in the vector passed to that call) while
+//! deflating completed entries out of the vector.
+
+use litempi_core::{testall, testany, waitall, waitsome, Request, Universe};
+
+#[test]
+fn empty_request_lists_complete_immediately() {
+    // MPI_WAITSOME/MPI_WAITALL/MPI_TESTALL/MPI_TESTANY with incount = 0:
+    // no-ops, not assertions. waitsome used to panic here.
+    let mut none: Vec<Request<'static>> = Vec::new();
+    assert!(waitsome(&mut none).unwrap().is_empty());
+    assert!(waitall(Vec::new()).unwrap().is_empty());
+    assert_eq!(testall(&mut []).unwrap(), Some(Vec::new()));
+    assert!(testany(&mut none).unwrap().is_none());
+}
+
+/// Three posted receives completed out of order by the peer, driven one
+/// completion at a time via a go-message handshake: each combinator call
+/// must report the index the request held in the vector *it was given*,
+/// then deflate.
+#[test]
+fn mixed_completion_reports_deflated_original_indices() {
+    Universe::run_default(2, |proc| {
+        let world = proc.world();
+        if proc.rank() == 0 {
+            let mut b1 = [0u8; 1];
+            let mut b2 = [0u8; 1];
+            let mut b3 = [0u8; 1];
+            let mut reqs = vec![
+                world.irecv(&mut b1, 1, 10).unwrap(),
+                world.irecv(&mut b2, 1, 20).unwrap(),
+                world.irecv(&mut b3, 1, 30).unwrap(),
+            ];
+
+            // Nothing sent yet: testany finds nothing and removes nothing.
+            assert!(testany(&mut reqs).unwrap().is_none());
+            assert_eq!(reqs.len(), 3);
+
+            // Peer sends tag 20 → original index 1 of [r10, r20, r30].
+            world.send(&[0u8], 1, 99).unwrap();
+            let done = waitsome(&mut reqs).unwrap();
+            assert_eq!(done.len(), 1);
+            assert_eq!(done[0].0, 1);
+            assert_eq!(done[0].1.tag, 20);
+            assert_eq!(reqs.len(), 2);
+
+            // Peer sends tag 30 → the vector is now [r10, r30], so the
+            // reported index is 1 again: positions are relative to the
+            // deflated vector passed to *this* call.
+            world.send(&[1u8], 1, 99).unwrap();
+            let done = waitsome(&mut reqs).unwrap();
+            assert_eq!(done.len(), 1);
+            assert_eq!(done[0].0, 1);
+            assert_eq!(done[0].1.tag, 30);
+            assert_eq!(reqs.len(), 1);
+
+            // Peer sends tag 10 → only [r10] remains; testany deflates it
+            // at index 0 under the same index semantics as waitsome.
+            world.send(&[2u8], 1, 99).unwrap();
+            let got = loop {
+                if let Some(found) = testany(&mut reqs).unwrap() {
+                    break found;
+                }
+                std::thread::yield_now();
+            };
+            assert_eq!(got.0, 0);
+            assert_eq!(got.1.tag, 10);
+            assert!(reqs.is_empty());
+        } else {
+            let mut go = [0u8; 1];
+            for tag in [20i32, 30, 10] {
+                world.recv_into(&mut go, 0, 99).unwrap();
+                world.send(&[tag as u8], 0, tag).unwrap();
+            }
+        }
+    });
+}
+
+/// Two requests completing before one sweep: waitsome reports both with
+/// their original positions in the same call.
+#[test]
+fn waitsome_reports_multiple_original_indices_in_one_call() {
+    Universe::run_default(2, |proc| {
+        let world = proc.world();
+        if proc.rank() == 0 {
+            let mut b1 = [0u8; 1];
+            let mut b2 = [0u8; 1];
+            let mut b3 = [0u8; 1];
+            let mut reqs = vec![
+                world.irecv(&mut b1, 1, 10).unwrap(),
+                world.irecv(&mut b2, 1, 20).unwrap(),
+                world.irecv(&mut b3, 1, 30).unwrap(),
+            ];
+            // Peer sends tags 10 and 30, then both ranks barrier. Per-link
+            // FIFO delivery means the barrier completing on this rank
+            // implies both payloads already matched their posted receives.
+            world.barrier().unwrap();
+            let mut done = waitsome(&mut reqs).unwrap();
+            done.sort_by_key(|(i, _)| *i);
+            let idx: Vec<usize> = done.iter().map(|(i, _)| *i).collect();
+            let tags: Vec<i32> = done.iter().map(|(_, s)| s.tag).collect();
+            assert_eq!(idx, vec![0, 2], "original positions, not compacted");
+            assert_eq!(tags, vec![10, 30]);
+            assert_eq!(reqs.len(), 1);
+
+            // The survivor deflated to position 0.
+            world.send(&[9u8], 1, 99).unwrap();
+            let done = waitsome(&mut reqs).unwrap();
+            assert_eq!(done.len(), 1);
+            assert_eq!(done[0].0, 0);
+            assert_eq!(done[0].1.tag, 20);
+        } else {
+            world.send(&[1u8], 0, 10).unwrap();
+            world.send(&[3u8], 0, 30).unwrap();
+            world.barrier().unwrap();
+            let mut go = [0u8; 1];
+            world.recv_into(&mut go, 0, 99).unwrap();
+            world.send(&[2u8], 0, 20).unwrap();
+        }
+    });
+}

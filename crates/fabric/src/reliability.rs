@@ -417,10 +417,20 @@ impl LinkRx {
         }
         // Ahead: hold for reordering.
         if self.buffer.iter().any(|(s, _)| *s == seq) {
+            // A retransmit of something already buffered. Like the
+            // behind-window case above, this usually means the sender has
+            // not heard our cumulative ACK — schedule one so it can retire
+            // the delivered prefix and reset its retry budget instead of
+            // burning dry retries toward PeerUnreachable.
             self.dups += 1;
+            self.ack_owed += 1;
             return RxVerdict::Duplicate;
         }
         if self.buffer.len() >= self.window as usize {
+            // Dropped for window overflow, but the arrival still proves the
+            // link is alive; ACK debt is uniform across every verdict that
+            // consumes a packet without a later delivery ACK.
+            self.ack_owed += 1;
             return RxVerdict::Overflow;
         }
         self.buffer.push((seq, body));
@@ -684,6 +694,133 @@ mod tests {
         assert_eq!(rx.receive(1, body(1)), RxVerdict::Duplicate);
         assert_eq!(rx.ack_owed, 1);
         assert_eq!(rx.take_ack(), 3);
+    }
+
+    /// Regression: every verdict that consumes a packet without a later
+    /// delivery ACK (behind-window duplicate, buffered duplicate, window
+    /// overflow) must accrue ACK debt, so deliver_packet's threshold check
+    /// can emit a standalone ACK even when the receiver rank never pumps.
+    #[test]
+    fn buffered_duplicate_and_overflow_accrue_ack_debt() {
+        let mut c = cfg();
+        c.window = 2;
+        let mut rx = LinkRx::new_at(&c, 0);
+        assert_eq!(rx.receive(1, body(1)), RxVerdict::Buffered);
+        assert_eq!(rx.ack_owed, 0, "first arrival is ACKed on delivery");
+        assert_eq!(rx.receive(1, body(1)), RxVerdict::Duplicate);
+        assert_eq!(rx.ack_owed, 1, "buffered duplicate owes an ACK");
+        assert_eq!(rx.receive(2, body(2)), RxVerdict::Buffered);
+        assert_eq!(rx.receive(3, body(3)), RxVerdict::Overflow);
+        assert_eq!(rx.ack_owed, 2, "overflow drop owes an ACK");
+        assert_eq!(rx.dups, 1);
+    }
+
+    /// One deterministic lossy exchange replayed at the pure state-machine
+    /// level with a manual clock, under both ACK-debt policies.
+    ///
+    /// Wire: seqs 0..=2 are dropped on traversals `drop_range`; 3..=5
+    /// always arrive (but land as buffered-dups / overflow with a
+    /// 2-packet window while the seq-2 gap persists). ACKs are only sent
+    /// when debt reaches `ack_every` — modeling a receiver rank that is
+    /// busy computing and never reaches its tick-driven ACK flush.
+    struct SimOutcome {
+        resend_rounds: u32,
+        tx_dead: bool,
+        delivered_all: bool,
+    }
+
+    fn simulate_front_loss(uniform_debt: bool) -> SimOutcome {
+        let mut c = cfg();
+        c.window = 2;
+        c.max_retries = 3;
+        let mut tx = LinkTx::new(&c);
+        let mut rx = LinkRx::new(&c);
+        // Old-policy debt: deliveries + behind-window duplicates only.
+        let mut old_debt: u32 = 0;
+        let mut traversals = [0u32; 6];
+        let mut now: u64 = 0;
+        let mut resend_rounds = 0u32;
+
+        let mut transmit =
+            |batch: &[Pending], tx: &mut LinkTx, rx: &mut LinkRx, old_debt: &mut u32, now: u64| {
+                for p in batch {
+                    let s = p.seq as usize;
+                    traversals[s] += 1;
+                    // Bursty front loss: the delivered prefix's retransmits
+                    // (and the seq-2 gap) vanish for several rounds.
+                    let dropped = match p.seq {
+                        0 | 1 => (2..=4).contains(&traversals[s]),
+                        2 => traversals[s] <= 4,
+                        _ => false,
+                    };
+                    if dropped {
+                        continue;
+                    }
+                    let behind = p.seq.wrapping_sub(rx.expected) >= 0x8000_0000;
+                    match rx.receive(p.seq, p.body.clone()) {
+                        RxVerdict::Deliver(out) => *old_debt += out.len() as u32,
+                        RxVerdict::Duplicate if behind => *old_debt += 1,
+                        _ => {}
+                    }
+                    let debt = if uniform_debt { rx.ack_owed } else { *old_debt };
+                    if debt >= rx_cfg_ack_every() {
+                        let cum = rx.take_ack();
+                        *old_debt = 0;
+                        tx.on_ack(cum, now);
+                    }
+                }
+            };
+        fn rx_cfg_ack_every() -> u32 {
+            ReliabilityConfig::on().ack_every
+        }
+
+        let initial: Vec<Pending> = (0..6u64)
+            .map(|i| {
+                let b = body(i);
+                Pending {
+                    seq: tx.prepare(b.clone(), None, now),
+                    body: b,
+                    crc: None,
+                }
+            })
+            .collect();
+        transmit(&initial, &mut tx, &mut rx, &mut old_debt, now);
+
+        while tx.in_flight() > 0 && !tx.dead {
+            now += 200_000; // far past any backoff deadline
+            match tx.tick(now) {
+                TxTick::Resend(batch) => {
+                    resend_rounds += 1;
+                    transmit(&batch, &mut tx, &mut rx, &mut old_debt, now);
+                }
+                TxTick::Dead => break,
+                TxTick::Idle => {}
+            }
+        }
+        SimOutcome {
+            resend_rounds,
+            tx_dead: tx.dead,
+            delivered_all: rx.cum_ack() == 6 && tx.in_flight() == 0,
+        }
+    }
+
+    /// Regression pinning the before/after behavior: under the old policy
+    /// the sender burns its whole retry budget and declares the peer dead
+    /// even though the receiver observed every retransmit round; with
+    /// uniform ACK debt the buffered-dup/overflow arrivals trigger the
+    /// standalone ACK that retires the delivered prefix and the exchange
+    /// completes.
+    #[test]
+    fn uniform_ack_debt_prevents_dry_retry_death() {
+        let old = simulate_front_loss(false);
+        assert!(old.tx_dead, "old policy: retries burn to PeerUnreachable");
+        assert!(!old.delivered_all);
+        assert_eq!(old.resend_rounds, 3, "died after exactly max_retries");
+
+        let new = simulate_front_loss(true);
+        assert!(!new.tx_dead, "uniform debt: ACKs keep the sender alive");
+        assert!(new.delivered_all, "every packet delivered and retired");
+        assert_eq!(new.resend_rounds, 6, "pinned retransmit count");
     }
 
     #[test]

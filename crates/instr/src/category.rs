@@ -59,6 +59,14 @@ pub enum Category {
     /// the paper measures, so it is accounted as one more overhead
     /// dimension rather than folded into the netmod residue.
     Reliability,
+    /// Nonblocking-collective schedule engine (TSP-style): compiling a
+    /// collective into its phase DAG, issuing/retiring vertices, and
+    /// advancing phases from `test`/`wait`. Like `Progress`, this is
+    /// bookkeeping outside the paper's send-side injection counts (the
+    /// sends a schedule issues still charge their own injection-path
+    /// categories), so it is excluded from injection totals and the
+    /// calibrated 221/215 pins stay untouched.
+    Schedule,
     /// Progress-engine work outside the injection path (matching at the
     /// receiver, completion processing). Not part of the paper's send-side
     /// counts; tracked separately so tests can assert it never leaks into
@@ -68,7 +76,7 @@ pub enum Category {
 
 impl Category {
     /// Number of categories (array sizing).
-    pub const COUNT: usize = 14;
+    pub const COUNT: usize = 15;
 
     /// All categories in declaration order.
     pub const ALL: [Category; Category::COUNT] = [
@@ -85,6 +93,7 @@ impl Category {
         Category::NetmodIssue,
         Category::OriginalLayering,
         Category::Reliability,
+        Category::Schedule,
         Category::Progress,
     ];
 
@@ -113,7 +122,7 @@ impl Category {
     /// (the paper's send-side instruction counts): everything except
     /// receiver-side progress.
     pub const fn is_injection_path(self) -> bool {
-        !matches!(self, Category::Progress)
+        !matches!(self, Category::Progress | Category::Schedule)
     }
 
     /// Short machine-readable label used by the harness binaries.
@@ -132,6 +141,7 @@ impl Category {
             Category::NetmodIssue => "netmod_issue",
             Category::OriginalLayering => "original_layering",
             Category::Reliability => "reliability",
+            Category::Schedule => "schedule",
             Category::Progress => "progress",
         }
     }
@@ -154,6 +164,7 @@ impl Category {
             Category::NetmodIssue => "Low-level network API issue (irreducible)",
             Category::OriginalLayering => "CH3-style layering / AM emulation (baseline only)",
             Category::Reliability => "Software reliability protocol (PSM2-style onload)",
+            Category::Schedule => "Nonblocking-collective schedule engine (not in injection path)",
             Category::Progress => "Receiver-side progress (not in injection path)",
         }
     }
@@ -195,6 +206,12 @@ mod tests {
     fn reliability_is_injection_path_but_not_mandatory() {
         assert!(Category::Reliability.is_injection_path());
         assert!(!Category::Reliability.is_mandatory());
+    }
+
+    #[test]
+    fn schedule_not_in_injection_path_and_not_mandatory() {
+        assert!(!Category::Schedule.is_injection_path());
+        assert!(!Category::Schedule.is_mandatory());
     }
 
     #[test]

@@ -61,6 +61,12 @@ pub enum EventKind {
     CollBegin,
     /// The collective phase ended. `a` = collective op id.
     CollEnd,
+    /// A nonblocking-collective schedule phase was issued. `a` =
+    /// collective op id (see [`coll_op_name`]), `b` = phase index.
+    SchedPhaseBegin,
+    /// All vertices of the schedule phase retired. `a` = collective op id,
+    /// `b` = phase index.
+    SchedPhaseComplete,
 }
 
 impl EventKind {
@@ -81,6 +87,7 @@ impl EventKind {
             EventKind::AckProcessed => "ack_processed",
             EventKind::DupDropped => "dup_dropped",
             EventKind::CollBegin | EventKind::CollEnd => "collective",
+            EventKind::SchedPhaseBegin | EventKind::SchedPhaseComplete => "sched_phase",
         }
     }
 
@@ -104,7 +111,10 @@ impl EventKind {
             | EventKind::AckSent
             | EventKind::AckProcessed
             | EventKind::DupDropped => "relia",
-            EventKind::CollBegin | EventKind::CollEnd => "coll",
+            EventKind::CollBegin
+            | EventKind::CollEnd
+            | EventKind::SchedPhaseBegin
+            | EventKind::SchedPhaseComplete => "coll",
         }
     }
 
@@ -117,6 +127,7 @@ impl EventKind {
             EventKind::PutComplete => Some(EventKind::PutBegin),
             EventKind::GetComplete => Some(EventKind::GetBegin),
             EventKind::CollEnd => Some(EventKind::CollBegin),
+            EventKind::SchedPhaseComplete => Some(EventKind::SchedPhaseBegin),
             _ => None,
         }
     }
@@ -130,6 +141,7 @@ impl EventKind {
                 | EventKind::PutBegin
                 | EventKind::GetBegin
                 | EventKind::CollBegin
+                | EventKind::SchedPhaseBegin
         )
     }
 }
