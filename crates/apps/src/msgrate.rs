@@ -238,6 +238,15 @@ pub fn render_report(label: &str, r: &RateReport, traces: &[RankTrace]) -> Strin
         "{label}: {} ops, {:.1} instructions/op, {:.3} allocs/op, {:.1} reliability instr/op, {:.0} ops/s\n",
         r.ops, r.instr_per_op, r.allocs_per_op, r.relia_per_op, r.wall_rate
     );
+    out.push_str(&format!(
+        "kernel tier: {}{}\n",
+        litempi_simd::active().name(),
+        if litempi_simd::active_clmul() {
+            " (+clmul crc)"
+        } else {
+            ""
+        }
+    ));
     if !traces.is_empty() {
         out.push_str(&litempi_trace::summarize(traces));
     }
@@ -377,6 +386,19 @@ mod tests {
         assert!(summary.contains("instructions/op"));
         assert!(summary.contains("events recorded"));
         assert!(summary.contains("latency (ns, log-bucketed):"));
+        // Evidence is self-describing: the selected kernel tier is named,
+        // and every traced rank carries the one-shot provenance event.
+        let tier = litempi_simd::active();
+        assert!(summary.contains(&format!("kernel tier: {}", tier.name())));
+        for t in &out {
+            let ev = t
+                .events
+                .iter()
+                .find(|e| e.kind == litempi_trace::EventKind::KernelTier)
+                .expect("KernelTier event recorded at startup");
+            assert_eq!(ev.a, tier.id());
+            assert_eq!(ev.b, litempi_simd::active_clmul() as u64);
+        }
     }
 
     #[test]

@@ -3,9 +3,17 @@
 //! Predefined operations work element-wise on the wire representation of a
 //! predefined datatype; user operations get the raw byte slices. `MINLOC`/
 //! `MAXLOC` operate on the pair types, per the standard.
+//!
+//! Elementwise combination for the predefined ops is delegated to
+//! `litempi-simd`'s runtime-dispatched kernels ([`litempi_simd::reduce`]):
+//! the schedule engine's `Reduce` vertices and every collective go through
+//! [`Op::apply`], so one call site covers both. Results are bit-exact
+//! against the portable scalar loop by construction — see the kernel
+//! crate's docs for the argument.
 
 use crate::error::{MpiError, MpiResult};
 use litempi_datatype::{Datatype, Predefined, TypeClass};
+use litempi_simd::reduce::{ROp, RType};
 use std::sync::Arc;
 
 /// Signature of a user-defined reduction: `accumulate(inout, input)` where
@@ -67,50 +75,23 @@ impl std::fmt::Debug for Op {
     }
 }
 
-macro_rules! fold_numeric {
-    ($ty:ty, $inout:expr, $input:expr, $f:expr) => {{
-        let w = std::mem::size_of::<$ty>();
-        for (io, inp) in $inout.chunks_exact_mut(w).zip($input.chunks_exact(w)) {
-            let a = <$ty>::from_le_bytes(io.try_into().unwrap());
-            let b = <$ty>::from_le_bytes(inp.try_into().unwrap());
-            let f: fn($ty, $ty) -> $ty = $f;
-            io.copy_from_slice(&f(a, b).to_le_bytes());
-        }
-    }};
-}
-
-macro_rules! arith_dispatch {
-    ($pre:expr, $inout:expr, $input:expr, $f_int:expr, $f_uint:expr, $f_float:expr) => {
-        match $pre {
-            Predefined::Int8 => fold_numeric!(i8, $inout, $input, $f_int),
-            Predefined::Int16 => fold_numeric!(i16, $inout, $input, $f_int),
-            Predefined::Int32 => fold_numeric!(i32, $inout, $input, $f_int),
-            Predefined::Int64 => fold_numeric!(i64, $inout, $input, $f_int),
-            Predefined::UInt8 | Predefined::Byte | Predefined::Char => {
-                fold_numeric!(u8, $inout, $input, $f_uint)
-            }
-            Predefined::UInt16 => fold_numeric!(u16, $inout, $input, $f_uint),
-            Predefined::UInt32 => fold_numeric!(u32, $inout, $input, $f_uint),
-            Predefined::UInt64 => fold_numeric!(u64, $inout, $input, $f_uint),
-            Predefined::Float32 => fold_numeric!(f32, $inout, $input, $f_float),
-            Predefined::Float64 => fold_numeric!(f64, $inout, $input, $f_float),
-            Predefined::DoubleInt | Predefined::TwoInt => unreachable!("pair handled earlier"),
-        }
-    };
-}
-
-macro_rules! bitwise_dispatch {
-    ($pre:expr, $inout:expr, $input:expr, $f:expr) => {
-        match $pre {
-            Predefined::Int8 | Predefined::UInt8 | Predefined::Byte | Predefined::Char => {
-                fold_numeric!(u8, $inout, $input, $f)
-            }
-            Predefined::Int16 | Predefined::UInt16 => fold_numeric!(u16, $inout, $input, $f),
-            Predefined::Int32 | Predefined::UInt32 => fold_numeric!(u32, $inout, $input, $f),
-            Predefined::Int64 | Predefined::UInt64 => fold_numeric!(u64, $inout, $input, $f),
-            _ => unreachable!("legality checked earlier"),
-        }
-    };
+/// The kernel-layer element type for a non-pair predefined datatype.
+/// `Byte`/`Char` reduce with `u8` semantics (they only admit bitwise ops,
+/// where signedness is irrelevant anyway).
+fn kernel_type(pre: Predefined) -> Option<RType> {
+    Some(match pre {
+        Predefined::Int8 => RType::I8,
+        Predefined::Int16 => RType::I16,
+        Predefined::Int32 => RType::I32,
+        Predefined::Int64 => RType::I64,
+        Predefined::UInt8 | Predefined::Byte | Predefined::Char => RType::U8,
+        Predefined::UInt16 => RType::U16,
+        Predefined::UInt32 => RType::U32,
+        Predefined::UInt64 => RType::U64,
+        Predefined::Float32 => RType::F32,
+        Predefined::Float64 => RType::F64,
+        Predefined::DoubleInt | Predefined::TwoInt => return None,
+    })
 }
 
 impl Op {
@@ -131,8 +112,14 @@ impl Op {
     /// Apply `inout = inout OP input` element-wise. Both buffers hold
     /// packed elements of `ty` (which must be predefined for predefined
     /// ops, per the standard).
+    ///
+    /// Mismatched buffer lengths, or a buffer that is not a whole number
+    /// of elements of `ty`, return [`MpiError::InvalidCount`] — never a
+    /// panic and never a silent truncation.
     pub fn apply(&self, ty: &Datatype, inout: &mut [u8], input: &[u8]) -> MpiResult<()> {
-        assert_eq!(inout.len(), input.len(), "reduction buffer length mismatch");
+        if inout.len() != input.len() {
+            return Err(MpiError::InvalidCount(input.len() as i64));
+        }
         if let Op::User(f) = self {
             f(inout, input);
             return Ok(());
@@ -150,52 +137,30 @@ impl Op {
         if !self.legal_on(pre) {
             return Err(MpiError::InvalidOp("op not defined for this datatype"));
         }
+        if pre.size() == 0 || !inout.len().is_multiple_of(pre.size()) {
+            // A ragged buffer means the caller's count does not fit the
+            // type extent; chunking would silently drop the tail.
+            return Err(MpiError::InvalidCount(inout.len() as i64));
+        }
         match self {
             Op::MinLoc | Op::MaxLoc => self.apply_pair(pre, inout, input),
-            Op::Sum => arith_dispatch!(
-                pre,
-                inout,
-                input,
-                |a, b| a.wrapping_add(b),
-                |a, b| a.wrapping_add(b),
-                |a, b| a + b
-            ),
-            Op::Prod => arith_dispatch!(
-                pre,
-                inout,
-                input,
-                |a, b| a.wrapping_mul(b),
-                |a, b| a.wrapping_mul(b),
-                |a, b| a * b
-            ),
-            Op::Min => {
-                arith_dispatch!(
-                    pre,
-                    inout,
-                    input,
-                    |a, b| a.min(b),
-                    |a, b| a.min(b),
-                    |a, b| a.min(b)
-                )
-            }
-            Op::Max => {
-                arith_dispatch!(
-                    pre,
-                    inout,
-                    input,
-                    |a, b| a.max(b),
-                    |a, b| a.max(b),
-                    |a, b| a.max(b)
-                )
-            }
-            Op::Land => bitwise_dispatch!(pre, inout, input, |a, b| ((a != 0) && (b != 0)) as _),
-            Op::Lor => bitwise_dispatch!(pre, inout, input, |a, b| ((a != 0) || (b != 0)) as _),
-            Op::Band => bitwise_dispatch!(pre, inout, input, |a, b| a & b),
-            Op::Bor => bitwise_dispatch!(pre, inout, input, |a, b| a | b),
-            Op::Bxor => bitwise_dispatch!(pre, inout, input, |a, b| a ^ b),
+            Op::Sum => self.apply_elementwise(ROp::Sum, pre, inout, input),
+            Op::Prod => self.apply_elementwise(ROp::Prod, pre, inout, input),
+            Op::Min => self.apply_elementwise(ROp::Min, pre, inout, input),
+            Op::Max => self.apply_elementwise(ROp::Max, pre, inout, input),
+            Op::Land => self.apply_elementwise(ROp::Land, pre, inout, input),
+            Op::Lor => self.apply_elementwise(ROp::Lor, pre, inout, input),
+            Op::Band => self.apply_elementwise(ROp::Band, pre, inout, input),
+            Op::Bor => self.apply_elementwise(ROp::Bor, pre, inout, input),
+            Op::Bxor => self.apply_elementwise(ROp::Bxor, pre, inout, input),
             Op::Replace | Op::NoOp | Op::User(_) => unreachable!("handled above"),
         }
         Ok(())
+    }
+
+    fn apply_elementwise(&self, rop: ROp, pre: Predefined, inout: &mut [u8], input: &[u8]) {
+        let rty = kernel_type(pre).expect("pair types handled by apply_pair");
+        litempi_simd::reduce::reduce(litempi_simd::active(), rop, rty, inout, input);
     }
 
     fn apply_pair(&self, pre: Predefined, inout: &mut [u8], input: &[u8]) {

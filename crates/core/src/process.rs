@@ -196,6 +196,14 @@ impl ProcInner {
         let trace = endpoint.fabric().profile().trace;
         if trace.enabled {
             litempi_trace::enable(rank, trace.ring_capacity, endpoint.fabric().epoch());
+            // One-shot provenance record: which kernel tier this process
+            // runs its per-byte hot paths on, so exported evidence is
+            // self-describing.
+            litempi_trace::emit(
+                litempi_trace::EventKind::KernelTier,
+                litempi_simd::active().id(),
+                litempi_simd::active_clmul() as u64,
+            );
         }
         ProcInner {
             rank,

@@ -76,7 +76,9 @@ pub fn eager_packed(fabric: &Fabric, ty: &Datatype, count: usize, buf: &[u8]) ->
         CopyMode::Pooled => {
             let mut wire = fabric.pool().take(1 + wire_len);
             wire.put_u8(0);
-            pack::pack_with(ty, count, buf, |seg| wire.put_slice(seg));
+            // Single copy: the SIMD gather fills the pooled window in
+            // place, no per-segment sink dispatch.
+            pack::pack_into(ty, count, buf, wire.put_zeroed(wire_len));
             wire.freeze()
         }
         CopyMode::Legacy => {

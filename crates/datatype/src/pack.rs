@@ -1,8 +1,46 @@
 //! Pack/unpack engine (`MPI_PACK` / `MPI_UNPACK` and the internal engine
 //! the netmod uses when a non-contiguous layout must travel as a
 //! contiguous wire buffer — the paper's active-message fallback case).
+//!
+//! The byte movement itself is delegated to `litempi-simd`'s
+//! runtime-dispatched gather/scatter kernels ([`litempi_simd::pack`]):
+//! this module owns layout traversal and bounds validation, the kernel
+//! layer owns how each contiguous segment is copied. [`pack_into`] is the
+//! fast path — it gathers straight into an exactly-sized destination
+//! (e.g. a pooled wire buffer) with no intermediate staging and no
+//! per-segment closure dispatch.
 
 use crate::derived::Datatype;
+use crate::flatten::FlatLayout;
+
+/// Validated `(buffer_offset, len)` segment stream for `count` elements:
+/// the input to the kernel-layer gather/scatter. Bounds are asserted
+/// here, as segments are yielded, with the engine's diagnostics; `what`
+/// names the operation and `buf_len` the strided buffer being checked.
+fn segments<'a>(
+    layout: &'a FlatLayout,
+    count: usize,
+    buf_len: usize,
+    what: &'static str,
+) -> impl Iterator<Item = (usize, usize)> + 'a {
+    (0..count).flat_map(move |i| {
+        let base = i as isize * layout.extent;
+        layout.segments.iter().map(move |seg| {
+            let start = base + seg.offset;
+            assert!(
+                start >= 0,
+                "{what}: segment offset {start} before buffer start"
+            );
+            let start = start as usize;
+            let end = start + seg.len;
+            assert!(
+                end <= buf_len,
+                "{what}: segment [{start},{end}) beyond buffer {buf_len}"
+            );
+            (start, seg.len)
+        })
+    })
+}
 
 /// Number of bytes `count` elements of `ty` occupy on the wire.
 pub fn packed_size(ty: &Datatype, count: usize) -> usize {
@@ -24,9 +62,31 @@ pub fn span(ty: &Datatype, count: usize) -> usize {
 /// in MPI via `hindexed`) are supported as long as they stay within `src`
 /// when added to the element base.
 pub fn pack(ty: &Datatype, count: usize, src: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(packed_size(ty, count));
-    pack_with(ty, count, src, |seg| out.extend_from_slice(seg));
+    let mut out = vec![0u8; packed_size(ty, count)];
+    pack_into(ty, count, src, &mut out);
     out
+}
+
+/// Pack `count` elements of `ty` from `src` into `dst`, which must be
+/// **exactly** [`packed_size`] bytes (the kernel-layer gather owns every
+/// byte of the destination; see [`litempi_simd::pack::gather`]). Returns
+/// the bytes written. This is the zero-staging path the payload pipeline
+/// uses to gather a non-contiguous layout straight into a pooled wire
+/// buffer.
+pub fn pack_into(ty: &Datatype, count: usize, src: &[u8], dst: &mut [u8]) -> usize {
+    let need = packed_size(ty, count);
+    assert_eq!(
+        dst.len(),
+        need,
+        "pack_into: destination must be exactly the packed size"
+    );
+    let layout = ty.layout();
+    litempi_simd::pack::gather(
+        litempi_simd::active(),
+        src,
+        dst,
+        segments(&layout, count, src.len(), "pack"),
+    )
 }
 
 /// Pack `count` elements of `ty` from `src` directly into a writer, one
@@ -61,27 +121,15 @@ pub fn pack_with(ty: &Datatype, count: usize, src: &[u8], mut sink: impl FnMut(&
 /// Returns the number of wire bytes consumed.
 pub fn unpack(ty: &Datatype, count: usize, wire: &[u8], dst: &mut [u8]) -> usize {
     let layout = ty.layout();
-    let mut cursor = 0usize;
-    for i in 0..count {
-        let base = i as isize * layout.extent;
-        for seg in &layout.segments {
-            let start = base + seg.offset;
-            assert!(
-                start >= 0,
-                "unpack: segment offset {start} before buffer start"
-            );
-            let start = start as usize;
-            let end = start + seg.len;
-            assert!(
-                end <= dst.len(),
-                "unpack: segment [{start},{end}) beyond buffer {}",
-                dst.len()
-            );
-            dst[start..end].copy_from_slice(&wire[cursor..cursor + seg.len]);
-            cursor += seg.len;
-        }
-    }
-    cursor
+    // The scatter kernel never writes outside the yielded segments, so
+    // the datatype's gaps in `dst` are preserved, as the standard
+    // requires.
+    litempi_simd::pack::scatter(
+        litempi_simd::active(),
+        wire,
+        dst,
+        segments(&layout, count, dst.len(), "unpack"),
+    )
 }
 
 #[cfg(test)]
@@ -169,6 +217,29 @@ mod tests {
         });
         assert_eq!(streamed, pack(&t, 1, &src));
         assert_eq!(segments, 4, "one sink call per contiguous segment");
+    }
+
+    #[test]
+    fn pack_into_matches_pack() {
+        let t = Datatype::vector(5, 3, 8, &Datatype::INT32)
+            .unwrap()
+            .commit();
+        let src: Vec<u8> = (0..span(&t, 4)).map(|i| (i * 37 + 11) as u8).collect();
+        for count in [1usize, 2, 4] {
+            let want = pack(&t, count, &src);
+            let mut dst = vec![0xEEu8; packed_size(&t, count)];
+            let n = pack_into(&t, count, &src, &mut dst);
+            assert_eq!(n, dst.len());
+            assert_eq!(dst, want);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly the packed size")]
+    fn pack_into_wrong_dst_size_panics() {
+        let src = vec![0u8; 16];
+        let mut dst = vec![0u8; 3];
+        pack_into(&Datatype::INT32, 1, &src, &mut dst);
     }
 
     #[test]

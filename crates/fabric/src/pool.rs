@@ -260,6 +260,22 @@ impl PayloadBuf {
         self.len() == 0
     }
 
+    /// Extend the buffer by `len` zeroed bytes and return the window just
+    /// added, for engines that fill a region in place — the datatype
+    /// gather writes the packed layout straight into this window, giving
+    /// a single-copy pack with no per-segment call through [`BufMut`].
+    /// (The zeroing is a contiguous memset of recycled capacity; the
+    /// caller overwrites every byte.)
+    pub fn put_zeroed(&mut self, len: usize) -> &mut [u8] {
+        // SAFETY: see the `vec` field invariant.
+        unsafe {
+            let v = &mut *self.vec;
+            let start = v.len();
+            v.resize(start + len, 0);
+            &mut v[start..]
+        }
+    }
+
     /// Publish the written bytes as an immutable shared [`Bytes`].
     pub fn freeze(self) -> Bytes {
         Bytes::from_storage(self.storage)

@@ -1,0 +1,263 @@
+//! CRC32 (IEEE, reflected, polynomial `0xEDB88320`) kernels.
+//!
+//! Three implementations of the same function, fastest first:
+//!
+//! * **carryless-multiply fold** — folds 16-byte blocks into a 128-bit
+//!   accumulator with the CPU's polynomial multiplier (x86-64 `PCLMULQDQ`,
+//!   aarch64 `PMULL`), then finishes the 16 accumulator bytes plus any
+//!   tail through the table path. Roughly a byte per cycle.
+//! * **slice-by-8 tables** — the portable baseline: one 8-byte word per
+//!   step through eight 256-entry tables (built at compile time by a
+//!   `const fn`). ~8× fewer steps than byte-at-a-time and ~64× fewer
+//!   than the bit-at-a-time loop it replaces in the reliability layer.
+//! * **bit-at-a-time** — the original reference loop, kept for
+//!   equivalence testing.
+//!
+//! All three produce identical values for every input; the equivalence
+//! tests pin that, plus the standard check value
+//! `crc32(b"123456789") == 0xCBF4_3926`.
+//!
+//! The carryless-multiply algorithm is written once in portable `u128`
+//! arithmetic over a one-line per-architecture `clmul64` primitive, so
+//! the x86-64 test run validates the exact arithmetic the aarch64 build
+//! executes — only the single multiply instruction differs.
+
+/// Running-state initializer (`!0`); the final CRC is the bitwise NOT of
+/// the final state, matching the reliability layer's convention.
+pub const INIT: u32 = 0xFFFF_FFFF;
+
+/// IEEE 802.3 polynomial, reflected.
+pub const POLY: u32 = 0xEDB8_8320;
+
+/// Bit-at-a-time reference (8 iterations per byte). This is the loop the
+/// reliability layer shipped with; kept as the equivalence oracle.
+pub fn update_bitwise(mut crc: u32, data: &[u8]) -> u32 {
+    for &byte in data {
+        crc ^= byte as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (POLY & mask);
+        }
+    }
+    crc
+}
+
+/// Eight 256-entry tables: `TABLES[k][b]` is the CRC contribution of byte
+/// `b` positioned `k` bytes before the end of an 8-byte word.
+const fn make_tables() -> [[u32; 256]; 8] {
+    let mut t = [[0u32; 256]; 8];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            let mask = (c & 1).wrapping_neg();
+            c = (c >> 1) ^ (POLY & mask);
+            k += 1;
+        }
+        t[0][i] = c;
+        i += 1;
+    }
+    let mut j = 1;
+    while j < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = t[j - 1][i];
+            t[j][i] = (prev >> 8) ^ t[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        j += 1;
+    }
+    t
+}
+
+static TABLES: [[u32; 256]; 8] = make_tables();
+
+/// Portable slice-by-8 table kernel — the scalar baseline.
+pub fn update_slice8(mut crc: u32, data: &[u8]) -> u32 {
+    let mut chunks = data.chunks_exact(8);
+    for chunk in &mut chunks {
+        let word = u64::from_le_bytes(chunk.try_into().unwrap()) ^ crc as u64;
+        crc = TABLES[7][(word & 0xFF) as usize]
+            ^ TABLES[6][((word >> 8) & 0xFF) as usize]
+            ^ TABLES[5][((word >> 16) & 0xFF) as usize]
+            ^ TABLES[4][((word >> 24) & 0xFF) as usize]
+            ^ TABLES[3][((word >> 32) & 0xFF) as usize]
+            ^ TABLES[2][((word >> 40) & 0xFF) as usize]
+            ^ TABLES[1][((word >> 48) & 0xFF) as usize]
+            ^ TABLES[0][(word >> 56) as usize];
+    }
+    for &byte in chunks.remainder() {
+        crc = (crc >> 8) ^ TABLES[0][((crc ^ byte as u32) & 0xFF) as usize];
+    }
+    crc
+}
+
+/// Fold constants: `K3 = x^(128+32) mod P`, `K4 = x^(64+32) mod P`, in
+/// the pre-shifted reflected form every PCLMULQDQ CRC implementation
+/// uses (zlib's `k3k4`). They fold a 128-bit accumulator across one
+/// 16-byte block.
+const K3: u64 = 0x0000_0001_7519_97d0;
+const K4: u64 = 0x0000_0000_ccaa_009e;
+
+#[cfg(target_arch = "x86_64")]
+mod arch {
+    use core::arch::x86_64::*;
+
+    /// 64×64→127-bit carryless multiply. `sse4.1` is required for the
+    /// high-lane extract; both features are checked by
+    /// [`crate::clmul_runnable`] before any caller dispatches here.
+    #[target_feature(enable = "pclmulqdq", enable = "sse4.1")]
+    #[inline]
+    pub(super) unsafe fn clmul64(a: u64, b: u64) -> u128 {
+        let va = _mm_set_epi64x(0, a as i64);
+        let vb = _mm_set_epi64x(0, b as i64);
+        let r = _mm_clmulepi64_si128(va, vb, 0x00);
+        let lo = _mm_cvtsi128_si64(r) as u64;
+        let hi = _mm_extract_epi64(r, 1) as u64;
+        ((hi as u128) << 64) | lo as u128
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+mod arch {
+    use core::arch::aarch64::*;
+
+    /// 64×64→127-bit carryless multiply via PMULL (the "aes" feature).
+    #[target_feature(enable = "neon", enable = "aes")]
+    #[inline]
+    pub(super) unsafe fn clmul64(a: u64, b: u64) -> u128 {
+        vmull_p64(a, b)
+    }
+}
+
+#[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+#[inline(always)]
+fn load16(data: &[u8], off: usize) -> u128 {
+    u128::from_le_bytes(data[off..off + 16].try_into().unwrap())
+}
+
+/// The shared fold loop: XOR the running state into the first block, then
+/// fold one block at a time. Returns the 16 accumulator bytes and how
+/// many input bytes were consumed; the caller finishes with the table
+/// kernel, using the invariant
+/// `update(state, data[..used]) == update(0, acc_bytes)`.
+///
+/// # Safety
+/// Must only be called via the `#[target_feature]` leaves below, on a
+/// host where [`crate::clmul_runnable`] is true.
+#[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+#[inline(always)]
+unsafe fn fold_body(state: u32, data: &[u8]) -> ([u8; 16], usize) {
+    let mut x = load16(data, 0) ^ state as u128;
+    let mut off = 16;
+    while off + 16 <= data.len() {
+        x = arch::clmul64(x as u64, K3) ^ arch::clmul64((x >> 64) as u64, K4) ^ load16(data, off);
+        off += 16;
+    }
+    (x.to_le_bytes(), off)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "pclmulqdq", enable = "sse4.1")]
+unsafe fn fold_leaf(state: u32, data: &[u8]) -> ([u8; 16], usize) {
+    fold_body(state, data)
+}
+
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon", enable = "aes")]
+unsafe fn fold_leaf(state: u32, data: &[u8]) -> ([u8; 16], usize) {
+    fold_body(state, data)
+}
+
+/// Bulk threshold below which folding cannot win (needs at least one
+/// full fold plus table finish of the 16 accumulator bytes).
+const CLMUL_MIN: usize = 64;
+
+/// Carryless-multiply kernel. Falls back to [`update_slice8`] for short
+/// inputs or when the host lacks a polynomial multiplier, so it is always
+/// safe to call.
+pub fn update_clmul(state: u32, data: &[u8]) -> u32 {
+    #[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+    if data.len() >= CLMUL_MIN && crate::clmul_runnable() {
+        // SAFETY: clmul_runnable() confirmed the required CPU features.
+        let (acc, used) = unsafe { fold_leaf(state, data) };
+        return update_slice8(update_slice8(0, &acc), &data[used..]);
+    }
+    update_slice8(state, data)
+}
+
+/// Streaming update with the process-wide active configuration: the
+/// carryless-multiply path when the active tier is vectorized and the
+/// hardware has a polynomial multiplier, the slice-by-8 baseline
+/// otherwise (including under `LITEMPI_FORCE_SCALAR=1`).
+pub fn update(state: u32, data: &[u8]) -> u32 {
+    if crate::active_clmul() {
+        update_clmul(state, data)
+    } else {
+        update_slice8(state, data)
+    }
+}
+
+/// One-shot CRC32 of `data` (init `!0`, final inversion).
+pub fn crc32(data: &[u8]) -> u32 {
+    !update(INIT, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oneshot(update: fn(u32, &[u8]) -> u32, data: &[u8]) -> u32 {
+        !update(INIT, data)
+    }
+
+    #[test]
+    fn check_value_all_kernels() {
+        for f in [update_bitwise, update_slice8, update_clmul, update] {
+            assert_eq!(oneshot(f, b"123456789"), 0xCBF4_3926);
+            assert_eq!(oneshot(f, b""), 0);
+        }
+    }
+
+    #[test]
+    fn kernels_agree_on_all_lengths() {
+        // Every length through several fold blocks plus odd tails, with
+        // byte values exercising all 8 bits.
+        let data: Vec<u8> = (0..257u32)
+            .map(|i| (i.wrapping_mul(167) >> 3) as u8)
+            .collect();
+        for len in 0..data.len() {
+            let want = update_bitwise(INIT, &data[..len]);
+            assert_eq!(update_slice8(INIT, &data[..len]), want, "slice8 len {len}");
+            assert_eq!(update_clmul(INIT, &data[..len]), want, "clmul len {len}");
+        }
+    }
+
+    #[test]
+    fn streaming_split_equivalence() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i * 31 + 7) as u8).collect();
+        let want = update_bitwise(INIT, &data);
+        for split in [0, 1, 7, 8, 15, 16, 63, 64, 65, 500, 999, 1000] {
+            for f in [update_slice8, update_clmul, update] {
+                let s = f(INIT, &data[..split]);
+                assert_eq!(f(s, &data[split..]), want, "split at {split}");
+            }
+        }
+    }
+
+    #[test]
+    fn clmul_runs_the_fast_path_when_available() {
+        // Not an equivalence test — just makes sure the fold actually
+        // executes (length over threshold) on hosts with the multiplier,
+        // so CI on x86-64 genuinely covers the fold arithmetic.
+        let data = vec![0xA5u8; 4096];
+        assert_eq!(update_clmul(INIT, &data), update_bitwise(INIT, &data));
+        if crate::clmul_runnable() {
+            // SAFETY: feature-checked on the line above.
+            let (acc, used) = unsafe { fold_leaf(INIT, &data) };
+            assert_eq!(used, 4096);
+            assert_eq!(update_slice8(0, &acc), update_bitwise(INIT, &data));
+        }
+    }
+}

@@ -67,6 +67,11 @@ pub enum EventKind {
     /// All vertices of the schedule phase retired. `a` = collective op id,
     /// `b` = phase index.
     SchedPhaseComplete,
+    /// One-shot: which kernel tier the process selected at startup, so
+    /// benchmark evidence is self-describing. `a` = tier id
+    /// (0 scalar, 1 SSE2, 2 AVX2, 3 NEON), `b` = 1 when the
+    /// carryless-multiply CRC path is active, else 0.
+    KernelTier,
 }
 
 impl EventKind {
@@ -88,6 +93,7 @@ impl EventKind {
             EventKind::DupDropped => "dup_dropped",
             EventKind::CollBegin | EventKind::CollEnd => "collective",
             EventKind::SchedPhaseBegin | EventKind::SchedPhaseComplete => "sched_phase",
+            EventKind::KernelTier => "kernel_tier",
         }
     }
 
@@ -115,6 +121,7 @@ impl EventKind {
             | EventKind::CollEnd
             | EventKind::SchedPhaseBegin
             | EventKind::SchedPhaseComplete => "coll",
+            EventKind::KernelTier => "kernel",
         }
     }
 

@@ -15,7 +15,9 @@
 //!   application figures;
 //! * [`trace`](litempi_trace) — the opt-in event-tracing subsystem
 //!   (per-rank ring recorders, chrome://tracing export, latency
-//!   histograms).
+//!   histograms);
+//! * [`simd`](litempi_simd) — runtime-dispatched SIMD kernels for the
+//!   per-byte hot paths (reductions, datatype pack, CRC32).
 //!
 //! Start with the [`prelude`], the `examples/` directory, and the
 //! `litempi-bench` binaries (`cargo run -p litempi-bench --bin table1`).
@@ -26,6 +28,7 @@ pub use litempi_datatype as datatype;
 pub use litempi_fabric as fabric;
 pub use litempi_instr as instr;
 pub use litempi_model as model;
+pub use litempi_simd as simd;
 pub use litempi_trace as trace;
 
 /// The names most programs need.

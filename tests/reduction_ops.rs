@@ -82,6 +82,45 @@ fn op_matrix_through_allreduce() {
 }
 
 #[test]
+fn mismatched_reduction_buffers_return_invalid_count() {
+    // Regression: Op::apply used to assert on mismatched lengths; the
+    // standard's error class is MPI_ERR_COUNT, not a crash.
+    let dt = litempi::datatype::Datatype::INT32;
+    let mut inout = vec![0u8; 8];
+    for op in [Op::Sum, Op::Max, Op::Bxor, Op::Replace] {
+        let e = op.apply(&dt, &mut inout, &[0u8; 12]).unwrap_err();
+        assert!(matches!(e, MpiError::InvalidCount(12)), "{op:?}: {e:?}");
+    }
+    // User ops get raw bytes but the length contract still holds.
+    let user = Op::User(Arc::new(|_: &mut [u8], _: &[u8]| unreachable!()));
+    let e = user.apply(&dt, &mut inout, &[0u8; 4]).unwrap_err();
+    assert!(matches!(e, MpiError::InvalidCount(4)));
+}
+
+#[test]
+fn ragged_reduction_buffer_returns_invalid_count() {
+    // Regression: a buffer that is not a whole number of elements used to
+    // be silently truncated by chunks_exact; it must be rejected.
+    let mut inout = vec![0u8; 6]; // 1.5 × i32
+    let input = vec![0u8; 6];
+    let e = Op::Sum
+        .apply(&litempi::datatype::Datatype::INT32, &mut inout, &input)
+        .unwrap_err();
+    assert!(matches!(e, MpiError::InvalidCount(6)), "{e:?}");
+    // Pair types too: 10 bytes is not a whole DoubleInt (12 bytes).
+    let dt = litempi::datatype::Datatype::basic(Predefined::DoubleInt);
+    let mut pair = vec![0u8; 10];
+    let input = vec![0u8; 10];
+    let e = Op::MinLoc.apply(&dt, &mut pair, &input).unwrap_err();
+    assert!(matches!(e, MpiError::InvalidCount(10)), "{e:?}");
+    // A whole element count still works.
+    let mut ok = vec![0u8; 8];
+    Op::Sum
+        .apply(&litempi::datatype::Datatype::INT32, &mut ok, &[1u8; 8])
+        .unwrap();
+}
+
+#[test]
 fn scan_composes_with_gatherv() {
     // Prefix sums drive variable-size gathers: classic irregular-layout
     // pattern (offsets from exscan, payloads via gatherv).
