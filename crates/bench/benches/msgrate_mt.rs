@@ -1,0 +1,66 @@
+//! Multithreaded injector ablation: message rate vs. injector threads
+//! under `MPI_THREAD_MULTIPLE`, with the endpoint unsharded (1 VCI — the
+//! paper's single-critical-section collapse) and sharded (4 VCIs).
+//!
+//! The reported time is the **modeled critical-path time per message** on
+//! the paper's IT-cluster cost model, derived from each injector thread's
+//! *measured* injection-path instruction counts (thread-local counters):
+//! ops on one VCI serialize behind its critical section, distinct VCIs
+//! proceed concurrently, so the modeled wall time of a run is the largest
+//! per-VCI instruction load. This is the paper's platform-independent
+//! quantity — host wall-clock on the (possibly single-core) bench machine
+//! cannot expose the parallelism, the instruction ledger can. See
+//! `EXPERIMENTS.md` for the methodology note.
+//!
+//! Expected shape: `1vci` medians stay flat as threads grow from 1 to 4
+//! (every thread serializes on the one lock, per-op critical path is
+//! unchanged while aggregate rate stays capped), and `4vci` at 4 threads
+//! is ≥2.5× the `1vci` aggregate rate (threads land on distinct shards).
+//!
+//! Run with `LITEMPI_VCIS` unset: the environment override would re-shard
+//! both conditions and collapse the ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use litempi_apps::msgrate::isend_rate_mt;
+use litempi_core::{BuildConfig, Universe};
+use litempi_fabric::{ProviderProfile, Topology};
+use std::time::Duration;
+
+const WINDOW: usize = 16;
+
+/// Run `iters` total isends spread over `threads` injectors against a
+/// fabric with `vcis` shards; return the modeled critical-path duration.
+fn mt_batch(threads: usize, vcis: usize, iters: u64) -> Duration {
+    let ops_per_thread = (iters as usize).div_ceil(threads).max(1);
+    let out = Universe::run(
+        2,
+        BuildConfig::ch4_thread_multiple(),
+        ProviderProfile::infinite().with_vcis(vcis),
+        Topology::single_node(2),
+        move |proc| {
+            let world = proc.world();
+            isend_rate_mt(&proc, &world, ops_per_thread, WINDOW, threads).unwrap()
+        },
+    );
+    let report = out.into_iter().flatten().next().expect("rank 0 report");
+    let v = report.vci.expect("mt mode always carries a VciReport");
+    // Normalize to the requested iteration count so criterion's per-op
+    // math stays exact even after the per-thread ceiling rounding.
+    Duration::from_secs_f64(iters as f64 / v.modeled_rate)
+}
+
+fn bench_msgrate_mt(c: &mut Criterion) {
+    let mut g = c.benchmark_group("msgrate_mt");
+    g.sample_size(10).measurement_time(Duration::from_secs(1));
+    for vcis in [1usize, 4] {
+        for threads in [1usize, 2, 4] {
+            g.bench_function(BenchmarkId::new(format!("{vcis}vci"), threads), |b| {
+                b.iter_custom(|iters| mt_batch(threads, vcis, iters.max(1)));
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_msgrate_mt);
+criterion_main!(benches);

@@ -53,13 +53,14 @@ pub(crate) fn csend(comm: &Communicator, dest: usize, tag: i32, data: &[u8]) {
     let bits = match_bits::encode(comm.context_id().collective(), comm.rank, tag);
     let dest_world = comm.world_rank_of(dest);
     let fabric = proc.endpoint.fabric();
+    let vci = proc.vci_of_bits(bits);
     let max_eager = fabric.profile().caps.max_eager;
     let payload = if data.len() <= max_eager {
-        proto::eager_payload(fabric, data)
+        proto::eager_payload(fabric, vci, data)
     } else {
         litempi_instr::note_alloc(1);
         let (rndv_id, _done) = proc.univ.alloc_rndv(data.to_vec());
-        proto::rts_payload(fabric, rndv_id, data.len())
+        proto::rts_payload(fabric, vci, rndv_id, data.len())
     };
     inject(proc, dest_world, bits, payload, &SendOpts::default());
 }
@@ -83,7 +84,7 @@ pub(crate) fn crecv(comm: &Communicator, src: usize, tag: i32) -> MpiResult<byte
             "rendezvous entry vanished (damaged or replayed RTS descriptor)",
         )))?;
         // The 17-byte RTS envelope is consumed: recycle it.
-        proc.endpoint.fabric().pool().release(payload);
+        proc.pool_release(bits, payload);
         return Ok(bytes::Bytes::from_storage(data));
     }
     Ok(proto::eager_view(&payload))

@@ -104,6 +104,17 @@ impl BuildConfig {
         }
     }
 
+    /// CH4 default build granted `MPI_THREAD_MULTIPLE`: every operation's
+    /// runtime thread-safety check now also takes its VCI's critical
+    /// section — the configuration whose message rate the endpoint
+    /// sharding exists to scale.
+    pub const fn ch4_thread_multiple() -> Self {
+        BuildConfig {
+            thread_level: ThreadLevel::Multiple,
+            ..BuildConfig::ch4_default()
+        }
+    }
+
     /// §2.2's fully subsumed build: whole-program link-time inlining, so
     /// even "Class 3" runtime-constant datatypes constant-fold.
     pub const fn ch4_ipo_whole_program() -> Self {

@@ -170,13 +170,14 @@ impl InterComm {
         let bits = match_bits::encode(self.shared.ctx, self.local_rank, tag);
         let bytes = T::as_bytes(data);
         let fabric = self.proc.endpoint.fabric();
+        let vci = self.proc.vci_of_bits(bits);
         let max_eager = fabric.profile().caps.max_eager;
         if bytes.len() <= max_eager {
             inject(
                 &self.proc,
                 dest_world,
                 bits,
-                proto::eager_payload(fabric, bytes),
+                proto::eager_payload(fabric, vci, bytes),
                 &SendOpts::default(),
             );
         } else {
@@ -186,7 +187,7 @@ impl InterComm {
                 &self.proc,
                 dest_world,
                 bits,
-                proto::rts_payload(fabric, rndv_id, bytes.len()),
+                proto::rts_payload(fabric, vci, rndv_id, bytes.len()),
                 &SendOpts::default(),
             );
         }
@@ -227,7 +228,7 @@ impl InterComm {
                 .univ
                 .pull_rndv(rndv_id)
                 .expect("rendezvous entry vanished");
-            proc.endpoint.fabric().pool().release(data);
+            proc.pool_release(mbits, data);
             bytes::Bytes::from_storage(staged)
         } else {
             proto::eager_view(&data)

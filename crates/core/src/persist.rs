@@ -151,7 +151,8 @@ impl PersistentSend<'_> {
             return Err(MpiError::InvalidRequest("persistent start while active"));
         }
         let proc = &self.proc;
-        proc.with_cs(cost::isend::THREAD_CHECK, || {
+        let vci = proc.vci_of_bits(self.bits);
+        proc.with_cs(vci, cost::isend::THREAD_CHECK, || {
             if !proc.config.ipo {
                 charge(Category::FunctionCall, cost::isend::FUNCTION_CALL);
             }
@@ -167,8 +168,13 @@ impl PersistentSend<'_> {
             };
             let wire_len = pack::packed_size(&self.ty, self.count);
             if wire_len <= self.max_eager {
-                let payload =
-                    proto::eager_packed(proc.endpoint.fabric(), &self.ty, self.count, self.buf);
+                let payload = proto::eager_packed(
+                    proc.endpoint.fabric(),
+                    vci,
+                    &self.ty,
+                    self.count,
+                    self.buf,
+                );
                 inject(proc, dest_world, self.bits, payload, &SendOpts::default());
                 self.state = Armed::SendInFlight(None);
             } else {
@@ -184,7 +190,7 @@ impl PersistentSend<'_> {
                     proc,
                     dest_world,
                     self.bits,
-                    proto::rts_payload(proc.endpoint.fabric(), rndv_id, wire_len),
+                    proto::rts_payload(proc.endpoint.fabric(), vci, rndv_id, wire_len),
                     &SendOpts::default(),
                 );
                 self.state = Armed::SendInFlight(Some(done));
@@ -225,7 +231,8 @@ impl PersistentRecv<'_> {
             return Err(MpiError::InvalidRequest("persistent start while active"));
         }
         let proc = &self.proc;
-        proc.with_cs(cost::isend::THREAD_CHECK, || {
+        let vci = proc.vci_of_bits(self.bits);
+        proc.with_cs(vci, cost::isend::THREAD_CHECK, || {
             if !proc.config.ipo {
                 charge(Category::FunctionCall, cost::isend::FUNCTION_CALL);
             }

@@ -157,8 +157,13 @@ pub struct ProcInner {
     pub(crate) endpoint: Endpoint,
     pub(crate) config: BuildConfig,
     pub(crate) univ: Arc<UnivShared>,
-    /// The global critical section taken by `MPI_THREAD_MULTIPLE` builds.
-    pub(crate) crit: Mutex<()>,
+    /// Per-VCI critical sections taken by `MPI_THREAD_MULTIPLE` builds.
+    /// With one VCI this is the paper's single global critical section;
+    /// with more, operations lock only their shard's entry, so injector
+    /// threads driving different communicators never serialize here.
+    pub(crate) crit: Box<[Mutex<()>]>,
+    /// The fabric's VCI count, hoisted (consulted on every operation).
+    pub(crate) n_vcis: usize,
     /// CH4-core matching queues (AM-only providers).
     pub(crate) core_match: CoreMatcher,
     /// Windows this rank participates in, by window id (progress needs
@@ -205,13 +210,15 @@ impl ProcInner {
                 litempi_simd::active_clmul() as u64,
             );
         }
+        let n_vcis = endpoint.n_vcis();
         ProcInner {
             rank,
             size,
             endpoint,
             config,
             univ,
-            crit: Mutex::new(()),
+            crit: (0..n_vcis).map(|_| Mutex::new(())).collect(),
+            n_vcis,
             core_match: CoreMatcher::default(),
             my_windows: Mutex::new(HashMap::new()),
             win_applied: Mutex::new(HashMap::new()),
@@ -349,21 +356,71 @@ impl ProcInner {
         *self.win_applied.lock().entry(win_id).or_insert(0) += 1;
     }
 
-    /// Run `f` inside the global critical section if this build grants
+    /// Run `f` inside `vci`'s critical section if this build grants
     /// `MPI_THREAD_MULTIPLE`; charge the runtime thread-safety check if the
-    /// build carries one. `cost` is the per-op check cost (isend vs put).
+    /// build carries one. `check_cost` is the per-op check cost (isend vs
+    /// put). This is the single entry point for every thread-checked
+    /// operation — pt2pt, persistent starts, and RMA all route through it,
+    /// so the VCI-aware locking and its contention accounting live in one
+    /// place.
     #[inline]
-    pub(crate) fn with_cs<T>(&self, check_cost: u64, f: impl FnOnce() -> T) -> T {
+    pub(crate) fn with_cs<T>(&self, vci: usize, check_cost: u64, f: impl FnOnce() -> T) -> T {
         use crate::config::ThreadLevel;
         use litempi_instr::{charge, Category};
         if self.config.thread_check {
             charge(Category::ThreadCheck, check_cost);
             if self.config.thread_level == ThreadLevel::Multiple {
-                let _guard = self.crit.lock();
+                let slot = &self.crit[vci];
+                let _guard = match slot.try_lock() {
+                    Some(g) => {
+                        self.endpoint.note_vci_acquire(vci, false);
+                        g
+                    }
+                    None => {
+                        self.endpoint.note_vci_acquire(vci, true);
+                        slot.lock()
+                    }
+                };
                 return f();
             }
         }
         f()
+    }
+
+    /// The VCI an operation with these match bits belongs to, charging the
+    /// shard-selection hash to its own [`Category::Vci`](litempi_instr::Category)
+    /// bucket (outside the injection-path totals). With one VCI this is a
+    /// free constant 0 — no charge, no trace — preserving the unsharded
+    /// build's instruction counts exactly.
+    #[inline]
+    pub(crate) fn vci_of_bits(&self, bits: u64) -> usize {
+        if self.n_vcis <= 1 {
+            return 0;
+        }
+        use litempi_instr::{charge, cost, Category};
+        charge(Category::Vci, cost::vci::SELECT);
+        let vci = crate::match_bits::vci_of(bits, self.n_vcis);
+        if self.endpoint.fabric().trace_enabled() {
+            litempi_trace::emit(litempi_trace::EventKind::VciSelect, vci as u64, bits);
+        }
+        vci
+    }
+
+    /// The home VCI of a communicator's user channel (usable before the
+    /// final match bits exist — the user-channel hash reads only the
+    /// context id, so any source/tag yields the same shard).
+    #[inline]
+    pub(crate) fn vci_of_ctx(&self, ctx: crate::match_bits::ContextId) -> usize {
+        self.vci_of_bits((ctx.0 as u64) << crate::match_bits::CTX_SHIFT)
+    }
+
+    /// Release a consumed wire payload back into the arena of the VCI it
+    /// was taken from (derived from its match bits; uncharged — the paper's
+    /// release path carries no extra instructions).
+    #[inline]
+    pub(crate) fn pool_release(&self, bits: u64, payload: Bytes) {
+        let vci = crate::match_bits::vci_of(bits, self.n_vcis);
+        self.endpoint.fabric().pool_vci(vci).release(payload);
     }
 
     /// World rank → physical address (identity in our fabric).
@@ -476,10 +533,28 @@ impl Process {
         self.inner.endpoint.stats()
     }
 
+    /// The number of virtual communication interfaces (VCIs) the fabric
+    /// resolved for this job — 1 is the unsharded single-critical-section
+    /// configuration the paper analyzes; `LITEMPI_VCIS` or
+    /// `ProviderProfile::with_vcis` raise it.
+    pub fn n_vcis(&self) -> usize {
+        self.inner.n_vcis
+    }
+
     /// Payload-pool counters for this job's fabric (takes, hits, recycled,
-    /// dropped). Tests assert pool reuse and hit rates through this.
+    /// dropped), summed over every VCI's arena. Tests assert pool reuse
+    /// and hit rates through this.
     pub fn pool_stats(&self) -> litempi_fabric::PoolStats {
-        self.inner.endpoint.fabric().pool().stats()
+        let fabric = self.inner.endpoint.fabric();
+        let mut total = fabric.pool().stats();
+        for vci in 1..fabric.n_vcis() {
+            let s = fabric.pool_vci(vci).stats();
+            total.takes += s.takes;
+            total.hits += s.hits;
+            total.recycled += s.recycled;
+            total.dropped += s.dropped;
+        }
+        total
     }
 
     #[cfg(test)]

@@ -43,14 +43,16 @@ pub fn rts(rndv_id: u64, len: usize) -> Bytes {
 }
 
 /// Build an eager payload for contiguous `data` under `fabric`'s copy
-/// mode. The pooled pipeline leases a recycled wire buffer, writes the
-/// envelope byte, and copies the user data into it exactly once — zero
-/// heap allocations when the pool is warm. The legacy mode reproduces the
-/// original stage-then-copy behaviour for the ablation.
-pub fn eager_payload(fabric: &Fabric, data: &[u8]) -> Bytes {
+/// mode, leasing the wire buffer from `vci`'s arena (arena 0 unless the
+/// fabric runs multiple VCIs). The pooled pipeline leases a recycled wire
+/// buffer, writes the envelope byte, and copies the user data into it
+/// exactly once — zero heap allocations when the pool is warm. The legacy
+/// mode reproduces the original stage-then-copy behaviour for the
+/// ablation.
+pub fn eager_payload(fabric: &Fabric, vci: usize, data: &[u8]) -> Bytes {
     match fabric.profile().copy_mode {
         CopyMode::Pooled => {
-            let mut buf = fabric.pool().take(1 + data.len());
+            let mut buf = fabric.pool_vci(vci).take(1 + data.len());
             buf.put_u8(0);
             buf.put_slice(data);
             buf.freeze()
@@ -67,14 +69,14 @@ pub fn eager_payload(fabric: &Fabric, data: &[u8]) -> Bytes {
 /// Build an eager payload for `count` elements of `ty` at `buf`,
 /// packing a non-contiguous layout directly into the wire buffer
 /// (single copy) on the pooled path.
-pub fn eager_packed(fabric: &Fabric, ty: &Datatype, count: usize, buf: &[u8]) -> Bytes {
+pub fn eager_packed(fabric: &Fabric, vci: usize, ty: &Datatype, count: usize, buf: &[u8]) -> Bytes {
     let wire_len = pack::packed_size(ty, count);
     if ty.is_contiguous() {
-        return eager_payload(fabric, &buf[..wire_len]);
+        return eager_payload(fabric, vci, &buf[..wire_len]);
     }
     match fabric.profile().copy_mode {
         CopyMode::Pooled => {
-            let mut wire = fabric.pool().take(1 + wire_len);
+            let mut wire = fabric.pool_vci(vci).take(1 + wire_len);
             wire.put_u8(0);
             // Single copy: the SIMD gather fills the pooled window in
             // place, no per-segment sink dispatch.
@@ -90,10 +92,10 @@ pub fn eager_packed(fabric: &Fabric, ty: &Datatype, count: usize, buf: &[u8]) ->
 
 /// Build an RTS payload under `fabric`'s copy mode. The 17-byte envelope
 /// is pooled too: rendezvous control traffic recycles like eager data.
-pub fn rts_payload(fabric: &Fabric, rndv_id: u64, len: usize) -> Bytes {
+pub fn rts_payload(fabric: &Fabric, vci: usize, rndv_id: u64, len: usize) -> Bytes {
     match fabric.profile().copy_mode {
         CopyMode::Pooled => {
-            let mut buf = fabric.pool().take(17);
+            let mut buf = fabric.pool_vci(vci).take(17);
             buf.put_u8(1);
             buf.put_u64_le(rndv_id);
             buf.put_u64_le(len as u64);
@@ -265,7 +267,7 @@ mod tests {
     fn pooled_builders_round_trip_and_recycle() {
         use litempi_fabric::{ProviderProfile, Topology};
         let fabric = Fabric::new(1, ProviderProfile::infinite(), Topology::single_node(1));
-        let p = eager_payload(&fabric, b"data");
+        let p = eager_payload(&fabric, 0, b"data");
         match decode(&p) {
             (PayloadKind::Eager, DecodedPayload::Eager(d)) => assert_eq!(d, b"data"),
             other => panic!("{other:?}"),
@@ -279,9 +281,9 @@ mod tests {
         );
         drop(view);
         fabric.pool().release(p);
-        let p2 = eager_payload(&fabric, b"next");
+        let p2 = eager_payload(&fabric, 0, b"next");
         assert_eq!(fabric.pool().stats().hits, 1, "second build reuses storage");
-        let r = rts_payload(&fabric, 7, 99);
+        let r = rts_payload(&fabric, 0, 7, 99);
         match decode(&r) {
             (PayloadKind::Rts, DecodedPayload::Rts { rndv_id, len }) => {
                 assert_eq!((rndv_id, len), (7, 99));
@@ -300,7 +302,7 @@ mod tests {
             Topology::single_node(1),
         );
         litempi_instr::reset();
-        let p = eager_payload(&fabric, b"data");
+        let p = eager_payload(&fabric, 0, b"data");
         assert_eq!(litempi_instr::alloc_count(), 3, "stage + wire + handle");
         assert_eq!(&p[1..], b"data");
         assert_eq!(fabric.pool().stats().takes, 0, "legacy path bypasses pool");

@@ -309,7 +309,10 @@ pub(crate) fn isend_impl(
         charge(Category::ErrorChecking, cost::isend::ERROR_CHECKING);
         validate_send(comm, buf.len(), ty, count, dest, tag, &opts)?;
     }
-    proc.with_cs(cost::isend::THREAD_CHECK, || {
+    // The communicator's home VCI: known from the context id alone, before
+    // the final match bits exist (the user-channel hash ignores src/tag).
+    let vci = proc.vci_of_ctx(comm.context_id());
+    proc.with_cs(vci, cost::isend::THREAD_CHECK, || {
         if !proc.config.ipo {
             // Function-call overhead: removed by library link-time inlining.
             charge(Category::FunctionCall, cost::isend::FUNCTION_CALL);
@@ -383,7 +386,7 @@ pub(crate) fn isend_impl(
         if eager_ok {
             // Single-copy pipeline: user buffer straight into the (pooled)
             // wire buffer, no staging Vec.
-            let payload = proto::eager_packed(fabric, ty, count, buf);
+            let payload = proto::eager_packed(fabric, vci, ty, count, buf);
             inject(proc, dest_world, bits, payload, &opts);
             if opts.no_request || opts.all_opts {
                 comm.noreq.borrow_mut().issued += 1;
@@ -402,7 +405,7 @@ pub(crate) fn isend_impl(
                 proc,
                 dest_world,
                 bits,
-                proto::rts_payload(fabric, rndv_id, wire_len),
+                proto::rts_payload(fabric, vci, rndv_id, wire_len),
                 &opts,
             );
             if opts.no_request || opts.all_opts {
@@ -444,7 +447,8 @@ pub(crate) fn irecv_impl<'buf>(
         charge(Category::ErrorChecking, cost::isend::ERROR_CHECKING);
         validate_recv(comm, buf.len(), ty, count, source, tag, &opts)?;
     }
-    proc.with_cs(cost::isend::THREAD_CHECK, || {
+    let vci = proc.vci_of_ctx(comm.context_id());
+    proc.with_cs(vci, cost::isend::THREAD_CHECK, || {
         if !proc.config.ipo {
             charge(Category::FunctionCall, cost::isend::FUNCTION_CALL);
         }

@@ -113,7 +113,7 @@ pub(crate) fn complete_recv(
             dest.deliver(&data)?
         }
     };
-    proc.endpoint.fabric().pool().release(payload);
+    proc.pool_release(bits, payload);
     let source = if match_bits::is_nomatch(bits) {
         // No source bits on the nomatch channel; report the physical
         // sender's world rank (documented extension semantics).

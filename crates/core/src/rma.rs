@@ -545,11 +545,8 @@ impl Window {
                 self.comm.group().check_rank(target)?;
             }
         }
-        if proc.config.thread_check {
-            // The runtime thread-safety branch; the critical section itself
-            // is uncontended here because window handles are rank-local.
-            charge(Category::ThreadCheck, cost::put::THREAD_CHECK);
-        }
+        // RMA traffic rides the AM/native-RDMA path, which lives on VCI 0.
+        proc.with_cs(0, cost::put::THREAD_CHECK, || ());
         if !proc.config.ipo {
             charge(Category::FunctionCall, cost::put::FUNCTION_CALL);
         }

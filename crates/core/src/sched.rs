@@ -332,21 +332,22 @@ impl Schedule {
         let bits = match_bits::encode(self.ctx, self.rank, tag);
         let dest_world = self.world[peer];
         let fabric = proc.endpoint.fabric();
+        let vci = proc.vci_of_bits(bits);
         let max_eager = fabric.profile().caps.max_eager;
         let payload = if data.len() <= max_eager {
-            proto::eager_payload(fabric, data)
+            proto::eager_payload(fabric, vci, data)
         } else {
             litempi_instr::note_alloc(1);
             let (rndv_id, _done) = proc.univ.alloc_rndv(data.to_vec());
-            proto::rts_payload(fabric, rndv_id, data.len())
+            proto::rts_payload(fabric, vci, rndv_id, data.len())
         };
         inject(proc, dest_world, bits, payload, &SendOpts::default());
     }
 
-    fn poll_entry(&self, i: usize) -> Option<Bytes> {
+    fn poll_entry(&self, i: usize) -> Option<(u64, Bytes)> {
         match &self.live[i] {
-            LiveRecv::Fabric { handle, .. } => handle.poll().map(|m| m.data),
-            LiveRecv::Core { slot, .. } => slot.filled.lock().take().map(|m| m.payload),
+            LiveRecv::Fabric { handle, .. } => handle.poll().map(|m| (m.match_bits, m.data)),
+            LiveRecv::Core { slot, .. } => slot.filled.lock().take().map(|m| (m.bits, m.payload)),
         }
     }
 
@@ -354,12 +355,12 @@ impl Schedule {
         let mut i = 0;
         while i < self.live.len() {
             match self.poll_entry(i) {
-                Some(payload) => {
+                Some((bits, payload)) => {
                     let dst = match self.live.swap_remove(i) {
                         LiveRecv::Fabric { dst, .. } | LiveRecv::Core { dst, .. } => dst,
                     };
                     charge(Category::Schedule, cost::schedule::VERTEX_COMPLETE);
-                    self.deliver(proc, payload, dst)?;
+                    self.deliver(proc, bits, payload, dst)?;
                 }
                 None => {
                     let peer = match &self.live[i] {
@@ -368,12 +369,12 @@ impl Schedule {
                     if let Err(e) = check_peer(proc, Some(peer), false) {
                         // Death may race an in-flight delivery: take it if
                         // it landed (same re-poll as the blocking paths).
-                        if let Some(payload) = self.poll_entry(i) {
+                        if let Some((bits, payload)) = self.poll_entry(i) {
                             let dst = match self.live.swap_remove(i) {
                                 LiveRecv::Fabric { dst, .. } | LiveRecv::Core { dst, .. } => dst,
                             };
                             charge(Category::Schedule, cost::schedule::VERTEX_COMPLETE);
-                            self.deliver(proc, payload, dst)?;
+                            self.deliver(proc, bits, payload, dst)?;
                             continue;
                         }
                         return Err(e);
@@ -386,8 +387,14 @@ impl Schedule {
     }
 
     /// Decode a matched payload (eager or rendezvous) into its destination
-    /// span and recycle the wire envelope.
-    fn deliver(&mut self, proc: &ProcInner, payload: Bytes, dst: Option<Span>) -> MpiResult<()> {
+    /// span and recycle the wire envelope (back to its home-VCI arena).
+    fn deliver(
+        &mut self,
+        proc: &ProcInner,
+        bits: u64,
+        payload: Bytes,
+        dst: Option<Span>,
+    ) -> MpiResult<()> {
         let (_, decoded) = proto::try_decode(&payload)?;
         match decoded {
             DecodedPayload::Eager(data) => {
@@ -417,7 +424,7 @@ impl Schedule {
                 }
             }
         }
-        proc.endpoint.fabric().pool().release(payload);
+        proc.pool_release(bits, payload);
         Ok(())
     }
 }

@@ -165,6 +165,13 @@ pub struct ProviderProfile {
     /// every event site down to one predictable branch, with charges and
     /// wire bytes bit-identical to an untraced build.
     pub trace: TraceConfig,
+    /// How many virtual communication interfaces each endpoint shards its
+    /// matching/jitter/reliability/completion state into. `1` (the
+    /// default) is byte- and charge-identical to the unsharded endpoint;
+    /// values are clamped to [`crate::vci::MAX_VCIS`] at fabric
+    /// construction, where the `LITEMPI_VCIS` environment variable (when
+    /// set) overrides this field.
+    pub num_vcis: usize,
 }
 
 impl ProviderProfile {
@@ -192,6 +199,7 @@ impl ProviderProfile {
             faults: FaultPlan::NONE,
             reliability: ReliabilityConfig::OFF,
             trace: TraceConfig::OFF,
+            num_vcis: 1,
         }
     }
 
@@ -217,6 +225,7 @@ impl ProviderProfile {
             faults: FaultPlan::NONE,
             reliability: ReliabilityConfig::OFF,
             trace: TraceConfig::OFF,
+            num_vcis: 1,
         }
     }
 
@@ -244,6 +253,7 @@ impl ProviderProfile {
             faults: FaultPlan::NONE,
             reliability: ReliabilityConfig::OFF,
             trace: TraceConfig::OFF,
+            num_vcis: 1,
         }
     }
 
@@ -265,6 +275,7 @@ impl ProviderProfile {
             faults: FaultPlan::NONE,
             reliability: ReliabilityConfig::OFF,
             trace: TraceConfig::OFF,
+            num_vcis: 1,
         }
     }
 
@@ -290,6 +301,7 @@ impl ProviderProfile {
             faults: FaultPlan::NONE,
             reliability: ReliabilityConfig::OFF,
             trace: TraceConfig::OFF,
+            num_vcis: 1,
         }
     }
 
@@ -316,6 +328,7 @@ impl ProviderProfile {
             faults: FaultPlan::NONE,
             reliability: ReliabilityConfig::OFF,
             trace: TraceConfig::OFF,
+            num_vcis: 1,
         }
     }
 
@@ -365,6 +378,13 @@ impl ProviderProfile {
     /// capacity.
     pub fn traced(self) -> Self {
         self.with_trace(TraceConfig::on())
+    }
+
+    /// Copy of this profile sharding each endpoint into `n` virtual
+    /// communication interfaces.
+    pub fn with_vcis(mut self, n: usize) -> Self {
+        self.num_vcis = n;
+        self
     }
 }
 
@@ -464,6 +484,14 @@ mod tests {
         assert!(r.trace.enabled);
         assert_eq!(r.trace.ring_capacity, 128);
         assert!(r.reliability.enabled);
+    }
+
+    #[test]
+    fn vcis_default_to_one_and_builder_composes() {
+        assert_eq!(ProviderProfile::ofi().num_vcis, 1);
+        let p = ProviderProfile::ofi().with_vcis(4).reliable();
+        assert_eq!(p.num_vcis, 4);
+        assert!(p.reliability.enabled);
     }
 
     #[test]

@@ -22,7 +22,13 @@ pub struct Fabric {
     endpoints: Vec<EndpointShared>,
     regions: RwLock<HashMap<RegionKey, MemoryRegion>>,
     next_rkey: AtomicU64,
-    pool: PayloadPool,
+    /// One wire-buffer arena per VCI, so concurrent injectors on different
+    /// shards never contend on pool free lists. Entry 0 is the original
+    /// single arena; with one VCI nothing changes.
+    pools: Box<[PayloadPool]>,
+    /// Resolved VCI count ([`Fabric::resolve_vcis`]); every endpoint runs
+    /// this many shards.
+    n_vcis: usize,
     /// Epoch for the retransmit-timer clock ([`Fabric::now_us`]).
     t0: Instant,
     /// Packets the kill-switch victim has touched so far.
@@ -39,8 +45,12 @@ impl Fabric {
     /// Build a fabric with `n` endpoints.
     pub fn new(n: usize, profile: ProviderProfile, topology: Topology) -> Arc<Fabric> {
         assert_eq!(topology.n_ranks(), n, "topology must cover exactly n ranks");
+        let n_vcis = Self::resolve_vcis(&profile);
         let endpoints = (0..n)
-            .map(|i| EndpointShared::new(&profile, NetAddr(i as u32), n))
+            .map(|i| EndpointShared::new(&profile, NetAddr(i as u32), n, n_vcis))
+            .collect();
+        let pools = (0..n_vcis)
+            .map(|_| PayloadPool::with_tracing(profile.trace.enabled))
             .collect();
         Arc::new(Fabric {
             profile,
@@ -48,12 +58,26 @@ impl Fabric {
             endpoints,
             regions: RwLock::new(HashMap::new()),
             next_rkey: AtomicU64::new(1),
-            pool: PayloadPool::with_tracing(profile.trace.enabled),
+            pools,
+            n_vcis,
             t0: Instant::now(),
             kill_count: AtomicU64::new(0),
             kill_tripped: AtomicBool::new(false),
             trace_enabled: profile.trace.enabled,
         })
+    }
+
+    /// Resolve the VCI count for a fabric: the `LITEMPI_VCIS` environment
+    /// variable when set (and parseable) takes precedence over the
+    /// profile's `num_vcis`, letting CI and ablation runs re-shard a build
+    /// without code changes. Either source is clamped to
+    /// `1..=`[`MAX_VCIS`](crate::vci::MAX_VCIS).
+    fn resolve_vcis(profile: &ProviderProfile) -> usize {
+        let requested = std::env::var("LITEMPI_VCIS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(profile.num_vcis);
+        requested.clamp(1, crate::vci::MAX_VCIS)
     }
 
     /// Microseconds since fabric creation (the reliability layer's clock).
@@ -121,8 +145,21 @@ impl Fabric {
 
     /// The shared wire-buffer pool senders take from and receivers release
     /// consumed payloads back into (the single-copy payload pipeline).
+    /// With multiple VCIs this is VCI 0's arena; shard-aware callers use
+    /// [`Fabric::pool_vci`].
     pub fn pool(&self) -> &PayloadPool {
-        &self.pool
+        &self.pools[0]
+    }
+
+    /// The wire-buffer arena owned by one VCI.
+    pub fn pool_vci(&self, vci: usize) -> &PayloadPool {
+        &self.pools[vci]
+    }
+
+    /// The number of virtual communication interfaces each endpoint runs
+    /// (1 = the unsharded configuration the paper analyzes).
+    pub fn n_vcis(&self) -> usize {
+        self.n_vcis
     }
 
     /// Open the endpoint at `addr`.

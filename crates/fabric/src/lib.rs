@@ -45,6 +45,7 @@ pub mod region;
 pub mod reliability;
 pub mod stats;
 pub mod topology;
+pub mod vci;
 
 pub use addr::NetAddr;
 pub use cost::{CopyMode, MatcherKind, NetCost, ProviderKind, ProviderProfile};
@@ -58,3 +59,4 @@ pub use region::{MemoryRegion, RdmaAtomicOp, RegionKey};
 pub use reliability::{crc32, ReliabilityConfig};
 pub use stats::EndpointStats;
 pub use topology::Topology;
+pub use vci::{vci_for_bits, MAX_VCIS};

@@ -209,6 +209,11 @@ impl PacketBody {
 pub(crate) struct WirePacket {
     /// Sending endpoint.
     pub src: NetAddr,
+    /// Virtual communication interface the packet travels on. Each
+    /// (VCI, link) pair is an independent sequence space and reliability
+    /// domain; ACKs return on the same VCI. Always 0 on an unsharded
+    /// endpoint.
+    pub vci: usize,
     /// Per-link sequence number (meaningless for standalone ACKs).
     pub seq: u32,
     /// Piggybacked cumulative ACK for the reverse link: "I have received
@@ -471,19 +476,36 @@ pub(crate) struct ReliaState {
 }
 
 impl ReliaState {
-    /// Build state for the endpoint at `addr` on a fabric of `n`
-    /// endpoints. When neither faults nor reliability are enabled the
-    /// vectors stay empty (nothing ever looks at them).
-    pub(crate) fn new(profile: &ProviderProfile, addr: NetAddr, n: usize) -> ReliaState {
+    /// Build the reliability domain of one VCI of the endpoint at `addr`
+    /// on a fabric of `n` endpoints. When neither faults nor reliability
+    /// are enabled the vectors stay empty (nothing ever looks at them).
+    ///
+    /// VCI 0 seeds its fault RNGs exactly as the unsharded endpoint did
+    /// (byte-identity when `num_vcis = 1`); higher VCIs mix the shard
+    /// index into each link seed so concurrent shards draw independent
+    /// fault streams.
+    pub(crate) fn new_vci(
+        profile: &ProviderProfile,
+        addr: NetAddr,
+        n: usize,
+        vci: usize,
+    ) -> ReliaState {
         let cfg = profile.reliability;
         let active = cfg.enabled || !profile.faults.is_none();
         let n = if active { n } else { 0 };
+        let mix = |seed: u64| {
+            if vci == 0 {
+                seed
+            } else {
+                (seed ^ (vci as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)) | 1
+            }
+        };
         ReliaState {
             cfg,
             tx: (0..n).map(|_| LinkTx::new(&cfg)).collect(),
             rx: (0..n).map(|_| LinkRx::new(&cfg)).collect(),
             fault_rng: (0..n)
-                .map(|d| LinkRng::new(profile.faults.link_seed(addr, NetAddr(d as u32))))
+                .map(|d| LinkRng::new(mix(profile.faults.link_seed(addr, NetAddr(d as u32)))))
                 .collect(),
             specs: (0..n)
                 .map(|d| profile.faults.spec_for(addr, NetAddr(d as u32)))
@@ -824,13 +846,33 @@ mod tests {
     #[test]
     fn relia_state_sizes_follow_activation() {
         let off = ProviderProfile::infinite();
-        let s = ReliaState::new(&off, NetAddr(0), 4);
+        let s = ReliaState::new_vci(&off, NetAddr(0), 4, 0);
         assert!(s.tx.is_empty() && s.rx.is_empty() && s.dead.is_empty());
 
         let on = ProviderProfile::infinite().with_reliability(ReliabilityConfig::on());
-        let s = ReliaState::new(&on, NetAddr(0), 4);
+        let s = ReliaState::new_vci(&on, NetAddr(0), 4, 0);
         assert_eq!(s.tx.len(), 4);
         assert_eq!(s.rx.len(), 4);
         assert_eq!(s.fault_rng.len(), 4);
+    }
+
+    #[test]
+    fn vci_zero_fault_seeds_match_unsharded_and_higher_vcis_differ() {
+        use crate::fault::FaultPlan;
+        let profile = ProviderProfile::infinite()
+            .with_faults(FaultPlan::uniform(7, FaultSpec::percent(10, 0, 0, 0)))
+            .reliable();
+        let v0a = ReliaState::new_vci(&profile, NetAddr(0), 2, 0);
+        let v0b = ReliaState::new_vci(&profile, NetAddr(0), 2, 0);
+        let v1 = ReliaState::new_vci(&profile, NetAddr(0), 2, 1);
+        // Same construction → same RNG stream; a different VCI diverges.
+        let mut a = v0a.fault_rng[1].clone();
+        let mut b = v0b.fault_rng[1].clone();
+        let mut c = v1.fault_rng[1].clone();
+        let sa: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let sb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let sc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(sa, sb);
+        assert_ne!(sa, sc);
     }
 }

@@ -15,6 +15,7 @@
 //! [`StatsSnapshot`].
 
 use crate::matching::MatchCounters;
+use crate::vci::MAX_VCIS;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Monotonic cross-thread traffic counters for one endpoint. All counters
@@ -45,6 +46,13 @@ pub struct EndpointStats {
     pub acks_sent: AtomicU64,
     /// Packets the fault plan dropped (or killed) on this endpoint's sends.
     pub faults_dropped: AtomicU64,
+    /// Per-VCI lock acquisitions (critical section + tag engine). Only
+    /// bumped when the endpoint runs more than one VCI, so the single-VCI
+    /// fast path pays nothing for them.
+    pub vci_acquires: [AtomicU64; MAX_VCIS],
+    /// Per-VCI acquisitions that found the lock held by another thread —
+    /// the shard-level contention the VCI design exists to eliminate.
+    pub vci_contended: [AtomicU64; MAX_VCIS],
 }
 
 impl EndpointStats {
@@ -76,8 +84,26 @@ impl EndpointStats {
             wildcard_matches: matching.wildcard_matches,
             max_posted_depth: matching.max_posted_depth,
             max_unexpected_depth: matching.max_unexpected_depth,
+            vci_acquires: load_array(&self.vci_acquires),
+            vci_contended: load_array(&self.vci_contended),
         }
     }
+}
+
+fn load_array(a: &[AtomicU64; MAX_VCIS]) -> [u64; MAX_VCIS] {
+    let mut out = [0u64; MAX_VCIS];
+    for (dst, src) in out.iter_mut().zip(a.iter()) {
+        *dst = src.load(Ordering::Relaxed);
+    }
+    out
+}
+
+fn diff_array(a: &[u64; MAX_VCIS], b: &[u64; MAX_VCIS]) -> [u64; MAX_VCIS] {
+    let mut out = [0u64; MAX_VCIS];
+    for (dst, (x, y)) in out.iter_mut().zip(a.iter().zip(b.iter())) {
+        *dst = x - y;
+    }
+    out
 }
 
 /// A point-in-time copy of one endpoint's counters ([`EndpointStats`]
@@ -104,6 +130,8 @@ pub struct StatsSnapshot {
     pub wildcard_matches: u64,
     pub max_posted_depth: u64,
     pub max_unexpected_depth: u64,
+    pub vci_acquires: [u64; MAX_VCIS],
+    pub vci_contended: [u64; MAX_VCIS],
 }
 
 impl StatsSnapshot {
@@ -131,6 +159,8 @@ impl StatsSnapshot {
             wildcard_matches: self.wildcard_matches - earlier.wildcard_matches,
             max_posted_depth: self.max_posted_depth,
             max_unexpected_depth: self.max_unexpected_depth,
+            vci_acquires: diff_array(&self.vci_acquires, &earlier.vci_acquires),
+            vci_contended: diff_array(&self.vci_contended, &earlier.vci_contended),
         }
     }
 
@@ -196,6 +226,20 @@ mod tests {
         assert_eq!(snap.bytes_received, 64);
         assert_eq!(snap.max_posted_depth, 5);
         assert_eq!(snap.bucket_hit_rate(), Some(0.75));
+    }
+
+    #[test]
+    fn vci_counters_snapshot_and_diff() {
+        let s = EndpointStats::default();
+        EndpointStats::bump(&s.vci_acquires[2], 10);
+        EndpointStats::bump(&s.vci_contended[2], 4);
+        let a = s.snapshot(&MatchCounters::default());
+        assert_eq!(a.vci_acquires[2], 10);
+        assert_eq!(a.vci_contended[2], 4);
+        EndpointStats::bump(&s.vci_acquires[2], 1);
+        let b = s.snapshot(&MatchCounters::default());
+        assert_eq!(b.diff(&a).vci_acquires[2], 1);
+        assert_eq!(b.diff(&a).vci_contended[2], 0);
     }
 
     #[test]

@@ -1,0 +1,139 @@
+//! Virtual communication interfaces (VCIs): sharding one endpoint's
+//! serialized channel into independently locked channels.
+//!
+//! The paper's analysis ends at a single serialized communication context
+//! per process — one matching engine, one reliability domain, one
+//! completion queue, all behind one critical section. That is exactly the
+//! configuration whose message rate stops scaling with injector threads
+//! under `MPI_THREAD_MULTIPLE`, and MPICH's VCI extension
+//! (Zhou/Raffenetti et al., PAPERS.md) is the fix: replicate the channel N
+//! ways and map each operation onto one shard by its communicator/tag, so
+//! threads driving different communicators never share a lock.
+//!
+//! This module owns the *mapping rule*; the sharded state itself lives in
+//! [`crate::endpoint`]. The rule must be:
+//!
+//! * **Deterministic and symmetric** — the sender picks the shard from the
+//!   match bits alone, and the receiver's posting path derives the same
+//!   shard from the same bits, so a message and the receive that matches
+//!   it always meet in the same [`MatchEngine`](crate::matching::MatchEngine).
+//! * **Wildcard-safe** — a receive with a wildcard source or tag must land
+//!   in the one shard every candidate message also lands in. User-channel
+//!   traffic therefore hashes on the context id *only* (the context id is
+//!   never wildcarded), pinning a communicator's entire pt2pt channel —
+//!   and any wildcard receive on it — to the communicator's *home VCI*.
+//! * **Spreading where it is safe** — the collective channel (context bit
+//!   15) never sees wildcards and every collective send/recv pair agrees
+//!   on a concrete tag, so it may additionally hash the tag, spreading
+//!   concurrent schedule traffic of one communicator across shards.
+//!
+//! The match-bits layout this decodes (bits 63..48 context id, bits 23..0
+//! tag) is the wire contract established by `litempi-core`'s match-bits
+//! encoder; `litempi-core` asserts the two stay in agreement.
+
+/// Hard upper bound on shards per endpoint (sizes the per-VCI stats
+/// arrays). Real MPICH defaults to a similarly small per-process VCI
+/// count; requests beyond this are clamped at fabric construction.
+pub const MAX_VCIS: usize = 8;
+
+/// Bit position of the context id inside the 64-bit match bits.
+const CTX_SHIFT: u32 = 48;
+/// Mask of the tag inside the 64-bit match bits.
+const TAG_MASK: u64 = 0x00FF_FFFF;
+/// The context-id bit distinguishing the collective channel.
+const COLLECTIVE_BIT: u64 = 0x8000;
+
+/// Map match bits onto a VCI index in `0..n_vcis`.
+///
+/// User channel: `ctx % n` (the communicator's home VCI — wildcard-safe
+/// because receives always carry a concrete context id). Collective
+/// channel: `(ctx without the collective bit + tag) % n` — never
+/// wildcarded, so the tag may spread traffic. With `n_vcis == 1` this is
+/// the constant 0 and the sharded endpoint degenerates to the paper's
+/// single channel.
+#[inline]
+pub fn vci_for_bits(bits: u64, n_vcis: usize) -> usize {
+    if n_vcis <= 1 {
+        return 0;
+    }
+    let ctx = bits >> CTX_SHIFT;
+    let key = if ctx & COLLECTIVE_BIT != 0 {
+        (ctx & !COLLECTIVE_BIT).wrapping_add(bits & TAG_MASK)
+    } else {
+        ctx
+    };
+    (key % n_vcis as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bits(ctx: u64, src: u64, tag: u64) -> u64 {
+        (ctx << CTX_SHIFT) | (src << 24) | tag
+    }
+
+    #[test]
+    fn single_vci_is_always_zero() {
+        for ctx in [0u64, 1, 5, 0x8003] {
+            for tag in [0u64, 1, 77, TAG_MASK] {
+                assert_eq!(vci_for_bits(bits(ctx, 3, tag), 1), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn user_channel_ignores_source_and_tag() {
+        // Wildcard safety: every message a wildcard receive could match
+        // (any source, any tag, same ctx) maps to the same shard.
+        let home = vci_for_bits(bits(5, 0, 0), 4);
+        for src in [0u64, 1, 2, 0xFFFF] {
+            for tag in [0u64, 9, 1000, TAG_MASK] {
+                assert_eq!(vci_for_bits(bits(5, src, tag), 4), home);
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_contexts_spread_over_shards() {
+        // Comm dup mints sequential context ids, so M dup'd communicators
+        // land on M distinct home VCIs (the msgrate_mt injector pattern).
+        let homes: Vec<usize> = (1..=4)
+            .map(|ctx| vci_for_bits(bits(ctx, 0, 0), 4))
+            .collect();
+        let mut uniq = homes.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 4, "{homes:?}");
+    }
+
+    #[test]
+    fn collective_channel_spreads_by_tag() {
+        let ctx = 3 | COLLECTIVE_BIT;
+        let shards: Vec<usize> = (0..4)
+            .map(|tag| vci_for_bits(bits(ctx, 0, tag), 4))
+            .collect();
+        let mut uniq = shards.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 4, "{shards:?}");
+        // ...but deterministically: sender and receiver agree per tag.
+        for tag in 0..4 {
+            assert_eq!(
+                vci_for_bits(bits(ctx, 0, tag), 4),
+                vci_for_bits(bits(ctx, 2, tag), 4) // different source, same shard
+            );
+        }
+    }
+
+    #[test]
+    fn result_always_in_range() {
+        for n in 1..=MAX_VCIS {
+            for ctx in [0u64, 1, 7, 0x7FFF, 0x8000, 0xFFFF] {
+                for tag in [0u64, 1, TAG_MASK] {
+                    assert!(vci_for_bits(bits(ctx, 1, tag), n) < n);
+                }
+            }
+        }
+    }
+}

@@ -72,11 +72,18 @@ pub enum Category {
     /// counts; tracked separately so tests can assert it never leaks into
     /// the injection-path totals.
     Progress,
+    /// Multi-VCI endpoint bookkeeping: hashing an operation's
+    /// (context id, tag) onto its virtual communication interface. This is
+    /// work MPICH's VCI extension *adds* relative to the paper's single
+    /// serialized channel, so — like `Schedule` — it is charged to its own
+    /// category outside the injection totals and is exactly zero when
+    /// `num_vcis = 1` (the calibrated 221/215 pins stay untouched).
+    Vci,
 }
 
 impl Category {
     /// Number of categories (array sizing).
-    pub const COUNT: usize = 15;
+    pub const COUNT: usize = 16;
 
     /// All categories in declaration order.
     pub const ALL: [Category; Category::COUNT] = [
@@ -95,6 +102,7 @@ impl Category {
         Category::Reliability,
         Category::Schedule,
         Category::Progress,
+        Category::Vci,
     ];
 
     /// Index into per-category arrays.
@@ -122,7 +130,10 @@ impl Category {
     /// (the paper's send-side instruction counts): everything except
     /// receiver-side progress.
     pub const fn is_injection_path(self) -> bool {
-        !matches!(self, Category::Progress | Category::Schedule)
+        !matches!(
+            self,
+            Category::Progress | Category::Schedule | Category::Vci
+        )
     }
 
     /// Short machine-readable label used by the harness binaries.
@@ -143,6 +154,7 @@ impl Category {
             Category::Reliability => "reliability",
             Category::Schedule => "schedule",
             Category::Progress => "progress",
+            Category::Vci => "vci",
         }
     }
 
@@ -166,6 +178,7 @@ impl Category {
             Category::Reliability => "Software reliability protocol (PSM2-style onload)",
             Category::Schedule => "Nonblocking-collective schedule engine (not in injection path)",
             Category::Progress => "Receiver-side progress (not in injection path)",
+            Category::Vci => "Virtual-communication-interface selection (not in injection path)",
         }
     }
 }
@@ -212,6 +225,12 @@ mod tests {
     fn schedule_not_in_injection_path_and_not_mandatory() {
         assert!(!Category::Schedule.is_injection_path());
         assert!(!Category::Schedule.is_mandatory());
+    }
+
+    #[test]
+    fn vci_not_in_injection_path_and_not_mandatory() {
+        assert!(!Category::Vci.is_injection_path());
+        assert!(!Category::Vci.is_mandatory());
     }
 
     #[test]

@@ -72,6 +72,14 @@ pub enum EventKind {
     /// (0 scalar, 1 SSE2, 2 AVX2, 3 NEON), `b` = 1 when the
     /// carryless-multiply CRC path is active, else 0.
     KernelTier,
+    /// An operation was hashed onto a virtual communication interface
+    /// (only emitted when `num_vcis > 1`). `a` = VCI index, `b` = match
+    /// bits of the operation.
+    VciSelect,
+    /// A per-VCI lock (critical section or tag engine) was found held by
+    /// another thread and the acquirer had to wait. `a` = VCI index,
+    /// `b` = 0 for the core critical section, 1 for the fabric tag engine.
+    VciContend,
 }
 
 impl EventKind {
@@ -94,6 +102,8 @@ impl EventKind {
             EventKind::CollBegin | EventKind::CollEnd => "collective",
             EventKind::SchedPhaseBegin | EventKind::SchedPhaseComplete => "sched_phase",
             EventKind::KernelTier => "kernel_tier",
+            EventKind::VciSelect => "vci_select",
+            EventKind::VciContend => "vci_contend",
         }
     }
 
@@ -122,6 +132,7 @@ impl EventKind {
             | EventKind::SchedPhaseBegin
             | EventKind::SchedPhaseComplete => "coll",
             EventKind::KernelTier => "kernel",
+            EventKind::VciSelect | EventKind::VciContend => "vci",
         }
     }
 
