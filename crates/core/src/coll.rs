@@ -47,6 +47,18 @@ impl Drop for CollSpan {
     }
 }
 
+/// ULFM gate at the head of every blocking collective: an operation on a
+/// revoked communicator fails with `Revoked` (through the errhandler)
+/// instead of deadlocking against ranks that already know. Uncharged — in
+/// the fault-free case this is one relaxed load, so the paper's calibrated
+/// charge totals are untouched.
+fn ft_gate(comm: &Communicator) -> MpiResult<()> {
+    if comm.proc.is_ctx_revoked(comm.context_id().0) {
+        return comm.handle_error(Err(MpiError::Revoked));
+    }
+    Ok(())
+}
+
 /// Internal collective-channel send: fire-and-forget, eager or rendezvous.
 pub(crate) fn csend(comm: &Communicator, dest: usize, tag: i32, data: &[u8]) {
     let proc = &comm.proc;
@@ -78,7 +90,12 @@ pub(crate) fn csend(comm: &Communicator, dest: usize, tag: i32, data: &[u8]) {
 pub(crate) fn crecv(comm: &Communicator, src: usize, tag: i32) -> MpiResult<bytes::Bytes> {
     let proc = &comm.proc;
     let bits = match_bits::encode(comm.context_id().collective(), src, tag);
-    let payload = comm.handle_error(recv_raw(proc, bits, Some(comm.world_rank_of(src))))?;
+    let payload = comm.handle_error(recv_raw(
+        proc,
+        bits,
+        Some(comm.world_rank_of(src)),
+        Some(comm.context_id().0),
+    ))?;
     if let DecodedPayload::Rts { rndv_id, .. } = proto::decode(&payload).1 {
         let data = comm.handle_error(proc.univ.pull_rndv(rndv_id).ok_or(MpiError::Integrity(
             "rendezvous entry vanished (damaged or replayed RTS descriptor)",
@@ -90,18 +107,44 @@ pub(crate) fn crecv(comm: &Communicator, src: usize, tag: i32) -> MpiResult<byte
     Ok(proto::eager_view(&payload))
 }
 
+/// FT-internal receive for the agreement protocol ([`crate::ft`]): like
+/// [`crecv`], but exempt from revocation gates (ULFM requires `agree` to
+/// work on a revoked communicator) and never routed through the
+/// communicator's errhandler — the protocol turns peer death into
+/// protocol state (a dead-mask bit), not an application error.
+pub(crate) fn crecv_ft(comm: &Communicator, src: usize, tag: i32) -> MpiResult<bytes::Bytes> {
+    let proc = &comm.proc;
+    let bits = match_bits::encode(comm.context_id().collective(), src, tag);
+    let payload = recv_raw(proc, bits, Some(comm.world_rank_of(src)), None)?;
+    if let DecodedPayload::Rts { rndv_id, .. } = proto::decode(&payload).1 {
+        let data = proc.univ.pull_rndv(rndv_id).ok_or(MpiError::Integrity(
+            "rendezvous entry vanished (damaged or replayed RTS descriptor)",
+        ))?;
+        proc.pool_release(bits, payload);
+        return Ok(bytes::Bytes::from_storage(data));
+    }
+    Ok(proto::eager_view(&payload))
+}
+
 /// Blocking matched receive on the collective channel. `peer` is the
 /// expected sender's world rank: the poll closure checks it for death on
 /// every pass, so a kill-switch firing mid-collective turns the wait into
-/// `PeerUnreachable` instead of a hang.
-fn recv_raw(proc: &ProcInner, bits: u64, peer: Option<usize>) -> MpiResult<bytes::Bytes> {
+/// `PeerUnreachable` instead of a hang. `revoke_ctx` (the owning
+/// communicator's user-channel context, or `None` for FT-internal
+/// traffic) additionally turns a revocation into `Revoked`.
+fn recv_raw(
+    proc: &ProcInner,
+    bits: u64,
+    peer: Option<usize>,
+    revoke_ctx: Option<u16>,
+) -> MpiResult<bytes::Bytes> {
     if proc.endpoint.fabric().profile().caps.native_tagged {
         let handle = proc.endpoint.trecv_post(bits, 0);
         let r = wait_loop(proc, || {
             if let Some(m) = handle.poll() {
                 return Some(Ok(m.data));
             }
-            check_peer(proc, peer, false).err().map(Err)
+            check_peer(proc, peer, false, revoke_ctx).err().map(Err)
         });
         if r.is_err() {
             // Death may race an in-flight delivery: take it if it landed.
@@ -117,7 +160,7 @@ fn recv_raw(proc: &ProcInner, bits: u64, peer: Option<usize>) -> MpiResult<bytes
             if let Some(m) = slot.filled.lock().take() {
                 return Some(Ok(m.payload));
             }
-            check_peer(proc, peer, false).err().map(Err)
+            check_peer(proc, peer, false, revoke_ctx).err().map(Err)
         });
         if r.is_err() {
             if let Some(m) = slot.filled.lock().take() {
@@ -132,6 +175,7 @@ fn recv_raw(proc: &ProcInner, bits: u64, peer: Option<usize>) -> MpiResult<bytes
 /// `MPI_BARRIER`: dissemination algorithm — ⌈log₂ P⌉ rounds, each rank
 /// sending to `rank + 2^k` and receiving from `rank - 2^k`.
 pub fn barrier(comm: &Communicator) -> MpiResult<()> {
+    ft_gate(comm)?;
     let size = comm.size();
     if size == 1 {
         return Ok(());
@@ -159,6 +203,7 @@ pub const BCAST_LONG_MSG_BYTES: usize = 32 * 1024;
 /// `MPI_BCAST`: algorithm selected by payload size — binomial tree for
 /// short messages, scatter + ring allgather for long ones.
 pub fn bcast<T: MpiPrimitive>(comm: &Communicator, buf: &mut [T], root: usize) -> MpiResult<()> {
+    ft_gate(comm)?;
     let _span = CollSpan::begin(comm, coll_op::BCAST);
     let bytes = std::mem::size_of_val(buf);
     if bytes > BCAST_LONG_MSG_BYTES && comm.size() > 2 && buf.len().is_multiple_of(comm.size()) {
@@ -174,6 +219,7 @@ pub fn bcast_binomial<T: MpiPrimitive>(
     buf: &mut [T],
     root: usize,
 ) -> MpiResult<()> {
+    ft_gate(comm)?;
     let size = comm.size();
     // Real validation, not `debug_assert!`: an out-of-range root in a
     // release build must be `MPI_ERR_RANK`, not a silent mis-rooted tree.
@@ -230,6 +276,7 @@ pub fn bcast_scatter_allgather<T: MpiPrimitive>(
     buf: &mut [T],
     root: usize,
 ) -> MpiResult<()> {
+    ft_gate(comm)?;
     let size = comm.size();
     if root >= size {
         return Err(MpiError::InvalidRank {
@@ -271,6 +318,7 @@ pub fn reduce<T: MpiPrimitive>(
     op: &Op,
     root: usize,
 ) -> MpiResult<Option<Vec<T>>> {
+    ft_gate(comm)?;
     let _span = CollSpan::begin(comm, coll_op::REDUCE);
     let size = comm.size();
     let rank = comm.rank();
@@ -309,6 +357,7 @@ pub fn allreduce<T: MpiPrimitive>(
     sendbuf: &[T],
     op: &Op,
 ) -> MpiResult<Vec<T>> {
+    ft_gate(comm)?;
     let _span = CollSpan::begin(comm, coll_op::ALLREDUCE);
     let size = comm.size();
     let rank = comm.rank();
@@ -344,6 +393,7 @@ pub fn gather<T: MpiPrimitive>(
     sendbuf: &[T],
     root: usize,
 ) -> MpiResult<Option<Vec<T>>> {
+    ft_gate(comm)?;
     let _span = CollSpan::begin(comm, coll_op::GATHER);
     let size = comm.size();
     let rank = comm.rank();
@@ -372,6 +422,7 @@ pub fn gatherv<T: MpiPrimitive>(
     sendbuf: &[T],
     root: usize,
 ) -> MpiResult<Option<(Vec<T>, Vec<usize>)>> {
+    ft_gate(comm)?;
     let _span = CollSpan::begin(comm, coll_op::GATHER);
     let size = comm.size();
     let rank = comm.rank();
@@ -409,6 +460,7 @@ pub fn scatter<T: MpiPrimitive>(
     block: usize,
     root: usize,
 ) -> MpiResult<Vec<T>> {
+    ft_gate(comm)?;
     let _span = CollSpan::begin(comm, coll_op::SCATTER);
     let size = comm.size();
     let rank = comm.rank();
@@ -446,6 +498,7 @@ pub fn scatter<T: MpiPrimitive>(
 /// `MPI_ALLGATHER`: recursive doubling for power-of-two communicator
 /// sizes (log P steps), ring otherwise (P-1 steps, bandwidth-friendly).
 pub fn allgather<T: MpiPrimitive>(comm: &Communicator, sendbuf: &[T]) -> MpiResult<Vec<T>> {
+    ft_gate(comm)?;
     let _span = CollSpan::begin(comm, coll_op::ALLGATHER);
     if comm.size().is_power_of_two() && comm.size() > 1 {
         allgather_recursive_doubling(comm, sendbuf)
@@ -460,6 +513,7 @@ pub fn allgather_recursive_doubling<T: MpiPrimitive>(
     comm: &Communicator,
     sendbuf: &[T],
 ) -> MpiResult<Vec<T>> {
+    ft_gate(comm)?;
     let size = comm.size();
     debug_assert!(size.is_power_of_two());
     let rank = comm.rank();
@@ -485,6 +539,7 @@ pub fn allgather_recursive_doubling<T: MpiPrimitive>(
 
 /// Ring allgather: every rank ends with all blocks in rank order.
 pub fn allgather_ring<T: MpiPrimitive>(comm: &Communicator, sendbuf: &[T]) -> MpiResult<Vec<T>> {
+    ft_gate(comm)?;
     let size = comm.size();
     let rank = comm.rank();
     let tag = comm.next_coll_tag();
@@ -521,6 +576,7 @@ pub fn alltoall<T: MpiPrimitive>(
     sendbuf: &[T],
     block: usize,
 ) -> MpiResult<Vec<T>> {
+    ft_gate(comm)?;
     let _span = CollSpan::begin(comm, coll_op::ALLTOALL);
     let size = comm.size();
     let rank = comm.rank();
@@ -552,6 +608,7 @@ pub fn alltoall<T: MpiPrimitive>(
 
 /// `MPI_SCAN` (inclusive prefix reduction, linear chain).
 pub fn scan<T: MpiPrimitive>(comm: &Communicator, sendbuf: &[T], op: &Op) -> MpiResult<Vec<T>> {
+    ft_gate(comm)?;
     let _span = CollSpan::begin(comm, coll_op::SCAN);
     let size = comm.size();
     let rank = comm.rank();
@@ -581,6 +638,7 @@ pub fn exscan<T: MpiPrimitive>(
     sendbuf: &[T],
     op: &Op,
 ) -> MpiResult<Option<Vec<T>>> {
+    ft_gate(comm)?;
     let _span = CollSpan::begin(comm, coll_op::SCAN);
     let size = comm.size();
     let rank = comm.rank();
@@ -619,6 +677,7 @@ pub fn reduce_scatter_block<T: MpiPrimitive>(
     sendbuf: &[T],
     op: &Op,
 ) -> MpiResult<Vec<T>> {
+    ft_gate(comm)?;
     let _span = CollSpan::begin(comm, coll_op::REDUCE_SCATTER);
     let size = comm.size();
     if !sendbuf.len().is_multiple_of(size) {

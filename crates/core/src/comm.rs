@@ -119,6 +119,15 @@ pub struct Communicator {
     pub(crate) is_predef: bool,
     /// Error handler for communication failures (`MPI_Comm_set_errhandler`).
     pub(crate) errhandler: Cell<Errhandler>,
+    /// ULFM `MPI_Comm_failure_ack` state: bitmask (by communicator rank)
+    /// of failures this handle has acknowledged. Local, per-handle — like
+    /// the standard's ack, it only silences `agree`'s failure reporting.
+    pub(crate) acked_failures: Cell<u64>,
+    /// Per-rank agreement sequence number: `agree`/`shrink` are collective
+    /// and ordered, so equal on all participants at each call site — it
+    /// keys the protocol's tag space so overlapping agreements (and
+    /// retries after a coordinator death) cannot cross-match.
+    pub(crate) agree_seq: Cell<u64>,
 }
 
 impl Communicator {
@@ -137,6 +146,8 @@ impl Communicator {
             noreq: RefCell::new(NoReqState::default()),
             is_predef: false,
             errhandler: Cell::new(Errhandler::default()),
+            acked_failures: Cell::new(0),
+            agree_seq: Cell::new(0),
         }
     }
 
@@ -159,6 +170,8 @@ impl Communicator {
             noreq: RefCell::new(NoReqState::default()),
             is_predef,
             errhandler: Cell::new(Errhandler::default()),
+            acked_failures: Cell::new(0),
+            agree_seq: Cell::new(0),
         }
     }
 
@@ -225,7 +238,7 @@ impl Communicator {
         (s % (1 << 20)) as i32
     }
 
-    fn next_derive_seq(&self) -> u64 {
+    pub(crate) fn next_derive_seq(&self) -> u64 {
         let s = self.derive_seq.get();
         self.derive_seq.set(s + 1);
         s

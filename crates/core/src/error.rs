@@ -63,6 +63,20 @@ pub enum MpiError {
     /// `MPI_ERR_OTHER`-class integrity failure: a protocol message arrived
     /// damaged (undetected by, or with, CRC) and could not be interpreted.
     Integrity(&'static str),
+    /// ULFM `MPI_ERR_PROC_FAILED`: a member process of the communicator
+    /// failed, as reported by the recovery API ([`crate::ft`]) — e.g.
+    /// `agree` observing an unacknowledged failure among its participants.
+    /// Distinct from [`MpiError::PeerUnreachable`], which is the transport
+    /// layer's view of one dead link; this class carries the communicator-
+    /// level verdict.
+    ProcessFailed {
+        /// World rank of the failed process.
+        peer: usize,
+    },
+    /// ULFM `MPI_ERR_REVOKED`: the communicator was revoked
+    /// ([`crate::ft`]); all pending and future non-agreement operations on
+    /// it fail with this class instead of hanging.
+    Revoked,
 }
 
 impl MpiError {
@@ -88,6 +102,8 @@ impl MpiError {
             MpiError::ExtensionMisuse(_) => 12,
             MpiError::PeerUnreachable { .. } => 13,
             MpiError::Integrity(_) => 14,
+            MpiError::ProcessFailed { .. } => 15,
+            MpiError::Revoked => 16,
         }
     }
 
@@ -100,8 +116,37 @@ impl MpiError {
     pub fn is_comm_failure(&self) -> bool {
         matches!(
             self,
-            MpiError::PeerUnreachable { .. } | MpiError::Integrity(_)
+            MpiError::PeerUnreachable { .. }
+                | MpiError::Integrity(_)
+                | MpiError::ProcessFailed { .. }
+                | MpiError::Revoked
         )
+    }
+}
+
+/// `MPI_Error_string` analogue: the standard's class name for a numeric
+/// error class (see [`MpiError::error_class`]). Unknown classes render as
+/// `"MPI_ERR_UNKNOWN"` rather than panicking, matching the C routine's
+/// tolerance of arbitrary codes.
+pub fn error_string(class: u32) -> &'static str {
+    match class {
+        1 => "MPI_ERR_RANK",
+        2 => "MPI_ERR_TAG",
+        3 => "MPI_ERR_COUNT",
+        4 => "MPI_ERR_TYPE",
+        5 => "MPI_ERR_TRUNCATE",
+        6 => "MPI_ERR_BUFFER",
+        7 => "MPI_ERR_WIN",
+        8 => "MPI_ERR_RMA_SYNC",
+        9 => "MPI_ERR_OP",
+        10 => "MPI_ERR_COMM",
+        11 => "MPI_ERR_REQUEST",
+        12 => "MPI_ERR_PENDING",
+        13 => "MPI_ERR_PROC_FAILED",
+        14 => "MPI_ERR_OTHER",
+        15 => "MPI_ERR_PROC_FAILED",
+        16 => "MPI_ERR_REVOKED",
+        _ => "MPI_ERR_UNKNOWN",
     }
 }
 
@@ -133,6 +178,10 @@ impl std::fmt::Display for MpiError {
                 write!(f, "MPI_ERR_PROC_FAILED: peer rank {peer} unreachable")
             }
             MpiError::Integrity(s) => write!(f, "MPI_ERR_OTHER (integrity): {s}"),
+            MpiError::ProcessFailed { peer } => {
+                write!(f, "MPI_ERR_PROC_FAILED: process rank {peer} failed")
+            }
+            MpiError::Revoked => write!(f, "MPI_ERR_REVOKED: communicator revoked"),
         }
     }
 }
@@ -176,12 +225,32 @@ mod tests {
         assert_eq!(MpiError::ExtensionMisuse("x").error_class(), 12);
         assert_eq!(MpiError::PeerUnreachable { peer: 3 }.error_class(), 13);
         assert_eq!(MpiError::Integrity("x").error_class(), 14);
+        assert_eq!(MpiError::ProcessFailed { peer: 3 }.error_class(), 15);
+        assert_eq!(MpiError::Revoked.error_class(), 16);
+    }
+
+    #[test]
+    fn error_string_renders_every_class() {
+        assert_eq!(error_string(1), "MPI_ERR_RANK");
+        assert_eq!(error_string(13), "MPI_ERR_PROC_FAILED");
+        // The ULFM classes render under their standard names.
+        assert_eq!(
+            error_string(MpiError::ProcessFailed { peer: 0 }.error_class()),
+            "MPI_ERR_PROC_FAILED"
+        );
+        assert_eq!(
+            error_string(MpiError::Revoked.error_class()),
+            "MPI_ERR_REVOKED"
+        );
+        assert_eq!(error_string(999), "MPI_ERR_UNKNOWN");
     }
 
     #[test]
     fn comm_failures_are_distinguished_from_argument_errors() {
         assert!(MpiError::PeerUnreachable { peer: 0 }.is_comm_failure());
         assert!(MpiError::Integrity("bad header").is_comm_failure());
+        assert!(MpiError::ProcessFailed { peer: 1 }.is_comm_failure());
+        assert!(MpiError::Revoked.is_comm_failure());
         assert!(!MpiError::InvalidTag(-1).is_comm_failure());
         assert!(!MpiError::Truncate {
             message: 8,

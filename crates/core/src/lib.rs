@@ -44,6 +44,7 @@ pub mod comm;
 pub mod config;
 pub mod error;
 pub mod ext;
+pub mod ft;
 pub mod group;
 pub mod info;
 pub mod intercomm;
@@ -64,7 +65,8 @@ pub mod universe;
 pub use cart::CartComm;
 pub use comm::{Communicator, Errhandler, PredefHandle, UNDEFINED};
 pub use config::{BuildConfig, DeviceKind, ThreadLevel};
-pub use error::{MpiError, MpiResult};
+pub use error::{error_string, MpiError, MpiResult};
+pub use ft::MAX_FT_RANKS;
 pub use group::{Group, GroupRelation, RankMap};
 pub use info::Info;
 pub use intercomm::InterComm;

@@ -15,8 +15,8 @@ use bytes::Bytes;
 use litempi_datatype::{Datatype, Predefined};
 use litempi_fabric::{AmMessage, Endpoint, NetAddr};
 use parking_lot::Mutex;
-use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::AtomicU64;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Number of precreated communicator handles (`MPI_COMM_1`..`MPI_COMM_8`)
@@ -184,6 +184,16 @@ pub struct ProcInner {
     /// the buffer never holds live data — only the capacity check is
     /// semantically observable, exactly as with a fast eager path in C.
     pub(crate) bsend_buffer: Mutex<Option<usize>>,
+    /// Raw context ids revoked on this rank (ULFM `MPI_Comm_revoke`). A
+    /// revocation marks both a communicator's user-channel context and its
+    /// collective twin, so gates can test whatever ctx their match bits
+    /// carry.
+    pub(crate) revoked: Mutex<HashSet<u16>>,
+    /// Fast-path flag: `false` until the first revocation, so the FT gates
+    /// on the injection path cost one predictable relaxed load in the
+    /// fault-free case (the paper's charge identity is untouched — the
+    /// gate carries no `charge`).
+    pub(crate) any_revoked: AtomicBool,
 }
 
 impl ProcInner {
@@ -227,6 +237,69 @@ impl ProcInner {
             next_op_id: AtomicU64::new(1),
             predef_comms: Default::default(),
             bsend_buffer: Mutex::new(None),
+            revoked: Mutex::new(HashSet::new()),
+            any_revoked: AtomicBool::new(false),
+        }
+    }
+
+    /// Is the raw context id revoked on this rank? One relaxed load in the
+    /// common (never-revoked) case.
+    #[inline]
+    pub(crate) fn is_ctx_revoked(&self, ctx: u16) -> bool {
+        if !self.any_revoked.load(Ordering::Acquire) {
+            return false;
+        }
+        self.revoked.lock().contains(&ctx)
+    }
+
+    /// Mark a communicator (by user-channel context id) revoked on this
+    /// rank. Returns `true` on the first marking — the caller then owns
+    /// forwarding the notice. Idempotent; charges the FT bookkeeping and
+    /// emits the `CommRevoked` trace instant only on the transition.
+    pub(crate) fn mark_revoked(&self, ctx: u16, local: bool) -> bool {
+        use litempi_instr::{charge, cost, Category};
+        let mut set = self.revoked.lock();
+        if !set.insert(ctx) {
+            return false;
+        }
+        // The collective twin shares the verdict: in-flight collective
+        // receives poll their own (collective-channel) ctx.
+        set.insert(crate::match_bits::ContextId(ctx).collective().0);
+        drop(set);
+        self.any_revoked.store(true, Ordering::Release);
+        charge(Category::FaultTolerance, cost::ft::REVOKE_NOTICE);
+        if self.endpoint.fabric().trace_enabled() {
+            litempi_trace::emit(
+                litempi_trace::EventKind::CommRevoked,
+                ctx as u64,
+                local as u64,
+            );
+        }
+        true
+    }
+
+    /// Forward a revocation notice for `ctx` to every member of the
+    /// communicator (world ranks in `members`) except this rank and
+    /// `skip`, routing around peers already known dead. Shared by the
+    /// local `revoke()` origin and the AM-handler re-forward.
+    pub(crate) fn forward_revoke(&self, ctx: u16, members: &[u8], skip: Option<usize>) {
+        use litempi_instr::{charge, cost, Category};
+        for m in members.chunks_exact(4) {
+            let world = u32::from_le_bytes(m.try_into().unwrap()) as usize;
+            if world == self.rank || skip == Some(world) {
+                continue;
+            }
+            let addr = self.addr_of_world(world);
+            if self.endpoint.peer_unreachable(addr) {
+                continue;
+            }
+            charge(Category::FaultTolerance, cost::ft::REVOKE_NOTICE);
+            self.endpoint.am_send(
+                addr,
+                proto::AM_COMM_REVOKE,
+                proto::header(ctx as u64, 0, 0, self.rank as u64),
+                Bytes::copy_from_slice(members),
+            );
         }
     }
 
@@ -339,6 +412,16 @@ impl ProcInner {
             }
             proto::AM_PSCW_COMPLETE => {
                 self.pscw.lock().entry(h0).or_default().completes += 1;
+            }
+            proto::AM_COMM_REVOKE => {
+                // h0 = user-channel ctx, h3 = sender's world rank; payload
+                // is the membership (u32 LE world ranks). Forward-once: the
+                // first time this rank learns of the revocation it floods
+                // the notice to the other members, so the broadcast
+                // completes as long as the survivor graph is connected.
+                if self.mark_revoked(h0 as u16, false) {
+                    self.forward_revoke(h0 as u16, &am.data, Some(h3 as usize));
+                }
             }
             other => panic!("unknown AM handler id {other}"),
         }

@@ -168,6 +168,14 @@ pub const AM_RMA_GETACC_REQ: u16 = 6;
 pub const AM_PSCW_POST: u16 = 7;
 /// PSCW: access-epoch "complete" notification.
 pub const AM_PSCW_COMPLETE: u16 = 8;
+/// ULFM communicator revocation notice: the sender has revoked the
+/// communicator whose (user-channel) context id rides in h0. The payload
+/// carries the communicator's membership as world ranks (`u32` LE each);
+/// a receiver that learns of the revocation for the first time re-forwards
+/// the notice to every other member it can still reach, so the broadcast
+/// survives the failure of any subset of ranks that leaves the survivor
+/// graph connected (forward-once reliable broadcast).
+pub const AM_COMM_REVOKE: u16 = 9;
 
 /// Fixed-size AM header layout helpers. The 32-byte header carries four
 /// u64 fields; their meaning depends on the handler id:
@@ -180,6 +188,7 @@ pub const AM_PSCW_COMPLETE: u16 = 8;
 /// | `AM_RMA_GETACC_REQ`| win id      | offset  | len   | op id      |
 /// | `AM_RMA_GET_REPLY` | op id       | —       | —     | —          |
 /// | `AM_PSCW_*`        | win id      | —       | —     | src rank   |
+/// | `AM_COMM_REVOKE`   | context id  | —       | —     | src world  |
 pub fn header(h0: u64, h1: u64, h2: u64, h3: u64) -> [u8; 32] {
     let mut out = [0u8; 32];
     out[0..8].copy_from_slice(&h0.to_le_bytes());

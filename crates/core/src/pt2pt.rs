@@ -352,6 +352,13 @@ pub(crate) fn isend_impl(
             comm.group().world_rank(dest as usize)
         };
 
+        // ULFM gate: a revoked communicator fails all new point-to-point
+        // traffic immediately (no charge — the flag is one relaxed load in
+        // the fault-free case, keeping the paper's charge identity).
+        if proc.is_ctx_revoked(comm.context_id().0) {
+            return comm.handle_error(Err(MpiError::Revoked));
+        }
+
         // FT pre-check: injecting toward a known-dead peer fails fast (the
         // provider's analogue of a link-down completion error) instead of
         // retrying into a black hole. Routed through the communicator's
@@ -420,6 +427,7 @@ pub(crate) fn isend_impl(
                     done,
                     Some(dest_world),
                     fatal,
+                    comm.context_id().0,
                 ))
             }
         }
@@ -458,6 +466,11 @@ pub(crate) fn irecv_impl<'buf>(
         charge(Category::ProcNullCheck, cost::isend::PROC_NULL_CHECK);
         if source == PROC_NULL {
             return Ok(Request::done(Status::proc_null()));
+        }
+        // ULFM gate (uncharged): receives on a revoked communicator fail
+        // instead of posting into a context no peer will send on again.
+        if proc.is_ctx_revoked(comm.context_id().0) {
+            return comm.handle_error(Err(MpiError::Revoked));
         }
         if !comm.is_predef {
             charge(Category::ObjectDeref, cost::isend::OBJECT_DEREF);
@@ -506,10 +519,18 @@ pub(crate) fn irecv_impl<'buf>(
                 dest,
                 peer,
                 fatal,
+                comm.context_id().0,
             ))
         } else {
             let slot = proc.core_match.post(bits, ignore);
-            Ok(Request::recv_core(proc.clone(), slot, dest, peer, fatal))
+            Ok(Request::recv_core(
+                proc.clone(),
+                slot,
+                dest,
+                peer,
+                fatal,
+                comm.context_id().0,
+            ))
         }
     })
 }

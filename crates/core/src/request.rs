@@ -140,6 +140,8 @@ enum ReqInner<'buf> {
         peer: Option<usize>,
         /// Snapshot of `MPI_ERRORS_ARE_FATAL` at request creation.
         fatal: bool,
+        /// Context id of the owning communicator, for revocation checks.
+        ctx: u16,
     },
     /// Receive posted to the fabric's native matching.
     RecvFabric {
@@ -149,6 +151,8 @@ enum ReqInner<'buf> {
         /// `None` for wildcard (`MPI_ANY_SOURCE`) receives.
         peer: Option<usize>,
         fatal: bool,
+        /// Context id of the owning communicator, for revocation checks.
+        ctx: u16,
     },
     /// Receive posted to the CH4 core matcher (AM-only provider).
     RecvCore {
@@ -157,6 +161,8 @@ enum ReqInner<'buf> {
         dest: RecvDest<'buf>,
         peer: Option<usize>,
         fatal: bool,
+        /// Context id of the owning communicator, for revocation checks.
+        ctx: u16,
     },
     /// Nonblocking-collective schedule (see [`crate::sched`]); each poll
     /// drives the schedule's phase engine until every vertex retires.
@@ -170,11 +176,42 @@ enum ReqInner<'buf> {
     Consumed,
 }
 
-/// Dead-peer check shared by every pending-request poll site. Under
+/// Dead-peer and revocation check shared by every pending-request poll
+/// site. A revoked communicator (`revoke_ctx` names its context; `None`
+/// exempts FT-internal traffic) fails the request with `Revoked`. Under
 /// `MPI_ERRORS_ARE_FATAL` (the snapshot taken at request creation) an
 /// unreachable peer aborts the rank; under `MPI_ERRORS_RETURN` it surfaces
 /// as `Err(PeerUnreachable)` so wait/test return instead of hanging.
-pub(crate) fn check_peer(proc: &ProcInner, peer: Option<usize>, fatal: bool) -> MpiResult<()> {
+pub(crate) fn check_peer(
+    proc: &ProcInner,
+    peer: Option<usize>,
+    fatal: bool,
+    revoke_ctx: Option<u16>,
+) -> MpiResult<()> {
+    if let Some(ctx) = revoke_ctx {
+        if proc.is_ctx_revoked(ctx) {
+            let e = MpiError::Revoked;
+            if fatal {
+                panic!("MPI_ERRORS_ARE_FATAL: {e}");
+            }
+            return Err(e);
+        }
+    }
+    // Self-death check: when this rank's *own* kill switch has fired, its
+    // pending operations fail too. A real dead process is simply gone; the
+    // in-process harness simulates that by erroring the victim's blocking
+    // calls so its rank thread can unwind instead of waiting on peers that
+    // have (correctly) stopped talking to a corpse.
+    if proc
+        .endpoint
+        .peer_unreachable(proc.addr_of_world(proc.rank))
+    {
+        let e = MpiError::PeerUnreachable { peer: proc.rank };
+        if fatal {
+            panic!("MPI_ERRORS_ARE_FATAL: {e}");
+        }
+        return Err(e);
+    }
     let Some(p) = peer else { return Ok(()) };
     if proc.endpoint.peer_unreachable(proc.addr_of_world(p)) {
         let e = MpiError::PeerUnreachable { peer: p };
@@ -216,6 +253,7 @@ impl<'buf> Request<'buf> {
         done: Arc<AtomicBool>,
         peer: Option<usize>,
         fatal: bool,
+        ctx: u16,
     ) -> Request<'static> {
         Request {
             inner: ReqInner::SendRndv {
@@ -223,6 +261,7 @@ impl<'buf> Request<'buf> {
                 done,
                 peer,
                 fatal,
+                ctx,
             },
         }
     }
@@ -233,6 +272,7 @@ impl<'buf> Request<'buf> {
         dest: RecvDest<'buf>,
         peer: Option<usize>,
         fatal: bool,
+        ctx: u16,
     ) -> Request<'buf> {
         Request {
             inner: ReqInner::RecvFabric {
@@ -241,6 +281,7 @@ impl<'buf> Request<'buf> {
                 dest,
                 peer,
                 fatal,
+                ctx,
             },
         }
     }
@@ -251,6 +292,7 @@ impl<'buf> Request<'buf> {
         dest: RecvDest<'buf>,
         peer: Option<usize>,
         fatal: bool,
+        ctx: u16,
     ) -> Request<'buf> {
         Request {
             inner: ReqInner::RecvCore {
@@ -259,6 +301,7 @@ impl<'buf> Request<'buf> {
                 dest,
                 peer,
                 fatal,
+                ctx,
             },
         }
     }
@@ -287,12 +330,13 @@ impl<'buf> Request<'buf> {
                         done,
                         peer,
                         fatal,
+                        ctx,
                     } => {
                         wait_loop(&proc, || {
                             if done.load(Ordering::Acquire) {
                                 return Some(Ok(()));
                             }
-                            check_peer(&proc, peer, fatal).err().map(Err)
+                            check_peer(&proc, peer, fatal, Some(ctx)).err().map(Err)
                         })?;
                         Ok(Status::send())
                     }
@@ -302,12 +346,13 @@ impl<'buf> Request<'buf> {
                         mut dest,
                         peer,
                         fatal,
+                        ctx,
                     } => {
                         let msg = wait_loop(&proc, || {
                             if let Some(m) = handle.poll() {
                                 return Some(Ok(m));
                             }
-                            check_peer(&proc, peer, fatal).err().map(Err)
+                            check_peer(&proc, peer, fatal, Some(ctx)).err().map(Err)
                         });
                         match msg {
                             Ok(m) => fatal_filter(
@@ -332,12 +377,13 @@ impl<'buf> Request<'buf> {
                         mut dest,
                         peer,
                         fatal,
+                        ctx,
                     } => {
                         let msg = wait_loop(&proc, || {
                             if let Some(m) = slot.filled.lock().take() {
                                 return Some(Ok(m));
                             }
-                            check_peer(&proc, peer, fatal).err().map(Err)
+                            check_peer(&proc, peer, fatal, Some(ctx)).err().map(Err)
                         });
                         match msg {
                             Ok(m) => fatal_filter(
@@ -380,6 +426,7 @@ impl<'buf> Request<'buf> {
                 done,
                 peer,
                 fatal,
+                ctx,
             } => {
                 proc.progress();
                 if done.load(Ordering::Acquire) {
@@ -389,12 +436,13 @@ impl<'buf> Request<'buf> {
                 } else {
                     // A dead peer errors the request (it stays Consumed —
                     // drained, per FT semantics) instead of pending forever.
-                    check_peer(&proc, peer, fatal)?;
+                    check_peer(&proc, peer, fatal, Some(ctx))?;
                     self.inner = ReqInner::SendRndv {
                         proc,
                         done,
                         peer,
                         fatal,
+                        ctx,
                     };
                     Ok(None)
                 }
@@ -405,6 +453,7 @@ impl<'buf> Request<'buf> {
                 mut dest,
                 peer,
                 fatal,
+                ctx,
             } => {
                 proc.progress();
                 if let Some(msg) = handle.poll() {
@@ -414,7 +463,7 @@ impl<'buf> Request<'buf> {
                     )?;
                     self.inner = ReqInner::Done(s);
                     Ok(Some(s))
-                } else if let Err(e) = check_peer(&proc, peer, fatal) {
+                } else if let Err(e) = check_peer(&proc, peer, fatal, Some(ctx)) {
                     handle.cancel();
                     Err(e)
                 } else {
@@ -424,6 +473,7 @@ impl<'buf> Request<'buf> {
                         dest,
                         peer,
                         fatal,
+                        ctx,
                     };
                     Ok(None)
                 }
@@ -434,6 +484,7 @@ impl<'buf> Request<'buf> {
                 mut dest,
                 peer,
                 fatal,
+                ctx,
             } => {
                 proc.progress();
                 let taken = slot.filled.lock().take();
@@ -444,7 +495,7 @@ impl<'buf> Request<'buf> {
                     )?;
                     self.inner = ReqInner::Done(s);
                     Ok(Some(s))
-                } else if let Err(e) = check_peer(&proc, peer, fatal) {
+                } else if let Err(e) = check_peer(&proc, peer, fatal, Some(ctx)) {
                     proc.core_match.cancel(&slot);
                     Err(e)
                 } else {
@@ -454,6 +505,7 @@ impl<'buf> Request<'buf> {
                         dest,
                         peer,
                         fatal,
+                        ctx,
                     };
                     Ok(None)
                 }

@@ -222,7 +222,14 @@ impl Schedule {
         match &self.state {
             SchedState::Done => return Ok(Some(self.status())),
             SchedState::Failed(e) => return Err(e.clone()),
-            SchedState::Running => {}
+            SchedState::Running => {
+                // ULFM gate: a revocation landing mid-schedule fails the
+                // DAG (cancelling its posted receives) instead of letting
+                // it wait forever on ranks that already bailed out.
+                if proc.is_ctx_revoked(self.ctx.0) {
+                    return self.fail(proc, MpiError::Revoked);
+                }
+            }
         }
         loop {
             if self.cur == self.phases.len() {
@@ -366,7 +373,7 @@ impl Schedule {
                     let peer = match &self.live[i] {
                         LiveRecv::Fabric { peer, .. } | LiveRecv::Core { peer, .. } => *peer,
                     };
-                    if let Err(e) = check_peer(proc, Some(peer), false) {
+                    if let Err(e) = check_peer(proc, Some(peer), false, Some(self.ctx.0)) {
                         // Death may race an in-flight delivery: take it if
                         // it landed (same re-poll as the blocking paths).
                         if let Some((bits, payload)) = self.poll_entry(i) {

@@ -1,0 +1,273 @@
+//! ULFM-style fault tolerance, end to end: revoke floods that unhang
+//! pending operations, fault-tolerant `agree` with uniform unacknowledged-
+//! failure reporting, `shrink` after a mid-collective process death, and
+//! the canonical revoke → ack → agree → shrink → continue recovery
+//! sequence on a shrunken communicator.
+//!
+//! These tests must pass under any `LITEMPI_VCIS` forcing — nothing here
+//! assumes a particular shard count.
+
+use std::time::{Duration, Instant};
+
+use litempi_core::{BuildConfig, Errhandler, MpiError, Op, Universe};
+use litempi_fabric::{FaultPlan, ProviderProfile, Topology};
+
+/// Spin until this rank has observed the revocation flood (pumping the
+/// progress engine through `iprobe`), with a hang-proof deadline.
+fn await_revoked(world: &litempi_core::Communicator) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !world.is_revoked() {
+        let _ = world.iprobe(litempi_core::ANY_SOURCE, 0x3FF);
+        assert!(Instant::now() < deadline, "revoke flood never arrived");
+        std::hint::spin_loop();
+    }
+}
+
+#[test]
+fn revoke_floods_to_peers_and_fails_new_operations_everywhere() {
+    Universe::run_default(2, |proc| {
+        let world = proc.world();
+        world.set_errhandler(Errhandler::ErrorsReturn);
+        if proc.rank() == 0 {
+            world.revoke();
+            // Local effect is immediate and idempotent.
+            assert!(world.is_revoked());
+            world.revoke();
+        } else {
+            await_revoked(&world);
+        }
+        // Every new operation on the revoked communicator fails with
+        // MPI_ERR_REVOKED (class 16) on *both* ranks — sends, receives,
+        // and blocking collectives alike.
+        let peer = 1 - proc.rank() as i32;
+        let e = world.send(&[1u8], peer, 3).unwrap_err();
+        assert!(matches!(e, MpiError::Revoked));
+        assert_eq!(e.error_class(), 16);
+        let mut buf = [0u8; 1];
+        let e = world.recv_into(&mut buf, peer, 3).unwrap_err();
+        assert!(matches!(e, MpiError::Revoked));
+        let e = world.allreduce(&[1u64], &Op::Sum).unwrap_err();
+        assert!(matches!(e, MpiError::Revoked));
+        let e = world.barrier().unwrap_err();
+        assert!(matches!(e, MpiError::Revoked));
+        // ...but agreement and shrink still work: that is the whole point
+        // of revoke. With nobody dead, shrink rebuilds a full-size comm.
+        let shrunk = world.shrink().unwrap();
+        assert_eq!(shrunk.size(), 2);
+        assert!(!shrunk.is_revoked());
+        let sum = shrunk.allreduce(&[proc.rank() as u64], &Op::Sum).unwrap();
+        assert_eq!(sum[0], 1);
+    });
+}
+
+#[test]
+fn revoke_fails_a_pending_irecv_instead_of_hanging() {
+    Universe::run_default(2, |proc| {
+        let world = proc.world();
+        world.set_errhandler(Errhandler::ErrorsReturn);
+        if proc.rank() == 0 {
+            // Let rank 1 post its receive first, then revoke. (If the
+            // flood raced ahead, the entry gate fails the post instead —
+            // same observable class either way.)
+            world.barrier().unwrap();
+            std::thread::sleep(Duration::from_millis(20));
+            world.revoke();
+        } else {
+            world.barrier().unwrap();
+            // Nothing will ever match this receive; only the revocation
+            // can unblock it.
+            let mut buf = [0u64; 1];
+            match world.irecv(&mut buf, 0, 77) {
+                Ok(req) => {
+                    let e = req.wait().unwrap_err();
+                    assert!(matches!(e, MpiError::Revoked));
+                }
+                Err(e) => assert!(matches!(e, MpiError::Revoked)),
+            }
+        }
+    });
+}
+
+#[test]
+fn revoke_fails_a_nonblocking_collective_schedule() {
+    Universe::run_default(2, |proc| {
+        let world = proc.world();
+        world.set_errhandler(Errhandler::ErrorsReturn);
+        world.barrier().unwrap();
+        if proc.rank() == 0 {
+            std::thread::sleep(Duration::from_millis(20));
+            world.revoke();
+        } else {
+            // Rank 0 never joins this collective: the schedule's DAG can
+            // only finish through the revocation check in its progress
+            // loop (or the entry gate, if the flood won the race).
+            match world.iallreduce(&[7u64], &Op::Sum) {
+                Ok(req) => {
+                    let e = req.wait().unwrap_err();
+                    assert!(matches!(e, MpiError::Revoked));
+                }
+                Err(e) => assert!(matches!(e, MpiError::Revoked)),
+            }
+        }
+    });
+}
+
+#[test]
+fn agree_reports_unacked_failure_uniformly_then_converges_after_ack() {
+    // Rank 2 dies after its two warm-up packets. Both survivors' first
+    // agree must fail with MPI_ERR_PROC_FAILED naming rank 2 — on *both*
+    // ranks, because the acked-masks travel with the contributions and
+    // the unacknowledged-failure decision is evaluated against the agreed
+    // state. After failure_ack, the retry agrees on the AND of the
+    // survivors' flags.
+    let profile = ProviderProfile::infinite().with_faults(FaultPlan::none().with_kill(2, 2));
+    Universe::run(
+        3,
+        BuildConfig::ch4_default(),
+        profile,
+        Topology::single_node(3),
+        |proc| {
+            let world = proc.world();
+            world.set_errhandler(Errhandler::ErrorsReturn);
+            if proc.rank() == 2 {
+                // Two packets trip the kill switch; the victim is gone.
+                world.send(&[1u8], 0, 0).unwrap();
+                world.send(&[1u8], 1, 0).unwrap();
+                return;
+            }
+            let mut buf = [0u8; 1];
+            world.recv_into(&mut buf, 2, 0).unwrap();
+            let e = world.agree(0b11).unwrap_err();
+            assert!(matches!(e, MpiError::ProcessFailed { peer: 2 }));
+            assert_eq!(e.error_class(), 15);
+            let acked = world.ack_failed();
+            assert_eq!(acked & (1 << 2), 1 << 2);
+            let flag = if proc.rank() == 0 { 0b01 } else { 0b11 };
+            assert_eq!(world.agree(flag).unwrap(), 0b01);
+            // Shrink drops the corpse and the remainder still computes.
+            let shrunk = world.shrink().unwrap();
+            assert_eq!(shrunk.size(), 2);
+            let sum = shrunk.allreduce(&[proc.rank() as u64], &Op::Sum).unwrap();
+            assert_eq!(sum[0], 1);
+        },
+    );
+}
+
+#[test]
+fn agree_retries_under_next_coordinator_when_the_lowest_rank_is_dead() {
+    // Kill rank 0 — the rank every participant would elect coordinator.
+    // Survivors must detect the death (possibly only after addressing the
+    // corpse once) and re-run the round under rank 1.
+    let profile = ProviderProfile::infinite().with_faults(FaultPlan::none().with_kill(0, 2));
+    Universe::run(
+        3,
+        BuildConfig::ch4_default(),
+        profile,
+        Topology::single_node(3),
+        |proc| {
+            let world = proc.world();
+            world.set_errhandler(Errhandler::ErrorsReturn);
+            if proc.rank() == 0 {
+                world.send(&[1u8], 1, 0).unwrap();
+                world.send(&[1u8], 2, 0).unwrap();
+                return;
+            }
+            let mut buf = [0u8; 1];
+            world.recv_into(&mut buf, 0, 0).unwrap();
+            let e = world.agree(1).unwrap_err();
+            assert!(matches!(e, MpiError::ProcessFailed { peer: 0 }));
+            world.ack_failed();
+            assert_eq!(world.agree(1).unwrap(), 1);
+            let shrunk = world.shrink().unwrap();
+            assert_eq!(shrunk.size(), 2);
+            // World ranks 1 and 2 become shrunken ranks 0 and 1, order
+            // preserved.
+            assert_eq!(shrunk.rank(), proc.rank() - 1);
+            let sum = shrunk.allreduce(&[proc.rank() as u64], &Op::Sum).unwrap();
+            assert_eq!(sum[0], 3);
+        },
+    );
+}
+
+/// The ISSUE acceptance scenario: a fixed-seed kill mid-allreduce, after
+/// which every survivor detects the failure, revokes, agrees, shrinks,
+/// and completes a checksum-verified allreduce on the shrunken
+/// communicator — no hang, no panic.
+#[test]
+fn kill_mid_allreduce_then_revoke_shrink_agree_and_continue() {
+    // The kill switch counts every packet touching the victim's endpoint
+    // (sent *or* received). The 4-rank dissemination barrier accounts for
+    // exactly 4 of them, so a budget of 5 admits the whole warm-up plus
+    // one allreduce packet: rank 3 dies *inside* the collective.
+    let profile = ProviderProfile::infinite().with_faults(FaultPlan::none().with_kill(3, 5));
+    let sums = Universe::run(
+        4,
+        BuildConfig::ch4_default(),
+        profile,
+        Topology::single_node(4),
+        |proc| {
+            let world = proc.world();
+            world.set_errhandler(Errhandler::ErrorsReturn);
+            // Tolerant of where exactly the death lands (algorithm packet
+            // counts may shift): any error in the warm-up + allreduce
+            // sequence is the recovery trigger.
+            let r = world
+                .barrier()
+                .and_then(|()| world.allreduce(&[proc.rank() as u64], &Op::Sum));
+            if proc.rank() == 3 {
+                // The victim's own kill switch fails its remaining
+                // operations (the harness's stand-in for process death);
+                // it must not reach the recovery protocol.
+                assert!(r.is_err());
+                return None;
+            }
+            // Survivors: any error means the collective is compromised —
+            // revoke so every pending peer unhangs, acknowledge what we
+            // saw, agree (retrying through the ack cycle if the failure
+            // was still unacknowledged), then shrink and continue.
+            if r.is_err() {
+                world.revoke();
+            }
+            world.ack_failed();
+            let mut agreed = None;
+            for _ in 0..4 {
+                match world.agree(1) {
+                    Ok(v) => {
+                        agreed = Some(v);
+                        break;
+                    }
+                    Err(MpiError::ProcessFailed { .. }) => {
+                        world.ack_failed();
+                    }
+                    Err(e) => panic!("agree failed unrecoverably: {e}"),
+                }
+            }
+            assert_eq!(agreed, Some(1));
+            let shrunk = world.shrink().unwrap();
+            assert_eq!(shrunk.size(), 3);
+            assert_eq!(shrunk.rank(), proc.rank());
+            assert!(!shrunk.is_revoked());
+            let sum = shrunk.allreduce(&[proc.rank() as u64], &Op::Sum).unwrap();
+            Some(sum[0])
+        },
+    );
+    // Checksum: every survivor agreed on the sum of survivor ranks.
+    let survivors: Vec<u64> = sums.into_iter().flatten().collect();
+    assert_eq!(survivors, vec![3, 3, 3]);
+}
+
+#[test]
+fn shrink_of_a_healthy_comm_is_a_working_full_copy() {
+    Universe::run_default(4, |proc| {
+        let world = proc.world();
+        let shrunk = world.shrink().unwrap();
+        assert_eq!(shrunk.size(), 4);
+        assert_eq!(shrunk.rank(), proc.rank());
+        // Fresh context: traffic on the shrunken comm cannot cross-match
+        // the parent's.
+        let sum = shrunk.allreduce(&[1u64], &Op::Sum).unwrap();
+        assert_eq!(sum[0], 4);
+        let sum = world.allreduce(&[2u64], &Op::Sum).unwrap();
+        assert_eq!(sum[0], 8);
+    });
+}

@@ -22,6 +22,7 @@
 //! fabrics and feed the LogGP application models (Figs 7–8).
 
 use crate::fault::FaultPlan;
+use crate::health::HealthConfig;
 use crate::reliability::ReliabilityConfig;
 use litempi_trace::TraceConfig;
 
@@ -161,6 +162,10 @@ pub struct ProviderProfile {
     pub faults: FaultPlan,
     /// Software reliability protocol (seq/ack/retransmit); off by default.
     pub reliability: ReliabilityConfig,
+    /// Heartbeat failure detection (probe/suspect/dead); off by default,
+    /// in which case no probe is ever sent and health queries answer
+    /// `Alive` — the fault-free path stays byte- and charge-identical.
+    pub health: HealthConfig,
     /// Event-tracing opt-in; [`TraceConfig::OFF`] (the default) keeps
     /// every event site down to one predictable branch, with charges and
     /// wire bytes bit-identical to an untraced build.
@@ -198,6 +203,7 @@ impl ProviderProfile {
             copy_mode: CopyMode::Pooled,
             faults: FaultPlan::NONE,
             reliability: ReliabilityConfig::OFF,
+            health: HealthConfig::OFF,
             trace: TraceConfig::OFF,
             num_vcis: 1,
         }
@@ -224,6 +230,7 @@ impl ProviderProfile {
             copy_mode: CopyMode::Pooled,
             faults: FaultPlan::NONE,
             reliability: ReliabilityConfig::OFF,
+            health: HealthConfig::OFF,
             trace: TraceConfig::OFF,
             num_vcis: 1,
         }
@@ -252,6 +259,7 @@ impl ProviderProfile {
             copy_mode: CopyMode::Pooled,
             faults: FaultPlan::NONE,
             reliability: ReliabilityConfig::OFF,
+            health: HealthConfig::OFF,
             trace: TraceConfig::OFF,
             num_vcis: 1,
         }
@@ -274,6 +282,7 @@ impl ProviderProfile {
             copy_mode: CopyMode::Pooled,
             faults: FaultPlan::NONE,
             reliability: ReliabilityConfig::OFF,
+            health: HealthConfig::OFF,
             trace: TraceConfig::OFF,
             num_vcis: 1,
         }
@@ -300,6 +309,7 @@ impl ProviderProfile {
             copy_mode: CopyMode::Pooled,
             faults: FaultPlan::NONE,
             reliability: ReliabilityConfig::OFF,
+            health: HealthConfig::OFF,
             trace: TraceConfig::OFF,
             num_vcis: 1,
         }
@@ -327,6 +337,7 @@ impl ProviderProfile {
             copy_mode: CopyMode::Pooled,
             faults: FaultPlan::NONE,
             reliability: ReliabilityConfig::OFF,
+            health: HealthConfig::OFF,
             trace: TraceConfig::OFF,
             num_vcis: 1,
         }
@@ -366,6 +377,17 @@ impl ProviderProfile {
     /// Copy of this profile with the reliable path on at default knobs.
     pub fn reliable(self) -> Self {
         self.with_reliability(ReliabilityConfig::on())
+    }
+
+    /// Copy of this profile with the given failure-detector configuration.
+    pub fn with_health(mut self, health: HealthConfig) -> Self {
+        self.health = health;
+        self
+    }
+
+    /// Copy of this profile with the failure detector on at default timing.
+    pub fn monitored(self) -> Self {
+        self.with_health(HealthConfig::on())
     }
 
     /// Copy of this profile with the given event-tracing configuration.

@@ -54,6 +54,7 @@
 
 use crate::addr::NetAddr;
 use crate::fabric::Fabric;
+use crate::health::{HealthAction, HealthMonitor, HealthState};
 use crate::matching::MatchEngine;
 use crate::packet::{AmMessage, PostedRecv, RecvSlot, TaggedMessage};
 use crate::region::{MemoryRegion, RdmaAtomicOp, RegionKey};
@@ -120,6 +121,12 @@ pub(crate) struct EndpointShared {
     /// `jitter_enabled`: event sites cost one predictable branch when
     /// tracing is off.
     trace_enabled: bool,
+    /// Cached `profile.health.enabled` — the hoisted check that keeps the
+    /// failure detector entirely off the fault-free fast path.
+    health_enabled: bool,
+    /// The heartbeat failure detector. Empty and never locked when
+    /// `health_enabled` is false.
+    health: Mutex<HealthMonitor>,
     pub(crate) stats: EndpointStats,
 }
 
@@ -206,6 +213,8 @@ impl EndpointShared {
             lossy_enabled,
             routed: relia_enabled || lossy_enabled,
             trace_enabled: profile.trace.enabled,
+            health_enabled: profile.health.enabled,
+            health: Mutex::new(HealthMonitor::new(profile.health, addr.index(), n)),
             stats: EndpointStats::default(),
         }
     }
@@ -493,6 +502,15 @@ fn transmit(fabric: &Fabric, src: NetAddr, dst: NetAddr, pkt: WirePacket) {
         let mut st = sender.vcis[pkt.vci].relia.lock();
         let d = dst.index();
         let spec = st.specs[d];
+        if let Some(flap) = spec.flap {
+            if !flap.is_up(fabric.now_us()) {
+                // The link is in a flap outage window: the packet vanishes
+                // on the floor. Anything parked in the reorder stash stays
+                // parked (the next on-link event or timer tick flushes it).
+                EndpointStats::bump(&sender.stats.faults_dropped, 1);
+                return;
+            }
+        }
         // Any packet event on the link releases the reorder stash — the
         // overtaking it was parked for has now happened.
         let stashed = st.stash[d].take();
@@ -535,12 +553,36 @@ fn transmit(fabric: &Fabric, src: NetAddr, dst: NetAddr, pkt: WirePacket) {
 fn deliver_packet(fabric: &Fabric, dst: NetAddr, pkt: WirePacket) {
     let peer = fabric.shared(dst);
     let vci = pkt.vci;
+    if peer.health_enabled {
+        // Piggybacked liveness: any delivered packet proves its sender
+        // alive. Probes live outside the reliability sequence space (like
+        // standalone ACKs), so answer and return before the window sees
+        // them.
+        note_peer_alive(fabric, dst, pkt.src);
+        match pkt.body {
+            Some(PacketBody::Probe(nonce)) => {
+                charge(Category::FaultTolerance, icost::ft::PROBE_ACK);
+                let reply = WirePacket {
+                    src: dst,
+                    vci,
+                    seq: 0,
+                    ack: None,
+                    crc: None,
+                    body: Some(PacketBody::ProbeAck(nonce)),
+                };
+                transmit(fabric, dst, pkt.src, reply);
+                return;
+            }
+            Some(PacketBody::ProbeAck(_)) => return,
+            _ => {}
+        }
+    }
     if !peer.relia_enabled {
         // Raw lossy mode: deliver whatever survived the fault layer.
         match pkt.body {
             Some(PacketBody::Tagged(m)) => peer.deliver_tagged(vci, m),
             Some(PacketBody::Am(m)) => peer.deliver_am(m),
-            None => {}
+            Some(PacketBody::Probe(_)) | Some(PacketBody::ProbeAck(_)) | None => {}
         }
         return;
     }
@@ -596,6 +638,9 @@ fn deliver_packet(fabric: &Fabric, dst: NetAddr, pkt: WirePacket) {
         match b {
             PacketBody::Tagged(m) => peer.deliver_tagged(vci, m),
             PacketBody::Am(m) => peer.deliver_am(m),
+            // Probes never enter the sequence space, so they cannot be
+            // released by the window; the arms keep the match exhaustive.
+            PacketBody::Probe(_) | PacketBody::ProbeAck(_) => {}
         }
     }
     if let Some(cum) = standalone_ack {
@@ -624,6 +669,79 @@ fn send_ack(fabric: &Fabric, from: NetAddr, to: NetAddr, vci: usize, cum: u32) {
     transmit(fabric, from, to, pkt);
 }
 
+/// Refresh `src`'s liveness in `dst`'s failure detector (piggybacked on
+/// every packet delivery). A `Suspect → Alive` recovery — the flap-healed
+/// transition — is counted, traced, and announced to waiters.
+fn note_peer_alive(fabric: &Fabric, dst: NetAddr, src: NetAddr) {
+    let peer = fabric.shared(dst);
+    let recovered = peer.health.lock().note_alive(src.index(), fabric.now_us());
+    if recovered {
+        charge(Category::FaultTolerance, icost::ft::DETECT_TRANSITION);
+        EndpointStats::bump(&peer.stats.peers_recovered, 1);
+        if peer.trace_enabled {
+            litempi_trace::emit(EventKind::PeerAlive, src.index() as u64, 0);
+        }
+        peer.bump_event_all();
+    }
+}
+
+/// Advance `addr`'s failure detector: demote peers that have gone quiet,
+/// declare corpses, and probe idle links. Detector decisions are made
+/// under the health lock; the wire work (probe transmits) runs after it is
+/// released, matching the endpoint-wide lock discipline.
+fn tick_health(fabric: &Fabric, addr: NetAddr, now: u64) {
+    let my = fabric.shared(addr);
+    let actions = my.health.lock().tick(now);
+    if actions.is_empty() {
+        return;
+    }
+    let mut died = false;
+    let mut probes: Vec<(NetAddr, u64)> = Vec::new();
+    for a in actions {
+        match a {
+            HealthAction::Probe { peer, nonce } => {
+                charge(Category::FaultTolerance, icost::ft::PROBE);
+                EndpointStats::bump(&my.stats.probes_sent, 1);
+                if my.trace_enabled {
+                    litempi_trace::emit(EventKind::ProbeSent, peer as u64, nonce);
+                }
+                probes.push((NetAddr(peer as u32), nonce));
+            }
+            HealthAction::Suspected(peer) => {
+                charge(Category::FaultTolerance, icost::ft::DETECT_TRANSITION);
+                EndpointStats::bump(&my.stats.peers_suspected, 1);
+                if my.trace_enabled {
+                    litempi_trace::emit(EventKind::PeerSuspect, peer as u64, 0);
+                }
+            }
+            HealthAction::Died(peer) => {
+                charge(Category::FaultTolerance, icost::ft::DETECT_TRANSITION);
+                EndpointStats::bump(&my.stats.peers_died, 1);
+                if my.trace_enabled {
+                    litempi_trace::emit(EventKind::PeerDead, peer as u64, 0);
+                }
+                died = true;
+            }
+        }
+    }
+    for (dst, nonce) in probes {
+        let pkt = WirePacket {
+            src: addr,
+            vci: 0,
+            seq: 0,
+            ack: None,
+            crc: None,
+            body: Some(PacketBody::Probe(nonce)),
+        };
+        transmit(fabric, addr, dst, pkt);
+    }
+    if died {
+        // A dead peer is endpoint-global state: wake every shard's waiters
+        // so they can observe `peer_unreachable`.
+        my.bump_event_all();
+    }
+}
+
 /// Advance one VCI of `addr`'s reliability clock: fire due retransmit
 /// timers, flush reorder stashes, emit owed standalone ACKs, and mark peers
 /// dead when their retry budget is exhausted. Called from the progress path
@@ -634,7 +752,7 @@ fn tick_relia(fabric: &Fabric, addr: NetAddr, vci: usize, now: u64) {
     let mut stash_flush: Vec<(NetAddr, WirePacket)> = Vec::new();
     let mut resends: Vec<(NetAddr, WirePacket)> = Vec::new();
     let mut acks: Vec<(NetAddr, u32)> = Vec::new();
-    let mut newly_dead = false;
+    let mut newly_dead: Vec<usize> = Vec::new();
     {
         let mut st = my.vcis[vci].relia.lock();
         for d in 0..st.stash.len() {
@@ -677,7 +795,7 @@ fn tick_relia(fabric: &Fabric, addr: NetAddr, vci: usize, now: u64) {
                     }
                     TxTick::Dead => {
                         st.dead[d] = true;
-                        newly_dead = true;
+                        newly_dead.push(d);
                     }
                 }
                 if st.rx[d].ack_owed > 0 {
@@ -695,7 +813,21 @@ fn tick_relia(fabric: &Fabric, addr: NetAddr, vci: usize, now: u64) {
     for (d, cum) in acks {
         send_ack(fabric, addr, d, vci, cum);
     }
-    if newly_dead {
+    if !newly_dead.is_empty() {
+        // Retry exhaustion is authoritative failure evidence: feed it to
+        // the detector so health state and reliability state agree.
+        if my.health_enabled {
+            let mut h = my.health.lock();
+            for &d in &newly_dead {
+                if h.declare_dead(d) {
+                    charge(Category::FaultTolerance, icost::ft::DETECT_TRANSITION);
+                    EndpointStats::bump(&my.stats.peers_died, 1);
+                    if my.trace_enabled {
+                        litempi_trace::emit(EventKind::PeerDead, d as u64, 1);
+                    }
+                }
+            }
+        }
         // A dead peer is endpoint-global state: wake every shard's waiters
         // so they can observe `peer_unreachable`.
         my.bump_event_all();
@@ -915,19 +1047,55 @@ impl Endpoint {
         if my.routed {
             tick_relia_all(&self.fabric, self.addr, self.fabric.now_us());
         }
+        if my.health_enabled {
+            tick_health(&self.fabric, self.addr, self.fabric.now_us());
+        }
     }
 
-    /// Has the reliability layer (or the fabric's kill switch) declared
-    /// `peer` unreachable from this endpoint? Always `false` on a perfect
-    /// fabric. With sharded reliability domains, a peer whose retry budget
-    /// expired on *any* VCI is unreachable — death is per peer, not per
-    /// channel.
+    /// Has the reliability layer, the failure detector, or the fabric's
+    /// kill switch declared `peer` unreachable from this endpoint? Always
+    /// `false` on a perfect fabric. With sharded reliability domains, a
+    /// peer whose retry budget expired on *any* VCI is unreachable — death
+    /// is per peer, not per channel.
     pub fn peer_unreachable(&self, peer: NetAddr) -> bool {
         if self.fabric.endpoint_killed(peer) {
             return true;
         }
         let my = self.shared(self.addr);
+        if my.health_enabled && my.health.lock().state_of(peer.index()) == HealthState::Dead {
+            return true;
+        }
         my.relia_enabled && my.vcis.iter().any(|v| v.relia.lock().dead[peer.index()])
+    }
+
+    /// The local failure detector's judgment of `peer`. Always
+    /// [`HealthState::Alive`] when the profile does not enable health
+    /// monitoring.
+    pub fn peer_health(&self, peer: NetAddr) -> HealthState {
+        let my = self.shared(self.addr);
+        if !my.health_enabled {
+            return HealthState::Alive;
+        }
+        my.health.lock().state_of(peer.index())
+    }
+
+    /// Adopt external evidence that `peer` has failed (e.g. a revocation
+    /// notice naming it, or another rank's agreed dead set): force the
+    /// local detector straight to `Dead`. A no-op when health monitoring
+    /// is off.
+    pub fn declare_peer_dead(&self, peer: NetAddr) {
+        let my = self.shared(self.addr);
+        if !my.health_enabled {
+            return;
+        }
+        if my.health.lock().declare_dead(peer.index()) {
+            charge(Category::FaultTolerance, icost::ft::DETECT_TRANSITION);
+            EndpointStats::bump(&my.stats.peers_died, 1);
+            if my.trace_enabled {
+                litempi_trace::emit(EventKind::PeerDead, peer.index() as u64, 1);
+            }
+            my.bump_event_all();
+        }
     }
 
     /// Is the software reliability protocol active on this fabric?
@@ -935,12 +1103,14 @@ impl Endpoint {
         self.shared(self.addr).relia_enabled
     }
 
-    /// Drive the reliability layer until none of this endpoint's injected
-    /// packets await acknowledgment (or their peers are dead) and no
-    /// reorder stash is pending. A no-op on a perfect fabric. Ranks call
-    /// this before tearing down so locally-completed eager sends reach
-    /// their destination — the delivery guarantee MPI requires of its
-    /// transport.
+    /// Drive the reliability layer until, on **every** VCI, none of this
+    /// endpoint's injected packets await acknowledgment (or their peers
+    /// are dead), no reorder stash is pending, and no ACK debt is owed to
+    /// any peer. A no-op on a perfect fabric. Ranks call this before
+    /// tearing down so locally-completed eager sends reach their
+    /// destination — the delivery guarantee MPI requires of its transport
+    /// — and so peers still draining are not starved of the ACKs they
+    /// need to stop retransmitting.
     pub fn quiesce(&self) {
         let my = self.shared(self.addr);
         if !my.routed {
@@ -955,6 +1125,7 @@ impl Endpoint {
                         && !self.fabric.endpoint_killed(NetAddr(d as u32))
                         && tx.in_flight() > 0
                 }) || st.stash.iter().any(Option::is_some)
+                    || st.rx.iter().any(|rx| rx.ack_owed > 0)
             });
             if !busy {
                 return;
@@ -1131,6 +1302,9 @@ impl RecvHandle {
                 // Drive every shard: this thread may be the only one
                 // pumping, and its own unacked sends can live elsewhere.
                 tick_relia_all(&self.fabric, self.addr, self.fabric.now_us());
+            }
+            if shared.health_enabled {
+                tick_health(&self.fabric, self.addr, self.fabric.now_us());
             }
             spins = spins.wrapping_add(1);
             if spins < WAIT_SPINS {
@@ -1593,6 +1767,116 @@ mod tests {
         assert!(f.endpoint_killed(NetAddr(1)));
     }
 
+    // ---------------------------------------------------------------- health
+
+    use crate::health::HealthConfig;
+
+    #[test]
+    fn detector_declares_killed_peer_dead_without_traffic() {
+        // Kill endpoint 1 immediately; endpoint 0 never sends data, so
+        // only the detector's idle-link probes can discover the death.
+        let plan = FaultPlan::none().with_kill(1, 0);
+        let profile = ProviderProfile::infinite()
+            .reliable()
+            .with_faults(plan)
+            .with_health(HealthConfig::on().with_timing(100, 400, 2_000));
+        let f = Fabric::new(2, profile, Topology::single_node(2));
+        let a = f.endpoint(NetAddr(0));
+        assert_eq!(a.peer_health(NetAddr(1)), HealthState::Alive);
+        let t0 = std::time::Instant::now();
+        while a.peer_health(NetAddr(1)) != HealthState::Dead {
+            a.pump();
+            assert!(
+                t0.elapsed() < Duration::from_secs(10),
+                "detector never declared the killed peer dead"
+            );
+            std::thread::yield_now();
+        }
+        assert!(a.peer_unreachable(NetAddr(1)));
+        let s = a.stats();
+        assert!(s.probes_sent > 0, "death was declared without probing");
+        assert!(s.peers_suspected >= 1, "dead without passing suspect");
+        assert_eq!(s.peers_died, 1);
+    }
+
+    #[test]
+    fn flapping_link_suspects_then_recovers() {
+        // 3 ms period, 50% duty: 1.5 ms up, 1.5 ms down. Suspect after
+        // 400 µs of silence (inside every outage), dead only after a full
+        // second (never reached), so the detector must walk
+        // Alive → Suspect → Alive at least once.
+        let plan = FaultPlan::uniform(0, FaultSpec::NONE.with_flap(3_000, 50));
+        let profile = ProviderProfile::infinite()
+            .reliable()
+            .with_faults(plan)
+            .with_health(HealthConfig::on().with_timing(100, 400, 1_000_000));
+        let f = Fabric::new(2, profile, Topology::single_node(2));
+        let a = f.endpoint(NetAddr(0));
+        let b = f.endpoint(NetAddr(1));
+        let mut saw_suspect = false;
+        let t0 = std::time::Instant::now();
+        let mut i = 0u64;
+        while t0.elapsed() < Duration::from_secs(20) {
+            // Keep data flowing so the up-windows carry proof of life.
+            a.tsend(NetAddr(1), 50_000 + (i & 0x3FF), Bytes::new());
+            i += 1;
+            a.pump();
+            b.pump();
+            if b.peer_health(NetAddr(0)) == HealthState::Suspect {
+                saw_suspect = true;
+            }
+            if saw_suspect && b.stats().peers_recovered > 0 {
+                assert_eq!(b.peer_health(NetAddr(0)), HealthState::Alive);
+                assert!(b.stats().peers_suspected > 0);
+                assert!(!b.peer_unreachable(NetAddr(0)), "flap is not death");
+                return;
+            }
+            std::thread::sleep(Duration::from_micros(50));
+        }
+        panic!("flap never produced a suspect -> alive recovery");
+    }
+
+    #[test]
+    fn declare_peer_dead_adopts_external_evidence() {
+        let profile = ProviderProfile::infinite()
+            .reliable()
+            .with_health(HealthConfig::on());
+        let f = Fabric::new(3, profile, Topology::single_node(3));
+        let a = f.endpoint(NetAddr(0));
+        assert!(!a.peer_unreachable(NetAddr(2)));
+        a.declare_peer_dead(NetAddr(2));
+        assert_eq!(a.peer_health(NetAddr(2)), HealthState::Dead);
+        assert!(a.peer_unreachable(NetAddr(2)));
+        assert_eq!(a.stats().peers_died, 1);
+        // Idempotent: a second declaration counts nothing new.
+        a.declare_peer_dead(NetAddr(2));
+        assert_eq!(a.stats().peers_died, 1);
+        // Other peers unaffected.
+        assert_eq!(a.peer_health(NetAddr(1)), HealthState::Alive);
+    }
+
+    #[test]
+    fn health_disabled_profile_keeps_detector_inert() {
+        let f = Fabric::new(
+            2,
+            ProviderProfile::infinite().reliable(),
+            Topology::single_node(2),
+        );
+        let a = f.endpoint(NetAddr(0));
+        let b = f.endpoint(NetAddr(1));
+        a.tsend(NetAddr(1), 1, Bytes::new());
+        let _ = b.trecv_blocking(1, 0);
+        for _ in 0..50 {
+            a.pump();
+            b.pump();
+        }
+        let s = a.stats();
+        assert_eq!(s.probes_sent, 0);
+        assert_eq!(s.peers_suspected, 0);
+        assert_eq!(s.peers_died, 0);
+        assert_eq!(a.peer_health(NetAddr(1)), HealthState::Alive);
+    }
+
     // ------------------------------------------------------------- multi-VCI
 
     /// Match bits in litempi-core's layout: ctx in 63..48, src in 47..24,
@@ -1672,6 +1956,58 @@ mod tests {
         b.quiesce();
         assert!(b.tpeek(0, u64::MAX).is_none(), "duplicate escaped");
         assert!(a.stats().retransmits > 0, "chaos never bit");
+    }
+
+    #[test]
+    fn quiesce_drains_all_vcis_on_teardown() {
+        // Post-PR-7 sharding audit: traffic on ctx 1..=3 hashes onto VCIs
+        // 1–3 of a 4-VCI endpoint, so nothing is in flight on VCI 0.
+        // `quiesce()` must still drain every shard's retransmit queue and
+        // ACK debt before teardown.
+        let f = Fabric::new(
+            2,
+            chaotic_profile(0xBEEF).with_vcis(4),
+            Topology::single_node(2),
+        );
+        // (`LITEMPI_VCIS` may override the shard count; the drain property
+        // below must hold at any width.)
+        let a = f.endpoint(NetAddr(0));
+        let b = f.endpoint(NetAddr(1));
+        const N: u64 = 20;
+        for ctx in 1..=3u64 {
+            for i in 0..N {
+                a.tsend(
+                    NetAddr(1),
+                    mb(ctx, 0, i),
+                    Bytes::copy_from_slice(&i.to_le_bytes()),
+                );
+            }
+        }
+        // Tear down with traffic still in flight on VCIs 1–3.
+        a.quiesce();
+        b.quiesce();
+        for addr in [NetAddr(0), NetAddr(1)] {
+            let sh = f.shared(addr);
+            for (vci, v) in sh.vcis.iter().enumerate() {
+                let st = v.relia.lock();
+                assert!(
+                    st.tx.iter().all(|tx| tx.in_flight() == 0),
+                    "ep {addr:?} vci {vci} still has unacked packets"
+                );
+                assert!(
+                    st.rx.iter().all(|rx| rx.ack_owed == 0),
+                    "ep {addr:?} vci {vci} still owes ACKs"
+                );
+                assert!(st.stash.iter().all(Option::is_none));
+            }
+        }
+        // The delivery guarantee held: every eager send arrived.
+        for ctx in 1..=3u64 {
+            for i in 0..N {
+                let m = b.trecv_blocking(mb(ctx, 0, i), 0);
+                assert_eq!(u64::from_le_bytes(m.data[..].try_into().unwrap()), i);
+            }
+        }
     }
 
     #[test]

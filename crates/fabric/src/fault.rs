@@ -22,6 +22,32 @@ use crate::addr::NetAddr;
 /// [`FaultSpec::percent`] converts from whole percentages.
 pub type Chance = u16;
 
+/// Deterministic periodic link up/down cycling: the link is up for the
+/// first `duty`% of every `period_us`-long window of fabric time and down
+/// for the rest, with no randomness involved. Unlike a [`KillSwitch`] the
+/// outage always ends, which is exactly what the failure detector's
+/// `Suspect → Alive` recovery path needs to be testable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkFlap {
+    /// Length of one up/down cycle in microseconds of fabric time.
+    pub period_us: u32,
+    /// Percent of each period the link is up (0 = always down, values of
+    /// 100 or more mean always up).
+    pub duty: u8,
+}
+
+impl LinkFlap {
+    /// Is the link up at fabric time `now_us`? Purely a function of the
+    /// clock, so every observer of the link agrees on its state.
+    pub const fn is_up(&self, now_us: u64) -> bool {
+        if self.period_us == 0 || self.duty >= 100 {
+            return true;
+        }
+        let phase = now_us % self.period_us as u64;
+        phase < self.period_us as u64 * self.duty as u64 / 100
+    }
+}
+
 /// Per-link fault probabilities (each in 1/65536ths, see [`Chance`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultSpec {
@@ -33,6 +59,8 @@ pub struct FaultSpec {
     pub reorder: Chance,
     /// Probability one payload byte is flipped in flight.
     pub corrupt: Chance,
+    /// Deterministic periodic outage; `None` means the link never flaps.
+    pub flap: Option<LinkFlap>,
 }
 
 impl FaultSpec {
@@ -42,6 +70,7 @@ impl FaultSpec {
         duplicate: 0,
         reorder: 0,
         corrupt: 0,
+        flap: None,
     };
 
     /// Build a spec from whole percentages (values above 100 saturate).
@@ -60,12 +89,23 @@ impl FaultSpec {
             duplicate: pct(duplicate),
             reorder: pct(reorder),
             corrupt: pct(corrupt),
+            flap: None,
         }
     }
 
-    /// `true` when every probability is zero.
+    /// Copy of this spec with a periodic up/down cycle on the link.
+    pub const fn with_flap(mut self, period_us: u32, duty: u8) -> FaultSpec {
+        self.flap = Some(LinkFlap { period_us, duty });
+        self
+    }
+
+    /// `true` when every probability is zero and the link never flaps.
     pub const fn is_none(self) -> bool {
-        self.drop == 0 && self.duplicate == 0 && self.reorder == 0 && self.corrupt == 0
+        self.drop == 0
+            && self.duplicate == 0
+            && self.reorder == 0
+            && self.corrupt == 0
+            && self.flap.is_none()
     }
 }
 
@@ -266,6 +306,55 @@ mod tests {
             plan.link_seed(NetAddr(0), NetAddr(1)),
             plan.link_seed(NetAddr(1), NetAddr(0))
         );
+    }
+
+    #[test]
+    fn link_flap_is_deterministic_and_periodic() {
+        let flap = LinkFlap {
+            period_us: 1_000,
+            duty: 30,
+        };
+        // Up for the first 300 µs of every millisecond, down for the rest.
+        for cycle in 0..5u64 {
+            let base = cycle * 1_000;
+            assert!(flap.is_up(base));
+            assert!(flap.is_up(base + 299));
+            assert!(!flap.is_up(base + 300));
+            assert!(!flap.is_up(base + 999));
+        }
+        // Degenerate configs never go down.
+        assert!(LinkFlap {
+            period_us: 0,
+            duty: 0
+        }
+        .is_up(12345));
+        assert!(LinkFlap {
+            period_us: 100,
+            duty: 100
+        }
+        .is_up(12345));
+        // duty 0 with a real period is always down.
+        assert!(!LinkFlap {
+            period_us: 100,
+            duty: 0
+        }
+        .is_up(50));
+    }
+
+    #[test]
+    fn flap_marks_spec_and_plan_active() {
+        let spec = FaultSpec::NONE.with_flap(500, 50);
+        assert!(!spec.is_none(), "a flapping link is not a perfect link");
+        assert_eq!(
+            spec.flap,
+            Some(LinkFlap {
+                period_us: 500,
+                duty: 50
+            })
+        );
+        let plan = FaultPlan::uniform(0, spec);
+        assert!(!plan.is_none());
+        assert!(FaultSpec::percent(0, 0, 0, 0).is_none());
     }
 
     #[test]

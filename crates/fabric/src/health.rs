@@ -1,0 +1,329 @@
+//! Heartbeat failure detection: the per-peer liveness service.
+//!
+//! The reliability layer (PR 3) only discovers a dead peer *reactively* —
+//! a sender burns its whole retry budget against silence before
+//! `peer_unreachable` flips. ULFM-style recovery needs something stronger:
+//! every rank must notice a failure even when it has nothing to send, and
+//! a transient outage (a flapping link) must not be confused with death.
+//! This module is that detector: a per-peer health state machine
+//!
+//! ```text
+//! Alive ──(quiet > suspect_after)──▶ Suspect ──(quiet > dead_after)──▶ Dead
+//!   ▲                                  │
+//!   └────────(any packet heard)────────┘        (Dead is sticky)
+//! ```
+//!
+//! driven by two inputs: *piggybacked liveness* (every packet delivered
+//! from a peer proves it alive — no extra traffic on a busy link) and
+//! *explicit probes* ([`PacketBody::Probe`]) issued when a link has been
+//! idle longer than `probe_interval_us`. Probes travel on VCI 0 beside
+//! the AM channel, outside the reliability sequence space (a lost probe is
+//! simply re-issued next interval), and pass through the fault layer like
+//! any other packet — so the kill switch and [`FaultPlan`] chaos plans
+//! exercise the detector deterministically.
+//!
+//! Like the reliability state machines, the monitor is *pure*: time enters
+//! only as a `now_us` argument, so every transition is unit-testable and
+//! replayable. The endpoint wires it to the clock and the wire.
+//!
+//! [`PacketBody::Probe`]: crate::reliability::PacketBody::Probe
+//! [`FaultPlan`]: crate::fault::FaultPlan
+
+/// Configuration of the failure detector, carried by value in
+/// [`ProviderProfile`](crate::cost::ProviderProfile).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthConfig {
+    /// Run the detector. When `false` (the default) no probe is ever sent,
+    /// no state is kept, and every health query answers `Alive` — the
+    /// fault-free fast path stays byte- and charge-identical.
+    pub enabled: bool,
+    /// Probe a peer after this many µs without hearing from it.
+    pub probe_interval_us: u64,
+    /// Quiet time (µs) after which a peer is demoted `Alive → Suspect`.
+    pub suspect_after_us: u64,
+    /// Quiet time (µs) after which a suspect peer is declared `Dead`.
+    /// Dead is sticky: recovery APIs (shrink) exclude the peer for good.
+    pub dead_after_us: u64,
+}
+
+impl HealthConfig {
+    /// Detector off — the default for every provider profile.
+    pub const OFF: HealthConfig = HealthConfig {
+        enabled: false,
+        probe_interval_us: 500,
+        suspect_after_us: 2_000,
+        dead_after_us: 10_000,
+    };
+
+    /// Detector on with default timing (probe after 500 µs idle, suspect
+    /// after 2 ms, dead after 10 ms).
+    pub const fn on() -> HealthConfig {
+        HealthConfig {
+            enabled: true,
+            probe_interval_us: 500,
+            suspect_after_us: 2_000,
+            dead_after_us: 10_000,
+        }
+    }
+
+    /// Copy of this config with the three timing thresholds replaced.
+    pub const fn with_timing(
+        mut self,
+        probe_interval_us: u64,
+        suspect_after_us: u64,
+        dead_after_us: u64,
+    ) -> HealthConfig {
+        self.probe_interval_us = probe_interval_us;
+        self.suspect_after_us = suspect_after_us;
+        self.dead_after_us = dead_after_us;
+        self
+    }
+}
+
+/// One peer's liveness as judged by the local detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthState {
+    /// Heard from recently (or never judged — the initial state).
+    Alive,
+    /// Quiet past `suspect_after_us`; probes are in flight. Recoverable.
+    Suspect,
+    /// Quiet past `dead_after_us`. Sticky: the peer stays dead even if a
+    /// stale packet later arrives (matching ULFM's "failures are
+    /// permanent" model — a resurrected rank must be excluded anyway).
+    Dead,
+}
+
+/// What one [`HealthMonitor::tick`] decided must happen, returned to the
+/// endpoint (the monitor itself never touches the wire).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthAction {
+    /// Send a liveness probe to this peer (carrying the given nonce).
+    Probe {
+        /// Index of the peer to probe.
+        peer: usize,
+        /// Nonce the probe carries (replies echo it).
+        nonce: u64,
+    },
+    /// The peer just crossed `Alive → Suspect`.
+    Suspected(usize),
+    /// The peer just crossed `Suspect → Dead`.
+    Died(usize),
+}
+
+/// The per-endpoint failure detector: last-heard bookkeeping plus the
+/// three-state machine for every peer. Pure (time is a parameter).
+#[derive(Debug)]
+pub struct HealthMonitor {
+    cfg: HealthConfig,
+    /// Fabric time each peer was last heard from.
+    last_heard: Vec<u64>,
+    /// Fabric time each peer was last probed (throttles probe traffic).
+    last_probe: Vec<u64>,
+    state: Vec<HealthState>,
+    /// Monotonic probe nonce (diagnostic; replies echo it).
+    next_nonce: u64,
+    /// Index of the monitoring endpoint (never probes itself).
+    me: usize,
+}
+
+impl HealthMonitor {
+    /// Build the monitor for the endpoint at index `me` on a fabric of `n`
+    /// endpoints, with every peer initially `Alive` as of time 0. When the
+    /// config is disabled the vectors stay empty (nothing looks at them).
+    pub fn new(cfg: HealthConfig, me: usize, n: usize) -> HealthMonitor {
+        let n = if cfg.enabled { n } else { 0 };
+        HealthMonitor {
+            cfg,
+            last_heard: vec![0; n],
+            last_probe: vec![0; n],
+            state: vec![HealthState::Alive; n],
+            next_nonce: 1,
+            me,
+        }
+    }
+
+    /// A packet from `peer` was delivered: refresh its liveness. Returns
+    /// `true` when this recovers the peer from `Suspect` (the flap-healed
+    /// transition); `Dead` peers stay dead.
+    pub fn note_alive(&mut self, peer: usize, now_us: u64) -> bool {
+        if !self.cfg.enabled || peer >= self.state.len() {
+            return false;
+        }
+        self.last_heard[peer] = now_us;
+        if self.state[peer] == HealthState::Suspect {
+            self.state[peer] = HealthState::Alive;
+            return true;
+        }
+        false
+    }
+
+    /// Force a peer straight to `Dead` (the reliability layer's retry
+    /// exhaustion and the fabric kill switch are authoritative evidence —
+    /// no need to wait out the quiet-time thresholds). Returns `true` on
+    /// an actual transition.
+    pub fn declare_dead(&mut self, peer: usize) -> bool {
+        if !self.cfg.enabled || peer >= self.state.len() {
+            return false;
+        }
+        if self.state[peer] == HealthState::Dead {
+            return false;
+        }
+        self.state[peer] = HealthState::Dead;
+        true
+    }
+
+    /// The local judgment of `peer`. Always `Alive` when disabled.
+    pub fn state_of(&self, peer: usize) -> HealthState {
+        if peer < self.state.len() {
+            self.state[peer]
+        } else {
+            HealthState::Alive
+        }
+    }
+
+    /// Advance the detector: demote peers that have been quiet too long
+    /// and emit probes for idle links. The caller transmits the probes and
+    /// records/traces the transitions.
+    pub fn tick(&mut self, now_us: u64) -> Vec<HealthAction> {
+        let mut actions = Vec::new();
+        if !self.cfg.enabled {
+            return actions;
+        }
+        for peer in 0..self.state.len() {
+            if peer == self.me {
+                continue;
+            }
+            let quiet = now_us.saturating_sub(self.last_heard[peer]);
+            match self.state[peer] {
+                HealthState::Alive if quiet > self.cfg.suspect_after_us => {
+                    self.state[peer] = HealthState::Suspect;
+                    actions.push(HealthAction::Suspected(peer));
+                }
+                HealthState::Suspect if quiet > self.cfg.dead_after_us => {
+                    self.state[peer] = HealthState::Dead;
+                    actions.push(HealthAction::Died(peer));
+                    continue; // no probes at a corpse
+                }
+                HealthState::Dead => continue,
+                _ => {}
+            }
+            // Idle-link probing: quiet past the interval and not probed
+            // within the interval either (throttle).
+            if quiet > self.cfg.probe_interval_us
+                && now_us.saturating_sub(self.last_probe[peer]) > self.cfg.probe_interval_us
+            {
+                self.last_probe[peer] = now_us;
+                let nonce = self.next_nonce;
+                self.next_nonce += 1;
+                actions.push(HealthAction::Probe { peer, nonce });
+            }
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> HealthConfig {
+        HealthConfig::on().with_timing(100, 500, 1_000)
+    }
+
+    #[test]
+    fn disabled_monitor_is_inert() {
+        let mut m = HealthMonitor::new(HealthConfig::OFF, 0, 4);
+        assert!(m.tick(1_000_000).is_empty());
+        assert_eq!(m.state_of(3), HealthState::Alive);
+        assert!(!m.note_alive(3, 5));
+        assert!(!m.declare_dead(3));
+    }
+
+    #[test]
+    fn quiet_peer_walks_alive_suspect_dead() {
+        let mut m = HealthMonitor::new(cfg(), 0, 2);
+        assert_eq!(m.state_of(1), HealthState::Alive);
+        // Within the suspect threshold: only probes fire.
+        let acts = m.tick(400);
+        assert_eq!(acts.len(), 1);
+        assert!(matches!(acts[0], HealthAction::Probe { peer: 1, .. }));
+        // Past it: demoted once (idempotent transition).
+        let acts = m.tick(600);
+        assert!(acts.contains(&HealthAction::Suspected(1)));
+        assert_eq!(m.state_of(1), HealthState::Suspect);
+        assert!(!m.tick(700).contains(&HealthAction::Suspected(1)));
+        // Past the dead threshold: died, and no more probes.
+        let acts = m.tick(1_100);
+        assert_eq!(acts, vec![HealthAction::Died(1)]);
+        assert_eq!(m.state_of(1), HealthState::Dead);
+        assert!(m.tick(2_000).is_empty());
+    }
+
+    #[test]
+    fn traffic_recovers_a_suspect_but_not_a_corpse() {
+        let mut m = HealthMonitor::new(cfg(), 0, 2);
+        m.tick(600);
+        assert_eq!(m.state_of(1), HealthState::Suspect);
+        // The flap heals: a delivered packet recovers the peer.
+        assert!(m.note_alive(1, 650), "suspect -> alive must be reported");
+        assert_eq!(m.state_of(1), HealthState::Alive);
+        // Fresh liveness resets the quiet clock: no demotion at 700.
+        assert!(m.tick(700).is_empty());
+
+        // Dead is sticky: late packets do not resurrect.
+        m.tick(1_200);
+        m.tick(1_700);
+        assert_eq!(m.state_of(1), HealthState::Dead);
+        assert!(!m.note_alive(1, 1_800));
+        assert_eq!(m.state_of(1), HealthState::Dead);
+    }
+
+    #[test]
+    fn probes_are_throttled_to_the_interval() {
+        let mut m = HealthMonitor::new(cfg(), 0, 2);
+        let probes = |acts: &[HealthAction]| {
+            acts.iter()
+                .filter(|a| matches!(a, HealthAction::Probe { .. }))
+                .count()
+        };
+        assert_eq!(probes(&m.tick(150)), 1);
+        assert_eq!(probes(&m.tick(200)), 0, "throttled inside the interval");
+        assert_eq!(probes(&m.tick(300)), 1, "re-probes after the interval");
+    }
+
+    #[test]
+    fn declare_dead_is_immediate_and_once() {
+        let mut m = HealthMonitor::new(cfg(), 0, 3);
+        assert!(m.declare_dead(2));
+        assert_eq!(m.state_of(2), HealthState::Dead);
+        assert!(!m.declare_dead(2), "second declaration is a no-op");
+        // Other peers unaffected.
+        assert_eq!(m.state_of(1), HealthState::Alive);
+    }
+
+    #[test]
+    fn monitor_never_probes_itself() {
+        let mut m = HealthMonitor::new(cfg(), 1, 2);
+        let acts = m.tick(10_000);
+        assert!(acts
+            .iter()
+            .all(|a| !matches!(a, HealthAction::Probe { peer: 1, .. })));
+        assert_eq!(m.state_of(1), HealthState::Alive, "self never dies");
+    }
+
+    #[test]
+    fn probe_nonces_are_unique() {
+        let mut m = HealthMonitor::new(cfg(), 0, 4);
+        let mut nonces = Vec::new();
+        for a in m.tick(150) {
+            if let HealthAction::Probe { nonce, .. } = a {
+                nonces.push(nonce);
+            }
+        }
+        let mut uniq = nonces.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), nonces.len());
+        assert_eq!(nonces.len(), 3, "one probe per peer");
+    }
+}

@@ -38,6 +38,7 @@ pub mod cost;
 pub mod endpoint;
 pub mod fabric;
 pub mod fault;
+pub mod health;
 pub mod matching;
 pub mod packet;
 pub mod pool;
@@ -51,7 +52,8 @@ pub use addr::NetAddr;
 pub use cost::{CopyMode, MatcherKind, NetCost, ProviderKind, ProviderProfile};
 pub use endpoint::Endpoint;
 pub use fabric::Fabric;
-pub use fault::{FaultPlan, FaultSpec, KillSwitch, LinkOverride};
+pub use fault::{FaultPlan, FaultSpec, KillSwitch, LinkFlap, LinkOverride};
+pub use health::{HealthConfig, HealthState};
 pub use litempi_trace::TraceConfig;
 pub use packet::{AmMessage, TaggedMessage};
 pub use pool::{PayloadBuf, PayloadPool, PoolStats};

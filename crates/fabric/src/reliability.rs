@@ -59,6 +59,19 @@ pub struct ReliabilityConfig {
     /// Out-of-order buffering window (packets) per link; arrivals beyond
     /// it are dropped and recovered by retransmission.
     pub window: u32,
+    /// Estimate the RTO per link from ACK round-trips (RFC-6298 SRTT/RTTVAR
+    /// with Karn's algorithm) instead of using the fixed `base_rto_us`.
+    /// Until a link has its first valid sample it behaves exactly as the
+    /// fixed schedule, so fault-free runs are unaffected by the setting.
+    pub adaptive_rto: bool,
+    /// Lower clamp on the estimated RTO (µs); irrelevant in fixed mode.
+    pub min_rto_us: u64,
+    /// Upper clamp on the estimated RTO (µs); irrelevant in fixed mode.
+    pub max_rto_us: u64,
+    /// Cap on packets re-issued per retransmission round (congestion-window
+    /// style), so go-back-N cannot amplify a reorder storm into a burst the
+    /// size of the whole unacked queue. `0` means unlimited.
+    pub retransmit_budget: u32,
 }
 
 impl ReliabilityConfig {
@@ -71,10 +84,15 @@ impl ReliabilityConfig {
         crc: true,
         ack_every: 4,
         window: 64,
+        adaptive_rto: true,
+        min_rto_us: 50,
+        max_rto_us: 20_000,
+        retransmit_budget: 16,
     };
 
     /// Protocol on with default knobs (8 retries, 200 µs initial RTO,
-    /// CRC enabled, 64-packet window).
+    /// CRC enabled, 64-packet window, adaptive RTO with a 16-packet
+    /// retransmit budget).
     pub const fn on() -> ReliabilityConfig {
         ReliabilityConfig {
             enabled: true,
@@ -84,6 +102,10 @@ impl ReliabilityConfig {
             crc: true,
             ack_every: 4,
             window: 64,
+            adaptive_rto: true,
+            min_rto_us: 50,
+            max_rto_us: 100_000,
+            retransmit_budget: 16,
         }
     }
 
@@ -97,6 +119,27 @@ impl ReliabilityConfig {
     pub const fn with_retries(mut self, max_retries: u32, base_rto_us: u64) -> ReliabilityConfig {
         self.max_retries = max_retries;
         self.base_rto_us = base_rto_us;
+        self
+    }
+
+    /// Copy of this config with the RTO estimator switched (the
+    /// fixed-vs-adaptive ablation knob).
+    pub const fn with_adaptive_rto(mut self, adaptive: bool) -> ReliabilityConfig {
+        self.adaptive_rto = adaptive;
+        self
+    }
+
+    /// Copy of this config with the estimated-RTO clamp range replaced.
+    pub const fn with_rto_bounds(mut self, min_us: u64, max_us: u64) -> ReliabilityConfig {
+        self.min_rto_us = min_us;
+        self.max_rto_us = max_us;
+        self
+    }
+
+    /// Copy of this config with the per-round retransmit cap replaced
+    /// (`0` = unlimited, the pre-budget behavior).
+    pub const fn with_retransmit_budget(mut self, budget: u32) -> ReliabilityConfig {
+        self.retransmit_budget = budget;
         self
     }
 }
@@ -139,6 +182,12 @@ pub(crate) enum PacketBody {
     Tagged(TaggedMessage),
     /// An active message.
     Am(AmMessage),
+    /// A liveness probe from the failure detector. Probes travel outside
+    /// the sequence space (like standalone ACKs): a lost probe is simply
+    /// re-issued at the next probe interval, never retransmitted.
+    Probe(u64),
+    /// The immediate reply to a [`PacketBody::Probe`], echoing its nonce.
+    ProbeAck(u64),
 }
 
 impl PacketBody {
@@ -158,6 +207,14 @@ impl PacketBody {
                 c = crc32_update(c, &m.header);
                 c = crc32_update(c, &m.data);
             }
+            PacketBody::Probe(nonce) => {
+                c = crc32_update(c, b"probe");
+                c = crc32_update(c, &nonce.to_le_bytes());
+            }
+            PacketBody::ProbeAck(nonce) => {
+                c = crc32_update(c, b"probe-ack");
+                c = crc32_update(c, &nonce.to_le_bytes());
+            }
         }
         !c
     }
@@ -167,6 +224,7 @@ impl PacketBody {
         match self {
             PacketBody::Tagged(m) => m.data.len(),
             PacketBody::Am(m) => m.data.len(),
+            PacketBody::Probe(_) | PacketBody::ProbeAck(_) => 0,
         }
     }
 
@@ -198,6 +256,8 @@ impl PacketBody {
                 }
                 PacketBody::Am(m)
             }
+            PacketBody::Probe(nonce) => PacketBody::Probe(nonce ^ (1 << (pick % 64))),
+            PacketBody::ProbeAck(nonce) => PacketBody::ProbeAck(nonce ^ (1 << (pick % 64))),
         }
     }
 }
@@ -233,6 +293,12 @@ pub(crate) struct Pending {
     pub seq: u32,
     pub body: PacketBody,
     pub crc: Option<u32>,
+    /// Fabric time of the original transmission (the RTT sample base).
+    pub sent_at_us: u64,
+    /// Set once the packet has been retransmitted; Karn's algorithm
+    /// excludes such packets from RTT sampling (the ACK could be for
+    /// either transmission).
+    pub rexmit: bool,
 }
 
 /// What a retransmit-timer tick decided.
@@ -248,7 +314,8 @@ pub(crate) enum TxTick {
 }
 
 /// Sender half of one directed link: sequence allocation + retransmit
-/// queue with exponential backoff.
+/// queue with exponential backoff and (optionally) an RFC-6298 RTO
+/// estimator fed by ACK round-trips.
 #[derive(Debug)]
 pub(crate) struct LinkTx {
     next_seq: u32,
@@ -262,9 +329,34 @@ pub(crate) struct LinkTx {
     base_rto_us: u64,
     max_backoff_exp: u32,
     max_retries: u32,
+    adaptive_rto: bool,
+    min_rto_us: u64,
+    max_rto_us: u64,
+    retransmit_budget: u32,
+    /// Smoothed RTT × 8 (RFC 6298's scaled-integer form; the ×8 keeps the
+    /// 1/8-gain update exact without floats).
+    srtt_x8: u64,
+    /// RTT variance × 4 (which is exactly the `4·RTTVAR` term of the RTO).
+    rttvar_x4: u64,
+    /// `false` until the first valid (non-retransmitted) sample; the link
+    /// uses the fixed `base_rto_us` schedule until then.
+    has_rtt_sample: bool,
+    /// Fabric time of the most recent retransmission round. Karn's
+    /// algorithm, full strength: a cumulative ACK arriving after a
+    /// recovery retires packets that merely *waited behind* the
+    /// retransmitted front, and their send→ack spans measure head-of-line
+    /// blocking, not the link RTT. Feeding those into the estimator is a
+    /// death spiral (inflated SRTT → longer RTO → longer recoveries →
+    /// more inflated samples), so only packets sent after this instant
+    /// may contribute samples.
+    last_rexmit_at_us: u64,
     /// Set once the retry budget is exhausted.
     pub dead: bool,
 }
+
+/// Clock granularity `G` of RFC 6298, in µs: the floor on the variance
+/// term so a zero-variance link still waits at least one clock step.
+const RTO_GRANULARITY_US: u64 = 1;
 
 impl LinkTx {
     pub(crate) fn new(cfg: &ReliabilityConfig) -> LinkTx {
@@ -282,8 +374,44 @@ impl LinkTx {
             base_rto_us: cfg.base_rto_us,
             max_backoff_exp: cfg.max_backoff_exp,
             max_retries: cfg.max_retries,
+            adaptive_rto: cfg.adaptive_rto,
+            min_rto_us: cfg.min_rto_us,
+            max_rto_us: cfg.max_rto_us,
+            retransmit_budget: cfg.retransmit_budget,
+            srtt_x8: 0,
+            rttvar_x4: 0,
+            has_rtt_sample: false,
+            last_rexmit_at_us: 0,
             dead: false,
         }
+    }
+
+    /// The retransmit timeout this link currently runs: the fixed
+    /// `base_rto_us` until the estimator has a sample, then RFC 6298's
+    /// `SRTT + max(G, 4·RTTVAR)` clamped to the configured bounds.
+    pub(crate) fn rto_us(&self) -> u64 {
+        if !self.adaptive_rto || !self.has_rtt_sample {
+            return self.base_rto_us;
+        }
+        let var = self.rttvar_x4.max(RTO_GRANULARITY_US);
+        (self.srtt_x8 / 8 + var).clamp(self.min_rto_us, self.max_rto_us)
+    }
+
+    /// Feed one RTT measurement into the estimator (RFC 6298 §2, the
+    /// scaled-integer update TCP implementations use).
+    fn sample_rtt(&mut self, rtt_us: u64) {
+        if !self.has_rtt_sample {
+            self.srtt_x8 = rtt_us * 8;
+            self.rttvar_x4 = rtt_us * 2; // RTTVAR = R/2, scaled ×4
+            self.has_rtt_sample = true;
+            return;
+        }
+        let srtt = self.srtt_x8 / 8;
+        let err = srtt.abs_diff(rtt_us);
+        // RTTVAR = 3/4·RTTVAR + 1/4·|SRTT - R|  (×4: subtract a quarter,
+        // add the error). SRTT = 7/8·SRTT + 1/8·R (×8 likewise).
+        self.rttvar_x4 = self.rttvar_x4 - self.rttvar_x4 / 4 + err;
+        self.srtt_x8 = self.srtt_x8 - self.srtt_x8 / 8 + rtt_us;
     }
 
     /// Assign the next sequence number, enqueue the packet for potential
@@ -292,29 +420,48 @@ impl LinkTx {
         let seq = self.next_seq;
         self.next_seq = self.next_seq.wrapping_add(1);
         if self.queue.is_empty() {
-            self.deadline_us = now_us + self.base_rto_us;
+            self.deadline_us = now_us + self.rto_us();
             self.backoff_exp = 0;
         }
-        self.queue.push_back(Pending { seq, body, crc });
+        self.queue.push_back(Pending {
+            seq,
+            body,
+            crc,
+            sent_at_us: now_us,
+            rexmit: false,
+        });
         seq
     }
 
     /// Process a cumulative ACK: retire everything before `cum`. Forward
-    /// progress resets the backoff and the retry budget.
+    /// progress resets the backoff and the retry budget, and packets that
+    /// were never retransmitted contribute an RTT sample (Karn's
+    /// algorithm: ambiguous round-trips are discarded).
     pub(crate) fn on_ack(&mut self, cum: u32, now_us: u64) {
         let mut progressed = false;
+        let mut sample: Option<u64> = None;
         while let Some(front) = self.queue.front() {
             if seq_before(front.seq, cum) {
+                if !front.rexmit && front.sent_at_us >= self.last_rexmit_at_us {
+                    sample = Some(now_us.saturating_sub(front.sent_at_us));
+                }
                 self.queue.pop_front();
                 progressed = true;
             } else {
                 break;
             }
         }
+        if self.adaptive_rto {
+            // The newest retired packet's round-trip is the freshest
+            // estimate (one sample per ACK, like per-RTT TCP sampling).
+            if let Some(rtt) = sample {
+                self.sample_rtt(rtt);
+            }
+        }
         if progressed {
             self.retries = 0;
             self.backoff_exp = 0;
-            self.deadline_us = now_us + self.base_rto_us;
+            self.deadline_us = now_us + self.rto_us();
         }
     }
 
@@ -332,13 +479,32 @@ impl LinkTx {
         if self.backoff_exp < self.max_backoff_exp {
             self.backoff_exp += 1;
         }
-        self.deadline_us = now_us + (self.base_rto_us << self.backoff_exp);
-        TxTick::Resend(self.queue.iter().cloned().collect())
+        self.deadline_us = now_us + (self.rto_us() << self.backoff_exp);
+        // Go-back-N from the front of the queue, capped by the retransmit
+        // budget: the front packets are the ones blocking the receiver's
+        // window, and a bounded burst cannot amplify a reorder storm.
+        let cap = if self.retransmit_budget == 0 {
+            self.queue.len()
+        } else {
+            self.queue.len().min(self.retransmit_budget as usize)
+        };
+        self.last_rexmit_at_us = now_us;
+        let batch: Vec<Pending> = self.queue.iter().take(cap).cloned().collect();
+        for p in self.queue.iter_mut().take(cap) {
+            p.rexmit = true;
+        }
+        TxTick::Resend(batch)
     }
 
     /// Packets awaiting acknowledgment.
     pub(crate) fn in_flight(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Smoothed RTT estimate in µs, `None` until the first sample.
+    #[allow(dead_code)]
+    pub(crate) fn srtt_us(&self) -> Option<u64> {
+        self.has_rtt_sample.then_some(self.srtt_x8 / 8)
     }
 
     #[cfg(test)]
@@ -801,6 +967,8 @@ mod tests {
                     seq: tx.prepare(b.clone(), None, now),
                     body: b,
                     crc: None,
+                    sent_at_us: now,
+                    rexmit: false,
                 }
             })
             .collect();
@@ -841,6 +1009,151 @@ mod tests {
         assert!(!new.tx_dead, "uniform debt: ACKs keep the sender alive");
         assert!(new.delivered_all, "every packet delivered and retired");
         assert_eq!(new.resend_rounds, 6, "pinned retransmit count");
+    }
+
+    /// RFC-6298 estimator: the first sample seeds SRTT = R, RTTVAR = R/2
+    /// (so RTO = 3R, clamped), and repeated identical samples converge the
+    /// variance toward zero so the RTO settles near SRTT + G at the clamp
+    /// floor.
+    #[test]
+    fn adaptive_rto_converges_on_stable_rtt() {
+        let c = cfg().with_rto_bounds(10, 50_000);
+        let mut tx = LinkTx::new(&c);
+        assert_eq!(tx.rto_us(), 200, "no samples yet: fixed schedule");
+        assert_eq!(tx.srtt_us(), None);
+
+        // One clean 300 µs round-trip: RTO = SRTT + 4·RTTVAR = 300 + 600.
+        tx.prepare(body(0), None, 1_000);
+        tx.on_ack(1, 1_300);
+        assert_eq!(tx.srtt_us(), Some(300));
+        assert_eq!(tx.rto_us(), 900);
+
+        // A steady stream of identical samples decays the variance; the
+        // RTO approaches SRTT (plus the granularity floor).
+        let mut now = 2_000;
+        for i in 1..60u32 {
+            tx.prepare(body(i as u64), None, now);
+            tx.on_ack(i + 1, now + 300);
+            now += 1_000;
+        }
+        assert_eq!(tx.srtt_us(), Some(300));
+        let settled = tx.rto_us();
+        assert!(
+            (300..=320).contains(&settled),
+            "variance should decay: rto = {settled}"
+        );
+
+        // High jitter re-inflates it.
+        for i in 60..80u32 {
+            tx.prepare(body(i as u64), None, now);
+            let rtt = if i % 2 == 0 { 100 } else { 2_000 };
+            tx.on_ack(i + 1, now + rtt);
+            now += 10_000;
+        }
+        assert!(tx.rto_us() > 1_000, "jitter must widen the RTO");
+    }
+
+    /// Karn's algorithm: a packet that was retransmitted contributes no
+    /// RTT sample — its ACK is ambiguous between transmissions.
+    #[test]
+    fn karn_excludes_retransmitted_packets_from_sampling() {
+        let c = cfg();
+        let mut tx = LinkTx::new(&c);
+        tx.prepare(body(1), None, 0);
+        assert!(matches!(tx.tick(200), TxTick::Resend(_)));
+        // The ACK arrives after the retransmission: no sample.
+        tx.on_ack(1, 50_000);
+        assert_eq!(tx.srtt_us(), None);
+        assert_eq!(tx.rto_us(), 200, "still on the fixed schedule");
+
+        // A fresh, never-retransmitted packet does sample.
+        tx.prepare(body(2), None, 60_000);
+        tx.on_ack(2, 60_150);
+        assert_eq!(tx.srtt_us(), Some(150));
+    }
+
+    /// Full-strength Karn: a packet that was *never* retransmitted itself
+    /// but sat in the queue across a retransmission round is also excluded
+    /// — its ACK was delayed by the recovery (head-of-line blocking behind
+    /// the resent front), so its send→ack span measures the stall, not the
+    /// path. Sampling it inflates SRTT and spirals the RTO upward.
+    #[test]
+    fn karn_excludes_packets_sent_before_the_last_retransmit_round() {
+        let c = cfg().with_retransmit_budget(1);
+        let mut tx = LinkTx::new(&c);
+        tx.prepare(body(1), None, 0);
+        tx.prepare(body(2), None, 50);
+        // The round at t=200 resends only the front packet (budget 1);
+        // seq 1 keeps `rexmit == false` but predates the round.
+        let TxTick::Resend(batch) = tx.tick(200) else {
+            panic!("timer should fire");
+        };
+        assert_eq!(batch.len(), 1);
+        // A late cumulative ACK retires both. Neither may sample: seq 0 was
+        // retransmitted, seq 1 waited behind it.
+        tx.on_ack(2, 100_000);
+        assert_eq!(tx.srtt_us(), None, "head-of-line victim must not sample");
+        assert_eq!(tx.rto_us(), 200, "still on the fixed schedule");
+
+        // Traffic sent after the round measures the real path again.
+        tx.prepare(body(3), None, 200_000);
+        tx.on_ack(3, 200_150);
+        assert_eq!(tx.srtt_us(), Some(150));
+    }
+
+    /// The retransmit budget caps each go-back-N round at the front of the
+    /// queue; `0` means the whole queue (the pre-budget behavior).
+    #[test]
+    fn retransmit_budget_caps_resend_batch() {
+        let c = cfg().with_retransmit_budget(4);
+        let mut tx = LinkTx::new(&c);
+        for i in 0..10u64 {
+            tx.prepare(body(i), None, 0);
+        }
+        let TxTick::Resend(batch) = tx.tick(200) else {
+            panic!("timer should fire");
+        };
+        assert_eq!(batch.len(), 4, "budget caps the burst");
+        let seqs: Vec<u32> = batch.iter().map(|p| p.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3], "front of the queue goes first");
+
+        let unlimited = cfg().with_retransmit_budget(0);
+        let mut tx = LinkTx::new(&unlimited);
+        for i in 0..10u64 {
+            tx.prepare(body(i), None, 0);
+        }
+        let TxTick::Resend(batch) = tx.tick(200) else {
+            panic!("timer should fire");
+        };
+        assert_eq!(batch.len(), 10, "budget 0 resends everything");
+    }
+
+    /// RTT samples steer the real retransmit deadline: after the estimator
+    /// locks onto a fast link, the next timer arms at the estimated RTO
+    /// (clamped below by `min_rto_us`), not the fixed base.
+    #[test]
+    fn estimated_rto_drives_deadline() {
+        let c = cfg(); // min 50 µs
+        let mut tx = LinkTx::new(&c);
+        tx.prepare(body(0), None, 0);
+        tx.on_ack(1, 10); // 10 µs RTT → RTO clamps to min 50
+        assert_eq!(tx.rto_us(), 50);
+        tx.prepare(body(1), None, 1_000);
+        assert_eq!(tx.deadline(), 1_050);
+        assert!(matches!(tx.tick(1_049), TxTick::Idle));
+        assert!(matches!(tx.tick(1_050), TxTick::Resend(_)));
+    }
+
+    #[test]
+    fn probe_bodies_checksum_and_corrupt() {
+        let p = PacketBody::Probe(0xABCD);
+        let a = PacketBody::ProbeAck(0xABCD);
+        assert_ne!(p.checksum(), a.checksum(), "probe and ack must differ");
+        assert_eq!(p.payload_len(), 0);
+        for pick in [0u64, 7, u64::MAX] {
+            assert_ne!(p.corrupted(pick).checksum(), p.checksum());
+            assert_ne!(a.corrupted(pick).checksum(), a.checksum());
+        }
     }
 
     #[test]

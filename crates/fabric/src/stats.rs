@@ -46,6 +46,15 @@ pub struct EndpointStats {
     pub acks_sent: AtomicU64,
     /// Packets the fault plan dropped (or killed) on this endpoint's sends.
     pub faults_dropped: AtomicU64,
+    /// Liveness probes sent to quiet peers by the failure detector.
+    pub probes_sent: AtomicU64,
+    /// Peers this endpoint's detector moved to `Suspect`.
+    pub peers_suspected: AtomicU64,
+    /// Peers this endpoint declared `Dead` (heartbeat timeout or retry
+    /// exhaustion in the reliability layer).
+    pub peers_died: AtomicU64,
+    /// Suspected peers that proved alive again (flapping links).
+    pub peers_recovered: AtomicU64,
     /// Per-VCI lock acquisitions (critical section + tag engine). Only
     /// bumped when the endpoint runs more than one VCI, so the single-VCI
     /// fast path pays nothing for them.
@@ -79,6 +88,10 @@ impl EndpointStats {
             crc_failures: self.crc_failures.load(Ordering::Relaxed),
             acks_sent: self.acks_sent.load(Ordering::Relaxed),
             faults_dropped: self.faults_dropped.load(Ordering::Relaxed),
+            probes_sent: self.probes_sent.load(Ordering::Relaxed),
+            peers_suspected: self.peers_suspected.load(Ordering::Relaxed),
+            peers_died: self.peers_died.load(Ordering::Relaxed),
+            peers_recovered: self.peers_recovered.load(Ordering::Relaxed),
             unexpected: matching.unexpected,
             bucket_hits: matching.bucket_hits,
             wildcard_matches: matching.wildcard_matches,
@@ -125,6 +138,10 @@ pub struct StatsSnapshot {
     pub crc_failures: u64,
     pub acks_sent: u64,
     pub faults_dropped: u64,
+    pub probes_sent: u64,
+    pub peers_suspected: u64,
+    pub peers_died: u64,
+    pub peers_recovered: u64,
     pub unexpected: u64,
     pub bucket_hits: u64,
     pub wildcard_matches: u64,
@@ -154,6 +171,10 @@ impl StatsSnapshot {
             crc_failures: self.crc_failures - earlier.crc_failures,
             acks_sent: self.acks_sent - earlier.acks_sent,
             faults_dropped: self.faults_dropped - earlier.faults_dropped,
+            probes_sent: self.probes_sent - earlier.probes_sent,
+            peers_suspected: self.peers_suspected - earlier.peers_suspected,
+            peers_died: self.peers_died - earlier.peers_died,
+            peers_recovered: self.peers_recovered - earlier.peers_recovered,
             unexpected: self.unexpected - earlier.unexpected,
             bucket_hits: self.bucket_hits - earlier.bucket_hits,
             wildcard_matches: self.wildcard_matches - earlier.wildcard_matches,

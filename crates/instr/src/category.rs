@@ -72,6 +72,13 @@ pub enum Category {
     /// counts; tracked separately so tests can assert it never leaks into
     /// the injection-path totals.
     Progress,
+    /// Fault-tolerance machinery outside the fault-free fast path:
+    /// liveness probes, failure-detector transitions, revocation
+    /// propagation, and the agreement/shrink protocols. Like `Progress`,
+    /// none of this runs on the injection path of a healthy job — the
+    /// calibrated 221/215 pins stay untouched, and tests assert the
+    /// category is exactly zero under `FaultPlan::none()`.
+    FaultTolerance,
     /// Multi-VCI endpoint bookkeeping: hashing an operation's
     /// (context id, tag) onto its virtual communication interface. This is
     /// work MPICH's VCI extension *adds* relative to the paper's single
@@ -83,7 +90,7 @@ pub enum Category {
 
 impl Category {
     /// Number of categories (array sizing).
-    pub const COUNT: usize = 16;
+    pub const COUNT: usize = 17;
 
     /// All categories in declaration order.
     pub const ALL: [Category; Category::COUNT] = [
@@ -102,6 +109,7 @@ impl Category {
         Category::Reliability,
         Category::Schedule,
         Category::Progress,
+        Category::FaultTolerance,
         Category::Vci,
     ];
 
@@ -132,7 +140,7 @@ impl Category {
     pub const fn is_injection_path(self) -> bool {
         !matches!(
             self,
-            Category::Progress | Category::Schedule | Category::Vci
+            Category::Progress | Category::Schedule | Category::Vci | Category::FaultTolerance
         )
     }
 
@@ -154,6 +162,7 @@ impl Category {
             Category::Reliability => "reliability",
             Category::Schedule => "schedule",
             Category::Progress => "progress",
+            Category::FaultTolerance => "fault_tolerance",
             Category::Vci => "vci",
         }
     }
@@ -178,6 +187,7 @@ impl Category {
             Category::Reliability => "Software reliability protocol (PSM2-style onload)",
             Category::Schedule => "Nonblocking-collective schedule engine (not in injection path)",
             Category::Progress => "Receiver-side progress (not in injection path)",
+            Category::FaultTolerance => "Failure detection / ULFM recovery (not in injection path)",
             Category::Vci => "Virtual-communication-interface selection (not in injection path)",
         }
     }
@@ -231,6 +241,12 @@ mod tests {
     fn vci_not_in_injection_path_and_not_mandatory() {
         assert!(!Category::Vci.is_injection_path());
         assert!(!Category::Vci.is_mandatory());
+    }
+
+    #[test]
+    fn fault_tolerance_not_in_injection_path_and_not_mandatory() {
+        assert!(!Category::FaultTolerance.is_injection_path());
+        assert!(!Category::FaultTolerance.is_mandatory());
     }
 
     #[test]

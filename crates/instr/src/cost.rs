@@ -205,6 +205,35 @@ pub mod schedule {
     pub const PHASE_ADVANCE: u64 = 4;
 }
 
+/// Fault-tolerance machinery (`Category::FaultTolerance`).
+///
+/// Modeled costs (not paper-measured): the paper's builds have no failure
+/// detector or recovery protocol, so everything here executes strictly off
+/// the injection path — probes fire only on idle links, detector transitions
+/// only when a peer goes quiet, and the ULFM verbs (`revoke`/`shrink`/
+/// `agree`) only when the application invokes them. Tests assert this
+/// category is exactly zero under `FaultPlan::none()` steady-state traffic.
+pub mod ft {
+    /// Build and transmit one liveness probe on an idle link (nonce stamp +
+    /// wire header; cheaper than a data packet — no payload, no CRC body).
+    pub const PROBE: u64 = 11;
+    /// Answer an incoming probe with a probe-ack (echo the nonce).
+    pub const PROBE_ACK: u64 = 8;
+    /// One detector state transition (Alive→Suspect, Suspect→Dead, or
+    /// Suspect→Alive recovery): timestamp compare + state write + event.
+    pub const DETECT_TRANSITION: u64 = 6;
+    /// Process one revocation notice: mark the context revoked and fan the
+    /// notice out over surviving links (per-peer forward charge applied by
+    /// the broadcast loop itself).
+    pub const REVOKE_NOTICE: u64 = 15;
+    /// One round of the fault-tolerant agreement protocol per participant:
+    /// contribution merge + dead-mask fold.
+    pub const AGREE_ROUND: u64 = 13;
+    /// Build the survivor group during `shrink()`: dead-mask filter + rank
+    /// compaction per member slot.
+    pub const SHRINK_MEMBER: u64 = 5;
+}
+
 /// Multi-VCI endpoint bookkeeping (`Category::Vci`).
 ///
 /// MPICH's VCI extension (Zhou/Raffenetti et al.) shards the single
