@@ -9,7 +9,7 @@
 //! tests prove both compute identical fields.
 
 use crate::trace::IterTrace;
-use litempi_core::{CartComm, MpiResult, Process, PROC_NULL};
+use litempi_core::{CartComm, MpiResult, Process, Window, PROC_NULL};
 
 /// Which send path the halo exchange uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -19,6 +19,10 @@ pub enum HaloFlavor {
     /// §3.1 extension: world-rank addressing via `isend_global`, with
     /// neighbor ranks translated once at setup.
     GlobalRank,
+    /// One-sided halos: each rank exposes its ghost slots in an RMA
+    /// window and neighbors `put` boundary lines straight into them —
+    /// no tag matching on the critical path, fence epochs for sync.
+    Rma,
 }
 
 /// Problem configuration.
@@ -59,11 +63,17 @@ struct Halo {
     /// (source, dest) per axis in *world* ranks (§3.1 pattern).
     world_shifts: [(i32, i32); 2],
     flavor: HaloFlavor,
+    /// Ghost-slot window, present only for [`HaloFlavor::Rma`]. Layout in
+    /// f64 slots: `[axis0 low ghost | axis0 high | axis1 low | axis1 high]`.
+    win: Option<Window>,
 }
 
 impl Halo {
     /// Exchange boundary lines with the four neighbors.
     fn exchange(&self, edges: &Edges) -> MpiResult<Ghosts> {
+        if self.flavor == HaloFlavor::Rma {
+            return self.exchange_rma(edges);
+        }
         let comm = self.cart.comm();
         let mut ghosts: Ghosts = Default::default();
         for axis in 0..2 {
@@ -116,12 +126,63 @@ impl Halo {
                         r.wait()?;
                     }
                 }
+                HaloFlavor::Rma => unreachable!("handled by exchange_rma"),
             }
             if src != PROC_NULL {
                 ghosts[axis][0] = Some(from_lo);
             }
             if dst != PROC_NULL {
                 ghosts[axis][1] = Some(from_hi);
+            }
+        }
+        Ok(ghosts)
+    }
+
+    /// One-sided halo exchange: put boundary lines into the neighbors'
+    /// ghost slots inside a single fence epoch, then read the slots the
+    /// neighbors filled on our side. Same bytes in the same places as the
+    /// two-sided flavors — the tests assert bit identity.
+    fn exchange_rma(&self, edges: &Edges) -> MpiResult<Ghosts> {
+        let win = self.win.as_ref().expect("rma flavor creates a window");
+        let ny = edges[0][0].len();
+        let nx = edges[1][0].len();
+        // f64-slot offset of the ghost line `(axis, side)` in every rank's
+        // window (all ranks share one local grid size).
+        let slot = |axis: usize, side: usize| {
+            if axis == 0 {
+                side * ny
+            } else {
+                2 * ny + side * nx
+            }
+        };
+        win.fence()?;
+        for (axis, lines) in edges.iter().enumerate() {
+            let (src, dst) = self.shifts[axis];
+            // Our high edge becomes the +axis neighbor's low-side ghost;
+            // our low edge becomes the -axis neighbor's high-side ghost.
+            if dst != PROC_NULL {
+                win.put(&lines[1], dst, slot(axis, 0))?;
+            }
+            if src != PROC_NULL {
+                win.put(&lines[0], src, slot(axis, 1))?;
+            }
+        }
+        win.fence()?;
+        let mut ghosts: Ghosts = Default::default();
+        for axis in 0..2 {
+            let (src, dst) = self.shifts[axis];
+            let n = edges[axis][0].len();
+            let read = |side: usize| {
+                win.read_local(slot(axis, side) * 8, n * 8)
+                    .chunks_exact(8)
+                    .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+                    .collect::<Vec<f64>>()
+            };
+            if src != PROC_NULL {
+                ghosts[axis][0] = Some(read(0));
+            }
+            if dst != PROC_NULL {
+                ghosts[axis][1] = Some(read(1));
             }
         }
         Ok(ghosts)
@@ -138,14 +199,18 @@ pub fn run(proc: &Process, cfg: &StencilConfig) -> MpiResult<StencilReport> {
         let n = cart.neighbor_world_ranks();
         [n[0], n[1]]
     };
+    let (nx, ny) = (cfg.local[0], cfg.local[1]);
+    let win = (cfg.flavor == HaloFlavor::Rma)
+        .then(|| Window::create(cart.comm(), 2 * (nx + ny) * 8, 8))
+        .transpose()?;
     let halo = Halo {
         cart,
         shifts,
         world_shifts,
         flavor: cfg.flavor,
+        win,
     };
 
-    let (nx, ny) = (cfg.local[0], cfg.local[1]);
     let gx = nx + 2; // ghost frame
     let at = |i: usize, j: usize| j * gx + i;
 
@@ -262,6 +327,16 @@ mod tests {
             Universe::run_default(4, |proc| run(&proc, &cfg(HaloFlavor::GlobalRank)).unwrap());
         for (c, g) in classic.iter().zip(&global) {
             assert_eq!(c.field, g.field, "flavors must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn rma_flavor_matches_classic_exactly() {
+        let classic =
+            Universe::run_default(4, |proc| run(&proc, &cfg(HaloFlavor::Classic)).unwrap());
+        let rma = Universe::run_default(4, |proc| run(&proc, &cfg(HaloFlavor::Rma)).unwrap());
+        for (c, r) in classic.iter().zip(&rma) {
+            assert_eq!(c.field, r.field, "one-sided halos must be bit-identical");
         }
     }
 

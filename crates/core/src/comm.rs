@@ -16,8 +16,8 @@ use crate::error::{MpiError, MpiResult};
 use crate::group::Group;
 use crate::match_bits::ContextId;
 use crate::process::{ProcInner, Process, NUM_PREDEF_COMMS};
-use std::cell::{Cell, RefCell};
-use std::sync::atomic::{AtomicBool, Ordering};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 
 /// State shared by all ranks of one communicator.
@@ -109,25 +109,44 @@ pub struct Communicator {
     pub(crate) shared: Arc<CommShared>,
     pub(crate) rank: usize,
     /// Per-rank collective sequence number: collectives are ordered, so
-    /// equal on all ranks at each collective call site.
-    pub(crate) coll_seq: Cell<u64>,
+    /// equal on all ranks at each collective call site. Atomic so a
+    /// communicator (and any window built on it) is `Sync` — passive-target
+    /// RMA injects from multiple threads through one handle.
+    pub(crate) coll_seq: AtomicU64,
     /// Per-rank derivation counter for meet keys (dup/split/create order).
-    derive_seq: Cell<u64>,
+    derive_seq: AtomicU64,
     /// §3.5 requestless-send state.
-    pub(crate) noreq: RefCell<NoReqState>,
+    pub(crate) noreq: Mutex<NoReqState>,
     /// Was this handle obtained through a precreated slot (§3.3)?
     pub(crate) is_predef: bool,
-    /// Error handler for communication failures (`MPI_Comm_set_errhandler`).
-    pub(crate) errhandler: Cell<Errhandler>,
+    /// Error handler for communication failures (`MPI_Comm_set_errhandler`),
+    /// stored as its discriminant so reads stay a single atomic load.
+    pub(crate) errhandler: AtomicU8,
     /// ULFM `MPI_Comm_failure_ack` state: bitmask (by communicator rank)
     /// of failures this handle has acknowledged. Local, per-handle — like
     /// the standard's ack, it only silences `agree`'s failure reporting.
-    pub(crate) acked_failures: Cell<u64>,
+    pub(crate) acked_failures: AtomicU64,
     /// Per-rank agreement sequence number: `agree`/`shrink` are collective
     /// and ordered, so equal on all participants at each call site — it
     /// keys the protocol's tag space so overlapping agreements (and
     /// retries after a coordinator death) cannot cross-match.
-    pub(crate) agree_seq: Cell<u64>,
+    pub(crate) agree_seq: AtomicU64,
+}
+
+impl Errhandler {
+    pub(crate) fn to_u8(self) -> u8 {
+        match self {
+            Errhandler::ErrorsAreFatal => 0,
+            Errhandler::ErrorsReturn => 1,
+        }
+    }
+
+    pub(crate) fn from_u8(v: u8) -> Errhandler {
+        match v {
+            0 => Errhandler::ErrorsAreFatal,
+            _ => Errhandler::ErrorsReturn,
+        }
+    }
 }
 
 impl Communicator {
@@ -141,13 +160,13 @@ impl Communicator {
                 group: Group::world(size),
             }),
             rank,
-            coll_seq: Cell::new(0),
-            derive_seq: Cell::new(0),
-            noreq: RefCell::new(NoReqState::default()),
+            coll_seq: AtomicU64::new(0),
+            derive_seq: AtomicU64::new(0),
+            noreq: Mutex::new(NoReqState::default()),
             is_predef: false,
-            errhandler: Cell::new(Errhandler::default()),
-            acked_failures: Cell::new(0),
-            agree_seq: Cell::new(0),
+            errhandler: AtomicU8::new(Errhandler::default().to_u8()),
+            acked_failures: AtomicU64::new(0),
+            agree_seq: AtomicU64::new(0),
         }
     }
 
@@ -165,24 +184,24 @@ impl Communicator {
             proc,
             shared,
             rank,
-            coll_seq: Cell::new(0),
-            derive_seq: Cell::new(0),
-            noreq: RefCell::new(NoReqState::default()),
+            coll_seq: AtomicU64::new(0),
+            derive_seq: AtomicU64::new(0),
+            noreq: Mutex::new(NoReqState::default()),
             is_predef,
-            errhandler: Cell::new(Errhandler::default()),
-            acked_failures: Cell::new(0),
-            agree_seq: Cell::new(0),
+            errhandler: AtomicU8::new(Errhandler::default().to_u8()),
+            acked_failures: AtomicU64::new(0),
+            agree_seq: AtomicU64::new(0),
         }
     }
 
     /// `MPI_Comm_set_errhandler` (local).
     pub fn set_errhandler(&self, eh: Errhandler) {
-        self.errhandler.set(eh);
+        self.errhandler.store(eh.to_u8(), Ordering::Relaxed);
     }
 
     /// `MPI_Comm_get_errhandler` (local).
     pub fn errhandler(&self) -> Errhandler {
-        self.errhandler.get()
+        Errhandler::from_u8(self.errhandler.load(Ordering::Relaxed))
     }
 
     /// Route an error through the communicator's handler: communication
@@ -190,9 +209,7 @@ impl Communicator {
     /// (and everything under [`Errhandler::ErrorsReturn`]) is returned.
     pub(crate) fn handle_error<T>(&self, r: MpiResult<T>) -> MpiResult<T> {
         match r {
-            Err(e)
-                if e.is_comm_failure() && self.errhandler.get() == Errhandler::ErrorsAreFatal =>
-            {
+            Err(e) if e.is_comm_failure() && self.errhandler() == Errhandler::ErrorsAreFatal => {
                 panic!("MPI_ERRORS_ARE_FATAL: {e}");
             }
             other => other,
@@ -233,15 +250,12 @@ impl Communicator {
     /// Next collective sequence number (used to tag internal collective
     /// traffic so overlapping collectives cannot cross-match).
     pub(crate) fn next_coll_tag(&self) -> i32 {
-        let s = self.coll_seq.get();
-        self.coll_seq.set(s + 1);
+        let s = self.coll_seq.fetch_add(1, Ordering::Relaxed);
         (s % (1 << 20)) as i32
     }
 
     pub(crate) fn next_derive_seq(&self) -> u64 {
-        let s = self.derive_seq.get();
-        self.derive_seq.set(s + 1);
-        s
+        self.derive_seq.fetch_add(1, Ordering::Relaxed)
     }
 
     /// `MPI_COMM_DUP` (collective): same group, fresh context.
@@ -258,7 +272,7 @@ impl Communicator {
                 }
             });
         let dup = Communicator::from_shared(self.proc.clone(), shared, false);
-        dup.errhandler.set(self.errhandler.get());
+        dup.set_errhandler(self.errhandler());
         dup
     }
 
@@ -296,7 +310,7 @@ impl Communicator {
             },
         );
         let sub = Communicator::from_shared(self.proc.clone(), shared, false);
-        sub.errhandler.set(self.errhandler.get());
+        sub.set_errhandler(self.errhandler());
         Ok(Some(sub))
     }
 
@@ -341,7 +355,7 @@ impl Communicator {
                 group,
             });
         let sub = Communicator::from_shared(self.proc.clone(), shared, false);
-        sub.errhandler.set(self.errhandler.get());
+        sub.set_errhandler(self.errhandler());
         Ok(Some(sub))
     }
 
@@ -374,7 +388,7 @@ impl Communicator {
     /// §3.5: number of requestless operations still pending completion.
     pub fn noreq_pending(&self) -> usize {
         self.noreq
-            .borrow()
+            .lock()
             .pending
             .iter()
             .filter(|f| !f.load(Ordering::Acquire))

@@ -167,7 +167,7 @@ impl Communicator {
     /// §3.5 `MPI_COMM_WAITALL`: complete every requestless operation issued
     /// on this communicator.
     pub fn comm_waitall(&self) -> MpiResult<()> {
-        let pending: Vec<_> = std::mem::take(&mut self.noreq.borrow_mut().pending);
+        let pending: Vec<_> = std::mem::take(&mut self.noreq.lock().pending);
         let proc = self.proc.clone();
         for flag in pending {
             wait_loop(&proc, || flag.load(Ordering::Acquire).then_some(()));
@@ -319,34 +319,6 @@ impl Window {
             false,
             true,
         )
-    }
-
-    /// `MPI_RPUT` (request-based RMA): like put, returning a request whose
-    /// completion means the *local* buffer is reusable. In this
-    /// implementation puts capture the buffer at issue, so the request is
-    /// born complete — remote completion still requires the epoch's
-    /// synchronization call, per the standard.
-    pub fn rput<T: MpiPrimitive>(
-        &self,
-        data: &[T],
-        target: i32,
-        disp: usize,
-    ) -> MpiResult<Request<'static>> {
-        self.put(data, target, disp)?;
-        Ok(Request::done(Status::send()))
-    }
-
-    /// `MPI_RGET`: request-based get. Our get paths deliver synchronously
-    /// (native RDMA read, or an awaited AM reply), so the returned request
-    /// is complete and the buffer is already filled.
-    pub fn rget<T: MpiPrimitive>(
-        &self,
-        buf: &mut [T],
-        target: i32,
-        disp: usize,
-    ) -> MpiResult<Request<'static>> {
-        self.get(buf, target, disp)?;
-        Ok(Request::done(Status::send()))
     }
 
     /// §3.7 put with every applicable proposal fused: pre-translated

@@ -132,8 +132,8 @@ impl Communicator {
     /// them as errors. Local; returns the cumulative acknowledged mask
     /// (bit *i* = communicator rank *i*).
     pub fn ack_failed(&self) -> u64 {
-        let acked = self.acked_failures.get() | self.local_dead_mask();
-        self.acked_failures.set(acked);
+        let acked = self.acked_failures.load(Ordering::Relaxed) | self.local_dead_mask();
+        self.acked_failures.store(acked, Ordering::Relaxed);
         acked
     }
 
@@ -153,7 +153,8 @@ impl Communicator {
     /// on a revoked communicator: agreement is exactly the operation
     /// recovery needs after a revoke.
     pub fn agree(&self, flag: u32) -> MpiResult<u32> {
-        let (out, dead, acked_all) = self.agree_inner(flag, self.acked_failures.get())?;
+        let (out, dead, acked_all) =
+            self.agree_inner(flag, self.acked_failures.load(Ordering::Relaxed))?;
         let unacked = dead & !acked_all;
         if unacked != 0 {
             let r = unacked.trailing_zeros() as usize;
@@ -198,7 +199,7 @@ impl Communicator {
             },
         );
         let sub = Communicator::from_shared_crate(self.proc.clone(), shared);
-        sub.errhandler.set(self.errhandler.get());
+        sub.set_errhandler(self.errhandler());
         Ok(sub)
     }
 
@@ -234,8 +235,7 @@ impl Communicator {
                 "agree/shrink support at most 64 ranks",
             ));
         }
-        let seq = self.agree_seq.get();
-        self.agree_seq.set(seq + 1);
+        let seq = self.agree_seq.fetch_add(1, Ordering::Relaxed);
         if size == 1 {
             return Ok((flag, 0, acked));
         }

@@ -42,7 +42,7 @@ impl MatchedMessage {
     pub fn status(&self) -> Status {
         let bytes = match proto::decode(&self.payload).1 {
             DecodedPayload::Eager(d) => d.len(),
-            DecodedPayload::Rts { len, .. } => len,
+            DecodedPayload::Rts { len, .. } | DecodedPayload::RtsRma { len, .. } => len,
         };
         Status {
             source: match_bits::decode_src(self.bits) as i32,

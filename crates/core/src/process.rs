@@ -330,7 +330,7 @@ impl ProcInner {
                 });
             }
             proto::AM_RMA_PUT => {
-                // h0=win, h1=offset, h2=len, h3=unused.
+                // h0=win, h1=offset, h2=len, h3=ack op id (0 = no ack).
                 let win = self.window(h0);
                 self.endpoint
                     .fabric()
@@ -338,6 +338,14 @@ impl ProcInner {
                     .write(h1 as usize, &am.data);
                 debug_assert_eq!(h2 as usize, am.data.len());
                 self.note_applied(h0);
+                if h3 != 0 {
+                    self.endpoint.am_send(
+                        am.src,
+                        proto::AM_RMA_GET_REPLY,
+                        proto::header(h3, 0, 0, 0),
+                        Bytes::new(),
+                    );
+                }
             }
             proto::AM_RMA_ACC => {
                 // h0=win, h1=offset, h2=len, h3=op+type.

@@ -18,6 +18,11 @@ pub enum PayloadKind {
     Eager,
     /// Rendezvous RTS: payload is `[rndv_id: u64][len: u64]`.
     Rts,
+    /// RDMA rendezvous RTS: payload is `[rndv_id: u64][len: u64][key: u64]`.
+    /// The sender has staged the wire bytes in a registered region (`key`);
+    /// the receiver RDMA-reads them directly, bypassing the pull-based
+    /// rendezvous table (foMPI-style one-sided rendezvous).
+    RtsRma,
 }
 
 /// Encode an eager payload (the legacy copying path: stages into a fresh
@@ -105,6 +110,34 @@ pub fn rts_payload(fabric: &Fabric, vci: usize, rndv_id: u64, len: usize) -> Byt
     }
 }
 
+/// Encode an RDMA-rendezvous RTS (legacy path; see [`rts_rma_payload`]).
+pub fn rts_rma(rndv_id: u64, len: usize, key: u64) -> Bytes {
+    litempi_instr::note_alloc(2);
+    let mut buf = BytesMut::with_capacity(25);
+    buf.put_u8(2);
+    buf.put_u64_le(rndv_id);
+    buf.put_u64_le(len as u64);
+    buf.put_u64_le(key);
+    buf.freeze()
+}
+
+/// Build an RDMA-rendezvous RTS payload under `fabric`'s copy mode: the
+/// 25-byte descriptor names the registered region (`key`) the receiver
+/// reads the message body from.
+pub fn rts_rma_payload(fabric: &Fabric, vci: usize, rndv_id: u64, len: usize, key: u64) -> Bytes {
+    match fabric.profile().copy_mode {
+        CopyMode::Pooled => {
+            let mut buf = fabric.pool_vci(vci).take(25);
+            buf.put_u8(2);
+            buf.put_u64_le(rndv_id);
+            buf.put_u64_le(len as u64);
+            buf.put_u64_le(key);
+            buf.freeze()
+        }
+        CopyMode::Legacy => rts_rma(rndv_id, len, key),
+    }
+}
+
 /// Zero-copy view of an eager payload's data: the delivered buffer minus
 /// its envelope byte, sharing storage with `payload`.
 pub fn eager_view(payload: &Bytes) -> Bytes {
@@ -124,6 +157,18 @@ pub fn try_decode(payload: &Bytes) -> MpiResult<(PayloadKind, DecodedPayload<'_>
             let rndv_id = u64::from_le_bytes(payload[1..9].try_into().expect("len checked"));
             let len = u64::from_le_bytes(payload[9..17].try_into().expect("len checked")) as usize;
             Ok((PayloadKind::Rts, DecodedPayload::Rts { rndv_id, len }))
+        }
+        Some(2) => {
+            if payload.len() < 25 {
+                return Err(MpiError::Integrity("rts-rma header shorter than 25 bytes"));
+            }
+            let rndv_id = u64::from_le_bytes(payload[1..9].try_into().expect("len checked"));
+            let len = u64::from_le_bytes(payload[9..17].try_into().expect("len checked")) as usize;
+            let key = u64::from_le_bytes(payload[17..25].try_into().expect("len checked"));
+            Ok((
+                PayloadKind::RtsRma,
+                DecodedPayload::RtsRma { rndv_id, len, key },
+            ))
         }
         _ => Err(MpiError::Integrity("unknown payload envelope kind")),
     }
@@ -146,6 +191,17 @@ pub enum DecodedPayload<'a> {
         rndv_id: u64,
         /// Full message length.
         len: usize,
+    },
+    /// RDMA-rendezvous descriptor: the receiver reads `len` bytes from the
+    /// sender's registered region `key`, then acknowledges via the
+    /// rendezvous table entry `rndv_id`.
+    RtsRma {
+        /// Rendezvous-table key (completion tracking at the sender).
+        rndv_id: u64,
+        /// Full message length.
+        len: usize,
+        /// Sender-side registered-region key holding the wire bytes.
+        key: u64,
     },
 }
 
@@ -183,7 +239,8 @@ pub const AM_COMM_REVOKE: u16 = 9;
 /// | handler            | h0          | h1      | h2    | h3         |
 /// |--------------------|-------------|---------|-------|------------|
 /// | `AM_PT2PT`         | match_bits  | —       | —     | src world  |
-/// | `AM_RMA_PUT`/`ACC` | win id      | offset  | len   | op code    |
+/// | `AM_RMA_PUT`       | win id      | offset  | len   | ack op id (0 = none) |
+/// | `AM_RMA_ACC`       | win id      | offset  | len   | op code    |
 /// | `AM_RMA_GET_REQ`   | win id      | offset  | len   | op id      |
 /// | `AM_RMA_GETACC_REQ`| win id      | offset  | len   | op id      |
 /// | `AM_RMA_GET_REPLY` | op id       | —       | —     | —          |
@@ -267,6 +324,33 @@ mod tests {
             (PayloadKind::Rts, DecodedPayload::Rts { rndv_id, len }) => {
                 assert_eq!(rndv_id, 0xDEAD_BEEF);
                 assert_eq!(len, 1 << 20);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rts_rma_roundtrip() {
+        let p = rts_rma(0xC0FFEE, 1 << 16, 0xABCD);
+        match decode(&p) {
+            (PayloadKind::RtsRma, DecodedPayload::RtsRma { rndv_id, len, key }) => {
+                assert_eq!((rndv_id, len, key), (0xC0FFEE, 1 << 16, 0xABCD));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Truncated descriptor degrades to an integrity error, not a panic.
+        let e = try_decode(&Bytes::from_static(&[2, 1, 2, 3])).unwrap_err();
+        assert!(matches!(e, MpiError::Integrity(_)));
+    }
+
+    #[test]
+    fn pooled_rts_rma_round_trips() {
+        use litempi_fabric::{ProviderProfile, Topology};
+        let fabric = Fabric::new(1, ProviderProfile::infinite(), Topology::single_node(1));
+        let p = rts_rma_payload(&fabric, 0, 11, 4096, 77);
+        match decode(&p) {
+            (PayloadKind::RtsRma, DecodedPayload::RtsRma { rndv_id, len, key }) => {
+                assert_eq!((rndv_id, len, key), (11, 4096, 77));
             }
             other => panic!("{other:?}"),
         }

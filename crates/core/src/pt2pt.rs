@@ -396,7 +396,7 @@ pub(crate) fn isend_impl(
             let payload = proto::eager_packed(fabric, vci, ty, count, buf);
             inject(proc, dest_world, bits, payload, &opts);
             if opts.no_request || opts.all_opts {
-                comm.noreq.borrow_mut().issued += 1;
+                comm.noreq.lock().issued += 1;
             }
             Ok(Request::done(Status::send()))
         } else {
@@ -406,17 +406,39 @@ pub(crate) fn isend_impl(
             } else {
                 pack::pack(ty, count, buf)
             };
-            // The rendezvous table takes ownership — moved, never cloned.
-            let (rndv_id, done) = proc.univ.alloc_rndv(data);
-            inject(
-                proc,
-                dest_world,
-                bits,
-                proto::rts_payload(fabric, vci, rndv_id, wire_len),
-                &opts,
-            );
+            let caps = fabric.profile();
+            let (done, payload) = if caps.rma_rendezvous && caps.caps.native_rdma {
+                // foMPI-style RDMA rendezvous: stage the wire bytes in a
+                // registered region leased from the per-peer pin-down
+                // cache; the receiver RDMA-reads them at match time, no
+                // pull-table round trip through the progress engine.
+                charge(Category::Rma, cost::rma::RNDV_EXPOSE);
+                let region = proc
+                    .endpoint
+                    .reg_acquire(proc.addr_of_world(dest_world), wire_len);
+                region.write(0, &data);
+                let key = region.key().0;
+                let (rndv_id, done) = proc.univ.alloc_rndv_rma(region, proc.rank);
+                (
+                    done,
+                    proto::rts_rma_payload(fabric, vci, rndv_id, wire_len, key),
+                )
+            } else {
+                // Pull-based rendezvous: the payload drains through
+                // eager-sized bounce chunks. The sender pays the RTS plus
+                // one serve step per chunk; the receiver pays its half
+                // (request + deliver per chunk) at match time.
+                charge(
+                    Category::Progress,
+                    (1 + cost::progress::rndv_chunks(wire_len)) * cost::progress::RNDV_STEP,
+                );
+                // The rendezvous table takes ownership — moved, never cloned.
+                let (rndv_id, done) = proc.univ.alloc_rndv(data);
+                (done, proto::rts_payload(fabric, vci, rndv_id, wire_len))
+            };
+            inject(proc, dest_world, bits, payload, &opts);
             if opts.no_request || opts.all_opts {
-                let mut state = comm.noreq.borrow_mut();
+                let mut state = comm.noreq.lock();
                 state.issued += 1;
                 state.pending.push(done);
                 Ok(Request::done(Status::send()))
@@ -795,7 +817,8 @@ impl Communicator {
         Ok(found.map(|(mbits, payload)| {
             let bytes = match proto::decode(&payload).1 {
                 proto::DecodedPayload::Eager(d) => d.len(),
-                proto::DecodedPayload::Rts { len, .. } => len,
+                proto::DecodedPayload::Rts { len, .. }
+                | proto::DecodedPayload::RtsRma { len, .. } => len,
             };
             Status {
                 source: match_bits::decode_src(mbits) as i32,

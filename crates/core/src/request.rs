@@ -96,6 +96,47 @@ impl RecvDest<'_> {
 /// buffer, producing the receive status. Consumes the wire payload so its
 /// storage can be recycled through the fabric's buffer pool — the step
 /// that keeps the eager pipeline allocation-free in steady state.
+/// Receiver side of the RDMA rendezvous: claim the table entry, validate
+/// the descriptor against it, RDMA-read the staged wire bytes, return the
+/// region to the origin's registration cache, and signal the sender.
+/// Descriptor damage (missing entry, key mismatch, oversize length)
+/// surfaces as [`MpiError::Integrity`], never a panic.
+pub(crate) fn fetch_rndv_rma(
+    proc: &ProcInner,
+    rndv_id: u64,
+    len: usize,
+    key: u64,
+) -> MpiResult<Vec<u8>> {
+    use litempi_instr::{charge, cost, Category};
+    let entry = proc.univ.take_rndv_rma(rndv_id).ok_or(MpiError::Integrity(
+        "rdma-rendezvous entry vanished (damaged or replayed RTS descriptor)",
+    ))?;
+    if entry.region.key().0 != key {
+        return Err(MpiError::Integrity(
+            "rdma-rendezvous descriptor names the wrong region",
+        ));
+    }
+    if len > entry.region.len() {
+        return Err(MpiError::Integrity(
+            "rdma-rendezvous length exceeds the staged region",
+        ));
+    }
+    let origin_addr = proc.addr_of_world(entry.origin);
+    charge(Category::Rma, cost::rma::RNDV_GET);
+    let data = proc
+        .endpoint
+        .rdma_get(origin_addr, entry.region.key(), 0, len);
+    // Lease back to the *origin's* pin-down cache, keyed by this rank (the
+    // peer the origin acquired it for), so the sender's next large message
+    // to us is a registration-cache hit.
+    proc.endpoint
+        .fabric()
+        .endpoint(origin_addr)
+        .reg_release(proc.addr_of_world(proc.rank), entry.region);
+    entry.done.store(true, Ordering::Release);
+    Ok(data)
+}
+
 pub(crate) fn complete_recv(
     proc: &ProcInner,
     bits: u64,
@@ -106,10 +147,22 @@ pub(crate) fn complete_recv(
     let (_, decoded) = proto::try_decode(&payload)?;
     let bytes = match decoded {
         DecodedPayload::Eager(data) => dest.deliver(data)?,
-        DecodedPayload::Rts { rndv_id, .. } => {
+        DecodedPayload::Rts { rndv_id, len, .. } => {
+            // Receiver's half of the pull protocol: one request and one
+            // deliver step per eager-sized bounce chunk, through the
+            // progress engine.
+            litempi_instr::charge(
+                litempi_instr::Category::Progress,
+                2 * litempi_instr::cost::progress::rndv_chunks(len)
+                    * litempi_instr::cost::progress::RNDV_STEP,
+            );
             let data = proc.univ.pull_rndv(rndv_id).ok_or(MpiError::Integrity(
                 "rendezvous entry vanished (damaged or replayed RTS descriptor)",
             ))?;
+            dest.deliver(&data)?
+        }
+        DecodedPayload::RtsRma { rndv_id, len, key } => {
+            let data = fetch_rndv_rma(proc, rndv_id, len, key)?;
             dest.deliver(&data)?
         }
     };
@@ -170,6 +223,24 @@ enum ReqInner<'buf> {
         proc: Arc<ProcInner>,
         sched: Arc<crate::sched::SchedShared>,
         fatal: bool,
+    },
+    /// Request-based RMA (`rput`/`rget`/`raccumulate`/`rget_accumulate`)
+    /// waiting on the target's AM acknowledgment or reply. The entry in
+    /// `pending_replies` is deliberately *not* removed when the request
+    /// errors: a reply that raced past a peer-death verdict must find its
+    /// slot (the AM handler treats an unknown op id as a protocol bug).
+    Rma {
+        proc: Arc<ProcInner>,
+        slot: crate::process::ReplySlot,
+        /// `Some` for fetching ops (`rget`/`rget_accumulate`): where the
+        /// reply payload lands. `None` for `rput`/`raccumulate`, whose
+        /// reply is an empty acknowledgment.
+        dest: Option<RecvDest<'buf>>,
+        /// World rank of the target, for dead-peer detection.
+        peer: Option<usize>,
+        fatal: bool,
+        /// Context id of the window's communicator, for revocation checks.
+        ctx: u16,
     },
     /// Consumed (waited, cancelled, or errored); kept so `test` can be
     /// called on a completed request without double-delivery.
@@ -316,6 +387,50 @@ impl<'buf> Request<'buf> {
         }
     }
 
+    pub(crate) fn rma(
+        proc: Arc<ProcInner>,
+        slot: crate::process::ReplySlot,
+        dest: Option<RecvDest<'buf>>,
+        peer: Option<usize>,
+        fatal: bool,
+        ctx: u16,
+    ) -> Request<'buf> {
+        Request {
+            inner: ReqInner::Rma {
+                proc,
+                slot,
+                dest,
+                peer,
+                fatal,
+                ctx,
+            },
+        }
+    }
+
+    /// Resolve a completed RMA reply into the request's status: fetching
+    /// ops deliver the payload into the caller's buffer; acknowledged
+    /// stores complete with send-status semantics.
+    fn finish_rma(
+        proc: &ProcInner,
+        data: Vec<u8>,
+        dest: &mut Option<RecvDest<'_>>,
+        peer: Option<usize>,
+        fatal: bool,
+    ) -> MpiResult<Status> {
+        proc.endpoint.note_win_ops_completed(1);
+        match dest {
+            Some(d) => fatal_filter(
+                d.deliver(&data).map(|bytes| Status {
+                    source: peer.map_or(0, |p| p as i32),
+                    tag: 0,
+                    bytes,
+                }),
+                fatal,
+            ),
+            None => Ok(Status::send()),
+        }
+    }
+
     /// `MPI_WAIT`: block until the operation completes.
     pub fn wait(mut self) -> MpiResult<Status> {
         match self.test()? {
@@ -403,6 +518,23 @@ impl<'buf> Request<'buf> {
                             Err(e) => Some(Err(e)),
                         });
                         fatal_filter(r, fatal)
+                    }
+                    ReqInner::Rma {
+                        proc,
+                        slot,
+                        mut dest,
+                        peer,
+                        fatal,
+                        ctx,
+                    } => {
+                        let r = wait_loop(&proc, || {
+                            if let Some(d) = slot.lock().take() {
+                                return Some(Ok(d));
+                            }
+                            check_peer(&proc, peer, fatal, Some(ctx)).err().map(Err)
+                        });
+                        let data = r?;
+                        Self::finish_rma(&proc, data, &mut dest, peer, fatal)
                     }
                     ReqInner::Done(s) => Ok(s),
                     ReqInner::Consumed => Err(MpiError::InvalidRequest("request already consumed")),
@@ -527,6 +659,36 @@ impl<'buf> Request<'buf> {
                     Err(e) => fatal_filter(Err(e), fatal).map(|_| None),
                 }
             }
+            ReqInner::Rma {
+                proc,
+                slot,
+                mut dest,
+                peer,
+                fatal,
+                ctx,
+            } => {
+                proc.progress();
+                let taken = slot.lock().take();
+                if let Some(data) = taken {
+                    let s = Self::finish_rma(&proc, data, &mut dest, peer, fatal)?;
+                    self.inner = ReqInner::Done(s);
+                    Ok(Some(s))
+                } else if let Err(e) = check_peer(&proc, peer, fatal, Some(ctx)) {
+                    // The reply slot stays registered (see the variant doc):
+                    // a racing reply is absorbed, never a protocol fault.
+                    Err(e)
+                } else {
+                    self.inner = ReqInner::Rma {
+                        proc,
+                        slot,
+                        dest,
+                        peer,
+                        fatal,
+                        ctx,
+                    };
+                    Ok(None)
+                }
+            }
             ReqInner::Consumed => Err(MpiError::InvalidRequest("request already consumed")),
         }
     }
@@ -552,7 +714,8 @@ impl<'buf> Request<'buf> {
             ReqInner::SendRndv { proc, .. }
             | ReqInner::RecvFabric { proc, .. }
             | ReqInner::RecvCore { proc, .. }
-            | ReqInner::Coll { proc, .. } => Some(proc),
+            | ReqInner::Coll { proc, .. }
+            | ReqInner::Rma { proc, .. } => Some(proc),
             ReqInner::Done(_) | ReqInner::Consumed => None,
         }
     }
@@ -585,6 +748,7 @@ impl std::fmt::Debug for Request<'_> {
             ReqInner::RecvFabric { .. } => "recv-fabric",
             ReqInner::RecvCore { .. } => "recv-core",
             ReqInner::Coll { .. } => "coll",
+            ReqInner::Rma { .. } => "rma",
             ReqInner::Consumed => "consumed",
         };
         write!(f, "Request({state})")

@@ -13,20 +13,21 @@
 //! appears as the `all_opts` put variant in `ext.rs`.
 
 use crate::coll;
-use crate::comm::Communicator;
+use crate::comm::{Communicator, Errhandler};
 use crate::error::{MpiError, MpiResult};
 use crate::group::Group;
 use crate::match_bits::PROC_NULL;
 use crate::op::Op;
 use crate::process::{acc_code_of, ProcInner};
 use crate::proto;
-use crate::request::wait_loop;
+use crate::request::{wait_loop, RecvDest, Request};
+use crate::status::Status;
 use bytes::Bytes;
 use litempi_datatype::{pack, Datatype, MpiPrimitive};
 use litempi_fabric::{MemoryRegion, RegionKey};
 use litempi_instr::{charge, cost, Category};
 use parking_lot::{Condvar, Mutex};
-use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A remotely accessible virtual address (§3.2): names a registered region
@@ -159,8 +160,9 @@ impl WinShared {
 }
 
 /// Which access epoch an operation is issued under (used to route the AM
-/// fallback: exposure-driven epochs deliver true AMs; passive epochs apply
-/// at the origin, modeling a device-offloaded handler).
+/// fallback: exposure-driven epochs deliver true AMs; passive epochs queue
+/// at the origin and complete at flush, modeling a device-offloaded
+/// handler with foMPI-style deferred completion).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum EpochKind {
     Fence,
@@ -168,22 +170,64 @@ enum EpochKind {
     Passive,
 }
 
+/// Per-target epoch words: lock-free issued/completed counters that give
+/// passive-target synchronization its completion condition (`flush` blocks
+/// until `completed` catches up with `issued` for that target) without any
+/// shared lock on the injection path.
+#[derive(Debug, Default)]
+struct TargetEpoch {
+    issued: AtomicU64,
+    completed: AtomicU64,
+}
+
+/// A passive-target operation staged at issue and applied at flush.
+/// The origin buffer is captured at issue (so `flush_local` semantics are
+/// trivially satisfied); the target's memory changes only at `flush` /
+/// `unlock`, which is the observable MPI-3 completion point.
+enum PendingOp {
+    Put {
+        key: RegionKey,
+        byte: usize,
+        data: Vec<u8>,
+    },
+    Acc {
+        key: RegionKey,
+        byte: usize,
+        op: Op,
+        ty: Datatype,
+        data: Vec<u8>,
+    },
+}
+
 /// An RMA window.
+///
+/// `Window` is `Sync`: passive-target operations may be injected from
+/// multiple threads (one per VCI-bound injector) through one handle. All
+/// synchronization state is either atomic (epoch flags and counters) or
+/// behind short-lived mutexes that are never held across fabric calls.
 pub struct Window {
     shared: Arc<WinShared>,
     comm: Communicator,
+    /// Context id of the communicator the window was created over. The
+    /// window runs on a private dup, but ULFM revocation of the parent
+    /// must still poison the window's epochs.
+    parent_ctx: u16,
     kind: WinKind,
-    fence_active: Cell<bool>,
-    start_group: RefCell<Option<Vec<usize>>>,
-    post_group: RefCell<Option<Vec<usize>>>,
-    locks_held: RefCell<Vec<(usize, LockType)>>,
-    lock_all: Cell<bool>,
+    fence_active: AtomicBool,
+    start_group: Mutex<Option<Vec<usize>>>,
+    post_group: Mutex<Option<Vec<usize>>>,
+    locks_held: Mutex<Vec<(usize, LockType)>>,
+    lock_all: AtomicBool,
     /// AM ops sent per target since the last fence (fence completion).
-    sent_am: RefCell<Vec<u64>>,
+    sent_am: Vec<AtomicU64>,
     /// Applied-op baseline at the last fence.
-    applied_seen: Cell<u64>,
+    applied_seen: AtomicU64,
+    /// Per-target issued/completed epoch words (passive target).
+    epochs: Vec<TargetEpoch>,
+    /// Passive-target operations staged at issue, applied at flush.
+    pending: Vec<Mutex<Vec<PendingOp>>>,
     /// My own attached regions (dynamic windows).
-    attached: RefCell<Vec<MemoryRegion>>,
+    attached: Mutex<Vec<MemoryRegion>>,
 }
 
 impl Window {
@@ -239,15 +283,18 @@ impl Window {
         proc.my_windows.lock().insert(shared.id, shared.clone());
         let win = Window {
             shared,
+            parent_ctx: comm.context_id().0,
             kind,
-            fence_active: Cell::new(false),
-            start_group: RefCell::new(None),
-            post_group: RefCell::new(None),
-            locks_held: RefCell::new(Vec::new()),
-            lock_all: Cell::new(false),
-            sent_am: RefCell::new(vec![0; size]),
-            applied_seen: Cell::new(0),
-            attached: RefCell::new(vec![region]),
+            fence_active: AtomicBool::new(false),
+            start_group: Mutex::new(None),
+            post_group: Mutex::new(None),
+            locks_held: Mutex::new(Vec::new()),
+            lock_all: AtomicBool::new(false),
+            sent_am: (0..size).map(|_| AtomicU64::new(0)).collect(),
+            applied_seen: AtomicU64::new(0),
+            epochs: (0..size).map(|_| TargetEpoch::default()).collect(),
+            pending: (0..size).map(|_| Mutex::new(Vec::new())).collect(),
+            attached: Mutex::new(vec![region]),
             comm: wcomm,
         };
         // Ensure every rank has registered the window with its progress
@@ -306,7 +353,7 @@ impl Window {
             key: region.key(),
             byte: 0,
         };
-        self.attached.borrow_mut().push(region);
+        self.attached.lock().push(region);
         Ok(addr)
     }
 
@@ -329,16 +376,18 @@ impl Window {
     // ------------------------------------------------------------- epochs
 
     fn epoch_for(&self, target: usize) -> Option<EpochKind> {
-        if self.lock_all.get() || self.locks_held.borrow().iter().any(|&(t, _)| t == target) {
+        if self.lock_all.load(Ordering::Acquire)
+            || self.locks_held.lock().iter().any(|&(t, _)| t == target)
+        {
             Some(EpochKind::Passive)
         } else if self
             .start_group
-            .borrow()
+            .lock()
             .as_ref()
             .is_some_and(|g| g.contains(&target))
         {
             Some(EpochKind::Start)
-        } else if self.fence_active.get() {
+        } else if self.fence_active.load(Ordering::Acquire) {
             Some(EpochKind::Fence)
         } else {
             None
@@ -350,27 +399,30 @@ impl Window {
     pub fn fence(&self) -> MpiResult<()> {
         // Exchange per-target AM-op counts; then wait until the expected
         // number of incoming ops has been applied locally.
-        let counts: Vec<u64> =
-            std::mem::replace(&mut *self.sent_am.borrow_mut(), vec![0; self.comm.size()]);
+        let counts: Vec<u64> = self
+            .sent_am
+            .iter()
+            .map(|c| c.swap(0, Ordering::AcqRel))
+            .collect();
         let incoming = coll::alltoall(&self.comm, &counts, 1)?;
         let expected: u64 = incoming.iter().sum();
-        let target_total = self.applied_seen.get() + expected;
+        let target_total = self.applied_seen.load(Ordering::Acquire) + expected;
         let proc = self.proc().clone();
         let id = self.shared.id;
         wait_loop(&proc, || {
             let applied = proc.win_applied.lock().get(&id).copied().unwrap_or(0);
             (applied >= target_total).then_some(())
         });
-        self.applied_seen.set(target_total);
+        self.applied_seen.store(target_total, Ordering::Release);
         coll::barrier(&self.comm)?;
-        self.fence_active.set(true);
+        self.fence_active.store(true, Ordering::Release);
         Ok(())
     }
 
     /// `MPI_WIN_POST`: open an exposure epoch toward `origins` (window
     /// ranks).
     pub fn post(&self, origins: &[usize]) -> MpiResult<()> {
-        if self.post_group.borrow().is_some() {
+        if self.post_group.lock().is_some() {
             return Err(MpiError::RmaSync("post inside an exposure epoch"));
         }
         let proc = self.proc();
@@ -383,14 +435,14 @@ impl Window {
                 Bytes::new(),
             );
         }
-        *self.post_group.borrow_mut() = Some(origins.to_vec());
+        *self.post_group.lock() = Some(origins.to_vec());
         Ok(())
     }
 
     /// `MPI_WIN_START`: open an access epoch toward `targets`, waiting for
     /// their posts.
     pub fn start(&self, targets: &[usize]) -> MpiResult<()> {
-        if self.start_group.borrow().is_some() {
+        if self.start_group.lock().is_some() {
             return Err(MpiError::RmaSync("start inside an access epoch"));
         }
         let proc = self.proc().clone();
@@ -407,7 +459,7 @@ impl Window {
             c.posts.retain(|r| !want.contains(r));
         }
         drop(pscw);
-        *self.start_group.borrow_mut() = Some(want);
+        *self.start_group.lock() = Some(want);
         Ok(())
     }
 
@@ -416,7 +468,7 @@ impl Window {
     pub fn complete(&self) -> MpiResult<()> {
         let targets = self
             .start_group
-            .borrow_mut()
+            .lock()
             .take()
             .ok_or(MpiError::RmaSync("complete without start"))?;
         let proc = self.proc();
@@ -437,7 +489,7 @@ impl Window {
     pub fn wait(&self) -> MpiResult<()> {
         let origins = self
             .post_group
-            .borrow_mut()
+            .lock()
             .take()
             .ok_or(MpiError::RmaSync("wait without post"))?;
         let n = origins.len();
@@ -456,62 +508,194 @@ impl Window {
 
     /// `MPI_WIN_LOCK`.
     pub fn lock(&self, kind: LockType, target: usize) -> MpiResult<()> {
-        if self.locks_held.borrow().iter().any(|&(t, _)| t == target) {
+        if self.lock_all.load(Ordering::Acquire) {
+            return Err(MpiError::RmaSync("lock inside lock_all"));
+        }
+        if self.locks_held.lock().iter().any(|&(t, _)| t == target) {
             return Err(MpiError::RmaSync("lock already held for target"));
         }
+        self.check_target_alive(target)?;
         self.shared.locks[target].acquire(kind);
-        self.locks_held.borrow_mut().push((target, kind));
+        self.locks_held.lock().push((target, kind));
         Ok(())
     }
 
-    /// `MPI_WIN_UNLOCK` (also flushes: passive ops are applied at issue).
+    /// `MPI_WIN_UNLOCK`: complete every queued passive op at the target,
+    /// *then* release the lock — another origin acquiring it next must see
+    /// our updates (MPI-3 §11.5.3).
     pub fn unlock(&self, target: usize) -> MpiResult<()> {
-        let mut held = self.locks_held.borrow_mut();
-        let pos = held
-            .iter()
-            .position(|&(t, _)| t == target)
-            .ok_or(MpiError::RmaSync("unlock without lock"))?;
-        let (_, kind) = held.remove(pos);
+        let kind = {
+            let mut held = self.locks_held.lock();
+            let pos = held
+                .iter()
+                .position(|&(t, _)| t == target)
+                .ok_or(MpiError::RmaSync("unlock without lock"))?;
+            let (_, kind) = held.remove(pos);
+            kind
+        };
+        self.apply_pending(target);
         self.shared.locks[target].release(kind);
         Ok(())
     }
 
     /// `MPI_WIN_LOCK_ALL` (shared lock on every target).
     pub fn lock_all(&self) -> MpiResult<()> {
-        if self.lock_all.get() {
+        if self.lock_all.load(Ordering::Acquire) {
             return Err(MpiError::RmaSync("lock_all inside lock_all"));
+        }
+        if !self.locks_held.lock().is_empty() {
+            return Err(MpiError::RmaSync("lock_all inside lock"));
+        }
+        for t in 0..self.size() {
+            self.check_target_alive(t)?;
         }
         for t in 0..self.size() {
             self.shared.locks[t].acquire(LockType::Shared);
         }
-        self.lock_all.set(true);
+        self.lock_all.store(true, Ordering::Release);
         Ok(())
     }
 
-    /// `MPI_WIN_UNLOCK_ALL`.
+    /// `MPI_WIN_UNLOCK_ALL`: complete all queued ops, then release.
     pub fn unlock_all(&self) -> MpiResult<()> {
-        if !self.lock_all.get() {
+        if !self.lock_all.load(Ordering::Acquire) {
             return Err(MpiError::RmaSync("unlock_all without lock_all"));
+        }
+        for t in 0..self.size() {
+            self.apply_pending(t);
         }
         for t in 0..self.size() {
             self.shared.locks[t].release(LockType::Shared);
         }
-        self.lock_all.set(false);
+        self.lock_all.store(false, Ordering::Release);
         Ok(())
     }
 
-    /// `MPI_WIN_FLUSH`: complete outstanding ops to `target`. Native and
-    /// passive ops are synchronous here; AM get replies are awaited at the
-    /// call, so flush reduces to a progress poke.
-    pub fn flush(&self, _target: usize) -> MpiResult<()> {
+    /// `MPI_WIN_FLUSH`: complete all outstanding operations to `target`,
+    /// at both origin and target. Passive-target puts/accumulates queue at
+    /// issue and are applied here; the per-target epoch words advance to
+    /// `issued == completed`.
+    pub fn flush(&self, target: usize) -> MpiResult<()> {
+        self.check_target_alive(target)?;
+        self.apply_pending(target);
+        charge(Category::Rma, cost::rma::FLUSH_BASE);
+        self.proc().endpoint.note_win_flush();
         self.proc().progress();
         Ok(())
     }
 
     /// `MPI_WIN_FLUSH_ALL`.
     pub fn flush_all(&self) -> MpiResult<()> {
+        for t in 0..self.size() {
+            self.apply_pending(t);
+        }
+        charge(Category::Rma, cost::rma::FLUSH_BASE);
+        self.proc().endpoint.note_win_flush();
         self.proc().progress();
         Ok(())
+    }
+
+    /// `MPI_WIN_FLUSH_LOCAL`: complete outstanding operations to `target`
+    /// at the *origin* only. Passive ops capture the origin buffer when
+    /// they are staged, so local completion holds as soon as the call
+    /// charges its synchronization cost (remote completion still waits for
+    /// [`Window::flush`] / [`Window::unlock`]).
+    pub fn flush_local(&self, target: usize) -> MpiResult<()> {
+        self.check_target_alive(target)?;
+        charge(Category::Rma, cost::rma::FLUSH_BASE);
+        self.proc().endpoint.note_win_flush();
+        self.proc().progress();
+        Ok(())
+    }
+
+    /// `MPI_WIN_FLUSH_LOCAL_ALL`.
+    pub fn flush_local_all(&self) -> MpiResult<()> {
+        charge(Category::Rma, cost::rma::FLUSH_BASE);
+        self.proc().endpoint.note_win_flush();
+        self.proc().progress();
+        Ok(())
+    }
+
+    /// Number of passive-target operations queued toward `target` but not
+    /// yet completed by a flush (exposed for tests and diagnostics).
+    pub fn pending_ops(&self, target: usize) -> u64 {
+        let e = &self.epochs[target];
+        e.issued.load(Ordering::Acquire) - e.completed.load(Ordering::Acquire)
+    }
+
+    // ------------------------------------------------- passive-target core
+
+    /// ULFM wiring for one-sided traffic: a revoked window communicator or
+    /// a dead target fails fast instead of hanging in an epoch that can
+    /// never close.
+    fn check_target_alive(&self, target: usize) -> MpiResult<()> {
+        let proc = self.proc();
+        if proc.is_ctx_revoked(self.comm.context_id().0) || proc.is_ctx_revoked(self.parent_ctx) {
+            return Err(MpiError::Revoked);
+        }
+        let world = self.comm.world_rank_of(target);
+        if proc.endpoint.peer_unreachable(proc.addr_of_world(world)) {
+            return Err(MpiError::ProcessFailed { peer: world });
+        }
+        Ok(())
+    }
+
+    /// Stage one passive-target op: bump the target's epoch word and queue
+    /// the captured operation for the next flush.
+    fn queue_op(&self, target: usize, op: PendingOp) {
+        charge(Category::Rma, cost::rma::OP_QUEUE);
+        self.proc().endpoint.note_win_ops_issued(1);
+        self.epochs[target].issued.fetch_add(1, Ordering::AcqRel);
+        self.pending[target].lock().push(op);
+    }
+
+    /// Drain and apply `target`'s queued ops (the flush/unlock completion
+    /// point). The queue is detached under its mutex and applied outside
+    /// it, so injector threads can keep staging while the fabric works.
+    fn apply_pending(&self, target: usize) {
+        let ops: Vec<PendingOp> = std::mem::take(&mut *self.pending[target].lock());
+        if ops.is_empty() {
+            return;
+        }
+        let proc = self.proc();
+        let world = self.comm.world_rank_of(target);
+        let dst = proc.addr_of_world(world);
+        let n = ops.len() as u64;
+        for op in ops {
+            charge(Category::Rma, cost::rma::FLUSH_OP);
+            match op {
+                PendingOp::Put { key, byte, data } => {
+                    proc.endpoint.rdma_put(dst, key, byte, &data);
+                }
+                PendingOp::Acc {
+                    key,
+                    byte,
+                    op,
+                    ty,
+                    data,
+                } => {
+                    proc.endpoint
+                        .rdma_update(dst, key, byte, data.len(), |dstb| {
+                            // Predefined-op application cannot fail; the
+                            // operand was validated at issue.
+                            let _ = op.apply(&ty, dstb, &data);
+                        });
+                }
+            }
+        }
+        self.epochs[target].completed.fetch_add(n, Ordering::AcqRel);
+        proc.endpoint.note_win_ops_completed(n);
+    }
+
+    /// Account one synchronous (completes-at-issue) one-sided op in the
+    /// per-target epoch words and endpoint counters. Stats only — no
+    /// instruction charge, so the calibrated injection pins are untouched.
+    fn note_sync_op(&self, target: usize) {
+        self.epochs[target].issued.fetch_add(1, Ordering::AcqRel);
+        self.epochs[target].completed.fetch_add(1, Ordering::AcqRel);
+        let ep = &self.proc().endpoint;
+        ep.note_win_ops_issued(1);
+        ep.note_win_ops_completed(1);
     }
 
     // ---------------------------------------------------------- prologue
@@ -560,6 +744,10 @@ impl Window {
             return Ok(None);
         }
         let t = target as usize;
+        // ULFM wiring: fail fast (uncharged — not part of the paper's
+        // fault-free injection counts) instead of issuing at a dead or
+        // revoked target, where the op would hang or apply silently.
+        self.check_target_alive(t)?;
         let epoch = self
             .epoch_for(t)
             .ok_or(MpiError::RmaSync("RMA operation outside an access epoch"))?;
@@ -685,7 +873,26 @@ impl Window {
         let native = self.native_path(ty);
         self.charge_netmod(native);
         let world = self.comm.world_rank_of(t);
-        if native {
+        if epoch == EpochKind::Passive {
+            // Passive target: stage the origin buffer and complete at
+            // flush/unlock (foMPI-style deferred completion) — regardless
+            // of whether the provider would take the native descriptor
+            // path, since the *completion* point is what MPI-3 defines.
+            litempi_instr::note_alloc(1);
+            let packed = if ty.is_contiguous() {
+                buf[..bytes].to_vec()
+            } else {
+                pack::pack(ty, count, buf)
+            };
+            self.queue_op(
+                t,
+                PendingOp::Put {
+                    key: addr.key,
+                    byte: addr.byte,
+                    data: packed,
+                },
+            );
+        } else if native {
             // Contiguous fast path: one descriptor, no target involvement.
             proc.endpoint.rdma_put(
                 proc.addr_of_world(world),
@@ -693,6 +900,7 @@ impl Window {
                 addr.byte,
                 &buf[..bytes],
             );
+            self.note_sync_op(t);
         } else {
             // AM put stages one wire buffer; `Bytes::from` then moves it
             // (no second copy).
@@ -702,23 +910,14 @@ impl Window {
             } else {
                 pack::pack(ty, count, buf)
             };
-            match epoch {
-                EpochKind::Passive => {
-                    // Device-offloaded handler: apply directly (the target
-                    // CPU is not required for passive progress).
-                    proc.endpoint
-                        .rdma_put(proc.addr_of_world(world), addr.key, addr.byte, &packed);
-                }
-                EpochKind::Fence | EpochKind::Start => {
-                    proc.endpoint.am_send(
-                        proc.addr_of_world(world),
-                        proto::AM_RMA_PUT,
-                        proto::header(self.shared.id, addr.byte as u64, packed.len() as u64, 0),
-                        Bytes::from(packed),
-                    );
-                    self.sent_am.borrow_mut()[t] += 1;
-                }
-            }
+            proc.endpoint.am_send(
+                proc.addr_of_world(world),
+                proto::AM_RMA_PUT,
+                proto::header(self.shared.id, addr.byte as u64, packed.len() as u64, 0),
+                Bytes::from(packed),
+            );
+            self.sent_am[t].fetch_add(1, Ordering::AcqRel);
+            self.note_sync_op(t);
         }
         Ok(())
     }
@@ -773,8 +972,16 @@ impl Window {
         self.charge_netmod(native);
         let world = self.comm.world_rank_of(t);
         let wire: Vec<u8> = if native || epoch == EpochKind::Passive {
-            proc.endpoint
-                .rdma_get(proc.addr_of_world(world), addr.key, addr.byte, bytes)
+            if epoch == EpochKind::Passive {
+                // Program order within the epoch: a get observes every
+                // earlier queued op from this origin.
+                self.apply_pending(t);
+            }
+            let wire =
+                proc.endpoint
+                    .rdma_get(proc.addr_of_world(world), addr.key, addr.byte, bytes);
+            self.note_sync_op(t);
+            wire
         } else {
             // AM get: request/reply through the target's progress engine.
             let op_id = proc
@@ -788,7 +995,8 @@ impl Window {
                 proto::header(self.shared.id, addr.byte as u64, bytes as u64, op_id),
                 Bytes::new(),
             );
-            self.sent_am.borrow_mut()[t] += 1;
+            self.sent_am[t].fetch_add(1, Ordering::AcqRel);
+            self.note_sync_op(t);
             wait_loop(proc, || slot.lock().take())
         };
         if ty.is_contiguous() {
@@ -823,6 +1031,12 @@ impl Window {
         op: &Op,
     ) -> MpiResult<()> {
         let ty = T::DATATYPE;
+        // A zero-count accumulate has no defined target element to touch;
+        // the AM/reply machinery (and `fetch_and_op`'s single-element
+        // contract) would otherwise index into an empty operand.
+        if data.is_empty() {
+            return Err(MpiError::InvalidCount(0));
+        }
         let bytes = pack::packed_size(&ty, data.len());
         if self.proc().config.error_checking && !op.legal_on(T::PREDEFINED) {
             return Err(MpiError::InvalidOp("op not defined for this datatype"));
@@ -837,7 +1051,21 @@ impl Window {
         self.charge_netmod(native);
         let world = self.comm.world_rank_of(t);
         let wire = T::as_bytes(data);
-        if native || epoch == EpochKind::Passive {
+        if epoch == EpochKind::Passive {
+            // Stage the operand; the element-wise atomic applies at flush.
+            litempi_instr::note_alloc(1);
+            self.queue_op(
+                t,
+                PendingOp::Acc {
+                    key: addr.key,
+                    byte: addr.byte,
+                    op: op.clone(),
+                    ty: ty.clone(),
+                    data: wire.to_vec(),
+                },
+            );
+            Ok(())
+        } else if native {
             // Element-wise atomic under the region lock ("hardware"
             // atomics / offloaded handler).
             let op = op.clone();
@@ -850,6 +1078,7 @@ impl Window {
                 bytes,
                 |dst| res = op.apply(&ty2, dst, wire),
             );
+            self.note_sync_op(t);
             res
         } else {
             let code = acc_code_of(op).ok_or(MpiError::InvalidOp(
@@ -869,7 +1098,8 @@ impl Window {
                 ),
                 Bytes::copy_from_slice(wire),
             );
-            self.sent_am.borrow_mut()[t] += 1;
+            self.sent_am[t].fetch_add(1, Ordering::AcqRel);
+            self.note_sync_op(t);
             Ok(())
         }
     }
@@ -884,6 +1114,11 @@ impl Window {
         op: &Op,
     ) -> MpiResult<Vec<T>> {
         let ty = T::DATATYPE;
+        // Zero-count get_accumulate has no element to fetch — reject
+        // instead of panicking on an empty result template.
+        if data.is_empty() {
+            return Err(MpiError::InvalidCount(0));
+        }
         let bytes = pack::packed_size(&ty, data.len());
         if self.proc().config.error_checking && !op.legal_on(T::PREDEFINED) {
             return Err(MpiError::InvalidOp("op not defined for this datatype"));
@@ -899,6 +1134,10 @@ impl Window {
         let world = self.comm.world_rank_of(t);
         let wire = T::as_bytes(data);
         let old_bytes: Vec<u8> = if native || epoch == EpochKind::Passive {
+            if epoch == EpochKind::Passive {
+                // Program order: the fetch observes earlier queued ops.
+                self.apply_pending(t);
+            }
             let op = op.clone();
             let ty2 = ty.clone();
             let mut old = Vec::new();
@@ -914,6 +1153,7 @@ impl Window {
                 },
             );
             res?;
+            self.note_sync_op(t);
             old
         } else {
             let code = acc_code_of(op).ok_or(MpiError::InvalidOp(
@@ -935,7 +1175,8 @@ impl Window {
                 proto::header(self.shared.id, addr.byte as u64, bytes as u64, op_id),
                 Bytes::from(payload),
             );
-            self.sent_am.borrow_mut()[t] += 1;
+            self.sent_am[t].fetch_add(1, Ordering::AcqRel);
+            self.note_sync_op(t);
             wait_loop(proc, || slot.lock().take())
         };
         let mut out = vec![data[0]; data.len()];
@@ -951,7 +1192,10 @@ impl Window {
         disp: usize,
         op: &Op,
     ) -> MpiResult<T> {
-        Ok(self.get_accumulate(&[value], target, disp, op)?[0])
+        self.get_accumulate(&[value], target, disp, op)?
+            .first()
+            .copied()
+            .ok_or(MpiError::InvalidCount(0))
     }
 
     /// `MPI_COMPARE_AND_SWAP` (single element): stores `new` iff the target
@@ -965,7 +1209,7 @@ impl Window {
     ) -> MpiResult<T> {
         let ty = T::DATATYPE;
         let bytes = ty.size();
-        let Some((t, addr, _epoch)) =
+        let Some((t, addr, epoch)) =
             self.rma_prologue(target, disp, bytes, &ty, None, false, true)?
         else {
             return Ok(compare);
@@ -973,6 +1217,10 @@ impl Window {
         let proc = self.proc();
         self.charge_netmod(true);
         let world = self.comm.world_rank_of(t);
+        if epoch == EpochKind::Passive {
+            // Program order: the swap observes earlier queued ops.
+            self.apply_pending(t);
+        }
         let new_wire = new.to_le_vec();
         let cmp_wire = compare.to_le_vec();
         let mut old = Vec::new();
@@ -988,7 +1236,318 @@ impl Window {
                 }
             },
         );
+        self.note_sync_op(t);
         Ok(T::from_wire(&old))
+    }
+
+    // ------------------------------------------------- request-based RMA
+
+    /// Snapshot of the errhandler + context for a new RMA request.
+    fn req_env(&self) -> (bool, u16) {
+        (
+            self.comm.errhandler() == Errhandler::ErrorsAreFatal,
+            self.comm.context_id().0,
+        )
+    }
+
+    /// `MPI_RPUT`: put with a per-operation request. The request completes
+    /// when the target has applied the data (stronger than the standard's
+    /// local-completion minimum). Request-based ops carry their own
+    /// completion unit and therefore bypass the passive-target flush
+    /// queue.
+    pub fn rput<T: MpiPrimitive>(
+        &self,
+        data: &[T],
+        target: i32,
+        disp: usize,
+    ) -> MpiResult<Request<'static>> {
+        let ty = T::DATATYPE;
+        let buf = T::as_bytes(data);
+        let bytes = pack::packed_size(&ty, data.len());
+        let Some((t, addr, epoch)) =
+            self.rma_prologue(target, disp, bytes, &ty, None, false, true)?
+        else {
+            return Ok(Request::done(Status::send()));
+        };
+        let proc = self.proc();
+        let native = self.native_path(&ty);
+        self.charge_netmod(native);
+        charge(Category::RequestManagement, cost::isend::REQUEST_MANAGEMENT);
+        let world = self.comm.world_rank_of(t);
+        if native || epoch == EpochKind::Passive {
+            proc.endpoint.rdma_put(
+                proc.addr_of_world(world),
+                addr.key,
+                addr.byte,
+                &buf[..bytes],
+            );
+            self.note_sync_op(t);
+            return Ok(Request::done(Status::send()));
+        }
+        // AM path: the target acknowledges once the put is applied.
+        let op_id = proc
+            .next_op_id
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let slot: crate::process::ReplySlot = Arc::new(Mutex::new(None));
+        proc.pending_replies.lock().insert(op_id, slot.clone());
+        litempi_instr::note_alloc(1);
+        proc.endpoint.am_send(
+            proc.addr_of_world(world),
+            proto::AM_RMA_PUT,
+            proto::header(self.shared.id, addr.byte as u64, bytes as u64, op_id),
+            Bytes::copy_from_slice(&buf[..bytes]),
+        );
+        self.sent_am[t].fetch_add(1, Ordering::AcqRel);
+        proc.endpoint.note_win_ops_issued(1);
+        let (fatal, ctx) = self.req_env();
+        Ok(Request::rma(
+            proc.clone(),
+            slot,
+            None,
+            Some(world),
+            fatal,
+            ctx,
+        ))
+    }
+
+    /// `MPI_RGET`: get with a per-operation request; the request's
+    /// completion delivers the fetched bytes into `buf`.
+    pub fn rget<'buf, T: MpiPrimitive>(
+        &self,
+        buf: &'buf mut [T],
+        target: i32,
+        disp: usize,
+    ) -> MpiResult<Request<'buf>> {
+        let ty = T::DATATYPE;
+        let count = buf.len();
+        let bytes = pack::packed_size(&ty, count);
+        let Some((t, addr, epoch)) =
+            self.rma_prologue(target, disp, bytes, &ty, None, false, true)?
+        else {
+            return Ok(Request::done(Status {
+                source: PROC_NULL,
+                tag: 0,
+                bytes: 0,
+            }));
+        };
+        let proc = self.proc();
+        let native = self.native_path(&ty);
+        self.charge_netmod(native);
+        charge(Category::RequestManagement, cost::isend::REQUEST_MANAGEMENT);
+        let world = self.comm.world_rank_of(t);
+        if native || epoch == EpochKind::Passive {
+            if epoch == EpochKind::Passive {
+                // Program order: the get observes earlier queued ops.
+                self.apply_pending(t);
+            }
+            let wire =
+                proc.endpoint
+                    .rdma_get(proc.addr_of_world(world), addr.key, addr.byte, bytes);
+            T::as_bytes_mut(buf).copy_from_slice(&wire);
+            self.note_sync_op(t);
+            return Ok(Request::done(Status {
+                source: t as i32,
+                tag: 0,
+                bytes,
+            }));
+        }
+        let op_id = proc
+            .next_op_id
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let slot: crate::process::ReplySlot = Arc::new(Mutex::new(None));
+        proc.pending_replies.lock().insert(op_id, slot.clone());
+        proc.endpoint.am_send(
+            proc.addr_of_world(world),
+            proto::AM_RMA_GET_REQ,
+            proto::header(self.shared.id, addr.byte as u64, bytes as u64, op_id),
+            Bytes::new(),
+        );
+        self.sent_am[t].fetch_add(1, Ordering::AcqRel);
+        proc.endpoint.note_win_ops_issued(1);
+        let (fatal, ctx) = self.req_env();
+        Ok(Request::rma(
+            proc.clone(),
+            slot,
+            Some(RecvDest {
+                buf: T::as_bytes_mut(buf),
+                ty,
+                count,
+            }),
+            Some(world),
+            fatal,
+            ctx,
+        ))
+    }
+
+    /// `MPI_RACCUMULATE`: accumulate with a per-operation request.
+    pub fn raccumulate<T: MpiPrimitive>(
+        &self,
+        data: &[T],
+        target: i32,
+        disp: usize,
+        op: &Op,
+    ) -> MpiResult<Request<'static>> {
+        let ty = T::DATATYPE;
+        if data.is_empty() {
+            return Err(MpiError::InvalidCount(0));
+        }
+        let bytes = pack::packed_size(&ty, data.len());
+        if self.proc().config.error_checking && !op.legal_on(T::PREDEFINED) {
+            return Err(MpiError::InvalidOp("op not defined for this datatype"));
+        }
+        let Some((t, addr, epoch)) =
+            self.rma_prologue(target, disp, bytes, &ty, None, false, true)?
+        else {
+            return Ok(Request::done(Status::send()));
+        };
+        let proc = self.proc();
+        let native = self.native_path(&ty);
+        self.charge_netmod(native);
+        charge(Category::RequestManagement, cost::isend::REQUEST_MANAGEMENT);
+        let world = self.comm.world_rank_of(t);
+        let wire = T::as_bytes(data);
+        if native || epoch == EpochKind::Passive {
+            let op = op.clone();
+            let ty2 = ty.clone();
+            let mut res = Ok(());
+            proc.endpoint.rdma_update(
+                proc.addr_of_world(world),
+                addr.key,
+                addr.byte,
+                bytes,
+                |dst| res = op.apply(&ty2, dst, wire),
+            );
+            res?;
+            self.note_sync_op(t);
+            return Ok(Request::done(Status::send()));
+        }
+        // AM path: ride the get-accumulate request/reply so the target's
+        // application is acknowledged; the fetched payload is discarded.
+        let code = acc_code_of(op).ok_or(MpiError::InvalidOp(
+            "user-defined op not supported on the AM path",
+        ))?;
+        let type_idx = predef_index::<T>();
+        let op_id = proc
+            .next_op_id
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let slot: crate::process::ReplySlot = Arc::new(Mutex::new(None));
+        proc.pending_replies.lock().insert(op_id, slot.clone());
+        litempi_instr::note_alloc(1);
+        let mut payload = proto::encode_acc(code, type_idx).to_le_bytes().to_vec();
+        payload.extend_from_slice(wire);
+        proc.endpoint.am_send(
+            proc.addr_of_world(world),
+            proto::AM_RMA_GETACC_REQ,
+            proto::header(self.shared.id, addr.byte as u64, bytes as u64, op_id),
+            Bytes::from(payload),
+        );
+        self.sent_am[t].fetch_add(1, Ordering::AcqRel);
+        proc.endpoint.note_win_ops_issued(1);
+        let (fatal, ctx) = self.req_env();
+        Ok(Request::rma(
+            proc.clone(),
+            slot,
+            None,
+            Some(world),
+            fatal,
+            ctx,
+        ))
+    }
+
+    /// `MPI_RGET_ACCUMULATE`: get-accumulate with a per-operation request;
+    /// the pre-op target values land in `result` at completion.
+    pub fn rget_accumulate<'buf, T: MpiPrimitive>(
+        &self,
+        data: &[T],
+        result: &'buf mut [T],
+        target: i32,
+        disp: usize,
+        op: &Op,
+    ) -> MpiResult<Request<'buf>> {
+        let ty = T::DATATYPE;
+        if data.is_empty() || result.len() != data.len() {
+            return Err(MpiError::InvalidCount(result.len() as i64));
+        }
+        let bytes = pack::packed_size(&ty, data.len());
+        if self.proc().config.error_checking && !op.legal_on(T::PREDEFINED) {
+            return Err(MpiError::InvalidOp("op not defined for this datatype"));
+        }
+        let Some((t, addr, epoch)) =
+            self.rma_prologue(target, disp, bytes, &ty, None, false, true)?
+        else {
+            return Ok(Request::done(Status {
+                source: PROC_NULL,
+                tag: 0,
+                bytes: 0,
+            }));
+        };
+        let proc = self.proc();
+        let native = self.native_path(&ty);
+        self.charge_netmod(native);
+        charge(Category::RequestManagement, cost::isend::REQUEST_MANAGEMENT);
+        let world = self.comm.world_rank_of(t);
+        let wire = T::as_bytes(data);
+        if native || epoch == EpochKind::Passive {
+            if epoch == EpochKind::Passive {
+                self.apply_pending(t);
+            }
+            let op = op.clone();
+            let ty2 = ty.clone();
+            let mut old = Vec::new();
+            let mut res = Ok(());
+            proc.endpoint.rdma_update(
+                proc.addr_of_world(world),
+                addr.key,
+                addr.byte,
+                bytes,
+                |dst| {
+                    old = dst.to_vec();
+                    res = op.apply(&ty2, dst, wire);
+                },
+            );
+            res?;
+            T::as_bytes_mut(result).copy_from_slice(&old);
+            self.note_sync_op(t);
+            return Ok(Request::done(Status {
+                source: t as i32,
+                tag: 0,
+                bytes,
+            }));
+        }
+        let code = acc_code_of(op).ok_or(MpiError::InvalidOp(
+            "user-defined op not supported on the AM path",
+        ))?;
+        let type_idx = predef_index::<T>();
+        let op_id = proc
+            .next_op_id
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let slot: crate::process::ReplySlot = Arc::new(Mutex::new(None));
+        proc.pending_replies.lock().insert(op_id, slot.clone());
+        litempi_instr::note_alloc(1);
+        let mut payload = proto::encode_acc(code, type_idx).to_le_bytes().to_vec();
+        payload.extend_from_slice(wire);
+        proc.endpoint.am_send(
+            proc.addr_of_world(world),
+            proto::AM_RMA_GETACC_REQ,
+            proto::header(self.shared.id, addr.byte as u64, bytes as u64, op_id),
+            Bytes::from(payload),
+        );
+        self.sent_am[t].fetch_add(1, Ordering::AcqRel);
+        proc.endpoint.note_win_ops_issued(1);
+        let count = data.len();
+        let (fatal, ctx) = self.req_env();
+        Ok(Request::rma(
+            proc.clone(),
+            slot,
+            Some(RecvDest {
+                buf: T::as_bytes_mut(result),
+                ty,
+                count,
+            }),
+            Some(world),
+            fatal,
+            ctx,
+        ))
     }
 }
 

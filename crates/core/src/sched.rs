@@ -430,6 +430,21 @@ impl Schedule {
                     self.span_mut(s).copy_from_slice(&data);
                 }
             }
+            DecodedPayload::RtsRma { rndv_id, len, key } => {
+                // Schedule sends stage through the pull table today; handle
+                // the RDMA descriptor anyway so a mixed-path schedule stays
+                // correct.
+                let data = crate::request::fetch_rndv_rma(proc, rndv_id, len, key)?;
+                if let Some(s) = &dst {
+                    if data.len() != s.len {
+                        return Err(MpiError::Truncate {
+                            message: data.len(),
+                            buffer: s.len,
+                        });
+                    }
+                    self.span_mut(s).copy_from_slice(&data);
+                }
+            }
         }
         proc.pool_release(bits, payload);
         Ok(())

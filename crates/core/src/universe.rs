@@ -23,6 +23,17 @@ pub(crate) struct RndvEntry {
     pub done: Arc<AtomicBool>,
 }
 
+/// An RDMA-rendezvous entry: the sender staged the wire bytes in a
+/// registered region and the receiver RDMA-reads them directly (foMPI-style
+/// one-sided rendezvous). The entry tracks the staged region so the
+/// receiver can return it to the *origin's* registration cache after the
+/// read, plus the sender's completion flag and the origin's world rank.
+pub(crate) struct RmaRndvEntry {
+    pub region: litempi_fabric::MemoryRegion,
+    pub done: Arc<AtomicBool>,
+    pub origin: usize,
+}
+
 /// Key for collective object creation: (parent context, per-communicator
 /// derivation sequence, color/discriminator).
 pub(crate) type MeetKey = (u16, u64, u64);
@@ -92,6 +103,10 @@ pub(crate) struct UnivShared {
     pub next_ctx: AtomicU16,
     /// Rendezvous (RTS/pull) table for large and synchronous sends.
     pub rndv: Mutex<HashMap<u64, RndvEntry>>,
+    /// RDMA-rendezvous table: entries whose payload lives in a registered
+    /// region instead of a staged heap buffer (shares the id space with
+    /// `rndv` via `next_rndv`).
+    pub rndv_rma: Mutex<HashMap<u64, RmaRndvEntry>>,
     /// Rendezvous id allocator.
     pub next_rndv: AtomicU64,
     /// Window id allocator.
@@ -128,6 +143,38 @@ impl UnivShared {
         entry.done.store(true, Ordering::Release);
         Some(data)
     }
+
+    /// Park a registered region holding staged wire bytes in the
+    /// RDMA-rendezvous table. `origin` is the sender's world rank — the
+    /// receiver returns the region to that endpoint's registration cache
+    /// once the RDMA read completes.
+    pub(crate) fn alloc_rndv_rma(
+        &self,
+        region: litempi_fabric::MemoryRegion,
+        origin: usize,
+    ) -> (u64, Arc<AtomicBool>) {
+        let id = self.next_rndv.fetch_add(1, Ordering::Relaxed);
+        let done = Arc::new(AtomicBool::new(false));
+        litempi_instr::note_alloc(1);
+        self.rndv_rma.lock().insert(
+            id,
+            RmaRndvEntry {
+                region,
+                done: done.clone(),
+                origin,
+            },
+        );
+        (id, done)
+    }
+
+    /// Receiver side of the RDMA rendezvous: claim the entry naming the
+    /// sender's staged region. The caller performs the RDMA read, returns
+    /// the region to the origin's registration cache, and signals `done`.
+    /// `None` means a damaged or replayed descriptor — an integrity error
+    /// upstream, never a panic.
+    pub(crate) fn take_rndv_rma(&self, id: u64) -> Option<RmaRndvEntry> {
+        self.rndv_rma.lock().remove(&id)
+    }
 }
 
 /// Entry point: run an `n`-rank MPI job.
@@ -154,6 +201,7 @@ impl Universe {
             fabric,
             next_ctx: AtomicU16::new(1), // 0 is MPI_COMM_WORLD
             rndv: Mutex::new(HashMap::new()),
+            rndv_rma: Mutex::new(HashMap::new()),
             next_rndv: AtomicU64::new(1),
             next_win: AtomicU64::new(1),
             meet: MeetTable::new(),

@@ -1,0 +1,503 @@
+//! Scalable one-sided communication, end to end: request-based RMA,
+//! passive-target flush semantics under concurrency, RDMA-backed
+//! rendezvous, and the fault/chaos regressions for all of the above.
+//!
+//! These tests must pass under any `LITEMPI_VCIS` forcing — the CI `rma`
+//! job runs this suite at 1 and 4 VCIs.
+
+use std::time::{Duration, Instant};
+
+use litempi_core::{waitall, BuildConfig, Errhandler, LockType, MpiError, Op, Universe, Window};
+use litempi_fabric::{FaultPlan, FaultSpec, ProviderProfile, ReliabilityConfig, Topology};
+use proptest::prelude::*;
+
+fn run_all_stacks(f: impl Fn(litempi_core::Process) + Send + Sync + Copy) {
+    // CH4 on a full-featured provider, CH4 forced through the AM fallback,
+    // and the CH3-like baseline.
+    for (config, profile) in [
+        (BuildConfig::ch4_default(), ProviderProfile::infinite()),
+        (BuildConfig::ch4_default(), ProviderProfile::am_only()),
+        (BuildConfig::original(), ProviderProfile::infinite()),
+    ] {
+        Universe::run(2, config, profile, Topology::single_node(2), f);
+    }
+}
+
+// ------------------------------------------------------ request-based RMA
+
+#[test]
+fn request_based_rma_roundtrip_all_stacks() {
+    run_all_stacks(|proc| {
+        let world = proc.world();
+        let win = Window::create(&world, 32, 1).unwrap();
+        win.fence().unwrap();
+        if proc.rank() == 0 {
+            // Issue a put and an accumulate as requests, complete both at
+            // once, then read the results back through request-based gets.
+            let reqs = vec![
+                win.rput(&[0x11AAu64], 1, 0).unwrap(),
+                win.raccumulate(&[5u64], 1, 8, &Op::Sum).unwrap(),
+            ];
+            waitall(reqs).unwrap();
+            let mut got = [0u64; 1];
+            win.rget(&mut got, 1, 0).unwrap().wait().unwrap();
+            assert_eq!(got[0], 0x11AA);
+            let mut old = [0u64; 1];
+            win.rget_accumulate(&[1u64], &mut old, 1, 8, &Op::Sum)
+                .unwrap()
+                .wait()
+                .unwrap();
+            assert_eq!(old[0], 5, "rget_accumulate returns the pre-op value");
+        }
+        win.fence().unwrap();
+        if proc.rank() == 1 {
+            let v = u64::from_le_bytes(win.read_local(0, 8).try_into().unwrap());
+            assert_eq!(v, 0x11AA);
+            let acc = u64::from_le_bytes(win.read_local(8, 8).try_into().unwrap());
+            assert_eq!(acc, 6, "accumulate(5) then rget_accumulate(+1)");
+        }
+        world.barrier().unwrap();
+    });
+}
+
+#[test]
+fn request_based_rma_test_polls_to_completion() {
+    run_all_stacks(|proc| {
+        let world = proc.world();
+        let win = Window::create(&world, 8, 1).unwrap();
+        win.fence().unwrap();
+        if proc.rank() == 0 {
+            let mut req = win.rput(&[0xBEEFu64], 1, 0).unwrap();
+            let deadline = Instant::now() + Duration::from_secs(10);
+            loop {
+                if req.test().unwrap().is_some() {
+                    break;
+                }
+                assert!(Instant::now() < deadline, "rput never completed");
+            }
+        }
+        win.fence().unwrap();
+        if proc.rank() == 1 {
+            let v = u64::from_le_bytes(win.read_local(0, 8).try_into().unwrap());
+            assert_eq!(v, 0xBEEF);
+        }
+        world.barrier().unwrap();
+    });
+}
+
+#[test]
+fn request_based_rma_under_passive_lock() {
+    run_all_stacks(|proc| {
+        let world = proc.world();
+        let win = Window::create(&world, 16, 1).unwrap();
+        world.barrier().unwrap();
+        if proc.rank() == 1 {
+            win.lock(LockType::Exclusive, 0).unwrap();
+            win.rput(&[77u64], 0, 0).unwrap().wait().unwrap();
+            let mut check = [0u64; 1];
+            win.rget(&mut check, 0, 0).unwrap().wait().unwrap();
+            assert_eq!(check[0], 77);
+            win.unlock(0).unwrap();
+        }
+        world.barrier().unwrap();
+        if proc.rank() == 0 {
+            let v = u64::from_le_bytes(win.read_local(0, 8).try_into().unwrap());
+            assert_eq!(v, 77);
+        }
+        world.barrier().unwrap();
+    });
+}
+
+// --------------------------------------------- passive-target flush rules
+
+#[test]
+fn passive_ops_complete_at_flush_not_at_issue() {
+    Universe::run_default(2, |proc| {
+        let world = proc.world();
+        let win = Window::create(&world, 8, 1).unwrap();
+        world.barrier().unwrap();
+        if proc.rank() == 0 {
+            win.lock(LockType::Exclusive, 1).unwrap();
+            win.put(&[1u64], 1, 0).unwrap();
+            win.put(&[2u64], 1, 0).unwrap();
+            win.put(&[3u64], 1, 0).unwrap();
+            assert_eq!(win.pending_ops(1), 3, "puts are queued, not applied");
+            win.flush(1).unwrap();
+            assert_eq!(win.pending_ops(1), 0, "flush completes queued ops");
+            // After flush (and still under the lock) the target's memory
+            // holds the last put.
+            let mut v = [0u64; 1];
+            win.get(&mut v, 1, 0).unwrap();
+            assert_eq!(v[0], 3);
+            win.unlock(1).unwrap();
+        }
+        world.barrier().unwrap();
+        if proc.rank() == 1 {
+            let v = u64::from_le_bytes(win.read_local(0, 8).try_into().unwrap());
+            assert_eq!(v, 3);
+        }
+        world.barrier().unwrap();
+    });
+}
+
+#[test]
+fn window_op_counters_track_issue_completion_and_flush() {
+    Universe::run_default(2, |proc| {
+        let world = proc.world();
+        let win = Window::create(&world, 8, 1).unwrap();
+        world.barrier().unwrap();
+        if proc.rank() == 0 {
+            let before = proc.comm_stats();
+            win.lock(LockType::Shared, 1).unwrap();
+            win.put(&[9u64], 1, 0).unwrap();
+            win.flush(1).unwrap();
+            win.flush_local_all().unwrap();
+            win.unlock(1).unwrap();
+            let d = proc.comm_stats().diff(&before);
+            assert!(d.win_ops_issued >= 1, "put issuance is counted");
+            assert_eq!(
+                d.win_ops_issued, d.win_ops_completed,
+                "every issued op completed by unlock"
+            );
+            assert!(d.win_flushes >= 2, "flush and flush_local_all counted");
+        }
+        world.barrier().unwrap();
+    });
+}
+
+// ------------------------------------------------- epoch/lock misuse rules
+
+#[test]
+fn lock_nesting_violations_are_sync_errors() {
+    Universe::run_default(2, |proc| {
+        let world = proc.world();
+        let win = Window::create(&world, 8, 1).unwrap();
+        world.barrier().unwrap();
+        if proc.rank() == 0 {
+            // lock() while holding a lock on the same target.
+            win.lock(LockType::Shared, 1).unwrap();
+            let e = win.lock(LockType::Exclusive, 1).unwrap_err();
+            assert!(matches!(e, MpiError::RmaSync(_)));
+            // lock_all() while holding a per-target lock.
+            let e = win.lock_all().unwrap_err();
+            assert!(matches!(e, MpiError::RmaSync(_)));
+            win.unlock(1).unwrap();
+            // lock() inside lock_all().
+            win.lock_all().unwrap();
+            let e = win.lock(LockType::Shared, 1).unwrap_err();
+            assert!(matches!(e, MpiError::RmaSync(_)));
+            let e = win.lock_all().unwrap_err();
+            assert!(matches!(e, MpiError::RmaSync(_)));
+            win.unlock_all().unwrap();
+        }
+        world.barrier().unwrap();
+    });
+}
+
+#[test]
+fn zero_count_accumulate_family_is_invalid_count() {
+    Universe::run_default(2, |proc| {
+        let world = proc.world();
+        let win = Window::create(&world, 8, 8).unwrap();
+        win.fence().unwrap();
+        if proc.rank() == 0 {
+            let empty: [u64; 0] = [];
+            let e = win.accumulate(&empty, 1, 0, &Op::Sum).unwrap_err();
+            assert!(matches!(e, MpiError::InvalidCount(0)));
+            let e = win.get_accumulate(&empty, 1, 0, &Op::Sum).unwrap_err();
+            assert!(matches!(e, MpiError::InvalidCount(_)));
+            let e = win.raccumulate(&empty, 1, 0, &Op::Sum).unwrap_err();
+            assert!(matches!(e, MpiError::InvalidCount(0)));
+            // Mismatched result buffer on the request-based variant.
+            let mut result = [0u64; 2];
+            let e = win
+                .rget_accumulate(&[1u64], &mut result, 1, 0, &Op::Sum)
+                .unwrap_err();
+            assert!(matches!(e, MpiError::InvalidCount(2)));
+        }
+        win.fence().unwrap();
+    });
+}
+
+// ----------------------------------------------------- fault regressions
+
+#[test]
+fn rma_at_dead_peer_fails_with_process_failed() {
+    // Rank 1's kill budget admits window creation, the fence, and its two
+    // farewell sends; rank 0's detection loop then burns the remainder
+    // (every packet touching the victim's endpoint counts) and drives
+    // failure detection through the reliability layer's retry budget,
+    // after which every RMA path — including lock acquisition and
+    // request-based ops — reports the dead target instead of hanging.
+    let profile = ProviderProfile::infinite()
+        .with_faults(FaultPlan::none().with_kill(1, 64))
+        .with_reliability(ReliabilityConfig::on().with_retries(3, 50));
+    Universe::run(
+        2,
+        BuildConfig::ch4_default(),
+        profile,
+        Topology::single_node(2),
+        |proc| {
+            let world = proc.world();
+            world.set_errhandler(Errhandler::ErrorsReturn);
+            let win = Window::create(&world, 8, 1).unwrap();
+            win.fence().unwrap();
+            if proc.rank() == 1 {
+                world.send(&[1u8], 0, 0).unwrap();
+                world.send(&[1u8], 0, 0).unwrap();
+                return;
+            }
+            let mut buf = [0u8; 1];
+            world.recv_into(&mut buf, 1, 0).unwrap();
+            let _ = world.recv_into(&mut buf, 1, 0);
+            // Exhaust retries toward the corpse until the health layer
+            // marks it unreachable.
+            let deadline = Instant::now() + Duration::from_secs(20);
+            loop {
+                match world.send(&[9u8], 1, 1) {
+                    Err(MpiError::PeerUnreachable { .. }) | Err(MpiError::ProcessFailed { .. }) => {
+                        break
+                    }
+                    _ => {}
+                }
+                assert!(Instant::now() < deadline, "peer death never detected");
+            }
+            let e = win.put(&[7u64], 1, 0).unwrap_err();
+            assert!(matches!(e, MpiError::ProcessFailed { peer: 1 }));
+            let e = win.rput(&[7u64], 1, 0).unwrap_err();
+            assert!(matches!(e, MpiError::ProcessFailed { peer: 1 }));
+            let e = win.lock(LockType::Exclusive, 1).unwrap_err();
+            assert!(matches!(e, MpiError::ProcessFailed { peer: 1 }));
+            let e = win.flush(1).unwrap_err();
+            assert!(matches!(e, MpiError::ProcessFailed { peer: 1 }));
+        },
+    );
+}
+
+#[test]
+fn rma_on_revoked_communicator_fails_with_revoked() {
+    Universe::run_default(2, |proc| {
+        let world = proc.world();
+        world.set_errhandler(Errhandler::ErrorsReturn);
+        let win = Window::create(&world, 8, 1).unwrap();
+        win.fence().unwrap();
+        if proc.rank() == 0 {
+            world.revoke();
+        } else {
+            let deadline = Instant::now() + Duration::from_secs(10);
+            while !world.is_revoked() {
+                let _ = world.iprobe(litempi_core::ANY_SOURCE, 0x3FF);
+                assert!(Instant::now() < deadline, "revoke flood never arrived");
+                std::hint::spin_loop();
+            }
+        }
+        let peer = (1 - proc.rank()) as i32;
+        let e = win.put(&[1u64], peer, 0).unwrap_err();
+        assert!(matches!(e, MpiError::Revoked));
+        let e = win.rget(&mut [0u64; 1], peer, 0).unwrap_err();
+        assert!(matches!(e, MpiError::Revoked));
+        let e = win.lock(LockType::Shared, peer as usize).unwrap_err();
+        assert!(matches!(e, MpiError::Revoked));
+    });
+}
+
+// --------------------------------------------------------- chaos identity
+
+/// Passive-target read-modify-write traffic plus a fence-epoch put; the
+/// returned bytes are rank 0's final window contents.
+fn passive_target_workload(profile: ProviderProfile) -> Vec<u8> {
+    let out = Universe::run(
+        3,
+        BuildConfig::ch4_default(),
+        profile,
+        Topology::single_node(3),
+        |proc| {
+            let world = proc.world();
+            let win = Window::create(&world, 24, 1).unwrap();
+            world.barrier().unwrap();
+            if proc.rank() != 0 {
+                win.lock(LockType::Exclusive, 0).unwrap();
+                let mut cur = [0u64; 1];
+                win.get(&mut cur, 0, 0).unwrap();
+                win.put(&[cur[0] + proc.rank() as u64], 0, 0).unwrap();
+                win.flush(0).unwrap();
+                win.accumulate(&[proc.rank() as u64], 0, 8, &Op::Sum)
+                    .unwrap();
+                win.unlock(0).unwrap();
+            }
+            world.barrier().unwrap();
+            // Fence-epoch traffic on top (AM or native, per provider).
+            win.fence().unwrap();
+            if proc.rank() == 1 {
+                win.put(&[0x5Eu64], 0, 16).unwrap();
+            }
+            win.fence().unwrap();
+            if proc.rank() == 0 {
+                Some(win.read_local(0, 24))
+            } else {
+                None
+            }
+        },
+    );
+    out.into_iter().flatten().next().expect("rank 0 contents")
+}
+
+#[test]
+fn passive_target_chaos_is_byte_identical() {
+    // Fault-free references per provider (the AM fallback and the native
+    // path produce the same window contents by construction).
+    let clean_ofi = passive_target_workload(ProviderProfile::ofi());
+    let clean_am = passive_target_workload(ProviderProfile::am_only());
+    assert_eq!(clean_ofi, clean_am);
+    for seed in [0xC0FFEE_u64, 0x5EED] {
+        let plan = FaultPlan::uniform(seed, FaultSpec::percent(20, 10, 30, 0));
+        assert_eq!(
+            passive_target_workload(ProviderProfile::ofi().with_faults(plan).reliable()),
+            clean_ofi,
+            "seed {seed:#x}: chaos must not change window contents (ofi)"
+        );
+        assert_eq!(
+            passive_target_workload(ProviderProfile::am_only().with_faults(plan).reliable()),
+            clean_am,
+            "seed {seed:#x}: chaos must not change window contents (am)"
+        );
+    }
+}
+
+// ------------------------------------------------------- RDMA rendezvous
+
+const LARGE: usize = 50_000; // > ofi max_eager: forces rendezvous
+
+/// Ship two large messages and return what rank 1 received.
+fn large_roundtrip(profile: ProviderProfile) -> Vec<Vec<u8>> {
+    let out = Universe::run(
+        2,
+        BuildConfig::ch4_default(),
+        profile,
+        Topology::single_node(2),
+        |proc| {
+            let world = proc.world();
+            if proc.rank() == 0 {
+                world.send(&vec![0xA1u8; LARGE], 1, 1).unwrap();
+                // Wait for the ack so the second send can observe a
+                // registration-cache hit.
+                let mut ack = [0u8; 1];
+                world.recv_into(&mut ack, 1, 2).unwrap();
+                world.send(&vec![0xB2u8; LARGE], 1, 3).unwrap();
+                None
+            } else {
+                let mut a = vec![0u8; LARGE];
+                world.recv_into(&mut a, 0, 1).unwrap();
+                world.send(&[1u8], 0, 2).unwrap();
+                let mut b = vec![0u8; LARGE];
+                world.recv_into(&mut b, 0, 3).unwrap();
+                Some(vec![a, b])
+            }
+        },
+    );
+    out.into_iter().flatten().next().expect("rank 1 payloads")
+}
+
+#[test]
+fn rma_rendezvous_is_byte_identical_to_pull_rendezvous() {
+    let rdma = large_roundtrip(ProviderProfile::ofi());
+    let pull = large_roundtrip(ProviderProfile::ofi().with_rma_rendezvous(false));
+    assert_eq!(rdma, pull);
+    assert_eq!(rdma[0], vec![0xA1u8; LARGE]);
+    assert_eq!(rdma[1], vec![0xB2u8; LARGE]);
+}
+
+#[test]
+fn rma_rendezvous_reads_remote_and_reuses_registrations() {
+    let stats = Universe::run(
+        2,
+        BuildConfig::ch4_default(),
+        ProviderProfile::ofi(),
+        Topology::single_node(2),
+        |proc| {
+            let world = proc.world();
+            if proc.rank() == 0 {
+                world.send(&vec![7u8; LARGE], 1, 1).unwrap();
+                let mut ack = [0u8; 1];
+                world.recv_into(&mut ack, 1, 2).unwrap();
+                world.send(&vec![8u8; LARGE], 1, 3).unwrap();
+                // Final handshake so stats are read after both transfers.
+                world.recv_into(&mut ack, 1, 4).unwrap();
+            } else {
+                let mut buf = vec![0u8; LARGE];
+                world.recv_into(&mut buf, 0, 1).unwrap();
+                world.send(&[1u8], 0, 2).unwrap();
+                world.recv_into(&mut buf, 0, 3).unwrap();
+                world.send(&[1u8], 0, 4).unwrap();
+            }
+            proc.comm_stats()
+        },
+    );
+    // The receiver fetched both payloads with one-sided reads.
+    assert!(
+        stats[1].rdma_gets >= 2,
+        "rendezvous payloads must move via RDMA read, got {}",
+        stats[1].rdma_gets
+    );
+    // The sender's second staging acquisition hit the pin-down cache
+    // (the receiver returned the first region after its read).
+    assert!(
+        stats[0].reg_cache_hits >= 1,
+        "second large send must reuse the cached registration"
+    );
+}
+
+// ------------------------------------------- concurrent passive target
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Four injector threads on rank 0 hammer rank 1's window with
+    /// lock/get/put/flush/unlock sequences chosen by proptest. Exclusive
+    /// locks make the read-modify-write atomic, so the final counter must
+    /// equal the total number of increments — under any thread
+    /// interleaving and any VCI sharding.
+    #[test]
+    fn concurrent_lock_flush_unlock_linearizes(ops in proptest::collection::vec(0u8..3, 4..12)) {
+        let per_thread = ops.len() as u64;
+        let out = Universe::run(
+            2,
+            BuildConfig::ch4_thread_multiple(),
+            ProviderProfile::infinite().with_vcis(4),
+            Topology::single_node(2),
+            move |proc| {
+                let world = proc.world();
+                let win = Window::create(&world, 8, 1).unwrap();
+                world.barrier().unwrap();
+                if proc.rank() == 0 {
+                    let winref = &win;
+                    let ops = ops.clone();
+                    std::thread::scope(|s| {
+                        for _ in 0..4 {
+                            let ops = ops.clone();
+                            s.spawn(move || {
+                                for step in &ops {
+                                    winref.lock(LockType::Exclusive, 1).unwrap();
+                                    let mut cur = [0u64; 1];
+                                    winref.get(&mut cur, 1, 0).unwrap();
+                                    winref.put(&[cur[0] + 1], 1, 0).unwrap();
+                                    match step {
+                                        0 => winref.flush(1).unwrap(),
+                                        1 => winref.flush_local(1).unwrap(),
+                                        _ => {}
+                                    }
+                                    winref.unlock(1).unwrap();
+                                }
+                            });
+                        }
+                    });
+                }
+                world.barrier().unwrap();
+                let v = u64::from_le_bytes(win.read_local(0, 8).try_into().unwrap());
+                world.barrier().unwrap();
+                v
+            },
+        );
+        prop_assert_eq!(out[1], 4 * per_thread);
+    }
+}

@@ -177,6 +177,11 @@ pub struct ProviderProfile {
     /// construction, where the `LITEMPI_VCIS` environment variable (when
     /// set) overrides this field.
     pub num_vcis: usize,
+    /// Route large-message (rendezvous-size) sends over RDMA get instead
+    /// of the tag-match pull protocol. On by default wherever the provider
+    /// has native RDMA; switched off for the tag-match ablation baseline
+    /// (and forced off on AM-only providers, which have no RDMA engine).
+    pub rma_rendezvous: bool,
 }
 
 impl ProviderProfile {
@@ -206,6 +211,7 @@ impl ProviderProfile {
             health: HealthConfig::OFF,
             trace: TraceConfig::OFF,
             num_vcis: 1,
+            rma_rendezvous: true,
         }
     }
 
@@ -233,6 +239,7 @@ impl ProviderProfile {
             health: HealthConfig::OFF,
             trace: TraceConfig::OFF,
             num_vcis: 1,
+            rma_rendezvous: true,
         }
     }
 
@@ -262,6 +269,7 @@ impl ProviderProfile {
             health: HealthConfig::OFF,
             trace: TraceConfig::OFF,
             num_vcis: 1,
+            rma_rendezvous: true,
         }
     }
 
@@ -285,6 +293,7 @@ impl ProviderProfile {
             health: HealthConfig::OFF,
             trace: TraceConfig::OFF,
             num_vcis: 1,
+            rma_rendezvous: true,
         }
     }
 
@@ -312,6 +321,7 @@ impl ProviderProfile {
             health: HealthConfig::OFF,
             trace: TraceConfig::OFF,
             num_vcis: 1,
+            rma_rendezvous: true,
         }
     }
 
@@ -340,6 +350,7 @@ impl ProviderProfile {
             health: HealthConfig::OFF,
             trace: TraceConfig::OFF,
             num_vcis: 1,
+            rma_rendezvous: false,
         }
     }
 
@@ -406,6 +417,14 @@ impl ProviderProfile {
     /// communication interfaces.
     pub fn with_vcis(mut self, n: usize) -> Self {
         self.num_vcis = n;
+        self
+    }
+
+    /// Copy of this profile with the RDMA-backed rendezvous protocol
+    /// toggled — `false` selects the tag-match pull baseline (the RMA
+    /// ablation's control arm).
+    pub fn with_rma_rendezvous(mut self, on: bool) -> Self {
+        self.rma_rendezvous = on;
         self
     }
 }
@@ -513,6 +532,23 @@ mod tests {
         assert_eq!(ProviderProfile::ofi().num_vcis, 1);
         let p = ProviderProfile::ofi().with_vcis(4).reliable();
         assert_eq!(p.num_vcis, 4);
+        assert!(p.reliability.enabled);
+    }
+
+    #[test]
+    fn rma_rendezvous_follows_native_rdma_and_toggles() {
+        for p in [
+            ProviderProfile::ofi(),
+            ProviderProfile::ucx(),
+            ProviderProfile::bgq(),
+            ProviderProfile::infinite(),
+            ProviderProfile::shm(),
+        ] {
+            assert!(p.rma_rendezvous);
+        }
+        assert!(!ProviderProfile::am_only().rma_rendezvous);
+        let p = ProviderProfile::ofi().with_rma_rendezvous(false).reliable();
+        assert!(!p.rma_rendezvous);
         assert!(p.reliability.enabled);
     }
 

@@ -57,7 +57,7 @@ use crate::fabric::Fabric;
 use crate::health::{HealthAction, HealthMonitor, HealthState};
 use crate::matching::MatchEngine;
 use crate::packet::{AmMessage, PostedRecv, RecvSlot, TaggedMessage};
-use crate::region::{MemoryRegion, RdmaAtomicOp, RegionKey};
+use crate::region::{MemoryRegion, RdmaAtomicOp, RegionKey, RegistrationCache};
 use crate::reliability::{PacketBody, ReliaState, RxVerdict, TxTick, WirePacket};
 use crate::stats::{EndpointStats, StatsSnapshot};
 use bytes::Bytes;
@@ -70,6 +70,10 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crate::cost::ProviderProfile;
+
+/// Upper bound on registrations the per-endpoint pin-down cache holds
+/// (bounded pinned-memory footprint, as in real registration caches).
+const REG_CACHE_CAPACITY: usize = 32;
 
 /// One virtual communication interface: a full copy of the tagged-channel
 /// state (matching engine, jitter, completion epoch, reliability domain).
@@ -127,6 +131,10 @@ pub(crate) struct EndpointShared {
     /// The heartbeat failure detector. Empty and never locked when
     /// `health_enabled` is false.
     health: Mutex<HealthMonitor>,
+    /// Per-peer pin-down cache for RDMA transport buffers (rendezvous
+    /// staging). Touched only by the large-message path — eager traffic
+    /// never reaches it.
+    reg_cache: RegistrationCache,
     pub(crate) stats: EndpointStats,
 }
 
@@ -215,6 +223,7 @@ impl EndpointShared {
             trace_enabled: profile.trace.enabled,
             health_enabled: profile.health.enabled,
             health: Mutex::new(HealthMonitor::new(profile.health, addr.index(), n)),
+            reg_cache: RegistrationCache::new(REG_CACHE_CAPACITY),
             stats: EndpointStats::default(),
         }
     }
@@ -1182,6 +1191,50 @@ impl Endpoint {
     /// Deregister (invalidate) a region.
     pub fn deregister(&self, key: RegionKey) {
         self.fabric.deregister(key);
+    }
+
+    /// Acquire a registered transport region covering `len` bytes of RDMA
+    /// traffic toward `peer`, reusing this endpoint's pin-down cache when a
+    /// same-class registration is available (Liu et al.'s registration
+    /// cache). The returned region's length is the bin's power-of-two
+    /// class, never less than `len`.
+    pub fn reg_acquire(&self, peer: NetAddr, len: usize) -> MemoryRegion {
+        let shared = self.shared(self.addr);
+        if let Some(region) = shared.reg_cache.take(peer.0 as u64, len) {
+            EndpointStats::bump(&shared.stats.reg_cache_hits, 1);
+            charge(Category::Rma, icost::rma::REG_CACHE_HIT);
+            region
+        } else {
+            EndpointStats::bump(&shared.stats.reg_cache_misses, 1);
+            charge(Category::Rma, icost::rma::REG_CACHE_MISS);
+            let class = RegistrationCache::size_class(len);
+            self.fabric.register(RegistrationCache::class_len(class))
+        }
+    }
+
+    /// Return a region obtained from [`Self::reg_acquire`] to the cache;
+    /// deregisters it instead when the cache is at capacity.
+    pub fn reg_release(&self, peer: NetAddr, region: MemoryRegion) {
+        let shared = self.shared(self.addr);
+        if let Some(evicted) = shared.reg_cache.put(peer.0 as u64, region) {
+            self.fabric.deregister(evicted.key());
+        }
+    }
+
+    /// Record one-sided window operations issued into an access epoch.
+    pub fn note_win_ops_issued(&self, n: u64) {
+        EndpointStats::bump(&self.shared(self.addr).stats.win_ops_issued, n);
+    }
+
+    /// Record one-sided window operations completed (at flush/unlock for
+    /// passive target).
+    pub fn note_win_ops_completed(&self, n: u64) {
+        EndpointStats::bump(&self.shared(self.addr).stats.win_ops_completed, n);
+    }
+
+    /// Record one window flush synchronization call.
+    pub fn note_win_flush(&self) {
+        EndpointStats::bump(&self.shared(self.addr).stats.win_flushes, 1);
     }
 
     /// One-sided write into a remote region. `dst` is the owning endpoint

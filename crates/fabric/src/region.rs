@@ -13,6 +13,7 @@
 //! and it keeps the simulation data-race-free without `unsafe`.
 
 use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Remote key naming a registered region fabric-wide (an "rkey").
@@ -134,6 +135,81 @@ impl MemoryRegion {
     }
 }
 
+// --------------------------------------------------------- pin-down cache
+
+/// Per-peer registration (pin-down) cache, after Liu et al., *High
+/// Performance RDMA-Based MPI Implementation over InfiniBand*: memory
+/// registration is the dominant fixed cost of an RDMA transfer, so
+/// transport buffers are registered once and recycled across transfers to
+/// the same peer instead of pinned/unpinned per message.
+///
+/// Regions are binned by `(peer, power-of-two size class)` so a recycled
+/// buffer is always at least as large as the transfer that reuses it. The
+/// cache holds at most `capacity` regions in total; a release that would
+/// overflow it hands the region back to the caller for deregistration
+/// (bounded pin-down footprint, like the real cache's eviction).
+#[derive(Debug)]
+pub struct RegistrationCache {
+    inner: Mutex<CacheInner>,
+    capacity: usize,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    bins: HashMap<(u64, u32), Vec<MemoryRegion>>,
+    total: usize,
+}
+
+impl RegistrationCache {
+    /// A cache bounded at `capacity` cached registrations.
+    pub fn new(capacity: usize) -> Self {
+        RegistrationCache {
+            inner: Mutex::new(CacheInner::default()),
+            capacity,
+        }
+    }
+
+    /// The power-of-two size class a `len`-byte transfer bins into.
+    pub fn size_class(len: usize) -> u32 {
+        len.max(1).next_power_of_two().trailing_zeros()
+    }
+
+    /// Registered length of a size class (every cached region in the class
+    /// has exactly this length).
+    pub fn class_len(class: u32) -> usize {
+        1usize << class
+    }
+
+    /// Pop a cached registration covering a `len`-byte transfer to `peer`,
+    /// if one exists (a cache *hit*).
+    pub fn take(&self, peer: u64, len: usize) -> Option<MemoryRegion> {
+        let class = Self::size_class(len);
+        let mut inner = self.inner.lock();
+        let region = inner.bins.get_mut(&(peer, class))?.pop()?;
+        inner.total -= 1;
+        Some(region)
+    }
+
+    /// Return a registration to `peer`'s bin. `None` when cached; when the
+    /// cache is at capacity the region comes straight back (`Some`) and the
+    /// caller must deregister it.
+    pub fn put(&self, peer: u64, region: MemoryRegion) -> Option<MemoryRegion> {
+        let class = Self::size_class(region.len());
+        let mut inner = self.inner.lock();
+        if inner.total >= self.capacity {
+            return Some(region);
+        }
+        inner.bins.entry((peer, class)).or_default().push(region);
+        inner.total += 1;
+        None
+    }
+
+    /// Number of registrations currently cached (all peers).
+    pub fn cached(&self) -> usize {
+        self.inner.lock().total
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -219,6 +295,32 @@ mod tests {
             }
         });
         assert_eq!(r.read(0, 4), vec![0xAA; 4]);
+    }
+
+    #[test]
+    fn reg_cache_hit_requires_matching_peer_and_class() {
+        let cache = RegistrationCache::new(8);
+        let len = RegistrationCache::class_len(RegistrationCache::size_class(1000));
+        assert_eq!(len, 1024);
+        assert!(cache.put(1, MemoryRegion::new(RegionKey(7), len)).is_none());
+        // Wrong peer and wrong size class both miss.
+        assert!(cache.take(2, 1000).is_none());
+        assert!(cache.take(1, 5000).is_none());
+        // Any length in the same class hits.
+        let r = cache.take(1, 600).expect("hit");
+        assert_eq!(r.key(), RegionKey(7));
+        assert_eq!(cache.cached(), 0);
+    }
+
+    #[test]
+    fn reg_cache_bounds_pinned_regions() {
+        let cache = RegistrationCache::new(2);
+        assert!(cache.put(1, region(64)).is_none());
+        assert!(cache.put(1, region(64)).is_none());
+        // Third release overflows: handed back for deregistration.
+        let rejected = cache.put(1, region(64));
+        assert!(rejected.is_some());
+        assert_eq!(cache.cached(), 2);
     }
 
     #[test]

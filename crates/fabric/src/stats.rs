@@ -55,6 +55,18 @@ pub struct EndpointStats {
     pub peers_died: AtomicU64,
     /// Suspected peers that proved alive again (flapping links).
     pub peers_recovered: AtomicU64,
+    /// Window (one-sided) operations issued into an access epoch.
+    pub win_ops_issued: AtomicU64,
+    /// Window operations completed (at flush/unlock for passive target,
+    /// at issue for active target — real flush semantics make the two
+    /// counters diverge between issue and synchronization).
+    pub win_ops_completed: AtomicU64,
+    /// `flush`/`flush_local`/`flush_all` synchronization calls.
+    pub win_flushes: AtomicU64,
+    /// Registration-cache hits (region handle reused without re-pinning).
+    pub reg_cache_hits: AtomicU64,
+    /// Registration-cache misses (fresh pin-down registration).
+    pub reg_cache_misses: AtomicU64,
     /// Per-VCI lock acquisitions (critical section + tag engine). Only
     /// bumped when the endpoint runs more than one VCI, so the single-VCI
     /// fast path pays nothing for them.
@@ -92,6 +104,11 @@ impl EndpointStats {
             peers_suspected: self.peers_suspected.load(Ordering::Relaxed),
             peers_died: self.peers_died.load(Ordering::Relaxed),
             peers_recovered: self.peers_recovered.load(Ordering::Relaxed),
+            win_ops_issued: self.win_ops_issued.load(Ordering::Relaxed),
+            win_ops_completed: self.win_ops_completed.load(Ordering::Relaxed),
+            win_flushes: self.win_flushes.load(Ordering::Relaxed),
+            reg_cache_hits: self.reg_cache_hits.load(Ordering::Relaxed),
+            reg_cache_misses: self.reg_cache_misses.load(Ordering::Relaxed),
             unexpected: matching.unexpected,
             bucket_hits: matching.bucket_hits,
             wildcard_matches: matching.wildcard_matches,
@@ -142,6 +159,11 @@ pub struct StatsSnapshot {
     pub peers_suspected: u64,
     pub peers_died: u64,
     pub peers_recovered: u64,
+    pub win_ops_issued: u64,
+    pub win_ops_completed: u64,
+    pub win_flushes: u64,
+    pub reg_cache_hits: u64,
+    pub reg_cache_misses: u64,
     pub unexpected: u64,
     pub bucket_hits: u64,
     pub wildcard_matches: u64,
@@ -175,6 +197,11 @@ impl StatsSnapshot {
             peers_suspected: self.peers_suspected - earlier.peers_suspected,
             peers_died: self.peers_died - earlier.peers_died,
             peers_recovered: self.peers_recovered - earlier.peers_recovered,
+            win_ops_issued: self.win_ops_issued - earlier.win_ops_issued,
+            win_ops_completed: self.win_ops_completed - earlier.win_ops_completed,
+            win_flushes: self.win_flushes - earlier.win_flushes,
+            reg_cache_hits: self.reg_cache_hits - earlier.reg_cache_hits,
+            reg_cache_misses: self.reg_cache_misses - earlier.reg_cache_misses,
             unexpected: self.unexpected - earlier.unexpected,
             bucket_hits: self.bucket_hits - earlier.bucket_hits,
             wildcard_matches: self.wildcard_matches - earlier.wildcard_matches,
@@ -261,6 +288,22 @@ mod tests {
         let b = s.snapshot(&MatchCounters::default());
         assert_eq!(b.diff(&a).vci_acquires[2], 1);
         assert_eq!(b.diff(&a).vci_contended[2], 0);
+    }
+
+    #[test]
+    fn win_and_reg_cache_counters_snapshot_and_diff() {
+        let s = EndpointStats::default();
+        EndpointStats::bump(&s.win_ops_issued, 4);
+        EndpointStats::bump(&s.win_ops_completed, 4);
+        EndpointStats::bump(&s.win_flushes, 1);
+        EndpointStats::bump(&s.reg_cache_misses, 1);
+        let a = s.snapshot(&MatchCounters::default());
+        assert_eq!(a.win_ops_issued, 4);
+        assert_eq!(a.win_flushes, 1);
+        EndpointStats::bump(&s.reg_cache_hits, 2);
+        let b = s.snapshot(&MatchCounters::default());
+        assert_eq!(b.diff(&a).reg_cache_hits, 2);
+        assert_eq!(b.diff(&a).reg_cache_misses, 0);
     }
 
     #[test]

@@ -86,11 +86,17 @@ pub enum Category {
     /// category outside the injection totals and is exactly zero when
     /// `num_vcis = 1` (the calibrated 221/215 pins stay untouched).
     Vci,
+    /// One-sided transport machinery outside the paper's injection counts:
+    /// registration-cache lookups, RMA-rendezvous exposure/get steps, and
+    /// passive-target flush bookkeeping (foMPI-style scalable RMA). Like
+    /// `Progress`, none of this is part of the send-side critical path the
+    /// paper measures — the calibrated 221/215/59/253 pins stay untouched.
+    Rma,
 }
 
 impl Category {
     /// Number of categories (array sizing).
-    pub const COUNT: usize = 17;
+    pub const COUNT: usize = 18;
 
     /// All categories in declaration order.
     pub const ALL: [Category; Category::COUNT] = [
@@ -111,6 +117,7 @@ impl Category {
         Category::Progress,
         Category::FaultTolerance,
         Category::Vci,
+        Category::Rma,
     ];
 
     /// Index into per-category arrays.
@@ -140,7 +147,11 @@ impl Category {
     pub const fn is_injection_path(self) -> bool {
         !matches!(
             self,
-            Category::Progress | Category::Schedule | Category::Vci | Category::FaultTolerance
+            Category::Progress
+                | Category::Schedule
+                | Category::Vci
+                | Category::FaultTolerance
+                | Category::Rma
         )
     }
 
@@ -164,6 +175,7 @@ impl Category {
             Category::Progress => "progress",
             Category::FaultTolerance => "fault_tolerance",
             Category::Vci => "vci",
+            Category::Rma => "rma",
         }
     }
 
@@ -189,6 +201,7 @@ impl Category {
             Category::Progress => "Receiver-side progress (not in injection path)",
             Category::FaultTolerance => "Failure detection / ULFM recovery (not in injection path)",
             Category::Vci => "Virtual-communication-interface selection (not in injection path)",
+            Category::Rma => "One-sided transport / registration cache (not in injection path)",
         }
     }
 }
@@ -247,6 +260,12 @@ mod tests {
     fn fault_tolerance_not_in_injection_path_and_not_mandatory() {
         assert!(!Category::FaultTolerance.is_injection_path());
         assert!(!Category::FaultTolerance.is_mandatory());
+    }
+
+    #[test]
+    fn rma_not_in_injection_path_and_not_mandatory() {
+        assert!(!Category::Rma.is_injection_path());
+        assert!(!Category::Rma.is_mandatory());
     }
 
     #[test]
