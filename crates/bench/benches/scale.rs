@@ -1,0 +1,157 @@
+//! Strong-scaling sweep: the three mini-apps at 16 → 64 → 256 → 1024
+//! simulated ranks over a 16-rank-per-node blocked topology.
+//!
+//! Each app keeps its *global* problem fixed while the rank count grows,
+//! so the reported ns/iteration traces the strong-scaling curve the
+//! issue asks for (`BENCH_scale.json`):
+//!
+//! * `stencil` — 128×128-point Jacobi; halo exchange + delta allreduce.
+//! * `nekbone` — 1024 spectral elements at order 3; CG with nearest-
+//!   neighbor gather/scatter + dot-product allreduces.
+//! * `minimd`  — 32768-atom LJ melt; 6-way ghost exchange + migration.
+//!
+//! Every sample recomputes a global checksum (field sum / CG residual /
+//! final energy) and asserts all ranks agree, so a run that corrupts data
+//! at scale cannot post a time. Set `LITEMPI_SCALE_CHECKSUM=1` to print
+//! the checksums (the EXPERIMENTS.md values come from that).
+//!
+//! Timing is taken *inside* the universe at rank 0 — thread spawn and
+//! teardown are excluded, the app's own setup is included.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use litempi_apps::minimd::{self, MdConfig};
+use litempi_apps::nekbone::{self, NekConfig};
+use litempi_apps::stencil::{self, HaloFlavor, StencilConfig};
+use litempi_core::{BuildConfig, Op, Process, Universe};
+use litempi_fabric::{ProviderProfile, Topology};
+use std::time::{Duration, Instant};
+
+/// Ranks per simulated node in every sweep.
+const RPN: usize = 16;
+
+/// The four strong-scaling points with their 2-D and 3-D rank grids.
+const SCALES: [(usize, [usize; 2], [usize; 3]); 4] = [
+    (16, [4, 4], [4, 2, 2]),
+    (64, [8, 8], [4, 4, 4]),
+    (256, [16, 16], [8, 8, 4]),
+    (1024, [32, 32], [16, 8, 8]),
+];
+
+fn report_checksum(app: &str, ranks: usize, checksum: f64) {
+    if std::env::var("LITEMPI_SCALE_CHECKSUM").is_ok() {
+        eprintln!("CHECKSUM {app}@{ranks}: {checksum:.6e}");
+    }
+}
+
+/// Run `f` on a `ranks`-rank universe and return rank 0's measured time
+/// plus the (everywhere-agreed) checksum. `f` returns (elapsed, checksum).
+fn timed_on<F>(ranks: usize, f: F) -> (Duration, f64)
+where
+    F: Fn(&Process) -> (Duration, f64) + Send + Sync,
+{
+    let out = Universe::run(
+        ranks,
+        BuildConfig::ch4_default(),
+        ProviderProfile::infinite(),
+        Topology::blocked(ranks, RPN),
+        move |proc| {
+            let world = proc.world();
+            world.barrier().unwrap();
+            let (dt, checksum) = f(&proc);
+            // Cross-rank agreement: min == max over the fabric.
+            let lo = world.allreduce(&[checksum], &Op::Min).unwrap();
+            let hi = world.allreduce(&[checksum], &Op::Max).unwrap();
+            assert!(checksum.is_finite(), "checksum not finite");
+            assert_eq!(
+                lo[0].to_bits(),
+                hi[0].to_bits(),
+                "ranks disagree on the checksum"
+            );
+            if proc.rank() == 0 {
+                Some((dt, checksum))
+            } else {
+                None
+            }
+        },
+    );
+    out.into_iter().flatten().next().unwrap()
+}
+
+fn stencil_batch(ranks: usize, grid: [usize; 2], iters: u64) -> Duration {
+    let local = [128 / grid[0], 128 / grid[1]];
+    let (dt, checksum) = timed_on(ranks, move |proc| {
+        let cfg = StencilConfig {
+            local,
+            rank_grid: grid,
+            iterations: iters as usize,
+            flavor: HaloFlavor::Classic,
+        };
+        let t0 = Instant::now();
+        let report = stencil::run(proc, &cfg).unwrap();
+        let dt = t0.elapsed();
+        let local_sum: f64 = report.field.iter().sum();
+        let world = proc.world();
+        let global = world.allreduce(&[local_sum], &Op::Sum).unwrap();
+        (dt, global[0])
+    });
+    report_checksum("stencil", ranks, checksum);
+    dt
+}
+
+fn nekbone_batch(ranks: usize, grid: [usize; 3], iters: u64) -> Duration {
+    let (dt, checksum) = timed_on(ranks, move |proc| {
+        let cfg = NekConfig {
+            elems: [16, 8, 8],
+            order: 3,
+            iterations: iters as usize,
+            rank_grid: grid,
+        };
+        let t0 = Instant::now();
+        let report = nekbone::run(proc, &cfg).unwrap();
+        // The CG residual is a global norm: every rank computes it from
+        // the same allreduced dot products, so it doubles as a checksum.
+        (t0.elapsed(), report.residual)
+    });
+    report_checksum("nekbone", ranks, checksum);
+    dt
+}
+
+fn minimd_batch(ranks: usize, grid: [usize; 3], iters: u64) -> Duration {
+    let (dt, checksum) = timed_on(ranks, move |proc| {
+        let cfg = MdConfig {
+            cells: [32, 16, 16],
+            rank_grid: grid,
+            steps: iters as usize,
+            dt: 0.005,
+            cutoff: 2.5,
+            density: 0.8442,
+        };
+        let t0 = Instant::now();
+        let report = minimd::run(proc, &cfg).unwrap();
+        let dt = t0.elapsed();
+        assert_eq!(report.atoms_global, 4 * 32 * 16 * 16, "atoms not conserved");
+        (dt, report.energy_final)
+    });
+    report_checksum("minimd", ranks, checksum);
+    dt
+}
+
+fn bench_scale(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scale");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    for (ranks, grid2, grid3) in SCALES {
+        g.bench_function(BenchmarkId::new("stencil", ranks), |b| {
+            b.iter_custom(|iters| stencil_batch(ranks, grid2, iters.max(1)));
+        });
+        g.bench_function(BenchmarkId::new("nekbone", ranks), |b| {
+            b.iter_custom(|iters| nekbone_batch(ranks, grid3, iters.max(1)));
+        });
+        g.bench_function(BenchmarkId::new("minimd", ranks), |b| {
+            b.iter_custom(|iters| minimd_batch(ranks, grid3, iters.max(1)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scale);
+criterion_main!(benches);

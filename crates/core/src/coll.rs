@@ -12,6 +12,7 @@
 
 use crate::comm::Communicator;
 use crate::error::{MpiError, MpiResult};
+use crate::hier;
 use crate::match_bits;
 use crate::op::Op;
 use crate::process::ProcInner;
@@ -24,13 +25,13 @@ use litempi_trace::{event::coll_op, EventKind};
 /// RAII span emitting `CollBegin`/`CollEnd` around one collective when
 /// tracing is on (one branch when off). Drop-based so error returns still
 /// close the span.
-struct CollSpan {
+pub(crate) struct CollSpan {
     traced: bool,
     op: u64,
 }
 
 impl CollSpan {
-    fn begin(comm: &Communicator, op: u64) -> CollSpan {
+    pub(crate) fn begin(comm: &Communicator, op: u64) -> CollSpan {
         let traced = comm.proc.endpoint.fabric().trace_enabled();
         if traced {
             litempi_trace::emit(EventKind::CollBegin, op, 0);
@@ -52,7 +53,7 @@ impl Drop for CollSpan {
 /// instead of deadlocking against ranks that already know. Uncharged — in
 /// the fault-free case this is one relaxed load, so the paper's calibrated
 /// charge totals are untouched.
-fn ft_gate(comm: &Communicator) -> MpiResult<()> {
+pub(crate) fn ft_gate(comm: &Communicator) -> MpiResult<()> {
     if comm.proc.is_ctx_revoked(comm.context_id().0) {
         return comm.handle_error(Err(MpiError::Revoked));
     }
@@ -172,9 +173,21 @@ fn recv_raw(
     }
 }
 
-/// `MPI_BARRIER`: dissemination algorithm — ⌈log₂ P⌉ rounds, each rank
-/// sending to `rank + 2^k` and receiving from `rank - 2^k`.
+/// `MPI_BARRIER`: hierarchical (node-aware) when the topology spans
+/// multiple multi-rank nodes, flat dissemination otherwise. See the
+/// `hier` module for the selection rule — on a single node this is
+/// byte- and charge-identical to [`barrier_flat`].
 pub fn barrier(comm: &Communicator) -> MpiResult<()> {
+    if let Some(plan) = hier::plan(comm) {
+        return hier::barrier(comm, &plan);
+    }
+    barrier_flat(comm)
+}
+
+/// Flat `MPI_BARRIER`: dissemination algorithm — ⌈log₂ P⌉ rounds, each
+/// rank sending to `rank + 2^k` and receiving from `rank - 2^k`. Kept
+/// public as the hierarchy-equivalence reference.
+pub fn barrier_flat(comm: &Communicator) -> MpiResult<()> {
     ft_gate(comm)?;
     let size = comm.size();
     if size == 1 {
@@ -200,9 +213,23 @@ pub fn barrier(comm: &Communicator) -> MpiResult<()> {
 /// uses the same structure with a similar crossover.
 pub const BCAST_LONG_MSG_BYTES: usize = 32 * 1024;
 
-/// `MPI_BCAST`: algorithm selected by payload size — binomial tree for
-/// short messages, scatter + ring allgather for long ones.
+/// `MPI_BCAST`: hierarchical (node-aware) when the topology spans
+/// multiple multi-rank nodes, otherwise the flat size-selected algorithm.
 pub fn bcast<T: MpiPrimitive>(comm: &Communicator, buf: &mut [T], root: usize) -> MpiResult<()> {
+    if let Some(plan) = hier::plan(comm) {
+        return hier::bcast(comm, &plan, buf, root);
+    }
+    bcast_flat(comm, buf, root)
+}
+
+/// Flat `MPI_BCAST`: algorithm selected by payload size — binomial tree
+/// for short messages, scatter + ring allgather for long ones. Kept
+/// public as the hierarchy-equivalence reference.
+pub fn bcast_flat<T: MpiPrimitive>(
+    comm: &Communicator,
+    buf: &mut [T],
+    root: usize,
+) -> MpiResult<()> {
     ft_gate(comm)?;
     let _span = CollSpan::begin(comm, coll_op::BCAST);
     let bytes = std::mem::size_of_val(buf);
@@ -310,9 +337,24 @@ pub fn bcast_scatter_allgather<T: MpiPrimitive>(
     Ok(())
 }
 
-/// `MPI_REDUCE` (binomial tree): returns `Some(result)` at `root`, `None`
-/// elsewhere.
+/// `MPI_REDUCE`: hierarchical (node-aware) when the topology spans
+/// multiple multi-rank nodes, flat binomial tree otherwise. Returns
+/// `Some(result)` at `root`, `None` elsewhere.
 pub fn reduce<T: MpiPrimitive>(
+    comm: &Communicator,
+    sendbuf: &[T],
+    op: &Op,
+    root: usize,
+) -> MpiResult<Option<Vec<T>>> {
+    if let Some(plan) = hier::plan(comm) {
+        return hier::reduce(comm, &plan, sendbuf, op, root);
+    }
+    reduce_flat(comm, sendbuf, op, root)
+}
+
+/// Flat `MPI_REDUCE` (binomial tree). Kept public as the
+/// hierarchy-equivalence reference.
+pub fn reduce_flat<T: MpiPrimitive>(
     comm: &Communicator,
     sendbuf: &[T],
     op: &Op,
@@ -350,9 +392,25 @@ pub fn reduce<T: MpiPrimitive>(
     }
 }
 
-/// `MPI_ALLREDUCE`: recursive doubling for power-of-two sizes, otherwise
-/// reduce-to-zero + broadcast.
+/// `MPI_ALLREDUCE`: hierarchical (node-aware) when the topology spans
+/// multiple multi-rank nodes, otherwise recursive doubling for
+/// power-of-two sizes with a reduce+bcast fallback.
 pub fn allreduce<T: MpiPrimitive>(
+    comm: &Communicator,
+    sendbuf: &[T],
+    op: &Op,
+) -> MpiResult<Vec<T>> {
+    if let Some(plan) = hier::plan(comm) {
+        return hier::allreduce(comm, &plan, sendbuf, op);
+    }
+    allreduce_flat(comm, sendbuf, op)
+}
+
+/// Flat `MPI_ALLREDUCE`: recursive doubling for power-of-two sizes,
+/// otherwise reduce-to-zero + broadcast (both levels flat, so this is a
+/// pure reference for the hierarchy-equivalence tests even on multi-node
+/// topologies).
+pub fn allreduce_flat<T: MpiPrimitive>(
     comm: &Communicator,
     sendbuf: &[T],
     op: &Op,
@@ -376,12 +434,12 @@ pub fn allreduce<T: MpiPrimitive>(
         T::as_bytes_mut(&mut out).copy_from_slice(&acc);
         Ok(out)
     } else {
-        let reduced = reduce(comm, sendbuf, op, 0)?;
+        let reduced = reduce_flat(comm, sendbuf, op, 0)?;
         let mut out = match reduced {
             Some(v) => v,
             None => vec![sendbuf[0]; sendbuf.len()],
         };
-        bcast(comm, &mut out, 0)?;
+        bcast_flat(comm, &mut out, 0)?;
         Ok(out)
     }
 }
@@ -569,8 +627,37 @@ pub fn allgather_ring<T: MpiPrimitive>(comm: &Communicator, sendbuf: &[T]) -> Mp
     Ok(out)
 }
 
-/// `MPI_ALLTOALL` (pairwise exchange): `sendbuf` holds `size` blocks of
-/// `block` elements; block `i` goes to rank `i`.
+/// Upper bound on the pairwise-exchange issue window: how many exchange
+/// slots a rank may run ahead of its oldest outstanding receive. The old
+/// code effectively used `size - 1` — at 1024 ranks that is 1023 posted
+/// sends per rank and an O(ranks) matching queue at every receiver, which
+/// is exactly the unbounded-posting bug this bounds. 16 keeps the pipe
+/// full at BDP for small blocks on every calibrated provider profile
+/// while pinning per-rank outstanding traffic to O(1).
+pub const COLL_ISSUE_WINDOW: usize = 16;
+
+/// Cost-model-tuned issue window for a pairwise exchange of `msg_bytes`
+/// messages: enough slots in flight to cover the provider's
+/// bandwidth-delay product, clamped to `1..=COLL_ISSUE_WINDOW`. Zero
+/// latency or unbounded bandwidth (the `infinite` profile) means the BDP
+/// argument degenerates, so the full window is used.
+pub(crate) fn issue_window(comm: &Communicator, msg_bytes: usize) -> usize {
+    let cost = comm.proc.endpoint.fabric().profile().cost;
+    if cost.latency_ns <= 0.0 || !cost.bandwidth_gib_s.is_finite() {
+        return COLL_ISSUE_WINDOW;
+    }
+    let bdp = cost.latency_ns * 1e-9 * cost.bandwidth_gib_s * (1u64 << 30) as f64;
+    let slots = (bdp / msg_bytes.max(64) as f64).ceil() as usize;
+    slots.clamp(1, COLL_ISSUE_WINDOW)
+}
+
+/// `MPI_ALLTOALL` (windowed pairwise exchange): `sendbuf` holds `size`
+/// blocks of `block` elements; block `i` goes to rank `i`. On multi-node
+/// topologies the slot order is node-aware (intra-node pairs first); in
+/// all cases sends are issued at most [`COLL_ISSUE_WINDOW`] slots (fewer
+/// when the provider's bandwidth-delay product needs less) ahead of the
+/// oldest outstanding receive, so per-rank posted depth is O(window), not
+/// O(ranks).
 pub fn alltoall<T: MpiPrimitive>(
     comm: &Communicator,
     sendbuf: &[T],
@@ -578,6 +665,38 @@ pub fn alltoall<T: MpiPrimitive>(
 ) -> MpiResult<Vec<T>> {
     ft_gate(comm)?;
     let _span = CollSpan::begin(comm, coll_op::ALLTOALL);
+    let node_aware = hier::plan(comm).is_some();
+    let slots = hier::alltoall_slots(comm, node_aware);
+    alltoall_windowed(comm, sendbuf, block, &slots)
+}
+
+/// Flat `MPI_ALLTOALL`: the classic single-pass pairwise schedule,
+/// ignoring the topology (still windowed). Kept public as the
+/// locality-equivalence reference.
+pub fn alltoall_flat<T: MpiPrimitive>(
+    comm: &Communicator,
+    sendbuf: &[T],
+    block: usize,
+) -> MpiResult<Vec<T>> {
+    ft_gate(comm)?;
+    let _span = CollSpan::begin(comm, coll_op::ALLTOALL);
+    let slots = hier::alltoall_slots(comm, false);
+    alltoall_windowed(comm, sendbuf, block, &slots)
+}
+
+/// The windowed pairwise-exchange engine shared by [`alltoall`] and
+/// [`alltoall_flat`]. Before completing the receive at slot `i`, every
+/// send in slots `< i + W` has been issued — so up to `W` exchanges
+/// overlap, and because all ranks walk the same global slot sequence
+/// (see [`hier::alltoall_slots`]) the pipeline cannot deadlock: the send
+/// matching any rank's oldest outstanding receive is at most `W` slots
+/// behind its issuer's own receive frontier.
+fn alltoall_windowed<T: MpiPrimitive>(
+    comm: &Communicator,
+    sendbuf: &[T],
+    block: usize,
+    slots: &[hier::ExchangeSlot],
+) -> MpiResult<Vec<T>> {
     let size = comm.size();
     let rank = comm.rank();
     if sendbuf.len() != block * size {
@@ -587,21 +706,28 @@ pub fn alltoall<T: MpiPrimitive>(
         });
     }
     let tag = comm.next_coll_tag();
+    let w = issue_window(comm, block * T::PREDEFINED.size());
     let mut out = vec![sendbuf[0]; block * size];
     out[rank * block..(rank + 1) * block]
         .copy_from_slice(&sendbuf[rank * block..(rank + 1) * block]);
-    for phase in 1..size {
-        let send_to = (rank + phase) % size;
-        let recv_from = (rank + size - phase) % size;
-        csend(
-            comm,
-            send_to,
-            tag,
-            T::as_bytes(&sendbuf[send_to * block..(send_to + 1) * block]),
-        );
-        let data = crecv(comm, recv_from, tag)?;
-        let dst = &mut out[recv_from * block..(recv_from + 1) * block];
-        T::as_bytes_mut(dst).copy_from_slice(&data);
+    let mut next_send = 0usize;
+    for (i, slot) in slots.iter().enumerate() {
+        while next_send < (i + w).min(slots.len()) {
+            if let Some(to) = slots[next_send].send_to {
+                csend(
+                    comm,
+                    to,
+                    tag,
+                    T::as_bytes(&sendbuf[to * block..(to + 1) * block]),
+                );
+            }
+            next_send += 1;
+        }
+        if let Some(from) = slot.recv_from {
+            let data = crecv(comm, from, tag)?;
+            let dst = &mut out[from * block..(from + 1) * block];
+            T::as_bytes_mut(dst).copy_from_slice(&data);
+        }
     }
     Ok(out)
 }
@@ -723,6 +849,12 @@ pub fn reduce_scatter_block_naive<T: MpiPrimitive>(
 /// Fixed-size `i32` allgather used internally by `comm_split`. Fallible:
 /// over a lossy fabric the exchange can observe a dead peer, and under
 /// `MPI_ERRORS_RETURN` the caller must see that, not a panic.
+///
+/// Bounded-issue by construction: both [`allgather`] algorithms
+/// (recursive doubling and ring) keep at most one send and one receive
+/// outstanding per step, so unlike the old unbounded pairwise alltoall
+/// this never posts O(ranks) requests — the depth-pin test in
+/// `coll_window.rs` holds it to that.
 pub(crate) fn allgather_plain(comm: &Communicator, mine: &[i32]) -> MpiResult<Vec<i32>> {
     allgather(comm, mine)
 }
@@ -1137,6 +1269,31 @@ mod tests {
                 assert_eq!(p, q, "n={n}");
             }
         }
+    }
+
+    #[test]
+    fn issue_window_tracks_the_bandwidth_delay_product() {
+        use litempi_fabric::{ProviderProfile, Topology};
+        let window_on = |profile: ProviderProfile, msg_bytes: usize| -> usize {
+            Universe::run(
+                1,
+                crate::config::BuildConfig::ch4_default(),
+                profile,
+                Topology::single_node(1),
+                move |proc| issue_window(&proc.world(), msg_bytes),
+            )[0]
+        };
+        // Zero-latency fabric: BDP degenerates, full window.
+        assert_eq!(window_on(ProviderProfile::infinite(), 8), COLL_ISSUE_WINDOW);
+        // Small messages on a network provider need many slots to cover
+        // the BDP — clamped at the cap.
+        assert_eq!(window_on(ProviderProfile::ofi(), 8), COLL_ISSUE_WINDOW);
+        // A megabyte block alone covers any calibrated BDP: window 1.
+        assert_eq!(window_on(ProviderProfile::ofi(), 1 << 20), 1);
+        // In between, the window shrinks monotonically with block size.
+        let mid = window_on(ProviderProfile::ofi(), 4096);
+        assert!((1..=COLL_ISSUE_WINDOW).contains(&mid));
+        assert!(mid <= window_on(ProviderProfile::ofi(), 512));
     }
 
     #[test]

@@ -1,0 +1,539 @@
+//! Hierarchical (node-aware) collectives.
+//!
+//! The flat algorithms in [`crate::coll`] treat every peer as equidistant,
+//! but the fabric's [`Topology`](litempi_fabric::Topology) says otherwise:
+//! intra-node traffic rides the shmmod (~250 ns latency in the shm cost
+//! table) while inter-node traffic pays the netmod's microsecond-class
+//! latency. At 1024 ranks spread over dozens of nodes, a flat
+//! recursive-doubling allreduce sends `P·log P` messages across the
+//! network; the leader-based hierarchy here sends `P − N` cheap intra-node
+//! messages plus `N·log N` network messages (`N` = node count) — the
+//! classic MPICH/SMP-aware structure.
+//!
+//! ## Cost model / selection
+//!
+//! [`plan`] keys on the topology's node map. The hierarchy is selected
+//! exactly when `1 < n_nodes < size`: with one node everything is shmmod
+//! traffic and the flat algorithm is already optimal (and must stay
+//! byte- and charge-identical — `plan` returns `None` without charging
+//! anything); with one rank per node there is no intra-node level to
+//! exploit. In between, both levels shrink: the intra-node fan-in/fan-out
+//! replaces `log P` network rounds per member with one shm round-trip,
+//! and the inter-node phase runs on `N ≪ P` leaders.
+//!
+//! ## Determinism
+//!
+//! Every algorithm here folds reduction operands in a fixed order
+//! (ascending member order within a node, binomial child order across
+//! leaders), so repeated runs are bitwise-identical, and the schedule
+//! compiler in [`crate::sched`] emits the same order — nonblocking
+//! hierarchical collectives are bitwise-identical to these blocking ones,
+//! including for floating point. Against the *flat* algorithms the fold
+//! order differs, so equality holds for the commutative-and-exact cases
+//! (integers, bitwise ops, exactly representable floats) — which is what
+//! the equivalence suite pins. All predefined ops are commutative;
+//! user-defined ops are assumed commutative (see [`crate::op`]).
+
+use crate::coll::{crecv, csend, ft_gate, next_pow2_at_least, parent_of, CollSpan};
+use crate::comm::Communicator;
+use crate::error::{MpiError, MpiResult};
+use crate::op::Op;
+use litempi_datatype::{Datatype, MpiPrimitive};
+use litempi_fabric::NetAddr;
+use litempi_trace::event::coll_op;
+
+/// Node-aware execution plan for one communicator, derived from the
+/// fabric topology. Built per collective call (one `O(size)` scan, no
+/// allocation proportional to anything but the communicator size — the
+/// same order as the collective's own argument checking).
+pub(crate) struct HierPlan {
+    /// Communicator ranks on my node, ascending. `members[0]` is the
+    /// node's leader.
+    pub members: Vec<usize>,
+    /// My index in `members`.
+    pub my_slot: usize,
+    /// Leader (lowest communicator rank) of every node, ascending.
+    pub leaders: Vec<usize>,
+    /// My index in `leaders` when I am a leader.
+    pub leader_slot: Option<usize>,
+    /// Communicator rank → its node's leader rank.
+    pub leader_of: Vec<usize>,
+}
+
+impl HierPlan {
+    /// My node's leader.
+    pub fn leader(&self) -> usize {
+        self.members[0]
+    }
+}
+
+/// Build the hierarchical plan, or `None` when the flat algorithms should
+/// run (single node, one rank per node, or a tiny communicator). See the
+/// module docs for the cost-model argument.
+pub(crate) fn plan(comm: &Communicator) -> Option<HierPlan> {
+    let size = comm.size();
+    if size < 3 {
+        return None;
+    }
+    let fabric = comm.proc.endpoint.fabric();
+    let topo = fabric.topology();
+    // One pass: first rank seen on each node becomes that node's leader.
+    let mut leaders: Vec<usize> = Vec::new();
+    let mut node_leaders: Vec<(litempi_fabric::NodeId, usize)> = Vec::new();
+    let mut leader_of: Vec<usize> = Vec::with_capacity(size);
+    for r in 0..size {
+        let nid = topo.node_of(NetAddr(comm.world_rank_of(r) as u32));
+        let l = match node_leaders.iter().find(|(n, _)| *n == nid) {
+            Some(&(_, l)) => l,
+            None => {
+                node_leaders.push((nid, r));
+                leaders.push(r);
+                r
+            }
+        };
+        leader_of.push(l);
+    }
+    let n_nodes = leaders.len();
+    if n_nodes <= 1 || n_nodes >= size {
+        return None;
+    }
+    let me = comm.rank();
+    let my_leader = leader_of[me];
+    let members: Vec<usize> = (0..size).filter(|&r| leader_of[r] == my_leader).collect();
+    let my_slot = members
+        .iter()
+        .position(|&r| r == me)
+        .expect("rank missing from its own node group");
+    let leader_slot = if my_leader == me {
+        Some(
+            leaders
+                .iter()
+                .position(|&l| l == me)
+                .expect("leader missing from leader list"),
+        )
+    } else {
+        None
+    };
+    Some(HierPlan {
+        members,
+        my_slot,
+        leaders,
+        leader_slot,
+        leader_of,
+    })
+}
+
+// ------------------------------------------------------- subset building blocks
+
+/// Binomial-tree reduce over an explicit rank subset to
+/// `ranks[root_idx]`, accumulating into `acc`. Fold order matches the
+/// flat binomial reduce restricted to the subset (child at distance
+/// `2^k` folded at step `k`), which the schedule compiler mirrors.
+#[allow(clippy::too_many_arguments)]
+fn reduce_subset(
+    comm: &Communicator,
+    ranks: &[usize],
+    my_idx: usize,
+    root_idx: usize,
+    op: &Op,
+    ty: &Datatype,
+    acc: &mut [u8],
+    tag: i32,
+) -> MpiResult<()> {
+    let g = ranks.len();
+    let v = (my_idx + g - root_idx) % g;
+    let mut k = 1usize;
+    while k < g {
+        if v & k != 0 {
+            csend(comm, ranks[((v - k) + root_idx) % g], tag, acc);
+            break;
+        } else if v + k < g {
+            let data = crecv(comm, ranks[((v + k) + root_idx) % g], tag)?;
+            op.apply(ty, acc, &data)?;
+        }
+        k <<= 1;
+    }
+    Ok(())
+}
+
+/// Binomial-tree broadcast over an explicit rank subset, rooted at
+/// `ranks[root_idx]`.
+fn bcast_subset(
+    comm: &Communicator,
+    ranks: &[usize],
+    my_idx: usize,
+    root_idx: usize,
+    buf: &mut [u8],
+    tag: i32,
+) -> MpiResult<()> {
+    let g = ranks.len();
+    if g <= 1 {
+        return Ok(());
+    }
+    let v = (my_idx + g - root_idx) % g;
+    if v != 0 {
+        let parent = parent_of(v);
+        let data = crecv(comm, ranks[(parent + root_idx) % g], tag)?;
+        buf.copy_from_slice(&data);
+    }
+    let mut k = next_pow2_at_least(v + 1);
+    while v + k < g {
+        csend(comm, ranks[((v + k) + root_idx) % g], tag, buf);
+        k <<= 1;
+    }
+    Ok(())
+}
+
+// --------------------------------------------------------------- collectives
+
+/// Hierarchical `MPI_BARRIER`: members check in with their node leader,
+/// leaders run a dissemination barrier among themselves, leaders release
+/// their members. `log N + 2` rounds of network-visible latency instead
+/// of `log P`.
+pub(crate) fn barrier(comm: &Communicator, plan: &HierPlan) -> MpiResult<()> {
+    ft_gate(comm)?;
+    let _span = CollSpan::begin(comm, coll_op::BARRIER);
+    let tag = comm.next_coll_tag();
+    if plan.my_slot != 0 {
+        csend(comm, plan.leader(), tag, &[]);
+        crecv(comm, plan.leader(), tag)?;
+        return Ok(());
+    }
+    for &m in &plan.members[1..] {
+        crecv(comm, m, tag)?;
+    }
+    let li = plan.leader_slot.expect("members[0] is the leader");
+    let g = plan.leaders.len();
+    let mut k = 1usize;
+    while k < g {
+        csend(comm, plan.leaders[(li + k) % g], tag, &[]);
+        crecv(comm, plan.leaders[(li + g - k) % g], tag)?;
+        k <<= 1;
+    }
+    for &m in &plan.members[1..] {
+        csend(comm, m, tag, &[]);
+    }
+    Ok(())
+}
+
+/// Hierarchical `MPI_ALLREDUCE`: intra-node fan-in to the leader
+/// (ascending member order), binomial reduce + broadcast across leaders,
+/// intra-node fan-out.
+pub(crate) fn allreduce<T: MpiPrimitive>(
+    comm: &Communicator,
+    plan: &HierPlan,
+    sendbuf: &[T],
+    op: &Op,
+) -> MpiResult<Vec<T>> {
+    ft_gate(comm)?;
+    let _span = CollSpan::begin(comm, coll_op::ALLREDUCE);
+    let tag = comm.next_coll_tag();
+    let ty = T::DATATYPE;
+    let mut acc: Vec<u8> = T::as_bytes(sendbuf).to_vec();
+    if plan.my_slot == 0 {
+        for &m in &plan.members[1..] {
+            let data = crecv(comm, m, tag)?;
+            op.apply(&ty, &mut acc, &data)?;
+        }
+    } else {
+        csend(comm, plan.leader(), tag, &acc);
+    }
+    if let Some(li) = plan.leader_slot {
+        reduce_subset(comm, &plan.leaders, li, 0, op, &ty, &mut acc, tag)?;
+        bcast_subset(comm, &plan.leaders, li, 0, &mut acc, tag)?;
+    }
+    if plan.my_slot == 0 {
+        for &m in &plan.members[1..] {
+            csend(comm, m, tag, &acc);
+        }
+    } else {
+        let data = crecv(comm, plan.leader(), tag)?;
+        acc.clear();
+        acc.extend_from_slice(&data);
+    }
+    let mut out = vec![sendbuf[0]; sendbuf.len()];
+    T::as_bytes_mut(&mut out).copy_from_slice(&acc);
+    Ok(out)
+}
+
+/// Hierarchical `MPI_REDUCE`: intra-node fan-in everywhere, binomial
+/// reduce across leaders rooted at the *root's* node leader, then a final
+/// hand-off to the root if it is not its node's leader.
+pub(crate) fn reduce<T: MpiPrimitive>(
+    comm: &Communicator,
+    plan: &HierPlan,
+    sendbuf: &[T],
+    op: &Op,
+    root: usize,
+) -> MpiResult<Option<Vec<T>>> {
+    ft_gate(comm)?;
+    let _span = CollSpan::begin(comm, coll_op::REDUCE);
+    let size = comm.size();
+    if root >= size {
+        return Err(MpiError::InvalidRank {
+            rank: root as i32,
+            size,
+        });
+    }
+    let tag = comm.next_coll_tag();
+    let ty = T::DATATYPE;
+    let me = comm.rank();
+    let mut acc: Vec<u8> = T::as_bytes(sendbuf).to_vec();
+    if plan.my_slot == 0 {
+        for &m in &plan.members[1..] {
+            let data = crecv(comm, m, tag)?;
+            op.apply(&ty, &mut acc, &data)?;
+        }
+    } else {
+        csend(comm, plan.leader(), tag, &acc);
+    }
+    let root_leader = plan.leader_of[root];
+    if let Some(li) = plan.leader_slot {
+        let root_slot = plan
+            .leaders
+            .iter()
+            .position(|&l| l == root_leader)
+            .expect("root's leader is a leader");
+        reduce_subset(comm, &plan.leaders, li, root_slot, op, &ty, &mut acc, tag)?;
+    }
+    if root != root_leader {
+        if me == root_leader {
+            csend(comm, root, tag, &acc);
+        } else if me == root {
+            let data = crecv(comm, root_leader, tag)?;
+            acc.clear();
+            acc.extend_from_slice(&data);
+        }
+    }
+    if me == root {
+        let mut out = vec![sendbuf[0]; sendbuf.len()];
+        T::as_bytes_mut(&mut out).copy_from_slice(&acc);
+        Ok(Some(out))
+    } else {
+        Ok(None)
+    }
+}
+
+/// Hierarchical `MPI_BCAST`: root hands its payload to its node leader,
+/// leaders run a binomial broadcast among themselves, each leader fans
+/// out to its members (skipping the root, which already has the data).
+pub(crate) fn bcast<T: MpiPrimitive>(
+    comm: &Communicator,
+    plan: &HierPlan,
+    buf: &mut [T],
+    root: usize,
+) -> MpiResult<()> {
+    ft_gate(comm)?;
+    let _span = CollSpan::begin(comm, coll_op::BCAST);
+    let size = comm.size();
+    if root >= size {
+        return Err(MpiError::InvalidRank {
+            rank: root as i32,
+            size,
+        });
+    }
+    let tag = comm.next_coll_tag();
+    let me = comm.rank();
+    let root_leader = plan.leader_of[root];
+    if root != root_leader {
+        if me == root {
+            csend(comm, root_leader, tag, T::as_bytes(buf));
+        } else if me == root_leader {
+            let data = crecv(comm, root, tag)?;
+            T::as_bytes_mut(buf).copy_from_slice(&data);
+        }
+    }
+    if let Some(li) = plan.leader_slot {
+        let root_slot = plan
+            .leaders
+            .iter()
+            .position(|&l| l == root_leader)
+            .expect("root's leader is a leader");
+        bcast_subset(
+            comm,
+            &plan.leaders,
+            li,
+            root_slot,
+            T::as_bytes_mut(buf),
+            tag,
+        )?;
+    }
+    if plan.my_slot == 0 {
+        for &m in plan.members[1..].iter().filter(|&&m| m != root) {
+            csend(comm, m, tag, T::as_bytes(buf));
+        }
+    } else if me != root {
+        let data = crecv(comm, plan.leader(), tag)?;
+        T::as_bytes_mut(buf).copy_from_slice(&data);
+    }
+    Ok(())
+}
+
+// ------------------------------------------------- windowed pairwise exchange
+
+/// One step of the windowed pairwise exchange: at most one send and one
+/// receive partner (communicator ranks).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ExchangeSlot {
+    pub send_to: Option<usize>,
+    pub recv_from: Option<usize>,
+}
+
+/// The pairwise-exchange slot sequence for this rank's alltoall.
+///
+/// Flat: one pass over offsets `1..size` — send to `rank+p`, receive from
+/// `rank−p` — exactly the classic pairwise schedule.
+///
+/// Node-aware (`node_aware = true`): two passes over the same offsets,
+/// intra-node pairs first, then inter-node pairs. The skip test is
+/// `same_node` on the *pair*, which both endpoints evaluate identically,
+/// so every rank walks the same global `(pass, offset)` sequence and the
+/// windowed pipeline in the callers cannot deadlock: the send for slot
+/// position `t` is issued once its sender has completed receives through
+/// position `t − W`, which induction over `t` shows always happens.
+/// Slots empty for this rank are dropped — that only *advances* its sends
+/// relative to the global schedule, which is always safe for
+/// fire-and-forget sends. The message set is identical to the flat
+/// schedule (each pair exchanges exactly once), so results and injection
+/// charges are unchanged; only the order puts cheap shmmod traffic first.
+pub(crate) fn alltoall_slots(comm: &Communicator, node_aware: bool) -> Vec<ExchangeSlot> {
+    let size = comm.size();
+    let rank = comm.rank();
+    if !node_aware {
+        return (1..size)
+            .map(|p| ExchangeSlot {
+                send_to: Some((rank + p) % size),
+                recv_from: Some((rank + size - p) % size),
+            })
+            .collect();
+    }
+    let fabric = comm.proc.endpoint.fabric();
+    let topo = fabric.topology();
+    let addr = |r: usize| NetAddr(comm.world_rank_of(r) as u32);
+    let my_addr = addr(rank);
+    let mut slots = Vec::with_capacity(size.saturating_sub(1));
+    for local_pass in [true, false] {
+        for p in 1..size {
+            let to = (rank + p) % size;
+            let from = (rank + size - p) % size;
+            let send_to = (topo.same_node(my_addr, addr(to)) == local_pass).then_some(to);
+            let recv_from = (topo.same_node(my_addr, addr(from)) == local_pass).then_some(from);
+            if send_to.is_some() || recv_from.is_some() {
+                slots.push(ExchangeSlot { send_to, recv_from });
+            }
+        }
+    }
+    slots
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::Universe;
+    use litempi_fabric::{NodeId, ProviderProfile, Topology};
+
+    fn run_on<T: Send>(
+        n: usize,
+        topo: Topology,
+        f: impl Fn(crate::process::Process) -> T + Send + Sync,
+    ) -> Vec<T> {
+        Universe::run(
+            n,
+            crate::config::BuildConfig::ch4_default(),
+            ProviderProfile::infinite(),
+            topo,
+            f,
+        )
+    }
+
+    #[test]
+    fn plan_is_none_on_single_node_and_one_per_node() {
+        let out = run_on(4, Topology::single_node(4), |proc| {
+            plan(&proc.world()).is_none()
+        });
+        assert!(out.iter().all(|&flat| flat));
+        let out = run_on(4, Topology::one_per_node(4), |proc| {
+            plan(&proc.world()).is_none()
+        });
+        assert!(out.iter().all(|&flat| flat));
+    }
+
+    #[test]
+    fn plan_groups_blocked_topology() {
+        let out = run_on(6, Topology::blocked(6, 2), |proc| {
+            let world = proc.world();
+            let p = plan(&world).expect("3 nodes x 2 ranks is hierarchical");
+            (
+                p.members.clone(),
+                p.my_slot,
+                p.leaders.clone(),
+                p.leader_slot,
+                p.leader_of.clone(),
+            )
+        });
+        for (r, (members, my_slot, leaders, leader_slot, leader_of)) in out.iter().enumerate() {
+            let node = r / 2;
+            assert_eq!(members, &vec![2 * node, 2 * node + 1], "rank {r}");
+            assert_eq!(*my_slot, r % 2);
+            assert_eq!(leaders, &vec![0, 2, 4]);
+            assert_eq!(*leader_slot, (r % 2 == 0).then_some(node));
+            assert_eq!(leader_of, &vec![0, 0, 2, 2, 4, 4]);
+        }
+    }
+
+    #[test]
+    fn plan_handles_irregular_placement() {
+        // Nodes interleaved: {0, 2} on node 7, {1, 3} on node 9.
+        let topo = Topology::from_nodes(vec![NodeId(7), NodeId(9), NodeId(7), NodeId(9)]);
+        let out = run_on(4, topo, |proc| {
+            let p = plan(&proc.world()).expect("2 nodes x 2 ranks");
+            (p.members.clone(), p.leaders.clone(), p.leader())
+        });
+        assert_eq!(out[0].0, vec![0, 2]);
+        assert_eq!(out[1].0, vec![1, 3]);
+        assert_eq!(out[2].2, 0);
+        assert_eq!(out[3].2, 1);
+        assert!(out.iter().all(|(_, leaders, _)| leaders == &vec![0, 1]));
+    }
+
+    #[test]
+    fn alltoall_slots_cover_every_pair_once() {
+        for node_aware in [false, true] {
+            let out = run_on(6, Topology::blocked(6, 3), move |proc| {
+                alltoall_slots(&proc.world(), node_aware)
+            });
+            for (r, slots) in out.iter().enumerate() {
+                let mut sends: Vec<usize> = slots.iter().filter_map(|s| s.send_to).collect();
+                let mut recvs: Vec<usize> = slots.iter().filter_map(|s| s.recv_from).collect();
+                sends.sort_unstable();
+                recvs.sort_unstable();
+                let expect: Vec<usize> = (0..6).filter(|&q| q != r).collect();
+                assert_eq!(sends, expect, "rank {r} sends");
+                assert_eq!(recvs, expect, "rank {r} recvs");
+            }
+        }
+    }
+
+    #[test]
+    fn node_aware_slots_put_local_pairs_first() {
+        let out = run_on(6, Topology::blocked(6, 3), |proc| {
+            let world = proc.world();
+            let rank = world.rank();
+            let local: Vec<bool> = alltoall_slots(&world, true)
+                .iter()
+                .filter_map(|s| s.send_to)
+                .map(|q| q / 3 == rank / 3)
+                .collect();
+            local
+        });
+        for (r, locals) in out.iter().enumerate() {
+            // Once the first remote send appears, no local sends follow.
+            let first_remote = locals.iter().position(|&l| !l).unwrap();
+            assert!(
+                locals[first_remote..].iter().all(|&l| !l),
+                "rank {r}: local sends after remote ones: {locals:?}"
+            );
+            assert_eq!(locals.iter().filter(|&&l| l).count(), 2, "rank {r}");
+        }
+    }
+}

@@ -46,6 +46,7 @@ pub mod error;
 pub mod ext;
 pub mod ft;
 pub mod group;
+pub(crate) mod hier;
 pub mod info;
 pub mod intercomm;
 pub mod match_bits;

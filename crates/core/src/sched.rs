@@ -557,36 +557,42 @@ fn begin_request<T>(
     })
 }
 
-/// `MPI_IBARRIER`: nonblocking dissemination barrier.
+/// `MPI_IBARRIER`: nonblocking barrier — hierarchical phases on
+/// multi-node topologies, dissemination otherwise.
 pub fn ibarrier(comm: &Communicator) -> MpiResult<CollRequest<()>> {
     let size = comm.size();
     let rank = comm.rank();
     let mut s = Schedule::base(comm, coll_op::BARRIER);
     if size > 1 {
         let tag = comm.next_coll_tag();
-        let mut k = 1usize;
-        while k < size {
-            s.phases.push(vec![
-                Vertex::Send {
-                    peer: (rank + k) % size,
-                    tag,
-                    src: None,
-                },
-                Vertex::Recv {
-                    peer: (rank + size - k) % size,
-                    tag,
-                    dst: None,
-                },
-            ]);
-            k <<= 1;
+        if let Some(plan) = crate::hier::plan(comm) {
+            push_hier_barrier(&mut s, &plan, tag);
+        } else {
+            let mut k = 1usize;
+            while k < size {
+                s.phases.push(vec![
+                    Vertex::Send {
+                        peer: (rank + k) % size,
+                        tag,
+                        src: None,
+                    },
+                    Vertex::Recv {
+                        peer: (rank + size - k) % size,
+                        tag,
+                        dst: None,
+                    },
+                ]);
+                k <<= 1;
+            }
         }
     }
     begin_request(comm, s, |_, _| ())
 }
 
-/// `MPI_IBCAST` (binomial tree): every rank receives the root's buffer.
-/// Takes the payload by shared slice and returns the broadcast data, so
-/// non-root ranks pass their (same-length) staging buffer.
+/// `MPI_IBCAST`: every rank receives the root's buffer — hierarchical
+/// phases on multi-node topologies, binomial tree otherwise. Takes the
+/// payload by shared slice and returns the broadcast data, so non-root
+/// ranks pass their (same-length) staging buffer.
 pub fn ibcast<T: MpiPrimitive>(
     comm: &Communicator,
     buf: &[T],
@@ -605,35 +611,40 @@ pub fn ibcast<T: MpiPrimitive>(
     let n = s.acc.len();
     if size > 1 {
         let tag = comm.next_coll_tag();
-        let full = Span::acc(0, n);
-        let vrank = (rank + size - root) % size;
-        if vrank != 0 {
-            let parent = crate::coll::parent_of(vrank);
-            s.phases.push(vec![Vertex::Recv {
-                peer: (parent + root) % size,
-                tag,
-                dst: Some(full),
-            }]);
-        }
-        let mut sends = Vec::new();
-        let mut k = crate::coll::next_pow2_at_least(vrank + 1);
-        while vrank + k < size {
-            sends.push(Vertex::Send {
-                peer: (vrank + k + root) % size,
-                tag,
-                src: Some(full),
-            });
-            k <<= 1;
-        }
-        if !sends.is_empty() {
-            s.phases.push(sends);
+        if let Some(plan) = crate::hier::plan(comm) {
+            push_hier_bcast(&mut s, &plan, root, tag, n, rank);
+        } else {
+            let full = Span::acc(0, n);
+            let vrank = (rank + size - root) % size;
+            if vrank != 0 {
+                let parent = crate::coll::parent_of(vrank);
+                s.phases.push(vec![Vertex::Recv {
+                    peer: (parent + root) % size,
+                    tag,
+                    dst: Some(full),
+                }]);
+            }
+            let mut sends = Vec::new();
+            let mut k = crate::coll::next_pow2_at_least(vrank + 1);
+            while vrank + k < size {
+                sends.push(Vertex::Send {
+                    peer: (vrank + k + root) % size,
+                    tag,
+                    src: Some(full),
+                });
+                k <<= 1;
+            }
+            if !sends.is_empty() {
+                s.phases.push(sends);
+            }
         }
     }
     begin_request(comm, s, |acc, _| bytes_to_vec::<T>(&acc))
 }
 
-/// `MPI_IREDUCE` (binomial tree): the root's output resolves to
-/// `Some(result)`, everyone else's to `None`.
+/// `MPI_IREDUCE`: the root's output resolves to `Some(result)`, everyone
+/// else's to `None` — hierarchical phases on multi-node topologies,
+/// binomial tree otherwise.
 pub fn ireduce<T: MpiPrimitive>(
     comm: &Communicator,
     sendbuf: &[T],
@@ -648,14 +659,45 @@ pub fn ireduce<T: MpiPrimitive>(
         });
     }
     let rank = comm.rank();
+    let plan = crate::hier::plan(comm);
     let mut s = Schedule::base(comm, coll_op::REDUCE);
     let tag = comm.next_coll_tag();
     s.acc = T::as_bytes(sendbuf).to_vec();
     let n = s.acc.len();
-    s.tmp = vec![0u8; n];
+    s.tmp = vec![0u8; n * plan.as_ref().map_or(1, |p| (p.members.len() - 1).max(1))];
     s.op = Some((op.clone(), T::DATATYPE));
     s.produce_output = rank == root;
-    push_binomial_reduce(&mut s, size, (rank + size - root) % size, root, tag, n);
+    if let Some(plan) = &plan {
+        push_hier_fan_in(&mut s, plan, tag, n);
+        let root_leader = plan.leader_of[root];
+        if let Some(li) = plan.leader_slot {
+            let root_slot = plan
+                .leaders
+                .iter()
+                .position(|&l| l == root_leader)
+                .expect("root's leader is a leader");
+            push_subset_reduce(&mut s, &plan.leaders, li, root_slot, tag, n);
+        }
+        // Hand the finished reduction from the root's node leader to the
+        // root itself when they differ.
+        if root != root_leader {
+            if rank == root_leader {
+                s.phases.push(vec![Vertex::Send {
+                    peer: root,
+                    tag,
+                    src: Some(Span::acc(0, n)),
+                }]);
+            } else if rank == root {
+                s.phases.push(vec![Vertex::Recv {
+                    peer: root_leader,
+                    tag,
+                    dst: Some(Span::acc(0, n)),
+                }]);
+            }
+        }
+    } else {
+        push_binomial_reduce(&mut s, size, (rank + size - root) % size, root, tag, n);
+    }
     begin_request(comm, s, |acc, produced| {
         produced.then(|| bytes_to_vec::<T>(&acc))
     })
@@ -696,8 +738,267 @@ fn push_binomial_reduce(
     }
 }
 
-/// `MPI_IALLREDUCE`: recursive doubling for power-of-two sizes, otherwise
-/// the blocking path's reduce-to-zero + binomial-broadcast composition.
+/// Intra-node fan-in phases of a hierarchical reduction: members send
+/// their accumulator to the node leader; the leader receives all of them
+/// in parallel (into per-member `tmp` slots — the caller sizes `tmp` to
+/// `(members - 1) * n`) and then folds them in ascending member order.
+/// The fold order matches the blocking fan-in in `hier`, so floats are
+/// bitwise-identical across the blocking and nonblocking paths.
+fn push_hier_fan_in(s: &mut Schedule, plan: &crate::hier::HierPlan, tag: i32, n: usize) {
+    let acc = Span::acc(0, n);
+    if plan.my_slot != 0 {
+        s.phases.push(vec![Vertex::Send {
+            peer: plan.leader(),
+            tag,
+            src: Some(acc),
+        }]);
+        return;
+    }
+    let m = plan.members.len() - 1;
+    if m == 0 {
+        return;
+    }
+    s.phases.push(
+        (0..m)
+            .map(|j| Vertex::Recv {
+                peer: plan.members[j + 1],
+                tag,
+                dst: Some(Span::tmp(j * n, n)),
+            })
+            .collect(),
+    );
+    s.phases.push(
+        (0..m)
+            .map(|j| Vertex::Reduce {
+                src: Span::tmp(j * n, n),
+                dst: acc,
+            })
+            .collect(),
+    );
+}
+
+/// Intra-node fan-out phases: the leader pushes the finished accumulator
+/// to its members.
+fn push_hier_fan_out(s: &mut Schedule, plan: &crate::hier::HierPlan, tag: i32, n: usize) {
+    let acc = Span::acc(0, n);
+    if plan.my_slot == 0 {
+        if plan.members.len() > 1 {
+            s.phases.push(
+                plan.members[1..]
+                    .iter()
+                    .map(|&m| Vertex::Send {
+                        peer: m,
+                        tag,
+                        src: Some(acc),
+                    })
+                    .collect(),
+            );
+        }
+    } else {
+        s.phases.push(vec![Vertex::Recv {
+            peer: plan.leader(),
+            tag,
+            dst: Some(acc),
+        }]);
+    }
+}
+
+/// Binomial reduce phases over an explicit rank subset (the node
+/// leaders), rooted at `ranks[root_idx]` — the schedule twin of
+/// `hier`'s `reduce_subset`, same fold order.
+fn push_subset_reduce(
+    s: &mut Schedule,
+    ranks: &[usize],
+    my_idx: usize,
+    root_idx: usize,
+    tag: i32,
+    n: usize,
+) {
+    let g = ranks.len();
+    let acc = Span::acc(0, n);
+    let tmp = Span::tmp(0, n);
+    let v = (my_idx + g - root_idx) % g;
+    let mut k = 1usize;
+    while k < g {
+        if v & k != 0 {
+            s.phases.push(vec![Vertex::Send {
+                peer: ranks[((v - k) + root_idx) % g],
+                tag,
+                src: Some(acc),
+            }]);
+            break;
+        } else if v + k < g {
+            s.phases.push(vec![Vertex::Recv {
+                peer: ranks[((v + k) + root_idx) % g],
+                tag,
+                dst: Some(tmp),
+            }]);
+            s.phases.push(vec![Vertex::Reduce { src: tmp, dst: acc }]);
+        }
+        k <<= 1;
+    }
+}
+
+/// Binomial broadcast phases over an explicit rank subset, rooted at
+/// `ranks[root_idx]` — the schedule twin of `hier`'s `bcast_subset`.
+fn push_subset_bcast(
+    s: &mut Schedule,
+    ranks: &[usize],
+    my_idx: usize,
+    root_idx: usize,
+    tag: i32,
+    n: usize,
+) {
+    let g = ranks.len();
+    if g <= 1 {
+        return;
+    }
+    let full = Span::acc(0, n);
+    let v = (my_idx + g - root_idx) % g;
+    if v != 0 {
+        s.phases.push(vec![Vertex::Recv {
+            peer: ranks[(crate::coll::parent_of(v) + root_idx) % g],
+            tag,
+            dst: Some(full),
+        }]);
+    }
+    let mut sends = Vec::new();
+    let mut k = crate::coll::next_pow2_at_least(v + 1);
+    while v + k < g {
+        sends.push(Vertex::Send {
+            peer: ranks[((v + k) + root_idx) % g],
+            tag,
+            src: Some(full),
+        });
+        k <<= 1;
+    }
+    if !sends.is_empty() {
+        s.phases.push(sends);
+    }
+}
+
+/// Hierarchical `MPI_IBARRIER` phases: members check in with their node
+/// leader, leaders run a dissemination barrier, leaders release members.
+fn push_hier_barrier(s: &mut Schedule, plan: &crate::hier::HierPlan, tag: i32) {
+    let leader = plan.leader();
+    if plan.my_slot != 0 {
+        s.phases.push(vec![Vertex::Send {
+            peer: leader,
+            tag,
+            src: None,
+        }]);
+        s.phases.push(vec![Vertex::Recv {
+            peer: leader,
+            tag,
+            dst: None,
+        }]);
+        return;
+    }
+    if plan.members.len() > 1 {
+        s.phases.push(
+            plan.members[1..]
+                .iter()
+                .map(|&m| Vertex::Recv {
+                    peer: m,
+                    tag,
+                    dst: None,
+                })
+                .collect(),
+        );
+    }
+    let li = plan.leader_slot.expect("members[0] is the leader");
+    let g = plan.leaders.len();
+    let mut k = 1usize;
+    while k < g {
+        s.phases.push(vec![
+            Vertex::Send {
+                peer: plan.leaders[(li + k) % g],
+                tag,
+                src: None,
+            },
+            Vertex::Recv {
+                peer: plan.leaders[(li + g - k) % g],
+                tag,
+                dst: None,
+            },
+        ]);
+        k <<= 1;
+    }
+    if plan.members.len() > 1 {
+        s.phases.push(
+            plan.members[1..]
+                .iter()
+                .map(|&m| Vertex::Send {
+                    peer: m,
+                    tag,
+                    src: None,
+                })
+                .collect(),
+        );
+    }
+}
+
+/// Hierarchical `MPI_IBCAST` phases: root hands off to its node leader,
+/// leaders run a binomial broadcast, leaders fan out to members (the root
+/// already holds the payload and is skipped).
+fn push_hier_bcast(
+    s: &mut Schedule,
+    plan: &crate::hier::HierPlan,
+    root: usize,
+    tag: i32,
+    n: usize,
+    me: usize,
+) {
+    let full = Span::acc(0, n);
+    let root_leader = plan.leader_of[root];
+    if root != root_leader {
+        if me == root {
+            s.phases.push(vec![Vertex::Send {
+                peer: root_leader,
+                tag,
+                src: Some(full),
+            }]);
+        } else if me == root_leader {
+            s.phases.push(vec![Vertex::Recv {
+                peer: root,
+                tag,
+                dst: Some(full),
+            }]);
+        }
+    }
+    if let Some(li) = plan.leader_slot {
+        let root_slot = plan
+            .leaders
+            .iter()
+            .position(|&l| l == root_leader)
+            .expect("root's leader is a leader");
+        push_subset_bcast(s, &plan.leaders, li, root_slot, tag, n);
+    }
+    if plan.my_slot == 0 {
+        let sends: Vec<Vertex> = plan.members[1..]
+            .iter()
+            .filter(|&&m| m != root)
+            .map(|&m| Vertex::Send {
+                peer: m,
+                tag,
+                src: Some(full),
+            })
+            .collect();
+        if !sends.is_empty() {
+            s.phases.push(sends);
+        }
+    } else if me != root {
+        s.phases.push(vec![Vertex::Recv {
+            peer: plan.leader(),
+            tag,
+            dst: Some(full),
+        }]);
+    }
+}
+
+/// `MPI_IALLREDUCE`: hierarchical phases on multi-node topologies;
+/// otherwise recursive doubling for power-of-two sizes or the blocking
+/// path's reduce-to-zero + binomial-broadcast composition.
 pub fn iallreduce<T: MpiPrimitive>(
     comm: &Communicator,
     sendbuf: &[T],
@@ -705,14 +1006,25 @@ pub fn iallreduce<T: MpiPrimitive>(
 ) -> MpiResult<CollRequest<Vec<T>>> {
     let size = comm.size();
     let rank = comm.rank();
+    let plan = crate::hier::plan(comm);
     let mut s = Schedule::base(comm, coll_op::ALLREDUCE);
     s.acc = T::as_bytes(sendbuf).to_vec();
     let n = s.acc.len();
-    s.tmp = vec![0u8; n];
+    // The hierarchical fan-in receives all node members in parallel, one
+    // tmp slot each; every other shape needs a single slot.
+    s.tmp = vec![0u8; n * plan.as_ref().map_or(1, |p| (p.members.len() - 1).max(1))];
     s.op = Some((op.clone(), T::DATATYPE));
     let acc = Span::acc(0, n);
     let tmp = Span::tmp(0, n);
-    if size.is_power_of_two() && size > 1 {
+    if let Some(plan) = &plan {
+        let tag = comm.next_coll_tag();
+        push_hier_fan_in(&mut s, plan, tag, n);
+        if let Some(li) = plan.leader_slot {
+            push_subset_reduce(&mut s, &plan.leaders, li, 0, tag, n);
+            push_subset_bcast(&mut s, &plan.leaders, li, 0, tag, n);
+        }
+        push_hier_fan_out(&mut s, plan, tag, n);
+    } else if size.is_power_of_two() && size > 1 {
         let tag = comm.next_coll_tag();
         let mut k = 1usize;
         while k < size {
@@ -821,9 +1133,15 @@ pub fn iallgather<T: MpiPrimitive>(
     begin_request(comm, s, |acc, _| bytes_to_vec::<T>(&acc))
 }
 
-/// `MPI_IALLTOALL` (pairwise exchange compiled into one wide phase —
-/// every exchange is independent, so the DAG exposes full parallelism
-/// while delivering the same blocks as the blocking loop).
+/// `MPI_IALLTOALL` (windowed pairwise exchange): the slot sequence —
+/// node-aware on multi-node topologies, classic pairwise otherwise — is
+/// chunked into phases of at most the cost-model issue window, so a rank
+/// never has more than O(window) sends and receives posted at once. The
+/// old compiler emitted one wide phase with all `N − 1` exchanges, which
+/// at 1024 ranks meant 1023 posted requests per rank and an O(ranks)
+/// matching queue at every receiver. Phase barriers are the windowing
+/// mechanism: every rank walks the same global slot order, so phase `q`'s
+/// receives match sends issued no later than their sender's phase `q`.
 pub fn ialltoall<T: MpiPrimitive>(
     comm: &Communicator,
     sendbuf: &[T],
@@ -842,25 +1160,35 @@ pub fn ialltoall<T: MpiPrimitive>(
     let blockb = block * T::PREDEFINED.size();
     s.input = T::as_bytes(sendbuf).to_vec();
     s.acc = vec![0u8; blockb * size];
+    let node_aware = crate::hier::plan(comm).is_some();
+    let slots = crate::hier::alltoall_slots(comm, node_aware);
+    let w = crate::coll::issue_window(comm, blockb);
     let mut phase = vec![Vertex::Copy {
         src: Span::input(rank * blockb, blockb),
         dst: Span::acc(rank * blockb, blockb),
     }];
-    for p in 1..size {
-        let send_to = (rank + p) % size;
-        let recv_from = (rank + size - p) % size;
-        phase.push(Vertex::Send {
-            peer: send_to,
-            tag,
-            src: Some(Span::input(send_to * blockb, blockb)),
-        });
-        phase.push(Vertex::Recv {
-            peer: recv_from,
-            tag,
-            dst: Some(Span::acc(recv_from * blockb, blockb)),
-        });
+    for (i, slot) in slots.iter().enumerate() {
+        if let Some(to) = slot.send_to {
+            phase.push(Vertex::Send {
+                peer: to,
+                tag,
+                src: Some(Span::input(to * blockb, blockb)),
+            });
+        }
+        if let Some(from) = slot.recv_from {
+            phase.push(Vertex::Recv {
+                peer: from,
+                tag,
+                dst: Some(Span::acc(from * blockb, blockb)),
+            });
+        }
+        if (i + 1) % w == 0 && !phase.is_empty() {
+            s.phases.push(std::mem::take(&mut phase));
+        }
     }
-    s.phases.push(phase);
+    if !phase.is_empty() {
+        s.phases.push(phase);
+    }
     begin_request(comm, s, |acc, _| bytes_to_vec::<T>(&acc))
 }
 

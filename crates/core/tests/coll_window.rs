@@ -1,0 +1,136 @@
+//! Bounded-issue pins for the windowed collectives.
+//!
+//! The old pairwise alltoall posted all `N − 1` exchanges up front: at
+//! `N` ranks that is an O(ranks) posted-receive queue at every endpoint
+//! and O(ranks) in-flight sends per rank. The windowed issue path caps
+//! both at the cost-model window (≤ `COLL_ISSUE_WINDOW`). These tests pin
+//! the cap through `EndpointStats::max_posted_depth` — with a regression
+//! margin far below the old `N − 1` behaviour — and verify the results
+//! are still full transposes.
+
+use litempi_core::coll::COLL_ISSUE_WINDOW;
+use litempi_core::{BuildConfig, Universe};
+use litempi_fabric::{ProviderProfile, Topology};
+
+/// Slack over the window: a concurrent teardown-barrier receive or a
+/// straggling prior-phase post may overlap the alltoall's own postings.
+const DEPTH_SLACK: u64 = 4;
+
+#[test]
+fn ialltoall_posted_depth_is_pinned_to_the_window() {
+    // 48 ranks: the unbounded compiler posted 47 receives per rank in one
+    // phase. The windowed compiler must stay at O(window).
+    let n = 48;
+    let depths = Universe::run(
+        n,
+        BuildConfig::ch4_default(),
+        ProviderProfile::infinite(),
+        Topology::single_node(n),
+        |proc| {
+            let world = proc.world();
+            let rank = world.rank();
+            let send: Vec<i32> = (0..n as i32).map(|j| rank as i32 * 100 + j).collect();
+            let out = world.ialltoall(&send, 1).unwrap().wait().unwrap();
+            let expect: Vec<i32> = (0..n as i32).map(|j| j * 100 + rank as i32).collect();
+            assert_eq!(out, expect, "rank {rank} transpose");
+            proc.comm_stats().max_posted_depth
+        },
+    );
+    let cap = COLL_ISSUE_WINDOW as u64 + DEPTH_SLACK;
+    for (r, d) in depths.iter().enumerate() {
+        assert!(
+            *d <= cap,
+            "rank {r}: posted depth {d} exceeds window cap {cap}"
+        );
+        assert!(
+            *d < (n - 1) as u64,
+            "rank {r}: posted depth {d} regressed to the unbounded O(ranks) behaviour"
+        );
+    }
+}
+
+#[test]
+fn blocking_alltoall_posted_depth_stays_o1() {
+    // The blocking engine posts one receive at a time regardless of the
+    // send window, so its posted depth is O(1) even at 48 ranks.
+    let n = 48;
+    let depths = Universe::run(
+        n,
+        BuildConfig::ch4_default(),
+        ProviderProfile::infinite(),
+        Topology::single_node(n),
+        |proc| {
+            let world = proc.world();
+            let rank = world.rank();
+            let send: Vec<i32> = (0..n as i32).map(|j| rank as i32 * 100 + j).collect();
+            let out = world.alltoall(&send, 1).unwrap();
+            let expect: Vec<i32> = (0..n as i32).map(|j| j * 100 + rank as i32).collect();
+            assert_eq!(out, expect, "rank {rank} transpose");
+            proc.comm_stats().max_posted_depth
+        },
+    );
+    for (r, d) in depths.iter().enumerate() {
+        assert!(*d <= DEPTH_SLACK, "rank {r}: blocking depth {d} not O(1)");
+    }
+}
+
+#[test]
+fn comm_split_allgather_is_bounded_issue() {
+    // `comm_split`'s internal allgather_plain delegates to the RD/ring
+    // allgather, which keeps one exchange outstanding per step — the
+    // depth pin documents that it never regresses to unbounded posting.
+    let n = 48;
+    let depths = Universe::run(
+        n,
+        BuildConfig::ch4_default(),
+        ProviderProfile::infinite(),
+        Topology::single_node(n),
+        |proc| {
+            let world = proc.world();
+            let sub = world
+                .split((world.rank() % 3) as i32, world.rank() as i32)
+                .unwrap()
+                .unwrap();
+            assert_eq!(sub.size(), n / 3);
+            proc.comm_stats().max_posted_depth
+        },
+    );
+    for (r, d) in depths.iter().enumerate() {
+        assert!(*d <= DEPTH_SLACK, "rank {r}: split depth {d} not O(1)");
+    }
+}
+
+#[test]
+fn windowed_alltoall_handles_awkward_sizes_and_blocks() {
+    // Sizes straddling the window boundary (w-1, w, w+1, 2w+3) and
+    // multi-element blocks: the windowed engine must stay a transpose.
+    for n in [
+        COLL_ISSUE_WINDOW - 1,
+        COLL_ISSUE_WINDOW,
+        COLL_ISSUE_WINDOW + 1,
+        2 * COLL_ISSUE_WINDOW + 3,
+    ] {
+        Universe::run(
+            n,
+            BuildConfig::ch4_default(),
+            ProviderProfile::infinite(),
+            Topology::single_node(n),
+            move |proc| {
+                let world = proc.world();
+                let rank = world.rank();
+                let block = 3;
+                let send: Vec<i64> = (0..n * block).map(|j| (rank * 10_000 + j) as i64).collect();
+                let out = world.alltoall(&send, block).unwrap();
+                for src in 0..n {
+                    for e in 0..block {
+                        assert_eq!(
+                            out[src * block + e],
+                            (src * 10_000 + rank * block + e) as i64,
+                            "n={n} rank={rank} src={src}"
+                        );
+                    }
+                }
+            },
+        );
+    }
+}

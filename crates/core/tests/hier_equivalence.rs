@@ -1,0 +1,234 @@
+//! Hierarchical-vs-flat collective equivalence.
+//!
+//! The node-aware collectives (`hier` module) must produce byte-identical
+//! results to the flat reference algorithms on every topology, for the
+//! blocking AND the schedule-compiled (NBC) paths — under clean fabrics,
+//! jittered fabrics, and lossy chaos fabrics alike. Reduction data is
+//! exact (integers, and floats holding small integers, whose sums are
+//! exactly representable), so fold-order differences between the flat and
+//! hierarchical trees cannot excuse a byte difference.
+//!
+//! Blocking-vs-NBC comparisons additionally hold for *inexact* float
+//! data: the schedule compiler mirrors the blocking hierarchy's fold
+//! order (ascending members, then binomial leaders), so those two paths
+//! are bitwise-identical even when arithmetic rounds.
+
+use litempi_core::coll;
+use litempi_core::{BuildConfig, Op, Process, Universe};
+use litempi_fabric::{FaultPlan, FaultSpec, NodeId, ProviderProfile, Topology};
+use proptest::prelude::*;
+
+/// One full sweep: every hierarchical collective against its flat
+/// reference, then every NBC against its blocking twin.
+fn check_hier_vs_flat(proc: &Process, len: usize) {
+    let world = proc.world();
+    let n = world.size();
+    let rank = world.rank();
+    let ints: Vec<i64> = (0..len as i64).map(|i| rank as i64 * 131 + i * 7).collect();
+    // Small integers in f64: sums across <= a few hundred ranks are exact,
+    // so flat and hierarchical fold orders must agree bitwise.
+    let floats: Vec<f64> = ints.iter().map(|&v| v as f64).collect();
+
+    // --- allreduce ---
+    let hier = world.allreduce(&ints, &Op::Sum).unwrap();
+    let flat = coll::allreduce_flat(&world, &ints, &Op::Sum).unwrap();
+    assert_eq!(hier, flat, "allreduce i64 diverged");
+    let hier_f = world.allreduce(&floats, &Op::Sum).unwrap();
+    let flat_f = coll::allreduce_flat(&world, &floats, &Op::Sum).unwrap();
+    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    assert_eq!(bits(&hier_f), bits(&flat_f), "allreduce f64 diverged");
+    for op in [Op::Min, Op::Max, Op::Band, Op::Bxor] {
+        let hier = world.allreduce(&ints, &op).unwrap();
+        let flat = coll::allreduce_flat(&world, &ints, &op).unwrap();
+        assert_eq!(hier, flat, "allreduce {op:?} diverged");
+    }
+
+    // --- reduce, at three roots ---
+    for root in [0, n / 2, n - 1] {
+        let hier = world.reduce(&ints, &Op::Sum, root).unwrap();
+        let flat = coll::reduce_flat(&world, &ints, &Op::Sum, root).unwrap();
+        assert_eq!(hier, flat, "reduce to {root} diverged");
+    }
+
+    // --- bcast, at three roots ---
+    for root in [0, n / 2, n - 1] {
+        let seed: Vec<u64> = (0..len as u64).map(|i| i * 1009 + 77).collect();
+        let mut hier = if rank == root {
+            seed.clone()
+        } else {
+            vec![0; len]
+        };
+        world.bcast(&mut hier, root).unwrap();
+        let mut flat = if rank == root { seed } else { vec![0; len] };
+        coll::bcast_flat(&world, &mut flat, root).unwrap();
+        assert_eq!(hier, flat, "bcast from {root} diverged");
+    }
+
+    // --- barrier (must complete on both paths) ---
+    world.barrier().unwrap();
+    coll::barrier_flat(&world).unwrap();
+
+    // --- alltoall: node-aware slot order vs flat pairwise ---
+    let block = len.max(1);
+    let send: Vec<i32> = (0..n * block)
+        .map(|j| (rank * 100_000 + j) as i32)
+        .collect();
+    let hier = world.alltoall(&send, block).unwrap();
+    let flat = coll::alltoall_flat(&world, &send, block).unwrap();
+    assert_eq!(hier, flat, "alltoall diverged");
+
+    // --- NBC twins: byte-identical to blocking, including inexact floats
+    //     (the compiler preserves the hierarchy's fold order) ---
+    let inexact: Vec<f64> = (0..len)
+        .map(|i| 0.1 * (rank + 1) as f64 + i as f64 * 0.3)
+        .collect();
+    let blocking = world.allreduce(&inexact, &Op::Sum).unwrap();
+    let nbc = world
+        .iallreduce(&inexact, &Op::Sum)
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(bits(&blocking), bits(&nbc), "iallreduce fp order diverged");
+
+    let root = n - 1;
+    let blocking = world.reduce(&inexact, &Op::Sum, root).unwrap();
+    let nbc = world
+        .ireduce(&inexact, &Op::Sum, root)
+        .unwrap()
+        .wait()
+        .unwrap();
+    match (blocking, nbc) {
+        (Some(b), Some(c)) => assert_eq!(bits(&b), bits(&c), "ireduce fp order diverged"),
+        (None, None) => {}
+        _ => panic!("ireduce produced output at the wrong rank"),
+    }
+
+    let mut buf: Vec<u64> = if rank == 0 {
+        (0..len as u64).map(|i| i * 31 + 5).collect()
+    } else {
+        vec![0; len]
+    };
+    let nbc = world.ibcast(&buf, 0).unwrap().wait().unwrap();
+    world.bcast(&mut buf, 0).unwrap();
+    assert_eq!(nbc, buf, "ibcast diverged");
+
+    world.ibarrier().unwrap().wait().unwrap();
+
+    let nbc = world.ialltoall(&send, block).unwrap().wait().unwrap();
+    assert_eq!(nbc, hier, "ialltoall diverged");
+}
+
+/// Deterministic pseudo-random node assignment (splitmix64 over the seed)
+/// so irregular placements — interleaved nodes, unequal node sizes — get
+/// coverage, not just the blocked layout.
+fn random_topology(n: usize, n_nodes: usize, seed: u64) -> Topology {
+    let mut s = seed;
+    let nodes = (0..n)
+        .map(|_| {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            NodeId((z ^ (z >> 31)) as u32 % n_nodes as u32)
+        })
+        .collect();
+    Topology::from_nodes(nodes)
+}
+
+#[test]
+fn hier_matches_flat_on_blocked_topologies() {
+    for (n, rpn) in [(6, 2), (8, 4), (12, 3), (9, 3), (15, 4)] {
+        Universe::run(
+            n,
+            BuildConfig::ch4_default(),
+            ProviderProfile::infinite(),
+            Topology::blocked(n, rpn),
+            |proc| check_hier_vs_flat(&proc, 5),
+        );
+    }
+}
+
+#[test]
+fn hier_matches_flat_under_coffee_chaos() {
+    // The fixed chaos seed from the issue: lossy, duplicating, reordering
+    // links on the reliable transport must not change any result.
+    let plan = FaultPlan::uniform(0xC0FFEE, FaultSpec::percent(20, 10, 30, 0));
+    let profile = ProviderProfile::ofi().with_faults(plan).reliable();
+    Universe::run(
+        6,
+        BuildConfig::ch4_default(),
+        profile,
+        Topology::blocked(6, 2),
+        |proc| check_hier_vs_flat(&proc, 4),
+    );
+}
+
+#[test]
+fn hier_collectives_on_split_subcommunicators() {
+    // Hierarchy must key on the *members'* placement, not world's: split
+    // world into odds/evens so node groups interleave across comms.
+    Universe::run(
+        8,
+        BuildConfig::ch4_default(),
+        ProviderProfile::infinite(),
+        Topology::blocked(8, 4),
+        |proc| {
+            let world = proc.world();
+            let sub = world.split((world.rank() % 2) as i32, 0).unwrap().unwrap();
+            let mine = [sub.rank() as i64 + 1];
+            let sum = sub.allreduce(&mine, &Op::Sum).unwrap();
+            assert_eq!(sum[0], (1..=sub.size() as i64).sum::<i64>());
+            let flat = coll::allreduce_flat(&sub, &mine, &Op::Sum).unwrap();
+            assert_eq!(sum, flat);
+        },
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random topologies spanning the issue's 1–64 nodes x 1–16
+    /// ranks-per-node grid (total ranks capped so a case stays a sane
+    /// thread count), random payload lengths, optional jitter: the
+    /// hierarchy never changes a byte.
+    #[test]
+    fn hier_equivalence_randomized(
+        nodes_pick in 1usize..=64,
+        rpn in 1usize..=16,
+        len in 1usize..12,
+        assign_seed in any::<u64>(),
+        jitter in proptest::option::of(any::<u64>()),
+        blocked in any::<bool>(),
+    ) {
+        let nodes = nodes_pick.min((48 / rpn).max(1));
+        let n = (nodes * rpn).max(2);
+        let topo = if blocked {
+            Topology::blocked(n, rpn)
+        } else {
+            random_topology(n, nodes, assign_seed)
+        };
+        let mut profile = ProviderProfile::infinite();
+        if let Some(seed) = jitter {
+            profile = profile.with_jitter(seed);
+        }
+        Universe::run(n, BuildConfig::ch4_default(), profile, topo, move |proc| {
+            check_hier_vs_flat(&proc, len);
+        });
+    }
+
+    /// Random chaos seeds on a multi-node topology: the reliable
+    /// transport under loss/duplication/reordering still yields
+    /// flat-identical bytes on every hierarchical path.
+    #[test]
+    fn hier_equivalence_under_chaos_randomized(seed in any::<u64>()) {
+        let plan = FaultPlan::uniform(seed, FaultSpec::percent(20, 10, 30, 0));
+        let profile = ProviderProfile::ofi().with_faults(plan).reliable();
+        Universe::run(
+            6,
+            BuildConfig::ch4_default(),
+            profile,
+            Topology::blocked(6, 3),
+            |proc| check_hier_vs_flat(&proc, 3),
+        );
+    }
+}

@@ -206,7 +206,7 @@ impl EndpointShared {
                     events: AtomicU64::new(0),
                     event_lock: Mutex::new(()),
                     event_cv: Condvar::new(),
-                    relia: Mutex::new(ReliaState::new_vci(profile, addr, n, vci)),
+                    relia: Mutex::new(ReliaState::new_vci(profile, addr, vci)),
                 }
             })
             .collect();
@@ -446,14 +446,14 @@ fn send_packet(fabric: &Fabric, src: NetAddr, dst: NetAddr, vci: usize, body: Pa
     let now = fabric.now_us();
     let pkt = if my.relia_enabled {
         let mut st = my.vcis[vci].relia.lock();
-        let d = dst.index();
-        if st.dead[d] {
+        if st.is_dead(dst) {
             // The peer has been declared unreachable; injections toward it
             // are black-holed (callers observe `peer_unreachable`).
             return;
         }
         charge(Category::Reliability, icost::relia::TX_HEADER);
-        let crc = if st.cfg.crc {
+        let crc_on = st.cfg.crc;
+        let crc = if crc_on {
             charge(
                 Category::Reliability,
                 icost::relia::CRC_BASE
@@ -463,10 +463,11 @@ fn send_packet(fabric: &Fabric, src: NetAddr, dst: NetAddr, vci: usize, body: Pa
         } else {
             None
         };
-        let seq = st.tx[d].prepare(body.clone(), crc, now);
+        let link = st.link_mut(dst);
+        let seq = link.tx.prepare(body.clone(), crc, now);
         charge(Category::Reliability, icost::relia::RETRANSMIT_ENQUEUE);
         // Piggyback the cumulative ACK for the reverse link.
-        let ack = Some(st.rx[d].take_ack());
+        let ack = Some(link.rx.take_ack());
         WirePacket {
             src,
             vci,
@@ -509,8 +510,8 @@ fn transmit(fabric: &Fabric, src: NetAddr, dst: NetAddr, pkt: WirePacket) {
     let mut out: Vec<WirePacket> = Vec::new();
     {
         let mut st = sender.vcis[pkt.vci].relia.lock();
-        let d = dst.index();
-        let spec = st.specs[d];
+        let link = st.link_mut(dst);
+        let spec = link.spec;
         if let Some(flap) = spec.flap {
             if !flap.is_up(fabric.now_us()) {
                 // The link is in a flap outage window: the packet vanishes
@@ -522,8 +523,8 @@ fn transmit(fabric: &Fabric, src: NetAddr, dst: NetAddr, pkt: WirePacket) {
         }
         // Any packet event on the link releases the reorder stash — the
         // overtaking it was parked for has now happened.
-        let stashed = st.stash[d].take();
-        let rng = &mut st.fault_rng[d];
+        let stashed = link.stash.take();
+        let rng = &mut link.fault_rng;
         if rng.chance(spec.drop) {
             EndpointStats::bump(&sender.stats.faults_dropped, 1);
         } else {
@@ -540,7 +541,7 @@ fn transmit(fabric: &Fabric, src: NetAddr, dst: NetAddr, pkt: WirePacket) {
             if stashed.is_none() && rng.chance(spec.reorder) {
                 // Hold back until the next packet on this link (or the
                 // next timer tick) so a later packet overtakes this one.
-                st.stash[d] = Some(pkt);
+                link.stash = Some(pkt);
             } else {
                 if dup {
                     out.push(pkt.clone());
@@ -601,17 +602,19 @@ fn deliver_packet(fabric: &Fabric, dst: NetAddr, pkt: WirePacket) {
     let mut standalone_ack: Option<u32> = None;
     {
         let mut st = peer.vcis[vci].relia.lock();
+        let cfg = st.cfg;
+        let link = st.link_mut(src);
         if let Some(cum) = pkt.ack {
             // The piggybacked (or standalone) cumulative ACK retires our
             // retransmit entries for the reverse link.
             charge(Category::Reliability, icost::relia::ACK_PROCESS);
-            st.tx[s].on_ack(cum, fabric.now_us());
+            link.tx.on_ack(cum, fabric.now_us());
             if peer.trace_enabled {
                 litempi_trace::emit(EventKind::AckProcessed, s as u64, cum as u64);
             }
         }
         if let Some(body) = pkt.body {
-            let crc_ok = if st.cfg.crc {
+            let crc_ok = if cfg.crc {
                 charge(
                     Category::Reliability,
                     icost::relia::CRC_BASE
@@ -627,7 +630,7 @@ fn deliver_packet(fabric: &Fabric, dst: NetAddr, pkt: WirePacket) {
                 EndpointStats::bump(&peer.stats.crc_failures, 1);
             } else {
                 charge(Category::Reliability, icost::relia::RX_WINDOW);
-                match st.rx[s].receive(pkt.seq, body) {
+                match link.rx.receive(pkt.seq, body) {
                     RxVerdict::Deliver(bodies) => released = bodies,
                     RxVerdict::Duplicate => {
                         EndpointStats::bump(&peer.stats.dup_dropped, 1);
@@ -637,8 +640,8 @@ fn deliver_packet(fabric: &Fabric, dst: NetAddr, pkt: WirePacket) {
                     }
                     RxVerdict::Buffered | RxVerdict::Overflow => {}
                 }
-                if st.rx[s].ack_owed >= st.cfg.ack_every {
-                    standalone_ack = Some(st.rx[s].take_ack());
+                if link.rx.ack_owed >= cfg.ack_every {
+                    standalone_ack = Some(link.rx.take_ack());
                 }
             }
         }
@@ -764,52 +767,56 @@ fn tick_relia(fabric: &Fabric, addr: NetAddr, vci: usize, now: u64) {
     let mut newly_dead: Vec<usize> = Vec::new();
     {
         let mut st = my.vcis[vci].relia.lock();
-        for d in 0..st.stash.len() {
-            if let Some(p) = st.stash[d].take() {
+        let relia_on = st.cfg.enabled;
+        // Only resident links can carry work: a peer with no link has no
+        // stash, no retransmit queue, and no ACK debt — so the tick is
+        // O(active peers), not O(ranks). `BTreeMap` iteration is ascending
+        // by peer, the same order the dense sweep used.
+        for (d, link) in st.links_mut() {
+            if let Some(p) = link.stash.take() {
                 // Already passed its fault rolls; deliver directly.
-                stash_flush.push((NetAddr(d as u32), p));
+                stash_flush.push((d, p));
             }
-        }
-        if st.cfg.enabled {
-            for d in 0..st.tx.len() {
-                match st.tx[d].tick(now) {
-                    TxTick::Idle => {}
-                    TxTick::Resend(pending) => {
-                        charge(
-                            Category::Reliability,
-                            icost::relia::RETRANSMIT * pending.len() as u64,
+            if !relia_on {
+                continue;
+            }
+            match link.tx.tick(now) {
+                TxTick::Idle => {}
+                TxTick::Resend(pending) => {
+                    charge(
+                        Category::Reliability,
+                        icost::relia::RETRANSMIT * pending.len() as u64,
+                    );
+                    EndpointStats::bump(&my.stats.retransmits, pending.len() as u64);
+                    if my.trace_enabled {
+                        litempi_trace::emit(
+                            EventKind::Retransmit,
+                            d.0 as u64,
+                            pending.len() as u64,
                         );
-                        EndpointStats::bump(&my.stats.retransmits, pending.len() as u64);
-                        if my.trace_enabled {
-                            litempi_trace::emit(
-                                EventKind::Retransmit,
-                                d as u64,
-                                pending.len() as u64,
-                            );
-                        }
-                        let ack = Some(st.rx[d].cum_ack());
-                        for p in pending {
-                            resends.push((
-                                NetAddr(d as u32),
-                                WirePacket {
-                                    src: addr,
-                                    vci,
-                                    seq: p.seq,
-                                    ack,
-                                    crc: p.crc,
-                                    body: Some(p.body),
-                                },
-                            ));
-                        }
                     }
-                    TxTick::Dead => {
-                        st.dead[d] = true;
-                        newly_dead.push(d);
+                    let ack = Some(link.rx.cum_ack());
+                    for p in pending {
+                        resends.push((
+                            d,
+                            WirePacket {
+                                src: addr,
+                                vci,
+                                seq: p.seq,
+                                ack,
+                                crc: p.crc,
+                                body: Some(p.body),
+                            },
+                        ));
                     }
                 }
-                if st.rx[d].ack_owed > 0 {
-                    acks.push((NetAddr(d as u32), st.rx[d].take_ack()));
+                TxTick::Dead => {
+                    link.dead = true;
+                    newly_dead.push(d.index());
                 }
+            }
+            if link.rx.ack_owed > 0 {
+                acks.push((d, link.rx.take_ack()));
             }
         }
     }
@@ -897,7 +904,20 @@ impl Endpoint {
             matching.max_unexpected_depth =
                 matching.max_unexpected_depth.max(c.max_unexpected_depth);
         }
-        shared.stats.snapshot(&matching)
+        // The per-peer memory gauge: bytes pinned by resident link state
+        // across every VCI. O(active peers) by construction — the scale
+        // tests assert it stays orders of magnitude under the dense
+        // all-pairs baseline.
+        let resident_link_bytes = if shared.routed {
+            shared
+                .vcis
+                .iter()
+                .map(|v| v.relia.lock().resident_link_bytes())
+                .sum()
+        } else {
+            0
+        };
+        shared.stats.snapshot(&matching, resident_link_bytes)
     }
 
     /// The number of virtual communication interfaces this endpoint's
@@ -1074,7 +1094,7 @@ impl Endpoint {
         if my.health_enabled && my.health.lock().state_of(peer.index()) == HealthState::Dead {
             return true;
         }
-        my.relia_enabled && my.vcis.iter().any(|v| v.relia.lock().dead[peer.index()])
+        my.relia_enabled && my.vcis.iter().any(|v| v.relia.lock().is_dead(peer))
     }
 
     /// The local failure detector's judgment of `peer`. Always
@@ -1129,14 +1149,20 @@ impl Endpoint {
             tick_relia_all(&self.fabric, self.addr, self.fabric.now_us());
             let busy = my.vcis.iter().any(|v| {
                 let st = v.relia.lock();
-                st.tx.iter().enumerate().any(|(d, tx)| {
-                    !st.dead[d]
-                        && !self.fabric.endpoint_killed(NetAddr(d as u32))
-                        && tx.in_flight() > 0
-                }) || st.stash.iter().any(Option::is_some)
-                    || st.rx.iter().any(|rx| rx.ack_owed > 0)
+                let busy = st.links().any(|(d, link)| {
+                    (!link.dead && !self.fabric.endpoint_killed(d) && link.tx.in_flight() > 0)
+                        || link.stash.is_some()
+                        || link.rx.ack_owed > 0
+                });
+                busy
             });
             if !busy {
+                // Drained: shrink every idle link back to a memento so a
+                // long-lived endpoint's footprint tracks its *current*
+                // working set, not every peer it ever talked to.
+                for v in &my.vcis {
+                    v.relia.lock().reclaim_idle();
+                }
                 return;
             }
             std::thread::yield_now();
@@ -2043,15 +2069,18 @@ mod tests {
             let sh = f.shared(addr);
             for (vci, v) in sh.vcis.iter().enumerate() {
                 let st = v.relia.lock();
-                assert!(
-                    st.tx.iter().all(|tx| tx.in_flight() == 0),
-                    "ep {addr:?} vci {vci} still has unacked packets"
-                );
-                assert!(
-                    st.rx.iter().all(|rx| rx.ack_owed == 0),
-                    "ep {addr:?} vci {vci} still owes ACKs"
-                );
-                assert!(st.stash.iter().all(Option::is_none));
+                for (d, link) in st.links() {
+                    assert_eq!(
+                        link.tx.in_flight(),
+                        0,
+                        "ep {addr:?} vci {vci} still has unacked packets to {d:?}"
+                    );
+                    assert_eq!(
+                        link.rx.ack_owed, 0,
+                        "ep {addr:?} vci {vci} still owes ACKs to {d:?}"
+                    );
+                    assert!(link.stash.is_none());
+                }
             }
         }
         // The delivery guarantee held: every eager send arrived.

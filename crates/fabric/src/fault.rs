@@ -239,6 +239,15 @@ impl LinkRng {
         })
     }
 
+    /// The raw generator state. `LinkRng::new(state)` resumes the stream
+    /// exactly where this generator left off (xorshift state is never zero
+    /// once seeded, so the zero remap in `new` cannot perturb a resume) —
+    /// the hook lazy link reclamation uses to park an idle link's fault
+    /// stream in a few bytes.
+    pub fn state(&self) -> u64 {
+        self.0
+    }
+
     /// Next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
         let mut x = self.0;

@@ -44,6 +44,14 @@ pub struct HealthConfig {
     /// Quiet time (µs) after which a suspect peer is declared `Dead`.
     /// Dead is sticky: recovery APIs (shrink) exclude the peer for good.
     pub dead_after_us: u64,
+    /// Size of the observation ring: each rank permanently watches its
+    /// `ring_k` successors (mod n) even when it never exchanges data with
+    /// them. Beyond the ring, only peers with live links are tracked —
+    /// never all N — so detector state and probe traffic are O(active + k)
+    /// while every rank is still observed by `ring_k` predecessors (any
+    /// death is detected *somewhere* and propagated by the ULFM revoke
+    /// flood / agreement dead-mask merge, not by all-pairs probing).
+    pub ring_k: usize,
 }
 
 impl HealthConfig {
@@ -53,6 +61,7 @@ impl HealthConfig {
         probe_interval_us: 500,
         suspect_after_us: 2_000,
         dead_after_us: 10_000,
+        ring_k: 2,
     };
 
     /// Detector on with default timing (probe after 500 µs idle, suspect
@@ -63,6 +72,7 @@ impl HealthConfig {
             probe_interval_us: 500,
             suspect_after_us: 2_000,
             dead_after_us: 10_000,
+            ring_k: 2,
         }
     }
 
@@ -76,6 +86,13 @@ impl HealthConfig {
         self.probe_interval_us = probe_interval_us;
         self.suspect_after_us = suspect_after_us;
         self.dead_after_us = dead_after_us;
+        self
+    }
+
+    /// Copy of this config with the observation-ring width replaced
+    /// (`0` = watch only peers with live links).
+    pub const fn with_ring(mut self, ring_k: usize) -> HealthConfig {
+        self.ring_k = ring_k;
         self
     }
 }
@@ -110,97 +127,147 @@ pub enum HealthAction {
     Died(usize),
 }
 
+/// Liveness bookkeeping for one *tracked* peer (ring member or live link).
+#[derive(Debug, Clone, Copy)]
+struct PeerHealth {
+    /// Fabric time the peer was last heard from.
+    last_heard: u64,
+    /// Fabric time the peer was last probed (throttles probe traffic).
+    last_probe: u64,
+    state: HealthState,
+}
+
+impl PeerHealth {
+    /// Tracked from `now` on, initially `Alive`.
+    fn new(now_us: u64) -> PeerHealth {
+        PeerHealth {
+            last_heard: now_us,
+            last_probe: 0,
+            state: HealthState::Alive,
+        }
+    }
+}
+
 /// The per-endpoint failure detector: last-heard bookkeeping plus the
-/// three-state machine for every peer. Pure (time is a parameter).
+/// three-state machine. Pure (time is a parameter).
+///
+/// State is sparse: only the `ring_k` observation-ring successors plus
+/// peers actually heard from (live links) are tracked, so a 4096-rank
+/// fabric costs each detector O(active + k) entries and probes per tick,
+/// not O(ranks). Untracked peers answer `Alive` — the same judgment the
+/// dense detector gave a peer it had never found quiet.
 #[derive(Debug)]
 pub struct HealthMonitor {
     cfg: HealthConfig,
-    /// Fabric time each peer was last heard from.
-    last_heard: Vec<u64>,
-    /// Fabric time each peer was last probed (throttles probe traffic).
-    last_probe: Vec<u64>,
-    state: Vec<HealthState>,
+    /// Tracked peers, keyed by index (`BTreeMap` for deterministic
+    /// ascending iteration, matching the dense sweep this replaces).
+    peers: std::collections::BTreeMap<usize, PeerHealth>,
     /// Monotonic probe nonce (diagnostic; replies echo it).
     next_nonce: u64,
     /// Index of the monitoring endpoint (never probes itself).
     me: usize,
+    /// Fabric size (bounds-checks external peer indices).
+    n: usize,
 }
 
 impl HealthMonitor {
     /// Build the monitor for the endpoint at index `me` on a fabric of `n`
-    /// endpoints, with every peer initially `Alive` as of time 0. When the
-    /// config is disabled the vectors stay empty (nothing looks at them).
+    /// endpoints. Only the observation ring — `me+1 ..= me+ring_k` mod `n`
+    /// — is tracked eagerly (initially `Alive` as of time 0); data traffic
+    /// adds peers as it arrives. When the config is disabled nothing is
+    /// tracked at all.
     pub fn new(cfg: HealthConfig, me: usize, n: usize) -> HealthMonitor {
-        let n = if cfg.enabled { n } else { 0 };
+        let mut peers = std::collections::BTreeMap::new();
+        if cfg.enabled && n > 1 {
+            for i in 1..=cfg.ring_k.min(n - 1) {
+                let peer = (me + i) % n;
+                if peer != me {
+                    peers.insert(peer, PeerHealth::new(0));
+                }
+            }
+        }
         HealthMonitor {
             cfg,
-            last_heard: vec![0; n],
-            last_probe: vec![0; n],
-            state: vec![HealthState::Alive; n],
+            peers,
             next_nonce: 1,
             me,
+            n,
         }
     }
 
-    /// A packet from `peer` was delivered: refresh its liveness. Returns
+    /// A packet from `peer` was delivered: refresh its liveness (tracking
+    /// the peer from now on — a heard-from peer is a live link). Returns
     /// `true` when this recovers the peer from `Suspect` (the flap-healed
     /// transition); `Dead` peers stay dead.
     pub fn note_alive(&mut self, peer: usize, now_us: u64) -> bool {
-        if !self.cfg.enabled || peer >= self.state.len() {
+        if !self.cfg.enabled || peer >= self.n || peer == self.me {
             return false;
         }
-        self.last_heard[peer] = now_us;
-        if self.state[peer] == HealthState::Suspect {
-            self.state[peer] = HealthState::Alive;
+        let p = self
+            .peers
+            .entry(peer)
+            .or_insert_with(|| PeerHealth::new(now_us));
+        p.last_heard = now_us;
+        if p.state == HealthState::Suspect {
+            p.state = HealthState::Alive;
             return true;
         }
         false
     }
 
     /// Force a peer straight to `Dead` (the reliability layer's retry
-    /// exhaustion and the fabric kill switch are authoritative evidence —
-    /// no need to wait out the quiet-time thresholds). Returns `true` on
-    /// an actual transition.
+    /// exhaustion, the fabric kill switch, and revoke-flood notices naming
+    /// the peer are authoritative evidence — no need to wait out the
+    /// quiet-time thresholds, and no need for the peer to have been
+    /// tracked before). Returns `true` on an actual transition.
     pub fn declare_dead(&mut self, peer: usize) -> bool {
-        if !self.cfg.enabled || peer >= self.state.len() {
+        if !self.cfg.enabled || peer >= self.n || peer == self.me {
             return false;
         }
-        if self.state[peer] == HealthState::Dead {
+        let p = self.peers.entry(peer).or_insert_with(|| PeerHealth::new(0));
+        if p.state == HealthState::Dead {
             return false;
         }
-        self.state[peer] = HealthState::Dead;
+        p.state = HealthState::Dead;
         true
     }
 
-    /// The local judgment of `peer`. Always `Alive` when disabled.
+    /// The local judgment of `peer`. Always `Alive` when disabled or
+    /// untracked (no evidence is good evidence).
     pub fn state_of(&self, peer: usize) -> HealthState {
-        if peer < self.state.len() {
-            self.state[peer]
-        } else {
-            HealthState::Alive
-        }
+        self.peers
+            .get(&peer)
+            .map(|p| p.state)
+            .unwrap_or(HealthState::Alive)
     }
 
-    /// Advance the detector: demote peers that have been quiet too long
-    /// and emit probes for idle links. The caller transmits the probes and
-    /// records/traces the transitions.
+    /// Number of peers currently tracked — O(active links + ring_k), the
+    /// quantity the 1024-rank scale test pins.
+    pub fn tracked_peers(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Advance the detector: demote tracked peers that have been quiet too
+    /// long and emit probes for idle links. The caller transmits the
+    /// probes and records/traces the transitions. O(tracked), never
+    /// O(ranks).
     pub fn tick(&mut self, now_us: u64) -> Vec<HealthAction> {
         let mut actions = Vec::new();
         if !self.cfg.enabled {
             return actions;
         }
-        for peer in 0..self.state.len() {
+        for (&peer, p) in self.peers.iter_mut() {
             if peer == self.me {
                 continue;
             }
-            let quiet = now_us.saturating_sub(self.last_heard[peer]);
-            match self.state[peer] {
+            let quiet = now_us.saturating_sub(p.last_heard);
+            match p.state {
                 HealthState::Alive if quiet > self.cfg.suspect_after_us => {
-                    self.state[peer] = HealthState::Suspect;
+                    p.state = HealthState::Suspect;
                     actions.push(HealthAction::Suspected(peer));
                 }
                 HealthState::Suspect if quiet > self.cfg.dead_after_us => {
-                    self.state[peer] = HealthState::Dead;
+                    p.state = HealthState::Dead;
                     actions.push(HealthAction::Died(peer));
                     continue; // no probes at a corpse
                 }
@@ -210,9 +277,9 @@ impl HealthMonitor {
             // Idle-link probing: quiet past the interval and not probed
             // within the interval either (throttle).
             if quiet > self.cfg.probe_interval_us
-                && now_us.saturating_sub(self.last_probe[peer]) > self.cfg.probe_interval_us
+                && now_us.saturating_sub(p.last_probe) > self.cfg.probe_interval_us
             {
-                self.last_probe[peer] = now_us;
+                p.last_probe = now_us;
                 let nonce = self.next_nonce;
                 self.next_nonce += 1;
                 actions.push(HealthAction::Probe { peer, nonce });
@@ -313,7 +380,7 @@ mod tests {
 
     #[test]
     fn probe_nonces_are_unique() {
-        let mut m = HealthMonitor::new(cfg(), 0, 4);
+        let mut m = HealthMonitor::new(cfg().with_ring(3), 0, 4);
         let mut nonces = Vec::new();
         for a in m.tick(150) {
             if let HealthAction::Probe { nonce, .. } = a {
@@ -324,6 +391,100 @@ mod tests {
         uniq.sort_unstable();
         uniq.dedup();
         assert_eq!(uniq.len(), nonces.len());
-        assert_eq!(nonces.len(), 3, "one probe per peer");
+        assert_eq!(nonces.len(), 3, "one probe per tracked peer");
+    }
+
+    /// Detector state is O(ring + active links), never O(ranks): on a
+    /// notionally huge fabric only the ring successors are tracked until
+    /// traffic arrives, and a tick probes only tracked peers.
+    #[test]
+    fn tracking_is_ring_plus_active_links_not_all_pairs() {
+        let mut m = HealthMonitor::new(cfg(), 10, 100_000);
+        assert_eq!(m.tracked_peers(), 2, "ring_k successors only");
+        assert_eq!(m.state_of(11), HealthState::Alive);
+        assert_eq!(m.state_of(12), HealthState::Alive);
+        // An untracked peer answers Alive without allocating anything.
+        assert_eq!(m.state_of(77_777), HealthState::Alive);
+        assert_eq!(m.tracked_peers(), 2);
+        // Probe traffic per tick is O(tracked).
+        let probes = m
+            .tick(150)
+            .iter()
+            .filter(|a| matches!(a, HealthAction::Probe { .. }))
+            .count();
+        assert_eq!(probes, 2, "only ring members probed");
+        // Hearing from a peer makes it a live link: tracked from then on.
+        m.note_alive(500, 350);
+        assert_eq!(m.tracked_peers(), 3);
+        let probed: Vec<usize> = m
+            .tick(400)
+            .iter()
+            .filter_map(|a| match a {
+                HealthAction::Probe { peer, .. } => Some(*peer),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(probed, vec![11, 12], "peer 500 heard recently: no probe");
+    }
+
+    /// The ring wraps modulo n and never includes the monitor itself, so
+    /// every rank is observed by exactly `min(ring_k, n-1)` predecessors.
+    #[test]
+    fn ring_wraps_and_excludes_self() {
+        let m = HealthMonitor::new(cfg(), 3, 4);
+        assert_eq!(m.tracked_peers(), 2, "peers 0 and 1 via wraparound");
+        assert_eq!(m.state_of(3), HealthState::Alive);
+        let m = HealthMonitor::new(cfg().with_ring(10), 0, 3);
+        assert_eq!(m.tracked_peers(), 2, "ring clamps to n-1");
+        let m = HealthMonitor::new(cfg(), 0, 1);
+        assert_eq!(m.tracked_peers(), 0, "alone on the fabric");
+    }
+
+    /// The 1024-rank probe pin: with a 2-neighbour traffic pattern the
+    /// detector tracks ring + active links (4 or 5 peers, depending on
+    /// ring/link overlap) and a tick emits at most that many probes —
+    /// the old all-pairs detector would have probed 1023.
+    #[test]
+    fn probe_traffic_at_1024_ranks_is_pinned_to_the_active_set() {
+        let n = 1024;
+        for me in [0usize, 511, 1023] {
+            let mut m = HealthMonitor::new(cfg(), me, n);
+            assert_eq!(m.tracked_peers(), 2, "ring successors only at start");
+            // Nearest-neighbour exchange: hear from me-1 and me+1.
+            m.note_alive((me + 1) % n, 10);
+            m.note_alive((me + n - 1) % n, 10);
+            let tracked = m.tracked_peers();
+            assert!(
+                (3..=4).contains(&tracked),
+                "me={me}: tracked {tracked}, want ring(2) + neighbours with overlap"
+            );
+            let probes = m
+                .tick(150)
+                .iter()
+                .filter(|a| matches!(a, HealthAction::Probe { .. }))
+                .count();
+            assert!(
+                probes <= tracked,
+                "me={me}: {probes} probes for {tracked} tracked peers"
+            );
+            assert!(
+                probes < 16,
+                "me={me}: probe fan-out must be O(active), got {probes}"
+            );
+        }
+    }
+
+    /// External failure evidence (revoke notices, agreed dead sets) lands
+    /// even for peers the detector was not tracking — the propagation path
+    /// ULFM agree/shrink rely on now that probing is not all-pairs.
+    #[test]
+    fn declare_dead_tracks_previously_unknown_peers() {
+        let mut m = HealthMonitor::new(cfg(), 0, 1_000);
+        assert_eq!(m.state_of(700), HealthState::Alive);
+        assert!(m.declare_dead(700), "untracked peer accepted");
+        assert_eq!(m.state_of(700), HealthState::Dead);
+        assert!(!m.declare_dead(700), "second declaration is a no-op");
+        assert!(!m.note_alive(700, 50), "dead is sticky");
+        assert_eq!(m.state_of(700), HealthState::Dead);
     }
 }

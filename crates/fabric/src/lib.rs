@@ -60,5 +60,5 @@ pub use pool::{PayloadBuf, PayloadPool, PoolStats};
 pub use region::{MemoryRegion, RdmaAtomicOp, RegionKey};
 pub use reliability::{crc32, ReliabilityConfig};
 pub use stats::EndpointStats;
-pub use topology::Topology;
+pub use topology::{NodeId, Topology};
 pub use vci::{vci_for_bits, MAX_VCIS};

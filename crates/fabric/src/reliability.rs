@@ -31,9 +31,9 @@
 
 use crate::addr::NetAddr;
 use crate::cost::ProviderProfile;
-use crate::fault::{FaultSpec, LinkRng};
+use crate::fault::{FaultPlan, FaultSpec, LinkRng};
 use crate::packet::{AmMessage, TaggedMessage};
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 /// Configuration of the reliable path, carried by value in
 /// [`ProviderProfile`].
@@ -501,6 +501,16 @@ impl LinkTx {
         self.queue.len()
     }
 
+    /// The next sequence number this sender will assign (memento capture).
+    pub(crate) fn next_seq(&self) -> u32 {
+        self.next_seq
+    }
+
+    /// Heap bytes pinned by the retransmit queue (capacity, not length).
+    pub(crate) fn resident_bytes(&self) -> usize {
+        self.queue.capacity() * std::mem::size_of::<Pending>()
+    }
+
     /// Smoothed RTT estimate in µs, `None` until the first sample.
     #[allow(dead_code)]
     pub(crate) fn srtt_us(&self) -> Option<u64> {
@@ -616,68 +626,244 @@ impl LinkRx {
         self.ack_owed = 0;
         self.expected
     }
+
+    /// Out-of-order arrivals currently held for reordering. A link with
+    /// buffered packets is not idle — reclaiming it would lose them.
+    pub(crate) fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Heap bytes pinned by the reorder buffer (capacity, not length).
+    pub(crate) fn resident_bytes(&self) -> usize {
+        self.buffer.capacity() * std::mem::size_of::<(u32, PacketBody)>()
+    }
 }
 
 // -------------------------------------------------------- per-endpoint state
 
+/// The two halves plus fault machinery of one directed peer relationship,
+/// materialized lazily on first traffic. The dense per-peer vectors this
+/// replaces cost O(ranks) per endpoint — O(ranks²) fabric-wide — which is
+/// exactly the state explosion foMPI's constant-state-per-process
+/// discipline exists to avoid (see DESIGN.md §15).
+#[derive(Debug)]
+pub(crate) struct Link {
+    /// Sender half toward the peer.
+    pub tx: LinkTx,
+    /// Receiver half from the peer.
+    pub rx: LinkRx,
+    /// Fault-decision RNG for the outgoing link (deterministic per link).
+    pub fault_rng: LinkRng,
+    /// Fault probabilities for the outgoing link (resolved once).
+    pub spec: FaultSpec,
+    /// Reorder hold-back slot: a packet parked here is transmitted after
+    /// the next packet on the link (or on the next tick).
+    pub stash: Option<WirePacket>,
+    /// Peer declared unreachable by retry exhaustion.
+    pub dead: bool,
+}
+
+impl Link {
+    /// Nothing in flight in either direction: no unacked packets, no
+    /// parked reorder stash, no ACK debt, no out-of-order arrivals waiting
+    /// for a gap fill. Only an idle link may be reclaimed — anything else
+    /// still carries protocol obligations.
+    pub(crate) fn is_idle(&self) -> bool {
+        self.tx.in_flight() == 0
+            && self.stash.is_none()
+            && self.rx.ack_owed == 0
+            && self.rx.buffered() == 0
+    }
+
+    /// Bytes of memory this link pins while resident: the state machines
+    /// themselves plus the retransmit-queue and reorder-buffer heap
+    /// capacity (capacity, not length — a burst leaves its allocation
+    /// behind until the link is reclaimed).
+    pub(crate) fn resident_bytes(&self) -> usize {
+        std::mem::size_of::<Link>() + self.tx.resident_bytes() + self.rx.resident_bytes()
+    }
+}
+
+/// The few words that survive a reclaimed link: enough to resume both
+/// sequence spaces and the fault stream exactly where they stopped, so a
+/// link that goes quiet, is reclaimed, and later wakes again is
+/// byte-identical to one that stayed resident the whole time.
+#[derive(Debug, Clone, Copy)]
+struct LinkMemento {
+    /// `LinkTx::next_seq` at reclamation.
+    next_seq: u32,
+    /// `LinkRx` cumulative-ACK point at reclamation.
+    expected: u32,
+    /// Fault-RNG state at reclamation (resumes the per-link stream).
+    rng_state: u64,
+    /// Duplicates dropped so far (stats continuity).
+    dups: u64,
+    /// Death is sticky across reclamation.
+    dead: bool,
+}
+
 /// Everything one endpoint tracks for the lossy/reliable path, behind a
 /// single mutex (untouched — and empty — when both faults and reliability
-/// are disabled).
+/// are disabled). Link state is sparse: a peer costs nothing until the
+/// first packet crosses its link, and `reclaim_idle` shrinks a quiescent
+/// link back to a [`LinkMemento`] of a few words.
 #[derive(Debug)]
 pub(crate) struct ReliaState {
     pub cfg: ReliabilityConfig,
-    /// Sender halves, indexed by destination endpoint.
-    pub tx: Vec<LinkTx>,
-    /// Receiver halves, indexed by source endpoint.
-    pub rx: Vec<LinkRx>,
-    /// Fault-decision RNGs, one per outgoing link (deterministic per link).
-    pub fault_rng: Vec<LinkRng>,
-    /// Fault probabilities per outgoing link (resolved once).
-    pub specs: Vec<FaultSpec>,
-    /// Reorder hold-back slot per outgoing link: a packet parked here is
-    /// transmitted after the next packet on the link (or on the next tick).
-    pub stash: Vec<Option<WirePacket>>,
-    /// Peers declared unreachable by retry exhaustion.
-    pub dead: Vec<bool>,
+    /// `cfg.enabled || faults active` — whether this domain routes at all.
+    active: bool,
+    /// Owning endpoint (link seeds and specs are per directed link).
+    addr: NetAddr,
+    /// Shard index, mixed into link seeds for VCIs above 0.
+    vci: usize,
+    /// The fabric's fault plan; `link_seed`/`spec_for` are pure per-link
+    /// functions, which is what makes lazy materialization deterministic.
+    faults: FaultPlan,
+    /// Live links keyed by peer index. A `BTreeMap` so iteration visits
+    /// peers in ascending order — the same order the dense vectors this
+    /// replaces were walked in, keeping tick/quiesce byte-identical.
+    links: BTreeMap<u32, Link>,
+    /// Sequence/RNG mementos of reclaimed links.
+    mementos: BTreeMap<u32, LinkMemento>,
 }
 
 impl ReliaState {
-    /// Build the reliability domain of one VCI of the endpoint at `addr`
-    /// on a fabric of `n` endpoints. When neither faults nor reliability
-    /// are enabled the vectors stay empty (nothing ever looks at them).
+    /// Build the reliability domain of one VCI of the endpoint at `addr`.
+    /// No per-peer state is allocated here — links materialize on first
+    /// traffic, so a 4096-rank fabric with 2-neighbor traffic holds 2
+    /// links per endpoint, not 4096.
     ///
     /// VCI 0 seeds its fault RNGs exactly as the unsharded endpoint did
     /// (byte-identity when `num_vcis = 1`); higher VCIs mix the shard
     /// index into each link seed so concurrent shards draw independent
     /// fault streams.
-    pub(crate) fn new_vci(
-        profile: &ProviderProfile,
-        addr: NetAddr,
-        n: usize,
-        vci: usize,
-    ) -> ReliaState {
+    pub(crate) fn new_vci(profile: &ProviderProfile, addr: NetAddr, vci: usize) -> ReliaState {
         let cfg = profile.reliability;
-        let active = cfg.enabled || !profile.faults.is_none();
-        let n = if active { n } else { 0 };
-        let mix = |seed: u64| {
-            if vci == 0 {
-                seed
-            } else {
-                (seed ^ (vci as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)) | 1
-            }
-        };
         ReliaState {
             cfg,
-            tx: (0..n).map(|_| LinkTx::new(&cfg)).collect(),
-            rx: (0..n).map(|_| LinkRx::new(&cfg)).collect(),
-            fault_rng: (0..n)
-                .map(|d| LinkRng::new(mix(profile.faults.link_seed(addr, NetAddr(d as u32)))))
-                .collect(),
-            specs: (0..n)
-                .map(|d| profile.faults.spec_for(addr, NetAddr(d as u32)))
-                .collect(),
-            stash: (0..n).map(|_| None).collect(),
-            dead: vec![false; n],
+            active: cfg.enabled || !profile.faults.is_none(),
+            addr,
+            vci,
+            faults: profile.faults,
+            links: BTreeMap::new(),
+            mementos: BTreeMap::new(),
+        }
+    }
+
+    /// The deterministic fault-RNG seed for the link to `peer` on this
+    /// shard (the same mixing rule the dense constructor used).
+    fn link_seed(&self, peer: u32) -> u64 {
+        let seed = self.faults.link_seed(self.addr, NetAddr(peer));
+        if self.vci == 0 {
+            seed
+        } else {
+            (seed ^ (self.vci as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)) | 1
+        }
+    }
+
+    /// The link to `peer`, materialized on first touch. A reclaimed link
+    /// resumes from its memento; a brand-new one starts both sequence
+    /// spaces at 0 with the deterministic per-link fault stream.
+    pub(crate) fn link_mut(&mut self, peer: NetAddr) -> &mut Link {
+        debug_assert!(
+            self.active,
+            "inactive reliability domains never route packets"
+        );
+        let p = peer.0;
+        if !self.links.contains_key(&p) {
+            let link = match self.mementos.remove(&p) {
+                Some(m) => {
+                    let mut rx = LinkRx::new_at(&self.cfg, m.expected);
+                    rx.dups = m.dups;
+                    Link {
+                        tx: LinkTx::new_at(&self.cfg, m.next_seq),
+                        rx,
+                        fault_rng: LinkRng::new(m.rng_state),
+                        spec: self.faults.spec_for(self.addr, peer),
+                        stash: None,
+                        dead: m.dead,
+                    }
+                }
+                None => Link {
+                    tx: LinkTx::new(&self.cfg),
+                    rx: LinkRx::new(&self.cfg),
+                    fault_rng: LinkRng::new(self.link_seed(p)),
+                    spec: self.faults.spec_for(self.addr, peer),
+                    stash: None,
+                    dead: false,
+                },
+            };
+            self.links.insert(p, link);
+        }
+        self.links.get_mut(&p).expect("just inserted")
+    }
+
+    /// The link to `peer` if (and only if) it is currently resident.
+    #[cfg(test)]
+    pub(crate) fn link(&self, peer: NetAddr) -> Option<&Link> {
+        self.links.get(&peer.0)
+    }
+
+    /// Resident links, ascending by peer index.
+    pub(crate) fn links(&self) -> impl Iterator<Item = (NetAddr, &Link)> {
+        self.links.iter().map(|(p, l)| (NetAddr(*p), l))
+    }
+
+    /// Resident links, mutable, ascending by peer index.
+    pub(crate) fn links_mut(&mut self) -> impl Iterator<Item = (NetAddr, &mut Link)> {
+        self.links.iter_mut().map(|(p, l)| (NetAddr(*p), l))
+    }
+
+    /// Number of currently resident links.
+    #[allow(dead_code)] // test instrumentation
+    pub(crate) fn n_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Has `peer` been declared unreachable (resident or reclaimed)?
+    /// Never materializes anything.
+    pub(crate) fn is_dead(&self, peer: NetAddr) -> bool {
+        self.links
+            .get(&peer.0)
+            .map(|l| l.dead)
+            .or_else(|| self.mementos.get(&peer.0).map(|m| m.dead))
+            .unwrap_or(false)
+    }
+
+    /// Memory currently pinned by this domain's per-peer state: resident
+    /// links at full width plus reclaimed links at memento width. The
+    /// `EndpointStats::resident_link_bytes` gauge sums this across VCIs.
+    pub(crate) fn resident_link_bytes(&self) -> u64 {
+        self.links
+            .values()
+            .map(|l| l.resident_bytes() as u64)
+            .sum::<u64>()
+            + (self.mementos.len() * std::mem::size_of::<LinkMemento>()) as u64
+    }
+
+    /// Shrink every fully idle link back to its memento, releasing the
+    /// state machines and their heap capacity. Called by `quiesce` once
+    /// the domain has drained; safe mid-run because the memento resumes
+    /// both sequence spaces and the fault stream exactly.
+    pub(crate) fn reclaim_idle(&mut self) {
+        let idle: Vec<u32> = self
+            .links
+            .iter()
+            .filter(|(_, l)| l.is_idle())
+            .map(|(p, _)| *p)
+            .collect();
+        for p in idle {
+            let l = self.links.remove(&p).expect("listed as resident");
+            self.mementos.insert(
+                p,
+                LinkMemento {
+                    next_seq: l.tx.next_seq(),
+                    expected: l.rx.cum_ack(),
+                    rng_state: l.fault_rng.state(),
+                    dups: l.rx.dups,
+                    dead: l.dead,
+                },
+            );
         }
     }
 }
@@ -1156,17 +1342,93 @@ mod tests {
         }
     }
 
+    /// No peer costs anything until the first packet crosses its link —
+    /// the regression test for the dense `(0..n)` allocation this state
+    /// used to carry (O(ranks²) fabric-wide).
     #[test]
-    fn relia_state_sizes_follow_activation() {
-        let off = ProviderProfile::infinite();
-        let s = ReliaState::new_vci(&off, NetAddr(0), 4, 0);
-        assert!(s.tx.is_empty() && s.rx.is_empty() && s.dead.is_empty());
-
+    fn links_materialize_lazily_and_never_for_silent_peers() {
         let on = ProviderProfile::infinite().with_reliability(ReliabilityConfig::on());
-        let s = ReliaState::new_vci(&on, NetAddr(0), 4, 0);
-        assert_eq!(s.tx.len(), 4);
-        assert_eq!(s.rx.len(), 4);
-        assert_eq!(s.fault_rng.len(), 4);
+        let mut s = ReliaState::new_vci(&on, NetAddr(0), 0);
+        assert_eq!(s.n_links(), 0, "construction allocates no per-peer state");
+        assert_eq!(s.resident_link_bytes(), 0);
+
+        // Touch two peers out of a notionally huge fabric.
+        s.link_mut(NetAddr(1));
+        s.link_mut(NetAddr(1023));
+        assert_eq!(s.n_links(), 2, "only contacted peers are resident");
+        assert!(s.link(NetAddr(5)).is_none(), "silent peer: no allocation");
+        assert!(s.resident_link_bytes() >= 2 * std::mem::size_of::<Link>() as u64);
+        // Link order is ascending by peer, matching the old dense sweep.
+        let peers: Vec<u32> = s.links().map(|(p, _)| p.0).collect();
+        assert_eq!(peers, vec![1, 1023]);
+    }
+
+    /// Reclaiming an idle link and touching it again resumes both sequence
+    /// spaces and the fault stream exactly where they stopped.
+    #[test]
+    fn reclaimed_link_resumes_seq_and_fault_stream() {
+        use crate::fault::FaultPlan;
+        let profile = ProviderProfile::infinite()
+            .with_faults(FaultPlan::uniform(7, FaultSpec::percent(10, 0, 0, 0)))
+            .reliable();
+        let mut s = ReliaState::new_vci(&profile, NetAddr(0), 0);
+        let peer = NetAddr(3);
+        {
+            let link = s.link_mut(peer);
+            for i in 0..5u64 {
+                let seq = link.tx.prepare(PacketBody::Probe(i), None, 0);
+                assert_eq!(seq, i as u32);
+            }
+            link.tx.on_ack(5, 10); // retire everything → idle
+            link.fault_rng.next_u64(); // advance the fault stream
+        }
+        let rng_after = {
+            let mut probe = s.link(peer).expect("resident").fault_rng.clone();
+            probe.next_u64()
+        };
+        s.reclaim_idle();
+        assert_eq!(s.n_links(), 0, "idle link was reclaimed");
+        assert!(
+            s.resident_link_bytes() < std::mem::size_of::<Link>() as u64,
+            "a memento is a few words, not a full link"
+        );
+        let link = s.link_mut(peer);
+        assert_eq!(link.tx.next_seq(), 5, "sequence space resumes, not resets");
+        assert_eq!(link.rx.cum_ack(), 0);
+        assert_eq!(
+            link.fault_rng.next_u64(),
+            rng_after,
+            "fault stream resumes mid-sequence"
+        );
+    }
+
+    /// A link with protocol obligations (unacked packets, ACK debt,
+    /// buffered reorders) survives reclamation untouched.
+    #[test]
+    fn busy_links_are_never_reclaimed() {
+        let on = ProviderProfile::infinite().with_reliability(ReliabilityConfig::on());
+        let mut s = ReliaState::new_vci(&on, NetAddr(0), 0);
+        s.link_mut(NetAddr(1))
+            .tx
+            .prepare(PacketBody::Probe(0), None, 0);
+        s.link_mut(NetAddr(2)).rx.receive(0, PacketBody::Probe(1));
+        s.link_mut(NetAddr(3)); // idle from birth
+        s.reclaim_idle();
+        let peers: Vec<u32> = s.links().map(|(p, _)| p.0).collect();
+        assert_eq!(peers, vec![1, 2], "only the idle link was reclaimed");
+    }
+
+    /// Death is sticky across reclamation.
+    #[test]
+    fn dead_flag_survives_reclamation() {
+        let on = ProviderProfile::infinite().with_reliability(ReliabilityConfig::on());
+        let mut s = ReliaState::new_vci(&on, NetAddr(0), 0);
+        s.link_mut(NetAddr(9)).dead = true;
+        s.reclaim_idle();
+        assert_eq!(s.n_links(), 0);
+        assert!(s.is_dead(NetAddr(9)), "memento remembers the corpse");
+        assert!(!s.is_dead(NetAddr(10)), "unknown peers default to alive");
+        assert!(s.link_mut(NetAddr(9)).dead, "rematerialized still dead");
     }
 
     #[test]
@@ -1175,13 +1437,13 @@ mod tests {
         let profile = ProviderProfile::infinite()
             .with_faults(FaultPlan::uniform(7, FaultSpec::percent(10, 0, 0, 0)))
             .reliable();
-        let v0a = ReliaState::new_vci(&profile, NetAddr(0), 2, 0);
-        let v0b = ReliaState::new_vci(&profile, NetAddr(0), 2, 0);
-        let v1 = ReliaState::new_vci(&profile, NetAddr(0), 2, 1);
+        let mut v0a = ReliaState::new_vci(&profile, NetAddr(0), 0);
+        let mut v0b = ReliaState::new_vci(&profile, NetAddr(0), 0);
+        let mut v1 = ReliaState::new_vci(&profile, NetAddr(0), 1);
         // Same construction → same RNG stream; a different VCI diverges.
-        let mut a = v0a.fault_rng[1].clone();
-        let mut b = v0b.fault_rng[1].clone();
-        let mut c = v1.fault_rng[1].clone();
+        let mut a = v0a.link_mut(NetAddr(1)).fault_rng.clone();
+        let mut b = v0b.link_mut(NetAddr(1)).fault_rng.clone();
+        let mut c = v1.link_mut(NetAddr(1)).fault_rng.clone();
         let sa: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
         let sb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
         let sc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();

@@ -83,9 +83,14 @@ impl EndpointStats {
     }
 
     /// Snapshot all counters, merging the matching engine's tag-lock-domain
-    /// counters with this endpoint's atomics.
-    pub fn snapshot(&self, matching: &MatchCounters) -> StatsSnapshot {
+    /// counters with this endpoint's atomics. `resident_link_bytes` is the
+    /// caller-computed gauge of per-peer reliability state currently in
+    /// memory (the fabric sums it across VCIs under their locks — it is a
+    /// point-in-time measurement, not a monotonic counter, so it has no
+    /// atomic here).
+    pub fn snapshot(&self, matching: &MatchCounters, resident_link_bytes: u64) -> StatsSnapshot {
         StatsSnapshot {
+            resident_link_bytes,
             msgs_sent: self.msgs_sent.load(Ordering::Relaxed),
             msgs_received: matching.msgs_received,
             bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
@@ -171,6 +176,10 @@ pub struct StatsSnapshot {
     pub max_unexpected_depth: u64,
     pub vci_acquires: [u64; MAX_VCIS],
     pub vci_contended: [u64; MAX_VCIS],
+    /// Bytes pinned by resident per-peer link state across all VCIs — a
+    /// gauge (current value), not a counter. O(active peers) by design;
+    /// the scale tests compare it against the dense all-pairs baseline.
+    pub resident_link_bytes: u64,
 }
 
 impl StatsSnapshot {
@@ -209,6 +218,9 @@ impl StatsSnapshot {
             max_unexpected_depth: self.max_unexpected_depth,
             vci_acquires: diff_array(&self.vci_acquires, &earlier.vci_acquires),
             vci_contended: diff_array(&self.vci_contended, &earlier.vci_contended),
+            // A gauge, like the depth high-water marks: the later value
+            // carries through.
+            resident_link_bytes: self.resident_link_bytes,
         }
     }
 
@@ -234,7 +246,7 @@ mod tests {
         let s = EndpointStats::default();
         EndpointStats::bump(&s.msgs_sent, 3);
         EndpointStats::bump(&s.bytes_sent, 300);
-        let snap = s.snapshot(&MatchCounters::default());
+        let snap = s.snapshot(&MatchCounters::default(), 0);
         assert_eq!(snap.msgs_sent, 3);
         assert_eq!(snap.bytes_sent, 300);
         assert_eq!(snap.total_ops(), 3);
@@ -245,15 +257,15 @@ mod tests {
         let s = EndpointStats::default();
         let m = MatchCounters::default();
         EndpointStats::bump(&s.rdma_puts, 2);
-        let a = s.snapshot(&m);
+        let a = s.snapshot(&m, 0);
         EndpointStats::bump(&s.rdma_puts, 5);
-        let b = s.snapshot(&m);
+        let b = s.snapshot(&m, 0);
         assert_eq!(b.diff(&a).rdma_puts, 5);
     }
 
     #[test]
     fn default_snapshot_is_zero() {
-        let snap = EndpointStats::default().snapshot(&MatchCounters::default());
+        let snap = EndpointStats::default().snapshot(&MatchCounters::default(), 0);
         assert_eq!(snap, StatsSnapshot::default());
     }
 
@@ -269,7 +281,7 @@ mod tests {
             max_posted_depth: 5,
             max_unexpected_depth: 2,
         };
-        let snap = s.snapshot(&m);
+        let snap = s.snapshot(&m, 0);
         assert_eq!(snap.msgs_received, 4);
         assert_eq!(snap.bytes_received, 64);
         assert_eq!(snap.max_posted_depth, 5);
@@ -281,11 +293,11 @@ mod tests {
         let s = EndpointStats::default();
         EndpointStats::bump(&s.vci_acquires[2], 10);
         EndpointStats::bump(&s.vci_contended[2], 4);
-        let a = s.snapshot(&MatchCounters::default());
+        let a = s.snapshot(&MatchCounters::default(), 0);
         assert_eq!(a.vci_acquires[2], 10);
         assert_eq!(a.vci_contended[2], 4);
         EndpointStats::bump(&s.vci_acquires[2], 1);
-        let b = s.snapshot(&MatchCounters::default());
+        let b = s.snapshot(&MatchCounters::default(), 0);
         assert_eq!(b.diff(&a).vci_acquires[2], 1);
         assert_eq!(b.diff(&a).vci_contended[2], 0);
     }
@@ -297,13 +309,24 @@ mod tests {
         EndpointStats::bump(&s.win_ops_completed, 4);
         EndpointStats::bump(&s.win_flushes, 1);
         EndpointStats::bump(&s.reg_cache_misses, 1);
-        let a = s.snapshot(&MatchCounters::default());
+        let a = s.snapshot(&MatchCounters::default(), 0);
         assert_eq!(a.win_ops_issued, 4);
         assert_eq!(a.win_flushes, 1);
         EndpointStats::bump(&s.reg_cache_hits, 2);
-        let b = s.snapshot(&MatchCounters::default());
+        let b = s.snapshot(&MatchCounters::default(), 0);
         assert_eq!(b.diff(&a).reg_cache_hits, 2);
         assert_eq!(b.diff(&a).reg_cache_misses, 0);
+    }
+
+    #[test]
+    fn resident_gauge_carries_through_diff() {
+        let s = EndpointStats::default();
+        let a = s.snapshot(&MatchCounters::default(), 4096);
+        let b = s.snapshot(&MatchCounters::default(), 128);
+        assert_eq!(a.resident_link_bytes, 4096);
+        // A gauge, not a counter: the later (smaller, post-reclaim) value
+        // survives the diff instead of underflowing.
+        assert_eq!(b.diff(&a).resident_link_bytes, 128);
     }
 
     #[test]
